@@ -1,0 +1,138 @@
+// Ablation study of the design decisions DESIGN.md calls out (not a paper table; this is the
+// repository's own analysis of *why* Hang Doctor's choices matter):
+//
+//  A. main−render differencing vs main-only counters (the Table 3(b) argument, but measured
+//     as filter quality rather than correlations);
+//  B. end-of-action accumulation vs an early 150 ms counter snapshot (the Figure 5 argument);
+//  C. each filter condition alone vs the trio (the Table 6 argument);
+//  D. the state machine vs tracing every hang (the phase-1 savings argument).
+#include <cstdio>
+
+#include "src/hangdoctor/hang_doctor.h"
+#include "src/perfsim/perf_session.h"
+#include "src/workload/experiment.h"
+#include "src/workload/training.h"
+#include "src/workload/user_model.h"
+
+namespace {
+
+void PrintQuality(const char* label, const hangdoctor::FilterQuality& quality) {
+  double recall =
+      quality.true_positives + quality.false_negatives == 0
+          ? 0.0
+          : static_cast<double>(quality.true_positives) /
+                static_cast<double>(quality.true_positives + quality.false_negatives);
+  std::printf("  %-34s recall %3.0f%%  UI pruned %3.0f%%  accuracy %3.0f%%\n", label,
+              100.0 * recall, 100.0 * quality.FalsePositivePruneRate(),
+              100.0 * quality.Accuracy());
+}
+
+}  // namespace
+
+int main() {
+  workload::Catalog catalog;
+  std::printf("=== Ablations of Hang Doctor's design choices ===\n\n");
+
+  workload::TrainingConfig config;
+  workload::TrainingData data = workload::CollectTrainingSamples(catalog, config);
+  hangdoctor::SoftHangFilter trio = hangdoctor::SoftHangFilter::Default();
+
+  // --- A: differencing against the render thread ---
+  std::printf("A. main-render differencing vs main-only readings (production thresholds):\n");
+  PrintQuality("main - render (Hang Doctor)",
+               hangdoctor::EvaluateFilter(trio, data.diff_samples));
+  PrintQuality("main only", hangdoctor::EvaluateFilter(trio, data.main_only_samples));
+  std::printf("  (main-only floods: every heavy UI action looks like a bug without the render"
+              "\n   thread as a reference)\n\n");
+
+  // --- C: single conditions vs the trio ---
+  std::printf("C. each condition alone vs the trio (on the training set):\n");
+  const char* names[] = {"context-switches > 0 alone", "task-clock > 1.7e8 alone",
+                         "page-faults > 500 alone"};
+  for (size_t i = 0; i < trio.conditions().size(); ++i) {
+    hangdoctor::SoftHangFilter single({trio.conditions()[i]});
+    PrintQuality(names[i], hangdoctor::EvaluateFilter(single, data.diff_samples));
+  }
+  PrintQuality("all three (Hang Doctor)", hangdoctor::EvaluateFilter(trio, data.diff_samples));
+  std::printf("\n");
+
+  // --- B: early snapshot vs end-of-action accumulation ---
+  std::printf("B. early 150 ms snapshot vs end-of-action accumulation (K9-Mail Folders, a UI "
+              "action):\n");
+  {
+    const droidsim::AppSpec* spec = catalog.FindApp("K9-Mail");
+    int32_t folders = -1;
+    for (int32_t i = 0; i < 4; ++i) {
+      if (spec->actions[static_cast<size_t>(i)].name == "Folders") {
+        folders = i;
+      }
+    }
+    int early_flags = 0;
+    int late_flags = 0;
+    constexpr int kRuns = 20;
+    for (int run = 0; run < kRuns; ++run) {
+      droidsim::Phone phone(droidsim::LgV10(), 4000 + run);
+      droidsim::App* app = phone.InstallApp(spec);
+      perfsim::PerfSession session(&phone.counter_hub(), phone.profile().pmu, 5000 + run);
+      session.AddThread(app->main_tid());
+      session.AddThread(app->render_tid());
+      for (perfsim::PerfEventType event : trio.Events()) {
+        session.AddEvent(event);
+      }
+      session.Start();
+      app->PerformAction(folders);
+      phone.RunFor(simkit::Milliseconds(150));  // the tempting early read
+      perfsim::CounterArray early{};
+      for (perfsim::PerfEventType event : trio.Events()) {
+        early[static_cast<size_t>(event)] =
+            session.ReadDifference(app->main_tid(), app->render_tid(), event);
+      }
+      phone.RunFor(simkit::Seconds(8));  // quiesce
+      session.Stop();
+      perfsim::CounterArray late{};
+      for (perfsim::PerfEventType event : trio.Events()) {
+        late[static_cast<size_t>(event)] =
+            session.ReadDifference(app->main_tid(), app->render_tid(), event);
+      }
+      early_flags += trio.HasSymptoms(early) ? 1 : 0;
+      late_flags += trio.HasSymptoms(late) ? 1 : 0;
+    }
+    std::printf("  flagged as bug-symptomatic: early read %d/%d runs, end-of-action %d/%d runs\n"
+                "  (the main thread runs developer code before the render thread catches up —\n"
+                "   Figure 5(b)'s reason S-Checker waits for the action to finish)\n\n",
+                early_flags, kRuns, late_flags, kRuns);
+  }
+
+  // --- D: the state machine's savings ---
+  std::printf("D. state machine vs tracing every hang (K9-Mail, same 5-minute trace):\n");
+  {
+    const droidsim::AppSpec* spec = catalog.FindApp("K9-Mail");
+    workload::SingleAppHarness harness(droidsim::LgV10(), spec, 606);
+    hangdoctor::HangDoctor with_states(&harness.phone(), &harness.app(),
+                                       hangdoctor::HangDoctorConfig{});
+    hangdoctor::HangDoctorConfig no_states_config;
+    no_states_config.second_phase_only = true;  // = trace every soft hang
+    hangdoctor::HangDoctor no_states(&harness.phone(), &harness.app(), no_states_config);
+    harness.RunUserSession(simkit::Seconds(300));
+    workload::TraceUsage usage = harness.Usage();
+    workload::DetectionStats with_stats =
+        workload::ScoreHangDoctor(harness.truth(), with_states.log());
+    workload::DetectionStats without_stats =
+        workload::ScoreHangDoctor(harness.truth(), no_states.log());
+    std::printf("  with state machine   : TP %ld/%ld, FP %ld, %ld stack samples, %.2f%% "
+                "overhead\n",
+                static_cast<long>(with_stats.true_positives),
+                static_cast<long>(with_stats.bug_hangs),
+                static_cast<long>(with_stats.false_positives),
+                static_cast<long>(with_states.stack_samples_taken()),
+                with_states.overhead().OverheadPercent(usage.cpu, usage.bytes));
+    std::printf("  trace every hang     : TP %ld/%ld, FP %ld, %ld stack samples, %.2f%% "
+                "overhead\n",
+                static_cast<long>(without_stats.true_positives),
+                static_cast<long>(without_stats.bug_hangs),
+                static_cast<long>(without_stats.false_positives),
+                static_cast<long>(no_states.stack_samples_taken()),
+                no_states.overhead().OverheadPercent(usage.cpu, usage.bytes));
+  }
+  return 0;
+}

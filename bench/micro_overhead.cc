@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) of the hot paths a production Hang Doctor would execute
+// on-device: per-action state lookups, the S-Checker filter, perf-session bracketing, stack
+// sampling, trace analysis, and the offline trainer. These measure this repository's actual
+// implementation, complementing the simulated-cost overheads of Figure 8(c).
+#include <benchmark/benchmark.h>
+
+#include "src/droidsim/phone.h"
+#include "src/hangdoctor/action_state.h"
+#include "src/hangdoctor/correlation.h"
+#include "src/hangdoctor/filter.h"
+#include "src/hangdoctor/trace_analyzer.h"
+#include "src/perfsim/perf_session.h"
+#include "src/simkit/event_queue.h"
+#include "src/simkit/rng.h"
+#include "src/workload/api_catalog.h"
+#include "src/workload/catalog.h"
+
+namespace {
+
+void BM_ActionTableLookup(benchmark::State& state) {
+  hangdoctor::ActionTable table;
+  for (int32_t uid = 0; uid < 64; ++uid) {
+    table.Lookup(uid);
+  }
+  int32_t uid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Lookup(uid));
+    uid = (uid + 1) & 63;
+  }
+}
+BENCHMARK(BM_ActionTableLookup);
+
+void BM_FilterHasSymptoms(benchmark::State& state) {
+  hangdoctor::SoftHangFilter filter = hangdoctor::SoftHangFilter::Default();
+  perfsim::CounterArray diffs{};
+  diffs[static_cast<size_t>(perfsim::PerfEventType::kContextSwitches)] = -25.0;
+  diffs[static_cast<size_t>(perfsim::PerfEventType::kTaskClock)] = 9.0e7;
+  diffs[static_cast<size_t>(perfsim::PerfEventType::kPageFaults)] = 120.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.HasSymptoms(diffs));
+  }
+}
+BENCHMARK(BM_FilterHasSymptoms);
+
+void BM_PerfSessionBracket(benchmark::State& state) {
+  droidsim::Phone phone(droidsim::LgV10(), 3);
+  droidsim::ApiRegistry registry;
+  workload::StandardApis apis = workload::BuildStandardApis(&registry);
+  droidsim::AppSpec spec;
+  spec.name = "bench";
+  spec.package = "bench";
+  droidsim::App* app = phone.InstallApp(&spec);
+  (void)apis;
+  hangdoctor::SoftHangFilter filter = hangdoctor::SoftHangFilter::Default();
+  for (auto _ : state) {
+    perfsim::PerfSession session(&phone.counter_hub(), phone.profile().pmu, 7);
+    session.AddThread(app->main_tid());
+    session.AddThread(app->render_tid());
+    for (perfsim::PerfEventType event : filter.Events()) {
+      session.AddEvent(event);
+    }
+    session.Start();
+    session.Stop();
+    double diff = 0.0;
+    for (perfsim::PerfEventType event : filter.Events()) {
+      diff += session.ReadDifference(app->main_tid(), app->render_tid(), event);
+    }
+    benchmark::DoNotOptimize(diff);
+  }
+}
+BENCHMARK(BM_PerfSessionBracket);
+
+std::vector<droidsim::StackTrace> MakeTraces(size_t count) {
+  std::vector<droidsim::StackTrace> traces;
+  for (size_t i = 0; i < count; ++i) {
+    droidsim::StackTrace trace;
+    trace.frames.push_back({"onItemClick", "", "MessageList.java", 371, false});
+    trace.frames.push_back({"loadMessage", "com.fsck.k9.MessageView", "MessageView.java", 120,
+                            false});
+    if (i % 10 != 0) {
+      trace.frames.push_back({"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25,
+                              true});
+    } else {
+      trace.frames.push_back({"setText", "android.widget.TextView", "MessageView.java", 140,
+                              false});
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+void BM_TraceAnalyzer60(benchmark::State& state) {
+  hangdoctor::TraceAnalyzer analyzer;
+  std::vector<droidsim::StackTrace> traces = MakeTraces(60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.Analyze(traces));
+  }
+}
+BENCHMARK(BM_TraceAnalyzer60);
+
+void BM_RankEvents(benchmark::State& state) {
+  simkit::Rng rng(9, 9);
+  std::vector<hangdoctor::LabeledSample> samples;
+  for (int i = 0; i < 200; ++i) {
+    hangdoctor::LabeledSample sample;
+    sample.is_bug = (i % 2) == 0;
+    for (size_t e = 0; e < perfsim::kNumPerfEvents; ++e) {
+      sample.readings[e] = rng.Normal(sample.is_bug ? 100.0 : -50.0, 80.0);
+    }
+    samples.push_back(sample);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hangdoctor::RankEvents(samples));
+  }
+}
+BENCHMARK(BM_RankEvents);
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  simkit::EventQueue queue;
+  int64_t t = 0;
+  for (auto _ : state) {
+    queue.ScheduleAt(++t, [] {});
+    if (queue.Size() > 1024) {
+      while (!queue.Empty()) {
+        queue.RunNext();
+      }
+    }
+  }
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_SimulatedSecondOfUserTime(benchmark::State& state) {
+  workload::Catalog* catalog = new workload::Catalog();  // leak: bench process lifetime
+  const droidsim::AppSpec* spec = catalog->FindApp("K9-Mail");
+  droidsim::Phone phone(droidsim::LgV10(), 77);
+  droidsim::App* app = phone.InstallApp(spec);
+  int32_t uid = 0;
+  for (auto _ : state) {
+    app->PerformAction(uid % app->num_actions());
+    ++uid;
+    phone.RunFor(simkit::Seconds(1));
+  }
+}
+BENCHMARK(BM_SimulatedSecondOfUserTime);
+
+}  // namespace
+
+BENCHMARK_MAIN();

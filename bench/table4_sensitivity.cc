@@ -1,0 +1,78 @@
+// Reproduces Table 4 of the paper: sensitivity of the correlation analysis to the training
+// set. The analysis is re-run on random 75% and 50% subsets of the training samples; the
+// paper's claim is that the top-5 events (context-switches, task-clock, cpu-clock,
+// page-faults, minor-faults) keep their ranking positions while coefficients may grow on
+// smaller sets (fewer points are easier to separate).
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "src/simkit/rng.h"
+#include "src/workload/training.h"
+
+namespace {
+
+std::vector<hangdoctor::LabeledSample> Subsample(
+    const std::vector<hangdoctor::LabeledSample>& samples, double fraction, simkit::Rng* rng) {
+  std::vector<hangdoctor::LabeledSample> subset;
+  for (const hangdoctor::LabeledSample& sample : samples) {
+    if (rng->Bernoulli(fraction)) {
+      subset.push_back(sample);
+    }
+  }
+  return subset;
+}
+
+void PrintTopTen(const char* title, const std::vector<hangdoctor::RankedEvent>& ranking) {
+  std::printf("%s\n  %-26s %s\n", title, "Performance Event", "Corr. Coeff.");
+  for (size_t i = 0; i < 10 && i < ranking.size(); ++i) {
+    std::printf("  %-26s %.3f\n", perfsim::PerfEventName(ranking[i].event).c_str(),
+                ranking[i].correlation);
+  }
+  std::printf("\n");
+}
+
+std::set<perfsim::PerfEventType> TopFive(const std::vector<hangdoctor::RankedEvent>& ranking) {
+  std::set<perfsim::PerfEventType> top;
+  for (size_t i = 0; i < 5 && i < ranking.size(); ++i) {
+    top.insert(ranking[i].event);
+  }
+  return top;
+}
+
+}  // namespace
+
+int main() {
+  workload::Catalog catalog;
+  workload::TrainingConfig config;
+  workload::TrainingData data = workload::CollectTrainingSamples(catalog, config);
+  simkit::Rng rng(2024, 4);
+
+  std::vector<hangdoctor::RankedEvent> full = hangdoctor::RankEvents(data.diff_samples);
+  std::vector<hangdoctor::LabeledSample> subset75 = Subsample(data.diff_samples, 0.75, &rng);
+  std::vector<hangdoctor::LabeledSample> subset50 = Subsample(data.diff_samples, 0.50, &rng);
+  std::vector<hangdoctor::RankedEvent> r75 = hangdoctor::RankEvents(subset75);
+  std::vector<hangdoctor::RankedEvent> r50 = hangdoctor::RankEvents(subset50);
+
+  std::printf("=== Table 4: sensitivity of the correlation analysis to the training set ===\n");
+  std::printf("full set: %zu samples; 75%% set: %zu; 50%% set: %zu\n\n",
+              data.diff_samples.size(), subset75.size(), subset50.size());
+  PrintTopTen("(full) training set", full);
+  PrintTopTen("(a) 75% training set", r75);
+  PrintTopTen("(b) 50% training set", r50);
+
+  std::set<perfsim::PerfEventType> top_full = TopFive(full);
+  std::set<perfsim::PerfEventType> top75 = TopFive(r75);
+  std::set<perfsim::PerfEventType> top50 = TopFive(r50);
+  size_t stable75 = 0;
+  size_t stable50 = 0;
+  for (perfsim::PerfEventType event : top_full) {
+    stable75 += top75.count(event);
+    stable50 += top50.count(event);
+  }
+  std::printf("top-5 overlap with the full set: 75%% set -> %zu/5, 50%% set -> %zu/5 "
+              "(paper: 5/5 for both)\n",
+              stable75, stable50);
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "src/baselines/combined_detector.h"
+
+#include <utility>
+
+namespace baselines {
+
+CombinedDetector::CombinedDetector(droidsim::Phone* phone, droidsim::App* app,
+                                   CombinedDetectorConfig config)
+    : phone_(phone),
+      app_(app),
+      config_(std::move(config)),
+      analyzer_(config_.analyzer),
+      sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
+  app_->AddObserver(this);
+}
+
+CombinedDetector::~CombinedDetector() {
+  if (pending_tick_ != 0) {
+    phone_->sim().Cancel(pending_tick_);
+  }
+  app_->RemoveObserver(this);
+}
+
+void CombinedDetector::OnInputEventStart(droidsim::App& app,
+                                         const droidsim::ActionExecution& execution,
+                                         int32_t event_index) {
+  (void)app;
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto [it, inserted] = live_.try_emplace(execution.execution_id);
+  if (inserted) {
+    it->second.event_open.resize(execution.events_total, false);
+  }
+  it->second.event_open[static_cast<size_t>(event_index)] = true;
+  int64_t execution_id = execution.execution_id;
+  phone_->sim().ScheduleAfter(config_.timeout, [this, execution_id, event_index]() {
+    auto live_it = live_.find(execution_id);
+    if (live_it == live_.end()) {
+      return;
+    }
+    auto idx = static_cast<size_t>(event_index);
+    if (idx >= live_it->second.event_open.size() || !live_it->second.event_open[idx]) {
+      return;  // finished below the timeout: utilization sampling never starts
+    }
+    // The hang is confirmed; start windowed utilization sampling.
+    window_stats_ = phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
+    window_start_ = phone_->Now();
+    HangTick(execution_id, event_index);
+  });
+}
+
+void CombinedDetector::HangTick(int64_t execution_id, int32_t event_index) {
+  pending_tick_ =
+      phone_->sim().ScheduleAfter(config_.period, [this, execution_id, event_index]() {
+        pending_tick_ = 0;
+        auto it = live_.find(execution_id);
+        if (it == live_.end()) {
+          return;
+        }
+        auto idx = static_cast<size_t>(event_index);
+        if (idx >= it->second.event_open.size() || !it->second.event_open[idx]) {
+          return;  // the hang ended; stop sampling
+        }
+        overhead_.AddCpu(config_.costs.utilization_sample);
+        overhead_.AddMemory(config_.costs.utilization_sample_bytes);
+        kernelsim::ThreadStats now_stats =
+            phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
+        UtilizationSample sample =
+            ComputeUtilization(window_stats_, now_stats, phone_->Now() - window_start_);
+        window_stats_ = now_stats;
+        window_start_ = phone_->Now();
+        if (sample.Above(config_.thresholds)) {
+          it->second.flagged = true;
+          if (!sampler_.active()) {
+            sampler_.StartCollection();
+          }
+        }
+        HangTick(execution_id, event_index);
+      });
+}
+
+void CombinedDetector::OnInputEventEnd(droidsim::App& app,
+                                       const droidsim::ActionExecution& execution,
+                                       int32_t event_index) {
+  (void)app;
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  auto idx = static_cast<size_t>(event_index);
+  if (idx < it->second.event_open.size()) {
+    it->second.event_open[idx] = false;
+  }
+  if (sampler_.active()) {
+    std::vector<droidsim::StackTrace> collected = sampler_.StopCollection();
+    auto count = static_cast<int64_t>(collected.size());
+    overhead_.AddCpu(config_.costs.trace_start);
+    overhead_.AddMemory(config_.costs.trace_start_bytes);
+    overhead_.AddCpu(config_.costs.stack_sample * count);
+    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
+    for (droidsim::StackTrace& trace : collected) {
+      it->second.traces.push_back(std::move(trace));
+    }
+  }
+}
+
+void CombinedDetector::OnActionQuiesced(droidsim::App& app,
+                                        const droidsim::ActionExecution& execution) {
+  (void)app;
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  DetectionOutcome outcome;
+  outcome.action_uid = execution.action_uid;
+  outcome.execution_id = execution.execution_id;
+  outcome.response = execution.max_response;
+  outcome.hang = execution.max_response > simkit::kPerceivableDelay;
+  outcome.flagged = it->second.flagged;
+  outcome.traced = !it->second.traces.empty();
+  if (outcome.traced) {
+    outcome.diagnosis = analyzer_.Analyze(it->second.traces);
+  }
+  outcomes_.push_back(std::move(outcome));
+  live_.erase(it);
+}
+
+}  // namespace baselines

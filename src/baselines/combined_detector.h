@@ -1,0 +1,66 @@
+// UT+TI combination (Section 4.1): resource utilizations are sampled only *during* soft hangs
+// (the response time must exceed 100 ms first), and stack traces are collected only once a
+// utilization threshold is also violated. UTH+TI is the cheapest baseline but inherits UTH's
+// misses; UTL+TI prunes some of UTL's false positives but not the UI operations that are both
+// slow and busy.
+#ifndef SRC_BASELINES_COMBINED_DETECTOR_H_
+#define SRC_BASELINES_COMBINED_DETECTOR_H_
+
+#include <unordered_map>
+
+#include "src/baselines/utilization_detector.h"
+
+namespace baselines {
+
+struct CombinedDetectorConfig {
+  UtilizationThresholds thresholds;
+  simkit::SimDuration timeout = simkit::kPerceivableDelay;
+  simkit::SimDuration period = simkit::Milliseconds(100);
+  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
+  hangdoctor::TraceAnalyzerConfig analyzer;
+  hangdoctor::MonitorCosts costs;
+  std::string label = "UT+TI";
+};
+
+class CombinedDetector : public Detector {
+ public:
+  CombinedDetector(droidsim::Phone* phone, droidsim::App* app, CombinedDetectorConfig config);
+  ~CombinedDetector() override;
+
+  std::string name() const override { return config_.label; }
+  const std::vector<DetectionOutcome>& outcomes() const override { return outcomes_; }
+  const hangdoctor::OverheadMeter& overhead() const override { return overhead_; }
+
+  // droidsim::AppObserver:
+  void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
+                         int32_t event_index) override;
+  void OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
+                       int32_t event_index) override;
+  void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
+
+ private:
+  struct LiveExecution {
+    std::vector<bool> event_open;
+    bool flagged = false;
+    std::vector<droidsim::StackTrace> traces;
+  };
+
+  // Samples the main thread's utilization while (execution_id, event_index) is still hanging.
+  void HangTick(int64_t execution_id, int32_t event_index);
+
+  droidsim::Phone* phone_;
+  droidsim::App* app_;
+  CombinedDetectorConfig config_;
+  hangdoctor::TraceAnalyzer analyzer_;
+  hangdoctor::OverheadMeter overhead_;
+  droidsim::StackSampler sampler_;
+  std::unordered_map<int64_t, LiveExecution> live_;
+  std::vector<DetectionOutcome> outcomes_;
+  kernelsim::ThreadStats window_stats_;
+  simkit::SimTime window_start_ = 0;
+  simkit::EventId pending_tick_ = 0;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_COMBINED_DETECTOR_H_

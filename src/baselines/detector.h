@@ -1,0 +1,42 @@
+// Common shape of the paper's baseline runtime detectors (Section 4.1). Every baseline
+// watches an app's input events, decides per action execution whether to collect stack traces
+// (the costed act the evaluation counts), and charges its monitoring work to an OverheadMeter
+// using the same cost model as Hang Doctor, so Figure 8(c) is an apples-to-apples comparison.
+#ifndef SRC_BASELINES_DETECTOR_H_
+#define SRC_BASELINES_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/droidsim/app.h"
+#include "src/hangdoctor/overhead.h"
+#include "src/hangdoctor/trace_analyzer.h"
+
+namespace baselines {
+
+struct DetectionOutcome {
+  int32_t action_uid = -1;
+  int64_t execution_id = 0;
+  simkit::SimDuration response = 0;
+  bool hang = false;     // response exceeded the detector's hang definition (100 ms)
+  bool flagged = false;  // detector declared a potential soft hang bug
+  bool traced = false;   // stack traces were collected (the costed act)
+  hangdoctor::Diagnosis diagnosis;
+};
+
+class Detector : public droidsim::AppObserver {
+ public:
+  ~Detector() override = default;
+
+  virtual std::string name() const = 0;
+  virtual const std::vector<DetectionOutcome>& outcomes() const = 0;
+  virtual const hangdoctor::OverheadMeter& overhead() const = 0;
+
+  // Detections raised outside any soft hang (possible for the utilization baselines, which
+  // fire whenever a threshold is crossed, hang or not). Pure false positives.
+  virtual int64_t spurious_detections() const { return 0; }
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_DETECTOR_H_

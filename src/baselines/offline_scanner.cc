@@ -1,0 +1,50 @@
+#include "src/baselines/offline_scanner.h"
+
+namespace baselines {
+
+void OfflineScanner::ScanNode(const droidsim::AppSpec& app, const std::string& action,
+                              const droidsim::OpNode& node,
+                              std::vector<OfflineFinding>* findings) const {
+  if (node.on_worker) {
+    return;  // not on the main thread: not a soft hang bug
+  }
+  if (node.in_closed_library) {
+    // The scanner has no source for this frame or anything beneath it.
+    return;
+  }
+  if (node.api != nullptr && database_->IsKnown(node.api->FullName())) {
+    OfflineFinding finding;
+    finding.app_package = app.package;
+    finding.action = action;
+    finding.api = node.api->FullName();
+    finding.file = node.file;
+    finding.line = node.line;
+    findings->push_back(std::move(finding));
+  }
+  for (const droidsim::OpNode& child : node.children) {
+    ScanNode(app, action, child, findings);
+  }
+}
+
+std::vector<OfflineFinding> OfflineScanner::Scan(const droidsim::AppSpec& app) const {
+  std::vector<OfflineFinding> findings;
+  for (const droidsim::ActionSpec& action : app.actions) {
+    for (const droidsim::InputEventSpec& event : action.events) {
+      for (const droidsim::OpNode& node : event.ops) {
+        ScanNode(app, action.name, node, &findings);
+      }
+    }
+  }
+  return findings;
+}
+
+bool OfflineScanner::Detects(const droidsim::AppSpec& app, const std::string& api) const {
+  for (const OfflineFinding& finding : Scan(app)) {
+    if (finding.api == api) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace baselines

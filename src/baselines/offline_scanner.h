@@ -1,0 +1,48 @@
+// PerfChecker-style offline detector (Liu et al., ICSE'14): statically scan the app's
+// main-thread code for calls to *known* blocking APIs. Reproduces the three failure modes the
+// paper motivates Hang Doctor with:
+//  1. previously unknown blocking APIs are invisible (not in the database);
+//  2. calls inside closed-source third-party libraries cannot be examined;
+//  3. self-developed lengthy operations have no API name to search for.
+#ifndef SRC_BASELINES_OFFLINE_SCANNER_H_
+#define SRC_BASELINES_OFFLINE_SCANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/droidsim/app.h"
+#include "src/hangdoctor/blocking_api_db.h"
+
+namespace baselines {
+
+struct OfflineFinding {
+  std::string app_package;
+  std::string action;
+  std::string api;  // clazz.function
+  std::string file;
+  int32_t line = 0;
+};
+
+class OfflineScanner {
+ public:
+  explicit OfflineScanner(const hangdoctor::BlockingApiDatabase* database)
+      : database_(database) {}
+
+  // Scans every action's main-thread operation tree. Subtrees posted to worker threads are
+  // skipped (they are not on the main thread); frames inside closed-source libraries are
+  // skipped (no source to examine).
+  std::vector<OfflineFinding> Scan(const droidsim::AppSpec& app) const;
+
+  // Convenience: true if the scan reports `api` anywhere in the app.
+  bool Detects(const droidsim::AppSpec& app, const std::string& api) const;
+
+ private:
+  void ScanNode(const droidsim::AppSpec& app, const std::string& action,
+                const droidsim::OpNode& node, std::vector<OfflineFinding>* findings) const;
+
+  const hangdoctor::BlockingApiDatabase* database_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_OFFLINE_SCANNER_H_

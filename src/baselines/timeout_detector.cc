@@ -1,0 +1,96 @@
+#include "src/baselines/timeout_detector.h"
+
+#include <utility>
+
+namespace baselines {
+
+TimeoutDetector::TimeoutDetector(droidsim::Phone* phone, droidsim::App* app,
+                                 TimeoutDetectorConfig config)
+    : phone_(phone),
+      app_(app),
+      config_(config),
+      analyzer_(config.analyzer),
+      sampler_(&phone->sim(), &app->main_looper(), config.sample_interval) {
+  app_->AddObserver(this);
+}
+
+TimeoutDetector::~TimeoutDetector() { app_->RemoveObserver(this); }
+
+std::string TimeoutDetector::name() const {
+  return "TI-" + std::to_string(simkit::ToMilliseconds(config_.timeout)) + "ms";
+}
+
+void TimeoutDetector::OnInputEventStart(droidsim::App& app,
+                                        const droidsim::ActionExecution& execution,
+                                        int32_t event_index) {
+  (void)app;
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto [it, inserted] = live_.try_emplace(execution.execution_id);
+  if (inserted) {
+    it->second.event_open.resize(execution.events_total, false);
+  }
+  it->second.event_open[static_cast<size_t>(event_index)] = true;
+  int64_t execution_id = execution.execution_id;
+  phone_->sim().ScheduleAfter(config_.timeout, [this, execution_id, event_index]() {
+    auto live_it = live_.find(execution_id);
+    if (live_it == live_.end()) {
+      return;
+    }
+    auto idx = static_cast<size_t>(event_index);
+    if (idx >= live_it->second.event_open.size() || !live_it->second.event_open[idx]) {
+      return;
+    }
+    if (!sampler_.active()) {
+      sampler_.StartCollection();
+    }
+  });
+}
+
+void TimeoutDetector::OnInputEventEnd(droidsim::App& app,
+                                      const droidsim::ActionExecution& execution,
+                                      int32_t event_index) {
+  (void)app;
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  auto idx = static_cast<size_t>(event_index);
+  if (idx < it->second.event_open.size()) {
+    it->second.event_open[idx] = false;
+  }
+  if (sampler_.active()) {
+    std::vector<droidsim::StackTrace> collected = sampler_.StopCollection();
+    auto count = static_cast<int64_t>(collected.size());
+    overhead_.AddCpu(config_.costs.trace_start);
+    overhead_.AddMemory(config_.costs.trace_start_bytes);
+    overhead_.AddCpu(config_.costs.stack_sample * count);
+    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
+    for (droidsim::StackTrace& trace : collected) {
+      it->second.traces.push_back(std::move(trace));
+    }
+  }
+}
+
+void TimeoutDetector::OnActionQuiesced(droidsim::App& app,
+                                       const droidsim::ActionExecution& execution) {
+  (void)app;
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  DetectionOutcome outcome;
+  outcome.action_uid = execution.action_uid;
+  outcome.execution_id = execution.execution_id;
+  outcome.response = execution.max_response;
+  outcome.hang = execution.max_response > simkit::kPerceivableDelay;
+  outcome.flagged = execution.max_response > config_.timeout;
+  outcome.traced = !it->second.traces.empty();
+  if (outcome.traced) {
+    outcome.diagnosis = analyzer_.Analyze(it->second.traces);
+  }
+  outcomes_.push_back(std::move(outcome));
+  live_.erase(it);
+}
+
+}  // namespace baselines

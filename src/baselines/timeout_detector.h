@@ -1,0 +1,58 @@
+// TImeout-based (TI) baseline: declare a potential soft hang bug whenever an input event's
+// response time exceeds a timeout, and collect stack traces for the remainder of the hang.
+// With the 5 s timeout this is Android's ANR tool; with 100 ms it is the Jovic et al. style
+// detector whose false-positive cost Table 2 quantifies.
+#ifndef SRC_BASELINES_TIMEOUT_DETECTOR_H_
+#define SRC_BASELINES_TIMEOUT_DETECTOR_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/baselines/detector.h"
+#include "src/droidsim/phone.h"
+#include "src/droidsim/stack_sampler.h"
+
+namespace baselines {
+
+struct TimeoutDetectorConfig {
+  simkit::SimDuration timeout = simkit::kPerceivableDelay;
+  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
+  hangdoctor::TraceAnalyzerConfig analyzer;
+  hangdoctor::MonitorCosts costs;
+};
+
+class TimeoutDetector : public Detector {
+ public:
+  TimeoutDetector(droidsim::Phone* phone, droidsim::App* app, TimeoutDetectorConfig config);
+  ~TimeoutDetector() override;
+
+  std::string name() const override;
+  const std::vector<DetectionOutcome>& outcomes() const override { return outcomes_; }
+  const hangdoctor::OverheadMeter& overhead() const override { return overhead_; }
+
+  // droidsim::AppObserver:
+  void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
+                         int32_t event_index) override;
+  void OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
+                       int32_t event_index) override;
+  void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
+
+ private:
+  struct LiveExecution {
+    std::vector<bool> event_open;
+    std::vector<droidsim::StackTrace> traces;
+  };
+
+  droidsim::Phone* phone_;
+  droidsim::App* app_;
+  TimeoutDetectorConfig config_;
+  hangdoctor::TraceAnalyzer analyzer_;
+  hangdoctor::OverheadMeter overhead_;
+  droidsim::StackSampler sampler_;
+  std::unordered_map<int64_t, LiveExecution> live_;
+  std::vector<DetectionOutcome> outcomes_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_TIMEOUT_DETECTOR_H_

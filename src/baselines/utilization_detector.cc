@@ -1,0 +1,135 @@
+#include "src/baselines/utilization_detector.h"
+
+#include <utility>
+
+#include "src/kernelsim/types.h"
+
+namespace baselines {
+
+UtilizationSample ComputeUtilization(const kernelsim::ThreadStats& before,
+                                     const kernelsim::ThreadStats& after,
+                                     simkit::SimDuration window) {
+  UtilizationSample sample;
+  if (window <= 0) {
+    return sample;
+  }
+  sample.cpu_fraction =
+      static_cast<double>(after.cpu_time - before.cpu_time) / static_cast<double>(window);
+  int64_t fault_bytes = ((after.minor_faults + after.major_faults) -
+                         (before.minor_faults + before.major_faults)) *
+                        kernelsim::kPageSize;
+  int64_t alloc_bytes = after.allocated_bytes - before.allocated_bytes;
+  sample.mem_bytes_per_sec = static_cast<double>(fault_bytes + alloc_bytes) /
+                             simkit::ToSeconds(window);
+  return sample;
+}
+
+UtilizationDetector::UtilizationDetector(droidsim::Phone* phone, droidsim::App* app,
+                                         UtilizationDetectorConfig config)
+    : phone_(phone),
+      app_(app),
+      config_(std::move(config)),
+      analyzer_(config_.analyzer),
+      sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
+  app_->AddObserver(this);
+  last_stats_ = phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
+  last_tick_ = phone_->Now();
+  pending_tick_ = phone_->sim().ScheduleAfter(config_.period, [this]() { Tick(); });
+}
+
+UtilizationDetector::~UtilizationDetector() {
+  if (pending_tick_ != 0) {
+    phone_->sim().Cancel(pending_tick_);
+  }
+  app_->RemoveObserver(this);
+}
+
+void UtilizationDetector::Tick() {
+  pending_tick_ = 0;
+  ++samples_taken_;
+  overhead_.AddCpu(config_.costs.utilization_sample);
+  overhead_.AddMemory(config_.costs.utilization_sample_bytes);
+  kernelsim::ThreadStats now_stats = phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
+  simkit::SimTime now = phone_->Now();
+  UtilizationSample sample = ComputeUtilization(last_stats_, now_stats, now - last_tick_);
+  last_stats_ = now_stats;
+  last_tick_ = now;
+  if (sample.Above(config_.thresholds)) {
+    if (dispatching_execution_ >= 0) {
+      auto it = live_.find(dispatching_execution_);
+      if (it != live_.end()) {
+        it->second.flagged = true;
+        if (!sampler_.active()) {
+          sampler_.StartCollection();
+        }
+      }
+    } else {
+      // Threshold crossed with no input event in flight: the detector still raises a
+      // potential-bug alarm and pays for a trace burst — a pure false positive.
+      ++spurious_;
+      constexpr int64_t kSpuriousTraceSamples = 4;
+      overhead_.AddCpu(config_.costs.trace_start +
+                       config_.costs.stack_sample * kSpuriousTraceSamples);
+      overhead_.AddMemory(config_.costs.trace_start_bytes +
+                          config_.costs.stack_sample_bytes * kSpuriousTraceSamples);
+    }
+  }
+  pending_tick_ = phone_->sim().ScheduleAfter(config_.period, [this]() { Tick(); });
+}
+
+void UtilizationDetector::OnInputEventStart(droidsim::App& app,
+                                            const droidsim::ActionExecution& execution,
+                                            int32_t event_index) {
+  (void)app;
+  (void)event_index;
+  overhead_.AddCpu(config_.costs.response_probe);
+  live_.try_emplace(execution.execution_id);
+  dispatching_execution_ = execution.execution_id;
+}
+
+void UtilizationDetector::OnInputEventEnd(droidsim::App& app,
+                                          const droidsim::ActionExecution& execution,
+                                          int32_t event_index) {
+  (void)app;
+  (void)event_index;
+  overhead_.AddCpu(config_.costs.response_probe);
+  dispatching_execution_ = -1;
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  if (sampler_.active()) {
+    std::vector<droidsim::StackTrace> collected = sampler_.StopCollection();
+    auto count = static_cast<int64_t>(collected.size());
+    overhead_.AddCpu(config_.costs.trace_start);
+    overhead_.AddMemory(config_.costs.trace_start_bytes);
+    overhead_.AddCpu(config_.costs.stack_sample * count);
+    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
+    for (droidsim::StackTrace& trace : collected) {
+      it->second.traces.push_back(std::move(trace));
+    }
+  }
+}
+
+void UtilizationDetector::OnActionQuiesced(droidsim::App& app,
+                                           const droidsim::ActionExecution& execution) {
+  (void)app;
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  DetectionOutcome outcome;
+  outcome.action_uid = execution.action_uid;
+  outcome.execution_id = execution.execution_id;
+  outcome.response = execution.max_response;
+  outcome.hang = execution.max_response > simkit::kPerceivableDelay;
+  outcome.flagged = it->second.flagged;
+  outcome.traced = !it->second.traces.empty();
+  if (outcome.traced) {
+    outcome.diagnosis = analyzer_.Analyze(it->second.traces);
+  }
+  outcomes_.push_back(std::move(outcome));
+  live_.erase(it);
+}
+
+}  // namespace baselines

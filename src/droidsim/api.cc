@@ -1,0 +1,103 @@
+#include "src/droidsim/api.h"
+
+#include <array>
+#include <utility>
+
+namespace droidsim {
+
+bool IsUiClass(const std::string& clazz) {
+  static const std::array<std::string, 6> kUiPrefixes = {
+      "android.view", "android.widget", "android.webkit",
+      "android.animation", "android.transition", "androidx.recyclerview",
+  };
+  for (const std::string& prefix : kUiPrefixes) {
+    if (clazz.rfind(prefix, 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const ApiSpec* ApiRegistry::Register(ApiSpec spec) {
+  std::string key = spec.FullName();
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) {
+    *it->second = std::move(spec);
+    return it->second;
+  }
+  specs_.push_back(std::make_unique<ApiSpec>(std::move(spec)));
+  ApiSpec* ptr = specs_.back().get();
+  by_name_.emplace(std::move(key), ptr);
+  return ptr;
+}
+
+std::vector<const ApiSpec*> ApiRegistry::AllSpecs() const {
+  std::vector<const ApiSpec*> all;
+  all.reserve(specs_.size());
+  for (const auto& spec : specs_) {
+    all.push_back(spec.get());
+  }
+  return all;
+}
+
+const ApiSpec* ApiRegistry::Find(const std::string& full_name) const {
+  auto it = by_name_.find(full_name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+kernelsim::MicroArchProfile UiUarch() {
+  kernelsim::MicroArchProfile uarch;
+  uarch.instructions_per_ns = 1.8;
+  uarch.branches_per_kinstr = 240.0;
+  uarch.branch_miss_ratio = 0.03;
+  uarch.cache_refs_per_kinstr = 25.0;
+  uarch.cache_miss_ratio = 0.03;
+  return uarch;
+}
+
+kernelsim::MicroArchProfile RenderUarch() {
+  kernelsim::MicroArchProfile uarch;
+  uarch.instructions_per_ns = 2.4;
+  uarch.l1d_stores_per_kinstr = 200.0;
+  uarch.cache_refs_per_kinstr = 28.0;
+  uarch.cache_miss_ratio = 0.02;
+  uarch.branches_per_kinstr = 90.0;
+  return uarch;
+}
+
+kernelsim::MicroArchProfile ParserUarch() {
+  kernelsim::MicroArchProfile uarch;
+  uarch.instructions_per_ns = 1.4;
+  uarch.cache_refs_per_kinstr = 42.0;
+  uarch.cache_miss_ratio = 0.12;
+  uarch.dtlb_refill_per_kinstr = 2.0;
+  uarch.branches_per_kinstr = 210.0;
+  uarch.branch_miss_ratio = 0.05;
+  return uarch;
+}
+
+kernelsim::MicroArchProfile DecoderUarch() {
+  kernelsim::MicroArchProfile uarch;
+  uarch.instructions_per_ns = 2.8;
+  uarch.l1d_loads_per_kinstr = 420.0;
+  uarch.l1d_stores_per_kinstr = 240.0;
+  uarch.cache_refs_per_kinstr = 48.0;
+  uarch.cache_miss_ratio = 0.08;
+  uarch.branches_per_kinstr = 60.0;
+  return uarch;
+}
+
+kernelsim::MicroArchProfile DatabaseUarch() {
+  kernelsim::MicroArchProfile uarch;
+  uarch.instructions_per_ns = 1.2;
+  uarch.cache_refs_per_kinstr = 38.0;
+  uarch.cache_miss_ratio = 0.15;
+  uarch.dtlb_refill_per_kinstr = 3.0;
+  uarch.branches_per_kinstr = 160.0;
+  uarch.branch_miss_ratio = 0.04;
+  return uarch;
+}
+
+kernelsim::MicroArchProfile DefaultUarch() { return kernelsim::MicroArchProfile{}; }
+
+}  // namespace droidsim

@@ -1,0 +1,101 @@
+// API model. Every operation an app can execute — UI inflation, bitmap decode, database
+// query, camera open, a self-developed loop — is described by an ApiSpec: its identity (class
+// + method, which is what stack traces show and what the UI classifier keys on), whether the
+// broader ecosystem already knows it blocks (what offline detectors key on), and a cost model
+// from which the kernel realizes actual CPU/I/O/memory behaviour at each execution.
+#ifndef SRC_DROIDSIM_API_H_
+#define SRC_DROIDSIM_API_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernelsim/uarch.h"
+#include "src/simkit/rng.h"
+#include "src/simkit/time.h"
+
+namespace droidsim {
+
+enum class ApiKind {
+  kUi,        // must run on the main thread (View/Widget manipulation)
+  kCompute,   // pure CPU work (parsers, serializers, self-developed loops)
+  kFileIo,    // flash reads/writes
+  kDatabase,  // SQLite-style queries
+  kCamera,    // camera HAL round trips
+  kNetwork,   // sockets (rarely on the main thread: NetworkOnMainThreadException)
+  kBluetooth,
+  kMedia,     // codec/prepare work
+};
+
+// The simulated phone's peripherals; Phone maps these to kernel device ids.
+enum class DeviceKind : int32_t {
+  kFlash = 0,
+  kDatabase,
+  kCamera,
+  kNetwork,
+  kBluetooth,
+  kNumDevices,
+};
+
+struct ApiCostModel {
+  // CPU burst: log-normally distributed around `cpu_mean` with multiplier sigma `cpu_sigma`.
+  simkit::SimDuration cpu_mean = 0;
+  double cpu_sigma = 0.2;
+  kernelsim::MicroArchProfile uarch;
+  // Memory behaviour of the CPU burst.
+  int64_t alloc_bytes_mean = 0;
+  int64_t touch_bytes = 64 * 1024;
+  double syscalls_per_ms = 0.3;
+  // Blocking I/O issued before the CPU burst (none when io_rounds == 0).
+  DeviceKind device = DeviceKind::kFlash;
+  int32_t io_rounds = 0;
+  int64_t io_bytes_mean = 0;
+  double io_cache_hit = 0.0;
+  // Render work handed to the render thread when the op completes (UI ops only).
+  int32_t frames = 0;
+  simkit::SimDuration frame_cpu_mean = simkit::Milliseconds(5);
+};
+
+struct ApiSpec {
+  std::string name;   // method name, e.g. "decodeFile"
+  std::string clazz;  // fully qualified class, e.g. "android.graphics.BitmapFactory"
+  ApiKind kind = ApiKind::kCompute;
+  // Listed in the community's known-blocking-API database (what PerfChecker-style offline
+  // scanners search for). APIs that block but are *not* known are the paper's main quarry.
+  bool known_blocking = false;
+  ApiCostModel cost;
+
+  std::string FullName() const { return clazz + "." + name; }
+};
+
+// True when `clazz` belongs to the UI class groups (View/Widget and friends) that Trace
+// Analyzer uses to recognize UI-APIs (Section 3.4.1: "they are grouped in a few classes").
+bool IsUiClass(const std::string& clazz);
+
+// Interns ApiSpecs so OpNodes can hold stable pointers.
+class ApiRegistry {
+ public:
+  // Registers (or replaces) a spec; returns a pointer stable for the registry's lifetime.
+  const ApiSpec* Register(ApiSpec spec);
+  const ApiSpec* Find(const std::string& full_name) const;
+  size_t size() const { return by_name_.size(); }
+  // All registered specs, in registration order.
+  std::vector<const ApiSpec*> AllSpecs() const;
+
+ private:
+  std::vector<std::unique_ptr<ApiSpec>> specs_;
+  std::unordered_map<std::string, ApiSpec*> by_name_;
+};
+
+// Micro-architectural presets used by the app catalog.
+kernelsim::MicroArchProfile UiUarch();        // branchy, warm caches
+kernelsim::MicroArchProfile RenderUarch();    // streaming stores, good locality
+kernelsim::MicroArchProfile ParserUarch();    // allocation-heavy, poor locality
+kernelsim::MicroArchProfile DecoderUarch();   // load/store heavy SIMD-ish
+kernelsim::MicroArchProfile DatabaseUarch();  // pointer chasing, TLB pressure
+kernelsim::MicroArchProfile DefaultUarch();
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_API_H_

@@ -1,0 +1,142 @@
+#include "src/droidsim/app.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/simkit/logging.h"
+
+namespace droidsim {
+
+App::App(kernelsim::Kernel* kernel, const AppSpec* spec, const int32_t* device_ids,
+         simkit::Rng rng)
+    : kernel_(kernel), spec_(spec) {
+  pid_ = kernel_->CreateProcess(spec_->package);
+  main_looper_ = std::make_unique<Looper>(kernel_, pid_, spec_->name + ":main", rng.Fork(1),
+                                          this, device_ids);
+  render_thread_ = std::make_unique<RenderThread>(kernel_, pid_, rng.Fork(2));
+  worker_looper_ = std::make_unique<Looper>(kernel_, pid_, spec_->name + ":worker", rng.Fork(3),
+                                            this, device_ids);
+  main_looper_->AddMessageLogger(
+      [this](bool begin, const Message& message) { OnMainLog(begin, message); });
+  main_looper_->SetDoneCallback(
+      [this](const Message& message, std::vector<OpContribution> contributions) {
+        OnMainDone(message, std::move(contributions));
+      });
+  render_thread_->SetIdleCallback([this](int64_t execution_id) { OnRenderIdle(execution_id); });
+}
+
+App::~App() = default;
+
+void App::RemoveObserver(AppObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+int64_t App::PerformAction(int32_t uid) {
+  const ActionSpec& spec = action(uid);
+  int64_t execution_id = next_execution_id_++;
+  ActionExecution execution;
+  execution.execution_id = execution_id;
+  execution.action_uid = uid;
+  execution.started = kernel_->Now();
+  execution.events_total = spec.events.size();
+  execution.events.resize(spec.events.size());
+  executions_.emplace(execution_id, std::move(execution));
+  if (spec.events.empty()) {
+    kernel_->sim()->ScheduleAfter(0, [this, execution_id]() {
+      auto it = executions_.find(execution_id);
+      if (it != executions_.end()) {
+        Quiesce(it->second);
+      }
+    });
+    return execution_id;
+  }
+  for (size_t i = 0; i < spec.events.size(); ++i) {
+    Message message;
+    message.event = &spec.events[i];
+    message.action_uid = uid;
+    message.event_index = static_cast<int32_t>(i);
+    message.execution_id = execution_id;
+    main_looper_->Post(message);
+  }
+  return execution_id;
+}
+
+void App::PostFrames(int32_t frames, simkit::SimDuration frame_cpu_mean) {
+  render_thread_->EnqueueFrames(current_dispatch_execution_, frames, frame_cpu_mean);
+}
+
+void App::PostToWorker(const OpNode* node) {
+  Message message;
+  message.subtree = node;
+  message.execution_id = current_dispatch_execution_;
+  worker_looper_->Post(message);
+}
+
+void App::OnMainLog(bool begin, const Message& message) {
+  if (message.event == nullptr) {
+    return;  // worker-style message on the main looper; not an input event
+  }
+  auto it = executions_.find(message.execution_id);
+  if (it == executions_.end()) {
+    return;
+  }
+  ActionExecution& execution = it->second;
+  auto index = static_cast<size_t>(message.event_index);
+  if (begin) {
+    current_dispatch_execution_ = message.execution_id;
+    execution.events[index].start = kernel_->Now();
+    for (AppObserver* observer : observers_) {
+      observer->OnInputEventStart(*this, execution, message.event_index);
+    }
+    return;
+  }
+  execution.events[index].end = kernel_->Now();
+  execution.max_response = std::max(
+      execution.max_response, execution.events[index].end - execution.events[index].start);
+  ++execution.events_done;
+  for (AppObserver* observer : observers_) {
+    observer->OnInputEventEnd(*this, execution, message.event_index);
+  }
+  if (execution.events_done == execution.events_total &&
+      render_thread_->OutstandingFrames(message.execution_id) == 0) {
+    Quiesce(execution);
+  }
+}
+
+void App::OnMainDone(const Message& message, std::vector<OpContribution> contributions) {
+  auto it = executions_.find(message.execution_id);
+  if (it == executions_.end()) {
+    return;
+  }
+  ActionExecution& execution = it->second;
+  for (OpContribution& contribution : contributions) {
+    execution.contributions.push_back(std::move(contribution));
+  }
+}
+
+void App::OnRenderIdle(int64_t execution_id) {
+  auto it = executions_.find(execution_id);
+  if (it == executions_.end()) {
+    return;
+  }
+  ActionExecution& execution = it->second;
+  if (execution.events_done == execution.events_total) {
+    Quiesce(execution);
+  }
+}
+
+void App::Quiesce(ActionExecution& execution) {
+  if (execution.quiesced) {
+    return;
+  }
+  execution.quiesced = true;
+  int64_t execution_id = execution.execution_id;
+  for (AppObserver* observer : observers_) {
+    observer->OnActionQuiesced(*this, execution);
+  }
+  executions_.erase(execution_id);
+}
+
+}  // namespace droidsim

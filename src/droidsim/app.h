@@ -1,0 +1,126 @@
+// The app runtime: one process with a main-thread Looper, a render thread and a worker
+// Looper, executing the actions declared by an AppSpec. Observers (Hang Doctor, the baseline
+// detectors, the ground-truth recorder) watch input-event dispatch and action quiescence —
+// the moment "none of the two threads execute" at which S-Checker reads its counters.
+#ifndef SRC_DROIDSIM_APP_H_
+#define SRC_DROIDSIM_APP_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/droidsim/looper.h"
+#include "src/droidsim/operation.h"
+#include "src/droidsim/render_thread.h"
+#include "src/kernelsim/kernel.h"
+
+namespace droidsim {
+
+struct AppSpec {
+  std::string name;
+  std::string package;
+  std::string category;
+  std::string commit;
+  int64_t downloads = 0;
+  std::vector<ActionSpec> actions;
+};
+
+struct EventTiming {
+  simkit::SimTime start = -1;
+  simkit::SimTime end = -1;
+};
+
+// One execution of a user action (the unit the paper's state machine reasons about).
+struct ActionExecution {
+  int64_t execution_id = 0;
+  int32_t action_uid = -1;
+  simkit::SimTime started = 0;
+  size_t events_total = 0;
+  size_t events_done = 0;
+  std::vector<EventTiming> events;
+  // The paper defines an action's response time as the maximum over its input events.
+  simkit::SimDuration max_response = 0;
+  std::vector<OpContribution> contributions;
+  bool quiesced = false;
+};
+
+class App;
+
+class AppObserver {
+ public:
+  virtual ~AppObserver() = default;
+  virtual void OnInputEventStart(App& app, const ActionExecution& execution,
+                                 int32_t event_index) {
+    (void)app;
+    (void)execution;
+    (void)event_index;
+  }
+  virtual void OnInputEventEnd(App& app, const ActionExecution& execution, int32_t event_index) {
+    (void)app;
+    (void)execution;
+    (void)event_index;
+  }
+  // Main thread finished all the action's input events and the render thread drained.
+  virtual void OnActionQuiesced(App& app, const ActionExecution& execution) {
+    (void)app;
+    (void)execution;
+  }
+};
+
+class App : public OpExecutorHooks {
+ public:
+  // `device_ids` maps DeviceKind to kernel device ids and must outlive the app (Phone owns it).
+  App(kernelsim::Kernel* kernel, const AppSpec* spec, const int32_t* device_ids,
+      simkit::Rng rng);
+  ~App() override;
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  const AppSpec& spec() const { return *spec_; }
+  const ActionSpec& action(int32_t uid) const {
+    return spec_->actions.at(static_cast<size_t>(uid));
+  }
+  int32_t num_actions() const { return static_cast<int32_t>(spec_->actions.size()); }
+
+  kernelsim::ProcessId process_id() const { return pid_; }
+  Looper& main_looper() { return *main_looper_; }
+  RenderThread& render_thread() { return *render_thread_; }
+  Looper& worker_looper() { return *worker_looper_; }
+  kernelsim::ThreadId main_tid() const { return main_looper_->tid(); }
+  kernelsim::ThreadId render_tid() const { return render_thread_->tid(); }
+
+  void AddObserver(AppObserver* observer) { observers_.push_back(observer); }
+  void RemoveObserver(AppObserver* observer);
+
+  // Executes action `uid` (posts all of its input events); returns the execution id.
+  int64_t PerformAction(int32_t uid);
+
+  // Live main-thread stack, as a stack sampler would see it.
+  const std::vector<StackFrame>& MainStack() const { return main_looper_->CurrentStack(); }
+
+  // OpExecutorHooks (for the main looper's executor):
+  void PostFrames(int32_t frames, simkit::SimDuration frame_cpu_mean) override;
+  void PostToWorker(const OpNode* node) override;
+
+ private:
+  void OnMainLog(bool begin, const Message& message);
+  void OnMainDone(const Message& message, std::vector<OpContribution> contributions);
+  void OnRenderIdle(int64_t execution_id);
+  void Quiesce(ActionExecution& execution);
+
+  kernelsim::Kernel* kernel_;
+  const AppSpec* spec_;
+  kernelsim::ProcessId pid_;
+  std::unique_ptr<Looper> main_looper_;
+  std::unique_ptr<RenderThread> render_thread_;
+  std::unique_ptr<Looper> worker_looper_;
+  std::vector<AppObserver*> observers_;
+  std::unordered_map<int64_t, ActionExecution> executions_;
+  int64_t next_execution_id_ = 1;
+  int64_t current_dispatch_execution_ = 0;
+};
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_APP_H_

@@ -1,0 +1,104 @@
+#include "src/droidsim/device.h"
+
+namespace droidsim {
+
+namespace {
+
+kernelsim::IoDeviceSpec FlashSpec(simkit::SimDuration base, double mb_per_sec) {
+  kernelsim::IoDeviceSpec spec;
+  spec.name = "flash";
+  spec.base_latency = base;
+  spec.bandwidth_bytes_per_sec = mb_per_sec * 1024 * 1024;
+  spec.jitter_sigma = 0.30;
+  spec.channels = 2;
+  return spec;
+}
+
+kernelsim::IoDeviceSpec DatabaseSpec(simkit::SimDuration base) {
+  kernelsim::IoDeviceSpec spec;
+  spec.name = "sqlite";
+  spec.base_latency = base;
+  spec.bandwidth_bytes_per_sec = 80.0 * 1024 * 1024;
+  spec.jitter_sigma = 0.50;
+  spec.channels = 1;
+  return spec;
+}
+
+kernelsim::IoDeviceSpec CameraSpec(simkit::SimDuration base) {
+  kernelsim::IoDeviceSpec spec;
+  spec.name = "camera-hal";
+  spec.base_latency = base;
+  spec.bandwidth_bytes_per_sec = 0.0;
+  spec.jitter_sigma = 0.22;
+  spec.channels = 1;
+  return spec;
+}
+
+kernelsim::IoDeviceSpec NetworkSpec() {
+  kernelsim::IoDeviceSpec spec;
+  spec.name = "network";
+  spec.base_latency = simkit::Milliseconds(30);
+  spec.bandwidth_bytes_per_sec = 2.0 * 1024 * 1024;
+  spec.jitter_sigma = 0.80;
+  spec.channels = 4;
+  return spec;
+}
+
+kernelsim::IoDeviceSpec BluetoothSpec() {
+  kernelsim::IoDeviceSpec spec;
+  spec.name = "bluetooth";
+  spec.base_latency = simkit::Milliseconds(40);
+  spec.bandwidth_bytes_per_sec = 0.2 * 1024 * 1024;
+  spec.jitter_sigma = 0.50;
+  spec.channels = 1;
+  return spec;
+}
+
+}  // namespace
+
+DeviceProfile LgV10() {
+  DeviceProfile profile;
+  profile.model = "LG V10";
+  profile.kernel.num_cpus = 4;
+  profile.kernel.timeslice = simkit::Milliseconds(4);
+  profile.pmu.hardware_registers = 6;
+  profile.background.num_threads = 4;
+  profile.has_render_thread = true;
+  profile.devices[static_cast<size_t>(DeviceKind::kFlash)] =
+      FlashSpec(simkit::Milliseconds(3), 35.0);
+  profile.devices[static_cast<size_t>(DeviceKind::kDatabase)] =
+      DatabaseSpec(simkit::Milliseconds(9));
+  profile.devices[static_cast<size_t>(DeviceKind::kCamera)] =
+      CameraSpec(simkit::Milliseconds(25));
+  profile.devices[static_cast<size_t>(DeviceKind::kNetwork)] = NetworkSpec();
+  profile.devices[static_cast<size_t>(DeviceKind::kBluetooth)] = BluetoothSpec();
+  return profile;
+}
+
+DeviceProfile Nexus5() {
+  DeviceProfile profile = LgV10();
+  profile.model = "Nexus 5";
+  profile.pmu.hardware_registers = 4;
+  profile.devices[static_cast<size_t>(DeviceKind::kFlash)] =
+      FlashSpec(simkit::Milliseconds(4), 25.0);
+  profile.devices[static_cast<size_t>(DeviceKind::kCamera)] =
+      CameraSpec(simkit::Milliseconds(32));
+  return profile;
+}
+
+DeviceProfile GalaxyS3() {
+  DeviceProfile profile = LgV10();
+  profile.model = "Galaxy S3";
+  profile.pmu.hardware_registers = 6;
+  profile.has_render_thread = false;
+  profile.kernel.timeslice = simkit::Milliseconds(6);
+  profile.devices[static_cast<size_t>(DeviceKind::kFlash)] =
+      FlashSpec(simkit::Milliseconds(6), 15.0);
+  profile.devices[static_cast<size_t>(DeviceKind::kDatabase)] =
+      DatabaseSpec(simkit::Milliseconds(12));
+  profile.devices[static_cast<size_t>(DeviceKind::kCamera)] =
+      CameraSpec(simkit::Milliseconds(45));
+  return profile;
+}
+
+}  // namespace droidsim

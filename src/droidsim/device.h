@@ -1,0 +1,35 @@
+// Device profiles: the handsets the paper evaluates on (LG V10 as the primary, Nexus 5 and
+// Galaxy S3 for the generality checks in Section 3.3.1). A profile bundles core count and
+// timeslice, the PMU register budget, the background load level, and the latency/bandwidth
+// characteristics of each peripheral.
+#ifndef SRC_DROIDSIM_DEVICE_H_
+#define SRC_DROIDSIM_DEVICE_H_
+
+#include <array>
+#include <string>
+
+#include "src/droidsim/api.h"
+#include "src/kernelsim/background_load.h"
+#include "src/kernelsim/io.h"
+#include "src/kernelsim/kernel.h"
+#include "src/perfsim/perf_session.h"
+
+namespace droidsim {
+
+struct DeviceProfile {
+  std::string model;
+  kernelsim::KernelSpec kernel;
+  perfsim::PmuSpec pmu;
+  kernelsim::BackgroundLoadSpec background;
+  // Android < 5.0 devices have no render thread; S-Checker then runs in main-only mode.
+  bool has_render_thread = true;
+  std::array<kernelsim::IoDeviceSpec, static_cast<size_t>(DeviceKind::kNumDevices)> devices;
+};
+
+DeviceProfile LgV10();      // 6 PMU registers, the paper's primary device
+DeviceProfile Nexus5();     // 4 PMU registers
+DeviceProfile GalaxyS3();   // older, slower flash, Android 4.x (no render thread)
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_DEVICE_H_

@@ -1,0 +1,84 @@
+#include "src/droidsim/looper.h"
+
+#include <cassert>
+#include <utility>
+
+namespace droidsim {
+
+Looper::Looper(kernelsim::Kernel* kernel, kernelsim::ProcessId pid,
+               const std::string& thread_name, simkit::Rng rng, OpExecutorHooks* hooks,
+               const int32_t* device_ids)
+    : kernel_(kernel), executor_(kernel->sim(), rng, hooks, device_ids) {
+  tid_ = kernel_->SpawnThread(pid, thread_name, this);
+}
+
+void Looper::Post(Message message) {
+  if (message.id == 0) {
+    message.id = next_message_id_++;
+  }
+  queue_.push_back(message);
+  kernel_->Wake(tid_);
+}
+
+std::optional<int64_t> Looper::CurrentMessageId() const {
+  if (!current_.has_value()) {
+    return std::nullopt;
+  }
+  return current_->id;
+}
+
+kernelsim::Segment Looper::NextSegment() {
+  for (;;) {
+    if (executor_.Active()) {
+      if (std::optional<kernelsim::Segment> segment = executor_.Next()) {
+        return *segment;
+      }
+      FinishCurrentMessage();
+      continue;
+    }
+    if (current_.has_value()) {
+      // The executor produced nothing (empty op list); still close the message out.
+      FinishCurrentMessage();
+      continue;
+    }
+    if (!queue_.empty()) {
+      Message message = queue_.front();
+      queue_.pop_front();
+      BeginMessage(message);
+      continue;
+    }
+    return kernelsim::BlockSegment{};
+  }
+}
+
+void Looper::BeginMessage(Message message) {
+  current_ = message;
+  ++dispatched_;
+  for (const MessageLogger& logger : loggers_) {
+    logger(/*begin=*/true, *current_);
+  }
+  if (message.event != nullptr) {
+    StackFrame handler;
+    handler.function = message.event->handler;
+    handler.file = message.event->handler_file;
+    handler.line = message.event->handler_line;
+    executor_.Begin(std::move(handler), message.event->ops);
+  } else if (message.subtree != nullptr) {
+    executor_.BeginSubtree(message.subtree);
+  }
+}
+
+void Looper::FinishCurrentMessage() {
+  assert(current_.has_value());
+  Message message = *current_;
+  std::vector<OpContribution> contributions = executor_.TakeContributions();
+  if (done_) {
+    done_(message, std::move(contributions));
+  }
+  for (const MessageLogger& logger : loggers_) {
+    logger(/*begin=*/false, message);
+  }
+  current_.reset();
+}
+
+}  // namespace droidsim

@@ -1,0 +1,76 @@
+// Android-style Looper: a kernel thread draining a message queue. Each message is either an
+// input event (a tree of operations) or a worker subtree posted from another thread. The
+// dispatch begin/end notifications mirror Android's Looper.setMessageLogging(), which is
+// exactly the hook the paper's Response Time Monitor uses (Section 3.5): response time is the
+// interval between the two invocations.
+#ifndef SRC_DROIDSIM_LOOPER_H_
+#define SRC_DROIDSIM_LOOPER_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/droidsim/op_executor.h"
+#include "src/droidsim/operation.h"
+#include "src/kernelsim/kernel.h"
+
+namespace droidsim {
+
+struct Message {
+  int64_t id = 0;
+  // Exactly one payload: an input event of an action, or a worker subtree.
+  const InputEventSpec* event = nullptr;
+  const OpNode* subtree = nullptr;
+  int32_t action_uid = -1;
+  int32_t event_index = 0;
+  int64_t execution_id = 0;
+};
+
+class Looper : public kernelsim::WorkSource {
+ public:
+  // (begin?, message). Begin fires when the message is dequeued for execution, end when its
+  // execution finishes — Android's ">>>>> Dispatching" / "<<<<< Finished" pair.
+  using MessageLogger = std::function<void(bool begin, const Message& message)>;
+  // Fired at message end with the per-op contributions recorded during its execution.
+  using DoneCallback =
+      std::function<void(const Message& message, std::vector<OpContribution> contributions)>;
+
+  Looper(kernelsim::Kernel* kernel, kernelsim::ProcessId pid, const std::string& thread_name,
+         simkit::Rng rng, OpExecutorHooks* hooks, const int32_t* device_ids);
+
+  kernelsim::ThreadId tid() const { return tid_; }
+
+  void Post(Message message);
+
+  void AddMessageLogger(MessageLogger logger) { loggers_.push_back(std::move(logger)); }
+  void SetDoneCallback(DoneCallback done) { done_ = std::move(done); }
+
+  const std::vector<StackFrame>& CurrentStack() const { return executor_.CurrentStack(); }
+  std::optional<int64_t> CurrentMessageId() const;
+  bool Idle() const { return !current_.has_value() && queue_.empty(); }
+  size_t QueueDepth() const { return queue_.size(); }
+  int64_t dispatched_messages() const { return dispatched_; }
+
+  // kernelsim::WorkSource:
+  kernelsim::Segment NextSegment() override;
+
+ private:
+  void BeginMessage(Message message);
+  void FinishCurrentMessage();
+
+  kernelsim::Kernel* kernel_;
+  kernelsim::ThreadId tid_;
+  std::deque<Message> queue_;
+  OpExecutor executor_;
+  std::optional<Message> current_;
+  std::vector<MessageLogger> loggers_;
+  DoneCallback done_;
+  int64_t next_message_id_ = 1;
+  int64_t dispatched_ = 0;
+};
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_LOOPER_H_

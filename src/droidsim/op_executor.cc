@@ -1,0 +1,191 @@
+#include "src/droidsim/op_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace droidsim {
+
+OpExecutor::OpExecutor(simkit::Simulation* sim, simkit::Rng rng, OpExecutorHooks* hooks,
+                       const int32_t* device_ids)
+    : sim_(sim), rng_(rng), hooks_(hooks), device_ids_(device_ids) {}
+
+void OpExecutor::Begin(StackFrame handler_frame, std::span<const OpNode> ops) {
+  assert(stack_.empty());
+  PushRoot(std::move(handler_frame), ops);
+}
+
+void OpExecutor::BeginSubtree(const OpNode* node) {
+  assert(stack_.empty());
+  PushNode(*node);
+}
+
+void OpExecutor::PushRoot(StackFrame frame, std::span<const OpNode> ops) {
+  NodeState state;
+  state.children = ops;
+  state.phase = 0;
+  state.entry_time = sim_->Now();
+  state.has_frame = true;
+  stack_.push_back(state);
+  visible_stack_.push_back(std::move(frame));
+}
+
+OpExecutor::Realization OpExecutor::Realize(const OpNode& node) {
+  const ApiCostModel& cost = node.api->cost;
+  Realization real;
+  real.manifested = rng_.Bernoulli(node.manifest_probability);
+  double scale = real.manifested ? 1.0 : node.dormant_scale;
+  if (cost.cpu_mean > 0) {
+    double multiplier = rng_.LogNormal(0.0, cost.cpu_sigma);
+    real.cpu = static_cast<simkit::SimDuration>(static_cast<double>(cost.cpu_mean) * multiplier *
+                                                scale);
+  }
+  real.alloc_bytes = static_cast<int64_t>(static_cast<double>(cost.alloc_bytes_mean) *
+                                          rng_.LogNormal(0.0, 0.60) * scale);
+  real.touch_bytes = cost.touch_bytes;
+  real.syscalls_per_ms = cost.syscalls_per_ms;
+  real.uarch = cost.uarch;
+  // Content-dependent micro-architectural jitter: the same API behaves differently on every
+  // input (photo sizes, HTML depth, row counts), which decouples hardware-event counts from
+  // pure CPU time across executions.
+  real.uarch.instructions_per_ns *= rng_.LogNormal(0.0, 0.30);
+  real.uarch.cache_refs_per_kinstr *= rng_.LogNormal(0.0, 0.35);
+  real.uarch.cache_miss_ratio *= rng_.LogNormal(0.0, 0.35);
+  real.uarch.l1d_loads_per_kinstr *= rng_.LogNormal(0.0, 0.30);
+  real.uarch.l1d_stores_per_kinstr *= rng_.LogNormal(0.0, 0.30);
+  real.uarch.l1d_refill_ratio *= rng_.LogNormal(0.0, 0.35);
+  real.uarch.l1i_refill_per_kinstr *= rng_.LogNormal(0.0, 0.35);
+  real.uarch.branches_per_kinstr *= rng_.LogNormal(0.0, 0.30);
+  real.uarch.branch_miss_ratio *= rng_.LogNormal(0.0, 0.35);
+  real.uarch.dtlb_refill_per_kinstr *= rng_.LogNormal(0.0, 0.40);
+  real.uarch.itlb_refill_per_kinstr *= rng_.LogNormal(0.0, 0.40);
+  real.uarch.stalled_frontend_ratio *= rng_.LogNormal(0.0, 0.30);
+  real.uarch.stalled_backend_ratio *= rng_.LogNormal(0.0, 0.30);
+  if (cost.io_rounds > 0) {
+    real.io_rounds = real.manifested
+                         ? cost.io_rounds
+                         : std::max<int32_t>(1, static_cast<int32_t>(cost.io_rounds * scale));
+    real.io_bytes = static_cast<int64_t>(static_cast<double>(cost.io_bytes_mean) *
+                                         rng_.LogNormal(0.0, 0.2) * scale);
+    real.io_cache_hit = cost.io_cache_hit;
+    real.device = cost.device;
+  }
+  real.frames = cost.frames;
+  real.frame_cpu_mean = cost.frame_cpu_mean;
+  return real;
+}
+
+void OpExecutor::PushNode(const OpNode& node) {
+  assert(node.api != nullptr);
+  if (node.on_worker) {
+    // The main thread only pays the Handler.post() cost; the subtree runs elsewhere.
+    hooks_->PostToWorker(&node);
+    NodeState state;
+    state.node = &node;
+    state.phase = 2;  // skip children and I/O
+    state.entry_time = sim_->Now();
+    state.real.cpu = simkit::Microseconds(30);
+    state.real.uarch = DefaultUarch();
+    state.real.syscalls_per_ms = 2.0;
+    state.has_frame = false;
+    stack_.push_back(state);
+    return;
+  }
+  NodeState state;
+  state.node = &node;
+  state.children = node.children;
+  state.phase = 0;
+  state.entry_time = sim_->Now();
+  state.real = Realize(node);
+  state.has_frame = true;
+  stack_.push_back(state);
+  visible_stack_.push_back(StackFrame{node.api->name, node.api->clazz, node.file, node.line,
+                                      node.in_closed_library});
+}
+
+void OpExecutor::PopNode() {
+  NodeState& state = stack_.back();
+  simkit::SimDuration wall = sim_->Now() - state.entry_time;
+  if (state.node != nullptr) {
+    if (state.real.frames > 0) {
+      hooks_->PostFrames(state.real.frames, state.real.frame_cpu_mean);
+    }
+    OpContribution contribution;
+    contribution.start = state.entry_time;
+    contribution.api = state.node->api;
+    contribution.file = state.node->file;
+    contribution.line = state.node->line;
+    contribution.in_closed_library = state.node->in_closed_library;
+    contribution.duration = wall;
+    contribution.self_duration = std::max<simkit::SimDuration>(wall - state.child_time, 0);
+    contribution.manifested = state.real.manifested;
+    if (stack_.size() >= 2) {
+      const NodeState& parent = stack_[stack_.size() - 2];
+      contribution.caller = parent.node != nullptr ? parent.node->api->FullName()
+                                                   : visible_stack_.front().function;
+    }
+    contributions_.push_back(std::move(contribution));
+  }
+  if (state.has_frame) {
+    visible_stack_.pop_back();
+  }
+  stack_.pop_back();
+  if (!stack_.empty()) {
+    stack_.back().child_time += wall;
+  }
+}
+
+std::optional<kernelsim::Segment> OpExecutor::Next() {
+  while (!stack_.empty()) {
+    NodeState& top = stack_.back();
+    switch (top.phase) {
+      case 0: {
+        if (top.next_child < top.children.size()) {
+          PushNode(top.children[top.next_child++]);
+          continue;
+        }
+        top.phase = 1;
+        continue;
+      }
+      case 1: {
+        top.phase = 2;
+        if (top.real.io_rounds > 0) {
+          kernelsim::IoSegment io;
+          io.device = device_ids_[static_cast<size_t>(top.real.device)];
+          io.bytes = top.real.io_bytes;
+          io.rounds = top.real.io_rounds;
+          io.cache_hit_probability = top.real.io_cache_hit;
+          return kernelsim::Segment{io};
+        }
+        continue;
+      }
+      case 2: {
+        top.phase = 3;
+        if (top.real.cpu > 0) {
+          kernelsim::CpuSegment cpu;
+          cpu.duration = top.real.cpu;
+          cpu.uarch = top.real.uarch;
+          cpu.alloc_bytes = top.real.alloc_bytes;
+          cpu.touch_bytes = top.real.touch_bytes;
+          cpu.syscalls_per_ms = top.real.syscalls_per_ms;
+          return kernelsim::Segment{cpu};
+        }
+        continue;
+      }
+      default: {
+        PopNode();
+        continue;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<OpContribution> OpExecutor::TakeContributions() {
+  std::vector<OpContribution> out;
+  out.swap(contributions_);
+  return out;
+}
+
+}  // namespace droidsim

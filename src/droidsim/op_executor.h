@@ -1,0 +1,112 @@
+// Walks one input event's operation tree on a thread, producing kernel segments in
+// depth-first order while keeping the thread's live stack trace current. This is the bridge
+// between the declarative app model and the kernel's execution model, and it is what gives
+// Diagnoser's stack sampler something truthful to sample: a frame is on the stack exactly
+// while its I/O or CPU segments occupy the thread.
+#ifndef SRC_DROIDSIM_OP_EXECUTOR_H_
+#define SRC_DROIDSIM_OP_EXECUTOR_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/droidsim/api.h"
+#include "src/droidsim/operation.h"
+#include "src/droidsim/stack.h"
+#include "src/kernelsim/segment.h"
+#include "src/kernelsim/types.h"
+#include "src/simkit/rng.h"
+#include "src/simkit/simulation.h"
+
+namespace droidsim {
+
+// Everything one node execution contributed to the event, for ground-truth labelling.
+struct OpContribution {
+  const ApiSpec* api = nullptr;
+  std::string file;
+  int32_t line = 0;
+  bool in_closed_library = false;
+  std::string caller;  // enclosing frame (handler name for top-level ops)
+  simkit::SimTime start = 0;         // when the node began executing
+  simkit::SimDuration duration = 0;  // wall time the node (incl. children) held the thread
+  simkit::SimDuration self_duration = 0;  // realized own CPU + I/O intent, excl. children
+  bool manifested = true;
+};
+
+// Side effects the executor cannot perform itself.
+class OpExecutorHooks {
+ public:
+  virtual ~OpExecutorHooks() = default;
+  // A UI op finished and handed `frames` frame jobs to the render thread.
+  virtual void PostFrames(int32_t frames, simkit::SimDuration frame_cpu_mean) = 0;
+  // An on_worker subtree must be posted to the app's worker thread.
+  virtual void PostToWorker(const OpNode* node) = 0;
+};
+
+class OpExecutor {
+ public:
+  OpExecutor(simkit::Simulation* sim, simkit::Rng rng, OpExecutorHooks* hooks,
+             const int32_t* device_ids /* indexed by DeviceKind, size kNumDevices */);
+
+  // Starts executing `ops` under a synthetic root frame (the event handler).
+  void Begin(StackFrame handler_frame, std::span<const OpNode> ops);
+
+  // Starts executing a single subtree (worker-thread path); the root frame is the node's own.
+  void BeginSubtree(const OpNode* node);
+
+  bool Active() const { return !stack_.empty(); }
+
+  // Next kernel segment, or nullopt when the event is finished.
+  std::optional<kernelsim::Segment> Next();
+
+  // Live stack, outermost first. Valid between Begin() and the nullopt from Next().
+  const std::vector<StackFrame>& CurrentStack() const { return visible_stack_; }
+
+  // Contributions recorded since the last call (cleared on return).
+  std::vector<OpContribution> TakeContributions();
+
+ private:
+  struct Realization {
+    simkit::SimDuration cpu = 0;
+    int64_t alloc_bytes = 0;
+    int64_t touch_bytes = 0;
+    double syscalls_per_ms = 0.3;
+    kernelsim::MicroArchProfile uarch;
+    int32_t io_rounds = 0;
+    int64_t io_bytes = 0;
+    double io_cache_hit = 0.0;
+    DeviceKind device = DeviceKind::kFlash;
+    int32_t frames = 0;
+    simkit::SimDuration frame_cpu_mean = 0;
+    bool manifested = true;
+  };
+
+  struct NodeState {
+    const OpNode* node = nullptr;  // null for the synthetic root
+    std::span<const OpNode> children;
+    size_t next_child = 0;
+    int phase = 0;  // 0 = children, 1 = I/O, 2 = CPU, 3 = finish
+    Realization real;
+    simkit::SimTime entry_time = 0;
+    simkit::SimDuration child_time = 0;  // accumulated wall time of finished children
+    bool has_frame = false;
+  };
+
+  void PushRoot(StackFrame frame, std::span<const OpNode> ops);
+  void PushNode(const OpNode& node);
+  void PopNode();
+  Realization Realize(const OpNode& node);
+
+  simkit::Simulation* sim_;
+  simkit::Rng rng_;
+  OpExecutorHooks* hooks_;
+  const int32_t* device_ids_;
+  std::vector<NodeState> stack_;
+  std::vector<StackFrame> visible_stack_;
+  std::vector<OpContribution> contributions_;
+};
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_OP_EXECUTOR_H_

@@ -1,0 +1,70 @@
+// Operation call trees. Each input event of an action executes a tree of OpNodes on the main
+// thread, depth-first: a node pushes its stack frame, runs its children, then its own I/O and
+// CPU cost, posts any render work, and pops. The tree is how the catalog expresses the
+// paper's bug shapes: a single heavy API (high occurrence factor in stack traces), a
+// self-developed loop over many light APIs (only the caller has a high occurrence factor), or
+// a known-blocking API nested inside a closed-source library frame.
+#ifndef SRC_DROIDSIM_OPERATION_H_
+#define SRC_DROIDSIM_OPERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/droidsim/api.h"
+
+namespace droidsim {
+
+struct OpNode {
+  const ApiSpec* api = nullptr;  // interned in an ApiRegistry outliving the app
+  // Call-site attribution shown in stack traces (file/line of the *call* in app or library
+  // code). For library-internal frames this is the library source file.
+  std::string file;
+  int32_t line = 0;
+  // The frame sits inside a closed-source third-party library: offline scanners cannot see
+  // this call even if the API itself is known-blocking (the SageMath `cupboard.get` case).
+  bool in_closed_library = false;
+  // Probability that the node's heavy cost manifests in a given execution; when dormant the
+  // cost is scaled by `dormant_scale` (e.g. camera.open is fast when the HAL is warm).
+  double manifest_probability = 1.0;
+  double dormant_scale = 0.05;
+  // Execute this subtree on a worker thread instead (the "fixed" variant of an app: the
+  // AsyncTask rewrite of Figure 1). The main thread only pays a cheap post.
+  bool on_worker = false;
+
+  std::vector<OpNode> children;
+};
+
+// Convenience builders used by the workload catalog.
+inline OpNode MakeOp(const ApiSpec* api, std::string file, int32_t line) {
+  OpNode node;
+  node.api = api;
+  node.file = std::move(file);
+  node.line = line;
+  return node;
+}
+
+inline OpNode MakeLibraryOp(const ApiSpec* api, std::string file, int32_t line) {
+  OpNode node = MakeOp(api, std::move(file), line);
+  node.in_closed_library = true;
+  return node;
+}
+
+// One message posted to the main Looper. `handler` names the entry frame (onClick, onScroll,
+// onResume, ...) that roots every stack trace of this event.
+struct InputEventSpec {
+  std::string handler = "onClick";
+  std::string handler_file = "MainActivity.java";
+  int32_t handler_line = 1;
+  std::vector<OpNode> ops;
+};
+
+struct ActionSpec {
+  std::string name;
+  std::vector<InputEventSpec> events;
+  // Relative selection weight in the user model.
+  double weight = 1.0;
+};
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_OPERATION_H_

@@ -1,0 +1,22 @@
+#include "src/droidsim/phone.h"
+
+namespace droidsim {
+
+Phone::Phone(const DeviceProfile& profile, uint64_t seed)
+    : profile_(profile), rng_(seed, /*stream=*/0x70686f6eULL) {
+  kernel_ = std::make_unique<kernelsim::Kernel>(&sim_, profile_.kernel, rng_.Fork(1).NextU64());
+  hub_ = std::make_unique<perfsim::CounterHub>(kernel_.get(), rng_.Fork(2).NextU64());
+  for (size_t i = 0; i < device_ids_.size(); ++i) {
+    device_ids_[i] = kernel_->AddDevice(profile_.devices[i]);
+  }
+  background_ = std::make_unique<kernelsim::BackgroundLoad>(kernel_.get(), profile_.background,
+                                                            rng_.Fork(3));
+}
+
+App* Phone::InstallApp(const AppSpec* spec) {
+  apps_.push_back(std::make_unique<App>(kernel_.get(), spec, device_ids_.data(),
+                                        rng_.Fork(0x100 + apps_.size())));
+  return apps_.back().get();
+}
+
+}  // namespace droidsim

@@ -1,0 +1,54 @@
+// Phone: one simulated handset. Wires together the simulation clock, the kernel, the
+// peripherals, the perf counter hub, the background system load, and any number of installed
+// apps. This is the five-line setup examples and experiments build on.
+#ifndef SRC_DROIDSIM_PHONE_H_
+#define SRC_DROIDSIM_PHONE_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/droidsim/app.h"
+#include "src/droidsim/device.h"
+#include "src/kernelsim/background_load.h"
+#include "src/kernelsim/kernel.h"
+#include "src/perfsim/counter_hub.h"
+#include "src/simkit/simulation.h"
+
+namespace droidsim {
+
+class Phone {
+ public:
+  explicit Phone(const DeviceProfile& profile, uint64_t seed = 42);
+  Phone(const Phone&) = delete;
+  Phone& operator=(const Phone&) = delete;
+
+  // The spec must outlive the phone (the catalog owns it).
+  App* InstallApp(const AppSpec* spec);
+
+  simkit::Simulation& sim() { return sim_; }
+  kernelsim::Kernel& kernel() { return *kernel_; }
+  perfsim::CounterHub& counter_hub() { return *hub_; }
+  const DeviceProfile& profile() const { return profile_; }
+  const int32_t* device_ids() const { return device_ids_.data(); }
+
+  simkit::SimTime Now() const { return sim_.Now(); }
+  void RunFor(simkit::SimDuration duration) { sim_.RunUntil(sim_.Now() + duration); }
+
+  // Derives a deterministic RNG stream for a phone-level consumer (user models, monitors).
+  simkit::Rng ForkRng(uint64_t tag) { return rng_.Fork(tag); }
+
+ private:
+  DeviceProfile profile_;
+  simkit::Rng rng_;
+  simkit::Simulation sim_;
+  std::unique_ptr<kernelsim::Kernel> kernel_;
+  std::unique_ptr<perfsim::CounterHub> hub_;
+  std::array<int32_t, static_cast<size_t>(DeviceKind::kNumDevices)> device_ids_{};
+  std::unique_ptr<kernelsim::BackgroundLoad> background_;
+  std::vector<std::unique_ptr<App>> apps_;
+};
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_PHONE_H_

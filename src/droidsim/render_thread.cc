@@ -1,0 +1,74 @@
+#include "src/droidsim/render_thread.h"
+
+#include "src/droidsim/api.h"
+
+namespace droidsim {
+
+namespace {
+// Fence/buffer-swap wait between consecutive frames.
+constexpr simkit::SimDuration kInterFrameGap = simkit::Microseconds(300);
+}  // namespace
+
+RenderThread::RenderThread(kernelsim::Kernel* kernel, kernelsim::ProcessId pid, simkit::Rng rng)
+    : kernel_(kernel), rng_(rng) {
+  tid_ = kernel_->SpawnThread(pid, "RenderThread", this);
+}
+
+void RenderThread::EnqueueFrames(int64_t execution_id, int32_t count,
+                                 simkit::SimDuration frame_cpu_mean) {
+  for (int32_t i = 0; i < count; ++i) {
+    FrameJob job;
+    job.execution_id = execution_id;
+    job.cpu = static_cast<simkit::SimDuration>(static_cast<double>(frame_cpu_mean) *
+                                               rng_.LogNormal(0.0, 0.25));
+    queue_.push_back(job);
+  }
+  outstanding_[execution_id] += count;
+  kernel_->Wake(tid_);
+}
+
+int64_t RenderThread::OutstandingFrames(int64_t execution_id) const {
+  auto it = outstanding_.find(execution_id);
+  return it == outstanding_.end() ? 0 : it->second;
+}
+
+void RenderThread::FinalizeFrame(const FrameJob& job) {
+  ++rendered_;
+  auto it = outstanding_.find(job.execution_id);
+  if (it != outstanding_.end() && --it->second <= 0) {
+    outstanding_.erase(it);
+    if (idle_) {
+      idle_(job.execution_id);
+    }
+  }
+}
+
+kernelsim::Segment RenderThread::NextSegment() {
+  if (in_flight_.has_value()) {
+    FrameJob done = *in_flight_;
+    in_flight_.reset();
+    FinalizeFrame(done);
+    if (!queue_.empty()) {
+      gap_pending_ = true;
+      kernelsim::SleepSegment gap;
+      gap.duration = kInterFrameGap;
+      return gap;
+    }
+  }
+  gap_pending_ = false;
+  if (!queue_.empty()) {
+    FrameJob job = queue_.front();
+    queue_.pop_front();
+    in_flight_ = job;
+    kernelsim::CpuSegment cpu;
+    cpu.duration = job.cpu;
+    cpu.uarch = RenderUarch();
+    cpu.touch_bytes = 512 * 1024;
+    cpu.alloc_bytes = 32 * 1024;
+    cpu.syscalls_per_ms = 0.5;
+    return cpu;
+  }
+  return kernelsim::BlockSegment{};
+}
+
+}  // namespace droidsim

@@ -1,0 +1,61 @@
+// The render thread (Android >= 5.0): consumes frame jobs posted by UI operations on the main
+// thread, burning CPU with a rasterizer-like profile and blocking briefly on fences between
+// frames. Its activity is the other half of S-Checker's main−render difference: when the main
+// thread does real UI work the render thread is busy (negative differences); when the main
+// thread is stuck in a blocking operation the render thread sits idle (positive differences).
+#ifndef SRC_DROIDSIM_RENDER_THREAD_H_
+#define SRC_DROIDSIM_RENDER_THREAD_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/kernelsim/kernel.h"
+#include "src/simkit/rng.h"
+
+namespace droidsim {
+
+class RenderThread : public kernelsim::WorkSource {
+ public:
+  // Fired when the last outstanding frame of `execution_id` completes.
+  using IdleCallback = std::function<void(int64_t execution_id)>;
+
+  RenderThread(kernelsim::Kernel* kernel, kernelsim::ProcessId pid, simkit::Rng rng);
+
+  kernelsim::ThreadId tid() const { return tid_; }
+
+  void EnqueueFrames(int64_t execution_id, int32_t count, simkit::SimDuration frame_cpu_mean);
+
+  void SetIdleCallback(IdleCallback idle) { idle_ = std::move(idle); }
+
+  bool Idle() const { return queue_.empty() && !in_flight_.has_value(); }
+  int64_t OutstandingFrames(int64_t execution_id) const;
+  int64_t rendered_frames() const { return rendered_; }
+
+  // kernelsim::WorkSource:
+  kernelsim::Segment NextSegment() override;
+
+ private:
+  struct FrameJob {
+    int64_t execution_id = 0;
+    simkit::SimDuration cpu = 0;
+  };
+
+  void FinalizeFrame(const FrameJob& job);
+
+  kernelsim::Kernel* kernel_;
+  kernelsim::ThreadId tid_;
+  simkit::Rng rng_;
+  std::deque<FrameJob> queue_;
+  std::optional<FrameJob> in_flight_;
+  bool gap_pending_ = false;
+  std::unordered_map<int64_t, int64_t> outstanding_;
+  IdleCallback idle_;
+  int64_t rendered_ = 0;
+};
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_RENDER_THREAD_H_

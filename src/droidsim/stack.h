@@ -1,0 +1,48 @@
+// Stack traces as Hang Doctor's Diagnoser sees them: one frame per active call, innermost
+// last, each naming the API, its class, and the file/line of the call site. Frames inside
+// closed-source third-party libraries carry a flag so the offline-scanner baseline can be made
+// realistically blind to them while the runtime trace collector still sees the symbols (on a
+// real phone they come from the unwinder; symbol names survive even without source access).
+#ifndef SRC_DROIDSIM_STACK_H_
+#define SRC_DROIDSIM_STACK_H_
+
+#include <string>
+#include <vector>
+
+namespace droidsim {
+
+struct StackFrame {
+  std::string function;  // e.g. "clean"
+  std::string clazz;     // e.g. "org.htmlcleaner.HtmlCleaner"
+  std::string file;      // e.g. "HtmlSanitizer.java"
+  int32_t line = 0;
+  bool in_closed_library = false;
+
+  bool operator==(const StackFrame& other) const {
+    return function == other.function && clazz == other.clazz && file == other.file &&
+           line == other.line;
+  }
+};
+
+struct StackTrace {
+  int64_t timestamp_ns = 0;
+  std::vector<StackFrame> frames;  // outermost first
+
+  bool Contains(const std::string& clazz, const std::string& function) const {
+    for (const StackFrame& frame : frames) {
+      if (frame.clazz == clazz && frame.function == function) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Renders "function(File.java:123)" like an Android stack dump line.
+inline std::string FormatFrame(const StackFrame& frame) {
+  return frame.function + "(" + frame.file + ":" + std::to_string(frame.line) + ")";
+}
+
+}  // namespace droidsim
+
+#endif  // SRC_DROIDSIM_STACK_H_

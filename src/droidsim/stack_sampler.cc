@@ -1,0 +1,58 @@
+#include "src/droidsim/stack_sampler.h"
+
+#include <utility>
+
+namespace droidsim {
+
+StackSampler::StackSampler(simkit::Simulation* sim, const Looper* looper,
+                           simkit::SimDuration interval)
+    : sim_(sim), looper_(looper), interval_(interval) {}
+
+StackSampler::~StackSampler() {
+  if (pending_event_ != 0) {
+    sim_->Cancel(pending_event_);
+  }
+}
+
+void StackSampler::StartCollection() {
+  if (active_) {
+    return;
+  }
+  active_ = true;
+  samples_.clear();
+  // Sample immediately so even hangs barely past the timeout yield at least one trace.
+  TakeSample();
+  ScheduleNext();
+}
+
+std::vector<StackTrace> StackSampler::StopCollection() {
+  active_ = false;
+  if (pending_event_ != 0) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  std::vector<StackTrace> out;
+  out.swap(samples_);
+  return out;
+}
+
+void StackSampler::ScheduleNext() {
+  pending_event_ = sim_->ScheduleAfter(interval_, [this]() {
+    pending_event_ = 0;
+    if (!active_) {
+      return;
+    }
+    TakeSample();
+    ScheduleNext();
+  });
+}
+
+void StackSampler::TakeSample() {
+  StackTrace trace;
+  trace.timestamp_ns = sim_->Now();
+  trace.frames = looper_->CurrentStack();
+  ++total_samples_;
+  samples_.push_back(std::move(trace));
+}
+
+}  // namespace droidsim

@@ -1,0 +1,43 @@
+// The database of known blocking APIs. Offline detectors search app code for exactly these
+// names; Hang Doctor's closing of the loop (Figure 2(a)) is adding every newly diagnosed
+// blocking API here so future offline scans catch it. Seeded with the historically known set
+// (camera.open, bitmap decode, database queries, media prepare, bluetooth accept, ...).
+#ifndef SRC_HANGDOCTOR_BLOCKING_API_DB_H_
+#define SRC_HANGDOCTOR_BLOCKING_API_DB_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hangdoctor {
+
+class BlockingApiDatabase {
+ public:
+  BlockingApiDatabase() = default;
+
+  // Seeds the database with an API already known as blocking (catalog construction).
+  void SeedKnown(const std::string& full_name) { known_.insert(full_name); }
+
+  bool IsKnown(const std::string& full_name) const { return known_.count(full_name) > 0; }
+
+  // Records an API Hang Doctor diagnosed at runtime; returns true if it was previously
+  // unknown (a new discovery for the offline database).
+  bool AddDiscovered(const std::string& full_name) {
+    bool inserted = known_.insert(full_name).second;
+    if (inserted) {
+      discovered_.push_back(full_name);
+    }
+    return inserted;
+  }
+
+  const std::vector<std::string>& discovered() const { return discovered_; }
+  size_t size() const { return known_.size(); }
+
+ private:
+  std::set<std::string> known_;
+  std::vector<std::string> discovered_;
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_BLOCKING_API_DB_H_

@@ -1,0 +1,170 @@
+#include "src/hangdoctor/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/simkit/stats.h"
+
+namespace hangdoctor {
+
+std::vector<RankedEvent> RankEvents(std::span<const LabeledSample> samples) {
+  std::vector<double> labels;
+  labels.reserve(samples.size());
+  for (const LabeledSample& sample : samples) {
+    labels.push_back(sample.is_bug ? 1.0 : 0.0);
+  }
+  std::vector<RankedEvent> ranked;
+  ranked.reserve(perfsim::kNumPerfEvents);
+  std::vector<double> values(samples.size());
+  for (perfsim::PerfEventType event : perfsim::AllPerfEvents()) {
+    auto idx = static_cast<size_t>(event);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      values[i] = samples[i].readings[idx];
+    }
+    ranked.push_back(RankedEvent{event, simkit::PearsonCorrelation(values, labels)});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const RankedEvent& a, const RankedEvent& b) {
+    if (a.correlation != b.correlation) {
+      return a.correlation > b.correlation;
+    }
+    return static_cast<int>(a.event) < static_cast<int>(b.event);
+  });
+  return ranked;
+}
+
+FilterQuality EvaluateFilter(const SoftHangFilter& filter,
+                             std::span<const LabeledSample> samples) {
+  FilterQuality quality;
+  for (const LabeledSample& sample : samples) {
+    bool flagged = filter.HasSymptoms(sample.readings);
+    if (sample.is_bug) {
+      (flagged ? quality.true_positives : quality.false_negatives) += 1;
+    } else {
+      (flagged ? quality.false_positives : quality.true_negatives) += 1;
+    }
+  }
+  return quality;
+}
+
+namespace {
+
+// Fits the threshold for a single event that minimizes miss_weight*FN + FP over `samples`,
+// considering only the still-undetected bugs in `uncovered` as potential true positives.
+// Returns the threshold and the resulting cost.
+struct ThresholdFit {
+  double threshold = 0.0;
+  double cost = std::numeric_limits<double>::infinity();
+  int64_t new_bugs_covered = 0;
+};
+
+ThresholdFit FitThreshold(std::span<const LabeledSample> samples,
+                          const std::vector<char>& uncovered, perfsim::PerfEventType event,
+                          double miss_weight) {
+  auto idx = static_cast<size_t>(event);
+  // Candidate thresholds: midpoints between adjacent distinct sample values, plus sentinels.
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const LabeledSample& sample : samples) {
+    values.push_back(sample.readings[idx]);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  std::vector<double> candidates;
+  candidates.push_back(values.front() - 1.0);
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    candidates.push_back((values[i] + values[i + 1]) / 2.0);
+  }
+  ThresholdFit best;
+  for (double threshold : candidates) {
+    int64_t misses = 0;
+    int64_t false_alarms = 0;
+    int64_t covered = 0;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      bool flagged = samples[i].readings[idx] > threshold;
+      if (samples[i].is_bug) {
+        if (uncovered[i]) {
+          if (flagged) {
+            ++covered;
+          } else {
+            ++misses;
+          }
+        }
+      } else if (flagged) {
+        ++false_alarms;
+      }
+    }
+    double cost = miss_weight * static_cast<double>(misses) + static_cast<double>(false_alarms);
+    if (cost < best.cost || (cost == best.cost && covered > best.new_bugs_covered)) {
+      best.threshold = threshold;
+      best.cost = cost;
+      best.new_bugs_covered = covered;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SoftHangFilter TrainFilter(std::span<const LabeledSample> samples,
+                           std::span<const RankedEvent> ranking, TrainOptions options) {
+  std::vector<char> uncovered(samples.size(), 0);
+  int64_t remaining_bugs = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].is_bug) {
+      uncovered[i] = 1;
+      ++remaining_bugs;
+    }
+  }
+  std::vector<FilterCondition> conditions;
+  for (const RankedEvent& ranked : ranking) {
+    if (remaining_bugs == 0 ||
+        conditions.size() >= static_cast<size_t>(options.max_conditions)) {
+      break;
+    }
+    ThresholdFit fit = FitThreshold(samples, uncovered, ranked.event, options.miss_weight);
+    if (fit.new_bugs_covered == 0) {
+      continue;  // this event cannot separate any remaining bug; try the next one
+    }
+    conditions.push_back(FilterCondition{ranked.event, fit.threshold});
+    auto idx = static_cast<size_t>(ranked.event);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (uncovered[i] && samples[i].readings[idx] > fit.threshold) {
+        uncovered[i] = 0;
+        --remaining_bugs;
+      }
+    }
+  }
+  // The paper's procedure ends only when every training bug is caught by at least one event.
+  // Force-cover any stragglers greedily: each round adds the event covering the most of the
+  // remaining bugs at the lowest false-positive cost.
+  // This loop ignores the advisory max_conditions (each round covers at least one new bug, so
+  // it terminates); a hard bound guards against pathological inputs.
+  while (remaining_bugs > 0 && conditions.size() < 16) {
+    ThresholdFit best_fit;
+    best_fit.new_bugs_covered = 0;
+    perfsim::PerfEventType best_event = ranking.front().event;
+    for (const RankedEvent& ranked : ranking) {
+      ThresholdFit fit = FitThreshold(samples, uncovered, ranked.event, /*miss_weight=*/1e12);
+      if (fit.new_bugs_covered > best_fit.new_bugs_covered ||
+          (fit.new_bugs_covered == best_fit.new_bugs_covered && fit.cost < best_fit.cost)) {
+        best_fit = fit;
+        best_event = ranked.event;
+      }
+    }
+    if (best_fit.new_bugs_covered == 0) {
+      break;  // two identical samples with opposite labels: no threshold can separate them
+    }
+    conditions.push_back(FilterCondition{best_event, best_fit.threshold});
+    auto idx = static_cast<size_t>(best_event);
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (uncovered[i] && samples[i].readings[idx] > best_fit.threshold) {
+        uncovered[i] = 0;
+        --remaining_bugs;
+      }
+    }
+  }
+  return SoftHangFilter(std::move(conditions));
+}
+
+}  // namespace hangdoctor

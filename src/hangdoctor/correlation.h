@@ -1,0 +1,76 @@
+// The correlation analysis and filter-training procedure of Section 3.3.1.
+//
+// Training data: one LabeledSample per soft hang in the training set, holding the per-event
+// counter readings (main−render difference, and the main-only variant for the Table 3(b)
+// comparison) and the ground-truth label (soft hang bug vs UI operation).
+//
+// RankEvents computes the Pearson correlation between each event's reading and the label
+// vector — Table 3. TrainFilter implements the paper's threshold-selection procedure: start
+// from the most correlated event, fit the threshold that minimizes false negatives first and
+// false positives second, and keep adding events (in correlation order) until every bug in
+// the training set is caught by at least one condition.
+#ifndef SRC_HANGDOCTOR_CORRELATION_H_
+#define SRC_HANGDOCTOR_CORRELATION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/hangdoctor/filter.h"
+#include "src/perfsim/events.h"
+
+namespace hangdoctor {
+
+struct LabeledSample {
+  perfsim::CounterArray readings{};  // per-event value for this soft hang
+  bool is_bug = false;
+  std::string source;  // "app/bug-id" or "app/ui-api", for reporting
+};
+
+struct RankedEvent {
+  perfsim::PerfEventType event = perfsim::PerfEventType::kContextSwitches;
+  double correlation = 0.0;
+};
+
+// Pearson correlation of each event's readings against the bug/UI label, sorted descending.
+std::vector<RankedEvent> RankEvents(std::span<const LabeledSample> samples);
+
+struct FilterQuality {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t true_negatives = 0;
+  int64_t false_negatives = 0;
+
+  double Accuracy() const {
+    int64_t total = true_positives + false_positives + true_negatives + false_negatives;
+    return total == 0 ? 0.0
+                      : static_cast<double>(true_positives + true_negatives) /
+                            static_cast<double>(total);
+  }
+  // Fraction of UI hangs correctly filtered out (the paper's "prunes 64% of false positives").
+  double FalsePositivePruneRate() const {
+    int64_t ui = false_positives + true_negatives;
+    return ui == 0 ? 0.0 : static_cast<double>(true_negatives) / static_cast<double>(ui);
+  }
+};
+
+FilterQuality EvaluateFilter(const SoftHangFilter& filter,
+                             std::span<const LabeledSample> samples);
+
+struct TrainOptions {
+  // Hard cap on conditions; the paper lands on three.
+  int32_t max_conditions = 8;
+  // Weight of a false negative relative to a false positive during per-event threshold
+  // fitting. The paper fits each event's threshold "minimizing false positives and false
+  // negatives" and covers residual misses by adding further events, so the per-event fit
+  // weighs them equally; coverage of every bug is enforced by the greedy loop, not here.
+  double miss_weight = 1.0;
+};
+
+// Trains a filter per the paper's procedure; `ranking` comes from RankEvents.
+SoftHangFilter TrainFilter(std::span<const LabeledSample> samples,
+                           std::span<const RankedEvent> ranking, TrainOptions options = {});
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_CORRELATION_H_

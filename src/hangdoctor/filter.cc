@@ -1,0 +1,60 @@
+#include "src/hangdoctor/filter.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace hangdoctor {
+
+SoftHangFilter::SoftHangFilter(std::vector<FilterCondition> conditions)
+    : conditions_(std::move(conditions)) {}
+
+SoftHangFilter SoftHangFilter::Default() {
+  return SoftHangFilter({
+      {perfsim::PerfEventType::kContextSwitches, 0.0},
+      {perfsim::PerfEventType::kTaskClock, 1.7e8},
+      {perfsim::PerfEventType::kPageFaults, 500.0},
+  });
+}
+
+bool SoftHangFilter::HasSymptoms(const perfsim::CounterArray& diffs) const {
+  for (const FilterCondition& condition : conditions_) {
+    if (diffs[static_cast<size_t>(condition.event)] > condition.threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<bool> SoftHangFilter::MatchVector(const perfsim::CounterArray& diffs) const {
+  std::vector<bool> matches;
+  matches.reserve(conditions_.size());
+  for (const FilterCondition& condition : conditions_) {
+    matches.push_back(diffs[static_cast<size_t>(condition.event)] > condition.threshold);
+  }
+  return matches;
+}
+
+std::vector<perfsim::PerfEventType> SoftHangFilter::Events() const {
+  std::vector<perfsim::PerfEventType> events;
+  for (const FilterCondition& condition : conditions_) {
+    if (std::find(events.begin(), events.end(), condition.event) == events.end()) {
+      events.push_back(condition.event);
+    }
+  }
+  return events;
+}
+
+std::string SoftHangFilter::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (i > 0) {
+      out << " OR ";
+    }
+    out << perfsim::PerfEventName(conditions_[i].event) << " diff > "
+        << conditions_[i].threshold;
+  }
+  return out.str();
+}
+
+}  // namespace hangdoctor

@@ -1,0 +1,52 @@
+// The soft hang filter at the heart of S-Checker (Section 3.3.1). A filter is a small set of
+// conditions of the form "main−render difference of event E exceeds threshold T"; an action
+// execution shows soft-hang-bug *symptoms* when at least one condition holds. The production
+// default is the paper's trio:
+//   context-switch difference   > 0
+//   task-clock difference       > 1.7e8 ns
+//   page-fault difference       > 500
+// Filters can also be retrained from labeled samples (see correlation.h), which is how the
+// paper's "automatic adaptation" extension works.
+#ifndef SRC_HANGDOCTOR_FILTER_H_
+#define SRC_HANGDOCTOR_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/perfsim/events.h"
+
+namespace hangdoctor {
+
+struct FilterCondition {
+  perfsim::PerfEventType event = perfsim::PerfEventType::kContextSwitches;
+  double threshold = 0.0;  // condition holds when diff > threshold
+};
+
+class SoftHangFilter {
+ public:
+  SoftHangFilter() = default;
+  explicit SoftHangFilter(std::vector<FilterCondition> conditions);
+
+  // The paper's production filter.
+  static SoftHangFilter Default();
+
+  // True when any condition holds for the given per-event differences.
+  bool HasSymptoms(const perfsim::CounterArray& diffs) const;
+
+  // Which conditions hold (parallel to conditions()); used by the Table 6 bench.
+  std::vector<bool> MatchVector(const perfsim::CounterArray& diffs) const;
+
+  const std::vector<FilterCondition>& conditions() const { return conditions_; }
+
+  // The distinct events the filter needs a PerfSession to count.
+  std::vector<perfsim::PerfEventType> Events() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FilterCondition> conditions_;
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_FILTER_H_

@@ -1,0 +1,285 @@
+#include "src/hangdoctor/hang_doctor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/simkit/logging.h"
+
+namespace hangdoctor {
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kNotChecked:
+      return "not-checked";
+    case Verdict::kNoHang:
+      return "no-hang";
+    case Verdict::kFilteredUi:
+      return "filtered-ui";
+    case Verdict::kMarkedSuspicious:
+      return "marked-suspicious";
+    case Verdict::kAwaitingHang:
+      return "awaiting-hang";
+    case Verdict::kDiagnosedUi:
+      return "diagnosed-ui";
+    case Verdict::kDiagnosedBug:
+      return "diagnosed-bug";
+  }
+  return "?";
+}
+
+HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
+                       BlockingApiDatabase* database, HangBugReport* fleet_report,
+                       int32_t device_id)
+    : phone_(phone),
+      app_(app),
+      config_(std::move(config)),
+      table_(config_.reset_after_normal),
+      analyzer_(config_.analyzer),
+      database_(database != nullptr ? database : &own_database_),
+      fleet_report_(fleet_report),
+      device_id_(device_id),
+      rng_(phone->ForkRng(0x4844 + static_cast<uint64_t>(device_id)).NextU64(),
+           /*stream=*/0x4841ULL),
+      sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
+  // App Injector: assign a UID to every action up front.
+  for (int32_t uid = 0; uid < app_->num_actions(); ++uid) {
+    table_.Lookup(uid);
+  }
+  app_->AddObserver(this);
+}
+
+HangDoctor::~HangDoctor() { app_->RemoveObserver(this); }
+
+HangDoctor::LiveExecution& HangDoctor::Live(const droidsim::ActionExecution& execution) {
+  auto [it, inserted] = live_.try_emplace(execution.execution_id);
+  if (inserted) {
+    it->second.state_before = table_.Lookup(execution.action_uid).state;
+    it->second.event_open.resize(execution.events_total, false);
+  }
+  return it->second;
+}
+
+void HangDoctor::ArmHangCheck(int64_t execution_id, int32_t event_index) {
+  phone_->sim().ScheduleAfter(config_.hang_timeout, [this, execution_id, event_index]() {
+    auto it = live_.find(execution_id);
+    if (it == live_.end()) {
+      return;
+    }
+    LiveExecution& live = it->second;
+    auto idx = static_cast<size_t>(event_index);
+    if (idx >= live.event_open.size() || !live.event_open[idx]) {
+      return;  // the event finished below the timeout: no soft hang this time
+    }
+    if (!sampler_.active()) {
+      sampler_.StartCollection();
+    }
+  });
+}
+
+void HangDoctor::OnInputEventStart(droidsim::App& app,
+                                   const droidsim::ActionExecution& execution,
+                                   int32_t event_index) {
+  (void)app;
+  overhead_.AddCpu(config_.costs.state_lookup + config_.costs.response_probe);
+  LiveExecution& live = Live(execution);
+  live.event_open[static_cast<size_t>(event_index)] = true;
+  if (config_.second_phase_only) {
+    ArmHangCheck(execution.execution_id, event_index);
+    return;
+  }
+  switch (live.state_before) {
+    case ActionState::kUncategorized: {
+      if (live.session == nullptr) {
+        live.session = std::make_unique<perfsim::PerfSession>(
+            &phone_->counter_hub(), phone_->profile().pmu, rng_.Fork(0x5350).NextU64());
+        live.session->AddThread(app_->main_tid());
+        if (!config_.main_only) {
+          live.session->AddThread(app_->render_tid());
+        }
+        for (perfsim::PerfEventType event : config_.filter.Events()) {
+          live.session->AddEvent(event);
+        }
+        live.session->Start();
+        overhead_.AddCpu(config_.costs.perf_start);
+        overhead_.AddMemory(config_.costs.perf_session_bytes);
+      }
+      break;
+    }
+    case ActionState::kSuspicious:
+    case ActionState::kHangBug: {
+      live.diagnoser_armed = true;
+      ArmHangCheck(execution.execution_id, event_index);
+      break;
+    }
+    case ActionState::kNormal:
+      break;
+  }
+}
+
+void HangDoctor::OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
+                                 int32_t event_index) {
+  (void)app;
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  LiveExecution& live = it->second;
+  auto idx = static_cast<size_t>(event_index);
+  if (idx < live.event_open.size()) {
+    live.event_open[idx] = false;
+  }
+  const droidsim::EventTiming& timing = execution.events[idx];
+  simkit::SimDuration response = timing.end - timing.start;
+  if (response > config_.hang_timeout) {
+    live.longest_hang = std::max(live.longest_hang, response);
+  }
+  if (sampler_.active()) {
+    std::vector<droidsim::StackTrace> collected = sampler_.StopCollection();
+    auto count = static_cast<int64_t>(collected.size());
+    overhead_.AddCpu(config_.costs.trace_start);
+    overhead_.AddMemory(config_.costs.trace_start_bytes);
+    samples_taken_ += count;
+    overhead_.AddCpu(config_.costs.stack_sample * count);
+    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
+    for (droidsim::StackTrace& trace : collected) {
+      live.traces.push_back(std::move(trace));
+    }
+  }
+}
+
+void HangDoctor::RunSChecker(const droidsim::ActionExecution& execution, LiveExecution& live,
+                             ExecutionRecord& record) {
+  record.schecker_ran = true;
+  perfsim::CounterArray diffs{};
+  std::vector<perfsim::PerfEventType> events = config_.filter.Events();
+  overhead_.AddCpu(config_.costs.perf_read_per_event *
+                   static_cast<int64_t>(events.size() * (config_.main_only ? 1 : 2)));
+  for (perfsim::PerfEventType event : events) {
+    double value = config_.main_only
+                       ? live.session->Read(app_->main_tid(), event)
+                       : live.session->ReadDifference(app_->main_tid(), app_->render_tid(),
+                                                      event);
+    diffs[static_cast<size_t>(event)] = value;
+  }
+  record.schecker_diffs = diffs;
+  if (config_.filter.HasSymptoms(diffs)) {
+    table_.Transition(phone_->Now(), execution.action_uid, ActionState::kSuspicious,
+                      "S-Checker: soft hang bug symptoms");
+    record.verdict = Verdict::kMarkedSuspicious;
+  } else {
+    table_.Transition(phone_->Now(), execution.action_uid, ActionState::kNormal,
+                      "S-Checker: UI operation");
+    record.verdict = Verdict::kFilteredUi;
+  }
+}
+
+void HangDoctor::RunDiagnoser(const droidsim::ActionExecution& execution, LiveExecution& live,
+                              ExecutionRecord& record) {
+  record.diagnoser_ran = true;
+  if (live.traces.empty()) {
+    // The action did not hang this time; an occasional bug may still manifest later, so the
+    // action stays where it is (Suspicious or Hang Bug).
+    record.verdict = Verdict::kAwaitingHang;
+    return;
+  }
+  record.traced = true;
+  Diagnosis diagnosis = analyzer_.Analyze(live.traces, app_->spec().package);
+  record.diagnosis = diagnosis;
+  if (config_.keep_traces) {
+    record.traces = live.traces;
+  }
+  if (!diagnosis.valid) {
+    record.verdict = Verdict::kAwaitingHang;
+    return;
+  }
+  if (diagnosis.is_ui) {
+    record.verdict = Verdict::kDiagnosedUi;
+    if (live.state_before == ActionState::kSuspicious) {
+      table_.Transition(phone_->Now(), execution.action_uid, ActionState::kNormal,
+                        "Diagnoser: UI operation (path B)");
+    }
+    return;
+  }
+  record.verdict = Verdict::kDiagnosedBug;
+  table_.Transition(phone_->Now(), execution.action_uid, ActionState::kHangBug,
+                    "Diagnoser: soft hang bug (path C)");
+  simkit::SimDuration hang = std::max(live.longest_hang, execution.max_response);
+  local_report_.Record(app_->spec().package, diagnosis, hang, device_id_);
+  if (fleet_report_ != nullptr) {
+    fleet_report_->Record(app_->spec().package, diagnosis, hang, device_id_);
+  }
+  if (!diagnosis.is_self_developed) {
+    // Self-developed lengthy operations are reported only to the developer; real APIs feed
+    // the offline detectors' database.
+    database_->AddDiscovered(diagnosis.culprit.clazz + "." + diagnosis.culprit.function);
+  }
+}
+
+void HangDoctor::OnActionQuiesced(droidsim::App& app,
+                                  const droidsim::ActionExecution& execution) {
+  (void)app;
+  auto it = live_.find(execution.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  LiveExecution& live = it->second;
+  ExecutionRecord record;
+  record.action_uid = execution.action_uid;
+  record.execution_id = execution.execution_id;
+  record.response = execution.max_response;
+  record.hang = execution.max_response > config_.hang_timeout;
+  record.state_before = live.state_before;
+
+  ActionInfo& info = table_.Lookup(execution.action_uid);
+  ++info.executions;
+  if (record.hang) {
+    ++info.hangs_observed;
+  }
+
+  if (config_.second_phase_only) {
+    if (record.hang || !live.traces.empty()) {
+      RunDiagnoser(execution, live, record);
+    } else {
+      record.verdict = Verdict::kNoHang;
+    }
+    if (record.traced) {
+      ++info.times_traced;
+    }
+    log_.push_back(std::move(record));
+    live_.erase(it);
+    return;
+  }
+
+  switch (live.state_before) {
+    case ActionState::kUncategorized: {
+      if (live.session != nullptr) {
+        live.session->Stop();
+        overhead_.AddCpu(config_.costs.perf_stop);
+      }
+      if (record.hang) {
+        RunSChecker(execution, live, record);
+      } else {
+        record.verdict = Verdict::kNoHang;  // stays Uncategorized, monitored again next time
+      }
+      break;
+    }
+    case ActionState::kSuspicious:
+    case ActionState::kHangBug: {
+      RunDiagnoser(execution, live, record);
+      break;
+    }
+    case ActionState::kNormal: {
+      record.verdict = Verdict::kNotChecked;
+      table_.CountNormalExecution(phone_->Now(), execution.action_uid);
+      break;
+    }
+  }
+  if (record.traced) {
+    ++info.times_traced;
+  }
+  log_.push_back(std::move(record));
+  live_.erase(it);
+}
+
+}  // namespace hangdoctor

@@ -1,0 +1,150 @@
+// Hang Doctor runtime (Figure 2(a)): the two-phase detector attached to one app on one device.
+//
+// Components and their paper counterparts:
+//  - App Injector        -> the constructor: seeds the action table with one UID per action
+//                           and hooks the app's Looper dispatch notifications.
+//  - Response Time Mon.  -> OnInputEventStart/End (backed by Looper message logging, the
+//                           setMessageLogging technique of Section 3.5).
+//  - Perf Event Monitor  -> a perfsim::PerfSession over the main and render threads counting
+//                           exactly the filter's events (three software events by default).
+//  - S-Checker           -> first phase, runs for Uncategorized actions: on a >100 ms action,
+//                           reads the main−render counter differences and applies the
+//                           SoftHangFilter.
+//  - Diagnoser           -> second phase, runs for Suspicious/HangBug actions: once an input
+//                           event exceeds the timeout again, collects stack traces until the
+//                           hang ends (Trace Collector) and attributes the hang (Trace
+//                           Analyzer), transitioning the action per Figure 3.
+//  - Hang Bug Report     -> diagnosed bugs are recorded locally and into a shared fleet report.
+//  - Blocking-API DB     -> newly diagnosed non-UI, non-self-developed APIs are added so
+//                           offline detectors learn them.
+//
+// Every monitoring act is charged to an OverheadMeter per the Section 4.5 methodology.
+#ifndef SRC_HANGDOCTOR_HANG_DOCTOR_H_
+#define SRC_HANGDOCTOR_HANG_DOCTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/droidsim/app.h"
+#include "src/droidsim/phone.h"
+#include "src/droidsim/stack_sampler.h"
+#include "src/hangdoctor/action_state.h"
+#include "src/hangdoctor/blocking_api_db.h"
+#include "src/hangdoctor/correlation.h"
+#include "src/hangdoctor/filter.h"
+#include "src/hangdoctor/overhead.h"
+#include "src/hangdoctor/report.h"
+#include "src/hangdoctor/trace_analyzer.h"
+#include "src/perfsim/perf_session.h"
+
+namespace hangdoctor {
+
+enum class Verdict {
+  kNotChecked,        // Normal-state action: no monitoring beyond the state lookup
+  kNoHang,            // response never exceeded the timeout
+  kFilteredUi,        // S-Checker: no symptoms -> Normal
+  kMarkedSuspicious,  // S-Checker: symptoms -> Suspicious
+  kAwaitingHang,      // Diagnoser armed but the action did not hang this time
+  kDiagnosedUi,       // Diagnoser: culprit is a UI operation -> Normal (path B)
+  kDiagnosedBug,      // Diagnoser: soft hang bug confirmed -> Hang Bug (path C)
+};
+
+const char* VerdictName(Verdict verdict);
+
+struct ExecutionRecord {
+  int32_t action_uid = -1;
+  int64_t execution_id = 0;
+  simkit::SimDuration response = 0;
+  bool hang = false;
+  ActionState state_before = ActionState::kUncategorized;
+  bool schecker_ran = false;
+  bool diagnoser_ran = false;
+  bool traced = false;
+  Verdict verdict = Verdict::kNotChecked;
+  Diagnosis diagnosis;
+  // Counter differences S-Checker read (filter events only; zeros elsewhere).
+  perfsim::CounterArray schecker_diffs{};
+  // Stack traces the Diagnoser collected (kept only when config.keep_traces is set).
+  std::vector<droidsim::StackTrace> traces;
+};
+
+struct HangDoctorConfig {
+  SoftHangFilter filter = SoftHangFilter::Default();
+  // Monitor only the main thread (pre-5.0 devices, Table 3(b) mode).
+  bool main_only = false;
+  simkit::SimDuration hang_timeout = simkit::kPerceivableDelay;
+  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
+  int32_t reset_after_normal = 20;
+  TraceAnalyzerConfig analyzer;
+  MonitorCosts costs;
+  // Test-bed mode (Section 4.6): skip phase 1 and trace every soft hang.
+  bool second_phase_only = false;
+  // Retain collected stack traces in the execution log (debugging / report rendering).
+  bool keep_traces = false;
+};
+
+class HangDoctor : public droidsim::AppObserver {
+ public:
+  // `database` and `fleet_report` may be null (a private one is used); when given they must
+  // outlive this object and collect discoveries across devices.
+  HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
+             BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr,
+             int32_t device_id = 0);
+  ~HangDoctor() override;
+  HangDoctor(const HangDoctor&) = delete;
+  HangDoctor& operator=(const HangDoctor&) = delete;
+
+  // droidsim::AppObserver:
+  void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
+                         int32_t event_index) override;
+  void OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
+                       int32_t event_index) override;
+  void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
+
+  const std::vector<ExecutionRecord>& log() const { return log_; }
+  const ActionTable& actions() const { return table_; }
+  const OverheadMeter& overhead() const { return overhead_; }
+  const HangBugReport& local_report() const { return local_report_; }
+  const BlockingApiDatabase& database() const { return *database_; }
+  const HangDoctorConfig& config() const { return config_; }
+  int64_t stack_samples_taken() const { return samples_taken_; }
+
+ private:
+  struct LiveExecution {
+    ActionState state_before = ActionState::kUncategorized;
+    std::unique_ptr<perfsim::PerfSession> session;
+    std::vector<droidsim::StackTrace> traces;
+    std::vector<bool> event_open;
+    bool diagnoser_armed = false;
+    simkit::SimDuration longest_hang = 0;
+  };
+
+  LiveExecution& Live(const droidsim::ActionExecution& execution);
+  void ArmHangCheck(int64_t execution_id, int32_t event_index);
+  void RunSChecker(const droidsim::ActionExecution& execution, LiveExecution& live,
+                   ExecutionRecord& record);
+  void RunDiagnoser(const droidsim::ActionExecution& execution, LiveExecution& live,
+                    ExecutionRecord& record);
+
+  droidsim::Phone* phone_;
+  droidsim::App* app_;
+  HangDoctorConfig config_;
+  ActionTable table_;
+  TraceAnalyzer analyzer_;
+  BlockingApiDatabase own_database_;
+  BlockingApiDatabase* database_;
+  HangBugReport local_report_;
+  HangBugReport* fleet_report_;
+  int32_t device_id_;
+  simkit::Rng rng_;
+  OverheadMeter overhead_;
+  droidsim::StackSampler sampler_;
+  std::unordered_map<int64_t, LiveExecution> live_;
+  std::vector<ExecutionRecord> log_;
+  int64_t samples_taken_ = 0;
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_HANG_DOCTOR_H_

@@ -1,0 +1,77 @@
+#include "src/hangdoctor/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hangdoctor {
+
+std::string HangBugReport::Key(const std::string& app_package, const Diagnosis& diagnosis) {
+  return app_package + "|" + diagnosis.culprit.clazz + "." + diagnosis.culprit.function + "|" +
+         diagnosis.culprit.file + ":" + std::to_string(diagnosis.culprit.line);
+}
+
+void HangBugReport::Record(const std::string& app_package, const Diagnosis& diagnosis,
+                           simkit::SimDuration hang_duration, int32_t device_id) {
+  BugReportEntry& entry = entries_[Key(app_package, diagnosis)];
+  if (entry.occurrences == 0) {
+    entry.app_package = app_package;
+    entry.api = diagnosis.culprit.clazz + "." + diagnosis.culprit.function;
+    entry.file = diagnosis.culprit.file;
+    entry.line = diagnosis.culprit.line;
+    entry.self_developed = diagnosis.is_self_developed;
+  }
+  ++entry.occurrences;
+  entry.devices.insert(device_id);
+  entry.total_hang += hang_duration;
+  entry.max_hang = std::max(entry.max_hang, hang_duration);
+}
+
+void HangBugReport::Merge(const HangBugReport& other) {
+  for (const auto& [key, entry] : other.entries_) {
+    BugReportEntry& mine = entries_[key];
+    if (mine.occurrences == 0) {
+      mine = entry;
+      continue;
+    }
+    mine.occurrences += entry.occurrences;
+    mine.devices.insert(entry.devices.begin(), entry.devices.end());
+    mine.total_hang += entry.total_hang;
+    mine.max_hang = std::max(mine.max_hang, entry.max_hang);
+  }
+}
+
+std::vector<BugReportEntry> HangBugReport::SortedEntries() const {
+  std::vector<BugReportEntry> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    sorted.push_back(entry);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const BugReportEntry& a, const BugReportEntry& b) {
+    if (a.devices.size() != b.devices.size()) {
+      return a.devices.size() > b.devices.size();
+    }
+    if (a.occurrences != b.occurrences) {
+      return a.occurrences > b.occurrences;
+    }
+    return a.api < b.api;
+  });
+  return sorted;
+}
+
+std::string HangBugReport::Render(int32_t total_devices) const {
+  std::ostringstream out;
+  out << "Hang Bug Report\n";
+  out << "  app | blocking operation | call site | mean hang (ms) | occurrences | devices %\n";
+  for (const BugReportEntry& entry : SortedEntries()) {
+    double device_pct = total_devices > 0 ? 100.0 * static_cast<double>(entry.devices.size()) /
+                                                static_cast<double>(total_devices)
+                                          : 0.0;
+    out << "  " << entry.app_package << " | " << entry.api
+        << (entry.self_developed ? " [self-developed]" : "") << " | " << entry.file << ":"
+        << entry.line << " | " << static_cast<int64_t>(entry.MeanHangMs()) << " | "
+        << entry.occurrences << " | " << static_cast<int64_t>(device_pct) << "%\n";
+  }
+  return out.str();
+}
+
+}  // namespace hangdoctor

@@ -1,0 +1,60 @@
+// The Hang Bug Report (Figure 2(b)): the developer-facing table of diagnosed soft hang bugs,
+// ordered by the percentage of user devices that observed each bug. Reports from many devices
+// merge into one fleet-wide report, which is how the "in the wild" study of Section 4.2 is
+// aggregated.
+#ifndef SRC_HANGDOCTOR_REPORT_H_
+#define SRC_HANGDOCTOR_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/hangdoctor/trace_analyzer.h"
+#include "src/simkit/time.h"
+
+namespace hangdoctor {
+
+struct BugReportEntry {
+  std::string app_package;
+  std::string api;    // "clazz.function" of the culprit
+  std::string file;   // call site
+  int32_t line = 0;
+  bool self_developed = false;
+  int64_t occurrences = 0;  // soft hangs diagnosed to this bug
+  std::set<int32_t> devices;
+  simkit::SimDuration total_hang = 0;
+  simkit::SimDuration max_hang = 0;
+
+  double MeanHangMs() const {
+    return occurrences == 0 ? 0.0 : simkit::ToMilliseconds(total_hang / occurrences);
+  }
+};
+
+class HangBugReport {
+ public:
+  // Records one diagnosed soft hang bug occurrence observed on `device_id`.
+  void Record(const std::string& app_package, const Diagnosis& diagnosis,
+              simkit::SimDuration hang_duration, int32_t device_id);
+
+  // Folds another device's (or fleet's) report into this one.
+  void Merge(const HangBugReport& other);
+
+  // Entries sorted by device coverage (descending), then occurrences.
+  std::vector<BugReportEntry> SortedEntries() const;
+
+  size_t NumBugs() const { return entries_.size(); }
+
+  // Renders the Figure 2(b)-style table. `total_devices` scales the device percentage.
+  std::string Render(int32_t total_devices) const;
+
+ private:
+  static std::string Key(const std::string& app_package, const Diagnosis& diagnosis);
+
+  std::map<std::string, BugReportEntry> entries_;
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_REPORT_H_

@@ -1,0 +1,128 @@
+#include "src/hangdoctor/trace_analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/droidsim/api.h"
+
+namespace hangdoctor {
+
+namespace {
+
+std::string FrameKey(const droidsim::StackFrame& frame) {
+  return frame.clazz + "." + frame.function + "@" + frame.file + ":" +
+         std::to_string(frame.line);
+}
+
+}  // namespace
+
+Diagnosis TraceAnalyzer::Analyze(const std::vector<droidsim::StackTrace>& traces,
+                                const std::string& app_package) const {
+  // A dominant single API is reported as a (possibly new) blocking API even when its class
+  // lives in the app's own package — runtime behaviour, not provenance, is what matters
+  // (Section 2.2: blocking status comes from expert diagnosis of runtime data). The package
+  // only disambiguates case 4, where the culprit is a caller *function* rather than an API.
+  (void)app_package;
+  Diagnosis diagnosis;
+  std::vector<const droidsim::StackTrace*> usable;
+  for (const droidsim::StackTrace& trace : traces) {
+    if (!trace.frames.empty()) {
+      usable.push_back(&trace);
+    }
+  }
+  if (usable.empty()) {
+    return diagnosis;
+  }
+  diagnosis.valid = true;
+  diagnosis.samples_used = usable.size();
+  double total = static_cast<double>(usable.size());
+
+  // Innermost-frame census.
+  std::map<std::string, std::pair<droidsim::StackFrame, int64_t>> innermost;
+  int64_t ui_innermost = 0;
+  for (const droidsim::StackTrace* trace : usable) {
+    const droidsim::StackFrame& leaf = trace->frames.back();
+    auto [it, inserted] = innermost.try_emplace(FrameKey(leaf), leaf, 0);
+    ++it->second.second;
+    if (droidsim::IsUiClass(leaf.clazz)) {
+      ++ui_innermost;
+    }
+  }
+  const std::pair<droidsim::StackFrame, int64_t>* top = nullptr;
+  for (const auto& [key, entry] : innermost) {
+    if (top == nullptr || entry.second > top->second) {
+      top = &entry;
+    }
+  }
+
+  // Case 2: the samples are dominated by UI-class work.
+  if (static_cast<double>(ui_innermost) / total >= config_.ui_majority) {
+    // Report the most frequent innermost UI frame as the (benign) cause.
+    const std::pair<droidsim::StackFrame, int64_t>* top_ui = nullptr;
+    for (const auto& [key, entry] : innermost) {
+      if (!droidsim::IsUiClass(entry.first.clazz)) {
+        continue;
+      }
+      if (top_ui == nullptr || entry.second > top_ui->second) {
+        top_ui = &entry;
+      }
+    }
+    const auto& chosen = top_ui != nullptr ? *top_ui : *top;
+    diagnosis.culprit = chosen.first;
+    diagnosis.occurrence_factor = static_cast<double>(chosen.second) / total;
+    diagnosis.is_ui = true;
+    return diagnosis;
+  }
+
+  // Case 3: one API dominates.
+  double top_occurrence = static_cast<double>(top->second) / total;
+  if (top_occurrence >= config_.api_occurrence_threshold) {
+    diagnosis.culprit = top->first;
+    diagnosis.occurrence_factor = top_occurrence;
+    diagnosis.is_ui = droidsim::IsUiClass(top->first.clazz);
+    return diagnosis;
+  }
+
+  // Case 4: many light callees — find the deepest caller frame common to most samples.
+  // Count occurrence (at any depth) per non-leaf frame, remembering its maximum depth.
+  std::map<std::string, std::pair<droidsim::StackFrame, int64_t>> callers;
+  std::map<std::string, size_t> caller_depth;
+  for (const droidsim::StackTrace* trace : usable) {
+    for (size_t depth = 0; depth + 1 < trace->frames.size(); ++depth) {
+      const droidsim::StackFrame& frame = trace->frames[depth];
+      std::string key = FrameKey(frame);
+      auto [it, inserted] = callers.try_emplace(key, frame, 0);
+      ++it->second.second;
+      caller_depth[key] = std::max(caller_depth[key], depth);
+    }
+  }
+  const std::pair<droidsim::StackFrame, int64_t>* best = nullptr;
+  size_t best_depth = 0;
+  for (const auto& [key, entry] : callers) {
+    double occurrence = static_cast<double>(entry.second) / total;
+    if (occurrence < config_.caller_occurrence_threshold) {
+      continue;
+    }
+    size_t depth = caller_depth[key];
+    if (best == nullptr || depth > best_depth ||
+        (depth == best_depth && entry.second > best->second)) {
+      best = &entry;
+      best_depth = depth;
+    }
+  }
+  if (best != nullptr) {
+    diagnosis.culprit = best->first;
+    diagnosis.occurrence_factor = static_cast<double>(best->second) / total;
+    diagnosis.is_ui = droidsim::IsUiClass(best->first.clazz);
+    diagnosis.is_self_developed = true;
+    return diagnosis;
+  }
+
+  // Fall back to the most frequent innermost frame even below threshold.
+  diagnosis.culprit = top->first;
+  diagnosis.occurrence_factor = top_occurrence;
+  diagnosis.is_ui = droidsim::IsUiClass(top->first.clazz);
+  return diagnosis;
+}
+
+}  // namespace hangdoctor

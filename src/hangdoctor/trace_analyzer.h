@@ -1,0 +1,59 @@
+// Trace Analyzer (Section 3.4.1): given the stack traces collected during a soft hang, find
+// the root-cause operation via occurrence factors and classify it as a UI operation or a soft
+// hang bug.
+//
+// Decision procedure:
+//  1. Discard empty (idle) samples.
+//  2. If the majority of samples execute a UI-class API innermost, the hang is UI work.
+//  3. Otherwise, if one API dominates the innermost frames (occurrence factor >= the
+//     threshold), it is the culprit — a single heavy blocking API (the camera.open /
+//     HtmlCleaner.clean shape).
+//  4. Otherwise many light APIs share the time: the culprit is the deepest *caller* common to
+//     most samples — a self-developed lengthy operation (the heavy-loop shape). Moving any
+//     single callee would not fix the hang, so the whole caller is reported.
+#ifndef SRC_HANGDOCTOR_TRACE_ANALYZER_H_
+#define SRC_HANGDOCTOR_TRACE_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/droidsim/stack.h"
+
+namespace hangdoctor {
+
+struct Diagnosis {
+  bool valid = false;  // false when no usable samples were collected
+  droidsim::StackFrame culprit;
+  double occurrence_factor = 0.0;
+  bool is_ui = false;
+  bool is_self_developed = false;
+  size_t samples_used = 0;
+};
+
+struct TraceAnalyzerConfig {
+  // Minimum innermost-frame occurrence for a single API to be declared the culprit.
+  double api_occurrence_threshold = 0.5;
+  // Minimum occurrence for a caller frame to be declared a self-developed culprit.
+  double caller_occurrence_threshold = 0.8;
+  // Fraction of innermost UI frames above which the hang is classified as UI work.
+  double ui_majority = 0.5;
+};
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(TraceAnalyzerConfig config = {}) : config_(config) {}
+
+  // `app_package`, when given, marks culprits whose class lives under the app's own package
+  // as self-developed operations (reported to the developer only, never to the API database).
+  Diagnosis Analyze(const std::vector<droidsim::StackTrace>& traces,
+                    const std::string& app_package = "") const;
+
+  const TraceAnalyzerConfig& config() const { return config_; }
+
+ private:
+  TraceAnalyzerConfig config_;
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_TRACE_ANALYZER_H_

@@ -1,0 +1,45 @@
+#include "src/kernelsim/background_load.h"
+
+#include <utility>
+
+namespace kernelsim {
+
+class BackgroundLoad::LoadSource : public WorkSource {
+ public:
+  LoadSource(BackgroundLoadSpec spec, simkit::Rng rng) : spec_(spec), rng_(rng) {}
+
+  Segment NextSegment() override {
+    next_is_burst_ = !next_is_burst_;
+    if (next_is_burst_) {
+      CpuSegment segment;
+      segment.duration = static_cast<simkit::SimDuration>(
+          rng_.Exponential(static_cast<double>(spec_.mean_burst)));
+      segment.syscalls_per_ms = spec_.syscalls_per_ms;
+      // System services churn small allocations.
+      segment.alloc_bytes = rng_.UniformInt(0, 16 * 1024);
+      return segment;
+    }
+    SleepSegment sleep;
+    sleep.duration = static_cast<simkit::SimDuration>(
+        rng_.Exponential(static_cast<double>(spec_.mean_sleep)));
+    return sleep;
+  }
+
+ private:
+  BackgroundLoadSpec spec_;
+  simkit::Rng rng_;
+  bool next_is_burst_ = false;
+};
+
+BackgroundLoad::BackgroundLoad(Kernel* kernel, BackgroundLoadSpec spec, simkit::Rng rng) {
+  ProcessId pid = kernel->CreateProcess("system_background");
+  for (int32_t i = 0; i < spec.num_threads; ++i) {
+    auto source = std::make_unique<LoadSource>(spec, rng.Fork(static_cast<uint64_t>(i)));
+    tids_.push_back(kernel->SpawnThread(pid, "bg-" + std::to_string(i), source.get()));
+    sources_.push_back(std::move(source));
+  }
+}
+
+BackgroundLoad::~BackgroundLoad() = default;
+
+}  // namespace kernelsim

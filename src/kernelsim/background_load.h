@@ -1,0 +1,44 @@
+// Background system load: a handful of threads (system_server, media, GC, other apps'
+// services) alternating CPU bursts and sleeps. On a real phone these are what preempt a
+// CPU-hogging main thread and give compute-heavy soft hang bugs their involuntary
+// context-switch signature; without them a hog would simply own a core forever.
+#ifndef SRC_KERNELSIM_BACKGROUND_LOAD_H_
+#define SRC_KERNELSIM_BACKGROUND_LOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernelsim/kernel.h"
+#include "src/kernelsim/segment.h"
+#include "src/simkit/rng.h"
+
+namespace kernelsim {
+
+struct BackgroundLoadSpec {
+  int32_t num_threads = 4;
+  // Mean CPU burst and mean sleep between bursts.
+  simkit::SimDuration mean_burst = simkit::Milliseconds(3);
+  simkit::SimDuration mean_sleep = simkit::Milliseconds(8);
+  double syscalls_per_ms = 1.0;
+};
+
+class BackgroundLoad {
+ public:
+  BackgroundLoad(Kernel* kernel, BackgroundLoadSpec spec, simkit::Rng rng);
+  ~BackgroundLoad();
+  BackgroundLoad(const BackgroundLoad&) = delete;
+  BackgroundLoad& operator=(const BackgroundLoad&) = delete;
+
+  const std::vector<ThreadId>& thread_ids() const { return tids_; }
+
+ private:
+  class LoadSource;
+
+  std::vector<std::unique_ptr<LoadSource>> sources_;
+  std::vector<ThreadId> tids_;
+};
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_BACKGROUND_LOAD_H_

@@ -1,0 +1,35 @@
+// Hook interface through which the kernel publishes scheduling and memory events. The perf
+// subsystem registers a sink to turn these into performance-event counts; tests register sinks
+// to assert on kernel behaviour. The kernel never depends on perfsim — only the reverse.
+#ifndef SRC_KERNELSIM_EVENT_SINK_H_
+#define SRC_KERNELSIM_EVENT_SINK_H_
+
+#include <cstdint>
+
+#include "src/kernelsim/thread.h"
+#include "src/kernelsim/uarch.h"
+#include "src/simkit/time.h"
+
+namespace kernelsim {
+
+class KernelEventSink {
+ public:
+  virtual ~KernelEventSink() = default;
+
+  // `run` nanoseconds of CPU time were charged to `thread` while executing code with `uarch`.
+  virtual void OnCpuCharge(const Thread& thread, simkit::SimDuration run,
+                           const MicroArchProfile& uarch) = 0;
+
+  // `thread` was switched off a CPU `count` times (micro-syscall yields arrive batched).
+  virtual void OnContextSwitch(const Thread& thread, bool voluntary, int64_t count) = 0;
+
+  // `count` page faults were taken by `thread`.
+  virtual void OnPageFault(const Thread& thread, bool major, int64_t count) = 0;
+
+  // `thread` woke up on a different CPU than it last ran on.
+  virtual void OnCpuMigration(const Thread& thread) = 0;
+};
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_EVENT_SINK_H_

@@ -1,0 +1,57 @@
+#include "src/kernelsim/io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/simkit/logging.h"
+
+namespace kernelsim {
+
+IoDevice::IoDevice(simkit::Simulation* sim, DeviceId id, IoDeviceSpec spec, simkit::Rng rng)
+    : sim_(sim), id_(id), spec_(std::move(spec)), rng_(rng) {}
+
+simkit::SimDuration IoDevice::ComputeServiceTime(const IoRequest& request) {
+  if (request.cached) {
+    // Page-cache hit: copy at memory speed, roughly 1 us per 64 KiB plus a fixed syscall cost.
+    return simkit::Microseconds(5) + request.bytes / (16 * 1024);
+  }
+  double total = 0.0;
+  int32_t rounds = std::max<int32_t>(request.rounds, 1);
+  for (int32_t i = 0; i < rounds; ++i) {
+    double jitter = rng_.LogNormal(0.0, spec_.jitter_sigma);
+    total += static_cast<double>(spec_.base_latency) * jitter;
+  }
+  if (spec_.bandwidth_bytes_per_sec > 0.0 && request.bytes > 0) {
+    total += static_cast<double>(request.bytes) / spec_.bandwidth_bytes_per_sec * 1e9;
+  }
+  return static_cast<simkit::SimDuration>(total);
+}
+
+void IoDevice::Submit(IoRequest request, std::function<void(const IoCompletion&)> on_complete) {
+  queue_.push_back(Pending{request, std::move(on_complete)});
+  StartNext();
+}
+
+void IoDevice::StartNext() {
+  while (in_flight_ < spec_.channels && !queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    ++in_flight_;
+    simkit::SimDuration service = ComputeServiceTime(pending.request);
+    IoCompletion completion;
+    completion.request = pending.request;
+    completion.service_time = service;
+    completion.major_faults =
+        pending.request.cached ? 0 : (pending.request.bytes + kPageSize - 1) / kPageSize;
+    auto callback = std::move(pending.on_complete);
+    sim_->ScheduleAfter(service, [this, completion, callback = std::move(callback)]() {
+      --in_flight_;
+      ++completed_;
+      callback(completion);
+      StartNext();
+    });
+  }
+}
+
+}  // namespace kernelsim

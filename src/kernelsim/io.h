@@ -1,0 +1,75 @@
+// Blocking I/O devices. Each device has a base per-round-trip latency, a bandwidth, and
+// log-normal jitter; requests queue FIFO per device channel. Devices are how blocking APIs
+// (camera open, database reads, flash I/O) spend wall-clock time without CPU time — the
+// behaviour that makes the main thread rack up voluntary context switches during a soft hang.
+#ifndef SRC_KERNELSIM_IO_H_
+#define SRC_KERNELSIM_IO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/kernelsim/types.h"
+#include "src/simkit/rng.h"
+#include "src/simkit/simulation.h"
+#include "src/simkit/time.h"
+
+namespace kernelsim {
+
+struct IoDeviceSpec {
+  std::string name;
+  // Latency of one request/response round trip.
+  simkit::SimDuration base_latency = simkit::Microseconds(100);
+  // Sustained bandwidth in bytes per second (0 = latency-only device, e.g. camera handshake).
+  double bandwidth_bytes_per_sec = 200.0 * 1024 * 1024;
+  // Sigma of the log-normal multiplier applied to the base latency (tail behaviour).
+  double jitter_sigma = 0.25;
+  // Number of requests the device can service concurrently.
+  int32_t channels = 1;
+};
+
+struct IoRequest {
+  ThreadId tid = kInvalidThread;
+  int64_t bytes = 0;
+  int32_t rounds = 1;
+  bool cached = false;  // page-cache hit: served at memory speed, no major faults
+};
+
+struct IoCompletion {
+  IoRequest request;
+  simkit::SimDuration service_time = 0;
+  int64_t major_faults = 0;
+};
+
+class IoDevice {
+ public:
+  IoDevice(simkit::Simulation* sim, DeviceId id, IoDeviceSpec spec, simkit::Rng rng);
+
+  // Enqueues a blocking request; `on_complete` fires when the device finishes it.
+  void Submit(IoRequest request, std::function<void(const IoCompletion&)> on_complete);
+
+  const IoDeviceSpec& spec() const { return spec_; }
+  DeviceId id() const { return id_; }
+  int64_t completed_requests() const { return completed_; }
+
+ private:
+  struct Pending {
+    IoRequest request;
+    std::function<void(const IoCompletion&)> on_complete;
+  };
+
+  simkit::SimDuration ComputeServiceTime(const IoRequest& request);
+  void StartNext();
+
+  simkit::Simulation* sim_;
+  DeviceId id_;
+  IoDeviceSpec spec_;
+  simkit::Rng rng_;
+  std::vector<Pending> queue_;
+  int32_t in_flight_ = 0;
+  int64_t completed_ = 0;
+};
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_IO_H_

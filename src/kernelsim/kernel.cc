@@ -1,0 +1,376 @@
+#include "src/kernelsim/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/simkit/logging.h"
+
+namespace kernelsim {
+
+Kernel::Kernel(simkit::Simulation* sim, KernelSpec spec, uint64_t seed)
+    : sim_(sim),
+      spec_(spec),
+      rng_(seed, /*stream=*/0x6b65726eULL),
+      memory_(spec.memory, rng_.Fork(1)) {
+  cpus_.resize(static_cast<size_t>(std::max(spec_.num_cpus, 1)));
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    cpus_[i].id = static_cast<CpuId>(i);
+  }
+}
+
+ProcessId Kernel::CreateProcess(const std::string& name) {
+  auto pid = static_cast<ProcessId>(process_names_.size());
+  process_names_.push_back(name);
+  memory_.CreateAddressSpace(pid);
+  return pid;
+}
+
+ThreadId Kernel::SpawnThread(ProcessId pid, const std::string& name, WorkSource* source) {
+  auto thread = std::make_unique<Thread>();
+  thread->tid = static_cast<ThreadId>(threads_.size());
+  thread->pid = pid;
+  thread->name = name;
+  thread->source = source;
+  thread->state = ThreadState::kRunnable;
+  Thread& ref = *thread;
+  threads_.push_back(std::move(thread));
+  // Defer the first dispatch to the event loop so callers can finish wiring up state.
+  sim_->ScheduleAfter(0, [this, tid = ref.tid]() {
+    Thread& t = MutableThread(tid);
+    if (t.state == ThreadState::kRunnable) {
+      EnqueueRunnable(t);
+    }
+  });
+  return ref.tid;
+}
+
+DeviceId Kernel::AddDevice(const IoDeviceSpec& device_spec) {
+  auto id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(std::make_unique<IoDevice>(sim_, id, device_spec,
+                                                rng_.Fork(0x1000 + static_cast<uint64_t>(id))));
+  return id;
+}
+
+void Kernel::Wake(ThreadId tid) {
+  Thread& thread = MutableThread(tid);
+  if (thread.state == ThreadState::kBlocked) {
+    thread.state = ThreadState::kRunnable;
+    EnqueueRunnable(thread);
+  } else if (thread.state != ThreadState::kExited) {
+    thread.wake_pending = true;
+  }
+}
+
+const Thread& Kernel::GetThread(ThreadId tid) const {
+  return *threads_.at(static_cast<size_t>(tid));
+}
+
+void Kernel::AddSink(KernelEventSink* sink) { sinks_.push_back(sink); }
+
+void Kernel::RemoveSink(KernelEventSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+void Kernel::EnqueueRunnable(Thread& thread) {
+  assert(thread.state == ThreadState::kRunnable);
+  // Prefer the CPU the thread last ran on (warm caches), then any idle CPU.
+  if (thread.last_cpu != kInvalidCpu) {
+    Cpu& last = cpus_[static_cast<size_t>(thread.last_cpu)];
+    if (last.running == kInvalidThread) {
+      Dispatch(last, thread);
+      return;
+    }
+  }
+  for (Cpu& cpu : cpus_) {
+    if (cpu.running == kInvalidThread) {
+      if (thread.last_cpu != kInvalidCpu && thread.last_cpu != cpu.id) {
+        ++thread.stats.cpu_migrations;
+        for (KernelEventSink* sink : sinks_) {
+          sink->OnCpuMigration(thread);
+        }
+      }
+      Dispatch(cpu, thread);
+      return;
+    }
+  }
+  // All CPUs busy: queue on the shortest run queue (ties go to the last CPU, then lowest id).
+  Cpu* best = &cpus_[0];
+  for (Cpu& cpu : cpus_) {
+    if (cpu.runqueue.size() < best->runqueue.size() ||
+        (cpu.runqueue.size() == best->runqueue.size() && cpu.id == thread.last_cpu)) {
+      best = &cpu;
+    }
+  }
+  best->runqueue.push_back(thread.tid);
+}
+
+void Kernel::ScheduleCpu(Cpu& cpu) {
+  if (cpu.running != kInvalidThread) {
+    return;
+  }
+  if (cpu.runqueue.empty()) {
+    // Work stealing: take the head of the longest queue elsewhere.
+    Cpu* donor = nullptr;
+    for (Cpu& other : cpus_) {
+      if (other.id == cpu.id || other.runqueue.empty()) {
+        continue;
+      }
+      if (donor == nullptr || other.runqueue.size() > donor->runqueue.size()) {
+        donor = &other;
+      }
+    }
+    if (donor == nullptr) {
+      return;
+    }
+    ThreadId stolen = donor->runqueue.front();
+    donor->runqueue.pop_front();
+    Thread& thread = MutableThread(stolen);
+    ++thread.stats.cpu_migrations;
+    for (KernelEventSink* sink : sinks_) {
+      sink->OnCpuMigration(thread);
+    }
+    Dispatch(cpu, thread);
+    return;
+  }
+  ThreadId next = cpu.runqueue.front();
+  cpu.runqueue.pop_front();
+  Dispatch(cpu, MutableThread(next));
+}
+
+void Kernel::Dispatch(Cpu& cpu, Thread& thread) {
+  assert(cpu.running == kInvalidThread);
+  cpu.running = thread.tid;
+  thread.state = ThreadState::kRunning;
+  thread.last_cpu = cpu.id;
+  ++cpu.slice_generation;
+  if (thread.has_segment) {
+    BeginSlice(cpu, thread);
+  } else {
+    PullAndRun(cpu, thread);
+  }
+}
+
+void Kernel::BeginSlice(Cpu& cpu, Thread& thread) {
+  assert(thread.has_segment);
+  simkit::SimDuration run = std::min(thread.segment_remaining, spec_.timeslice);
+  uint64_t generation = cpu.slice_generation;
+  sim_->ScheduleAfter(run, [this, cpu_id = cpu.id, generation]() {
+    OnSliceEnd(cpu_id, generation);
+  });
+}
+
+void Kernel::OnSliceEnd(CpuId cpu_id, uint64_t generation) {
+  Cpu& cpu = cpus_[static_cast<size_t>(cpu_id)];
+  if (cpu.slice_generation != generation || cpu.running == kInvalidThread) {
+    return;  // stale slice event
+  }
+  Thread& thread = MutableThread(cpu.running);
+  simkit::SimDuration run = std::min(thread.segment_remaining, spec_.timeslice);
+  ChargeRun(thread, run);
+  thread.segment_remaining -= run;
+  if (thread.segment_remaining > 0) {
+    if (!cpu.runqueue.empty()) {
+      // Slice expired with competition: involuntary switch, requeue at the back.
+      SwitchOff(cpu, thread, /*voluntary=*/false);
+      thread.state = ThreadState::kRunnable;
+      cpu.runqueue.push_back(thread.tid);
+      ScheduleCpu(cpu);
+    } else {
+      ++cpu.slice_generation;
+      BeginSlice(cpu, thread);
+    }
+    return;
+  }
+  thread.has_segment = false;
+  ++cpu.slice_generation;
+  PullAndRun(cpu, thread);
+}
+
+void Kernel::PullAndRun(Cpu& cpu, Thread& thread) {
+  // Pull until a CPU segment occupies this core or the thread leaves the CPU. The loop bound
+  // guards against WorkSources that emit empty segments forever.
+  for (int guard = 0; guard < 1024; ++guard) {
+    if (thread.source == nullptr) {
+      SwitchOff(cpu, thread, /*voluntary=*/true);
+      thread.state = ThreadState::kExited;
+      ScheduleCpu(cpu);
+      return;
+    }
+    Segment segment = thread.source->NextSegment();
+    if (auto* cpu_seg = std::get_if<CpuSegment>(&segment)) {
+      if (cpu_seg->duration <= 0) {
+        // Zero-length compute: apply memory effects instantly and keep pulling.
+        StartCpuSegment(cpu, thread, *cpu_seg);
+        thread.has_segment = false;
+        continue;
+      }
+      StartCpuSegment(cpu, thread, *cpu_seg);
+      BeginSlice(cpu, thread);
+      return;
+    }
+    if (auto* io_seg = std::get_if<IoSegment>(&segment)) {
+      StartIoSegment(cpu, thread, *io_seg);
+      ScheduleCpu(cpu);
+      return;
+    }
+    if (auto* sleep_seg = std::get_if<SleepSegment>(&segment)) {
+      SwitchOff(cpu, thread, /*voluntary=*/true);
+      thread.state = ThreadState::kSleeping;
+      sim_->ScheduleAfter(std::max<simkit::SimDuration>(sleep_seg->duration, 0),
+                          [this, tid = thread.tid]() {
+                            Thread& t = MutableThread(tid);
+                            if (t.state == ThreadState::kSleeping) {
+                              t.state = ThreadState::kRunnable;
+                              EnqueueRunnable(t);
+                            }
+                          });
+      ScheduleCpu(cpu);
+      return;
+    }
+    if (std::holds_alternative<BlockSegment>(segment)) {
+      if (thread.wake_pending) {
+        thread.wake_pending = false;
+        continue;  // a wake raced ahead of the block; re-pull immediately
+      }
+      SwitchOff(cpu, thread, /*voluntary=*/true);
+      thread.state = ThreadState::kBlocked;
+      ScheduleCpu(cpu);
+      return;
+    }
+    // ExitSegment.
+    SwitchOff(cpu, thread, /*voluntary=*/true);
+    thread.state = ThreadState::kExited;
+    thread.source = nullptr;
+    ScheduleCpu(cpu);
+    return;
+  }
+  SIMKIT_LOG(simkit::LogLevel::kError)
+      << "thread " << thread.name << " emitted 1024 empty segments; forcing exit";
+  SwitchOff(cpu, thread, /*voluntary=*/true);
+  thread.state = ThreadState::kExited;
+  thread.source = nullptr;
+  ScheduleCpu(cpu);
+}
+
+void Kernel::StartCpuSegment(Cpu& cpu, Thread& thread, const CpuSegment& segment) {
+  (void)cpu;
+  thread.segment = segment;
+  thread.segment_remaining = std::max<simkit::SimDuration>(segment.duration, 0);
+  thread.has_segment = thread.segment_remaining > 0;
+  thread.stats.allocated_bytes += segment.alloc_bytes;
+  int64_t faults = memory_.Alloc(thread.pid, segment.alloc_bytes, Now()) +
+                   memory_.Touch(thread.pid, segment.touch_bytes, Now());
+  if (thread.segment_remaining > 0) {
+    thread.fault_rate_per_ns =
+        static_cast<double>(faults) / static_cast<double>(thread.segment_remaining);
+    thread.fault_carry = 0.0;
+    thread.syscall_carry = 0.0;
+  } else if (faults > 0) {
+    thread.stats.minor_faults += faults;
+    for (KernelEventSink* sink : sinks_) {
+      sink->OnPageFault(thread, /*major=*/false, faults);
+    }
+  }
+}
+
+void Kernel::StartIoSegment(Cpu& cpu, Thread& thread, const IoSegment& segment) {
+  SwitchOff(cpu, thread, /*voluntary=*/true);
+  thread.state = ThreadState::kBlocked;
+  IoRequest request;
+  request.tid = thread.tid;
+  request.bytes = segment.bytes;
+  request.rounds = std::max<int32_t>(segment.rounds, 1);
+  request.cached = rng_.Bernoulli(segment.cache_hit_probability);
+  device(segment.device).Submit(request, [this, tid = thread.tid](const IoCompletion& done) {
+    Thread& t = MutableThread(tid);
+    if (t.state == ThreadState::kExited) {
+      return;
+    }
+    t.stats.io_bytes += done.request.bytes;
+    if (done.major_faults > 0) {
+      t.stats.major_faults += done.major_faults;
+      for (KernelEventSink* sink : sinks_) {
+        sink->OnPageFault(t, /*major=*/true, done.major_faults);
+      }
+    }
+    // Each additional round trip blocked and woke the thread once more; wakeups that land
+    // while the last CPU is occupied migrate the thread.
+    int64_t extra_switches = done.request.rounds - 1;
+    if (extra_switches > 0) {
+      t.stats.voluntary_switches += extra_switches;
+      EmitContextSwitch(t, /*voluntary=*/true, extra_switches);
+      int64_t busy = 0;
+      for (const Cpu& c : cpus_) {
+        if (c.running != kInvalidThread) {
+          ++busy;
+        }
+      }
+      double busy_fraction =
+          0.6 * static_cast<double>(busy) / static_cast<double>(cpus_.size());
+      for (int64_t i = 0; i < extra_switches; ++i) {
+        if (rng_.Bernoulli(busy_fraction)) {
+          ++t.stats.cpu_migrations;
+          for (KernelEventSink* sink : sinks_) {
+            sink->OnCpuMigration(t);
+          }
+        }
+      }
+    }
+    if (t.state == ThreadState::kBlocked) {
+      t.state = ThreadState::kRunnable;
+      EnqueueRunnable(t);
+    }
+  });
+}
+
+void Kernel::ChargeRun(Thread& thread, simkit::SimDuration run) {
+  if (run <= 0) {
+    return;
+  }
+  thread.stats.cpu_time += run;
+  // Prorated page faults.
+  double faults = thread.fault_rate_per_ns * static_cast<double>(run) + thread.fault_carry;
+  auto whole_faults = static_cast<int64_t>(faults);
+  thread.fault_carry = faults - static_cast<double>(whole_faults);
+  if (whole_faults > 0) {
+    thread.stats.minor_faults += whole_faults;
+    for (KernelEventSink* sink : sinks_) {
+      sink->OnPageFault(thread, /*major=*/false, whole_faults);
+    }
+  }
+  // Micro-syscall yields (futex/malloc/binder): voluntary context switches without leaving
+  // the CPU for long enough to matter for timing.
+  double yields = thread.segment.syscalls_per_ms * simkit::ToMilliseconds(run) +
+                  thread.syscall_carry;
+  auto whole_yields = static_cast<int64_t>(yields);
+  thread.syscall_carry = yields - static_cast<double>(whole_yields);
+  if (whole_yields > 0) {
+    thread.stats.voluntary_switches += whole_yields;
+    EmitContextSwitch(thread, /*voluntary=*/true, whole_yields);
+  }
+  for (KernelEventSink* sink : sinks_) {
+    sink->OnCpuCharge(thread, run, thread.segment.uarch);
+  }
+}
+
+void Kernel::SwitchOff(Cpu& cpu, Thread& thread, bool voluntary) {
+  assert(cpu.running == thread.tid);
+  cpu.running = kInvalidThread;
+  ++cpu.slice_generation;
+  if (voluntary) {
+    ++thread.stats.voluntary_switches;
+  } else {
+    ++thread.stats.involuntary_switches;
+  }
+  EmitContextSwitch(thread, voluntary, 1);
+}
+
+void Kernel::EmitContextSwitch(const Thread& thread, bool voluntary, int64_t count) {
+  total_context_switches_ += count;
+  for (KernelEventSink* sink : sinks_) {
+    sink->OnContextSwitch(thread, voluntary, count);
+  }
+}
+
+}  // namespace kernelsim

@@ -1,0 +1,114 @@
+// The simulated kernel: multicore scheduler, thread lifecycle, blocking I/O dispatch and
+// demand paging. This is the substrate on which the Android-like runtime (src/droidsim) and
+// the performance-counter subsystem (src/perfsim) are built.
+//
+// Scheduling model (a deliberately small CFS stand-in):
+//  - per-CPU FIFO run queues with a fixed timeslice (default 4 ms);
+//  - a thread runs until its current CPU segment ends or its slice expires with competitors
+//    queued (involuntary context switch);
+//  - waking threads prefer their last CPU, then any idle CPU (counted as a migration when it
+//    differs), then the shortest queue; idle CPUs steal from the longest queue.
+//
+// Everything the paper's detectors observe — context switches, task clock, page faults,
+// migrations — is emitted from these mechanics through KernelEventSink, never hand-assigned.
+#ifndef SRC_KERNELSIM_KERNEL_H_
+#define SRC_KERNELSIM_KERNEL_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernelsim/event_sink.h"
+#include "src/kernelsim/io.h"
+#include "src/kernelsim/memory.h"
+#include "src/kernelsim/segment.h"
+#include "src/kernelsim/thread.h"
+#include "src/kernelsim/types.h"
+#include "src/simkit/rng.h"
+#include "src/simkit/simulation.h"
+
+namespace kernelsim {
+
+struct KernelSpec {
+  int32_t num_cpus = 4;
+  simkit::SimDuration timeslice = simkit::Milliseconds(4);
+  MemorySpec memory;
+};
+
+class Kernel {
+ public:
+  Kernel(simkit::Simulation* sim, KernelSpec spec, uint64_t seed);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  simkit::Simulation* sim() { return sim_; }
+  simkit::SimTime Now() const { return sim_->Now(); }
+  const KernelSpec& spec() const { return spec_; }
+
+  ProcessId CreateProcess(const std::string& name);
+
+  // Spawns a thread executing segments pulled from `source` (not owned, must outlive it).
+  ThreadId SpawnThread(ProcessId pid, const std::string& name, WorkSource* source);
+
+  DeviceId AddDevice(const IoDeviceSpec& device_spec);
+  IoDevice& device(DeviceId id) { return *devices_.at(static_cast<size_t>(id)); }
+
+  // Unblocks a thread waiting on a BlockSegment. Safe to call in any state; a wake delivered
+  // while the thread is not blocked is remembered and consumes the next BlockSegment.
+  void Wake(ThreadId tid);
+
+  const Thread& GetThread(ThreadId tid) const;
+  ThreadStats ThreadStatsSnapshot(ThreadId tid) const { return GetThread(tid).stats; }
+
+  void AddSink(KernelEventSink* sink);
+  void RemoveSink(KernelEventSink* sink);
+
+  MemoryManager& memory() { return memory_; }
+
+  // Total context switches observed machine-wide (for tests and sanity checks).
+  int64_t total_context_switches() const { return total_context_switches_; }
+
+ private:
+  struct Cpu {
+    CpuId id = kInvalidCpu;
+    ThreadId running = kInvalidThread;
+    std::deque<ThreadId> runqueue;
+    uint64_t slice_generation = 0;
+  };
+
+  Thread& MutableThread(ThreadId tid) { return *threads_.at(static_cast<size_t>(tid)); }
+
+  // Places a runnable thread on a CPU or queue; dispatches immediately if a CPU is idle.
+  void EnqueueRunnable(Thread& thread);
+  // If `cpu` is idle, picks the next thread (stealing if its own queue is empty) and runs it.
+  void ScheduleCpu(Cpu& cpu);
+  void Dispatch(Cpu& cpu, Thread& thread);
+  void BeginSlice(Cpu& cpu, Thread& thread);
+  void OnSliceEnd(CpuId cpu_id, uint64_t generation);
+  // Pulls segments from the thread's WorkSource until one occupies the CPU or the thread
+  // leaves the runnable state. The CPU must currently be running `thread`.
+  void PullAndRun(Cpu& cpu, Thread& thread);
+  // Accounts `run` ns of CPU to `thread` (task clock, prorated faults, micro-yields, sinks).
+  void ChargeRun(Thread& thread, simkit::SimDuration run);
+  // Removes `thread` from `cpu` and notifies sinks of the context switch.
+  void SwitchOff(Cpu& cpu, Thread& thread, bool voluntary);
+  void EmitContextSwitch(const Thread& thread, bool voluntary, int64_t count);
+  void StartCpuSegment(Cpu& cpu, Thread& thread, const CpuSegment& segment);
+  void StartIoSegment(Cpu& cpu, Thread& thread, const IoSegment& segment);
+
+  simkit::Simulation* sim_;
+  KernelSpec spec_;
+  simkit::Rng rng_;
+  MemoryManager memory_;
+  std::vector<Cpu> cpus_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<std::unique_ptr<IoDevice>> devices_;
+  std::vector<std::string> process_names_;
+  std::vector<KernelEventSink*> sinks_;
+  int64_t total_context_switches_ = 0;
+};
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_KERNEL_H_

@@ -1,0 +1,85 @@
+#include "src/kernelsim/memory.h"
+
+#include <algorithm>
+
+namespace kernelsim {
+
+MemoryManager::MemoryManager(MemorySpec spec, simkit::Rng rng) : spec_(spec), rng_(rng) {}
+
+void MemoryManager::CreateAddressSpace(ProcessId pid) { spaces_.try_emplace(pid); }
+
+void MemoryManager::DestroyAddressSpace(ProcessId pid) {
+  auto it = spaces_.find(pid);
+  if (it != spaces_.end()) {
+    total_resident_ -= it->second.resident_pages;
+    spaces_.erase(it);
+  }
+}
+
+int64_t MemoryManager::Alloc(ProcessId pid, int64_t bytes, simkit::SimTime now) {
+  if (bytes <= 0) {
+    return 0;
+  }
+  auto [it, unused] = spaces_.try_emplace(pid);
+  AddressSpace& space = it->second;
+  space.last_active = now;
+  int64_t pages = (bytes + kPageSize - 1) / kPageSize;
+  space.resident_pages += pages;
+  total_resident_ += pages;
+  ReclaimIfNeeded(now);
+  return pages;
+}
+
+int64_t MemoryManager::Touch(ProcessId pid, int64_t bytes, simkit::SimTime now) {
+  if (bytes <= 0) {
+    return 0;
+  }
+  auto [it, unused] = spaces_.try_emplace(pid);
+  AddressSpace& space = it->second;
+  space.last_active = now;
+  int64_t pages = (bytes + kPageSize - 1) / kPageSize;
+  double miss_fraction = 1.0 - space.residency;
+  auto faults = static_cast<int64_t>(static_cast<double>(pages) * miss_fraction);
+  if (faults > 0) {
+    // The refaulted pages become resident again.
+    space.residency = std::min(1.0, space.residency + miss_fraction * 0.9);
+    space.resident_pages += faults;
+    total_resident_ += faults;
+    ReclaimIfNeeded(now);
+  }
+  return faults;
+}
+
+int64_t MemoryManager::ResidentPages(ProcessId pid) const {
+  auto it = spaces_.find(pid);
+  return it == spaces_.end() ? 0 : it->second.resident_pages;
+}
+
+void MemoryManager::ReclaimIfNeeded(simkit::SimTime now) {
+  while (total_resident_ > spec_.total_pages) {
+    // Evict from the least recently active address space (an LRU approximation of kswapd).
+    AddressSpace* victim = nullptr;
+    for (auto& [pid, space] : spaces_) {
+      if (space.resident_pages == 0) {
+        continue;
+      }
+      if (victim == nullptr || space.last_active < victim->last_active) {
+        victim = &space;
+      }
+    }
+    if (victim == nullptr) {
+      return;
+    }
+    auto dropped = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(victim->resident_pages) *
+                                spec_.reclaim_fraction));
+    dropped = std::min(dropped, victim->resident_pages);
+    victim->resident_pages -= dropped;
+    victim->residency = std::max(0.0, victim->residency - spec_.reclaim_fraction);
+    // Avoid re-selecting the same victim forever if it never runs again.
+    victim->last_active = now;
+    total_resident_ -= dropped;
+  }
+}
+
+}  // namespace kernelsim

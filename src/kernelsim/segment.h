@@ -1,0 +1,71 @@
+// Thread work model. A simulated thread executes a stream of segments pulled on demand from
+// its WorkSource:
+//
+//  - CpuSegment:   compute for `duration` ns with a given micro-architectural profile and
+//                  memory behaviour (fresh allocations fault on first touch; re-touches of an
+//                  existing working set mostly hit). `syscalls_per_ms` models futex/alloc/binder
+//                  micro-yields, each of which shows up as a voluntary context switch.
+//  - IoSegment:    issue a blocking request to a device; the thread sleeps until completion.
+//                  `rounds` models request/response round trips (each is a block + wakeup).
+//  - SleepSegment: timed sleep.
+//  - BlockSegment: block until Kernel::Wake() (e.g. a Looper waiting on its message queue).
+//  - ExitSegment:  terminate the thread.
+//
+// This pull model lets the Android layer express an arbitrary interleaving of computation and
+// blocking without coroutines, while the scheduler keeps full control of timing, preemption and
+// counter accounting.
+#ifndef SRC_KERNELSIM_SEGMENT_H_
+#define SRC_KERNELSIM_SEGMENT_H_
+
+#include <cstdint>
+#include <variant>
+
+#include "src/kernelsim/types.h"
+#include "src/kernelsim/uarch.h"
+#include "src/simkit/time.h"
+
+namespace kernelsim {
+
+struct CpuSegment {
+  simkit::SimDuration duration = 0;
+  MicroArchProfile uarch;
+  // Bytes newly allocated and touched during this segment (every page minor-faults once).
+  int64_t alloc_bytes = 0;
+  // Bytes of existing working set re-touched (faults only on residency misses).
+  int64_t touch_bytes = 0;
+  // Voluntary micro-yields (futexes, mallocs hitting the kernel, binder calls) per ms of CPU.
+  double syscalls_per_ms = 0.5;
+};
+
+struct IoSegment {
+  DeviceId device = 0;
+  int64_t bytes = 0;
+  // Number of request/response round trips (each adds device base latency and one block/wake).
+  int32_t rounds = 1;
+  // Probability that the requested data is already in the page cache (read satisfied without
+  // major faults and with minimal latency).
+  double cache_hit_probability = 0.0;
+};
+
+struct SleepSegment {
+  simkit::SimDuration duration = 0;
+};
+
+struct BlockSegment {};
+
+struct ExitSegment {};
+
+using Segment = std::variant<CpuSegment, IoSegment, SleepSegment, BlockSegment, ExitSegment>;
+
+class WorkSource {
+ public:
+  virtual ~WorkSource() = default;
+
+  // Returns the next segment for the thread to execute. Called by the scheduler whenever the
+  // previous segment finishes (or after a Wake() following a BlockSegment).
+  virtual Segment NextSegment() = 0;
+};
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_SEGMENT_H_

@@ -1,0 +1,61 @@
+// Thread control block and the /proc-style statistics the kernel keeps for every thread.
+// These stats are what the Utilization-based baseline detectors read (the paper's UT baselines
+// sample CPU time and memory traffic from /proc/PID); the perf subsystem keeps its own richer
+// counters fed by KernelEventSink callbacks.
+#ifndef SRC_KERNELSIM_THREAD_H_
+#define SRC_KERNELSIM_THREAD_H_
+
+#include <string>
+
+#include "src/kernelsim/segment.h"
+#include "src/kernelsim/types.h"
+#include "src/simkit/time.h"
+
+namespace kernelsim {
+
+enum class ThreadState {
+  kRunnable,
+  kRunning,
+  kBlocked,   // waiting on I/O or an explicit Wake()
+  kSleeping,  // timed sleep
+  kExited,
+};
+
+// Cheap always-on accounting, analogous to /proc/<pid>/task/<tid>/{stat,io}.
+struct ThreadStats {
+  simkit::SimDuration cpu_time = 0;
+  int64_t voluntary_switches = 0;
+  int64_t involuntary_switches = 0;
+  int64_t minor_faults = 0;
+  int64_t major_faults = 0;
+  int64_t cpu_migrations = 0;
+  int64_t io_bytes = 0;
+  int64_t allocated_bytes = 0;
+};
+
+struct Thread {
+  ThreadId tid = kInvalidThread;
+  ProcessId pid = 0;
+  std::string name;
+  ThreadState state = ThreadState::kRunnable;
+  WorkSource* source = nullptr;  // not owned; outlives the thread
+
+  // Scheduling state.
+  CpuId last_cpu = kInvalidCpu;
+  bool has_segment = false;
+  CpuSegment segment;                         // current CPU segment
+  simkit::SimDuration segment_remaining = 0;  // of segment.duration
+  // Page faults and micro-syscalls are prorated over the segment; the carries keep the
+  // fractional remainders between slices so totals stay exact.
+  double fault_rate_per_ns = 0.0;
+  double fault_carry = 0.0;
+  double syscall_carry = 0.0;
+  // A Wake() arrived while the thread was not blocked; the next BlockSegment completes at once.
+  bool wake_pending = false;
+
+  ThreadStats stats;
+};
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_THREAD_H_

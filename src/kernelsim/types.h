@@ -1,0 +1,21 @@
+// Shared identifier types for the simulated kernel.
+#ifndef SRC_KERNELSIM_TYPES_H_
+#define SRC_KERNELSIM_TYPES_H_
+
+#include <cstdint>
+
+namespace kernelsim {
+
+using ThreadId = int32_t;
+using ProcessId = int32_t;
+using CpuId = int32_t;
+using DeviceId = int32_t;
+
+inline constexpr ThreadId kInvalidThread = -1;
+inline constexpr CpuId kInvalidCpu = -1;
+
+inline constexpr int64_t kPageSize = 4096;
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_TYPES_H_

@@ -1,0 +1,40 @@
+// Micro-architectural cost profile of a code region. The kernel charges CPU time in slices;
+// the perf subsystem converts each charged slice into hardware event counts (instructions,
+// cache references/misses, branches, ...) using the profile of whatever code the thread is
+// executing. Profiles are per-API in the app layer: e.g. an HTML parser has a high allocation
+// rate and poor cache locality, UI inflation is branchy, a video decoder is load/store heavy.
+#ifndef SRC_KERNELSIM_UARCH_H_
+#define SRC_KERNELSIM_UARCH_H_
+
+namespace kernelsim {
+
+struct MicroArchProfile {
+  // Retired instructions per nanosecond of CPU time (IPC * frequency). ~2.0 on a big core.
+  double instructions_per_ns = 2.0;
+  // Last-level cache references per 1000 instructions.
+  double cache_refs_per_kinstr = 30.0;
+  // Fraction of cache references that miss.
+  double cache_miss_ratio = 0.05;
+  // L1 data cache loads / stores per 1000 instructions.
+  double l1d_loads_per_kinstr = 300.0;
+  double l1d_stores_per_kinstr = 120.0;
+  // Fraction of L1D accesses that refill (miss into L2).
+  double l1d_refill_ratio = 0.02;
+  // L1 instruction cache refills per 1000 instructions (code footprint).
+  double l1i_refill_per_kinstr = 0.8;
+  // Branches per 1000 instructions and their misprediction ratio.
+  double branches_per_kinstr = 180.0;
+  double branch_miss_ratio = 0.02;
+  // TLB refills per 1000 instructions (working-set spread).
+  double dtlb_refill_per_kinstr = 0.5;
+  double itlb_refill_per_kinstr = 0.1;
+  // Cycles per nanosecond with stalls folded in (clock frequency in GHz).
+  double cycles_per_ns = 2.3;
+  // Fraction of cycles stalled at front/back end.
+  double stalled_frontend_ratio = 0.10;
+  double stalled_backend_ratio = 0.20;
+};
+
+}  // namespace kernelsim
+
+#endif  // SRC_KERNELSIM_UARCH_H_

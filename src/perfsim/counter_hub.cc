@@ -1,0 +1,96 @@
+#include "src/perfsim/counter_hub.h"
+
+namespace perfsim {
+
+namespace {
+double& At(CounterArray& counters, PerfEventType event) {
+  return counters[static_cast<size_t>(event)];
+}
+}  // namespace
+
+CounterHub::CounterHub(kernelsim::Kernel* kernel, uint64_t seed, double noise_sigma)
+    : kernel_(kernel), rng_(seed, /*stream=*/0x70657266ULL), noise_sigma_(noise_sigma) {
+  kernel_->AddSink(this);
+}
+
+CounterHub::~CounterHub() { kernel_->RemoveSink(this); }
+
+CounterArray CounterHub::Snapshot(kernelsim::ThreadId tid) const {
+  auto it = counters_.find(tid);
+  if (it == counters_.end()) {
+    return CounterArray{};
+  }
+  return it->second;
+}
+
+double CounterHub::Value(kernelsim::ThreadId tid, PerfEventType event) const {
+  auto it = counters_.find(tid);
+  if (it == counters_.end()) {
+    return 0.0;
+  }
+  return it->second[static_cast<size_t>(event)];
+}
+
+CounterArray& CounterHub::Counters(kernelsim::ThreadId tid) {
+  return counters_.try_emplace(tid).first->second;
+}
+
+double CounterHub::Noise() { return rng_.LogNormal(0.0, noise_sigma_); }
+
+void CounterHub::OnCpuCharge(const kernelsim::Thread& thread, simkit::SimDuration run,
+                             const kernelsim::MicroArchProfile& uarch) {
+  CounterArray& c = Counters(thread.tid);
+  double ns = static_cast<double>(run);
+  At(c, PerfEventType::kTaskClock) += ns;
+  // cpu-clock is measured by a hrtimer rather than scheduler accounting; on real kernels the
+  // two drift apart by a sliver. (The paper omits cpu-clock "because it is similar".)
+  At(c, PerfEventType::kCpuClock) += ns * rng_.Uniform(0.9995, 1.0005);
+
+  double instructions = ns * uarch.instructions_per_ns * Noise();
+  double kinstr = instructions / 1000.0;
+  double cycles = ns * uarch.cycles_per_ns * Noise();
+  At(c, PerfEventType::kInstructions) += instructions;
+  At(c, PerfEventType::kCpuCycles) += cycles;
+  At(c, PerfEventType::kBusCycles) += cycles * 0.38;
+  At(c, PerfEventType::kStalledCyclesFrontend) += cycles * uarch.stalled_frontend_ratio * Noise();
+  At(c, PerfEventType::kStalledCyclesBackend) += cycles * uarch.stalled_backend_ratio * Noise();
+
+  double cache_refs = kinstr * uarch.cache_refs_per_kinstr * Noise();
+  At(c, PerfEventType::kCacheReferences) += cache_refs;
+  At(c, PerfEventType::kCacheMisses) += cache_refs * uarch.cache_miss_ratio * Noise();
+
+  double l1d_loads = kinstr * uarch.l1d_loads_per_kinstr * Noise();
+  double l1d_stores = kinstr * uarch.l1d_stores_per_kinstr * Noise();
+  At(c, PerfEventType::kL1DcacheLoads) += l1d_loads;
+  At(c, PerfEventType::kL1DcacheStores) += l1d_stores;
+  At(c, PerfEventType::kRawL1DcacheRefill) +=
+      (l1d_loads + l1d_stores) * uarch.l1d_refill_ratio * Noise();
+  At(c, PerfEventType::kRawL1IcacheRefill) += kinstr * uarch.l1i_refill_per_kinstr * Noise();
+  At(c, PerfEventType::kRawL1DtlbRefill) += kinstr * uarch.dtlb_refill_per_kinstr * Noise();
+  At(c, PerfEventType::kRawL1ItlbRefill) += kinstr * uarch.itlb_refill_per_kinstr * Noise();
+
+  double branches = kinstr * uarch.branches_per_kinstr * Noise();
+  At(c, PerfEventType::kBranchLoads) += branches;
+  At(c, PerfEventType::kBranchMisses) += branches * uarch.branch_miss_ratio * Noise();
+}
+
+void CounterHub::OnContextSwitch(const kernelsim::Thread& thread, bool voluntary, int64_t count) {
+  (void)voluntary;
+  At(Counters(thread.tid), PerfEventType::kContextSwitches) += static_cast<double>(count);
+}
+
+void CounterHub::OnPageFault(const kernelsim::Thread& thread, bool major, int64_t count) {
+  CounterArray& c = Counters(thread.tid);
+  At(c, PerfEventType::kPageFaults) += static_cast<double>(count);
+  if (major) {
+    At(c, PerfEventType::kMajorFaults) += static_cast<double>(count);
+  } else {
+    At(c, PerfEventType::kMinorFaults) += static_cast<double>(count);
+  }
+}
+
+void CounterHub::OnCpuMigration(const kernelsim::Thread& thread) {
+  At(Counters(thread.tid), PerfEventType::kCpuMigrations) += 1.0;
+}
+
+}  // namespace perfsim

@@ -1,0 +1,51 @@
+// CounterHub subscribes to kernel execution events and maintains the ground-truth per-thread
+// value of every performance event. Hardware-event counts are derived from each charged CPU
+// slice and the micro-architectural profile of the code being executed, with multiplicative
+// log-normal noise so repeated runs of identical code produce realistically scattered counts
+// (the scatter visible in Figure 4 of the paper). PerfSessions snapshot the hub; the PMU
+// register model then decides how accurately a session can observe the truth.
+#ifndef SRC_PERFSIM_COUNTER_HUB_H_
+#define SRC_PERFSIM_COUNTER_HUB_H_
+
+#include <unordered_map>
+
+#include "src/kernelsim/event_sink.h"
+#include "src/kernelsim/kernel.h"
+#include "src/perfsim/events.h"
+#include "src/simkit/rng.h"
+
+namespace perfsim {
+
+class CounterHub : public kernelsim::KernelEventSink {
+ public:
+  // Registers itself as a sink on `kernel`; unregisters on destruction.
+  CounterHub(kernelsim::Kernel* kernel, uint64_t seed, double noise_sigma = 0.09);
+  ~CounterHub() override;
+  CounterHub(const CounterHub&) = delete;
+  CounterHub& operator=(const CounterHub&) = delete;
+
+  // Ground-truth accumulated counts for a thread (zeros for never-seen threads).
+  CounterArray Snapshot(kernelsim::ThreadId tid) const;
+
+  double Value(kernelsim::ThreadId tid, PerfEventType event) const;
+
+  // KernelEventSink:
+  void OnCpuCharge(const kernelsim::Thread& thread, simkit::SimDuration run,
+                   const kernelsim::MicroArchProfile& uarch) override;
+  void OnContextSwitch(const kernelsim::Thread& thread, bool voluntary, int64_t count) override;
+  void OnPageFault(const kernelsim::Thread& thread, bool major, int64_t count) override;
+  void OnCpuMigration(const kernelsim::Thread& thread) override;
+
+ private:
+  CounterArray& Counters(kernelsim::ThreadId tid);
+  double Noise();
+
+  kernelsim::Kernel* kernel_;
+  simkit::Rng rng_;
+  double noise_sigma_;
+  std::unordered_map<kernelsim::ThreadId, CounterArray> counters_;
+};
+
+}  // namespace perfsim
+
+#endif  // SRC_PERFSIM_COUNTER_HUB_H_

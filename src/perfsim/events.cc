@@ -1,0 +1,83 @@
+#include "src/perfsim/events.h"
+
+#include <unordered_map>
+
+namespace perfsim {
+
+bool IsSoftwareEvent(PerfEventType event) {
+  switch (event) {
+    case PerfEventType::kContextSwitches:
+    case PerfEventType::kCpuMigrations:
+    case PerfEventType::kPageFaults:
+    case PerfEventType::kMinorFaults:
+    case PerfEventType::kMajorFaults:
+    case PerfEventType::kTaskClock:
+    case PerfEventType::kCpuClock:
+    case PerfEventType::kAlignmentFaults:
+    case PerfEventType::kEmulationFaults:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+const std::array<std::string, kNumPerfEvents> kNames = {
+    "context-switches",
+    "cpu-migrations",
+    "page-faults",
+    "minor-faults",
+    "major-faults",
+    "task-clock",
+    "cpu-clock",
+    "alignment-faults",
+    "emulation-faults",
+    "cpu-cycles",
+    "instructions",
+    "cache-references",
+    "cache-misses",
+    "branch-loads",
+    "branch-misses",
+    "bus-cycles",
+    "stalled-cycles-frontend",
+    "stalled-cycles-backend",
+    "L1-dcache-loads",
+    "L1-dcache-stores",
+    "raw-l1-dcache-refill",
+    "raw-l1-icache-refill",
+    "raw-l1-itlb-refill",
+    "raw-l1-dtlb-refill",
+};
+}  // namespace
+
+const std::string& PerfEventName(PerfEventType event) {
+  return kNames.at(static_cast<size_t>(event));
+}
+
+std::optional<PerfEventType> PerfEventFromName(const std::string& name) {
+  static const std::unordered_map<std::string, PerfEventType> kByName = [] {
+    std::unordered_map<std::string, PerfEventType> map;
+    for (size_t i = 0; i < kNumPerfEvents; ++i) {
+      map.emplace(kNames[i], static_cast<PerfEventType>(i));
+    }
+    return map;
+  }();
+  auto it = kByName.find(name);
+  if (it == kByName.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::array<PerfEventType, kNumPerfEvents>& AllPerfEvents() {
+  static const std::array<PerfEventType, kNumPerfEvents> kAll = [] {
+    std::array<PerfEventType, kNumPerfEvents> all{};
+    for (size_t i = 0; i < kNumPerfEvents; ++i) {
+      all[i] = static_cast<PerfEventType>(i);
+    }
+    return all;
+  }();
+  return kAll;
+}
+
+}  // namespace perfsim

@@ -1,0 +1,90 @@
+#include "src/perfsim/perf_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perfsim {
+
+PerfSession::PerfSession(const CounterHub* hub, PmuSpec pmu, uint64_t seed)
+    : hub_(hub), pmu_(pmu), rng_(seed, /*stream=*/0x73657373ULL) {}
+
+void PerfSession::AddThread(kernelsim::ThreadId tid) {
+  if (std::find(threads_.begin(), threads_.end(), tid) == threads_.end()) {
+    threads_.push_back(tid);
+  }
+}
+
+void PerfSession::AddEvent(PerfEventType event) {
+  if (std::find(events_.begin(), events_.end(), event) == events_.end()) {
+    events_.push_back(event);
+  }
+}
+
+void PerfSession::AddAllEvents() {
+  for (PerfEventType event : AllPerfEvents()) {
+    AddEvent(event);
+  }
+}
+
+void PerfSession::Start() {
+  start_snapshot_.clear();
+  stop_snapshot_.clear();
+  for (kernelsim::ThreadId tid : threads_) {
+    start_snapshot_[tid] = hub_->Snapshot(tid);
+  }
+  running_ = true;
+  stopped_ = false;
+}
+
+void PerfSession::Stop() {
+  if (!running_) {
+    return;
+  }
+  for (kernelsim::ThreadId tid : threads_) {
+    stop_snapshot_[tid] = hub_->Snapshot(tid);
+  }
+  running_ = false;
+  stopped_ = true;
+}
+
+double PerfSession::EnabledFraction() const {
+  int32_t hardware_events = 0;
+  for (PerfEventType event : events_) {
+    if (!IsSoftwareEvent(event)) {
+      ++hardware_events;
+    }
+  }
+  if (hardware_events <= pmu_.hardware_registers) {
+    return 1.0;
+  }
+  return static_cast<double>(pmu_.hardware_registers) / static_cast<double>(hardware_events);
+}
+
+double PerfSession::Read(kernelsim::ThreadId tid, PerfEventType event) const {
+  auto start_it = start_snapshot_.find(tid);
+  if (start_it == start_snapshot_.end()) {
+    return 0.0;
+  }
+  CounterArray now = stopped_ ? stop_snapshot_.at(tid) : hub_->Snapshot(tid);
+  auto idx = static_cast<size_t>(event);
+  double truth = now[idx] - start_it->second[idx];
+  if (IsSoftwareEvent(event)) {
+    return truth;
+  }
+  double fraction = EnabledFraction();
+  if (fraction >= 1.0) {
+    return truth;
+  }
+  // The kernel saw truth*fraction of the events and extrapolates; the estimate's relative
+  // error grows as the enabled window shrinks.
+  double sigma = pmu_.multiplex_noise * (1.0 - fraction) / 0.5;
+  double observed = truth * rng_.Normal(1.0, sigma);
+  return std::max(observed, 0.0);
+}
+
+double PerfSession::ReadDifference(kernelsim::ThreadId a, kernelsim::ThreadId b,
+                                   PerfEventType event) const {
+  return Read(a, event) - Read(b, event);
+}
+
+}  // namespace perfsim

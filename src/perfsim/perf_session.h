@@ -1,0 +1,70 @@
+// Simpleperf-like counting session. A session names the threads and events it wants, then
+// Start()/Stop() bracket the measurement and Read() returns the observed per-thread counts.
+//
+// The PMU register model is where the paper's "counting accuracy may decrease" caveat lives:
+// software events are always exact, but when a session asks for more *hardware* events than
+// the device has PMU registers (6 on the LG V10 profile vs 15 modeled hardware events), the
+// kernel time-multiplexes the registers. Each hardware event is then only enabled for a
+// fraction of the run and its count is extrapolated, which adds relative error that grows as
+// the enabled fraction shrinks. Hang Doctor's production filter needs only three *software*
+// events, so it never pays this cost — but the offline correlation study that selects those
+// events (Table 3) measures everything and does.
+#ifndef SRC_PERFSIM_PERF_SESSION_H_
+#define SRC_PERFSIM_PERF_SESSION_H_
+
+#include <map>
+#include <vector>
+
+#include "src/perfsim/counter_hub.h"
+#include "src/perfsim/events.h"
+
+namespace perfsim {
+
+struct PmuSpec {
+  // Number of programmable hardware counter registers (per thread context).
+  int32_t hardware_registers = 6;
+  // Relative noise of multiplexed extrapolation at 50% enabled time; scales with (1 - f).
+  double multiplex_noise = 0.04;
+};
+
+class PerfSession {
+ public:
+  PerfSession(const CounterHub* hub, PmuSpec pmu, uint64_t seed);
+
+  // Configuration; must happen before Start().
+  void AddThread(kernelsim::ThreadId tid);
+  void AddEvent(PerfEventType event);
+  void AddAllEvents();
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  // Observed count of `event` on `tid` over the Start..Stop window (or Start..now while
+  // running). Hardware events reflect multiplexing extrapolation error.
+  double Read(kernelsim::ThreadId tid, PerfEventType event) const;
+
+  // Convenience for S-Checker: Read(a) - Read(b), the paper's main−render difference.
+  double ReadDifference(kernelsim::ThreadId a, kernelsim::ThreadId b, PerfEventType event) const;
+
+  const std::vector<PerfEventType>& events() const { return events_; }
+  const std::vector<kernelsim::ThreadId>& threads() const { return threads_; }
+
+  // Fraction of time each hardware event was actually enabled under this configuration.
+  double EnabledFraction() const;
+
+ private:
+  const CounterHub* hub_;
+  PmuSpec pmu_;
+  mutable simkit::Rng rng_;
+  std::vector<kernelsim::ThreadId> threads_;
+  std::vector<PerfEventType> events_;
+  std::map<kernelsim::ThreadId, CounterArray> start_snapshot_;
+  std::map<kernelsim::ThreadId, CounterArray> stop_snapshot_;
+  bool running_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace perfsim
+
+#endif  // SRC_PERFSIM_PERF_SESSION_H_

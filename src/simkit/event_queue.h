@@ -1,0 +1,76 @@
+// Discrete-event queue: the heart of the simulator. Events are (time, sequence, callback)
+// triples ordered by time with FIFO tie-breaking, so simultaneous events run in scheduling
+// order and every run is deterministic. Events can be cancelled via the returned handle.
+#ifndef SRC_SIMKIT_EVENT_QUEUE_H_
+#define SRC_SIMKIT_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/simkit/time.h"
+
+namespace simkit {
+
+using EventCallback = std::function<void()>;
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `cb` to run at absolute time `when`. Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime when, EventCallback cb);
+
+  // Cancels a pending event. Returns false if the event already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // True if no live (non-cancelled) events remain.
+  bool Empty() const;
+
+  // Time of the earliest live event; kSimTimeNever when empty.
+  SimTime NextTime() const;
+
+  // Pops and runs the earliest live event; returns its time. Requires !Empty().
+  // NOTE: callers that own a clock should use PopNext and advance the clock BEFORE invoking
+  // the callback, so the callback observes the event's own timestamp.
+  SimTime RunNext();
+
+  // Pops the earliest live event without running it. Returns false when empty.
+  bool PopNext(SimTime* when, EventCallback* cb);
+
+  // Number of live events.
+  size_t Size() const { return live_count_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    // Mutable: callbacks move out of the priority queue when run.
+    mutable EventCallback cb;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void DropCancelledHead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_EVENT_QUEUE_H_

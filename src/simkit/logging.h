@@ -1,0 +1,48 @@
+// Minimal leveled logger. Components log through this so examples and benches can raise or
+// silence verbosity; tests keep it at kWarning to stay quiet.
+#ifndef SRC_SIMKIT_LOGGING_H_
+#define SRC_SIMKIT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace simkit {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits to stderr with a level tag. Intended for use via the SIMKIT_LOG macro.
+void LogMessage(LogLevel level, const std::string& message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace simkit
+
+#define SIMKIT_LOG(level)                                  \
+  if (static_cast<int>(level) < static_cast<int>(simkit::GetLogLevel())) { \
+  } else                                                   \
+    simkit::LogStream(level)
+
+#endif  // SRC_SIMKIT_LOGGING_H_

@@ -1,0 +1,44 @@
+#include "src/simkit/simulation.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace simkit {
+
+EventId Simulation::ScheduleAfter(SimDuration delay, EventCallback cb) {
+  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(cb));
+}
+
+EventId Simulation::ScheduleAt(SimTime when, EventCallback cb) {
+  return queue_.ScheduleAt(std::max(when, now_), std::move(cb));
+}
+
+SimTime Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+SimTime Simulation::RunToCompletion() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+bool Simulation::Step() {
+  SimTime when = 0;
+  EventCallback cb;
+  if (!queue_.PopNext(&when, &cb)) {
+    return false;
+  }
+  // Advance the clock before the callback so handlers observe their own timestamp.
+  now_ = when;
+  cb();
+  return true;
+}
+
+}  // namespace simkit

@@ -1,0 +1,48 @@
+// Simulation driver: owns the clock and the event queue and advances time by executing events
+// in order. All substrates (kernel, devices, monitors) schedule against one Simulation.
+#ifndef SRC_SIMKIT_SIMULATION_H_
+#define SRC_SIMKIT_SIMULATION_H_
+
+#include <functional>
+
+#include "src/simkit/event_queue.h"
+#include "src/simkit/time.h"
+
+namespace simkit {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` after `delay` nanoseconds (clamped to now for negative delays).
+  EventId ScheduleAfter(SimDuration delay, EventCallback cb);
+
+  // Schedules `cb` at absolute time `when` (clamped to now if in the past).
+  EventId ScheduleAt(SimTime when, EventCallback cb);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs events until the queue empties or the clock passes `deadline`.
+  // Events scheduled exactly at `deadline` are executed. Returns the final clock value.
+  SimTime RunUntil(SimTime deadline);
+
+  // Runs events until the queue is empty.
+  SimTime RunToCompletion();
+
+  // Runs exactly one event if present; returns false when the queue is empty.
+  bool Step();
+
+  size_t PendingEvents() const { return queue_.Size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_SIMULATION_H_

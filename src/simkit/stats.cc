@@ -1,0 +1,127 @@
+#include "src/simkit/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace simkit {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double x : xs) {
+    s += x;
+  }
+  return s / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) {
+    s += (x - m) * (x - m);
+  }
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return 0.0;
+  }
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::Add(double x) {
+  ++total_;
+  double span = hi_ - lo_;
+  if (span <= 0.0) {
+    ++counts_[0];
+    return;
+  }
+  double frac = (x - lo_) / span;
+  auto idx = static_cast<int64_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+}
+
+double Histogram::BinLow(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::Render(size_t max_width) const {
+  size_t peak = 1;
+  for (size_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    size_t width = counts_[i] * max_width / peak;
+    out << "[" << BinLow(i) << ", " << BinLow(i + 1) << ") ";
+    for (size_t w = 0; w < width; ++w) {
+      out << '#';
+    }
+    out << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace simkit

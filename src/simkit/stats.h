@@ -1,0 +1,66 @@
+// Statistics helpers used by the correlation analysis (Section 3.3.1 of the paper) and by the
+// benchmark harnesses: summary statistics, percentiles, Pearson correlation and histograms.
+#ifndef SRC_SIMKIT_STATS_H_
+#define SRC_SIMKIT_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace simkit {
+
+// Incremental mean/variance (Welford). Cheap enough to keep per counter.
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t Count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double Variance() const;  // sample variance (n-1)
+  double StdDev() const;
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+  double Sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double Mean(std::span<const double> xs);
+double StdDev(std::span<const double> xs);
+
+// Linearly interpolated percentile, p in [0, 100]. Returns 0 for empty input.
+double Percentile(std::vector<double> xs, double p);
+
+// Pearson product-moment correlation coefficient between xs and ys (equal length).
+// Returns 0 when either side has zero variance or the inputs are empty/mismatched.
+// This is the statistic the paper uses to rank performance events (Table 3).
+double PearsonCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// Fixed-bin histogram for the figure benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+  void Add(double x);
+  size_t BinCount(size_t i) const { return counts_.at(i); }
+  size_t Bins() const { return counts_.size(); }
+  double BinLow(size_t i) const;
+  size_t Total() const { return total_; }
+  // Renders a one-line-per-bin ASCII bar chart, used by figure benches.
+  std::string Render(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_STATS_H_

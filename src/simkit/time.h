@@ -1,0 +1,32 @@
+// Simulated time. All simulation components express time as SimTime, a signed 64-bit count of
+// nanoseconds since simulation start. Helpers convert to/from the human units used in the paper
+// (milliseconds for response times, nanoseconds for task-clock counters).
+#ifndef SRC_SIMKIT_TIME_H_
+#define SRC_SIMKIT_TIME_H_
+
+#include <cstdint>
+
+namespace simkit {
+
+// Nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A duration, also in nanoseconds. Kept as a distinct alias for readability of interfaces.
+using SimDuration = int64_t;
+
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t us) { return us * 1000; }
+constexpr SimDuration Milliseconds(int64_t ms) { return ms * 1000 * 1000; }
+constexpr SimDuration Seconds(int64_t s) { return s * 1000 * 1000 * 1000; }
+
+constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+// The minimum human-perceivable delay used throughout the paper (Section 1, footnote 1).
+inline constexpr SimDuration kPerceivableDelay = Milliseconds(100);
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_TIME_H_

@@ -1,0 +1,289 @@
+#include "src/workload/api_catalog.h"
+
+namespace workload {
+
+namespace {
+
+using droidsim::ApiCostModel;
+using droidsim::ApiKind;
+using droidsim::ApiSpec;
+using droidsim::DeviceKind;
+using simkit::Milliseconds;
+
+ApiSpec UiApi(const std::string& clazz, const std::string& name, int64_t cpu_ms,
+              int64_t alloc_kb, int32_t frames) {
+  ApiSpec api;
+  api.name = name;
+  api.clazz = clazz;
+  api.kind = ApiKind::kUi;
+  api.known_blocking = false;
+  api.cost.cpu_mean = Milliseconds(cpu_ms);
+  api.cost.cpu_sigma = 0.25;
+  api.cost.uarch = droidsim::UiUarch();
+  api.cost.alloc_bytes_mean = alloc_kb * 1024;
+  api.cost.touch_bytes = 256 * 1024;
+  // UI code on the main thread mostly hands work to the render thread; it yields rarely
+  // itself (the binder traffic is charged to the render side of the pipeline).
+  api.cost.syscalls_per_ms = 0.25;
+  api.cost.frames = frames;
+  api.cost.frame_cpu_mean = Milliseconds(8);
+  return api;
+}
+
+ApiSpec ComputeApi(const std::string& clazz, const std::string& name, int64_t cpu_ms,
+                   double sigma, int64_t alloc_kb, double syscalls_per_ms, bool known,
+                   const kernelsim::MicroArchProfile& uarch) {
+  ApiSpec api;
+  api.name = name;
+  api.clazz = clazz;
+  api.kind = ApiKind::kCompute;
+  api.known_blocking = known;
+  api.cost.cpu_mean = Milliseconds(cpu_ms);
+  api.cost.cpu_sigma = sigma;
+  api.cost.uarch = uarch;
+  api.cost.alloc_bytes_mean = alloc_kb * 1024;
+  api.cost.touch_bytes = 512 * 1024;
+  api.cost.syscalls_per_ms = syscalls_per_ms;
+  return api;
+}
+
+ApiSpec IoApi(const std::string& clazz, const std::string& name, ApiKind kind,
+              DeviceKind device, int32_t rounds, int64_t io_kb, double cache_hit,
+              int64_t cpu_ms, int64_t alloc_kb, double syscalls_per_ms, bool known) {
+  ApiSpec api;
+  api.name = name;
+  api.clazz = clazz;
+  api.kind = kind;
+  api.known_blocking = known;
+  api.cost.device = device;
+  api.cost.io_rounds = rounds;
+  api.cost.io_bytes_mean = io_kb * 1024;
+  api.cost.io_cache_hit = cache_hit;
+  api.cost.cpu_mean = Milliseconds(cpu_ms);
+  api.cost.cpu_sigma = 0.30;
+  api.cost.uarch = droidsim::DefaultUarch();
+  api.cost.alloc_bytes_mean = alloc_kb * 1024;
+  api.cost.touch_bytes = 256 * 1024;
+  api.cost.syscalls_per_ms = syscalls_per_ms;
+  return api;
+}
+
+}  // namespace
+
+const droidsim::ApiSpec* MakeSelfDevelopedApi(droidsim::ApiRegistry* registry,
+                                              const std::string& clazz,
+                                              const std::string& method,
+                                              simkit::SimDuration cpu_mean, int64_t alloc_bytes,
+                                              double syscalls_per_ms) {
+  ApiSpec api;
+  api.name = method;
+  api.clazz = clazz;
+  api.kind = ApiKind::kCompute;
+  api.known_blocking = false;
+  api.cost.cpu_mean = cpu_mean;
+  api.cost.cpu_sigma = 0.30;
+  api.cost.uarch = droidsim::DefaultUarch();
+  api.cost.alloc_bytes_mean = alloc_bytes;
+  api.cost.syscalls_per_ms = syscalls_per_ms;
+  return registry->Register(std::move(api));
+}
+
+StandardApis BuildStandardApis(droidsim::ApiRegistry* registry) {
+  StandardApis apis;
+
+  // ------------------------------ UI APIs ------------------------------
+  apis.ui_set_text = registry->Register(UiApi("android.widget.TextView", "setText", 6, 24, 0));
+  apis.ui_inflate =
+      registry->Register(UiApi("android.view.LayoutInflater", "inflate", 90, 320, 14));
+  apis.ui_seekbar_init = registry->Register(UiApi("android.widget.SeekBar", "<init>", 12, 48, 2));
+  apis.ui_orientation_enable = registry->Register(
+      UiApi("android.view.OrientationEventListener", "enable", 8, 16, 0));
+  apis.ui_list_layout =
+      registry->Register(UiApi("android.widget.ListView", "layoutChildren", 65, 200, 12));
+  {
+    // Pure layout math: heavy on the main thread, almost nothing for the render thread. One
+    // of the UI operations whose symptoms overlap with bugs (the 36% the filter cannot prune).
+    ApiSpec api = UiApi("android.view.View", "measure", 45, 64, 1);
+    api.cost.syscalls_per_ms = 0.05;
+    apis.ui_measure = registry->Register(std::move(api));
+  }
+  apis.ui_draw = registry->Register(UiApi("android.view.View", "draw", 30, 96, 10));
+  apis.ui_webview_layout =
+      registry->Register(UiApi("android.webkit.WebView", "layout", 150, 512, 22));
+  apis.ui_recycler_bind = registry->Register(
+      UiApi("androidx.recyclerview.widget.RecyclerView", "bindViews", 55, 160, 10));
+  apis.ui_animate =
+      registry->Register(UiApi("android.animation.ObjectAnimator", "start", 18, 32, 4));
+  apis.ui_notify_changed = registry->Register(
+      UiApi("android.widget.BaseAdapter", "notifyDataSetChanged", 45, 128, 9));
+  apis.ui_request_layout =
+      registry->Register(UiApi("android.view.View", "requestLayout", 25, 48, 8));
+  {
+    // Image-grid binding: legitimate UI work with large bitmap buffers. The page-fault-heavy
+    // false positive that exercises Diagnoser's path B (the "Inbox" action of Figure 7).
+    ApiSpec api = UiApi("android.widget.Gallery", "bindImages", 70, 3600, 8);
+    api.cost.syscalls_per_ms = 0.05;
+    apis.ui_gallery_bind = registry->Register(std::move(api));
+  }
+
+  // ------------------------- Known blocking APIs -------------------------
+  apis.camera_open = registry->Register(IoApi("android.hardware.Camera", "open",
+                                              ApiKind::kCamera, DeviceKind::kCamera,
+                                              /*rounds=*/8, /*io_kb=*/0, /*cache_hit=*/0.0,
+                                              /*cpu_ms=*/120, /*alloc_kb=*/2600,
+                                              /*syscalls_per_ms=*/0.2, /*known=*/true));
+  apis.camera_set_parameters =
+      registry->Register(IoApi("android.hardware.Camera", "setParameters", ApiKind::kCamera,
+                               DeviceKind::kCamera, 4, 0, 0.0, 80, 800, 0.2, true));
+  {
+    // Large-photo decode: flash read then a load/store-heavy decode with big allocations.
+    ApiSpec api = IoApi("android.graphics.BitmapFactory", "decodeFile", ApiKind::kFileIo,
+                        DeviceKind::kFlash, 4, 1200, 0.35, 280, 4200, 0.03, true);
+    api.cost.uarch = droidsim::DecoderUarch();
+    api.cost.cpu_sigma = 0.30;
+    apis.bitmap_decode_file = registry->Register(std::move(api));
+  }
+  {
+    ApiSpec api = IoApi("android.database.sqlite.SQLiteDatabase", "query", ApiKind::kDatabase,
+                        DeviceKind::kDatabase, 14, 96, 0.1, 220, 2600, 0.3, true);
+    api.cost.uarch = droidsim::DatabaseUarch();
+    apis.db_query = registry->Register(std::move(api));
+  }
+  {
+    ApiSpec api = IoApi("android.database.sqlite.SQLiteDatabase", "insertWithOnConflict",
+                        ApiKind::kDatabase, DeviceKind::kDatabase, 12, 48, 0.0, 200, 2400, 0.3,
+                        true);
+    api.cost.uarch = droidsim::DatabaseUarch();
+    apis.db_insert = registry->Register(std::move(api));
+  }
+  apis.prefs_commit = registry->Register(
+      IoApi("android.content.SharedPreferences$Editor", "commit", ApiKind::kFileIo,
+            DeviceKind::kFlash, 6, 32, 0.0, 33, 600, 0.3, true));
+  apis.media_prepare = registry->Register(IoApi("android.media.MediaPlayer", "prepare",
+                                                ApiKind::kMedia, DeviceKind::kFlash, 20, 800,
+                                                0.2, 220, 2800, 0.4, true));
+  apis.bt_accept = registry->Register(IoApi("android.bluetooth.BluetoothServerSocket", "accept",
+                                            ApiKind::kBluetooth, DeviceKind::kBluetooth, 4, 4,
+                                            0.0, 60, 100, 0.2, true));
+  apis.file_read = registry->Register(IoApi("java.io.FileInputStream", "read",
+                                            ApiKind::kFileIo, DeviceKind::kFlash, 3, 600, 0.4,
+                                            44, 500, 0.3, true));
+  apis.obj_write = registry->Register(IoApi("java.io.ObjectOutputStream", "writeObject",
+                                            ApiKind::kFileIo, DeviceKind::kFlash, 8, 300, 0.0,
+                                            80, 2600, 0.4, true));
+
+  // ---------------------------- Light helpers ----------------------------
+  apis.string_format = registry->Register(ComputeApi("java.lang.String", "format", 3, 0.3, 8,
+                                                     0.3, false, droidsim::DefaultUarch()));
+  apis.small_file_read = registry->Register(IoApi("java.io.BufferedReader", "readLine",
+                                                  ApiKind::kFileIo, DeviceKind::kFlash, 1, 8,
+                                                  0.2, 2, 8, 0.3, false));
+  apis.json_get = registry->Register(ComputeApi("org.json.JSONObject", "get", 2, 0.3, 4, 0.3,
+                                                false, droidsim::DefaultUarch()));
+
+  // --------------------- Previously unknown blocking APIs ---------------------
+  apis.html_clean = registry->Register(ComputeApi("org.htmlcleaner.HtmlCleaner", "clean", 1000,
+                                                  0.30, 6000, 0.6, false,
+                                                  droidsim::ParserUarch()));
+  apis.mime_decode = registry->Register(ComputeApi("com.fsck.k9.mail.internet.MimeUtility",
+                                                   "decodeBody", 450, 0.35, 3200, 0.55, false,
+                                                   droidsim::ParserUarch()));
+  apis.gson_tojson = registry->Register(ComputeApi("com.google.gson.Gson", "toJson", 800, 0.40,
+                                                   5200, 0.5, false, droidsim::ParserUarch()));
+  apis.gson_fromjson = registry->Register(ComputeApi("com.google.gson.Gson", "fromJson", 600,
+                                                     0.35, 4100, 0.5, false,
+                                                     droidsim::ParserUarch()));
+  {
+    // The SageMath shape: a harmless-looking library accessor whose implementation performs
+    // a known-blocking database insert. The child is attached by the app builder.
+    ApiSpec api = ComputeApi("nl.qbusict.cupboard.Cupboard", "get", 10, 0.3, 64, 0.3, false,
+                             droidsim::DatabaseUarch());
+    apis.cupboard_get = registry->Register(std::move(api));
+  }
+  apis.andstatus_download = registry->Register(
+      IoApi("org.andstatus.app.data.DownloadData", "load", ApiKind::kFileIo, DeviceKind::kFlash,
+            26, 300, 0.1, 20, 350, 0.15, false));
+  {
+    ApiSpec api = ComputeApi("org.andstatus.app.graphics.ImageCache", "transform", 90, 0.35,
+                             7200, 0.05, false, droidsim::DecoderUarch());
+    apis.andstatus_transform = registry->Register(std::move(api));
+  }
+  apis.tile_load = registry->Register(IoApi("org.osmdroid.tileprovider.MapTileCache",
+                                            "loadTile", ApiKind::kFileIo, DeviceKind::kFlash,
+                                            22, 500, 0.2, 25, 400, 0.12, false));
+  apis.gpx_read = registry->Register(IoApi("net.cyclestreets.io.GpxReader", "read",
+                                           ApiKind::kFileIo, DeviceKind::kFlash, 24, 700, 0.1,
+                                           30, 350, 0.12, false));
+  apis.omni_thumbnails = registry->Register(
+      ComputeApi("it.feio.android.omninotes.utils.AttachmentLoader", "decodeThumbnails", 80,
+                 0.35, 6100, 0.05, false, droidsim::DecoderUarch()));
+  apis.omni_merge =
+      registry->Register(ComputeApi("it.feio.android.omninotes.utils.NoteMerger", "mergeAll",
+                                    70, 0.35, 5200, 0.05, false, droidsim::ParserUarch()));
+  apis.omni_import = registry->Register(
+      ComputeApi("it.feio.android.omninotes.backup.BackupImporter", "importAll", 95, 0.35,
+                 8200, 0.05, false, droidsim::ParserUarch()));
+  apis.qksms_to_xml =
+      registry->Register(ComputeApi("com.moez.qksms.backup.SmsBackup", "toXml", 500, 0.35,
+                                    1200, 0.8, false, droidsim::ParserUarch()));
+  {
+    ApiSpec api = IoApi("com.moez.qksms.mms.MmsLoader", "loadParts", ApiKind::kFileIo,
+                        DeviceKind::kFlash, 18, 900, 0.1, 260, 1400, 0.6, false);
+    api.cost.uarch = droidsim::DecoderUarch();
+    apis.qksms_load_parts = registry->Register(std::move(api));
+  }
+  {
+    ApiSpec api = IoApi("com.moez.qksms.data.ConversationIndexer", "rebuild",
+                        ApiKind::kDatabase, DeviceKind::kDatabase, 8, 128, 0.0, 400, 1000, 0.7,
+                        false);
+    api.cost.uarch = droidsim::DatabaseUarch();
+    apis.qksms_reindex = registry->Register(std::move(api));
+  }
+  apis.feed_parse =
+      registry->Register(ComputeApi("de.danoeh.antennapod.parser.FeedParser", "parseLargeFeed",
+                                    600, 0.35, 1100, 0.8, false, droidsim::ParserUarch()));
+  {
+    ApiSpec api = ComputeApi("de.danoeh.antennapod.core.ChapterReader", "readChapters", 350,
+                             0.35, 900, 0.9, false, droidsim::ParserUarch());
+    api.cost.device = DeviceKind::kFlash;
+    api.cost.io_rounds = 6;
+    api.cost.io_bytes_mean = 256 * 1024;
+    apis.chapter_read = registry->Register(std::move(api));
+  }
+  {
+    ApiSpec api = IoApi("com.j256.ormlite.dao.Dao", "queryForAll", ApiKind::kDatabase,
+                        DeviceKind::kDatabase, 13, 200, 0.0, 30, 300, 0.1, false);
+    api.cost.uarch = droidsim::DatabaseUarch();
+    apis.ormlite_query = registry->Register(std::move(api));
+  }
+  {
+    ApiSpec api = ComputeApi("ca.uoit.booking.IcsParser", "parse", 550, 0.35, 4600, 0.6, false,
+                             droidsim::ParserUarch());
+    api.cost.device = DeviceKind::kFlash;
+    api.cost.io_rounds = 6;
+    api.cost.io_bytes_mean = 256 * 1024;
+    apis.ics_parse = registry->Register(std::move(api));
+  }
+  apis.radio_icon_decode = registry->Register(
+      ComputeApi("net.programmierecke.radiodroid.StationIconCache", "decodeAll", 85, 0.35,
+                 6600, 0.05, false, droidsim::DecoderUarch()));
+  apis.git_diff_load = registry->Register(IoApi("net.oschina.git.DiffLoader", "loadDiff",
+                                                ApiKind::kFileIo, DeviceKind::kFlash, 20, 400,
+                                                0.1, 25, 380, 0.12, false));
+  {
+    ApiSpec api = ComputeApi("free.rm.skytube.businessobjects.VideoInfoParser", "parse", 700,
+                             0.35, 5100, 0.7, false, droidsim::ParserUarch());
+    api.cost.device = DeviceKind::kFlash;
+    api.cost.io_rounds = 5;
+    api.cost.io_bytes_mean = 384 * 1024;
+    apis.video_info_parse = registry->Register(std::move(api));
+  }
+  // Lens-Launcher: a visible open-source library wrapper around the known decode API.
+  apis.launcher_glide_load = registry->Register(ComputeApi(
+      "com.bumptech.glide.IconLoader", "loadSync", 12, 0.3, 128, 0.3, false,
+      droidsim::DefaultUarch()));
+
+  return apis;
+}
+
+}  // namespace workload

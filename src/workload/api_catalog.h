@@ -1,0 +1,90 @@
+// The standard API catalog: cost models for every UI API, known blocking API and
+// previously-unknown blocking API used by the study, motivation and filler apps. The
+// known/unknown split mirrors the paper's world: "known" APIs are in the community blocking
+// database that offline detectors search; "unknown" ones are Hang Doctor's discoveries
+// (HtmlCleaner.clean, Gson.toJson, cupboard.get, ...).
+//
+// Cost models are tuned so each bug produces the per-event signature Table 6 reports:
+//  - I/O-round-trip-bound bugs (map tiles, DB wrappers, diffs)  -> context-switch only;
+//  - CPU-heavy parser/serializer bugs                           -> + task-clock;
+//  - allocation-heavy decode/merge bugs inside UI-busy actions  -> page-faults only.
+#ifndef SRC_WORKLOAD_API_CATALOG_H_
+#define SRC_WORKLOAD_API_CATALOG_H_
+
+#include "src/droidsim/api.h"
+
+namespace workload {
+
+struct StandardApis {
+  // --- UI APIs (the 11+ UI operations of the training set; never soft hang bugs) ---
+  const droidsim::ApiSpec* ui_set_text = nullptr;
+  const droidsim::ApiSpec* ui_inflate = nullptr;
+  const droidsim::ApiSpec* ui_seekbar_init = nullptr;
+  const droidsim::ApiSpec* ui_orientation_enable = nullptr;
+  const droidsim::ApiSpec* ui_list_layout = nullptr;
+  const droidsim::ApiSpec* ui_measure = nullptr;
+  const droidsim::ApiSpec* ui_draw = nullptr;
+  const droidsim::ApiSpec* ui_webview_layout = nullptr;
+  const droidsim::ApiSpec* ui_recycler_bind = nullptr;
+  const droidsim::ApiSpec* ui_animate = nullptr;
+  const droidsim::ApiSpec* ui_notify_changed = nullptr;
+  const droidsim::ApiSpec* ui_request_layout = nullptr;
+  const droidsim::ApiSpec* ui_gallery_bind = nullptr;
+
+  // --- Known blocking APIs (the historical database; offline-detectable) ---
+  const droidsim::ApiSpec* camera_open = nullptr;
+  const droidsim::ApiSpec* camera_set_parameters = nullptr;
+  const droidsim::ApiSpec* bitmap_decode_file = nullptr;
+  const droidsim::ApiSpec* db_query = nullptr;
+  const droidsim::ApiSpec* db_insert = nullptr;
+  const droidsim::ApiSpec* prefs_commit = nullptr;
+  const droidsim::ApiSpec* media_prepare = nullptr;
+  const droidsim::ApiSpec* bt_accept = nullptr;
+  const droidsim::ApiSpec* file_read = nullptr;
+  const droidsim::ApiSpec* obj_write = nullptr;
+
+  // --- Light helper ops (never hang by themselves) ---
+  const droidsim::ApiSpec* string_format = nullptr;
+  const droidsim::ApiSpec* small_file_read = nullptr;
+  const droidsim::ApiSpec* json_get = nullptr;
+
+  // --- Previously unknown blocking APIs (Hang Doctor's discoveries, Tables 5/6) ---
+  const droidsim::ApiSpec* html_clean = nullptr;       // K9-mail #1007
+  const droidsim::ApiSpec* mime_decode = nullptr;      // K9-mail #1007 (second bug)
+  const droidsim::ApiSpec* gson_tojson = nullptr;      // SageMath #84
+  const droidsim::ApiSpec* gson_fromjson = nullptr;    // UOITDC Booking #3
+  const droidsim::ApiSpec* cupboard_get = nullptr;     // SageMath #84 (library wrapper)
+  const droidsim::ApiSpec* andstatus_download = nullptr;  // AndStatus #303 (ctx-only)
+  const droidsim::ApiSpec* andstatus_transform = nullptr;  // AndStatus #303 (page-only)
+  const droidsim::ApiSpec* tile_load = nullptr;        // CycleStreets #117
+  const droidsim::ApiSpec* gpx_read = nullptr;         // CycleStreets #117
+  const droidsim::ApiSpec* omni_thumbnails = nullptr;  // Omni-Notes #253 (page-only)
+  const droidsim::ApiSpec* omni_merge = nullptr;       // Omni-Notes #253 (page-only)
+  const droidsim::ApiSpec* omni_import = nullptr;      // Omni-Notes #253 (page-only)
+  const droidsim::ApiSpec* qksms_to_xml = nullptr;     // QKSMS #382
+  const droidsim::ApiSpec* qksms_load_parts = nullptr;
+  const droidsim::ApiSpec* qksms_reindex = nullptr;
+  const droidsim::ApiSpec* feed_parse = nullptr;       // AntennaPod #1921 (ctx+task)
+  const droidsim::ApiSpec* chapter_read = nullptr;     // AntennaPod #1921 (ctx+task)
+  const droidsim::ApiSpec* ormlite_query = nullptr;    // Merchant #17 (ctx-only)
+  const droidsim::ApiSpec* ics_parse = nullptr;        // UOITDC Booking #3
+  const droidsim::ApiSpec* radio_icon_decode = nullptr;  // RadioDroid #29 (page-only)
+  const droidsim::ApiSpec* git_diff_load = nullptr;    // Git@OSC #89 (ctx-only)
+  const droidsim::ApiSpec* video_info_parse = nullptr;  // SkyTube #88
+  const droidsim::ApiSpec* launcher_glide_load = nullptr;  // Lens-Launcher #15 (wrapper)
+};
+
+// Registers every standard API into `registry` and returns the handle struct.
+StandardApis BuildStandardApis(droidsim::ApiRegistry* registry);
+
+// Makes a self-developed compute API owned by an app (clazz under the app's package).
+// Self-developed operations are invisible to offline scanners (no known API name).
+const droidsim::ApiSpec* MakeSelfDevelopedApi(droidsim::ApiRegistry* registry,
+                                              const std::string& clazz,
+                                              const std::string& method,
+                                              simkit::SimDuration cpu_mean, int64_t alloc_bytes,
+                                              double syscalls_per_ms);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_API_CATALOG_H_

@@ -1,0 +1,67 @@
+#include "src/workload/catalog.h"
+
+namespace workload {
+
+droidsim::AppSpec* CatalogState::NewApp(const std::string& name, const std::string& package,
+                                        const std::string& category, const std::string& commit,
+                                        int64_t downloads) {
+  auto app = std::make_unique<droidsim::AppSpec>();
+  app->name = name;
+  app->package = package;
+  app->category = category;
+  app->commit = commit;
+  app->downloads = downloads;
+  owned_apps.push_back(std::move(app));
+  return owned_apps.back().get();
+}
+
+Catalog::Catalog() {
+  state_.apis = BuildStandardApis(&state_.registry);
+  BuildStudyApps(&state_);
+  BuildMotivationApps(&state_);
+  BuildFillerApps(&state_);
+}
+
+std::vector<const droidsim::AppSpec*> Catalog::all_apps() const {
+  std::vector<const droidsim::AppSpec*> all;
+  all.insert(all.end(), state_.study.begin(), state_.study.end());
+  all.insert(all.end(), state_.motivation.begin(), state_.motivation.end());
+  all.insert(all.end(), state_.filler.begin(), state_.filler.end());
+  return all;
+}
+
+std::vector<BugSpec> Catalog::BugsOf(const std::string& app_name) const {
+  std::vector<BugSpec> bugs;
+  for (const BugSpec& bug : state_.study_bugs) {
+    if (bug.app_name == app_name) {
+      bugs.push_back(bug);
+    }
+  }
+  for (const BugSpec& bug : state_.motivation_bugs) {
+    if (bug.app_name == app_name) {
+      bugs.push_back(bug);
+    }
+  }
+  return bugs;
+}
+
+const droidsim::AppSpec* Catalog::FindApp(const std::string& name) const {
+  for (const auto& app : state_.owned_apps) {
+    if (app->name == name) {
+      return app.get();
+    }
+  }
+  return nullptr;
+}
+
+hangdoctor::BlockingApiDatabase Catalog::MakeKnownDatabase() const {
+  hangdoctor::BlockingApiDatabase database;
+  for (const droidsim::ApiSpec* spec : state_.registry.AllSpecs()) {
+    if (spec->known_blocking) {
+      database.SeedKnown(spec->FullName());
+    }
+  }
+  return database;
+}
+
+}  // namespace workload

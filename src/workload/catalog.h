@@ -1,0 +1,82 @@
+// The full app corpus of the paper's evaluation:
+//  - the 16 study apps of Table 5 with their 34 soft hang bugs (23 previously unknown);
+//  - the 8 motivation apps of Tables 1/2 with 19 well-known bugs and 34 hang-prone UI ops;
+//  - ~90 bug-free filler apps, for a total of 114 tested apps.
+// Each BugSpec records the expected culprit and whether a PerfChecker-style offline scan
+// should find it, so benches can verify both columns of Table 5 mechanically.
+#ifndef SRC_WORKLOAD_CATALOG_H_
+#define SRC_WORKLOAD_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/droidsim/app.h"
+#include "src/hangdoctor/blocking_api_db.h"
+#include "src/workload/api_catalog.h"
+
+namespace workload {
+
+struct BugSpec {
+  std::string app_name;
+  std::string issue_id;
+  std::string api;  // expected culprit, "clazz.function"
+  std::string file;
+  int32_t line = 0;
+  bool known_blocking = false;  // in the historical blocking-API database
+  bool missed_offline = false;  // the MO column of Table 5
+  bool self_developed = false;
+};
+
+// Internal state shared by the per-group builder translation units.
+struct CatalogState {
+  droidsim::ApiRegistry registry;
+  StandardApis apis;
+  std::vector<std::unique_ptr<droidsim::AppSpec>> owned_apps;
+  std::vector<const droidsim::AppSpec*> study;
+  std::vector<const droidsim::AppSpec*> motivation;
+  std::vector<const droidsim::AppSpec*> filler;
+  std::vector<BugSpec> study_bugs;
+  std::vector<BugSpec> motivation_bugs;
+
+  droidsim::AppSpec* NewApp(const std::string& name, const std::string& package,
+                            const std::string& category, const std::string& commit,
+                            int64_t downloads);
+};
+
+void BuildStudyApps(CatalogState* state);       // study_apps.cc (Table 5)
+void BuildMotivationApps(CatalogState* state);  // motivation_apps.cc (Tables 1/2)
+void BuildFillerApps(CatalogState* state);      // filler_apps.cc (to 114 apps)
+
+class Catalog {
+ public:
+  Catalog();
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  const droidsim::ApiRegistry& apis() const { return state_.registry; }
+  const StandardApis& std_apis() const { return state_.apis; }
+
+  const std::vector<const droidsim::AppSpec*>& study_apps() const { return state_.study; }
+  const std::vector<const droidsim::AppSpec*>& motivation_apps() const {
+    return state_.motivation;
+  }
+  const std::vector<const droidsim::AppSpec*>& filler_apps() const { return state_.filler; }
+  std::vector<const droidsim::AppSpec*> all_apps() const;
+
+  const std::vector<BugSpec>& study_bugs() const { return state_.study_bugs; }
+  const std::vector<BugSpec>& motivation_bugs() const { return state_.motivation_bugs; }
+  std::vector<BugSpec> BugsOf(const std::string& app_name) const;
+
+  const droidsim::AppSpec* FindApp(const std::string& name) const;
+
+  // The known-blocking-API database as the community had it before Hang Doctor's discoveries.
+  hangdoctor::BlockingApiDatabase MakeKnownDatabase() const;
+
+ private:
+  CatalogState state_;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_CATALOG_H_

@@ -1,0 +1,122 @@
+#include "src/workload/experiment.h"
+
+#include <unordered_map>
+
+namespace workload {
+
+DetectionStats& DetectionStats::operator+=(const DetectionStats& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  bug_hangs += other.bug_hangs;
+  ui_hangs += other.ui_hangs;
+  overhead_pct += other.overhead_pct;  // callers average when aggregating
+  return *this;
+}
+
+TraceUsage AppUsage(droidsim::Phone& phone, droidsim::App& app) {
+  TraceUsage usage;
+  for (kernelsim::ThreadId tid :
+       {app.main_tid(), app.render_tid(), app.worker_looper().tid()}) {
+    kernelsim::ThreadStats stats = phone.kernel().ThreadStatsSnapshot(tid);
+    usage.cpu += stats.cpu_time;
+    usage.bytes += stats.allocated_bytes +
+                   (stats.minor_faults + stats.major_faults) * kernelsim::kPageSize;
+  }
+  return usage;
+}
+
+namespace {
+
+template <typename GetTraced>
+DetectionStats Score(const GroundTruthRecorder& truth, GetTraced traced_for) {
+  DetectionStats stats;
+  for (const HangLabel& label : truth.labels()) {
+    if (!label.hang) {
+      continue;
+    }
+    bool traced = traced_for(label.execution_id);
+    if (label.cause_is_bug) {
+      ++stats.bug_hangs;
+      if (traced) {
+        ++stats.true_positives;
+      } else {
+        ++stats.false_negatives;
+      }
+    } else {
+      ++stats.ui_hangs;
+      if (traced) {
+        ++stats.false_positives;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+DetectionStats ScoreDetector(const GroundTruthRecorder& truth,
+                             std::span<const baselines::DetectionOutcome> outcomes,
+                             int64_t spurious_detections) {
+  std::unordered_map<int64_t, bool> traced;
+  for (const baselines::DetectionOutcome& outcome : outcomes) {
+    traced[outcome.execution_id] = outcome.traced;
+  }
+  DetectionStats stats = Score(truth, [&traced](int64_t execution_id) {
+    auto it = traced.find(execution_id);
+    return it != traced.end() && it->second;
+  });
+  stats.false_positives += spurious_detections;
+  return stats;
+}
+
+DetectionStats ScoreHangDoctor(const GroundTruthRecorder& truth,
+                               std::span<const hangdoctor::ExecutionRecord> records) {
+  std::unordered_map<int64_t, bool> traced;
+  for (const hangdoctor::ExecutionRecord& record : records) {
+    traced[record.execution_id] = record.traced;
+  }
+  return Score(truth, [&traced](int64_t execution_id) {
+    auto it = traced.find(execution_id);
+    return it != traced.end() && it->second;
+  });
+}
+
+SingleAppHarness::SingleAppHarness(const droidsim::DeviceProfile& profile,
+                                   const droidsim::AppSpec* spec, uint64_t seed)
+    : seed_(seed) {
+  phone_ = std::make_unique<droidsim::Phone>(profile, seed);
+  app_ = phone_->InstallApp(spec);
+  truth_ = std::make_unique<GroundTruthRecorder>(phone_.get(), app_);
+}
+
+void SingleAppHarness::RunUserSession(simkit::SimDuration duration, UserSessionConfig config) {
+  UserSession user(phone_.get(), app_, phone_->ForkRng(0x757365ULL ^ seed_), config);
+  phone_->RunFor(duration);
+  // Let the last action's dispatch and render work drain so every execution quiesces.
+  phone_->RunFor(simkit::Seconds(10));
+}
+
+void SingleAppHarness::RunScript(const std::vector<int32_t>& script, simkit::SimDuration think,
+                                 simkit::SimDuration tail) {
+  UserSessionConfig config;
+  config.mean_think = think;
+  config.min_think = think;
+  UserSession user(phone_.get(), app_, script, config);
+  phone_->RunFor(think * static_cast<int64_t>(script.size() + 1) + tail);
+}
+
+TraceUsage SingleAppHarness::Usage() { return AppUsage(*phone_, *app_); }
+
+CalibratedThresholds CalibrateUtilization(const droidsim::DeviceProfile& profile,
+                                          const droidsim::AppSpec* spec, uint64_t seed,
+                                          simkit::SimDuration duration) {
+  SingleAppHarness harness(profile, spec, seed);
+  harness.RunUserSession(duration);
+  CalibratedThresholds thresholds;
+  thresholds.low = harness.truth().LowThresholds();
+  thresholds.high = harness.truth().HighThresholds();
+  return thresholds;
+}
+
+}  // namespace workload

@@ -1,0 +1,84 @@
+// Experiment glue: a one-app-per-phone harness with ground truth, detector scoring against
+// that truth (the paper's TP/FP/FN counting over *traced* soft hangs), and resource-usage
+// accounting for the Section 4.5 overhead percentages.
+#ifndef SRC_WORKLOAD_EXPERIMENT_H_
+#define SRC_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/baselines/detector.h"
+#include "src/droidsim/phone.h"
+#include "src/hangdoctor/hang_doctor.h"
+#include "src/workload/catalog.h"
+#include "src/workload/ground_truth.h"
+#include "src/workload/user_model.h"
+
+namespace workload {
+
+struct DetectionStats {
+  int64_t true_positives = 0;   // traced soft hangs caused by bugs
+  int64_t false_positives = 0;  // traced soft hangs caused by UI work
+  int64_t false_negatives = 0;  // bug soft hangs that were not traced
+  int64_t bug_hangs = 0;        // ground truth totals
+  int64_t ui_hangs = 0;
+  double overhead_pct = 0.0;
+
+  DetectionStats& operator+=(const DetectionStats& other);
+};
+
+// Resource usage of the app's own threads over the run (denominator for overhead %).
+struct TraceUsage {
+  simkit::SimDuration cpu = 0;
+  int64_t bytes = 0;
+};
+
+TraceUsage AppUsage(droidsim::Phone& phone, droidsim::App& app);
+
+DetectionStats ScoreDetector(const GroundTruthRecorder& truth,
+                             std::span<const baselines::DetectionOutcome> outcomes,
+                             int64_t spurious_detections = 0);
+DetectionStats ScoreHangDoctor(const GroundTruthRecorder& truth,
+                               std::span<const hangdoctor::ExecutionRecord> records);
+
+// One phone running one app with ground truth attached. Create detectors against phone()/app()
+// after construction, then RunUserSession().
+class SingleAppHarness {
+ public:
+  SingleAppHarness(const droidsim::DeviceProfile& profile, const droidsim::AppSpec* spec,
+                   uint64_t seed);
+
+  droidsim::Phone& phone() { return *phone_; }
+  droidsim::App& app() { return *app_; }
+  const GroundTruthRecorder& truth() const { return *truth_; }
+
+  // Drives a stochastic user for `duration` of simulated time, then drains in-flight work.
+  void RunUserSession(simkit::SimDuration duration, UserSessionConfig config = {});
+
+  // Replays an exact action sequence.
+  void RunScript(const std::vector<int32_t>& script, simkit::SimDuration think,
+                 simkit::SimDuration tail = simkit::Seconds(5));
+
+  TraceUsage Usage();
+
+ private:
+  std::unique_ptr<droidsim::Phone> phone_;
+  droidsim::App* app_;
+  std::unique_ptr<GroundTruthRecorder> truth_;
+  uint64_t seed_;
+};
+
+// Calibrates the UT baselines' thresholds by observing bug hangs without any detector, as the
+// paper derives UTL/UTH from utilizations "observed during soft hang bugs".
+struct CalibratedThresholds {
+  baselines::UtilizationThresholds low;
+  baselines::UtilizationThresholds high;
+};
+CalibratedThresholds CalibrateUtilization(const droidsim::DeviceProfile& profile,
+                                          const droidsim::AppSpec* spec, uint64_t seed,
+                                          simkit::SimDuration duration);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,60 @@
+// Bug-free filler apps bringing the tested corpus to the paper's 114. Generated procedurally
+// with a fixed seed: each app draws a handful of UI actions with varied compositions, so the
+// fleet study exercises the detectors on realistic, hang-prone-but-benign apps rather than
+// copy-pasted clones.
+#include "src/workload/catalog.h"
+
+#include "src/simkit/rng.h"
+
+namespace workload {
+
+namespace {
+
+constexpr int32_t kFillerApps = 90;
+
+const char* kCategories[] = {"Tools",  "Productivity", "Social",    "Music & Audio",
+                             "Travel", "Education",    "Lifestyle", "Finance"};
+
+}  // namespace
+
+void BuildFillerApps(CatalogState* state) {
+  const StandardApis& api = state->apis;
+  const droidsim::ApiSpec* ui_pool[] = {
+      api.ui_set_text,    api.ui_inflate,      api.ui_seekbar_init, api.ui_list_layout,
+      api.ui_measure,     api.ui_draw,         api.ui_recycler_bind, api.ui_animate,
+      api.ui_notify_changed, api.ui_request_layout,
+  };
+  const droidsim::ApiSpec* light_pool[] = {api.string_format, api.json_get,
+                                           api.small_file_read};
+  simkit::Rng rng(0xF111E4, /*stream=*/7);
+  for (int32_t i = 0; i < kFillerApps; ++i) {
+    std::string name = "Filler-" + std::to_string(i);
+    std::string package = "com.filler.app" + std::to_string(i);
+    droidsim::AppSpec* app =
+        state->NewApp(name, package, kCategories[i % 8],
+                      "f" + std::to_string(1000000 + i * 7919), 100 * (1 + i % 50));
+    int64_t actions = rng.UniformInt(3, 5);
+    for (int64_t a = 0; a < actions; ++a) {
+      droidsim::ActionSpec action;
+      action.name = "Action" + std::to_string(a);
+      action.weight = 1.0 + static_cast<double>(rng.UniformInt(0, 2));
+      droidsim::InputEventSpec event;
+      event.handler = a == 0 ? "onResume" : "onClick";
+      event.handler_file = "Activity" + std::to_string(a) + ".java";
+      event.handler_line = static_cast<int32_t>(rng.UniformInt(20, 200));
+      int64_t ops = rng.UniformInt(1, 3);
+      for (int64_t o = 0; o < ops; ++o) {
+        const droidsim::ApiSpec* chosen =
+            rng.Bernoulli(0.8) ? ui_pool[rng.UniformInt(0, 9)]
+                               : light_pool[rng.UniformInt(0, 2)];
+        event.ops.push_back(droidsim::MakeOp(
+            chosen, event.handler_file, static_cast<int32_t>(rng.UniformInt(20, 400))));
+      }
+      action.events.push_back(std::move(event));
+      app->actions.push_back(std::move(action));
+    }
+    state->filler.push_back(app);
+  }
+}
+
+}  // namespace workload

@@ -1,0 +1,129 @@
+#include "src/workload/ground_truth.h"
+
+#include <algorithm>
+
+namespace workload {
+
+GroundTruthRecorder::GroundTruthRecorder(droidsim::Phone* phone, droidsim::App* app)
+    : phone_(phone), app_(app) {
+  app_->AddObserver(this);
+}
+
+GroundTruthRecorder::~GroundTruthRecorder() { app_->RemoveObserver(this); }
+
+const HangLabel* GroundTruthRecorder::Find(int64_t execution_id) const {
+  auto it = by_execution_.find(execution_id);
+  return it == by_execution_.end() ? nullptr : &labels_[it->second];
+}
+
+void GroundTruthRecorder::OnInputEventStart(droidsim::App& app,
+                                            const droidsim::ActionExecution& execution,
+                                            int32_t event_index) {
+  (void)app;
+  if (event_index == 0) {
+    start_stats_[execution.execution_id] =
+        phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
+    start_time_[execution.execution_id] = phone_->Now();
+  }
+}
+
+void GroundTruthRecorder::OnActionQuiesced(droidsim::App& app,
+                                           const droidsim::ActionExecution& execution) {
+  (void)app;
+  HangLabel label;
+  label.execution_id = execution.execution_id;
+  label.action_uid = execution.action_uid;
+  label.response = execution.max_response;
+  label.hang = execution.max_response > simkit::kPerceivableDelay;
+  const droidsim::OpContribution* dominant = nullptr;
+  for (const droidsim::OpContribution& contribution : execution.contributions) {
+    if (dominant == nullptr || contribution.self_duration > dominant->self_duration) {
+      dominant = &contribution;
+    }
+  }
+  if (dominant != nullptr && dominant->api != nullptr) {
+    label.cause_api = dominant->api->FullName();
+    label.cause_file = dominant->file;
+    label.cause_line = dominant->line;
+    label.cause_is_bug = dominant->api->kind != droidsim::ApiKind::kUi;
+  }
+  auto stats_it = start_stats_.find(execution.execution_id);
+  auto time_it = start_time_.find(execution.execution_id);
+  if (stats_it != start_stats_.end() && time_it != start_time_.end()) {
+    kernelsim::ThreadStats now_stats = phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
+    simkit::SimDuration window = phone_->Now() - time_it->second;
+    label.utilization = baselines::ComputeUtilization(stats_it->second, now_stats, window);
+    start_stats_.erase(stats_it);
+    start_time_.erase(time_it);
+  }
+  by_execution_[label.execution_id] = labels_.size();
+  labels_.push_back(std::move(label));
+}
+
+baselines::UtilizationThresholds GroundTruthRecorder::LowThresholds() const {
+  baselines::UtilizationThresholds thresholds;
+  bool first = true;
+  for (const HangLabel& label : labels_) {
+    if (!label.hang || !label.cause_is_bug) {
+      continue;
+    }
+    if (first) {
+      thresholds.cpu_fraction = label.utilization.cpu_fraction;
+      thresholds.mem_bytes_per_sec = label.utilization.mem_bytes_per_sec;
+      first = false;
+    } else {
+      thresholds.cpu_fraction = std::min(thresholds.cpu_fraction,
+                                         label.utilization.cpu_fraction);
+      thresholds.mem_bytes_per_sec =
+          std::min(thresholds.mem_bytes_per_sec, label.utilization.mem_bytes_per_sec);
+    }
+  }
+  if (first) {
+    // No bug hangs observed: fall back to permissive defaults.
+    thresholds.cpu_fraction = 0.1;
+    thresholds.mem_bytes_per_sec = 1.0 * 1024 * 1024;
+  } else {
+    // The detector samples fixed 100 ms windows rather than whole executions. I/O-bound bug
+    // hangs contain windows with almost no CPU or memory activity, so catching *every* bug
+    // (the paper's UTL property) requires thresholds far below the per-execution minimum —
+    // which is exactly why UTL drowns in false positives.
+    thresholds.cpu_fraction *= 0.25;
+    thresholds.mem_bytes_per_sec *= 0.25;
+  }
+  return thresholds;
+}
+
+baselines::UtilizationThresholds GroundTruthRecorder::HighThresholds() const {
+  baselines::UtilizationThresholds thresholds;
+  thresholds.cpu_fraction = 0.0;
+  thresholds.mem_bytes_per_sec = 0.0;
+  for (const HangLabel& label : labels_) {
+    if (!label.hang || !label.cause_is_bug) {
+      continue;
+    }
+    thresholds.cpu_fraction = std::max(thresholds.cpu_fraction,
+                                       label.utilization.cpu_fraction);
+    thresholds.mem_bytes_per_sec =
+        std::max(thresholds.mem_bytes_per_sec, label.utilization.mem_bytes_per_sec);
+  }
+  if (thresholds.cpu_fraction == 0.0 && thresholds.mem_bytes_per_sec == 0.0) {
+    thresholds.cpu_fraction = 0.9;
+    thresholds.mem_bytes_per_sec = 64.0 * 1024 * 1024;
+  } else {
+    thresholds.cpu_fraction *= 0.9;
+    thresholds.mem_bytes_per_sec *= 0.9;
+  }
+  return thresholds;
+}
+
+int64_t GroundTruthRecorder::bug_hangs() const {
+  int64_t count = 0;
+  for (const HangLabel& label : labels_) {
+    if (label.hang && label.cause_is_bug) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace workload

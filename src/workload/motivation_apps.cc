@@ -1,0 +1,328 @@
+// The 8 motivation apps of Table 1, built so a deterministic user session reproduces Table
+// 2's true/false positive counts per timeout: 19 well-known soft hang bugs whose hangs sit
+// mostly in 100-500 ms (SeaDroid's exceeds 1 s, FrostWire's exceeds 500 ms), and 34
+// hang-prone UI operations, 8 of which occasionally exceed 500 ms.
+#include "src/workload/catalog.h"
+
+namespace workload {
+
+namespace {
+
+using droidsim::ActionSpec;
+using droidsim::ApiKind;
+using droidsim::ApiSpec;
+using droidsim::DeviceKind;
+using droidsim::InputEventSpec;
+using droidsim::OpNode;
+using simkit::Milliseconds;
+
+OpNode Op(const ApiSpec* api, const std::string& file, int32_t line) {
+  return droidsim::MakeOp(api, file, line);
+}
+
+OpNode Bug(const ApiSpec* api, const std::string& file, int32_t line, double manifest) {
+  OpNode node = droidsim::MakeOp(api, file, line);
+  node.manifest_probability = manifest;
+  return node;
+}
+
+InputEventSpec Ev(const std::string& handler, const std::string& file, int32_t line,
+                  std::vector<OpNode> ops) {
+  InputEventSpec event;
+  event.handler = handler;
+  event.handler_file = file;
+  event.handler_line = line;
+  event.ops = std::move(ops);
+  return event;
+}
+
+ActionSpec Act(const std::string& name, double weight, std::vector<InputEventSpec> events) {
+  ActionSpec action;
+  action.name = name;
+  action.weight = weight;
+  action.events = std::move(events);
+  return action;
+}
+
+// A known-blocking compute API specific to one motivation app.
+const ApiSpec* KnownCompute(droidsim::ApiRegistry* registry, const std::string& clazz,
+                            const std::string& method, int64_t cpu_ms, double sigma,
+                            int64_t alloc_kb) {
+  ApiSpec api;
+  api.name = method;
+  api.clazz = clazz;
+  api.kind = ApiKind::kCompute;
+  api.known_blocking = true;
+  api.cost.cpu_mean = Milliseconds(cpu_ms);
+  api.cost.cpu_sigma = sigma;
+  api.cost.uarch = droidsim::ParserUarch();
+  api.cost.alloc_bytes_mean = alloc_kb * 1024;
+  api.cost.syscalls_per_ms = 0.5;
+  return registry->Register(std::move(api));
+}
+
+// A known-blocking I/O API specific to one motivation app.
+const ApiSpec* KnownIo(droidsim::ApiRegistry* registry, const std::string& clazz,
+                       const std::string& method, DeviceKind device, int32_t rounds,
+                       int64_t io_kb, int64_t cpu_ms, int64_t alloc_kb) {
+  ApiSpec api;
+  api.name = method;
+  api.clazz = clazz;
+  api.kind = device == DeviceKind::kDatabase ? ApiKind::kDatabase : ApiKind::kFileIo;
+  api.known_blocking = true;
+  api.cost.device = device;
+  api.cost.io_rounds = rounds;
+  api.cost.io_bytes_mean = io_kb * 1024;
+  api.cost.cpu_mean = Milliseconds(cpu_ms);
+  api.cost.cpu_sigma = 0.25;
+  api.cost.uarch = droidsim::DefaultUarch();
+  api.cost.alloc_bytes_mean = alloc_kb * 1024;
+  api.cost.syscalls_per_ms = 0.3;
+  return registry->Register(std::move(api));
+}
+
+struct MotivationBuilder {
+  CatalogState* state;
+  droidsim::AppSpec* app = nullptr;
+
+  void AddBugAction(const std::string& action, const ApiSpec* bug_api,
+                    const std::string& file, int32_t line, double manifest,
+                    const ApiSpec* ui_extra) {
+    std::vector<OpNode> ops;
+    if (ui_extra != nullptr) {
+      ops.push_back(Op(ui_extra, file, line + 20));
+    }
+    ops.push_back(Bug(bug_api, file, line, manifest));
+    app->actions.push_back(Act(action, 1.5, {Ev("onClick", file, line - 10, std::move(ops))}));
+    BugSpec bug;
+    bug.app_name = app->name;
+    bug.issue_id = "motivation";
+    bug.api = bug_api->FullName();
+    bug.file = file;
+    bug.line = line;
+    bug.known_blocking = bug_api->known_blocking;
+    state->motivation_bugs.push_back(std::move(bug));
+  }
+
+  void AddUiAction(const std::string& action, const ApiSpec* ui_api, const std::string& file,
+                   int32_t line, const ApiSpec* second = nullptr) {
+    std::vector<OpNode> ops;
+    ops.push_back(Op(ui_api, file, line));
+    if (second != nullptr) {
+      ops.push_back(Op(second, file, line + 12));
+    }
+    app->actions.push_back(Act(action, 2.0, {Ev("onClick", file, line - 8, std::move(ops))}));
+  }
+};
+
+}  // namespace
+
+void BuildMotivationApps(CatalogState* state) {
+  const StandardApis& api = state->apis;
+  droidsim::ApiRegistry* reg = &state->registry;
+
+  // A heavy UI op used by the apps whose Table 2 row has 500 ms false positives.
+  ApiSpec heavy_ui_spec;
+  heavy_ui_spec.name = "layoutHeavy";
+  heavy_ui_spec.clazz = "android.view.ViewRootImpl";
+  heavy_ui_spec.kind = ApiKind::kUi;
+  heavy_ui_spec.cost.cpu_mean = Milliseconds(340);
+  heavy_ui_spec.cost.cpu_sigma = 0.30;
+  heavy_ui_spec.cost.uarch = droidsim::UiUarch();
+  heavy_ui_spec.cost.alloc_bytes_mean = 700 * 1024;
+  heavy_ui_spec.cost.syscalls_per_ms = 0.25;
+  heavy_ui_spec.cost.frames = 28;
+  heavy_ui_spec.cost.frame_cpu_mean = Milliseconds(8);
+  const ApiSpec* heavy_ui = reg->Register(std::move(heavy_ui_spec));
+
+  // ----------------------------- DroidWall -----------------------------
+  {
+    MotivationBuilder b{state, state->NewApp("DroidWall", "com.googlecode.droidwall",
+                                             "Tools", "3e2b654", 50000)};
+    const ApiSpec* rules = KnownIo(reg, "com.googlecode.droidwall.RulesDao", "loadRules",
+                                   DeviceKind::kDatabase, 16, 64, 25, 128);
+    b.AddBugAction("ApplyRules", rules, "Api.java", 212, 0.6, api.ui_set_text);
+    b.AddUiAction("ShowLog", heavy_ui, "LogActivity.java", 44);
+    b.AddUiAction("OpenAppList", api.ui_list_layout, "MainActivity.java", 81,
+                  api.ui_notify_changed);
+    b.AddUiAction("OpenPrefs", api.ui_inflate, "PrefsActivity.java", 30, api.ui_measure);
+  }
+
+  // ----------------------------- FrostWire -----------------------------
+  {
+    MotivationBuilder b{state, state->NewApp("FrostWire", "com.frostwire.android",
+                                             "Media & Video", "55427ef", 1000000)};
+    const ApiSpec* scan = KnownCompute(reg, "com.frostwire.android.LibraryScanner", "scan",
+                                       620, 0.18, 1500);
+    b.AddBugAction("ScanLibrary", scan, "LibraryScanner.java", 140, 0.55, nullptr);
+    b.AddUiAction("BrowseFiles", api.ui_list_layout, "BrowseFragment.java", 52,
+                  api.ui_recycler_bind);
+    b.AddUiAction("OpenPlayer", api.ui_inflate, "PlayerActivity.java", 39, api.ui_draw);
+    b.AddUiAction("OpenSearch", api.ui_inflate, "SearchFragment.java", 47, api.ui_draw);
+    b.AddUiAction("ShowTransfers", api.ui_list_layout, "TransfersFragment.java", 58,
+                  api.ui_notify_changed);
+    b.AddUiAction("OpenMenu", api.ui_inflate, "MainMenu.java", 25, api.ui_request_layout);
+  }
+
+  // ----------------------------- Ushahidi -----------------------------
+  {
+    MotivationBuilder b{state, state->NewApp("Ushahidi", "com.ushahidi.android", "Social",
+                                             "59fbb533d0", 100000)};
+    const ApiSpec* reports = KnownIo(reg, "com.ushahidi.android.ReportDao", "fetchReports",
+                                     DeviceKind::kDatabase, 18, 128, 40, 256);
+    const ApiSpec* photo = KnownCompute(reg, "com.ushahidi.android.PhotoAttach", "decode", 240,
+                                        0.2, 2600);
+    b.AddBugAction("LoadReports", reports, "ReportDao.java", 97, 0.55, api.ui_set_text);
+    b.AddBugAction("AttachPhoto", photo, "PhotoAttach.java", 61, 0.5, nullptr);
+    b.AddUiAction("ShowMap", heavy_ui, "MapFragment.java", 70);
+    b.AddUiAction("OpenReportList", api.ui_list_layout, "ReportList.java", 45,
+                  api.ui_notify_changed);
+    b.AddUiAction("OpenCategories", api.ui_inflate, "CategoryActivity.java", 38);
+    b.AddUiAction("OpenCheckins", api.ui_list_layout, "CheckinActivity.java", 52,
+                  api.ui_recycler_bind);
+  }
+
+  // ----------------------------- SeaDroid -----------------------------
+  {
+    MotivationBuilder b{state, state->NewApp("SeaDroid", "com.seafile.seadroid2",
+                                             "Productivity", "5a7531d", 100000)};
+    ApiSpec sync;
+    sync.name = "readLibrary";
+    sync.clazz = "com.seafile.seadroid2.SeafileSync";
+    sync.kind = ApiKind::kFileIo;
+    sync.known_blocking = true;
+    sync.cost.device = DeviceKind::kFlash;
+    sync.cost.io_rounds = 24;
+    sync.cost.io_bytes_mean = 2048 * 1024;
+    sync.cost.cpu_mean = Milliseconds(950);
+    sync.cost.cpu_sigma = 0.18;
+    sync.cost.uarch = droidsim::ParserUarch();
+    sync.cost.alloc_bytes_mean = 2200 * 1024;
+    sync.cost.syscalls_per_ms = 0.5;
+    const ApiSpec* sync_api = reg->Register(std::move(sync));
+    b.AddBugAction("SyncLibrary", sync_api, "SeafileSync.java", 178, 0.55, nullptr);
+    b.AddUiAction("BrowseLibrary", heavy_ui, "LibraryFragment.java", 63);
+    b.AddUiAction("ShowGallery", heavy_ui, "GalleryActivity.java", 51);
+    b.AddUiAction("OpenFileList", api.ui_list_layout, "FileFragment.java", 44,
+                  api.ui_recycler_bind);
+    b.AddUiAction("OpenAccounts", api.ui_inflate, "AccountsActivity.java", 36);
+    b.AddUiAction("ShowDetail", api.ui_inflate, "DetailActivity.java", 42, api.ui_measure);
+    b.AddUiAction("OpenMenu", api.ui_notify_changed, "MainMenu.java", 28, api.ui_request_layout);
+  }
+
+  // ----------------------------- WebSMS -----------------------------
+  {
+    MotivationBuilder b{state, state->NewApp("WebSMS", "de.ub0r.android.websms",
+                                             "Communication", "1f596fbd29", 500000)};
+    const ApiSpec* store = KnownIo(reg, "de.ub0r.android.websms.SmsStore", "query",
+                                   DeviceKind::kDatabase, 17, 96, 30, 200);
+    b.AddBugAction("LoadThread", store, "SmsStore.java", 120, 0.55, api.ui_set_text);
+    b.AddUiAction("OpenComposer", api.ui_inflate, "ComposeActivity.java", 40, api.ui_measure);
+    b.AddUiAction("ShowConversations", api.ui_list_layout, "ConversationList.java", 55,
+                  api.ui_notify_changed);
+    b.AddUiAction("OpenConnectors", api.ui_inflate, "ConnectorActivity.java", 33);
+  }
+
+  // ----------------------------- cgeo -----------------------------
+  {
+    MotivationBuilder b{state,
+                        state->NewApp("cgeo", "cgeo.geocaching", "Travel & Local",
+                                      "6e4a8d4ba8", 1000000)};
+    const ApiSpec* cache_q = KnownIo(reg, "cgeo.geocaching.DataStore", "loadCaches",
+                                     DeviceKind::kDatabase, 15, 128, 35, 220);
+    const ApiSpec* waypoints = KnownIo(reg, "cgeo.geocaching.DataStore", "loadWaypoints",
+                                       DeviceKind::kDatabase, 13, 64, 30, 180);
+    const ApiSpec* gpx = KnownIo(reg, "cgeo.geocaching.files.GPXImporter", "importGpx",
+                                 DeviceKind::kFlash, 20, 700, 50, 420);
+    const ApiSpec* logimg = KnownCompute(reg, "cgeo.geocaching.LogImageLoader", "decodeLogs",
+                                         230, 0.2, 2400);
+    const ApiSpec* detail = KnownCompute(reg, "cgeo.geocaching.CacheDetailParser", "parse",
+                                         210, 0.2, 1800);
+    b.AddBugAction("LiveMap", cache_q, "DataStore.java", 301, 0.55, api.ui_draw);
+    b.AddBugAction("OpenWaypoints", waypoints, "DataStore.java", 344, 0.5, nullptr);
+    b.AddBugAction("ImportGpx", gpx, "GPXImporter.java", 93, 0.55, nullptr);
+    b.AddBugAction("ShowLogImages", logimg, "LogImageLoader.java", 77, 0.5, nullptr);
+    b.AddBugAction("OpenCacheDetail", detail, "CacheDetailParser.java", 160, 0.5,
+                   api.ui_set_text);
+    b.AddUiAction("ShowMap", heavy_ui, "CGeoMap.java", 210);
+    b.AddUiAction("RenderCompass", heavy_ui, "CompassActivity.java", 66);
+    b.AddUiAction("OpenCacheList", api.ui_list_layout, "CacheListActivity.java", 71,
+                  api.ui_recycler_bind);
+    b.AddUiAction("OpenFilters", api.ui_inflate, "FilterActivity.java", 35);
+    b.AddUiAction("OpenSettings", api.ui_inflate, "SettingsActivity.java", 29, api.ui_measure);
+  }
+
+  // ----------------------------- FBReaderJ -----------------------------
+  {
+    MotivationBuilder b{state, state->NewApp("FBReaderJ", "org.geometerplus.fbreader",
+                                             "Books", "0f02d4e923", 1000000)};
+    const ApiSpec* epub = KnownCompute(reg, "org.geometerplus.fbreader.formats.EpubParser",
+                                       "parse", 250, 0.2, 2200);
+    const ApiSpec* css = KnownCompute(reg, "org.geometerplus.fbreader.formats.CssApplier",
+                                      "apply", 160, 0.2, 900);
+    const ApiSpec* toc = KnownCompute(reg, "org.geometerplus.fbreader.bookmodel.TocBuilder",
+                                      "build", 180, 0.2, 1100);
+    const ApiSpec* hyphen = KnownIo(reg, "org.geometerplus.zlibrary.HyphenationLoader",
+                                    "load", DeviceKind::kFlash, 18, 400, 40, 500);
+    const ApiSpec* cover = KnownCompute(reg, "org.geometerplus.fbreader.CoverDecoder",
+                                        "decode", 220, 0.2, 2800);
+    const ApiSpec* pos = KnownIo(reg, "org.geometerplus.fbreader.book.PositionStore", "save",
+                                 DeviceKind::kDatabase, 14, 32, 20, 96);
+    b.AddBugAction("OpenBook", epub, "EpubParser.java", 133, 0.5, nullptr);
+    b.AddBugAction("ApplyTheme", css, "CssApplier.java", 58, 0.5, nullptr);
+    b.AddBugAction("ShowToc", toc, "TocBuilder.java", 47, 0.5, api.ui_list_layout);
+    b.AddBugAction("LoadHyphenation", hyphen, "HyphenationLoader.java", 82, 0.5, nullptr);
+    b.AddBugAction("ShowLibrary", cover, "CoverDecoder.java", 64, 0.5, nullptr);
+    b.AddBugAction("TurnPage", pos, "PositionStore.java", 39, 0.45, nullptr);
+    b.AddUiAction("RenderPage", heavy_ui, "ZLTextView.java", 420);
+    b.AddUiAction("OpenMenuPanel", heavy_ui, "MenuPanel.java", 51);
+    b.AddUiAction("OpenBookmarks", api.ui_list_layout, "BookmarksActivity.java", 46,
+                  api.ui_notify_changed);
+    b.AddUiAction("OpenSearchPanel", api.ui_inflate, "SearchPanel.java", 30);
+  }
+
+  // ----------------------------- A Better Camera -----------------------------
+  {
+    MotivationBuilder b{state, state->NewApp("A Better Camera", "com.almalence.opencam",
+                                             "Photography", "9f8e3b0", 1000000)};
+    droidsim::AppSpec* app = b.app;
+    // The Figure 1 action: the buggy Resume of the main activity.
+    app->actions.push_back(Act(
+        "ResumeMain", 2.0,
+        {Ev("onResume", "MainScreen.java", 480,
+            {Bug(api.camera_set_parameters, "MainScreen.java", 492, 0.5),
+             Bug(api.camera_open, "MainScreen.java", 497, 0.6),
+             Op(api.ui_set_text, "MainScreen.java", 505),
+             Op(api.ui_inflate, "MainScreen.java", 512),
+             Op(api.ui_seekbar_init, "MainScreen.java", 519),
+             Op(api.ui_orientation_enable, "MainScreen.java", 526)})}));
+    for (const char* name : {"setParameters", "open"}) {
+      BugSpec bug;
+      bug.app_name = app->name;
+      bug.issue_id = "motivation";
+      bug.api = std::string("android.hardware.Camera.") + name;
+      bug.file = "MainScreen.java";
+      bug.line = name == std::string("open") ? 497 : 492;
+      bug.known_blocking = true;
+      state->motivation_bugs.push_back(std::move(bug));
+    }
+    b.AddUiAction("OpenModes", api.ui_inflate, "ModeSelector.java", 44, api.ui_animate);
+    b.AddUiAction("ShowGallery", api.ui_gallery_bind, "GalleryView.java", 58);
+    b.AddUiAction("OpenSettingsPanel", api.ui_inflate, "SettingsPanel.java", 37,
+                  api.ui_measure);
+    b.AddUiAction("ToggleHdrPanel", api.ui_request_layout, "HdrPanel.java", 29,
+                  api.ui_set_text);
+  }
+
+  for (const auto& app : state->owned_apps) {
+    bool is_motivation = app->name == "DroidWall" || app->name == "FrostWire" ||
+                         app->name == "Ushahidi" || app->name == "SeaDroid" ||
+                         app->name == "WebSMS" || app->name == "cgeo" ||
+                         app->name == "FBReaderJ" || app->name == "A Better Camera";
+    if (is_motivation) {
+      state->motivation.push_back(app.get());
+    }
+  }
+}
+
+}  // namespace workload

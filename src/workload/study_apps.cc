@@ -1,0 +1,440 @@
+// The 16 study apps of Table 5 and their 34 soft hang bugs. Each app's actions reproduce the
+// published bug's mechanism at the call site named in the real issue tracker entry; manifest
+// probabilities make bugs occasional, exactly the behaviour the Suspicious state exists for.
+#include "src/workload/catalog.h"
+
+namespace workload {
+
+namespace {
+
+using droidsim::ActionSpec;
+using droidsim::ApiSpec;
+using droidsim::InputEventSpec;
+using droidsim::OpNode;
+
+OpNode Op(const ApiSpec* api, const std::string& file, int32_t line) {
+  return droidsim::MakeOp(api, file, line);
+}
+
+OpNode Bug(const ApiSpec* api, const std::string& file, int32_t line, double manifest) {
+  OpNode node = droidsim::MakeOp(api, file, line);
+  node.manifest_probability = manifest;
+  return node;
+}
+
+InputEventSpec Ev(const std::string& handler, const std::string& file, int32_t line,
+                  std::vector<OpNode> ops) {
+  InputEventSpec event;
+  event.handler = handler;
+  event.handler_file = file;
+  event.handler_line = line;
+  event.ops = std::move(ops);
+  return event;
+}
+
+ActionSpec Act(const std::string& name, double weight, std::vector<InputEventSpec> events) {
+  ActionSpec action;
+  action.name = name;
+  action.weight = weight;
+  action.events = std::move(events);
+  return action;
+}
+
+void AddBug(CatalogState* state, const std::string& app, const std::string& issue,
+            const ApiSpec* api, const std::string& file, int32_t line, bool known,
+            bool missed_offline, bool self_developed = false) {
+  BugSpec bug;
+  bug.app_name = app;
+  bug.issue_id = issue;
+  bug.api = api->FullName();
+  bug.file = file;
+  bug.line = line;
+  bug.known_blocking = known;
+  bug.missed_offline = missed_offline;
+  bug.self_developed = self_developed;
+  state->study_bugs.push_back(std::move(bug));
+}
+
+}  // namespace
+
+void BuildStudyApps(CatalogState* state) {
+  const StandardApis& api = state->apis;
+
+  // ----------------------------- AndStatus (issue 303) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("AndStatus", "org.andstatus.app", "Social", "49ef41c", 1000);
+    app->actions.push_back(Act(
+        "ScrollTimeline", 3.0,
+        {Ev("onScroll", "TimelineFragment.java", 183,
+            {Op(api.ui_recycler_bind, "TimelineAdapter.java", 96),
+             Bug(api.bitmap_decode_file, "MessageListAdapter.java", 214, 0.45),
+             Bug(api.andstatus_transform, "ImageCache.java", 88, 0.40)})}));
+    app->actions.push_back(Act(
+        "OpenConversation", 2.0,
+        {Ev("onItemClick", "ConversationActivity.java", 71,
+            {Op(api.ui_set_text, "ConversationActivity.java", 88),
+             Bug(api.andstatus_download, "TimelineLoader.java", 61, 0.5)})}));
+    app->actions.push_back(Act(
+        "OpenTimeline", 5.0,
+        {Ev("onResume", "TimelineActivity.java", 52,
+            {Op(api.ui_inflate, "TimelineActivity.java", 60),
+             Op(api.ui_list_layout, "TimelineActivity.java", 77),
+             Op(api.ui_set_text, "TimelineActivity.java", 81)})}));
+    app->actions.push_back(Act(
+        "ComposeView", 3.0, {Ev("onClick", "ComposeActivity.java", 40,
+                                {Op(api.ui_measure, "ComposeActivity.java", 45)})}));
+    state->study.push_back(app);
+    AddBug(state, "AndStatus", "303", api.bitmap_decode_file, "MessageListAdapter.java", 214,
+           /*known=*/true, /*missed_offline=*/false);
+    AddBug(state, "AndStatus", "303", api.andstatus_transform, "ImageCache.java", 88, false,
+           true);
+    AddBug(state, "AndStatus", "303", api.andstatus_download, "TimelineLoader.java", 61, false,
+           true);
+  }
+
+  // ----------------------------- DashClock (issue 874) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("DashClock", "net.nurik.roman.dashclock",
+                                           "Personalization", "7e248f7", 1000000);
+    app->actions.push_back(Act(
+        "RefreshWidgets", 2.0,
+        {Ev("onUpdate", "ExtensionManager.java", 140,
+            {Bug(api.db_query, "ExtensionManager.java", 152, 0.55),
+             Op(api.ui_set_text, "WidgetRenderer.java", 63)})}));
+    app->actions.push_back(Act(
+        "OpenSettings", 2.0,
+        {Ev("onCreate", "ConfigurationActivity.java", 38,
+            {Op(api.ui_inflate, "ConfigurationActivity.java", 44),
+             Op(api.ui_measure, "ConfigurationActivity.java", 52)})}));
+    state->study.push_back(app);
+    AddBug(state, "DashClock", "874", api.db_query, "ExtensionManager.java", 152, true, false);
+  }
+
+  // ----------------------------- CycleStreets (issue 117) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("CycleStreets", "net.cyclestreets",
+                                           "Travel & Local", "2d8d550", 50000);
+    const ApiSpec* route_parse = MakeSelfDevelopedApi(
+        &state->registry, "net.cyclestreets.RoutePlanner", "parseSegments",
+        simkit::Milliseconds(30), 300 * 1024, 0.2);
+    OpNode parse_loop = Op(route_parse, "RoutePlanner.java", 118);
+    for (int i = 0; i < 16; ++i) {
+      parse_loop.children.push_back(Op(api.small_file_read, "RoutePlanner.java", 131));
+      parse_loop.children.push_back(Op(api.json_get, "RoutePlanner.java", 133));
+    }
+    app->actions.push_back(Act(
+        "PanMap", 3.0, {Ev("onScroll", "MapFragment.java", 201,
+                           {Op(api.ui_set_text, "MapFragment.java", 209),
+                            Bug(api.tile_load, "TileSource.java", 97, 0.55)})}));
+    app->actions.push_back(Act(
+        "LoadTrack", 1.5, {Ev("onClick", "TrackImport.java", 36,
+                              {Bug(api.gpx_read, "TrackImport.java", 44, 0.6),
+                               Op(api.ui_set_text, "TrackImport.java", 58)})}));
+    app->actions.push_back(Act("PlanRoute", 1.5,
+                               {Ev("onClick", "RouteActivity.java", 64, {parse_loop})}));
+    app->actions.push_back(Act(
+        "ShowRoute", 1.5, {Ev("onItemClick", "RouteDatabase.java", 198,
+                              {Bug(api.db_query, "RouteDatabase.java", 210, 0.5),
+                               Op(api.ui_draw, "RouteMapView.java", 75)})}));
+    app->actions.push_back(Act("OpenMenu", 6.0, {Ev("onClick", "MainMenu.java", 31,
+                                                    {Op(api.ui_inflate, "MainMenu.java", 39),
+                                                     Op(api.ui_list_layout, "MainMenu.java", 47)})}));
+    state->study.push_back(app);
+    AddBug(state, "CycleStreets", "117", api.tile_load, "TileSource.java", 97, false, true);
+    AddBug(state, "CycleStreets", "117", api.gpx_read, "TrackImport.java", 44, false, true);
+    AddBug(state, "CycleStreets", "117", route_parse, "RoutePlanner.java", 118, false, true,
+           /*self_developed=*/true);
+    AddBug(state, "CycleStreets", "117", api.db_query, "RouteDatabase.java", 210, true, false);
+  }
+
+  // ----------------------------- K9-mail (issue 1007) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("K9-Mail", "com.fsck.k9", "Communication", "ac131a2", 5000000);
+    app->actions.push_back(Act(
+        "OpenEmail", 3.0,
+        {Ev("onItemClick", "MessageList.java", 371,
+            {Op(api.ui_set_text, "MessageHeader.java", 45),
+             Bug(api.html_clean, "HtmlSanitizer.java", 25, 0.5),
+             Bug(api.mime_decode, "MessageView.java", 129, 0.35)})}));
+    app->actions.push_back(Act(
+        "Folders", 4.0, {Ev("onClick", "FolderList.java", 58,
+                            {Op(api.ui_inflate, "FolderList.java", 66),
+                             Op(api.ui_list_layout, "FolderList.java", 81)})}));
+    app->actions.push_back(Act(
+        "Inbox", 5.0, {Ev("onClick", "MessageListFragment.java", 92,
+                          {Op(api.ui_gallery_bind, "MessageListFragment.java", 101),
+                           Op(api.ui_list_layout, "MessageListFragment.java", 117)})}));
+    app->actions.push_back(Act("Compose", 2.0,
+                               {Ev("onClick", "MessageCompose.java", 55,
+                                   {Op(api.ui_inflate, "MessageCompose.java", 62)})}));
+    state->study.push_back(app);
+    AddBug(state, "K9-Mail", "1007", api.html_clean, "HtmlSanitizer.java", 25, false, true);
+    AddBug(state, "K9-Mail", "1007", api.mime_decode, "MessageView.java", 129, false, true);
+  }
+
+  // ----------------------------- Omni-Notes (issue 253) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("Omni-Notes", "it.feio.android.omninotes",
+                                           "Productivity", "8ffde3a", 50000);
+    app->actions.push_back(Act(
+        "OpenNoteList", 3.0,
+        {Ev("onResume", "MainActivity.java", 77,
+            {Op(api.ui_list_layout, "NoteListFragment.java", 88),
+             Bug(api.omni_thumbnails, "AttachmentLoader.java", 77, 0.5)})}));
+    app->actions.push_back(Act(
+        "MergeNotes", 1.5, {Ev("onClick", "NoteMerger.java", 32,
+                               {Op(api.ui_notify_changed, "NoteListFragment.java", 132),
+                                Bug(api.omni_merge, "NoteMerger.java", 41, 0.55)})}));
+    app->actions.push_back(Act(
+        "ImportBackup", 1.0, {Ev("onClick", "BackupImporter.java", 104,
+                                 {Op(api.ui_inflate, "SettingsActivity.java", 61),
+                                  Bug(api.omni_import, "BackupImporter.java", 120, 0.55)})}));
+    app->actions.push_back(Act("OpenDrawer", 6.0,
+                               {Ev("onClick", "DrawerFragment.java", 29,
+                                   {Op(api.ui_inflate, "DrawerFragment.java", 36),
+                                    Op(api.ui_animate, "DrawerFragment.java", 44)})}));
+    state->study.push_back(app);
+    AddBug(state, "Omni-Notes", "253", api.omni_thumbnails, "AttachmentLoader.java", 77, false,
+           true);
+    AddBug(state, "Omni-Notes", "253", api.omni_merge, "NoteMerger.java", 41, false, true);
+    AddBug(state, "Omni-Notes", "253", api.omni_import, "BackupImporter.java", 120, false,
+           true);
+  }
+
+  // ----------------------------- OwnTracks (issue 303) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("OwnTracks", "org.owntracks.android",
+                                           "Travel & Local", "1514d4a", 1000);
+    const ApiSpec* dao_save = MakeSelfDevelopedApi(&state->registry,
+                                                   "org.owntracks.android.db.LocationDao",
+                                                   "save", simkit::Milliseconds(8), 64 * 1024,
+                                                   0.3);
+    OpNode save = Op(dao_save, "LocationDao.java", 58);
+    save.children.push_back(Bug(api.db_insert, "LocationDao.java", 64, 0.55));
+    app->actions.push_back(
+        Act("SaveLocation", 2.0, {Ev("onLocationChanged", "MapActivity.java", 144, {save})}));
+    app->actions.push_back(Act("OpenMap", 2.0, {Ev("onResume", "MapActivity.java", 61,
+                                                   {Op(api.ui_draw, "MapActivity.java", 70),
+                                                    Op(api.ui_measure, "MapActivity.java", 74)})}));
+    state->study.push_back(app);
+    AddBug(state, "OwnTracks", "303", api.db_insert, "LocationDao.java", 64, true, false);
+  }
+
+  // ----------------------------- QKSMS (issue 382) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("QKSMS", "com.moez.QKSMS", "Communication", "2a80947", 100000);
+    app->actions.push_back(Act(
+        "BackupMessages", 1.0, {Ev("onClick", "BackupActivity.java", 51,
+                                   {Bug(api.qksms_to_xml, "SmsBackup.java", 77, 0.6)})}));
+    app->actions.push_back(Act(
+        "OpenMms", 2.0, {Ev("onItemClick", "MessageListActivity.java", 102,
+                            {Bug(api.qksms_load_parts, "MmsLoader.java", 64, 0.5),
+                             Op(api.ui_set_text, "MessageView.java", 41)})}));
+    app->actions.push_back(Act(
+        "RebuildIndex", 1.0, {Ev("onClick", "SettingsFragment.java", 96,
+                                 {Bug(api.qksms_reindex, "ConversationIndexer.java", 53,
+                                      0.55)})}));
+    app->actions.push_back(Act(
+        "OpenConversationList", 6.0,
+        {Ev("onResume", "ConversationListActivity.java", 47,
+            {Op(api.ui_list_layout, "ConversationListActivity.java", 55),
+             Op(api.ui_recycler_bind, "ConversationListActivity.java", 61)})}));
+    state->study.push_back(app);
+    AddBug(state, "QKSMS", "382", api.qksms_to_xml, "SmsBackup.java", 77, false, true);
+    AddBug(state, "QKSMS", "382", api.qksms_load_parts, "MmsLoader.java", 64, false, true);
+    AddBug(state, "QKSMS", "382", api.qksms_reindex, "ConversationIndexer.java", 53, false,
+           true);
+  }
+
+  // ----------------------------- StickerCamera (issue 29) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("StickerCamera", "com.github.skykai.stickercamera",
+                                           "Photography", "6fc41b1", 5000);
+    app->actions.push_back(Act(
+        "ResumeCamera", 2.0,
+        {Ev("onResume", "CameraActivity.java", 88,
+            {Bug(api.camera_set_parameters, "CameraActivity.java", 96, 0.45),
+             Bug(api.camera_open, "CameraActivity.java", 102, 0.55),
+             Op(api.ui_set_text, "CameraActivity.java", 110),
+             Op(api.ui_inflate, "CameraActivity.java", 118)})}));
+    app->actions.push_back(Act(
+        "EditSticker", 2.0, {Ev("onItemClick", "StickerActivity.java", 61,
+                                {Bug(api.bitmap_decode_file, "StickerActivity.java", 74, 0.5),
+                                 Op(api.ui_draw, "StickerCanvas.java", 39)})}));
+    app->actions.push_back(Act(
+        "OpenGallery", 2.0, {Ev("onClick", "GalleryActivity.java", 42,
+                                {Op(api.ui_inflate, "GalleryActivity.java", 50),
+                                 Op(api.ui_gallery_bind, "GalleryActivity.java", 58)})}));
+    state->study.push_back(app);
+    AddBug(state, "StickerCamera", "29", api.camera_set_parameters, "CameraActivity.java", 96,
+           true, false);
+    AddBug(state, "StickerCamera", "29", api.camera_open, "CameraActivity.java", 102, true,
+           false);
+    AddBug(state, "StickerCamera", "29", api.bitmap_decode_file, "StickerActivity.java", 74,
+           true, false);
+  }
+
+  // ----------------------------- AntennaPod (issue 1921) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("AntennaPod", "de.danoeh.antennapod",
+                                           "Media & Video", "c3808e2", 100000);
+    app->actions.push_back(Act(
+        "RefreshFeed", 2.0, {Ev("onRefresh", "FeedFragment.java", 133,
+                                {Bug(api.feed_parse, "FeedParser.java", 210, 0.5)})}));
+    app->actions.push_back(Act(
+        "OpenEpisode", 2.0, {Ev("onItemClick", "EpisodeActivity.java", 77,
+                                {Bug(api.chapter_read, "ChapterReader.java", 88, 0.5),
+                                 Op(api.ui_set_text, "EpisodeActivity.java", 85)})}));
+    app->actions.push_back(Act(
+        "PlayEpisode", 2.0, {Ev("onClick", "PlaybackController.java", 64,
+                                {Bug(api.media_prepare, "PlaybackService.java", 301, 0.55)})}));
+    app->actions.push_back(Act(
+        "BrowsePodcasts", 6.0,
+        {Ev("onResume", "PodcastListFragment.java", 42,
+            {Op(api.ui_list_layout, "PodcastListFragment.java", 51),
+             Op(api.ui_recycler_bind, "PodcastListFragment.java", 59)})}));
+    state->study.push_back(app);
+    AddBug(state, "AntennaPod", "1921", api.feed_parse, "FeedParser.java", 210, false, true);
+    AddBug(state, "AntennaPod", "1921", api.chapter_read, "ChapterReader.java", 88, false,
+           true);
+    AddBug(state, "AntennaPod", "1921", api.media_prepare, "PlaybackService.java", 301, true,
+           false);
+  }
+
+  // ----------------------------- Merchant (issue 17) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("Merchant", "com.merchant.app", "Business", "c87d69a", 10000);
+    app->actions.push_back(Act(
+        "OpenOrders", 2.0, {Ev("onClick", "OrderListActivity.java", 83,
+                               {Bug(api.ormlite_query, "OrderRepository.java", 95, 0.55),
+                                Op(api.ui_set_text, "OrderListActivity.java", 91)})}));
+    app->actions.push_back(Act(
+        "Dashboard", 2.0, {Ev("onResume", "DashboardActivity.java", 39,
+                              {Op(api.ui_inflate, "DashboardActivity.java", 47),
+                               Op(api.ui_measure, "DashboardActivity.java", 55)})}));
+    state->study.push_back(app);
+    AddBug(state, "Merchant", "17", api.ormlite_query, "OrderRepository.java", 95, false, true);
+  }
+
+  // ----------------------------- UOITDC Booking (issue 3) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("UOITDC Booking", "ca.uoit.dcbooking", "Tools", "5d18c26", 100);
+    app->actions.push_back(Act(
+        "LoadBookings", 2.0, {Ev("onResume", "BookingActivity.java", 52,
+                                 {Bug(api.gson_fromjson, "BookingCache.java", 58, 0.5),
+                                  Op(api.ui_set_text, "BookingActivity.java", 66)})}));
+    app->actions.push_back(Act(
+        "ImportSchedule", 1.5, {Ev("onClick", "ScheduleActivity.java", 40,
+                                   {Bug(api.ics_parse, "IcsParser.java", 33, 0.5)})}));
+    app->actions.push_back(Act(
+        "OpenCalendar", 6.0, {Ev("onClick", "CalendarActivity.java", 35,
+                                 {Op(api.ui_inflate, "CalendarActivity.java", 44),
+                                  Op(api.ui_draw, "CalendarActivity.java", 58)})}));
+    state->study.push_back(app);
+    AddBug(state, "UOITDC Booking", "3", api.gson_fromjson, "BookingCache.java", 58, false,
+           true);
+    AddBug(state, "UOITDC Booking", "3", api.ics_parse, "IcsParser.java", 33, false, true);
+  }
+
+  // ----------------------------- SageMath (issue 84) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("SageMath", "org.sagemath.droid", "Education", "3198106", 10000);
+    OpNode cupboard = Bug(api.cupboard_get, "CupboardHelper.java", 29, 0.55);
+    // The library wrapper hides a known-blocking database insert; the library ships source,
+    // so an offline scan that examines library code can still find the nested call.
+    cupboard.children.push_back(Op(api.db_insert, "EntityConverter.java", 205));
+    app->actions.push_back(Act(
+        "SaveWorksheet", 1.5, {Ev("onClick", "WorksheetActivity.java", 130,
+                                  {Bug(api.gson_tojson, "CellData.java", 141, 0.5)})}));
+    app->actions.push_back(Act(
+        "SyncSession", 1.5, {Ev("onClick", "SessionService.java", 68,
+                                {Bug(api.gson_tojson, "SessionState.java", 77, 0.45)})}));
+    app->actions.push_back(
+        Act("StoreResult", 1.5, {Ev("onClick", "ResultActivity.java", 55, {cupboard})}));
+    app->actions.push_back(Act(
+        "OpenWorksheet", 2.0, {Ev("onItemClick", "WorksheetList.java", 49,
+                                  {Op(api.ui_webview_layout, "WorksheetView.java", 91)})}));
+    state->study.push_back(app);
+    AddBug(state, "SageMath", "84", api.gson_tojson, "CellData.java", 141, false, true);
+    AddBug(state, "SageMath", "84", api.gson_tojson, "SessionState.java", 77, false, true);
+    AddBug(state, "SageMath", "84", api.db_insert, "EntityConverter.java", 205, true, false);
+  }
+
+  // ----------------------------- RadioDroid (issue 29) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("RadioDroid", "net.programmierecke.radiodroid2",
+                                           "Music & Audio", "0108e8b", 10);
+    app->actions.push_back(Act(
+        "PlayStation", 2.0, {Ev("onClick", "PlayerActivity.java", 59,
+                                {Bug(api.media_prepare, "PlayerService.java", 187, 0.55)})}));
+    app->actions.push_back(Act(
+        "BrowseStations", 3.0,
+        {Ev("onResume", "StationListFragment.java", 66,
+            {Op(api.ui_list_layout, "StationListFragment.java", 74),
+             Bug(api.radio_icon_decode, "StationIconCache.java", 49, 0.5)})}));
+    state->study.push_back(app);
+    AddBug(state, "RadioDroid", "29", api.media_prepare, "PlayerService.java", 187, true,
+           false);
+    AddBug(state, "RadioDroid", "29", api.radio_icon_decode, "StationIconCache.java", 49,
+           false, true);
+  }
+
+  // ----------------------------- Git@OSC (issue 89) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("GIT@OSC", "net.oschina.gitapp", "Tools", "bb80e0a95", 10000);
+    app->actions.push_back(Act(
+        "OpenCommit", 2.0, {Ev("onItemClick", "CommitDetailActivity.java", 174,
+                               {Bug(api.git_diff_load, "CommitDetail.java", 187, 0.55),
+                                Op(api.ui_set_text, "CommitDetail.java", 195)})}));
+    app->actions.push_back(Act(
+        "OpenRepo", 2.0, {Ev("onClick", "RepoActivity.java", 48,
+                             {Op(api.ui_inflate, "RepoActivity.java", 57)})}));
+    state->study.push_back(app);
+    AddBug(state, "GIT@OSC", "89", api.git_diff_load, "CommitDetail.java", 187, false, true);
+  }
+
+  // ----------------------------- Lens-Launcher (issue 15) -----------------------------
+  {
+    droidsim::AppSpec* app = state->NewApp("Lens-Launcher", "nickrout.lenslauncher",
+                                           "Personalization", "e41e6c6", 100000);
+    OpNode glide = Op(api.launcher_glide_load, "IconLoader.java", 45);
+    glide.children.push_back(Bug(api.bitmap_decode_file, "IconLoader.java", 52, 0.5));
+    app->actions.push_back(Act(
+        "RenderAppIcons", 2.0,
+        {Ev("onResume", "HomeActivity.java", 70,
+            {std::move(glide), Op(api.ui_draw, "LensView.java", 133)})}));
+    app->actions.push_back(Act(
+        "OpenSettings", 1.5, {Ev("onClick", "SettingsActivity.java", 33,
+                                 {Op(api.ui_inflate, "SettingsActivity.java", 41)})}));
+    state->study.push_back(app);
+    AddBug(state, "Lens-Launcher", "15", api.bitmap_decode_file, "IconLoader.java", 52, true,
+           false);
+  }
+
+  // ----------------------------- SkyTube (issue 88) -----------------------------
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("SkyTube", "free.rm.skytube", "Video Players", "3da671c", 5000);
+    app->actions.push_back(Act(
+        "OpenVideo", 2.0, {Ev("onItemClick", "VideoActivity.java", 94,
+                              {Bug(api.video_info_parse, "VideoInfoParser.java", 61, 0.5),
+                               Op(api.ui_set_text, "VideoActivity.java", 102)})}));
+    app->actions.push_back(Act(
+        "BrowseVideos", 3.0,
+        {Ev("onResume", "VideoGridFragment.java", 58,
+            {Op(api.ui_recycler_bind, "VideoGridFragment.java", 66),
+             Op(api.ui_list_layout, "VideoGridFragment.java", 71)})}));
+    state->study.push_back(app);
+    AddBug(state, "SkyTube", "88", api.video_info_parse, "VideoInfoParser.java", 61, false,
+           true);
+  }
+}
+
+}  // namespace workload

@@ -1,0 +1,215 @@
+#include "src/workload/training.h"
+
+#include <memory>
+#include <string>
+
+#include "src/perfsim/perf_session.h"
+#include "src/workload/ground_truth.h"
+
+namespace workload {
+
+namespace {
+
+using droidsim::ActionSpec;
+using droidsim::ApiSpec;
+using droidsim::InputEventSpec;
+using droidsim::OpNode;
+
+// Blocks until the next quiesce of `app`, bracketing the execution with `session`.
+class QuiesceWaiter : public droidsim::AppObserver {
+ public:
+  explicit QuiesceWaiter(droidsim::App* app) : app_(app) { app_->AddObserver(this); }
+  ~QuiesceWaiter() override { app_->RemoveObserver(this); }
+
+  void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override {
+    (void)app;
+    done_ = true;
+    response_ = execution.max_response;
+  }
+
+  void Reset() { done_ = false; }
+  bool done() const { return done_; }
+  simkit::SimDuration response() const { return response_; }
+
+ private:
+  droidsim::App* app_;
+  bool done_ = false;
+  simkit::SimDuration response_ = 0;
+};
+
+// Executes action `uid` once under an all-events PerfSession; returns true and fills the
+// readings if the action quiesced with a soft hang (> 100 ms).
+bool MeasureOneExecution(droidsim::Phone* phone, droidsim::App* app, int32_t uid,
+                         uint64_t session_seed, perfsim::CounterArray* diff,
+                         perfsim::CounterArray* main_only, simkit::SimDuration* response) {
+  perfsim::PerfSession session(&phone->counter_hub(), phone->profile().pmu, session_seed);
+  session.AddThread(app->main_tid());
+  session.AddThread(app->render_tid());
+  session.AddAllEvents();
+  QuiesceWaiter waiter(app);
+  session.Start();
+  app->PerformAction(uid);
+  while (!waiter.done() && phone->sim().Step()) {
+  }
+  session.Stop();
+  *response = waiter.response();
+  if (waiter.response() <= simkit::kPerceivableDelay) {
+    return false;
+  }
+  for (perfsim::PerfEventType event : perfsim::AllPerfEvents()) {
+    auto idx = static_cast<size_t>(event);
+    (*diff)[idx] = session.ReadDifference(app->main_tid(), app->render_tid(), event);
+    (*main_only)[idx] = session.Read(app->main_tid(), event);
+  }
+  return true;
+}
+
+// One entry of the synthetic training app: `copies` sequential invocations of `api` reach a
+// comfortably perceivable response time even for light operations.
+struct TrainingOp {
+  const ApiSpec* api = nullptr;
+  int32_t copies = 1;
+  bool is_bug = false;
+  // UI work accompanying a bug action (real bug actions come with some rendering).
+  const ApiSpec* garnish = nullptr;
+};
+
+ActionSpec MakeTrainingAction(const TrainingOp& op) {
+  const ApiSpec* ui_garnish = op.garnish;
+  ActionSpec action;
+  action.name = std::string(op.is_bug ? "bug-" : "ui-") + op.api->name;
+  InputEventSpec event;
+  event.handler = "onClick";
+  event.handler_file = "TrainingActivity.java";
+  event.handler_line = 10;
+  if (op.is_bug && ui_garnish != nullptr) {
+    // Real bug actions carry a little UI work too (the paper's training hangs come from
+    // complete user actions, not bare API calls).
+    event.ops.push_back(droidsim::MakeOp(ui_garnish, "TrainingActivity.java", 14));
+  }
+  for (int32_t i = 0; i < op.copies; ++i) {
+    event.ops.push_back(droidsim::MakeOp(op.api, "TrainingActivity.java", 20 + i));
+  }
+  action.events.push_back(std::move(event));
+  return action;
+}
+
+}  // namespace
+
+TrainingData CollectTrainingSamples(const Catalog& catalog, const TrainingConfig& config) {
+  const StandardApis& api = catalog.std_apis();
+  // The paper's training set: 10 well-known soft hang bugs + 11 UI-APIs (Section 3.3.1).
+  const TrainingOp kOps[] = {
+      {api.camera_open, 1, true, api.ui_set_text},
+      {api.camera_set_parameters, 2, true, api.ui_set_text},
+      // Bitmap decode is a tight SIMD loop inside a list-scrolling action: the render thread
+      // stays busy, so this bug is invisible to the context-switch condition (the reason the
+      // trained filter needs more than one event, as in the paper).
+      {api.bitmap_decode_file, 1, true, api.ui_list_layout},
+      {api.db_query, 1, true, api.ui_set_text},
+      {api.db_insert, 1, true, api.ui_set_text},
+      {api.prefs_commit, 6, true, api.ui_set_text},
+      {api.media_prepare, 1, true, api.ui_set_text},
+      {api.bt_accept, 1, true, api.ui_set_text},
+      {api.file_read, 5, true, api.ui_set_text},
+      {api.obj_write, 3, true, api.ui_set_text},
+      {api.ui_set_text, 30, false},
+      {api.ui_inflate, 2, false},
+      {api.ui_seekbar_init, 14, false},
+      {api.ui_orientation_enable, 20, false},
+      {api.ui_list_layout, 3, false},
+      {api.ui_measure, 5, false},
+      {api.ui_draw, 6, false},
+      {api.ui_webview_layout, 1, false},
+      {api.ui_recycler_bind, 3, false},
+      {api.ui_gallery_bind, 2, false},
+      {api.ui_notify_changed, 4, false},
+  };
+
+  droidsim::AppSpec spec;
+  spec.name = "TrainingApp";
+  spec.package = "edu.osu.pacs.training";
+  spec.category = "Training";
+  for (const TrainingOp& op : kOps) {
+    spec.actions.push_back(MakeTrainingAction(op));
+  }
+
+  droidsim::Phone phone(config.profile, config.seed);
+  droidsim::App* app = phone.InstallApp(&spec);
+  simkit::Rng rng(config.seed, /*stream=*/0x747261696eULL);
+
+  TrainingData data;
+  for (int32_t uid = 0; uid < app->num_actions(); ++uid) {
+    const TrainingOp& op = kOps[uid];
+    for (int32_t k = 0; k < config.executions_per_op; ++k) {
+      perfsim::CounterArray diff{};
+      perfsim::CounterArray main_only{};
+      simkit::SimDuration response = 0;
+      if (!MeasureOneExecution(&phone, app, uid, rng.NextU64(), &diff, &main_only,
+                               &response)) {
+        continue;
+      }
+      hangdoctor::LabeledSample diff_sample;
+      diff_sample.readings = diff;
+      diff_sample.is_bug = op.is_bug;
+      diff_sample.source = op.api->FullName();
+      data.diff_samples.push_back(std::move(diff_sample));
+      hangdoctor::LabeledSample main_sample;
+      main_sample.readings = main_only;
+      main_sample.is_bug = op.is_bug;
+      main_sample.source = op.api->FullName();
+      data.main_only_samples.push_back(std::move(main_sample));
+    }
+  }
+  return data;
+}
+
+TrainingData CollectValidationSamples(const Catalog& catalog, const TrainingConfig& config) {
+  TrainingData data;
+  simkit::Rng rng(config.seed ^ 0x76616cULL, /*stream=*/0x76616cULL);
+  for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+    std::vector<BugSpec> bugs = catalog.BugsOf(spec->name);
+    droidsim::Phone phone(config.profile, rng.NextU64());
+    droidsim::App* app = phone.InstallApp(spec);
+    GroundTruthRecorder truth(&phone, app);
+    for (int32_t uid = 0; uid < app->num_actions(); ++uid) {
+      for (int32_t k = 0; k < config.executions_per_op; ++k) {
+        perfsim::CounterArray diff{};
+        perfsim::CounterArray main_only{};
+        simkit::SimDuration response = 0;
+        if (!MeasureOneExecution(&phone, app, uid, rng.NextU64(), &diff, &main_only,
+                                 &response)) {
+          continue;
+        }
+        const HangLabel& label = truth.labels().back();
+        // Keep only hangs whose dominant cause is a previously unknown study bug.
+        const BugSpec* matched = nullptr;
+        for (const BugSpec& bug : bugs) {
+          if (bug.missed_offline && bug.api == label.cause_api &&
+              bug.file == label.cause_file && bug.line == label.cause_line) {
+            matched = &bug;
+            break;
+          }
+        }
+        if (matched == nullptr) {
+          continue;
+        }
+        std::string source = spec->name + "/" + matched->api + "@" + matched->file + ":" +
+                             std::to_string(matched->line);
+        hangdoctor::LabeledSample diff_sample;
+        diff_sample.readings = diff;
+        diff_sample.is_bug = true;
+        diff_sample.source = source;
+        data.diff_samples.push_back(std::move(diff_sample));
+        hangdoctor::LabeledSample main_sample;
+        main_sample.readings = main_only;
+        main_sample.is_bug = true;
+        main_sample.source = std::move(source);
+        data.main_only_samples.push_back(std::move(main_sample));
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace workload

@@ -1,0 +1,36 @@
+// Training-sample collection for the Section 3.3.1 correlation analysis. Builds a synthetic
+// training app whose actions exercise the paper's training set — 10 well-known soft hang bugs
+// and 11 UI-APIs — executes each action repeatedly on a device profile, and records one
+// labeled sample per observed soft hang: all 24 performance events, both as main−render
+// differences (Table 3(a)) and main-thread-only readings (Table 3(b)).
+#ifndef SRC_WORKLOAD_TRAINING_H_
+#define SRC_WORKLOAD_TRAINING_H_
+
+#include <vector>
+
+#include "src/droidsim/device.h"
+#include "src/hangdoctor/correlation.h"
+#include "src/workload/catalog.h"
+
+namespace workload {
+
+struct TrainingConfig {
+  int32_t executions_per_op = 12;
+  uint64_t seed = 99;
+  droidsim::DeviceProfile profile = droidsim::LgV10();
+};
+
+struct TrainingData {
+  std::vector<hangdoctor::LabeledSample> diff_samples;       // main − render
+  std::vector<hangdoctor::LabeledSample> main_only_samples;  // main thread only
+};
+
+TrainingData CollectTrainingSamples(const Catalog& catalog, const TrainingConfig& config);
+
+// Validation-set samples: one labeled sample per soft hang of the previously *unknown* study
+// bugs (paper Section 4.4 / Table 6 use these). Each sample's `source` is the bug's api name.
+TrainingData CollectValidationSamples(const Catalog& catalog, const TrainingConfig& config);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_TRAINING_H_

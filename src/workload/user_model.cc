@@ -1,0 +1,70 @@
+#include "src/workload/user_model.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace workload {
+
+UserSession::UserSession(droidsim::Phone* phone, droidsim::App* app, simkit::Rng rng,
+                         UserSessionConfig config)
+    : phone_(phone), app_(app), rng_(rng), config_(config) {
+  ScheduleNext(config_.min_think);
+}
+
+UserSession::UserSession(droidsim::Phone* phone, droidsim::App* app,
+                         std::vector<int32_t> script, UserSessionConfig config)
+    : phone_(phone),
+      app_(app),
+      rng_(1, 1),
+      config_(config),
+      script_(std::move(script)) {
+  ScheduleNext(config_.min_think);
+}
+
+UserSession::~UserSession() {
+  if (pending_ != 0) {
+    phone_->sim().Cancel(pending_);
+  }
+}
+
+void UserSession::ScheduleNext(simkit::SimDuration delay) {
+  pending_ = phone_->sim().ScheduleAfter(delay, [this]() {
+    pending_ = 0;
+    PerformNext();
+  });
+}
+
+int32_t UserSession::ChooseAction() {
+  double total = 0.0;
+  for (const droidsim::ActionSpec& action : app_->spec().actions) {
+    total += action.weight;
+  }
+  double pick = rng_.Uniform(0.0, total);
+  for (int32_t uid = 0; uid < app_->num_actions(); ++uid) {
+    pick -= app_->action(uid).weight;
+    if (pick <= 0.0) {
+      return uid;
+    }
+  }
+  return app_->num_actions() - 1;
+}
+
+void UserSession::PerformNext() {
+  if (script_.has_value()) {
+    if (script_pos_ >= script_->size()) {
+      return;
+    }
+    app_->PerformAction((*script_)[script_pos_++]);
+  } else {
+    if (config_.max_actions > 0 && performed_ >= config_.max_actions) {
+      return;
+    }
+    app_->PerformAction(ChooseAction());
+  }
+  ++performed_;
+  simkit::SimDuration think = static_cast<simkit::SimDuration>(
+      rng_.Exponential(static_cast<double>(config_.mean_think)));
+  ScheduleNext(std::max(think, config_.min_think));
+}
+
+}  // namespace workload

@@ -1,0 +1,55 @@
+// User models: drive an app's actions over simulated time. The stochastic session mimics the
+// paper's in-the-wild testers (weighted action choice, exponential think times); the scripted
+// session replays an exact action sequence for the trace-style figures (6 and 7).
+#ifndef SRC_WORKLOAD_USER_MODEL_H_
+#define SRC_WORKLOAD_USER_MODEL_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/droidsim/app.h"
+#include "src/droidsim/phone.h"
+#include "src/simkit/rng.h"
+
+namespace workload {
+
+struct UserSessionConfig {
+  // Mean think time between actions; a floor keeps actions from overlapping unrealistically.
+  simkit::SimDuration mean_think = simkit::Milliseconds(1500);
+  simkit::SimDuration min_think = simkit::Milliseconds(400);
+  // Stop issuing actions after this many (0 = unlimited, until the session is destroyed).
+  int64_t max_actions = 0;
+};
+
+class UserSession {
+ public:
+  // Stochastic session: actions chosen by ActionSpec weight.
+  UserSession(droidsim::Phone* phone, droidsim::App* app, simkit::Rng rng,
+              UserSessionConfig config = {});
+  // Scripted session: replays `script` (action uids) in order, think time between each.
+  UserSession(droidsim::Phone* phone, droidsim::App* app, std::vector<int32_t> script,
+              UserSessionConfig config = {});
+  ~UserSession();
+  UserSession(const UserSession&) = delete;
+  UserSession& operator=(const UserSession&) = delete;
+
+  int64_t actions_performed() const { return performed_; }
+
+ private:
+  void ScheduleNext(simkit::SimDuration delay);
+  void PerformNext();
+  int32_t ChooseAction();
+
+  droidsim::Phone* phone_;
+  droidsim::App* app_;
+  simkit::Rng rng_;
+  UserSessionConfig config_;
+  std::optional<std::vector<int32_t>> script_;
+  size_t script_pos_ = 0;
+  int64_t performed_ = 0;
+  simkit::EventId pending_ = 0;
+};
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_USER_MODEL_H_

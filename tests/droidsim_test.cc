@@ -1,0 +1,343 @@
+// Unit tests for the Android-like runtime: API registry, Looper dispatch, operation executor,
+// render thread, app lifecycle and quiescence, stack sampling, device profiles.
+#include <gtest/gtest.h>
+
+#include "src/droidsim/api.h"
+#include "src/droidsim/app.h"
+#include "src/droidsim/phone.h"
+#include "src/droidsim/stack_sampler.h"
+#include "src/workload/api_catalog.h"
+
+namespace {
+
+using droidsim::ActionSpec;
+using droidsim::App;
+using droidsim::AppSpec;
+using droidsim::InputEventSpec;
+using droidsim::OpNode;
+using droidsim::Phone;
+
+// Shared fixture: one phone with the standard API catalog.
+class DroidsimTest : public ::testing::Test {
+ protected:
+  DroidsimTest() : phone_(droidsim::LgV10(), /*seed=*/5) {
+    apis_ = workload::BuildStandardApis(&registry_);
+  }
+
+  // Builds a one-action app whose single event executes `ops`.
+  AppSpec MakeApp(std::vector<OpNode> ops, const std::string& name = "TestApp") {
+    AppSpec spec;
+    spec.name = name;
+    spec.package = "com.test." + name;
+    ActionSpec action;
+    action.name = "Go";
+    InputEventSpec event;
+    event.handler = "onClick";
+    event.handler_file = "Test.java";
+    event.handler_line = 10;
+    event.ops = std::move(ops);
+    action.events.push_back(std::move(event));
+    spec.actions.push_back(std::move(action));
+    return spec;
+  }
+
+  droidsim::ApiRegistry registry_;
+  workload::StandardApis apis_;
+  Phone phone_;
+};
+
+class RecordingObserver : public droidsim::AppObserver {
+ public:
+  void OnInputEventStart(App&, const droidsim::ActionExecution&, int32_t event_index) override {
+    starts.push_back(event_index);
+  }
+  void OnInputEventEnd(App&, const droidsim::ActionExecution& execution,
+                       int32_t event_index) override {
+    ends.push_back(event_index);
+    last_execution = execution;
+  }
+  void OnActionQuiesced(App&, const droidsim::ActionExecution& execution) override {
+    ++quiesced;
+    last_execution = execution;
+  }
+  std::vector<int32_t> starts;
+  std::vector<int32_t> ends;
+  int quiesced = 0;
+  droidsim::ActionExecution last_execution;
+};
+
+TEST(ApiRegistryTest, InternAndFind) {
+  droidsim::ApiRegistry registry;
+  droidsim::ApiSpec spec;
+  spec.name = "open";
+  spec.clazz = "android.hardware.Camera";
+  const droidsim::ApiSpec* interned = registry.Register(spec);
+  EXPECT_EQ(interned->FullName(), "android.hardware.Camera.open");
+  EXPECT_EQ(registry.Find("android.hardware.Camera.open"), interned);
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+  // Re-registering updates in place and keeps the pointer stable.
+  spec.known_blocking = true;
+  const droidsim::ApiSpec* again = registry.Register(spec);
+  EXPECT_EQ(again, interned);
+  EXPECT_TRUE(interned->known_blocking);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ApiRegistryTest, AllSpecsEnumerates) {
+  droidsim::ApiRegistry registry;
+  workload::StandardApis apis = workload::BuildStandardApis(&registry);
+  (void)apis;
+  EXPECT_GT(registry.AllSpecs().size(), 40u);
+}
+
+TEST(UiClassTest, RecognizesUiPackages) {
+  EXPECT_TRUE(droidsim::IsUiClass("android.view.LayoutInflater"));
+  EXPECT_TRUE(droidsim::IsUiClass("android.widget.TextView"));
+  EXPECT_TRUE(droidsim::IsUiClass("android.webkit.WebView"));
+  EXPECT_TRUE(droidsim::IsUiClass("androidx.recyclerview.widget.RecyclerView"));
+  EXPECT_FALSE(droidsim::IsUiClass("android.hardware.Camera"));
+  EXPECT_FALSE(droidsim::IsUiClass("org.htmlcleaner.HtmlCleaner"));
+  EXPECT_FALSE(droidsim::IsUiClass("com.google.gson.Gson"));
+}
+
+TEST_F(DroidsimTest, ActionDispatchesAndQuiesces) {
+  AppSpec spec = MakeApp({droidsim::MakeOp(apis_.ui_set_text, "Test.java", 20)});
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(5));
+  EXPECT_EQ(observer.starts, (std::vector<int32_t>{0}));
+  EXPECT_EQ(observer.ends, (std::vector<int32_t>{0}));
+  EXPECT_EQ(observer.quiesced, 1);
+  EXPECT_GT(observer.last_execution.max_response, 0);
+}
+
+TEST_F(DroidsimTest, ResponseTimeTracksOpCost) {
+  // gson_tojson has an 800 ms mean CPU cost; the response must be in that ballpark.
+  OpNode bug = droidsim::MakeOp(apis_.gson_tojson, "Test.java", 20);
+  bug.manifest_probability = 1.0;
+  AppSpec spec = MakeApp({std::move(bug)});
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(10));
+  EXPECT_GT(observer.last_execution.max_response, simkit::Milliseconds(250));
+  EXPECT_LT(observer.last_execution.max_response, simkit::Seconds(4));
+}
+
+TEST_F(DroidsimTest, MultiEventActionUsesMaxResponse) {
+  AppSpec spec;
+  spec.name = "Multi";
+  spec.package = "com.test.multi";
+  ActionSpec action;
+  action.name = "TwoEvents";
+  for (const droidsim::ApiSpec* api : {apis_.ui_set_text, apis_.ui_inflate}) {
+    InputEventSpec event;
+    event.handler = "onClick";
+    event.handler_file = "Multi.java";
+    event.handler_line = 5;
+    event.ops.push_back(droidsim::MakeOp(api, "Multi.java", 9));
+    action.events.push_back(std::move(event));
+  }
+  spec.actions.push_back(std::move(action));
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(5));
+  EXPECT_EQ(observer.ends.size(), 2u);
+  EXPECT_EQ(observer.quiesced, 1);
+  // max_response reflects the heavier event (inflate ~90 ms vs setText ~6 ms).
+  EXPECT_GT(observer.last_execution.max_response, simkit::Milliseconds(30));
+}
+
+TEST_F(DroidsimTest, ContributionsRecordCulpritAndDuration) {
+  OpNode bug = droidsim::MakeOp(apis_.html_clean, "Mail.java", 25);
+  bug.manifest_probability = 1.0;
+  AppSpec spec = MakeApp({droidsim::MakeOp(apis_.ui_set_text, "Mail.java", 20), std::move(bug)});
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(10));
+  ASSERT_EQ(observer.last_execution.contributions.size(), 2u);
+  const droidsim::OpContribution* clean = nullptr;
+  for (const droidsim::OpContribution& contribution : observer.last_execution.contributions) {
+    if (contribution.api == apis_.html_clean) {
+      clean = &contribution;
+    }
+  }
+  ASSERT_NE(clean, nullptr);
+  EXPECT_EQ(clean->file, "Mail.java");
+  EXPECT_EQ(clean->line, 25);
+  EXPECT_GT(clean->self_duration, simkit::Milliseconds(200));
+  EXPECT_EQ(clean->caller, "onClick");
+}
+
+TEST_F(DroidsimTest, NestedOpsReportParentAsCaller) {
+  OpNode wrapper = droidsim::MakeOp(apis_.cupboard_get, "Helper.java", 29);
+  wrapper.children.push_back(droidsim::MakeOp(apis_.db_insert, "Converter.java", 205));
+  AppSpec spec = MakeApp({std::move(wrapper)});
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(10));
+  const droidsim::OpContribution* insert = nullptr;
+  for (const droidsim::OpContribution& contribution : observer.last_execution.contributions) {
+    if (contribution.api == apis_.db_insert) {
+      insert = &contribution;
+    }
+  }
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->caller, "nl.qbusict.cupboard.Cupboard.get");
+}
+
+TEST_F(DroidsimTest, DormantOpIsCheap) {
+  OpNode bug = droidsim::MakeOp(apis_.gson_tojson, "Test.java", 20);
+  bug.manifest_probability = 0.0;  // never manifests
+  AppSpec spec = MakeApp({std::move(bug)});
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(5));
+  EXPECT_LT(observer.last_execution.max_response, simkit::Milliseconds(100));
+  EXPECT_FALSE(observer.last_execution.contributions.at(0).manifested);
+}
+
+TEST_F(DroidsimTest, WorkerSubtreeLeavesMainThreadFast) {
+  OpNode heavy = droidsim::MakeOp(apis_.gson_tojson, "Test.java", 20);
+  heavy.on_worker = true;
+  AppSpec spec = MakeApp({std::move(heavy)});
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(10));
+  EXPECT_LT(observer.last_execution.max_response, simkit::Milliseconds(50));
+  // The worker looper actually executed the subtree.
+  EXPECT_GT(phone_.kernel().GetThread(app->worker_looper().tid()).stats.cpu_time,
+            simkit::Milliseconds(100));
+}
+
+TEST_F(DroidsimTest, UiOpsFeedRenderThread) {
+  AppSpec spec = MakeApp({droidsim::MakeOp(apis_.ui_inflate, "Test.java", 20)});
+  App* app = phone_.InstallApp(&spec);
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(5));
+  EXPECT_GT(app->render_thread().rendered_frames(), 0);
+  EXPECT_GT(phone_.kernel().GetThread(app->render_tid()).stats.cpu_time,
+            simkit::Milliseconds(20));
+}
+
+TEST_F(DroidsimTest, QuiesceWaitsForRenderDrain) {
+  AppSpec spec = MakeApp({droidsim::MakeOp(apis_.ui_webview_layout, "Test.java", 20)});
+  App* app = phone_.InstallApp(&spec);
+  RecordingObserver observer;
+  app->AddObserver(&observer);
+  app->PerformAction(0);
+  // Once quiesced, the render thread must have no outstanding frames for this execution.
+  phone_.RunFor(simkit::Seconds(8));
+  EXPECT_EQ(observer.quiesced, 1);
+  EXPECT_TRUE(app->render_thread().Idle());
+}
+
+TEST_F(DroidsimTest, MainStackShowsExecutingFrames) {
+  OpNode bug = droidsim::MakeOp(apis_.html_clean, "Mail.java", 25);
+  bug.manifest_probability = 1.0;
+  AppSpec spec = MakeApp({std::move(bug)});
+  App* app = phone_.InstallApp(&spec);
+  app->PerformAction(0);
+  // 300 ms in, the main thread is inside clean().
+  phone_.RunFor(simkit::Milliseconds(300));
+  const std::vector<droidsim::StackFrame>& stack = app->MainStack();
+  ASSERT_GE(stack.size(), 2u);
+  EXPECT_EQ(stack.front().function, "onClick");
+  EXPECT_EQ(stack.back().function, "clean");
+  EXPECT_EQ(stack.back().clazz, "org.htmlcleaner.HtmlCleaner");
+  phone_.RunFor(simkit::Seconds(10));
+  EXPECT_TRUE(app->MainStack().empty());  // idle after the event
+}
+
+TEST_F(DroidsimTest, StackSamplerCollectsDuringHang) {
+  OpNode bug = droidsim::MakeOp(apis_.html_clean, "Mail.java", 25);
+  bug.manifest_probability = 1.0;
+  AppSpec spec = MakeApp({std::move(bug)});
+  App* app = phone_.InstallApp(&spec);
+  droidsim::StackSampler sampler(&phone_.sim(), &app->main_looper(), simkit::Milliseconds(20));
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Milliseconds(150));
+  sampler.StartCollection();
+  phone_.RunFor(simkit::Milliseconds(400));
+  std::vector<droidsim::StackTrace> traces = sampler.StopCollection();
+  EXPECT_FALSE(sampler.active());
+  ASSERT_GE(traces.size(), 10u);
+  int with_clean = 0;
+  for (const droidsim::StackTrace& trace : traces) {
+    with_clean += trace.Contains("org.htmlcleaner.HtmlCleaner", "clean") ? 1 : 0;
+  }
+  EXPECT_GT(with_clean, static_cast<int>(traces.size() / 2));
+  // A second collection starts clean.
+  sampler.StartCollection();
+  EXPECT_TRUE(sampler.active());
+  phone_.RunFor(simkit::Milliseconds(60));
+  EXPECT_FALSE(sampler.StopCollection().empty());
+}
+
+TEST_F(DroidsimTest, MessageLoggerFiresBeginAndEnd) {
+  AppSpec spec = MakeApp({droidsim::MakeOp(apis_.ui_set_text, "Test.java", 20)});
+  App* app = phone_.InstallApp(&spec);
+  std::vector<bool> phases;
+  app->main_looper().AddMessageLogger(
+      [&](bool begin, const droidsim::Message&) { phases.push_back(begin); });
+  app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(3));
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_TRUE(phases[0]);
+  EXPECT_FALSE(phases[1]);
+  EXPECT_EQ(app->main_looper().dispatched_messages(), 1);
+  EXPECT_TRUE(app->main_looper().Idle());
+}
+
+TEST_F(DroidsimTest, QueuedMessagesDispatchInOrder) {
+  AppSpec spec = MakeApp({droidsim::MakeOp(apis_.ui_inflate, "Test.java", 20)});
+  App* app = phone_.InstallApp(&spec);
+  std::vector<int64_t> order;
+  app->main_looper().AddMessageLogger([&](bool begin, const droidsim::Message& message) {
+    if (begin) {
+      order.push_back(message.execution_id);
+    }
+  });
+  int64_t first = app->PerformAction(0);
+  int64_t second = app->PerformAction(0);
+  phone_.RunFor(simkit::Seconds(5));
+  EXPECT_EQ(order, (std::vector<int64_t>{first, second}));
+}
+
+TEST(DeviceProfileTest, ProfilesDiffer) {
+  droidsim::DeviceProfile v10 = droidsim::LgV10();
+  droidsim::DeviceProfile n5 = droidsim::Nexus5();
+  droidsim::DeviceProfile s3 = droidsim::GalaxyS3();
+  EXPECT_EQ(v10.pmu.hardware_registers, 6);
+  EXPECT_EQ(n5.pmu.hardware_registers, 4);
+  EXPECT_TRUE(v10.has_render_thread);
+  EXPECT_FALSE(s3.has_render_thread);
+  // The S3's flash is slower than the V10's.
+  EXPECT_GT(s3.devices[static_cast<size_t>(droidsim::DeviceKind::kFlash)].base_latency,
+            v10.devices[static_cast<size_t>(droidsim::DeviceKind::kFlash)].base_latency);
+}
+
+TEST(StackTraceTest, FormatAndContains) {
+  droidsim::StackFrame frame{"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25,
+                             true};
+  EXPECT_EQ(droidsim::FormatFrame(frame), "clean(HtmlSanitizer.java:25)");
+  droidsim::StackTrace trace;
+  trace.frames.push_back(frame);
+  EXPECT_TRUE(trace.Contains("org.htmlcleaner.HtmlCleaner", "clean"));
+  EXPECT_FALSE(trace.Contains("org.htmlcleaner.HtmlCleaner", "dirty"));
+}
+
+}  // namespace

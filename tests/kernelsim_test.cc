@@ -1,0 +1,368 @@
+// Unit tests for the simulated kernel: scheduling, context-switch accounting, blocking I/O,
+// sleep, memory management, background load.
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kernelsim/background_load.h"
+#include "src/kernelsim/io.h"
+#include "src/kernelsim/kernel.h"
+#include "src/kernelsim/memory.h"
+#include "src/simkit/simulation.h"
+
+namespace {
+
+using kernelsim::BlockSegment;
+using kernelsim::CpuSegment;
+using kernelsim::ExitSegment;
+using kernelsim::IoSegment;
+using kernelsim::Kernel;
+using kernelsim::KernelSpec;
+using kernelsim::Segment;
+using kernelsim::SleepSegment;
+using kernelsim::ThreadState;
+using kernelsim::WorkSource;
+
+// A scripted work source: plays a fixed list of segments, then exits.
+class ScriptSource : public WorkSource {
+ public:
+  explicit ScriptSource(std::vector<Segment> script) : script_(std::move(script)) {}
+  Segment NextSegment() override {
+    if (position_ >= script_.size()) {
+      return ExitSegment{};
+    }
+    return script_[position_++];
+  }
+  size_t position() const { return position_; }
+
+ private:
+  std::vector<Segment> script_;
+  size_t position_ = 0;
+};
+
+CpuSegment Cpu(simkit::SimDuration duration, double syscalls_per_ms = 0.0,
+               int64_t alloc = 0) {
+  CpuSegment segment;
+  segment.duration = duration;
+  segment.syscalls_per_ms = syscalls_per_ms;
+  segment.alloc_bytes = alloc;
+  return segment;
+}
+
+struct World {
+  simkit::Simulation sim;
+  std::optional<Kernel> kernel;
+
+  explicit World(int32_t cpus = 4) {
+    KernelSpec spec;
+    spec.num_cpus = cpus;
+    kernel.emplace(&sim, spec, /*seed=*/1);
+  }
+};
+
+TEST(KernelTest, SingleThreadChargesExactCpuTime) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(10))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunToCompletion();
+  const kernelsim::Thread& thread = world.kernel->GetThread(tid);
+  EXPECT_EQ(thread.stats.cpu_time, simkit::Milliseconds(10));
+  EXPECT_EQ(thread.state, ThreadState::kExited);
+}
+
+TEST(KernelTest, CpuSegmentsRunBackToBackWithoutGaps) {
+  World world(1);
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(3)), Cpu(simkit::Milliseconds(5))});
+  world.kernel->SpawnThread(pid, "t", &source);
+  simkit::SimTime end = world.sim.RunToCompletion();
+  EXPECT_EQ(end, simkit::Milliseconds(8));
+}
+
+TEST(KernelTest, TwoHogsShareOneCpuFairly) {
+  World world(1);
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource a({Cpu(simkit::Milliseconds(40))});
+  ScriptSource b({Cpu(simkit::Milliseconds(40))});
+  auto tid_a = world.kernel->SpawnThread(pid, "a", &a);
+  auto tid_b = world.kernel->SpawnThread(pid, "b", &b);
+  // Half way through, both threads should have had roughly equal CPU.
+  world.sim.RunUntil(simkit::Milliseconds(40));
+  simkit::SimDuration cpu_a = world.kernel->GetThread(tid_a).stats.cpu_time;
+  simkit::SimDuration cpu_b = world.kernel->GetThread(tid_b).stats.cpu_time;
+  EXPECT_NEAR(static_cast<double>(cpu_a), static_cast<double>(cpu_b),
+              static_cast<double>(simkit::Milliseconds(4)));
+  world.sim.RunToCompletion();
+  EXPECT_EQ(world.kernel->GetThread(tid_a).stats.cpu_time, simkit::Milliseconds(40));
+}
+
+TEST(KernelTest, PreemptionCountsInvoluntarySwitches) {
+  World world(1);
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource a({Cpu(simkit::Milliseconds(40))});
+  ScriptSource b({Cpu(simkit::Milliseconds(40))});
+  auto tid_a = world.kernel->SpawnThread(pid, "a", &a);
+  world.kernel->SpawnThread(pid, "b", &b);
+  world.sim.RunToCompletion();
+  // 40 ms at a 4 ms timeslice against one competitor: several involuntary switches.
+  EXPECT_GE(world.kernel->GetThread(tid_a).stats.involuntary_switches, 5);
+}
+
+TEST(KernelTest, LoneHogIsNotPreempted) {
+  World world(4);
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(40))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunToCompletion();
+  EXPECT_EQ(world.kernel->GetThread(tid).stats.involuntary_switches, 0);
+}
+
+TEST(KernelTest, MicroSyscallsCountAsVoluntarySwitches) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(100), /*syscalls_per_ms=*/1.0)});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunToCompletion();
+  // ~100 yields plus the final exit switch.
+  EXPECT_NEAR(static_cast<double>(world.kernel->GetThread(tid).stats.voluntary_switches),
+              101.0, 3.0);
+}
+
+TEST(KernelTest, BlockingIoBlocksAndWakes) {
+  World world;
+  kernelsim::IoDeviceSpec device_spec;
+  device_spec.name = "disk";
+  device_spec.base_latency = simkit::Milliseconds(5);
+  device_spec.bandwidth_bytes_per_sec = 0.0;
+  device_spec.jitter_sigma = 0.0;
+  auto device = world.kernel->AddDevice(device_spec);
+  IoSegment io;
+  io.device = device;
+  io.rounds = 1;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({io, Cpu(simkit::Milliseconds(1))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunUntil(simkit::Milliseconds(2));
+  EXPECT_EQ(world.kernel->GetThread(tid).state, ThreadState::kBlocked);
+  simkit::SimTime end = world.sim.RunToCompletion();
+  EXPECT_GE(end, simkit::Milliseconds(6));
+  EXPECT_EQ(world.kernel->GetThread(tid).stats.cpu_time, simkit::Milliseconds(1));
+}
+
+TEST(KernelTest, IoRoundsCountVoluntarySwitches) {
+  World world;
+  kernelsim::IoDeviceSpec device_spec;
+  device_spec.base_latency = simkit::Milliseconds(1);
+  device_spec.jitter_sigma = 0.0;
+  auto device = world.kernel->AddDevice(device_spec);
+  IoSegment io;
+  io.device = device;
+  io.rounds = 10;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({io});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunToCompletion();
+  // One switch per round (9 extra + the initial block) + exit.
+  EXPECT_GE(world.kernel->GetThread(tid).stats.voluntary_switches, 10);
+}
+
+TEST(KernelTest, SleepWakesAfterDuration) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  SleepSegment sleep;
+  sleep.duration = simkit::Milliseconds(7);
+  ScriptSource source({sleep, Cpu(simkit::Milliseconds(1))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunUntil(simkit::Milliseconds(3));
+  EXPECT_EQ(world.kernel->GetThread(tid).state, ThreadState::kSleeping);
+  simkit::SimTime end = world.sim.RunToCompletion();
+  EXPECT_EQ(end, simkit::Milliseconds(8));
+}
+
+TEST(KernelTest, BlockSegmentWaitsForWake) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({BlockSegment{}, Cpu(simkit::Milliseconds(2))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunUntil(simkit::Milliseconds(10));
+  EXPECT_EQ(world.kernel->GetThread(tid).state, ThreadState::kBlocked);
+  world.kernel->Wake(tid);
+  world.sim.RunToCompletion();
+  EXPECT_EQ(world.kernel->GetThread(tid).stats.cpu_time, simkit::Milliseconds(2));
+}
+
+TEST(KernelTest, WakeBeforeBlockIsNotLost) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(5)), BlockSegment{}, Cpu(simkit::Milliseconds(1))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  // Wake arrives while the thread is still running its first segment.
+  world.sim.RunUntil(simkit::Milliseconds(1));
+  world.kernel->Wake(tid);
+  world.sim.RunToCompletion();
+  EXPECT_EQ(world.kernel->GetThread(tid).state, ThreadState::kExited);
+  EXPECT_EQ(world.kernel->GetThread(tid).stats.cpu_time, simkit::Milliseconds(6));
+}
+
+TEST(KernelTest, AllocationsFaultOncePerPage) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(10), 0.0, /*alloc=*/40 * kernelsim::kPageSize)});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunToCompletion();
+  EXPECT_NEAR(static_cast<double>(world.kernel->GetThread(tid).stats.minor_faults), 40.0, 2.0);
+}
+
+TEST(KernelTest, SinkReceivesCharges) {
+  class CountingSink : public kernelsim::KernelEventSink {
+   public:
+    void OnCpuCharge(const kernelsim::Thread&, simkit::SimDuration run,
+                     const kernelsim::MicroArchProfile&) override {
+      cpu += run;
+    }
+    void OnContextSwitch(const kernelsim::Thread&, bool, int64_t count) override {
+      switches += count;
+    }
+    void OnPageFault(const kernelsim::Thread&, bool, int64_t count) override { faults += count; }
+    void OnCpuMigration(const kernelsim::Thread&) override { ++migrations; }
+    simkit::SimDuration cpu = 0;
+    int64_t switches = 0;
+    int64_t faults = 0;
+    int64_t migrations = 0;
+  };
+  World world;
+  CountingSink sink;
+  world.kernel->AddSink(&sink);
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(8), 1.0, 10 * kernelsim::kPageSize)});
+  world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunToCompletion();
+  EXPECT_EQ(sink.cpu, simkit::Milliseconds(8));
+  EXPECT_GT(sink.switches, 0);
+  EXPECT_GT(sink.faults, 0);
+  world.kernel->RemoveSink(&sink);
+}
+
+TEST(KernelTest, TotalContextSwitchesAggregates) {
+  World world(1);
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource a({Cpu(simkit::Milliseconds(20))});
+  ScriptSource b({Cpu(simkit::Milliseconds(20))});
+  world.kernel->SpawnThread(pid, "a", &a);
+  world.kernel->SpawnThread(pid, "b", &b);
+  world.sim.RunToCompletion();
+  EXPECT_GT(world.kernel->total_context_switches(), 4);
+}
+
+TEST(IoDeviceTest, BandwidthAddsServiceTime) {
+  simkit::Simulation sim;
+  kernelsim::IoDeviceSpec spec;
+  spec.base_latency = simkit::Milliseconds(1);
+  spec.bandwidth_bytes_per_sec = 1024.0 * 1024.0;  // 1 MiB/s
+  spec.jitter_sigma = 0.0;
+  kernelsim::IoDevice device(&sim, 0, spec, simkit::Rng(1, 1));
+  simkit::SimDuration observed = 0;
+  kernelsim::IoRequest request;
+  request.bytes = 512 * 1024;  // half a second at 1 MiB/s
+  device.Submit(request, [&](const kernelsim::IoCompletion& done) {
+    observed = done.service_time;
+  });
+  sim.RunToCompletion();
+  EXPECT_NEAR(simkit::ToMilliseconds(observed), 501.0, 5.0);
+}
+
+TEST(IoDeviceTest, SingleChannelQueuesRequests) {
+  simkit::Simulation sim;
+  kernelsim::IoDeviceSpec spec;
+  spec.base_latency = simkit::Milliseconds(10);
+  spec.bandwidth_bytes_per_sec = 0.0;
+  spec.jitter_sigma = 0.0;
+  spec.channels = 1;
+  kernelsim::IoDevice device(&sim, 0, spec, simkit::Rng(1, 1));
+  std::vector<simkit::SimTime> completions;
+  for (int i = 0; i < 2; ++i) {
+    device.Submit(kernelsim::IoRequest{}, [&](const kernelsim::IoCompletion&) {
+      completions.push_back(sim.Now());
+    });
+  }
+  sim.RunToCompletion();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], simkit::Milliseconds(10));
+  EXPECT_EQ(completions[1], simkit::Milliseconds(20));
+}
+
+TEST(IoDeviceTest, CachedRequestsAreFastAndFaultless) {
+  simkit::Simulation sim;
+  kernelsim::IoDeviceSpec spec;
+  spec.base_latency = simkit::Milliseconds(10);
+  kernelsim::IoDevice device(&sim, 0, spec, simkit::Rng(1, 1));
+  kernelsim::IoRequest request;
+  request.bytes = 256 * 1024;
+  request.cached = true;
+  simkit::SimDuration service = 0;
+  int64_t faults = -1;
+  device.Submit(request, [&](const kernelsim::IoCompletion& done) {
+    service = done.service_time;
+    faults = done.major_faults;
+  });
+  sim.RunToCompletion();
+  EXPECT_LT(service, simkit::Milliseconds(1));
+  EXPECT_EQ(faults, 0);
+}
+
+TEST(MemoryManagerTest, AllocFaultsPerPage) {
+  kernelsim::MemorySpec spec;
+  kernelsim::MemoryManager memory(spec, simkit::Rng(1, 1));
+  memory.CreateAddressSpace(1);
+  EXPECT_EQ(memory.Alloc(1, 10 * kernelsim::kPageSize, 0), 10);
+  EXPECT_EQ(memory.ResidentPages(1), 10);
+  EXPECT_EQ(memory.Alloc(1, 0, 0), 0);
+}
+
+TEST(MemoryManagerTest, TouchOnResidentSetIsFree) {
+  kernelsim::MemorySpec spec;
+  kernelsim::MemoryManager memory(spec, simkit::Rng(1, 1));
+  memory.CreateAddressSpace(1);
+  memory.Alloc(1, 100 * kernelsim::kPageSize, 0);
+  EXPECT_EQ(memory.Touch(1, 50 * kernelsim::kPageSize, 1), 0);
+}
+
+TEST(MemoryManagerTest, PressureEvictsAndCausesRefaults) {
+  kernelsim::MemorySpec spec;
+  spec.total_pages = 100;
+  kernelsim::MemoryManager memory(spec, simkit::Rng(1, 1));
+  memory.CreateAddressSpace(1);
+  memory.CreateAddressSpace(2);
+  memory.Alloc(1, 90 * kernelsim::kPageSize, 0);
+  memory.Alloc(2, 90 * kernelsim::kPageSize, 1);  // forces reclaim of space 1
+  EXPECT_LE(memory.TotalResidentPages(), 100);
+  // Space 1 lost residency; touching its working set refaults.
+  EXPECT_GT(memory.Touch(1, 90 * kernelsim::kPageSize, 2), 0);
+}
+
+TEST(MemoryManagerTest, DestroyReleasesPages) {
+  kernelsim::MemorySpec spec;
+  kernelsim::MemoryManager memory(spec, simkit::Rng(1, 1));
+  memory.CreateAddressSpace(1);
+  memory.Alloc(1, 10 * kernelsim::kPageSize, 0);
+  memory.DestroyAddressSpace(1);
+  EXPECT_EQ(memory.TotalResidentPages(), 0);
+}
+
+TEST(BackgroundLoadTest, ThreadsConsumeCpuOverTime) {
+  World world;
+  kernelsim::BackgroundLoadSpec spec;
+  spec.num_threads = 2;
+  kernelsim::BackgroundLoad load(&world.kernel.value(), spec, simkit::Rng(3, 3));
+  world.sim.RunUntil(simkit::Seconds(1));
+  simkit::SimDuration total = 0;
+  for (kernelsim::ThreadId tid : load.thread_ids()) {
+    total += world.kernel->GetThread(tid).stats.cpu_time;
+  }
+  EXPECT_GT(total, simkit::Milliseconds(100));
+  EXPECT_LT(total, simkit::Seconds(2));
+}
+
+}  // namespace

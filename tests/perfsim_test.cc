@@ -1,0 +1,248 @@
+// Unit tests for the performance-counter subsystem: event metadata, the counter hub, and the
+// PMU register/multiplexing model.
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "src/kernelsim/kernel.h"
+#include "src/perfsim/counter_hub.h"
+#include "src/perfsim/events.h"
+#include "src/perfsim/perf_session.h"
+#include "src/simkit/simulation.h"
+
+namespace {
+
+using perfsim::CounterHub;
+using perfsim::PerfEventType;
+using perfsim::PerfSession;
+using perfsim::PmuSpec;
+
+class ScriptSource : public kernelsim::WorkSource {
+ public:
+  explicit ScriptSource(std::vector<kernelsim::Segment> script) : script_(std::move(script)) {}
+  kernelsim::Segment NextSegment() override {
+    if (position_ >= script_.size()) {
+      return kernelsim::ExitSegment{};
+    }
+    return script_[position_++];
+  }
+
+ private:
+  std::vector<kernelsim::Segment> script_;
+  size_t position_ = 0;
+};
+
+kernelsim::CpuSegment Cpu(simkit::SimDuration duration) {
+  kernelsim::CpuSegment segment;
+  segment.duration = duration;
+  segment.syscalls_per_ms = 0.0;
+  return segment;
+}
+
+struct World {
+  simkit::Simulation sim;
+  std::optional<kernelsim::Kernel> kernel;
+  std::optional<CounterHub> hub;
+
+  World() {
+    kernel.emplace(&sim, kernelsim::KernelSpec{}, /*seed=*/1);
+    hub.emplace(&kernel.value(), /*seed=*/2);
+  }
+};
+
+TEST(EventsTest, NamesRoundTrip) {
+  for (PerfEventType event : perfsim::AllPerfEvents()) {
+    const std::string& name = perfsim::PerfEventName(event);
+    EXPECT_FALSE(name.empty());
+    auto back = perfsim::PerfEventFromName(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, event);
+  }
+  EXPECT_FALSE(perfsim::PerfEventFromName("not-an-event").has_value());
+}
+
+TEST(EventsTest, SoftwareClassificationMatchesPaper) {
+  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kContextSwitches));
+  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kTaskClock));
+  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kCpuClock));
+  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kPageFaults));
+  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kMinorFaults));
+  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kCpuMigrations));
+  EXPECT_FALSE(perfsim::IsSoftwareEvent(PerfEventType::kInstructions));
+  EXPECT_FALSE(perfsim::IsSoftwareEvent(PerfEventType::kCacheMisses));
+  EXPECT_FALSE(perfsim::IsSoftwareEvent(PerfEventType::kL1DcacheLoads));
+}
+
+TEST(EventsTest, ModeledEventCount) {
+  EXPECT_EQ(perfsim::kNumPerfEvents, 24u);
+  int hardware = 0;
+  for (PerfEventType event : perfsim::AllPerfEvents()) {
+    hardware += perfsim::IsSoftwareEvent(event) ? 0 : 1;
+  }
+  // More hardware events than the LG V10's 6 registers: multiplexing is reachable.
+  EXPECT_GT(hardware, 6);
+}
+
+TEST(CounterHubTest, TaskClockMatchesChargedCpu) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(25))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  world.sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(world.hub->Value(tid, PerfEventType::kTaskClock),
+                   static_cast<double>(simkit::Milliseconds(25)));
+  // cpu-clock tracks task-clock within a sliver.
+  EXPECT_NEAR(world.hub->Value(tid, PerfEventType::kCpuClock),
+              world.hub->Value(tid, PerfEventType::kTaskClock),
+              0.01 * world.hub->Value(tid, PerfEventType::kTaskClock));
+}
+
+TEST(CounterHubTest, InstructionsScaleWithCpuTime) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource short_source({Cpu(simkit::Milliseconds(10))});
+  ScriptSource long_source({Cpu(simkit::Milliseconds(100))});
+  auto tid_short = world.kernel->SpawnThread(pid, "s", &short_source);
+  auto tid_long = world.kernel->SpawnThread(pid, "l", &long_source);
+  world.sim.RunToCompletion();
+  double ratio = world.hub->Value(tid_long, PerfEventType::kInstructions) /
+                 world.hub->Value(tid_short, PerfEventType::kInstructions);
+  EXPECT_NEAR(ratio, 10.0, 1.5);
+}
+
+TEST(CounterHubTest, UnknownThreadReadsZero) {
+  World world;
+  EXPECT_DOUBLE_EQ(world.hub->Value(1234, PerfEventType::kInstructions), 0.0);
+  perfsim::CounterArray snapshot = world.hub->Snapshot(1234);
+  for (double value : snapshot) {
+    EXPECT_DOUBLE_EQ(value, 0.0);
+  }
+}
+
+TEST(PerfSessionTest, WindowIsolatesCounts) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(10)), Cpu(simkit::Milliseconds(10))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  // Run the first segment outside the session.
+  world.sim.RunUntil(simkit::Milliseconds(10));
+  PerfSession session(&world.hub.value(), PmuSpec{}, /*seed=*/3);
+  session.AddThread(tid);
+  session.AddEvent(PerfEventType::kTaskClock);
+  session.Start();
+  world.sim.RunToCompletion();
+  session.Stop();
+  EXPECT_DOUBLE_EQ(session.Read(tid, PerfEventType::kTaskClock),
+                   static_cast<double>(simkit::Milliseconds(10)));
+}
+
+TEST(PerfSessionTest, StopFreezesReadings) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(10)), Cpu(simkit::Milliseconds(10))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  PerfSession session(&world.hub.value(), PmuSpec{}, /*seed=*/3);
+  session.AddThread(tid);
+  session.AddEvent(PerfEventType::kTaskClock);
+  session.Start();
+  world.sim.RunUntil(simkit::Milliseconds(10));
+  session.Stop();
+  world.sim.RunToCompletion();  // further work must not leak into the stopped session
+  EXPECT_DOUBLE_EQ(session.Read(tid, PerfEventType::kTaskClock),
+                   static_cast<double>(simkit::Milliseconds(10)));
+}
+
+TEST(PerfSessionTest, SoftwareEventsExactEvenWhenOversubscribed) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(20))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  PerfSession session(&world.hub.value(), PmuSpec{}, /*seed=*/3);
+  session.AddThread(tid);
+  session.AddAllEvents();  // 15 hardware events > 6 registers
+  session.Start();
+  world.sim.RunToCompletion();
+  session.Stop();
+  EXPECT_LT(session.EnabledFraction(), 1.0);
+  EXPECT_DOUBLE_EQ(session.Read(tid, PerfEventType::kTaskClock),
+                   static_cast<double>(simkit::Milliseconds(20)));
+}
+
+TEST(PerfSessionTest, MultiplexingAddsHardwareNoise) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource source({Cpu(simkit::Milliseconds(50))});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  PerfSession oversubscribed(&world.hub.value(), PmuSpec{}, /*seed=*/3);
+  oversubscribed.AddThread(tid);
+  oversubscribed.AddAllEvents();
+  PerfSession exact(&world.hub.value(), PmuSpec{}, /*seed=*/4);
+  exact.AddThread(tid);
+  exact.AddEvent(PerfEventType::kInstructions);
+  oversubscribed.Start();
+  exact.Start();
+  world.sim.RunToCompletion();
+  oversubscribed.Stop();
+  exact.Stop();
+  double truth = exact.Read(tid, PerfEventType::kInstructions);
+  double noisy = oversubscribed.Read(tid, PerfEventType::kInstructions);
+  EXPECT_GT(truth, 0.0);
+  EXPECT_NE(noisy, truth);                         // extrapolation error present...
+  EXPECT_NEAR(noisy, truth, 0.25 * truth);         // ...but bounded
+  EXPECT_DOUBLE_EQ(exact.EnabledFraction(), 1.0);  // a single hw event is never multiplexed
+}
+
+TEST(PerfSessionTest, ReadDifferenceSubtractsThreads) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  ScriptSource a({Cpu(simkit::Milliseconds(30))});
+  ScriptSource b({Cpu(simkit::Milliseconds(10))});
+  auto tid_a = world.kernel->SpawnThread(pid, "a", &a);
+  auto tid_b = world.kernel->SpawnThread(pid, "b", &b);
+  PerfSession session(&world.hub.value(), PmuSpec{}, /*seed=*/5);
+  session.AddThread(tid_a);
+  session.AddThread(tid_b);
+  session.AddEvent(PerfEventType::kTaskClock);
+  session.Start();
+  world.sim.RunToCompletion();
+  session.Stop();
+  EXPECT_DOUBLE_EQ(session.ReadDifference(tid_a, tid_b, PerfEventType::kTaskClock),
+                   static_cast<double>(simkit::Milliseconds(20)));
+}
+
+TEST(PerfSessionTest, DuplicateAddsIgnored) {
+  World world;
+  PerfSession session(&world.hub.value(), PmuSpec{}, /*seed=*/6);
+  session.AddThread(1);
+  session.AddThread(1);
+  session.AddEvent(PerfEventType::kTaskClock);
+  session.AddEvent(PerfEventType::kTaskClock);
+  EXPECT_EQ(session.threads().size(), 1u);
+  EXPECT_EQ(session.events().size(), 1u);
+}
+
+TEST(PerfSessionTest, ReadWithoutStartIsZero) {
+  World world;
+  PerfSession session(&world.hub.value(), PmuSpec{}, /*seed=*/7);
+  session.AddThread(0);
+  session.AddEvent(PerfEventType::kTaskClock);
+  EXPECT_DOUBLE_EQ(session.Read(0, PerfEventType::kTaskClock), 0.0);
+}
+
+TEST(PerfSessionTest, ContextSwitchesVisibleThroughSession) {
+  World world;
+  auto pid = world.kernel->CreateProcess("p");
+  kernelsim::CpuSegment busy = Cpu(simkit::Milliseconds(50));
+  busy.syscalls_per_ms = 2.0;
+  ScriptSource source({busy});
+  auto tid = world.kernel->SpawnThread(pid, "t", &source);
+  PerfSession session(&world.hub.value(), PmuSpec{}, /*seed=*/8);
+  session.AddThread(tid);
+  session.AddEvent(PerfEventType::kContextSwitches);
+  session.Start();
+  world.sim.RunToCompletion();
+  session.Stop();
+  EXPECT_NEAR(session.Read(tid, PerfEventType::kContextSwitches), 101.0, 5.0);
+}
+
+}  // namespace

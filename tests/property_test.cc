@@ -1,0 +1,231 @@
+// Property-based tests: parameterized sweeps over seeds and configurations asserting the
+// system's invariants rather than specific values.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/timeout_detector.h"
+#include "src/hangdoctor/hang_doctor.h"
+#include "src/workload/catalog.h"
+#include "src/workload/experiment.h"
+#include "src/workload/training.h"
+#include "src/workload/user_model.h"
+
+namespace {
+
+const workload::Catalog& SharedCatalog() {
+  static const workload::Catalog* catalog = new workload::Catalog();
+  return *catalog;
+}
+
+// ---------- Property: simulation runs are deterministic in the seed ----------
+
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismTest, SameSeedSameDetections) {
+  const workload::Catalog& catalog = SharedCatalog();
+  auto run = [&](uint64_t seed) {
+    workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp("K9-Mail"), seed);
+    hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
+                                  hangdoctor::HangDoctorConfig{});
+    harness.RunUserSession(simkit::Seconds(60));
+    std::vector<std::pair<int64_t, int>> log;
+    for (const hangdoctor::ExecutionRecord& record : doctor.log()) {
+      log.emplace_back(record.response, static_cast<int>(record.verdict));
+    }
+    return log;
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest, ::testing::Values(1, 17, 9001));
+
+// ---------- Property: the kernel never creates CPU time out of thin air ----------
+
+class ConservationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConservationTest, TotalCpuBoundedByWallClockTimesCores) {
+  const workload::Catalog& catalog = SharedCatalog();
+  droidsim::Phone phone(droidsim::LgV10(), GetParam());
+  droidsim::App* app = phone.InstallApp(catalog.FindApp("QKSMS"));
+  workload::UserSession user(&phone, app, phone.ForkRng(1));
+  phone.RunFor(simkit::Seconds(45));
+  simkit::SimDuration total = 0;
+  for (kernelsim::ThreadId tid :
+       {app->main_tid(), app->render_tid(), app->worker_looper().tid()}) {
+    total += phone.kernel().GetThread(tid).stats.cpu_time;
+  }
+  EXPECT_LE(total, phone.Now() * phone.profile().kernel.num_cpus);
+  // And per-thread CPU never exceeds the wall clock.
+  EXPECT_LE(phone.kernel().GetThread(app->main_tid()).stats.cpu_time, phone.Now());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationTest, ::testing::Values(2, 23, 404));
+
+// ---------- Property: Hang Doctor never convicts a bug-free app ----------
+
+class NoFalseConvictionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoFalseConvictionTest, FillerAppsProduceNoBugReports) {
+  const workload::Catalog& catalog = SharedCatalog();
+  const droidsim::AppSpec* spec = catalog.filler_apps()[static_cast<size_t>(GetParam())];
+  workload::SingleAppHarness harness(droidsim::LgV10(), spec, 600 + GetParam());
+  hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
+                                hangdoctor::HangDoctorConfig{});
+  harness.RunUserSession(simkit::Seconds(90));
+  EXPECT_EQ(doctor.local_report().NumBugs(), 0u)
+      << doctor.local_report().Render(1) << " in " << spec->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(FillerApps, NoFalseConvictionTest,
+                         ::testing::Values(0, 7, 19, 33, 42, 58, 71, 89));
+
+// ---------- Property: longer timeouts can only reduce what TI traces ----------
+
+class TimeoutMonotonicityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TimeoutMonotonicityTest, TracedCountDecreasesWithTimeout) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp(GetParam()), 77);
+  std::vector<std::unique_ptr<baselines::TimeoutDetector>> detectors;
+  for (simkit::SimDuration timeout :
+       {simkit::Milliseconds(100), simkit::Milliseconds(500), simkit::Seconds(1),
+        simkit::Seconds(5)}) {
+    baselines::TimeoutDetectorConfig config;
+    config.timeout = timeout;
+    detectors.push_back(std::make_unique<baselines::TimeoutDetector>(&harness.phone(),
+                                                                     &harness.app(), config));
+  }
+  harness.RunUserSession(simkit::Seconds(90));
+  std::vector<int64_t> traced;
+  for (const auto& detector : detectors) {
+    int64_t count = 0;
+    for (const baselines::DetectionOutcome& outcome : detector->outcomes()) {
+      count += outcome.traced ? 1 : 0;
+    }
+    traced.push_back(count);
+  }
+  for (size_t i = 1; i < traced.size(); ++i) {
+    EXPECT_LE(traced[i], traced[i - 1]) << "timeout index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, TimeoutMonotonicityTest,
+                         ::testing::Values("K9-Mail", "SeaDroid", "cgeo"));
+
+// ---------- Property: S-Checker's phase-1 verdicts never pay for traces ----------
+
+class PhaseCostTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PhaseCostTest, OnlyDiagnoserExecutionsTrace) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp(GetParam()), 88);
+  hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
+                                hangdoctor::HangDoctorConfig{});
+  harness.RunUserSession(simkit::Seconds(120));
+  for (const hangdoctor::ExecutionRecord& record : doctor.log()) {
+    if (record.traced) {
+      EXPECT_TRUE(record.diagnoser_ran);
+      EXPECT_TRUE(record.state_before == hangdoctor::ActionState::kSuspicious ||
+                  record.state_before == hangdoctor::ActionState::kHangBug);
+    }
+    if (record.verdict == hangdoctor::Verdict::kFilteredUi ||
+        record.verdict == hangdoctor::Verdict::kMarkedSuspicious) {
+      EXPECT_FALSE(record.traced);  // phase 1 is counters-only
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PhaseCostTest,
+                         ::testing::Values("AndStatus", "Omni-Notes", "SageMath", "SkyTube"));
+
+// ---------- Property: every diagnosed culprit names a real operation of the app ----------
+
+class CulpritValidityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CulpritValidityTest, DiagnosedCulpritsExistInAppSpec) {
+  const workload::Catalog& catalog = SharedCatalog();
+  const droidsim::AppSpec* spec = catalog.FindApp(GetParam());
+  workload::SingleAppHarness harness(droidsim::LgV10(), spec, 99);
+  hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
+                                hangdoctor::HangDoctorConfig{});
+  harness.RunUserSession(simkit::Seconds(150));
+  // Collect every (clazz.function) reachable from the app spec, plus handlers.
+  std::set<std::string> known;
+  std::function<void(const droidsim::OpNode&)> walk = [&](const droidsim::OpNode& node) {
+    known.insert(node.api->FullName());
+    for (const droidsim::OpNode& child : node.children) {
+      walk(child);
+    }
+  };
+  for (const droidsim::ActionSpec& action : spec->actions) {
+    for (const droidsim::InputEventSpec& event : action.events) {
+      known.insert("." + event.handler);  // handler frames have an empty class
+      for (const droidsim::OpNode& node : event.ops) {
+        walk(node);
+      }
+    }
+  }
+  for (const hangdoctor::BugReportEntry& entry : doctor.local_report().SortedEntries()) {
+    EXPECT_TRUE(known.count(entry.api) > 0) << entry.api;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, CulpritValidityTest,
+                         ::testing::Values("K9-Mail", "CycleStreets", "QKSMS", "Merchant",
+                                           "RadioDroid"));
+
+// ---------- Property: trained filters never miss a training bug ----------
+
+class TrainerCoverageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrainerCoverageTest, ZeroFalseNegativesOnTrainingSet) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::TrainingConfig config;
+  config.executions_per_op = 5;
+  config.seed = GetParam();
+  workload::TrainingData data = workload::CollectTrainingSamples(catalog, config);
+  std::vector<hangdoctor::RankedEvent> ranking = hangdoctor::RankEvents(data.diff_samples);
+  hangdoctor::SoftHangFilter filter = hangdoctor::TrainFilter(data.diff_samples, ranking);
+  hangdoctor::FilterQuality quality = hangdoctor::EvaluateFilter(filter, data.diff_samples);
+  // Zero false negatives is the paper's hard requirement; false-positive pruning is a
+  // best-effort secondary objective (it can collapse on tiny training sets, so it is asserted
+  // separately on the full-size set below).
+  EXPECT_EQ(quality.false_negatives, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrainerCoverageTest, ::testing::Values(99, 123, 7777));
+
+TEST(TrainerQualityTest, FullTrainingSetPrunesMostUiHangs) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::TrainingConfig config;  // full-size defaults
+  workload::TrainingData data = workload::CollectTrainingSamples(catalog, config);
+  std::vector<hangdoctor::RankedEvent> ranking = hangdoctor::RankEvents(data.diff_samples);
+  hangdoctor::SoftHangFilter filter = hangdoctor::TrainFilter(data.diff_samples, ranking);
+  hangdoctor::FilterQuality quality = hangdoctor::EvaluateFilter(filter, data.diff_samples);
+  EXPECT_EQ(quality.false_negatives, 0);
+  EXPECT_GT(quality.FalsePositivePruneRate(), 0.5);
+  EXPECT_GT(quality.Accuracy(), 0.75);
+}
+
+// ---------- Property: responses and quiescence are sane across the whole corpus ----------
+
+class ResponseSanityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResponseSanityTest, EveryExecutionQuiescesWithNonNegativeResponse) {
+  const workload::Catalog& catalog = SharedCatalog();
+  const droidsim::AppSpec* spec =
+      catalog.study_apps()[static_cast<size_t>(GetParam()) % catalog.study_apps().size()];
+  workload::SingleAppHarness harness(droidsim::LgV10(), spec, 1000 + GetParam());
+  harness.RunUserSession(simkit::Seconds(60));
+  EXPECT_GT(harness.truth().labels().size(), 0u);
+  for (const workload::HangLabel& label : harness.truth().labels()) {
+    EXPECT_GE(label.response, 0);
+    EXPECT_LT(label.response, simkit::Seconds(30));
+    EXPECT_EQ(label.hang, label.response > simkit::kPerceivableDelay);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StudyApps, ResponseSanityTest, ::testing::Range(0, 16));
+
+}  // namespace

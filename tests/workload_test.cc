@@ -1,0 +1,251 @@
+// Tests for the workload layer: catalog invariants against Tables 1/5/6, ground truth
+// labeling and calibration, the user model, scoring, and the training harness.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/catalog.h"
+#include "src/workload/experiment.h"
+#include "src/workload/ground_truth.h"
+#include "src/workload/training.h"
+#include "src/workload/user_model.h"
+
+namespace {
+
+// One catalog for the whole binary: construction walks three builder translation units.
+const workload::Catalog& SharedCatalog() {
+  static const workload::Catalog* catalog = new workload::Catalog();
+  return *catalog;
+}
+
+TEST(CatalogTest, CorpusMatchesPaperCounts) {
+  const workload::Catalog& catalog = SharedCatalog();
+  EXPECT_EQ(catalog.all_apps().size(), 114u);     // "tested about 114 apps"
+  EXPECT_EQ(catalog.study_apps().size(), 16u);    // Table 5 rows
+  EXPECT_EQ(catalog.motivation_apps().size(), 8u);  // Table 1 rows
+  EXPECT_EQ(catalog.study_bugs().size(), 34u);    // Table 5 total BD
+  EXPECT_EQ(catalog.motivation_bugs().size(), 19u);  // Table 2's 19 bugs
+  int64_t missed_offline = 0;
+  for (const workload::BugSpec& bug : catalog.study_bugs()) {
+    missed_offline += bug.missed_offline ? 1 : 0;
+  }
+  EXPECT_EQ(missed_offline, 23);  // Table 5 total MO
+}
+
+TEST(CatalogTest, PerAppBugCountsMatchTable5) {
+  const workload::Catalog& catalog = SharedCatalog();
+  const std::map<std::string, std::pair<int, int>> expected = {
+      {"AndStatus", {3, 2}},    {"DashClock", {1, 0}},     {"CycleStreets", {4, 3}},
+      {"K9-Mail", {2, 2}},      {"Omni-Notes", {3, 3}},    {"OwnTracks", {1, 0}},
+      {"QKSMS", {3, 3}},        {"StickerCamera", {3, 0}}, {"AntennaPod", {3, 2}},
+      {"Merchant", {1, 1}},     {"UOITDC Booking", {2, 2}}, {"SageMath", {3, 2}},
+      {"RadioDroid", {2, 1}},   {"GIT@OSC", {1, 1}},       {"Lens-Launcher", {1, 0}},
+      {"SkyTube", {1, 1}},
+  };
+  for (const auto& [app, counts] : expected) {
+    std::vector<workload::BugSpec> bugs = catalog.BugsOf(app);
+    int missed = 0;
+    for (const workload::BugSpec& bug : bugs) {
+      missed += bug.missed_offline ? 1 : 0;
+    }
+    EXPECT_EQ(static_cast<int>(bugs.size()), counts.first) << app;
+    EXPECT_EQ(missed, counts.second) << app;
+  }
+}
+
+TEST(CatalogTest, BugApisResolveInRegistry) {
+  const workload::Catalog& catalog = SharedCatalog();
+  for (const workload::BugSpec& bug : catalog.study_bugs()) {
+    EXPECT_NE(catalog.apis().Find(bug.api), nullptr) << bug.api;
+  }
+}
+
+TEST(CatalogTest, KnownDatabaseMatchesBugFlags) {
+  const workload::Catalog& catalog = SharedCatalog();
+  hangdoctor::BlockingApiDatabase database = catalog.MakeKnownDatabase();
+  for (const workload::BugSpec& bug : catalog.study_bugs()) {
+    if (bug.self_developed) {
+      EXPECT_FALSE(database.IsKnown(bug.api)) << bug.api;
+      continue;
+    }
+    EXPECT_EQ(database.IsKnown(bug.api), bug.known_blocking) << bug.api;
+  }
+}
+
+TEST(CatalogTest, FindAppByName) {
+  const workload::Catalog& catalog = SharedCatalog();
+  ASSERT_NE(catalog.FindApp("K9-Mail"), nullptr);
+  EXPECT_EQ(catalog.FindApp("K9-Mail")->package, "com.fsck.k9");
+  EXPECT_EQ(catalog.FindApp("NoSuchApp"), nullptr);
+}
+
+TEST(CatalogTest, FillerAppsAreBugFree) {
+  const workload::Catalog& catalog = SharedCatalog();
+  for (const droidsim::AppSpec* spec : catalog.filler_apps()) {
+    for (const droidsim::ActionSpec& action : spec->actions) {
+      for (const droidsim::InputEventSpec& event : action.events) {
+        for (const droidsim::OpNode& node : event.ops) {
+          // Filler ops are UI or light helpers; none has a >100 ms worst case alone that
+          // would constitute a designed-in bug.
+          EXPECT_TRUE(node.api->kind == droidsim::ApiKind::kUi ||
+                      node.api->cost.cpu_mean < simkit::Milliseconds(20));
+        }
+      }
+    }
+  }
+}
+
+TEST(CatalogTest, EveryActionHasAtLeastOneEvent) {
+  const workload::Catalog& catalog = SharedCatalog();
+  for (const droidsim::AppSpec* spec : catalog.all_apps()) {
+    EXPECT_FALSE(spec->actions.empty()) << spec->name;
+    for (const droidsim::ActionSpec& action : spec->actions) {
+      EXPECT_FALSE(action.events.empty()) << spec->name << "/" << action.name;
+      EXPECT_GT(action.weight, 0.0);
+    }
+  }
+}
+
+TEST(GroundTruthTest, LabelsBugAndUiHangs) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp("K9-Mail"), 50);
+  harness.RunUserSession(simkit::Seconds(120));
+  const workload::GroundTruthRecorder& truth = harness.truth();
+  EXPECT_GT(truth.labels().size(), 10u);
+  bool saw_bug = false;
+  bool saw_ui = false;
+  for (const workload::HangLabel& label : truth.labels()) {
+    if (!label.hang) {
+      continue;
+    }
+    if (label.cause_is_bug) {
+      saw_bug = true;
+      EXPECT_FALSE(label.cause_api.empty());
+    } else {
+      saw_ui = true;
+    }
+  }
+  EXPECT_TRUE(saw_bug);
+  EXPECT_TRUE(saw_ui);
+  EXPECT_GT(truth.bug_hangs(), 0);
+}
+
+TEST(GroundTruthTest, CalibrationOrdersThresholds) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::CalibratedThresholds thresholds = workload::CalibrateUtilization(
+      droidsim::LgV10(), catalog.FindApp("UOITDC Booking"), 51, simkit::Seconds(120));
+  EXPECT_GT(thresholds.high.cpu_fraction, thresholds.low.cpu_fraction);
+  EXPECT_GT(thresholds.high.mem_bytes_per_sec, thresholds.low.mem_bytes_per_sec);
+  EXPECT_GT(thresholds.low.cpu_fraction, 0.0);
+}
+
+TEST(UserModelTest, StochasticSessionPerformsWeightedActions) {
+  const workload::Catalog& catalog = SharedCatalog();
+  droidsim::Phone phone(droidsim::LgV10(), 52);
+  droidsim::App* app = phone.InstallApp(catalog.FindApp("DashClock"));
+  workload::UserSession user(&phone, app, phone.ForkRng(1));
+  phone.RunFor(simkit::Seconds(60));
+  EXPECT_GT(user.actions_performed(), 10);
+}
+
+TEST(UserModelTest, ScriptReplaysExactly) {
+  const workload::Catalog& catalog = SharedCatalog();
+  droidsim::Phone phone(droidsim::LgV10(), 53);
+  droidsim::App* app = phone.InstallApp(catalog.FindApp("DashClock"));
+  std::vector<int32_t> order;
+  app->main_looper().AddMessageLogger([&](bool begin, const droidsim::Message& message) {
+    if (begin && message.event != nullptr) {
+      order.push_back(message.action_uid);
+    }
+  });
+  workload::UserSessionConfig config;
+  config.mean_think = simkit::Seconds(2);
+  config.min_think = simkit::Seconds(2);
+  workload::UserSession user(&phone, app, std::vector<int32_t>{1, 0, 1}, config);
+  phone.RunFor(simkit::Seconds(20));
+  EXPECT_EQ(order, (std::vector<int32_t>{1, 0, 1}));
+  EXPECT_EQ(user.actions_performed(), 3);
+}
+
+TEST(UserModelTest, MaxActionsLimits) {
+  const workload::Catalog& catalog = SharedCatalog();
+  droidsim::Phone phone(droidsim::LgV10(), 54);
+  droidsim::App* app = phone.InstallApp(catalog.FindApp("DashClock"));
+  workload::UserSessionConfig config;
+  config.max_actions = 3;
+  workload::UserSession user(&phone, app, phone.ForkRng(2), config);
+  phone.RunFor(simkit::Seconds(120));
+  EXPECT_EQ(user.actions_performed(), 3);
+}
+
+TEST(ScoringTest, DetectionStatsArithmetic) {
+  // Synthetic truth with known outcomes, scored through the public API.
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp("DashClock"), 55);
+  harness.RunUserSession(simkit::Seconds(90));
+  // A "detector" that traced everything vs one that traced nothing.
+  std::vector<baselines::DetectionOutcome> all;
+  std::vector<baselines::DetectionOutcome> none;
+  for (const workload::HangLabel& label : harness.truth().labels()) {
+    baselines::DetectionOutcome outcome;
+    outcome.execution_id = label.execution_id;
+    outcome.traced = true;
+    all.push_back(outcome);
+    outcome.traced = false;
+    none.push_back(outcome);
+  }
+  workload::DetectionStats all_stats = workload::ScoreDetector(harness.truth(), all);
+  workload::DetectionStats none_stats = workload::ScoreDetector(harness.truth(), none);
+  EXPECT_EQ(all_stats.false_negatives, 0);
+  EXPECT_EQ(all_stats.true_positives, all_stats.bug_hangs);
+  EXPECT_EQ(all_stats.false_positives, all_stats.ui_hangs);
+  EXPECT_EQ(none_stats.true_positives, 0);
+  EXPECT_EQ(none_stats.false_negatives, none_stats.bug_hangs);
+  // Spurious detections land in FP.
+  workload::DetectionStats spurious =
+      workload::ScoreDetector(harness.truth(), none, /*spurious_detections=*/7);
+  EXPECT_EQ(spurious.false_positives, 7);
+}
+
+TEST(TrainingTest, TrainingSamplesCoverBothClasses) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::TrainingConfig config;
+  config.executions_per_op = 4;
+  workload::TrainingData data = workload::CollectTrainingSamples(catalog, config);
+  EXPECT_EQ(data.diff_samples.size(), data.main_only_samples.size());
+  EXPECT_GT(data.diff_samples.size(), 40u);
+  int64_t bugs = 0;
+  std::set<std::string> sources;
+  for (const hangdoctor::LabeledSample& sample : data.diff_samples) {
+    bugs += sample.is_bug ? 1 : 0;
+    sources.insert(sample.source);
+  }
+  EXPECT_GT(bugs, 20);
+  EXPECT_GT(static_cast<int64_t>(data.diff_samples.size()) - bugs, 20);
+  // 10 bug APIs + 11 UI APIs in the training set.
+  EXPECT_EQ(sources.size(), 21u);
+}
+
+TEST(TrainingTest, ValidationSamplesOnlyUnknownBugs) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::TrainingConfig config;
+  config.executions_per_op = 3;
+  workload::TrainingData data = workload::CollectValidationSamples(catalog, config);
+  EXPECT_FALSE(data.diff_samples.empty());
+  for (const hangdoctor::LabeledSample& sample : data.diff_samples) {
+    EXPECT_TRUE(sample.is_bug);
+    EXPECT_NE(sample.source.find('@'), std::string::npos);
+  }
+}
+
+TEST(AppUsageTest, SumsAppThreads) {
+  const workload::Catalog& catalog = SharedCatalog();
+  workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp("K9-Mail"), 56);
+  harness.RunUserSession(simkit::Seconds(60));
+  workload::TraceUsage usage = harness.Usage();
+  EXPECT_GT(usage.cpu, simkit::Milliseconds(100));
+  EXPECT_GT(usage.bytes, 1024);
+}
+
+}  // namespace
