@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_better_camera.dir/fig1_better_camera.cc.o"
+  "CMakeFiles/fig1_better_camera.dir/fig1_better_camera.cc.o.d"
+  "fig1_better_camera"
+  "fig1_better_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_better_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

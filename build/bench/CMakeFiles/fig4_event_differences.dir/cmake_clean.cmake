@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_event_differences.dir/fig4_event_differences.cc.o"
+  "CMakeFiles/fig4_event_differences.dir/fig4_event_differences.cc.o.d"
+  "fig4_event_differences"
+  "fig4_event_differences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_event_differences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ctx_switch_trace.dir/fig5_ctx_switch_trace.cc.o"
+  "CMakeFiles/fig5_ctx_switch_trace.dir/fig5_ctx_switch_trace.cc.o.d"
+  "fig5_ctx_switch_trace"
+  "fig5_ctx_switch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ctx_switch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_ctx_switch_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_k9mail_example.dir/fig6_k9mail_example.cc.o"
+  "CMakeFiles/fig6_k9mail_example.dir/fig6_k9mail_example.cc.o.d"
+  "fig6_k9mail_example"
+  "fig6_k9mail_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_k9mail_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_state_transitions.dir/fig7_state_transitions.cc.o"
+  "CMakeFiles/fig7_state_transitions.dir/fig7_state_transitions.cc.o.d"
+  "fig7_state_transitions"
+  "fig7_state_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_state_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

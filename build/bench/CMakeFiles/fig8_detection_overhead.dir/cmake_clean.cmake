@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_detection_overhead.dir/fig8_detection_overhead.cc.o"
+  "CMakeFiles/fig8_detection_overhead.dir/fig8_detection_overhead.cc.o.d"
+  "fig8_detection_overhead"
+  "fig8_detection_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_detection_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_overhead.dir/micro_overhead.cc.o"
+  "CMakeFiles/micro_overhead.dir/micro_overhead.cc.o.d"
+  "micro_overhead"
+  "micro_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

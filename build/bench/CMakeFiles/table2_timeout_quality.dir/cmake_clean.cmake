@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_timeout_quality.dir/table2_timeout_quality.cc.o"
+  "CMakeFiles/table2_timeout_quality.dir/table2_timeout_quality.cc.o.d"
+  "table2_timeout_quality"
+  "table2_timeout_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_timeout_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

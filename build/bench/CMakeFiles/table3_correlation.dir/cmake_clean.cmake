@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_correlation.dir/table3_correlation.cc.o"
+  "CMakeFiles/table3_correlation.dir/table3_correlation.cc.o.d"
+  "table3_correlation"
+  "table3_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

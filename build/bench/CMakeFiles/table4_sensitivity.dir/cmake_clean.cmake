@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_sensitivity.dir/table4_sensitivity.cc.o"
+  "CMakeFiles/table4_sensitivity.dir/table4_sensitivity.cc.o.d"
+  "table4_sensitivity"
+  "table4_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

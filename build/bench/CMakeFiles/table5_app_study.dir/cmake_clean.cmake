@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_app_study.dir/table5_app_study.cc.o"
+  "CMakeFiles/table5_app_study.dir/table5_app_study.cc.o.d"
+  "table5_app_study"
+  "table5_app_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_app_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

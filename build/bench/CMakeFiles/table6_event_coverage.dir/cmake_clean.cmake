@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_event_coverage.dir/table6_event_coverage.cc.o"
+  "CMakeFiles/table6_event_coverage.dir/table6_event_coverage.cc.o.d"
+  "table6_event_coverage"
+  "table6_event_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_event_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

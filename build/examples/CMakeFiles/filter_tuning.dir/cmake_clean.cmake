@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_tuning.dir/filter_tuning.cpp.o"
+  "CMakeFiles/filter_tuning.dir/filter_tuning.cpp.o.d"
+  "filter_tuning"
+  "filter_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

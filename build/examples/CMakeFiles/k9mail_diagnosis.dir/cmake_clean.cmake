@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k9mail_diagnosis.dir/k9mail_diagnosis.cpp.o"
+  "CMakeFiles/k9mail_diagnosis.dir/k9mail_diagnosis.cpp.o.d"
+  "k9mail_diagnosis"
+  "k9mail_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k9mail_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/combined_detector.cc" "src/baselines/CMakeFiles/baselines.dir/combined_detector.cc.o" "gcc" "src/baselines/CMakeFiles/baselines.dir/combined_detector.cc.o.d"
+  "/root/repo/src/baselines/offline_scanner.cc" "src/baselines/CMakeFiles/baselines.dir/offline_scanner.cc.o" "gcc" "src/baselines/CMakeFiles/baselines.dir/offline_scanner.cc.o.d"
+  "/root/repo/src/baselines/timeout_detector.cc" "src/baselines/CMakeFiles/baselines.dir/timeout_detector.cc.o" "gcc" "src/baselines/CMakeFiles/baselines.dir/timeout_detector.cc.o.d"
+  "/root/repo/src/baselines/utilization_detector.cc" "src/baselines/CMakeFiles/baselines.dir/utilization_detector.cc.o" "gcc" "src/baselines/CMakeFiles/baselines.dir/utilization_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hangdoctor/CMakeFiles/hangdoctor.dir/DependInfo.cmake"
+  "/root/repo/build/src/droidsim/CMakeFiles/droidsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsim/CMakeFiles/perfsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines.dir/combined_detector.cc.o"
+  "CMakeFiles/baselines.dir/combined_detector.cc.o.d"
+  "CMakeFiles/baselines.dir/offline_scanner.cc.o"
+  "CMakeFiles/baselines.dir/offline_scanner.cc.o.d"
+  "CMakeFiles/baselines.dir/timeout_detector.cc.o"
+  "CMakeFiles/baselines.dir/timeout_detector.cc.o.d"
+  "CMakeFiles/baselines.dir/utilization_detector.cc.o"
+  "CMakeFiles/baselines.dir/utilization_detector.cc.o.d"
+  "libbaselines.a"
+  "libbaselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/droidsim/api.cc" "src/droidsim/CMakeFiles/droidsim.dir/api.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/api.cc.o.d"
+  "/root/repo/src/droidsim/app.cc" "src/droidsim/CMakeFiles/droidsim.dir/app.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/app.cc.o.d"
+  "/root/repo/src/droidsim/device.cc" "src/droidsim/CMakeFiles/droidsim.dir/device.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/device.cc.o.d"
+  "/root/repo/src/droidsim/looper.cc" "src/droidsim/CMakeFiles/droidsim.dir/looper.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/looper.cc.o.d"
+  "/root/repo/src/droidsim/op_executor.cc" "src/droidsim/CMakeFiles/droidsim.dir/op_executor.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/op_executor.cc.o.d"
+  "/root/repo/src/droidsim/phone.cc" "src/droidsim/CMakeFiles/droidsim.dir/phone.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/phone.cc.o.d"
+  "/root/repo/src/droidsim/render_thread.cc" "src/droidsim/CMakeFiles/droidsim.dir/render_thread.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/render_thread.cc.o.d"
+  "/root/repo/src/droidsim/stack_sampler.cc" "src/droidsim/CMakeFiles/droidsim.dir/stack_sampler.cc.o" "gcc" "src/droidsim/CMakeFiles/droidsim.dir/stack_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernelsim/CMakeFiles/kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsim/CMakeFiles/perfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droidsim.dir/api.cc.o"
+  "CMakeFiles/droidsim.dir/api.cc.o.d"
+  "CMakeFiles/droidsim.dir/app.cc.o"
+  "CMakeFiles/droidsim.dir/app.cc.o.d"
+  "CMakeFiles/droidsim.dir/device.cc.o"
+  "CMakeFiles/droidsim.dir/device.cc.o.d"
+  "CMakeFiles/droidsim.dir/looper.cc.o"
+  "CMakeFiles/droidsim.dir/looper.cc.o.d"
+  "CMakeFiles/droidsim.dir/op_executor.cc.o"
+  "CMakeFiles/droidsim.dir/op_executor.cc.o.d"
+  "CMakeFiles/droidsim.dir/phone.cc.o"
+  "CMakeFiles/droidsim.dir/phone.cc.o.d"
+  "CMakeFiles/droidsim.dir/render_thread.cc.o"
+  "CMakeFiles/droidsim.dir/render_thread.cc.o.d"
+  "CMakeFiles/droidsim.dir/stack_sampler.cc.o"
+  "CMakeFiles/droidsim.dir/stack_sampler.cc.o.d"
+  "libdroidsim.a"
+  "libdroidsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droidsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for droidsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hangdoctor/correlation.cc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/correlation.cc.o" "gcc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/correlation.cc.o.d"
+  "/root/repo/src/hangdoctor/filter.cc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/filter.cc.o" "gcc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/filter.cc.o.d"
+  "/root/repo/src/hangdoctor/hang_doctor.cc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/hang_doctor.cc.o" "gcc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/hang_doctor.cc.o.d"
+  "/root/repo/src/hangdoctor/report.cc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/report.cc.o" "gcc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/report.cc.o.d"
+  "/root/repo/src/hangdoctor/trace_analyzer.cc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/trace_analyzer.cc.o" "gcc" "src/hangdoctor/CMakeFiles/hangdoctor.dir/trace_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/droidsim/CMakeFiles/droidsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsim/CMakeFiles/perfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

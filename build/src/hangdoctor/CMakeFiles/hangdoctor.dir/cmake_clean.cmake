@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hangdoctor.dir/correlation.cc.o"
+  "CMakeFiles/hangdoctor.dir/correlation.cc.o.d"
+  "CMakeFiles/hangdoctor.dir/filter.cc.o"
+  "CMakeFiles/hangdoctor.dir/filter.cc.o.d"
+  "CMakeFiles/hangdoctor.dir/hang_doctor.cc.o"
+  "CMakeFiles/hangdoctor.dir/hang_doctor.cc.o.d"
+  "CMakeFiles/hangdoctor.dir/report.cc.o"
+  "CMakeFiles/hangdoctor.dir/report.cc.o.d"
+  "CMakeFiles/hangdoctor.dir/trace_analyzer.cc.o"
+  "CMakeFiles/hangdoctor.dir/trace_analyzer.cc.o.d"
+  "libhangdoctor.a"
+  "libhangdoctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hangdoctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernelsim/background_load.cc" "src/kernelsim/CMakeFiles/kernelsim.dir/background_load.cc.o" "gcc" "src/kernelsim/CMakeFiles/kernelsim.dir/background_load.cc.o.d"
+  "/root/repo/src/kernelsim/io.cc" "src/kernelsim/CMakeFiles/kernelsim.dir/io.cc.o" "gcc" "src/kernelsim/CMakeFiles/kernelsim.dir/io.cc.o.d"
+  "/root/repo/src/kernelsim/kernel.cc" "src/kernelsim/CMakeFiles/kernelsim.dir/kernel.cc.o" "gcc" "src/kernelsim/CMakeFiles/kernelsim.dir/kernel.cc.o.d"
+  "/root/repo/src/kernelsim/memory.cc" "src/kernelsim/CMakeFiles/kernelsim.dir/memory.cc.o" "gcc" "src/kernelsim/CMakeFiles/kernelsim.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

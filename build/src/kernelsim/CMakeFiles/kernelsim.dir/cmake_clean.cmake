@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelsim.dir/background_load.cc.o"
+  "CMakeFiles/kernelsim.dir/background_load.cc.o.d"
+  "CMakeFiles/kernelsim.dir/io.cc.o"
+  "CMakeFiles/kernelsim.dir/io.cc.o.d"
+  "CMakeFiles/kernelsim.dir/kernel.cc.o"
+  "CMakeFiles/kernelsim.dir/kernel.cc.o.d"
+  "CMakeFiles/kernelsim.dir/memory.cc.o"
+  "CMakeFiles/kernelsim.dir/memory.cc.o.d"
+  "libkernelsim.a"
+  "libkernelsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

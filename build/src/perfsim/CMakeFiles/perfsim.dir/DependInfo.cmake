@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfsim/counter_hub.cc" "src/perfsim/CMakeFiles/perfsim.dir/counter_hub.cc.o" "gcc" "src/perfsim/CMakeFiles/perfsim.dir/counter_hub.cc.o.d"
+  "/root/repo/src/perfsim/events.cc" "src/perfsim/CMakeFiles/perfsim.dir/events.cc.o" "gcc" "src/perfsim/CMakeFiles/perfsim.dir/events.cc.o.d"
+  "/root/repo/src/perfsim/perf_session.cc" "src/perfsim/CMakeFiles/perfsim.dir/perf_session.cc.o" "gcc" "src/perfsim/CMakeFiles/perfsim.dir/perf_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernelsim/CMakeFiles/kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

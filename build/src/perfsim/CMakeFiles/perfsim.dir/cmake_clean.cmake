@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfsim.dir/counter_hub.cc.o"
+  "CMakeFiles/perfsim.dir/counter_hub.cc.o.d"
+  "CMakeFiles/perfsim.dir/events.cc.o"
+  "CMakeFiles/perfsim.dir/events.cc.o.d"
+  "CMakeFiles/perfsim.dir/perf_session.cc.o"
+  "CMakeFiles/perfsim.dir/perf_session.cc.o.d"
+  "libperfsim.a"
+  "libperfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkit/event_queue.cc" "src/simkit/CMakeFiles/simkit.dir/event_queue.cc.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/event_queue.cc.o.d"
+  "/root/repo/src/simkit/logging.cc" "src/simkit/CMakeFiles/simkit.dir/logging.cc.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/logging.cc.o.d"
+  "/root/repo/src/simkit/rng.cc" "src/simkit/CMakeFiles/simkit.dir/rng.cc.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/rng.cc.o.d"
+  "/root/repo/src/simkit/simulation.cc" "src/simkit/CMakeFiles/simkit.dir/simulation.cc.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/simulation.cc.o.d"
+  "/root/repo/src/simkit/stats.cc" "src/simkit/CMakeFiles/simkit.dir/stats.cc.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkit.dir/event_queue.cc.o"
+  "CMakeFiles/simkit.dir/event_queue.cc.o.d"
+  "CMakeFiles/simkit.dir/logging.cc.o"
+  "CMakeFiles/simkit.dir/logging.cc.o.d"
+  "CMakeFiles/simkit.dir/rng.cc.o"
+  "CMakeFiles/simkit.dir/rng.cc.o.d"
+  "CMakeFiles/simkit.dir/simulation.cc.o"
+  "CMakeFiles/simkit.dir/simulation.cc.o.d"
+  "CMakeFiles/simkit.dir/stats.cc.o"
+  "CMakeFiles/simkit.dir/stats.cc.o.d"
+  "libsimkit.a"
+  "libsimkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/api_catalog.cc" "src/workload/CMakeFiles/workload.dir/api_catalog.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/api_catalog.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/workload/CMakeFiles/workload.dir/experiment.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/experiment.cc.o.d"
+  "/root/repo/src/workload/filler_apps.cc" "src/workload/CMakeFiles/workload.dir/filler_apps.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/filler_apps.cc.o.d"
+  "/root/repo/src/workload/ground_truth.cc" "src/workload/CMakeFiles/workload.dir/ground_truth.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/ground_truth.cc.o.d"
+  "/root/repo/src/workload/motivation_apps.cc" "src/workload/CMakeFiles/workload.dir/motivation_apps.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/motivation_apps.cc.o.d"
+  "/root/repo/src/workload/study_apps.cc" "src/workload/CMakeFiles/workload.dir/study_apps.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/study_apps.cc.o.d"
+  "/root/repo/src/workload/training.cc" "src/workload/CMakeFiles/workload.dir/training.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/training.cc.o.d"
+  "/root/repo/src/workload/user_model.cc" "src/workload/CMakeFiles/workload.dir/user_model.cc.o" "gcc" "src/workload/CMakeFiles/workload.dir/user_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hangdoctor/CMakeFiles/hangdoctor.dir/DependInfo.cmake"
+  "/root/repo/build/src/droidsim/CMakeFiles/droidsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsim/CMakeFiles/perfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

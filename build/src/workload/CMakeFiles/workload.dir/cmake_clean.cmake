@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload.dir/api_catalog.cc.o"
+  "CMakeFiles/workload.dir/api_catalog.cc.o.d"
+  "CMakeFiles/workload.dir/catalog.cc.o"
+  "CMakeFiles/workload.dir/catalog.cc.o.d"
+  "CMakeFiles/workload.dir/experiment.cc.o"
+  "CMakeFiles/workload.dir/experiment.cc.o.d"
+  "CMakeFiles/workload.dir/filler_apps.cc.o"
+  "CMakeFiles/workload.dir/filler_apps.cc.o.d"
+  "CMakeFiles/workload.dir/ground_truth.cc.o"
+  "CMakeFiles/workload.dir/ground_truth.cc.o.d"
+  "CMakeFiles/workload.dir/motivation_apps.cc.o"
+  "CMakeFiles/workload.dir/motivation_apps.cc.o.d"
+  "CMakeFiles/workload.dir/study_apps.cc.o"
+  "CMakeFiles/workload.dir/study_apps.cc.o.d"
+  "CMakeFiles/workload.dir/training.cc.o"
+  "CMakeFiles/workload.dir/training.cc.o.d"
+  "CMakeFiles/workload.dir/user_model.cc.o"
+  "CMakeFiles/workload.dir/user_model.cc.o.d"
+  "libworkload.a"
+  "libworkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/hangdoctor/CMakeFiles/hangdoctor.dir/DependInfo.cmake"
+  "/root/repo/build/src/droidsim/CMakeFiles/droidsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfsim/CMakeFiles/perfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelsim/CMakeFiles/kernelsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

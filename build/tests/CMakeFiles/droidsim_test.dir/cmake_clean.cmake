@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droidsim_test.dir/droidsim_test.cc.o"
+  "CMakeFiles/droidsim_test.dir/droidsim_test.cc.o.d"
+  "droidsim_test"
+  "droidsim_test.pdb"
+  "droidsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droidsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hangdoctor_runtime_test.dir/hangdoctor_runtime_test.cc.o"
+  "CMakeFiles/hangdoctor_runtime_test.dir/hangdoctor_runtime_test.cc.o.d"
+  "hangdoctor_runtime_test"
+  "hangdoctor_runtime_test.pdb"
+  "hangdoctor_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hangdoctor_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

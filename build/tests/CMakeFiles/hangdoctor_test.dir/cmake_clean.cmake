@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hangdoctor_test.dir/hangdoctor_test.cc.o"
+  "CMakeFiles/hangdoctor_test.dir/hangdoctor_test.cc.o.d"
+  "hangdoctor_test"
+  "hangdoctor_test.pdb"
+  "hangdoctor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hangdoctor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

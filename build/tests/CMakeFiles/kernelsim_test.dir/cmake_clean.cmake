@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelsim_test.dir/kernelsim_test.cc.o"
+  "CMakeFiles/kernelsim_test.dir/kernelsim_test.cc.o.d"
+  "kernelsim_test"
+  "kernelsim_test.pdb"
+  "kernelsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfsim_test.dir/perfsim_test.cc.o"
+  "CMakeFiles/perfsim_test.dir/perfsim_test.cc.o.d"
+  "perfsim_test"
+  "perfsim_test.pdb"
+  "perfsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

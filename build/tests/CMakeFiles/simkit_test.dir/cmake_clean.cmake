@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkit_test.dir/simkit_test.cc.o"
+  "CMakeFiles/simkit_test.dir/simkit_test.cc.o.d"
+  "simkit_test"
+  "simkit_test.pdb"
+  "simkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simkit_test[1]_include.cmake")
+include("/root/repo/build/tests/kernelsim_test[1]_include.cmake")
+include("/root/repo/build/tests/perfsim_test[1]_include.cmake")
+include("/root/repo/build/tests/droidsim_test[1]_include.cmake")
+include("/root/repo/build/tests/hangdoctor_test[1]_include.cmake")
+include("/root/repo/build/tests/hangdoctor_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/generality_test[1]_include.cmake")
