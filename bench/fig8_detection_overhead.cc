@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/smoke.h"
 #include "src/baselines/combined_detector.h"
 #include "src/baselines/timeout_detector.h"
 #include "src/baselines/utilization_detector.h"
@@ -21,7 +22,8 @@
 
 namespace {
 
-constexpr simkit::SimDuration kSessionLength = simkit::Seconds(600);
+const simkit::SimDuration kSessionLength =
+    bench::SmokeScaled(simkit::Seconds(600), simkit::Seconds(60));
 const char* kApps[] = {"AndStatus", "CycleStreets", "K9-Mail", "Omni-Notes", "UOITDC Booking"};
 
 }  // namespace

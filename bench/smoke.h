@@ -1,0 +1,24 @@
+// Smoke-run scaling for the bench binaries. CI registers every bench as a `smoke`-labelled
+// CTest with HANGDOCTOR_SMOKE=1 in the environment; the heavy benches shrink their budgets
+// through these helpers so bit-rot is caught without paying the full benchmark cost.
+#ifndef BENCH_SMOKE_H_
+#define BENCH_SMOKE_H_
+
+#include <cstdlib>
+
+namespace bench {
+
+inline bool SmokeRun() {
+  const char* env = std::getenv("HANGDOCTOR_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+// Full budget normally; the tiny budget under HANGDOCTOR_SMOKE.
+template <typename T>
+T SmokeScaled(T full, T smoke) {
+  return SmokeRun() ? smoke : full;
+}
+
+}  // namespace bench
+
+#endif  // BENCH_SMOKE_H_

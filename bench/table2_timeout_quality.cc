@@ -11,6 +11,7 @@
 #include <memory>
 #include <set>
 
+#include "bench/smoke.h"
 #include "src/baselines/timeout_detector.h"
 #include "src/workload/experiment.h"
 
@@ -18,7 +19,8 @@ namespace {
 
 const simkit::SimDuration kTimeouts[] = {simkit::Seconds(5), simkit::Seconds(1),
                                          simkit::Milliseconds(500), simkit::Milliseconds(100)};
-constexpr simkit::SimDuration kSessionLength = simkit::Seconds(900);
+const simkit::SimDuration kSessionLength =
+    bench::SmokeScaled(simkit::Seconds(900), simkit::Seconds(60));
 
 }  // namespace
 

@@ -4,11 +4,14 @@
 // page-faults, minor-faults) keep their ranking positions while coefficients may grow on
 // smaller sets (fewer points are easier to separate).
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <set>
 #include <vector>
 
 #include "src/simkit/rng.h"
+#include "src/simkit/thread_pool.h"
+#include "src/workload/fleet.h"
 #include "src/workload/training.h"
 
 namespace {
@@ -43,17 +46,24 @@ std::set<perfsim::PerfEventType> TopFive(const std::vector<hangdoctor::RankedEve
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   workload::Catalog catalog;
   workload::TrainingConfig config;
   workload::TrainingData data = workload::CollectTrainingSamples(catalog, config);
   simkit::Rng rng(2024, 4);
 
-  std::vector<hangdoctor::RankedEvent> full = hangdoctor::RankEvents(data.diff_samples);
+  // The subsampling stays sequential (both subsets draw from one rng stream), then the
+  // three independent rankings fan out across the fleet pool.
   std::vector<hangdoctor::LabeledSample> subset75 = Subsample(data.diff_samples, 0.75, &rng);
   std::vector<hangdoctor::LabeledSample> subset50 = Subsample(data.diff_samples, 0.50, &rng);
-  std::vector<hangdoctor::RankedEvent> r75 = hangdoctor::RankEvents(subset75);
-  std::vector<hangdoctor::RankedEvent> r50 = hangdoctor::RankEvents(subset50);
+  const std::array<const std::vector<hangdoctor::LabeledSample>*, 3> sets = {
+      &data.diff_samples, &subset75, &subset50};
+  std::array<std::vector<hangdoctor::RankedEvent>, 3> rankings;
+  simkit::ThreadPool pool(workload::ResolveJobs(argc, argv));
+  pool.ParallelFor(3, [&](int64_t i) { rankings[i] = hangdoctor::RankEvents(*sets[i]); });
+  std::vector<hangdoctor::RankedEvent>& full = rankings[0];
+  std::vector<hangdoctor::RankedEvent>& r75 = rankings[1];
+  std::vector<hangdoctor::RankedEvent>& r50 = rankings[2];
 
   std::printf("=== Table 4: sensitivity of the correlation analysis to the training set ===\n");
   std::printf("full set: %zu samples; 75%% set: %zu; 50%% set: %zu\n\n",

@@ -3,22 +3,27 @@
 // matched against the catalog's ground-truth BugSpecs, and a PerfChecker-style offline scan of
 // the same apps determines which of Hang Doctor's findings offline detection would miss (MO).
 //
+// The (app × device) runs are independent, so they fan out across workload::RunFleet —
+// pass --jobs=N (or set HANGDOCTOR_JOBS) to pick the worker count; the merged results are
+// bit-identical at any parallelism level.
+//
 // Paper reference: 16 of 114 tested apps show soft hang bugs; Hang Doctor identifies 34 bugs,
 // 23 of which (68%) are missed by the offline detector because their root causes are
 // previously unknown blocking APIs or self-developed operations. (Developer confirmations —
 // 62% in the paper — require real issue trackers and are out of scope here.)
+#include <chrono>
 #include <cstdio>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "bench/smoke.h"
 #include "src/baselines/offline_scanner.h"
 #include "src/hangdoctor/hang_doctor.h"
 #include "src/workload/experiment.h"
+#include "src/workload/fleet.h"
 
 namespace {
-
-constexpr int32_t kDevicesPerApp = 4;
-constexpr simkit::SimDuration kSessionLength = simkit::Seconds(420);
 
 std::string BugKey(const std::string& api, const std::string& file, int32_t line) {
   return api + "@" + file + ":" + std::to_string(line);
@@ -36,15 +41,42 @@ std::string Downloads(int64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int32_t devices_per_app = bench::SmokeScaled(4, 1);
+  const simkit::SimDuration session_length =
+      bench::SmokeScaled(simkit::Seconds(420), simkit::Seconds(60));
+
   workload::Catalog catalog;
   hangdoctor::BlockingApiDatabase known_db = catalog.MakeKnownDatabase();
-  // The runtime side updates a copy so the offline scan below reflects pre-study knowledge.
-  hangdoctor::BlockingApiDatabase runtime_db = catalog.MakeKnownDatabase();
   baselines::OfflineScanner scanner(&known_db);
 
-  std::printf("=== Table 5: apps with soft hang problems (of %zu apps tested) ===\n\n",
+  // One fleet job per (study app, device); app i owns indices [i*devices, (i+1)*devices).
+  std::vector<workload::FleetJob> jobs;
+  for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+    for (int32_t device = 0; device < devices_per_app; ++device) {
+      workload::FleetJob job;
+      job.spec = spec;
+      job.profile = droidsim::LgV10();
+      job.seed = 1000 + static_cast<uint64_t>(device) * 77 +
+                 static_cast<uint64_t>(spec->downloads % 97);
+      job.session = session_length;
+      job.device_id = device;
+      job.known_db = &known_db;
+      jobs.push_back(job);
+    }
+  }
+
+  workload::FleetOptions options;
+  options.jobs = workload::ResolveJobs(argc, argv);
+  auto fleet_start = std::chrono::steady_clock::now();
+  workload::FleetSummary summary = workload::RunFleet(jobs, options);
+  double fleet_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - fleet_start).count();
+
+  std::printf("=== Table 5: apps with soft hang problems (of %zu apps tested) ===\n",
               catalog.all_apps().size());
+  std::printf("fleet phase: %zu jobs on %d worker(s) in %.2f s\n\n", jobs.size(),
+              options.jobs, fleet_seconds);
   std::printf("%-16s %-12s %-16s %-7s %-9s %-9s\n", "App (downloads)", "Commit", "Category",
               "Issue", "BD (MO)", "paper");
 
@@ -52,24 +84,15 @@ int main() {
   int64_t total_missed_offline = 0;
   int64_t total_expected = 0;
   int64_t buggy_apps = 0;
-  hangdoctor::HangBugReport fleet_report;
 
-  for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+  for (size_t app_index = 0; app_index < catalog.study_apps().size(); ++app_index) {
+    const droidsim::AppSpec* spec = catalog.study_apps()[app_index];
     std::vector<workload::BugSpec> expected = catalog.BugsOf(spec->name);
     total_expected += static_cast<int64_t>(expected.size());
 
-    // Run the app on a handful of user devices, merging every device's findings.
-    hangdoctor::HangBugReport app_report;
-    for (int32_t device = 0; device < kDevicesPerApp; ++device) {
-      workload::SingleAppHarness harness(droidsim::LgV10(), spec,
-                                         /*seed=*/1000 + device * 77 +
-                                             static_cast<uint64_t>(spec->downloads % 97));
-      hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
-                                    hangdoctor::HangDoctorConfig{}, &runtime_db, &app_report,
-                                    device);
-      harness.RunUserSession(kSessionLength);
-    }
-    fleet_report.Merge(app_report);
+    hangdoctor::HangBugReport app_report = summary.MergeReports(
+        app_index * static_cast<size_t>(devices_per_app),
+        (app_index + 1) * static_cast<size_t>(devices_per_app));
 
     // Match diagnosed bugs against the expected list; count offline-missed ones.
     std::set<std::string> diagnosed;
@@ -118,8 +141,8 @@ int main() {
   std::printf("paper: 34 bugs detected (23 missed offline, 68%%); %ld/%zu study apps showed "
               "bugs\n",
               static_cast<long>(buggy_apps), catalog.study_apps().size());
-  std::printf("new blocking APIs added to the offline database at runtime: %zu\n\n",
-              runtime_db.discovered().size());
-  std::printf("%s\n", fleet_report.Render(kDevicesPerApp).c_str());
+  std::printf("new blocking APIs discovered by the fleet at runtime: %zu\n\n",
+              summary.discovered.size());
+  std::printf("%s\n", summary.merged_report.Render(devices_per_app).c_str());
   return 0;
 }

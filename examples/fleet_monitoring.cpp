@@ -2,46 +2,63 @@
 // embedded; many users run it on their own devices; each device's anonymized bug reports
 // merge into one fleet-wide Hang Bug Report, ordered by the percentage of devices affected
 // (Figure 2(b)), and every newly learned blocking API feeds the shared offline database.
+//
+// The devices are simulated through workload::RunFleet, so they execute in parallel across
+// a work-stealing pool (--jobs=N or HANGDOCTOR_JOBS picks the worker count) while the merged
+// report stays bit-identical at any parallelism level — only the anonymized per-device
+// results ever leave a job, which is also the paper's privacy argument.
 #include <cstdio>
+#include <vector>
 
 #include "src/hangdoctor/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/experiment.h"
-#include "src/workload/user_model.h"
+#include "src/workload/fleet.h"
 
 namespace {
-constexpr int kDevices = 6;
+constexpr int32_t kDevices = 6;
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   workload::Catalog catalog;
   const droidsim::AppSpec* spec = catalog.FindApp("AndStatus");
-  hangdoctor::HangBugReport fleet_report;
   hangdoctor::BlockingApiDatabase database = catalog.MakeKnownDatabase();
 
-  std::printf("Deploying %s with Hang Doctor to %d simulated user devices...\n\n",
-              spec->name.c_str(), kDevices);
-  for (int device = 0; device < kDevices; ++device) {
-    // Every device gets its own phone, its own user behaviour, its own Hang Doctor; only the
-    // anonymized bug reports leave the device (the paper's privacy argument).
-    droidsim::DeviceProfile profile =
-        device % 3 == 0 ? droidsim::Nexus5() : droidsim::LgV10();
-    droidsim::Phone phone(profile, /*seed=*/7000 + device * 131);
-    droidsim::App* app = phone.InstallApp(spec);
-    hangdoctor::HangDoctor doctor(&phone, app, hangdoctor::HangDoctorConfig{}, &database,
-                                  &fleet_report, device);
-    workload::UserSession user(&phone, app, phone.ForkRng(3));
-    phone.RunFor(simkit::Seconds(240));
-    workload::TraceUsage usage = workload::AppUsage(phone, *app);
+  // Every device gets its own phone, its own user behaviour, its own Hang Doctor, and its
+  // own copy of the blocking-API database; discoveries merge after the fleet drains.
+  std::vector<workload::FleetJob> jobs;
+  for (int32_t device = 0; device < kDevices; ++device) {
+    workload::FleetJob job;
+    job.spec = spec;
+    job.profile = device % 3 == 0 ? droidsim::Nexus5() : droidsim::LgV10();
+    job.seed = 7000 + static_cast<uint64_t>(device) * 131;
+    job.session = simkit::Seconds(240);
+    job.device_id = device;
+    job.known_db = &database;
+    jobs.push_back(job);
+  }
+
+  workload::FleetOptions options;
+  options.jobs = workload::ResolveJobs(argc, argv);
+  std::printf("Deploying %s with Hang Doctor to %d simulated user devices (%d worker(s))...\n\n",
+              spec->name.c_str(), kDevices, options.jobs);
+  workload::FleetSummary summary = workload::RunFleet(jobs, options);
+
+  for (int32_t device = 0; device < kDevices; ++device) {
+    const workload::FleetJobResult& result = summary.jobs[static_cast<size_t>(device)];
+    if (!result.ok) {
+      std::printf("  device %d FAILED: %s\n", device, result.error.c_str());
+      continue;
+    }
     std::printf("  device %d (%s): %zu bugs diagnosed locally, %.2f%% overhead\n", device,
-                profile.model.c_str(), doctor.local_report().NumBugs(),
-                doctor.overhead().OverheadPercent(usage.cpu, usage.bytes));
+                jobs[static_cast<size_t>(device)].profile.model.c_str(),
+                result.report.NumBugs(), result.overhead_pct);
   }
 
   std::printf("\n=== Fleet-wide report the developer sees ===\n%s\n",
-              fleet_report.Render(kDevices).c_str());
+              summary.merged_report.Render(kDevices).c_str());
   std::printf("Blocking APIs discovered by the fleet (added to the offline database):\n");
-  for (const std::string& api : database.discovered()) {
+  for (const std::string& api : summary.discovered) {
     std::printf("  %s\n", api.c_str());
   }
   return 0;

@@ -1,0 +1,126 @@
+#include "src/simkit/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace simkit {
+
+int32_t ThreadPool::DefaultJobCount() {
+  if (const char* env = std::getenv("HANGDOCTOR_JOBS"); env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      return static_cast<int32_t>(std::min(value, 1024L));
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int32_t>(hw);
+}
+
+ThreadPool::ThreadPool(int32_t threads) {
+  if (threads <= 0) {
+    threads = DefaultJobCount();
+  }
+  queues_.reserve(static_cast<size_t>(threads));
+  for (int32_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+    target = static_cast<size_t>(next_queue_++ % queues_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& body) {
+  for (int64_t i = 0; i < n; ++i) {
+    Submit([&body, i]() { body(i); });
+  }
+  Wait();
+}
+
+std::function<void()> ThreadPool::FindWork(size_t self) {
+  // Own queue first, newest task (LIFO keeps the working set warm)...
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      std::function<void()> task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  // ...then steal the oldest task from the other workers (FIFO spreads the big jobs).
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      std::function<void()> task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    std::function<void()> task = FindWork(self);
+    if (task == nullptr) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        return;
+      }
+      // Re-check under the lock via a short timed wait: a task may have been enqueued
+      // between the failed FindWork and this wait.
+      work_available_.wait_for(lock, std::chrono::milliseconds(10));
+      continue;
+    }
+    try {
+      task();
+    } catch (...) {
+      // Tasks own their error handling; a stray exception must not kill the worker.
+    }
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      drained = --pending_ == 0;
+    }
+    if (drained) {
+      all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace simkit

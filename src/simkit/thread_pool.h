@@ -1,0 +1,71 @@
+// A small work-stealing thread pool for fanning out independent simulation jobs.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and steals FIFO from
+// victims when empty, so a handful of long jobs spread across cores without a central
+// bottleneck. The pool runs host OS threads and is entirely outside simulated time — the
+// determinism story is that callers hand it *independent* jobs (each with its own Rng
+// stream) and fold results in submission order, so outputs are bit-identical at any worker
+// count or scheduling order. See src/workload/fleet.h for the canonical consumer.
+#ifndef SRC_SIMKIT_THREAD_POOL_H_
+#define SRC_SIMKIT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simkit {
+
+class ThreadPool {
+ public:
+  // `threads` <= 0 selects DefaultJobCount().
+  explicit ThreadPool(int32_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not let exceptions escape (the pool swallows them to stay
+  // alive; callers that care capture errors inside the task — see workload::RunFleet).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Submits `body(0) .. body(n-1)` and waits for all of them.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body);
+
+  int32_t thread_count() const { return static_cast<int32_t>(workers_.size()); }
+
+  // The HANGDOCTOR_JOBS environment variable when set to a positive integer, otherwise
+  // hardware_concurrency (never less than 1). CI pins this to keep runs reproducible.
+  static int32_t DefaultJobCount();
+
+ private:
+  // One per worker thread: a mutex-guarded deque. Owner pops back, thieves pop front.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  // Pops from own queue (back) or steals from a victim (front). Empty when none found.
+  std::function<void()> FindWork(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int64_t pending_ = 0;     // submitted but not yet finished
+  uint64_t next_queue_ = 0; // round-robin submission target
+  bool shutdown_ = false;
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_THREAD_POOL_H_

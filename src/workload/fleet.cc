@@ -1,0 +1,115 @@
+#include "src/workload/fleet.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "src/simkit/rng.h"
+#include "src/simkit/thread_pool.h"
+
+namespace workload {
+
+uint64_t FleetSeed(uint64_t fleet_seed, uint64_t job_index) {
+  // Master stream tagged 'flt'; one fork per job index. Forking (rather than seed + index
+  // arithmetic) keeps neighbouring jobs' streams statistically independent.
+  simkit::Rng master(fleet_seed, /*stream=*/0x666c74ULL);
+  return master.Fork(job_index).NextU64();
+}
+
+FleetJobResult RunFleetJob(const FleetJob& job) {
+  FleetJobResult result;
+  if (job.spec == nullptr) {
+    throw std::invalid_argument("FleetJob.spec is null");
+  }
+  // Private database copy: jobs never share mutable state, so a job's discoveries (and any
+  // behaviour conditioned on them) cannot depend on which other job finished first.
+  hangdoctor::BlockingApiDatabase database;
+  if (job.known_db != nullptr) {
+    database = *job.known_db;
+  }
+  SingleAppHarness harness(job.profile, job.spec, job.seed);
+  hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), job.doctor, &database,
+                                /*fleet_report=*/nullptr, job.device_id);
+  harness.RunUserSession(job.session, job.user);
+
+  result.stats = ScoreHangDoctor(harness.truth(), doctor.log());
+  result.usage = harness.Usage();
+  result.overhead_pct =
+      doctor.overhead().OverheadPercent(result.usage.cpu, result.usage.bytes);
+  result.stats.overhead_pct = result.overhead_pct;
+  result.report = doctor.local_report();
+  result.discovered = database.discovered();
+  result.stack_samples = doctor.stack_samples_taken();
+  result.ok = true;
+  return result;
+}
+
+FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& options) {
+  FleetSummary summary;
+  summary.jobs.resize(jobs.size());
+
+  {
+    simkit::ThreadPool pool(options.jobs);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const FleetJob* job = &jobs[i];
+      FleetJobResult* slot = &summary.jobs[i];
+      pool.Submit([job, slot]() {
+        // A throwing job fails only its own slot; the worker (and the other jobs) carry on.
+        try {
+          *slot = RunFleetJob(*job);
+        } catch (const std::exception& e) {
+          slot->ok = false;
+          slot->error = e.what();
+        } catch (...) {
+          slot->ok = false;
+          slot->error = "unknown exception";
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  // Fold in job-index order. DetectionStats addition is commutative and HangBugReport::Merge
+  // is keyed, but fixing the order makes bit-identical output trivially true rather than a
+  // property to re-audit every time a field is added.
+  std::set<std::string> discovered;
+  for (const FleetJobResult& result : summary.jobs) {
+    if (!result.ok) {
+      ++summary.failed;
+      continue;
+    }
+    summary.merged_stats += result.stats;
+    summary.merged_report.Merge(result.report);
+    discovered.insert(result.discovered.begin(), result.discovered.end());
+  }
+  summary.discovered.assign(discovered.begin(), discovered.end());
+  return summary;
+}
+
+hangdoctor::HangBugReport FleetSummary::MergeReports(size_t begin, size_t end) const {
+  hangdoctor::HangBugReport merged;
+  for (size_t i = begin; i < end && i < jobs.size(); ++i) {
+    if (jobs[i].ok) {
+      merged.Merge(jobs[i].report);
+    }
+  }
+  return merged;
+}
+
+int32_t ResolveJobs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      int value = std::atoi(arg + 7);
+      if (value > 0) {
+        return value;
+      }
+    }
+  }
+  return simkit::ThreadPool::DefaultJobCount();
+}
+
+}  // namespace workload

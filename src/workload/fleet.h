@@ -1,0 +1,88 @@
+// Parallel fleet experiment runner: fans a list of independent (app × device × seed) runs
+// across a simkit::ThreadPool, one SingleAppHarness + HangDoctor per job, and folds the
+// results into order-independent aggregates. This is the paper's Section 4 evaluation shape —
+// many users running instrumented apps, their Hang Bug Reports merging fleet-wide — made
+// parallel without giving up reproducibility.
+//
+// Determinism contract: every job is self-contained (own Phone, own Rng stream, own copy of
+// the blocking-API database), results are stored index-aligned with the input jobs, and
+// merges fold in job-index order. Therefore the merged DetectionStats, the merged
+// HangBugReport, and each per-job result are bit-identical for any worker count
+// (`FleetOptions::jobs`) and any host scheduling order. Same seeds => same results.
+#ifndef SRC_WORKLOAD_FLEET_H_
+#define SRC_WORKLOAD_FLEET_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/hangdoctor/hang_doctor.h"
+#include "src/simkit/time.h"
+#include "src/workload/experiment.h"
+
+namespace workload {
+
+// One fleet run: one app on one simulated device for one user session.
+struct FleetJob {
+  const droidsim::AppSpec* spec = nullptr;  // must outlive the fleet run (catalog-owned)
+  droidsim::DeviceProfile profile;
+  uint64_t seed = 0;  // harness seed; use FleetSeed() when no specific seed is called for
+  simkit::SimDuration session = simkit::Seconds(120);
+  UserSessionConfig user;
+  hangdoctor::HangDoctorConfig doctor;
+  int32_t device_id = 0;  // stamped on bug-report entries (device-coverage ordering)
+  // Known blocking APIs to seed the job's *private* database copy with; null = empty. Each
+  // job copies it so no mutable state is shared across workers and discoveries stay
+  // deterministic regardless of which job finishes first.
+  const hangdoctor::BlockingApiDatabase* known_db = nullptr;
+};
+
+// Deterministic per-job seed: splits the fleet master stream by job index with simkit::Rng
+// forking, so a fleet keyed by (fleet_seed, job_index) draws identical randomness at any
+// parallelism level, and adding jobs at the end never perturbs earlier ones.
+uint64_t FleetSeed(uint64_t fleet_seed, uint64_t job_index);
+
+struct FleetJobResult {
+  bool ok = false;
+  std::string error;  // exception message when !ok; the pool itself is never poisoned
+  DetectionStats stats;              // ScoreHangDoctor against the job's own ground truth
+  hangdoctor::HangBugReport report;  // this device's local Hang Bug Report
+  std::vector<std::string> discovered;  // blocking APIs this job newly learned
+  TraceUsage usage;
+  double overhead_pct = 0.0;
+  int64_t stack_samples = 0;
+};
+
+struct FleetSummary {
+  std::vector<FleetJobResult> jobs;  // index-aligned with the input span
+  DetectionStats merged_stats;       // sum over ok jobs, folded in job-index order
+  hangdoctor::HangBugReport merged_report;
+  std::vector<std::string> discovered;  // union over ok jobs, deduplicated, sorted
+  size_t failed = 0;                    // jobs that threw
+
+  // Folds the results of jobs [begin, end) — e.g. one app's slice of a fleet — into a
+  // fresh report, in index order.
+  hangdoctor::HangBugReport MergeReports(size_t begin, size_t end) const;
+};
+
+struct FleetOptions {
+  // Worker threads; <= 0 resolves via ThreadPool::DefaultJobCount() (HANGDOCTOR_JOBS env,
+  // else hardware_concurrency).
+  int32_t jobs = 0;
+};
+
+// Runs one job synchronously on the calling thread (also the per-worker body of RunFleet).
+FleetJobResult RunFleetJob(const FleetJob& job);
+
+// Runs every job across the pool and merges. A throwing job yields !ok for that index and
+// is excluded from the merged aggregates; the remaining jobs are unaffected.
+FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& options = {});
+
+// Resolves the worker count for a CLI consumer: `--jobs=N` argv flag wins, then the
+// HANGDOCTOR_JOBS environment variable, then hardware_concurrency.
+int32_t ResolveJobs(int argc, char** argv);
+
+}  // namespace workload
+
+#endif  // SRC_WORKLOAD_FLEET_H_

@@ -1,0 +1,176 @@
+// The fleet runner's determinism contract (same seeds => same results at any parallelism)
+// and its fault isolation (a throwing job fails alone), plus the simkit thread pool it
+// rides on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/simkit/thread_pool.h"
+#include "src/workload/catalog.h"
+#include "src/workload/fleet.h"
+
+namespace {
+
+const workload::Catalog& SharedCatalog() {
+  static const workload::Catalog* catalog = new workload::Catalog();
+  return *catalog;
+}
+
+// An 8-job fleet mixing apps, devices, and seeds — small sessions keep the suite quick.
+std::vector<workload::FleetJob> MixedFleet(const hangdoctor::BlockingApiDatabase* known_db) {
+  const workload::Catalog& catalog = SharedCatalog();
+  std::vector<workload::FleetJob> jobs;
+  for (int32_t i = 0; i < 8; ++i) {
+    workload::FleetJob job;
+    job.spec = catalog.FindApp(i % 2 == 0 ? "K9-Mail" : "AndStatus");
+    job.profile = i % 3 == 0 ? droidsim::Nexus5() : droidsim::LgV10();
+    job.seed = workload::FleetSeed(2026, static_cast<uint64_t>(i));
+    job.session = simkit::Seconds(45);
+    job.device_id = i;
+    job.known_db = known_db;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+void ExpectIdenticalStats(const workload::DetectionStats& a, const workload::DetectionStats& b) {
+  EXPECT_EQ(a.true_positives, b.true_positives);
+  EXPECT_EQ(a.false_positives, b.false_positives);
+  EXPECT_EQ(a.false_negatives, b.false_negatives);
+  EXPECT_EQ(a.bug_hangs, b.bug_hangs);
+  EXPECT_EQ(a.ui_hangs, b.ui_hangs);
+  EXPECT_EQ(a.overhead_pct, b.overhead_pct);  // bit-identical, not approximately
+}
+
+void ExpectIdenticalReports(const hangdoctor::HangBugReport& a,
+                            const hangdoctor::HangBugReport& b) {
+  std::vector<hangdoctor::BugReportEntry> ea = a.SortedEntries();
+  std::vector<hangdoctor::BugReportEntry> eb = b.SortedEntries();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].app_package, eb[i].app_package);
+    EXPECT_EQ(ea[i].api, eb[i].api);
+    EXPECT_EQ(ea[i].file, eb[i].file);
+    EXPECT_EQ(ea[i].line, eb[i].line);
+    EXPECT_EQ(ea[i].occurrences, eb[i].occurrences);
+    EXPECT_EQ(ea[i].devices, eb[i].devices);
+    EXPECT_EQ(ea[i].total_hang, eb[i].total_hang);
+    EXPECT_EQ(ea[i].max_hang, eb[i].max_hang);
+  }
+}
+
+TEST(FleetSeedTest, DeterministicAndDistinctPerIndex) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 64; ++i) {
+    uint64_t seed = workload::FleetSeed(7, i);
+    EXPECT_EQ(seed, workload::FleetSeed(7, i));
+    seen.insert(seed);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_NE(workload::FleetSeed(7, 0), workload::FleetSeed(8, 0));
+}
+
+TEST(FleetDeterminismTest, SameResultsAtJobs1AndJobs4) {
+  hangdoctor::BlockingApiDatabase known_db = SharedCatalog().MakeKnownDatabase();
+  std::vector<workload::FleetJob> jobs = MixedFleet(&known_db);
+
+  workload::FleetSummary serial = workload::RunFleet(jobs, {.jobs = 1});
+  workload::FleetSummary parallel = workload::RunFleet(jobs, {.jobs = 4});
+
+  ASSERT_EQ(serial.failed, 0u);
+  ASSERT_EQ(parallel.failed, 0u);
+  ExpectIdenticalStats(serial.merged_stats, parallel.merged_stats);
+  ExpectIdenticalReports(serial.merged_report, parallel.merged_report);
+  EXPECT_EQ(serial.discovered, parallel.discovered);
+  ASSERT_EQ(serial.jobs.size(), parallel.jobs.size());
+  for (size_t i = 0; i < serial.jobs.size(); ++i) {
+    ExpectIdenticalStats(serial.jobs[i].stats, parallel.jobs[i].stats);
+    ExpectIdenticalReports(serial.jobs[i].report, parallel.jobs[i].report);
+    EXPECT_EQ(serial.jobs[i].discovered, parallel.jobs[i].discovered);
+    EXPECT_EQ(serial.jobs[i].stack_samples, parallel.jobs[i].stack_samples);
+  }
+  // The fleet actually detected something — the comparison is not vacuously over zeros.
+  EXPECT_GT(serial.merged_stats.true_positives, 0);
+  EXPECT_GT(serial.merged_report.NumBugs(), 0u);
+}
+
+TEST(FleetFaultIsolationTest, ThrowingJobFailsAloneWithoutPoisoningThePool) {
+  std::vector<workload::FleetJob> jobs = MixedFleet(nullptr);
+  jobs.resize(4);
+  workload::FleetJob bad;  // null spec makes RunFleetJob throw
+  jobs.insert(jobs.begin() + 2, bad);
+
+  workload::FleetSummary summary = workload::RunFleet(jobs, {.jobs = 2});
+  EXPECT_EQ(summary.failed, 1u);
+  for (size_t i = 0; i < summary.jobs.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(summary.jobs[i].ok);
+      EXPECT_FALSE(summary.jobs[i].error.empty());
+    } else {
+      EXPECT_TRUE(summary.jobs[i].ok) << i << ": " << summary.jobs[i].error;
+    }
+  }
+
+  // The failed job contributes nothing to the merge; the good jobs' folds still happen.
+  workload::DetectionStats good_sum;
+  for (const workload::FleetJobResult& result : summary.jobs) {
+    if (result.ok) {
+      good_sum += result.stats;
+    }
+  }
+  ExpectIdenticalStats(summary.merged_stats, good_sum);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskAcrossWorkers) {
+  simkit::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  std::atomic<int64_t> sum{0};
+  for (int64_t i = 1; i <= 1000; ++i) {
+    pool.Submit([&sum, i]() { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), 500500);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  simkit::ThreadPool pool(3);
+  std::vector<std::atomic<int32_t>> hits(257);
+  pool.ParallelFor(257, [&hits](int64_t i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+  for (const std::atomic<int32_t>& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, SurvivesThrowingTasksAndStaysUsable) {
+  simkit::ThreadPool pool(2);
+  std::atomic<int32_t> ran{0};
+  for (int32_t i = 0; i < 16; ++i) {
+    pool.Submit([&ran, i]() {
+      if (i % 4 == 0) {
+        throw std::runtime_error("task failure");
+      }
+      ran.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 12);
+  // Still alive after the exceptions: new work completes.
+  pool.Submit([&ran]() { ran.fetch_add(100); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 112);
+}
+
+TEST(ThreadPoolTest, DefaultJobCountHonoursEnvironment) {
+  ASSERT_EQ(setenv("HANGDOCTOR_JOBS", "3", 1), 0);
+  EXPECT_EQ(simkit::ThreadPool::DefaultJobCount(), 3);
+  ASSERT_EQ(setenv("HANGDOCTOR_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(simkit::ThreadPool::DefaultJobCount(), 1);
+  ASSERT_EQ(unsetenv("HANGDOCTOR_JOBS"), 0);
+  EXPECT_GE(simkit::ThreadPool::DefaultJobCount(), 1);
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include "src/hangdoctor/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/experiment.h"
+#include "src/workload/fleet.h"
 #include "src/workload/training.h"
 
 namespace {
@@ -56,22 +57,36 @@ TEST_P(DeviceGeneralityTest, ProductionFilterKeepsAllTrainingBugsOnEveryDevice) 
   EXPECT_GT(quality.FalsePositivePruneRate(), 0.4) << GetParam();
 }
 
-TEST_P(DeviceGeneralityTest, EndToEndDiagnosisWorksOnEveryDevice) {
-  const workload::Catalog& catalog = SharedCatalog();
-  workload::SingleAppHarness harness(ProfileByName(GetParam()), catalog.FindApp("K9-Mail"),
-                                     /*seed=*/31337);
-  hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
-                                hangdoctor::HangDoctorConfig{});
-  harness.RunUserSession(simkit::Seconds(180));
-  bool found_clean = false;
-  for (const hangdoctor::BugReportEntry& entry : doctor.local_report().SortedEntries()) {
-    found_clean |= entry.api == "org.htmlcleaner.HtmlCleaner.clean";
-  }
-  EXPECT_TRUE(found_clean) << GetParam() << ": " << doctor.local_report().Render(1);
-}
-
 INSTANTIATE_TEST_SUITE_P(Devices, DeviceGeneralityTest,
                          ::testing::Values("LG V10", "Nexus 5", "Galaxy S3"));
+
+// The three devices' end-to-end runs are independent, so they run as one fleet: each job
+// gets its own phone and Hang Doctor, and each per-device report must name the K9-Mail
+// culprit regardless of which worker ran it.
+TEST(DeviceGeneralityFleetTest, EndToEndDiagnosisWorksOnEveryDevice) {
+  const workload::Catalog& catalog = SharedCatalog();
+  const char* devices[] = {"LG V10", "Nexus 5", "Galaxy S3"};
+  std::vector<workload::FleetJob> jobs;
+  for (const char* name : devices) {
+    workload::FleetJob job;
+    job.spec = catalog.FindApp("K9-Mail");
+    job.profile = ProfileByName(name);
+    job.seed = 31337;
+    job.session = simkit::Seconds(180);
+    job.device_id = static_cast<int32_t>(jobs.size());
+    jobs.push_back(job);
+  }
+  workload::FleetSummary summary = workload::RunFleet(jobs, {.jobs = 3});
+  ASSERT_EQ(summary.failed, 0u);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(summary.jobs[i].ok) << devices[i] << ": " << summary.jobs[i].error;
+    bool found_clean = false;
+    for (const hangdoctor::BugReportEntry& entry : summary.jobs[i].report.SortedEntries()) {
+      found_clean |= entry.api == "org.htmlcleaner.HtmlCleaner.clean";
+    }
+    EXPECT_TRUE(found_clean) << devices[i] << ": " << summary.jobs[i].report.Render(1);
+  }
+}
 
 // PMU register pressure differs across devices (6 vs 4 registers): the all-events profiling
 // session multiplexes more aggressively on the Nexus 5, but software events stay exact.
