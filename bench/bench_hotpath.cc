@@ -1,0 +1,242 @@
+// Hot-path benchmark harness. Measures end-to-end simulated-session throughput
+// (sessions/sec at --jobs=1 and fleet-saturated) plus per-path micro benches for the three
+// steady-state hot paths (event queue churn, counter accounting, stack-sampler collection
+// cycles), and emits machine-readable BENCH_hotpath.json so perf PRs leave a tracked
+// trajectory. Global operator new/delete are replaced with counting versions, so the micro
+// benches also report allocations per operation — the zero-allocation claim, measured.
+//
+// The "baseline" block in the JSON records the pre-optimization numbers measured on the
+// seed revision (commit c15558d) on this same workload (96 sessions x 120 s, jobs=1), so
+// the current numbers always have a fixed reference point.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/smoke.h"
+#include "src/droidsim/app.h"
+#include "src/droidsim/phone.h"
+#include "src/droidsim/stack_sampler.h"
+#include "src/kernelsim/kernel.h"
+#include "src/kernelsim/uarch.h"
+#include "src/perfsim/counter_hub.h"
+#include "src/simkit/event_queue.h"
+#include "src/workload/catalog.h"
+#include "src/workload/experiment.h"
+#include "src/workload/fleet.h"
+
+namespace {
+
+std::atomic<int64_t> g_allocations{0};
+
+int64_t AllocationCount() { return g_allocations.load(std::memory_order_relaxed); }
+
+void* CountedAlloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct FleetTiming {
+  double seconds = 0.0;
+  double sessions_per_sec = 0.0;
+};
+
+FleetTiming TimeFleet(const std::vector<workload::FleetJob>& jobs, int32_t workers) {
+  workload::FleetOptions options;
+  options.jobs = workers;
+  auto start = std::chrono::steady_clock::now();
+  workload::FleetSummary summary = workload::RunFleet(jobs, options);
+  FleetTiming timing;
+  timing.seconds = Seconds(start);
+  timing.sessions_per_sec =
+      static_cast<double>(jobs.size() - summary.failed) / timing.seconds;
+  return timing;
+}
+
+struct MicroResult {
+  double ops_per_sec = 0.0;
+  double allocs_per_op = 0.0;
+};
+
+// Steady-state event queue churn: schedule, then alternately cancel and pop+run.
+MicroResult BenchEventQueue(int64_t ops) {
+  simkit::EventQueue queue;
+  int64_t sink = 0;
+  for (int i = 0; i < 64; ++i) {  // warm the slab, heap and inline-callback slots
+    queue.Cancel(queue.ScheduleAt(i, [&sink]() { ++sink; }));
+  }
+  int64_t allocs_before = AllocationCount();
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < ops; ++i) {
+    simkit::EventId id = queue.ScheduleAt(i & 1023, [&sink]() { ++sink; });
+    if ((i & 1) == 0) {
+      queue.Cancel(id);
+    } else {
+      simkit::SimTime when = 0;
+      simkit::EventCallback cb;
+      queue.PopNext(&when, &cb);
+      cb();
+    }
+  }
+  MicroResult result;
+  result.ops_per_sec = static_cast<double>(2 * ops) / Seconds(start);  // schedule + retire
+  result.allocs_per_op =
+      static_cast<double>(AllocationCount() - allocs_before) / static_cast<double>(2 * ops);
+  return result;
+}
+
+// Steady-state counter accounting: the kernel-event path charged on every CPU slice.
+MicroResult BenchCounterHub(droidsim::Phone* phone, droidsim::App* app, int64_t events) {
+  perfsim::CounterHub& hub = phone->counter_hub();
+  const kernelsim::Thread& thread = phone->kernel().GetThread(app->main_tid());
+  kernelsim::MicroArchProfile uarch;
+  hub.OnCpuCharge(thread, simkit::Microseconds(50), uarch);  // warm the dense state
+  int64_t allocs_before = AllocationCount();
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < events; ++i) {
+    hub.OnCpuCharge(thread, simkit::Microseconds(50), uarch);
+  }
+  MicroResult result;
+  result.ops_per_sec = static_cast<double>(events) / Seconds(start);
+  result.allocs_per_op =
+      static_cast<double>(AllocationCount() - allocs_before) / static_cast<double>(events);
+  return result;
+}
+
+// Steady-state sampling: a full StartCollection (TakeSample + slab reschedule) +
+// StopCollection (O(1) cancel) cycle against a live looper.
+MicroResult BenchSampler(droidsim::Phone* phone, droidsim::App* app, int64_t cycles) {
+  droidsim::StackSampler sampler(&phone->sim(), &app->main_looper());
+  sampler.StartCollection();  // warm the pooled sample slot and queue free list
+  sampler.StopCollection();
+  int64_t allocs_before = AllocationCount();
+  auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < cycles; ++i) {
+    sampler.StartCollection();
+    sampler.StopCollection();
+  }
+  MicroResult result;
+  result.ops_per_sec = static_cast<double>(cycles) / Seconds(start);
+  result.allocs_per_op =
+      static_cast<double>(AllocationCount() - allocs_before) / static_cast<double>(cycles);
+  return result;
+}
+
+// Pre-optimization throughput measured on the seed revision with this exact workload
+// (96 sessions x 120 s, jobs=1, 1-vCPU runner class).
+constexpr double kBaselineSessionsPerSec = 22.88;
+constexpr const char* kBaselineCommit = "c15558d";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeRun();
+  const size_t sessions = bench::SmokeScaled<size_t>(96, 4);
+  const simkit::SimDuration session_length =
+      bench::SmokeScaled(simkit::Seconds(120), simkit::Seconds(10));
+  const int64_t micro_ops = bench::SmokeScaled<int64_t>(2'000'000, 100'000);
+
+  workload::Catalog catalog;
+  hangdoctor::BlockingApiDatabase known_db = catalog.MakeKnownDatabase();
+
+  std::vector<workload::FleetJob> jobs;
+  const auto& apps = catalog.study_apps();
+  for (size_t i = 0; i < sessions; ++i) {
+    workload::FleetJob job;
+    job.spec = apps[i % apps.size()];
+    job.profile = droidsim::LgV10();
+    job.seed = workload::FleetSeed(0xB0B0, i);
+    job.session = session_length;
+    job.device_id = static_cast<int32_t>(i);
+    job.known_db = &known_db;
+    jobs.push_back(job);
+  }
+
+  // Warm-up run (page cache, allocator arenas), then the measured passes.
+  TimeFleet(jobs, 1);
+  FleetTiming single = TimeFleet(jobs, 1);
+  int32_t saturated_workers = workload::ResolveJobs(argc, argv);
+  FleetTiming saturated = TimeFleet(jobs, saturated_workers);
+  double speedup = single.sessions_per_sec / kBaselineSessionsPerSec;
+
+  // Micro benches run on a warmed phone so every pool is at steady state.
+  droidsim::Phone phone(droidsim::LgV10(), /*seed=*/7);
+  droidsim::App* app = phone.InstallApp(catalog.FindApp("K9-Mail"));
+  phone.RunFor(simkit::Seconds(2));
+  MicroResult queue_r = BenchEventQueue(micro_ops);
+  MicroResult hub_r = BenchCounterHub(&phone, app, micro_ops);
+  MicroResult sampler_r = BenchSampler(&phone, app, micro_ops / 4);
+
+  std::printf("sessions=%zu session_length_s=%.0f%s\n", sessions,
+              simkit::ToMilliseconds(session_length) / 1000.0, smoke ? " (smoke)" : "");
+  std::printf("jobs=1  %.2f s  %.2f sessions/s", single.seconds, single.sessions_per_sec);
+  if (!smoke) {
+    std::printf("  (baseline %.2f @ %s, %.2fx)", kBaselineSessionsPerSec, kBaselineCommit,
+                speedup);
+  }
+  std::printf("\njobs=%d  %.2f s  %.2f sessions/s\n", saturated_workers, saturated.seconds,
+              saturated.sessions_per_sec);
+  std::printf("event_queue  %.1f Mops/s  %.4f allocs/op\n", queue_r.ops_per_sec / 1e6,
+              queue_r.allocs_per_op);
+  std::printf("counter_hub  %.1f Mcharges/s  %.4f allocs/charge\n", hub_r.ops_per_sec / 1e6,
+              hub_r.allocs_per_op);
+  std::printf("sampler      %.2f Mcycles/s  %.4f allocs/cycle\n", sampler_r.ops_per_sec / 1e6,
+              sampler_r.allocs_per_op);
+
+  std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_hotpath.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"hotpath\",\n");
+  std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(json, "  \"workload\": {\"sessions\": %zu, \"session_length_s\": %.0f},\n",
+               sessions, simkit::ToMilliseconds(session_length) / 1000.0);
+  std::fprintf(json,
+               "  \"baseline\": {\"commit\": \"%s\", \"sessions_per_sec_jobs1\": %.2f, "
+               "\"comparable\": %s},\n",
+               kBaselineCommit, kBaselineSessionsPerSec, smoke ? "false" : "true");
+  std::fprintf(json,
+               "  \"end_to_end\": {\n"
+               "    \"jobs1\": {\"seconds\": %.3f, \"sessions_per_sec\": %.2f},\n"
+               "    \"saturated\": {\"jobs\": %d, \"seconds\": %.3f, "
+               "\"sessions_per_sec\": %.2f},\n"
+               "    \"speedup_vs_baseline\": %.2f\n  },\n",
+               single.seconds, single.sessions_per_sec, saturated_workers, saturated.seconds,
+               saturated.sessions_per_sec, smoke ? 0.0 : speedup);
+  std::fprintf(json,
+               "  \"micro\": {\n"
+               "    \"event_queue\": {\"ops_per_sec\": %.0f, \"allocs_per_op\": %.4f},\n"
+               "    \"counter_hub\": {\"charges_per_sec\": %.0f, \"allocs_per_charge\": "
+               "%.4f},\n"
+               "    \"sampler\": {\"cycles_per_sec\": %.0f, \"allocs_per_cycle\": %.4f}\n"
+               "  }\n}\n",
+               queue_r.ops_per_sec, queue_r.allocs_per_op, hub_r.ops_per_sec,
+               hub_r.allocs_per_op, sampler_r.ops_per_sec, sampler_r.allocs_per_op);
+  std::fclose(json);
+  std::printf("wrote BENCH_hotpath.json\n");
+  return 0;
+}

@@ -70,7 +70,8 @@ int main() {
     const droidsim::StackTrace& trace = diagnosed->traces[i];
     std::printf("  [ST %2zu] ", i + 1);
     for (size_t f = trace.frames.size(); f > 0; --f) {
-      std::printf("%s%s", droidsim::FormatFrame(trace.frames[f - 1]).c_str(),
+      std::printf("%s%s",
+                  droidsim::FormatFrame(app->symbols().Frame(trace.frames[f - 1])).c_str(),
                   f > 1 ? " -> " : "");
     }
     std::printf("\n");

@@ -70,20 +70,20 @@ void BM_PerfSessionBracket(benchmark::State& state) {
 }
 BENCHMARK(BM_PerfSessionBracket);
 
-std::vector<droidsim::StackTrace> MakeTraces(size_t count) {
+std::vector<droidsim::StackTrace> MakeTraces(size_t count, droidsim::SymbolTable* symbols) {
+  droidsim::FrameId click =
+      symbols->Intern({"onItemClick", "", "MessageList.java", 371, false});
+  droidsim::FrameId load =
+      symbols->Intern({"loadMessage", "com.fsck.k9.MessageView", "MessageView.java", 120,
+                       false});
+  droidsim::FrameId clean =
+      symbols->Intern({"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25, true});
+  droidsim::FrameId set_text =
+      symbols->Intern({"setText", "android.widget.TextView", "MessageView.java", 140, false});
   std::vector<droidsim::StackTrace> traces;
   for (size_t i = 0; i < count; ++i) {
     droidsim::StackTrace trace;
-    trace.frames.push_back({"onItemClick", "", "MessageList.java", 371, false});
-    trace.frames.push_back({"loadMessage", "com.fsck.k9.MessageView", "MessageView.java", 120,
-                            false});
-    if (i % 10 != 0) {
-      trace.frames.push_back({"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25,
-                              true});
-    } else {
-      trace.frames.push_back({"setText", "android.widget.TextView", "MessageView.java", 140,
-                              false});
-    }
+    trace.frames = {click, load, i % 10 != 0 ? clean : set_text};
     traces.push_back(std::move(trace));
   }
   return traces;
@@ -91,9 +91,10 @@ std::vector<droidsim::StackTrace> MakeTraces(size_t count) {
 
 void BM_TraceAnalyzer60(benchmark::State& state) {
   hangdoctor::TraceAnalyzer analyzer;
-  std::vector<droidsim::StackTrace> traces = MakeTraces(60);
+  droidsim::SymbolTable symbols;
+  std::vector<droidsim::StackTrace> traces = MakeTraces(60, &symbols);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analyzer.Analyze(traces));
+    benchmark::DoNotOptimize(analyzer.Analyze(traces, symbols));
   }
 }
 BENCHMARK(BM_TraceAnalyzer60);

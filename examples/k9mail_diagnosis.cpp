@@ -52,8 +52,8 @@ int main() {
                 record.traces.size(), 100.0 * record.diagnosis.occurrence_factor);
     const droidsim::StackTrace& trace = record.traces[record.traces.size() / 2];
     for (size_t i = trace.frames.size(); i > 0; --i) {
-      std::printf("    at %s %s\n", trace.frames[i - 1].clazz.c_str(),
-                  droidsim::FormatFrame(trace.frames[i - 1]).c_str());
+      const droidsim::StackFrame& frame = app->symbols().Frame(trace.frames[i - 1]);
+      std::printf("    at %s %s\n", frame.clazz.c_str(), droidsim::FormatFrame(frame).c_str());
     }
     break;
   }

@@ -92,15 +92,14 @@ void CombinedDetector::OnInputEventEnd(droidsim::App& app,
     it->second.event_open[idx] = false;
   }
   if (sampler_.active()) {
-    std::vector<droidsim::StackTrace> collected = sampler_.StopCollection();
+    std::span<const droidsim::StackTrace> collected = sampler_.StopCollection();
     auto count = static_cast<int64_t>(collected.size());
     overhead_.AddCpu(config_.costs.trace_start);
     overhead_.AddMemory(config_.costs.trace_start_bytes);
     overhead_.AddCpu(config_.costs.stack_sample * count);
     overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
-    for (droidsim::StackTrace& trace : collected) {
-      it->second.traces.push_back(std::move(trace));
-    }
+    // The sampler's buffer is reused on the next collection; copy the id traces out.
+    it->second.traces.insert(it->second.traces.end(), collected.begin(), collected.end());
   }
 }
 
@@ -119,7 +118,7 @@ void CombinedDetector::OnActionQuiesced(droidsim::App& app,
   outcome.flagged = it->second.flagged;
   outcome.traced = !it->second.traces.empty();
   if (outcome.traced) {
-    outcome.diagnosis = analyzer_.Analyze(it->second.traces);
+    outcome.diagnosis = analyzer_.Analyze(it->second.traces, app.symbols());
   }
   outcomes_.push_back(std::move(outcome));
   live_.erase(it);

@@ -12,11 +12,11 @@ void OfflineScanner::ScanNode(const droidsim::AppSpec& app, const std::string& a
     // The scanner has no source for this frame or anything beneath it.
     return;
   }
-  if (node.api != nullptr && database_->IsKnown(node.api->FullName())) {
+  if (node.api != nullptr && database_->IsKnown(node.api->full_name)) {
     OfflineFinding finding;
     finding.app_package = app.package;
     finding.action = action;
-    finding.api = node.api->FullName();
+    finding.api = node.api->full_name;
     finding.file = node.file;
     finding.line = node.line;
     findings->push_back(std::move(finding));

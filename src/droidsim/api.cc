@@ -5,13 +5,13 @@
 
 namespace droidsim {
 
-bool IsUiClass(const std::string& clazz) {
-  static const std::array<std::string, 6> kUiPrefixes = {
+bool IsUiClass(std::string_view clazz) {
+  static constexpr std::array<std::string_view, 6> kUiPrefixes = {
       "android.view", "android.widget", "android.webkit",
       "android.animation", "android.transition", "androidx.recyclerview",
   };
-  for (const std::string& prefix : kUiPrefixes) {
-    if (clazz.rfind(prefix, 0) == 0) {
+  for (std::string_view prefix : kUiPrefixes) {
+    if (clazz.substr(0, prefix.size()) == prefix) {
       return true;
     }
   }
@@ -20,6 +20,7 @@ bool IsUiClass(const std::string& clazz) {
 
 const ApiSpec* ApiRegistry::Register(ApiSpec spec) {
   std::string key = spec.FullName();
+  spec.full_name = key;
   auto it = by_name_.find(key);
   if (it != by_name_.end()) {
     *it->second = std::move(spec);
@@ -40,7 +41,7 @@ std::vector<const ApiSpec*> ApiRegistry::AllSpecs() const {
   return all;
 }
 
-const ApiSpec* ApiRegistry::Find(const std::string& full_name) const {
+const ApiSpec* ApiRegistry::Find(std::string_view full_name) const {
   auto it = by_name_.find(full_name);
   return it == by_name_.end() ? nullptr : it->second;
 }

@@ -8,11 +8,13 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/kernelsim/uarch.h"
 #include "src/simkit/rng.h"
+#include "src/simkit/string_hash.h"
 #include "src/simkit/time.h"
 
 namespace droidsim {
@@ -65,27 +67,31 @@ struct ApiSpec {
   // scanners search for). APIs that block but are *not* known are the paper's main quarry.
   bool known_blocking = false;
   ApiCostModel cost;
+  // "clazz.name", cached by ApiRegistry::Register so hot consumers (offline scans, database
+  // probes) never re-concatenate. Empty on specs that were never registered.
+  std::string full_name;
 
   std::string FullName() const { return clazz + "." + name; }
 };
 
 // True when `clazz` belongs to the UI class groups (View/Widget and friends) that Trace
 // Analyzer uses to recognize UI-APIs (Section 3.4.1: "they are grouped in a few classes").
-bool IsUiClass(const std::string& clazz);
+bool IsUiClass(std::string_view clazz);
 
 // Interns ApiSpecs so OpNodes can hold stable pointers.
 class ApiRegistry {
  public:
   // Registers (or replaces) a spec; returns a pointer stable for the registry's lifetime.
   const ApiSpec* Register(ApiSpec spec);
-  const ApiSpec* Find(const std::string& full_name) const;
+  // Heterogeneous lookup: accepts string_view / const char* without building a std::string.
+  const ApiSpec* Find(std::string_view full_name) const;
   size_t size() const { return by_name_.size(); }
   // All registered specs, in registration order.
   std::vector<const ApiSpec*> AllSpecs() const;
 
  private:
   std::vector<std::unique_ptr<ApiSpec>> specs_;
-  std::unordered_map<std::string, ApiSpec*> by_name_;
+  std::unordered_map<std::string, ApiSpec*, simkit::StringHash, std::equal_to<>> by_name_;
 };
 
 // Micro-architectural presets used by the app catalog.

@@ -11,12 +11,16 @@ namespace droidsim {
 App::App(kernelsim::Kernel* kernel, const AppSpec* spec, const int32_t* device_ids,
          simkit::Rng rng)
     : kernel_(kernel), spec_(spec) {
+  // Canonical symbol walk: assigns every frame the app can produce a deterministic FrameId.
+  for (const ActionSpec& action : spec_->actions) {
+    symbols_.IndexAction(action);
+  }
   pid_ = kernel_->CreateProcess(spec_->package);
   main_looper_ = std::make_unique<Looper>(kernel_, pid_, spec_->name + ":main", rng.Fork(1),
-                                          this, device_ids);
+                                          this, device_ids, &symbols_);
   render_thread_ = std::make_unique<RenderThread>(kernel_, pid_, rng.Fork(2));
   worker_looper_ = std::make_unique<Looper>(kernel_, pid_, spec_->name + ":worker", rng.Fork(3),
-                                            this, device_ids);
+                                            this, device_ids, &symbols_);
   main_looper_->AddMessageLogger(
       [this](bool begin, const Message& message) { OnMainLog(begin, message); });
   main_looper_->SetDoneCallback(

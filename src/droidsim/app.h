@@ -13,6 +13,7 @@
 #include "src/droidsim/looper.h"
 #include "src/droidsim/operation.h"
 #include "src/droidsim/render_thread.h"
+#include "src/droidsim/symbols.h"
 #include "src/kernelsim/kernel.h"
 
 namespace droidsim {
@@ -96,8 +97,11 @@ class App : public OpExecutorHooks {
   // Executes action `uid` (posts all of its input events); returns the execution id.
   int64_t PerformAction(int32_t uid);
 
-  // Live main-thread stack, as a stack sampler would see it.
-  const std::vector<StackFrame>& MainStack() const { return main_looper_->CurrentStack(); }
+  // Live main-thread stack as interned frame ids, as a stack sampler would see it.
+  const std::vector<FrameId>& MainStack() const { return main_looper_->CurrentStack(); }
+
+  // The app's symbol table: every frame id in this app's stacks/traces resolves here.
+  const SymbolTable& symbols() const { return symbols_; }
 
   // OpExecutorHooks (for the main looper's executor):
   void PostFrames(int32_t frames, simkit::SimDuration frame_cpu_mean) override;
@@ -111,6 +115,7 @@ class App : public OpExecutorHooks {
 
   kernelsim::Kernel* kernel_;
   const AppSpec* spec_;
+  SymbolTable symbols_;  // built before the loopers, which hold pointers into it
   kernelsim::ProcessId pid_;
   std::unique_ptr<Looper> main_looper_;
   std::unique_ptr<RenderThread> render_thread_;

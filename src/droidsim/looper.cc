@@ -7,8 +7,10 @@ namespace droidsim {
 
 Looper::Looper(kernelsim::Kernel* kernel, kernelsim::ProcessId pid,
                const std::string& thread_name, simkit::Rng rng, OpExecutorHooks* hooks,
-               const int32_t* device_ids)
-    : kernel_(kernel), executor_(kernel->sim(), rng, hooks, device_ids) {
+               const int32_t* device_ids, const SymbolTable* symbols)
+    : kernel_(kernel),
+      symbols_(symbols),
+      executor_(kernel->sim(), rng, hooks, device_ids, symbols) {
   tid_ = kernel_->SpawnThread(pid, thread_name, this);
 }
 
@@ -58,11 +60,7 @@ void Looper::BeginMessage(Message message) {
     logger(/*begin=*/true, *current_);
   }
   if (message.event != nullptr) {
-    StackFrame handler;
-    handler.function = message.event->handler;
-    handler.file = message.event->handler_file;
-    handler.line = message.event->handler_line;
-    executor_.Begin(std::move(handler), message.event->ops);
+    executor_.Begin(symbols_->IdFor(message.event), message.event->ops);
   } else if (message.subtree != nullptr) {
     executor_.BeginSubtree(message.subtree);
   }

@@ -38,7 +38,8 @@ class Looper : public kernelsim::WorkSource {
       std::function<void(const Message& message, std::vector<OpContribution> contributions)>;
 
   Looper(kernelsim::Kernel* kernel, kernelsim::ProcessId pid, const std::string& thread_name,
-         simkit::Rng rng, OpExecutorHooks* hooks, const int32_t* device_ids);
+         simkit::Rng rng, OpExecutorHooks* hooks, const int32_t* device_ids,
+         const SymbolTable* symbols);
 
   kernelsim::ThreadId tid() const { return tid_; }
 
@@ -47,7 +48,7 @@ class Looper : public kernelsim::WorkSource {
   void AddMessageLogger(MessageLogger logger) { loggers_.push_back(std::move(logger)); }
   void SetDoneCallback(DoneCallback done) { done_ = std::move(done); }
 
-  const std::vector<StackFrame>& CurrentStack() const { return executor_.CurrentStack(); }
+  const std::vector<FrameId>& CurrentStack() const { return executor_.CurrentStack(); }
   std::optional<int64_t> CurrentMessageId() const;
   bool Idle() const { return !current_.has_value() && queue_.empty(); }
   size_t QueueDepth() const { return queue_.size(); }
@@ -61,6 +62,7 @@ class Looper : public kernelsim::WorkSource {
   void FinishCurrentMessage();
 
   kernelsim::Kernel* kernel_;
+  const SymbolTable* symbols_;
   kernelsim::ThreadId tid_;
   std::deque<Message> queue_;
   OpExecutor executor_;

@@ -8,12 +8,12 @@
 namespace droidsim {
 
 OpExecutor::OpExecutor(simkit::Simulation* sim, simkit::Rng rng, OpExecutorHooks* hooks,
-                       const int32_t* device_ids)
-    : sim_(sim), rng_(rng), hooks_(hooks), device_ids_(device_ids) {}
+                       const int32_t* device_ids, const SymbolTable* symbols)
+    : sim_(sim), rng_(rng), hooks_(hooks), device_ids_(device_ids), symbols_(symbols) {}
 
-void OpExecutor::Begin(StackFrame handler_frame, std::span<const OpNode> ops) {
+void OpExecutor::Begin(FrameId handler_frame, std::span<const OpNode> ops) {
   assert(stack_.empty());
-  PushRoot(std::move(handler_frame), ops);
+  PushRoot(handler_frame, ops);
 }
 
 void OpExecutor::BeginSubtree(const OpNode* node) {
@@ -21,14 +21,14 @@ void OpExecutor::BeginSubtree(const OpNode* node) {
   PushNode(*node);
 }
 
-void OpExecutor::PushRoot(StackFrame frame, std::span<const OpNode> ops) {
+void OpExecutor::PushRoot(FrameId frame, std::span<const OpNode> ops) {
   NodeState state;
   state.children = ops;
   state.phase = 0;
   state.entry_time = sim_->Now();
   state.has_frame = true;
   stack_.push_back(state);
-  visible_stack_.push_back(std::move(frame));
+  visible_stack_.push_back(frame);
 }
 
 OpExecutor::Realization OpExecutor::Realize(const OpNode& node) {
@@ -100,8 +100,7 @@ void OpExecutor::PushNode(const OpNode& node) {
   state.real = Realize(node);
   state.has_frame = true;
   stack_.push_back(state);
-  visible_stack_.push_back(StackFrame{node.api->name, node.api->clazz, node.file, node.line,
-                                      node.in_closed_library});
+  visible_stack_.push_back(symbols_->IdFor(&node));
 }
 
 void OpExecutor::PopNode() {
@@ -122,8 +121,9 @@ void OpExecutor::PopNode() {
     contribution.manifested = state.real.manifested;
     if (stack_.size() >= 2) {
       const NodeState& parent = stack_[stack_.size() - 2];
-      contribution.caller = parent.node != nullptr ? parent.node->api->FullName()
-                                                   : visible_stack_.front().function;
+      contribution.caller = parent.node != nullptr
+                                ? parent.node->api->FullName()
+                                : symbols_->Frame(visible_stack_.front()).function;
     }
     contributions_.push_back(std::move(contribution));
   }

@@ -14,6 +14,7 @@
 #include "src/droidsim/api.h"
 #include "src/droidsim/operation.h"
 #include "src/droidsim/stack.h"
+#include "src/droidsim/symbols.h"
 #include "src/kernelsim/segment.h"
 #include "src/kernelsim/types.h"
 #include "src/simkit/rng.h"
@@ -46,11 +47,14 @@ class OpExecutorHooks {
 
 class OpExecutor {
  public:
+  // `symbols` is the app's table; every OpNode and handler reaching this executor must have
+  // been indexed in it, so pushing a frame is one pointer-keyed lookup.
   OpExecutor(simkit::Simulation* sim, simkit::Rng rng, OpExecutorHooks* hooks,
-             const int32_t* device_ids /* indexed by DeviceKind, size kNumDevices */);
+             const int32_t* device_ids /* indexed by DeviceKind, size kNumDevices */,
+             const SymbolTable* symbols);
 
   // Starts executing `ops` under a synthetic root frame (the event handler).
-  void Begin(StackFrame handler_frame, std::span<const OpNode> ops);
+  void Begin(FrameId handler_frame, std::span<const OpNode> ops);
 
   // Starts executing a single subtree (worker-thread path); the root frame is the node's own.
   void BeginSubtree(const OpNode* node);
@@ -60,8 +64,9 @@ class OpExecutor {
   // Next kernel segment, or nullopt when the event is finished.
   std::optional<kernelsim::Segment> Next();
 
-  // Live stack, outermost first. Valid between Begin() and the nullopt from Next().
-  const std::vector<StackFrame>& CurrentStack() const { return visible_stack_; }
+  // Live stack as interned frame ids, outermost first. Valid between Begin() and the nullopt
+  // from Next().
+  const std::vector<FrameId>& CurrentStack() const { return visible_stack_; }
 
   // Contributions recorded since the last call (cleared on return).
   std::vector<OpContribution> TakeContributions();
@@ -93,7 +98,7 @@ class OpExecutor {
     bool has_frame = false;
   };
 
-  void PushRoot(StackFrame frame, std::span<const OpNode> ops);
+  void PushRoot(FrameId frame, std::span<const OpNode> ops);
   void PushNode(const OpNode& node);
   void PopNode();
   Realization Realize(const OpNode& node);
@@ -102,8 +107,9 @@ class OpExecutor {
   simkit::Rng rng_;
   OpExecutorHooks* hooks_;
   const int32_t* device_ids_;
+  const SymbolTable* symbols_;
   std::vector<NodeState> stack_;
-  std::vector<StackFrame> visible_stack_;
+  std::vector<FrameId> visible_stack_;
   std::vector<OpContribution> contributions_;
 };
 

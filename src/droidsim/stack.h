@@ -1,16 +1,24 @@
 // Stack traces as Hang Doctor's Diagnoser sees them: one frame per active call, innermost
-// last, each naming the API, its class, and the file/line of the call site. Frames inside
-// closed-source third-party libraries carry a flag so the offline-scanner baseline can be made
-// realistically blind to them while the runtime trace collector still sees the symbols (on a
-// real phone they come from the unwinder; symbol names survive even without source access).
+// last. On the hot sampling path a frame is a 32-bit FrameId interned in the app's
+// SymbolTable (symbols.h); the symbolic StackFrame — API name, class, call-site file/line —
+// is materialized only at report-render time. Frames inside closed-source third-party
+// libraries carry a flag so the offline-scanner baseline can be made realistically blind to
+// them while the runtime trace collector still sees the symbols (on a real phone they come
+// from the unwinder; symbol names survive even without source access).
 #ifndef SRC_DROIDSIM_STACK_H_
 #define SRC_DROIDSIM_STACK_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace droidsim {
 
+// Index into a SymbolTable. Ids are assigned in spec-walk order at App construction, so the
+// same app spec yields the same ids in every run and under any fleet sharding.
+using FrameId = uint32_t;
+
+// A materialized (symbolic) frame: what reports and diagnoses show.
 struct StackFrame {
   std::string function;  // e.g. "clean"
   std::string clazz;     // e.g. "org.htmlcleaner.HtmlCleaner"
@@ -24,13 +32,15 @@ struct StackFrame {
   }
 };
 
+// A sampled stack: interned frame ids, outermost first. Resolving an id back to its
+// StackFrame requires the app's SymbolTable (see SymbolTable::Frame).
 struct StackTrace {
   int64_t timestamp_ns = 0;
-  std::vector<StackFrame> frames;  // outermost first
+  std::vector<FrameId> frames;  // outermost first
 
-  bool Contains(const std::string& clazz, const std::string& function) const {
-    for (const StackFrame& frame : frames) {
-      if (frame.clazz == clazz && frame.function == function) {
+  bool Contains(FrameId id) const {
+    for (FrameId frame : frames) {
+      if (frame == id) {
         return true;
       }
     }

@@ -1,7 +1,5 @@
 #include "src/droidsim/stack_sampler.h"
 
-#include <utility>
-
 namespace droidsim {
 
 StackSampler::StackSampler(simkit::Simulation* sim, const Looper* looper,
@@ -19,21 +17,19 @@ void StackSampler::StartCollection() {
     return;
   }
   active_ = true;
-  samples_.clear();
+  used_ = 0;  // rewind into the pooled slots; capacities survive
   // Sample immediately so even hangs barely past the timeout yield at least one trace.
   TakeSample();
   ScheduleNext();
 }
 
-std::vector<StackTrace> StackSampler::StopCollection() {
+std::span<const StackTrace> StackSampler::StopCollection() {
   active_ = false;
   if (pending_event_ != 0) {
     sim_->Cancel(pending_event_);
     pending_event_ = 0;
   }
-  std::vector<StackTrace> out;
-  out.swap(samples_);
-  return out;
+  return {samples_.data(), used_};
 }
 
 void StackSampler::ScheduleNext() {
@@ -48,11 +44,14 @@ void StackSampler::ScheduleNext() {
 }
 
 void StackSampler::TakeSample() {
-  StackTrace trace;
+  if (used_ == samples_.size()) {
+    samples_.emplace_back();
+  }
+  StackTrace& trace = samples_[used_++];
   trace.timestamp_ns = sim_->Now();
-  trace.frames = looper_->CurrentStack();
+  const std::vector<FrameId>& stack = looper_->CurrentStack();
+  trace.frames.assign(stack.begin(), stack.end());
   ++total_samples_;
-  samples_.push_back(std::move(trace));
 }
 
 }  // namespace droidsim

@@ -1,9 +1,17 @@
 // Periodic main-thread stack sampler, the data source of the paper's Trace Collector. While a
-// collection is active it copies the Looper's live stack every `interval` (20 ms by default,
-// which matches the ~60 traces the paper collects over a 1.3 s hang in Figure 6(b)).
+// collection is active it copies the Looper's live stack (interned frame ids) every
+// `interval` (20 ms by default, which matches the ~60 traces the paper collects over a 1.3 s
+// hang in Figure 6(b)).
+//
+// The sample buffer is reused between collections: StartCollection rewinds a cursor instead
+// of clearing, and each sample slot keeps its frame vector's capacity, so a steady-state
+// TakeSample is two integer stores plus a memcpy of u32 ids — no heap allocation.
+// StopCollection therefore returns a view; it is valid until the next StartCollection, and
+// callers that keep traces across collections must copy.
 #ifndef SRC_DROIDSIM_STACK_SAMPLER_H_
 #define SRC_DROIDSIM_STACK_SAMPLER_H_
 
+#include <span>
 #include <vector>
 
 #include "src/droidsim/looper.h"
@@ -23,8 +31,9 @@ class StackSampler {
   // Begins a collection; the first sample is taken one interval from now.
   void StartCollection();
 
-  // Ends the collection and returns everything sampled since StartCollection().
-  std::vector<StackTrace> StopCollection();
+  // Ends the collection and returns everything sampled since StartCollection(), as a view
+  // into the reused buffer — invalidated by the next StartCollection().
+  std::span<const StackTrace> StopCollection();
 
   bool active() const { return active_; }
   // Lifetime samples taken, for overhead accounting.
@@ -39,7 +48,8 @@ class StackSampler {
   simkit::SimDuration interval_;
   bool active_ = false;
   simkit::EventId pending_event_ = 0;
-  std::vector<StackTrace> samples_;
+  std::vector<StackTrace> samples_;  // pooled slots; only the first `used_` are live
+  size_t used_ = 0;
   int64_t total_samples_ = 0;
 };
 

@@ -1,0 +1,67 @@
+#include "src/droidsim/symbols.h"
+
+#include <utility>
+
+#include "src/droidsim/api.h"
+
+namespace droidsim {
+
+namespace {
+
+// Dedup key over the census identity (function, clazz, file, line). '\0' separators keep
+// distinct tuples from colliding.
+std::string FrameKey(const StackFrame& frame) {
+  std::string key;
+  key.reserve(frame.function.size() + frame.clazz.size() + frame.file.size() + 14);
+  key.append(frame.function);
+  key.push_back('\0');
+  key.append(frame.clazz);
+  key.push_back('\0');
+  key.append(frame.file);
+  key.push_back('\0');
+  key.append(std::to_string(frame.line));
+  return key;
+}
+
+}  // namespace
+
+FrameId SymbolTable::Intern(StackFrame frame) {
+  std::string key = FrameKey(frame);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    return it->second;
+  }
+  auto id = static_cast<FrameId>(frames_.size());
+  is_ui_.push_back(IsUiClass(frame.clazz) ? 1 : 0);
+  frames_.push_back(std::move(frame));
+  by_key_.emplace(std::move(key), id);
+  return id;
+}
+
+void SymbolTable::IndexOp(const OpNode& node) {
+  StackFrame frame;
+  frame.function = node.api->name;
+  frame.clazz = node.api->clazz;
+  frame.file = node.file;
+  frame.line = node.line;
+  frame.in_closed_library = node.in_closed_library;
+  by_ptr_[&node] = Intern(std::move(frame));
+  for (const OpNode& child : node.children) {
+    IndexOp(child);
+  }
+}
+
+void SymbolTable::IndexAction(const ActionSpec& action) {
+  for (const InputEventSpec& event : action.events) {
+    StackFrame handler;
+    handler.function = event.handler;
+    handler.file = event.handler_file;
+    handler.line = event.handler_line;
+    by_ptr_[&event] = Intern(std::move(handler));
+    for (const OpNode& node : event.ops) {
+      IndexOp(node);
+    }
+  }
+}
+
+}  // namespace droidsim

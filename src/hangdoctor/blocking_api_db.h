@@ -7,6 +7,7 @@
 
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hangdoctor {
@@ -16,9 +17,11 @@ class BlockingApiDatabase {
   BlockingApiDatabase() = default;
 
   // Seeds the database with an API already known as blocking (catalog construction).
-  void SeedKnown(const std::string& full_name) { known_.insert(full_name); }
+  void SeedKnown(std::string full_name) { known_.insert(std::move(full_name)); }
 
-  bool IsKnown(const std::string& full_name) const { return known_.count(full_name) > 0; }
+  // Heterogeneous probe (std::less<> set): a string_view never allocates a key copy, so the
+  // offline scanner's per-node membership test stays allocation-free.
+  bool IsKnown(std::string_view full_name) const { return known_.count(full_name) > 0; }
 
   // Records an API Hang Doctor diagnosed at runtime; returns true if it was previously
   // unknown (a new discovery for the offline database).
@@ -34,7 +37,7 @@ class BlockingApiDatabase {
   size_t size() const { return known_.size(); }
 
  private:
-  std::set<std::string> known_;
+  std::set<std::string, std::less<>> known_;
   std::vector<std::string> discovered_;
 };
 

@@ -135,16 +135,15 @@ void HangDoctor::OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecu
     live.longest_hang = std::max(live.longest_hang, response);
   }
   if (sampler_.active()) {
-    std::vector<droidsim::StackTrace> collected = sampler_.StopCollection();
+    std::span<const droidsim::StackTrace> collected = sampler_.StopCollection();
     auto count = static_cast<int64_t>(collected.size());
     overhead_.AddCpu(config_.costs.trace_start);
     overhead_.AddMemory(config_.costs.trace_start_bytes);
     samples_taken_ += count;
     overhead_.AddCpu(config_.costs.stack_sample * count);
     overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
-    for (droidsim::StackTrace& trace : collected) {
-      live.traces.push_back(std::move(trace));
-    }
+    // The sampler's buffer is reused on the next collection; copy the id traces out.
+    live.traces.insert(live.traces.end(), collected.begin(), collected.end());
   }
 }
 
@@ -184,7 +183,7 @@ void HangDoctor::RunDiagnoser(const droidsim::ActionExecution& execution, LiveEx
     return;
   }
   record.traced = true;
-  Diagnosis diagnosis = analyzer_.Analyze(live.traces, app_->spec().package);
+  Diagnosis diagnosis = analyzer_.Analyze(live.traces, app_->symbols(), app_->spec().package);
   record.diagnosis = diagnosis;
   if (config_.keep_traces) {
     record.traces = live.traces;

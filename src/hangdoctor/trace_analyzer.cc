@@ -1,23 +1,32 @@
 #include "src/hangdoctor/trace_analyzer.h"
 
 #include <algorithm>
-#include <map>
-
-#include "src/droidsim/api.h"
+#include <cstdint>
 
 namespace hangdoctor {
 
 namespace {
 
+// The census identity string the analyzer historically keyed on. Only materialized to break
+// exact count ties, so the common path never touches symbols.
 std::string FrameKey(const droidsim::StackFrame& frame) {
   return frame.clazz + "." + frame.function + "@" + frame.file + ":" +
          std::to_string(frame.line);
 }
 
+// Tie order: lexicographically smallest census key wins (the order the analyzer's old
+// string-keyed map iterated in), keeping diagnoses byte-identical across the id refactor.
+bool KeyLess(const droidsim::SymbolTable& symbols, droidsim::FrameId a, droidsim::FrameId b) {
+  return FrameKey(symbols.Frame(a)) < FrameKey(symbols.Frame(b));
+}
+
+constexpr droidsim::FrameId kNoFrame = UINT32_MAX;
+
 }  // namespace
 
-Diagnosis TraceAnalyzer::Analyze(const std::vector<droidsim::StackTrace>& traces,
-                                const std::string& app_package) const {
+Diagnosis TraceAnalyzer::Analyze(std::span<const droidsim::StackTrace> traces,
+                                 const droidsim::SymbolTable& symbols,
+                                 const std::string& app_package) const {
   // A dominant single API is reported as a (possibly new) blocking API even when its class
   // lives in the app's own package — runtime behaviour, not provenance, is what matters
   // (Section 2.2: blocking status comes from expert diagnosis of runtime data). The package
@@ -37,91 +46,95 @@ Diagnosis TraceAnalyzer::Analyze(const std::vector<droidsim::StackTrace>& traces
   diagnosis.samples_used = usable.size();
   double total = static_cast<double>(usable.size());
 
-  // Innermost-frame census.
-  std::map<std::string, std::pair<droidsim::StackFrame, int64_t>> innermost;
+  // Innermost-frame census: dense integer counting over frame ids.
+  std::vector<int64_t> innermost(symbols.size(), 0);
   int64_t ui_innermost = 0;
   for (const droidsim::StackTrace* trace : usable) {
-    const droidsim::StackFrame& leaf = trace->frames.back();
-    auto [it, inserted] = innermost.try_emplace(FrameKey(leaf), leaf, 0);
-    ++it->second.second;
-    if (droidsim::IsUiClass(leaf.clazz)) {
+    droidsim::FrameId leaf = trace->frames.back();
+    ++innermost[leaf];
+    if (symbols.IsUi(leaf)) {
       ++ui_innermost;
     }
   }
-  const std::pair<droidsim::StackFrame, int64_t>* top = nullptr;
-  for (const auto& [key, entry] : innermost) {
-    if (top == nullptr || entry.second > top->second) {
-      top = &entry;
+  droidsim::FrameId top = kNoFrame;
+  for (droidsim::FrameId id = 0; id < innermost.size(); ++id) {
+    if (innermost[id] == 0) {
+      continue;
+    }
+    if (top == kNoFrame || innermost[id] > innermost[top] ||
+        (innermost[id] == innermost[top] && KeyLess(symbols, id, top))) {
+      top = id;
     }
   }
 
   // Case 2: the samples are dominated by UI-class work.
   if (static_cast<double>(ui_innermost) / total >= config_.ui_majority) {
     // Report the most frequent innermost UI frame as the (benign) cause.
-    const std::pair<droidsim::StackFrame, int64_t>* top_ui = nullptr;
-    for (const auto& [key, entry] : innermost) {
-      if (!droidsim::IsUiClass(entry.first.clazz)) {
+    droidsim::FrameId top_ui = kNoFrame;
+    for (droidsim::FrameId id = 0; id < innermost.size(); ++id) {
+      if (innermost[id] == 0 || !symbols.IsUi(id)) {
         continue;
       }
-      if (top_ui == nullptr || entry.second > top_ui->second) {
-        top_ui = &entry;
+      if (top_ui == kNoFrame || innermost[id] > innermost[top_ui] ||
+          (innermost[id] == innermost[top_ui] && KeyLess(symbols, id, top_ui))) {
+        top_ui = id;
       }
     }
-    const auto& chosen = top_ui != nullptr ? *top_ui : *top;
-    diagnosis.culprit = chosen.first;
-    diagnosis.occurrence_factor = static_cast<double>(chosen.second) / total;
+    droidsim::FrameId chosen = top_ui != kNoFrame ? top_ui : top;
+    diagnosis.culprit = symbols.Frame(chosen);
+    diagnosis.occurrence_factor = static_cast<double>(innermost[chosen]) / total;
     diagnosis.is_ui = true;
     return diagnosis;
   }
 
   // Case 3: one API dominates.
-  double top_occurrence = static_cast<double>(top->second) / total;
+  double top_occurrence = static_cast<double>(innermost[top]) / total;
   if (top_occurrence >= config_.api_occurrence_threshold) {
-    diagnosis.culprit = top->first;
+    diagnosis.culprit = symbols.Frame(top);
     diagnosis.occurrence_factor = top_occurrence;
-    diagnosis.is_ui = droidsim::IsUiClass(top->first.clazz);
+    diagnosis.is_ui = symbols.IsUi(top);
     return diagnosis;
   }
 
   // Case 4: many light callees — find the deepest caller frame common to most samples.
   // Count occurrence (at any depth) per non-leaf frame, remembering its maximum depth.
-  std::map<std::string, std::pair<droidsim::StackFrame, int64_t>> callers;
-  std::map<std::string, size_t> caller_depth;
+  std::vector<int64_t> callers(symbols.size(), 0);
+  std::vector<size_t> caller_depth(symbols.size(), 0);
   for (const droidsim::StackTrace* trace : usable) {
     for (size_t depth = 0; depth + 1 < trace->frames.size(); ++depth) {
-      const droidsim::StackFrame& frame = trace->frames[depth];
-      std::string key = FrameKey(frame);
-      auto [it, inserted] = callers.try_emplace(key, frame, 0);
-      ++it->second.second;
-      caller_depth[key] = std::max(caller_depth[key], depth);
+      droidsim::FrameId id = trace->frames[depth];
+      ++callers[id];
+      caller_depth[id] = std::max(caller_depth[id], depth);
     }
   }
-  const std::pair<droidsim::StackFrame, int64_t>* best = nullptr;
-  size_t best_depth = 0;
-  for (const auto& [key, entry] : callers) {
-    double occurrence = static_cast<double>(entry.second) / total;
+  droidsim::FrameId best = kNoFrame;
+  for (droidsim::FrameId id = 0; id < callers.size(); ++id) {
+    if (callers[id] == 0) {
+      continue;
+    }
+    double occurrence = static_cast<double>(callers[id]) / total;
     if (occurrence < config_.caller_occurrence_threshold) {
       continue;
     }
-    size_t depth = caller_depth[key];
-    if (best == nullptr || depth > best_depth ||
-        (depth == best_depth && entry.second > best->second)) {
-      best = &entry;
-      best_depth = depth;
+    if (best == kNoFrame || caller_depth[id] > caller_depth[best] ||
+        (caller_depth[id] == caller_depth[best] &&
+         (callers[id] > callers[best] ||
+          (callers[id] == callers[best] && KeyLess(symbols, id, best))))) {
+      best = id;
     }
   }
-  if (best != nullptr) {
-    diagnosis.culprit = best->first;
-    diagnosis.occurrence_factor = static_cast<double>(best->second) / total;
-    diagnosis.is_ui = droidsim::IsUiClass(best->first.clazz);
+  if (best != kNoFrame) {
+    diagnosis.culprit = symbols.Frame(best);
+    diagnosis.occurrence_factor = static_cast<double>(callers[best]) / total;
+    diagnosis.is_ui = symbols.IsUi(best);
     diagnosis.is_self_developed = true;
     return diagnosis;
   }
 
   // Fall back to the most frequent innermost frame even below threshold.
-  diagnosis.culprit = top->first;
+  diagnosis.culprit = symbols.Frame(top);
   diagnosis.occurrence_factor = top_occurrence;
-  diagnosis.is_ui = droidsim::IsUiClass(top->first.clazz);
+  diagnosis.is_ui = symbols.IsUi(top);
   return diagnosis;
 }
 

@@ -11,13 +11,19 @@
 //  4. Otherwise many light APIs share the time: the culprit is the deepest *caller* common to
 //     most samples — a self-developed lengthy operation (the heavy-loop shape). Moving any
 //     single callee would not fix the hang, so the whole caller is reported.
+//
+// Traces carry interned FrameIds, so the occurrence census is integer counting over dense
+// id-indexed arrays; the culprit's symbolic frame is materialized from the SymbolTable only
+// once the diagnosis is final.
 #ifndef SRC_HANGDOCTOR_TRACE_ANALYZER_H_
 #define SRC_HANGDOCTOR_TRACE_ANALYZER_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "src/droidsim/stack.h"
+#include "src/droidsim/symbols.h"
 
 namespace hangdoctor {
 
@@ -43,9 +49,11 @@ class TraceAnalyzer {
  public:
   explicit TraceAnalyzer(TraceAnalyzerConfig config = {}) : config_(config) {}
 
+  // `symbols` must be the table the traces' frame ids were interned in (the app's).
   // `app_package`, when given, marks culprits whose class lives under the app's own package
   // as self-developed operations (reported to the developer only, never to the API database).
-  Diagnosis Analyze(const std::vector<droidsim::StackTrace>& traces,
+  Diagnosis Analyze(std::span<const droidsim::StackTrace> traces,
+                    const droidsim::SymbolTable& symbols,
                     const std::string& app_package = "") const;
 
   const TraceAnalyzerConfig& config() const { return config_; }

@@ -3,84 +3,108 @@
 namespace perfsim {
 
 namespace {
+
 double& At(CounterArray& counters, PerfEventType event) {
   return counters[static_cast<size_t>(event)];
 }
+
+const CounterArray kZeroCounters{};
+
 }  // namespace
 
 CounterHub::CounterHub(kernelsim::Kernel* kernel, uint64_t seed, double noise_sigma)
-    : kernel_(kernel), rng_(seed, /*stream=*/0x70657266ULL), noise_sigma_(noise_sigma) {
+    : kernel_(kernel), seed_(seed), noise_sigma_(noise_sigma) {
   kernel_->AddSink(this);
 }
 
 CounterHub::~CounterHub() { kernel_->RemoveSink(this); }
 
-CounterArray CounterHub::Snapshot(kernelsim::ThreadId tid) const {
-  auto it = counters_.find(tid);
-  if (it == counters_.end()) {
-    return CounterArray{};
+const CounterArray& CounterHub::Snapshot(kernelsim::ThreadId tid) const {
+  auto index = static_cast<size_t>(tid);
+  if (tid < 0 || index >= threads_.size() || threads_[index].noise_ring.empty()) {
+    return kZeroCounters;
   }
-  return it->second;
+  return threads_[index].counters;
 }
 
 double CounterHub::Value(kernelsim::ThreadId tid, PerfEventType event) const {
-  auto it = counters_.find(tid);
-  if (it == counters_.end()) {
-    return 0.0;
+  return Snapshot(tid)[static_cast<size_t>(event)];
+}
+
+CounterHub::ThreadState& CounterHub::State(kernelsim::ThreadId tid) {
+  auto index = static_cast<size_t>(tid);
+  if (index >= threads_.size()) {
+    threads_.resize(index + 1);
   }
-  return it->second[static_cast<size_t>(event)];
+  ThreadState& state = threads_[index];
+  if (state.noise_ring.empty()) {
+    // First charge for this thread: fill its private rings from a stream derived only from
+    // (hub seed, tid), so the multipliers are identical regardless of scheduling interleave.
+    simkit::Rng rng(simkit::SplitMix64(seed_) ^ static_cast<uint64_t>(tid),
+                    /*stream=*/0x70657266ULL + static_cast<uint64_t>(tid));
+    state.noise_ring.resize(kNoiseRingSize);
+    for (double& v : state.noise_ring) {
+      v = rng.LogNormal(0.0, noise_sigma_);
+    }
+    state.jitter_ring.resize(kJitterRingSize);
+    for (double& v : state.jitter_ring) {
+      v = rng.Uniform(0.9995, 1.0005);
+    }
+  }
+  return state;
 }
-
-CounterArray& CounterHub::Counters(kernelsim::ThreadId tid) {
-  return counters_.try_emplace(tid).first->second;
-}
-
-double CounterHub::Noise() { return rng_.LogNormal(0.0, noise_sigma_); }
 
 void CounterHub::OnCpuCharge(const kernelsim::Thread& thread, simkit::SimDuration run,
                              const kernelsim::MicroArchProfile& uarch) {
-  CounterArray& c = Counters(thread.tid);
+  ThreadState& state = State(thread.tid);
+  CounterArray& c = state.counters;
   double ns = static_cast<double>(run);
   At(c, PerfEventType::kTaskClock) += ns;
   // cpu-clock is measured by a hrtimer rather than scheduler accounting; on real kernels the
   // two drift apart by a sliver. (The paper omits cpu-clock "because it is similar".)
-  At(c, PerfEventType::kCpuClock) += ns * rng_.Uniform(0.9995, 1.0005);
+  At(c, PerfEventType::kCpuClock) += ns * NextJitter(state);
 
-  double instructions = ns * uarch.instructions_per_ns * Noise();
+  double instructions = ns * uarch.instructions_per_ns * NextNoise(state);
   double kinstr = instructions / 1000.0;
-  double cycles = ns * uarch.cycles_per_ns * Noise();
+  double cycles = ns * uarch.cycles_per_ns * NextNoise(state);
   At(c, PerfEventType::kInstructions) += instructions;
   At(c, PerfEventType::kCpuCycles) += cycles;
   At(c, PerfEventType::kBusCycles) += cycles * 0.38;
-  At(c, PerfEventType::kStalledCyclesFrontend) += cycles * uarch.stalled_frontend_ratio * Noise();
-  At(c, PerfEventType::kStalledCyclesBackend) += cycles * uarch.stalled_backend_ratio * Noise();
+  At(c, PerfEventType::kStalledCyclesFrontend) +=
+      cycles * uarch.stalled_frontend_ratio * NextNoise(state);
+  At(c, PerfEventType::kStalledCyclesBackend) +=
+      cycles * uarch.stalled_backend_ratio * NextNoise(state);
 
-  double cache_refs = kinstr * uarch.cache_refs_per_kinstr * Noise();
+  double cache_refs = kinstr * uarch.cache_refs_per_kinstr * NextNoise(state);
   At(c, PerfEventType::kCacheReferences) += cache_refs;
-  At(c, PerfEventType::kCacheMisses) += cache_refs * uarch.cache_miss_ratio * Noise();
+  At(c, PerfEventType::kCacheMisses) += cache_refs * uarch.cache_miss_ratio * NextNoise(state);
 
-  double l1d_loads = kinstr * uarch.l1d_loads_per_kinstr * Noise();
-  double l1d_stores = kinstr * uarch.l1d_stores_per_kinstr * Noise();
+  double l1d_loads = kinstr * uarch.l1d_loads_per_kinstr * NextNoise(state);
+  double l1d_stores = kinstr * uarch.l1d_stores_per_kinstr * NextNoise(state);
   At(c, PerfEventType::kL1DcacheLoads) += l1d_loads;
   At(c, PerfEventType::kL1DcacheStores) += l1d_stores;
   At(c, PerfEventType::kRawL1DcacheRefill) +=
-      (l1d_loads + l1d_stores) * uarch.l1d_refill_ratio * Noise();
-  At(c, PerfEventType::kRawL1IcacheRefill) += kinstr * uarch.l1i_refill_per_kinstr * Noise();
-  At(c, PerfEventType::kRawL1DtlbRefill) += kinstr * uarch.dtlb_refill_per_kinstr * Noise();
-  At(c, PerfEventType::kRawL1ItlbRefill) += kinstr * uarch.itlb_refill_per_kinstr * Noise();
+      (l1d_loads + l1d_stores) * uarch.l1d_refill_ratio * NextNoise(state);
+  At(c, PerfEventType::kRawL1IcacheRefill) +=
+      kinstr * uarch.l1i_refill_per_kinstr * NextNoise(state);
+  At(c, PerfEventType::kRawL1DtlbRefill) +=
+      kinstr * uarch.dtlb_refill_per_kinstr * NextNoise(state);
+  At(c, PerfEventType::kRawL1ItlbRefill) +=
+      kinstr * uarch.itlb_refill_per_kinstr * NextNoise(state);
 
-  double branches = kinstr * uarch.branches_per_kinstr * Noise();
+  double branches = kinstr * uarch.branches_per_kinstr * NextNoise(state);
   At(c, PerfEventType::kBranchLoads) += branches;
-  At(c, PerfEventType::kBranchMisses) += branches * uarch.branch_miss_ratio * Noise();
+  At(c, PerfEventType::kBranchMisses) += branches * uarch.branch_miss_ratio * NextNoise(state);
 }
 
 void CounterHub::OnContextSwitch(const kernelsim::Thread& thread, bool voluntary, int64_t count) {
   (void)voluntary;
-  At(Counters(thread.tid), PerfEventType::kContextSwitches) += static_cast<double>(count);
+  At(State(thread.tid).counters, PerfEventType::kContextSwitches) +=
+      static_cast<double>(count);
 }
 
 void CounterHub::OnPageFault(const kernelsim::Thread& thread, bool major, int64_t count) {
-  CounterArray& c = Counters(thread.tid);
+  CounterArray& c = State(thread.tid).counters;
   At(c, PerfEventType::kPageFaults) += static_cast<double>(count);
   if (major) {
     At(c, PerfEventType::kMajorFaults) += static_cast<double>(count);
@@ -90,7 +114,7 @@ void CounterHub::OnPageFault(const kernelsim::Thread& thread, bool major, int64_
 }
 
 void CounterHub::OnCpuMigration(const kernelsim::Thread& thread) {
-  At(Counters(thread.tid), PerfEventType::kCpuMigrations) += 1.0;
+  At(State(thread.tid).counters, PerfEventType::kCpuMigrations) += 1.0;
 }
 
 }  // namespace perfsim

@@ -4,10 +4,21 @@
 // log-normal noise so repeated runs of identical code produce realistically scattered counts
 // (the scatter visible in Figure 4 of the paper). PerfSessions snapshot the hub; the PMU
 // register model then decides how accurately a session can observe the truth.
+//
+// Hot-path design:
+//  - Storage is dense: a vector indexed by the kernel's (already dense) ThreadId, so
+//    OnCpuCharge/OnContextSwitch never hash. Snapshot() returns a view into that storage.
+//  - Noise multipliers come from a per-thread precomputed ring: each thread's ring is filled
+//    once from its own SplitMix64-derived stream (seed ^ tid), then consumed cyclically, so a
+//    charge costs loads and multiplies instead of a dozen Box-Muller + exp draws. This keeps
+//    the noise distribution and makes a thread's noise independent of how other threads'
+//    charges interleave — strictly stronger determinism than the old shared-stream draw
+//    order. Software events (context switches, task clock, faults, migrations) are exact and
+//    never consume noise, exactly as in the paper.
 #ifndef SRC_PERFSIM_COUNTER_HUB_H_
 #define SRC_PERFSIM_COUNTER_HUB_H_
 
-#include <unordered_map>
+#include <vector>
 
 #include "src/kernelsim/event_sink.h"
 #include "src/kernelsim/kernel.h"
@@ -24,8 +35,11 @@ class CounterHub : public kernelsim::KernelEventSink {
   CounterHub(const CounterHub&) = delete;
   CounterHub& operator=(const CounterHub&) = delete;
 
-  // Ground-truth accumulated counts for a thread (zeros for never-seen threads).
-  CounterArray Snapshot(kernelsim::ThreadId tid) const;
+  // Ground-truth accumulated counts for a thread, as a view into the hub's dense storage
+  // (a shared all-zeros array for never-seen threads). Valid until the hub is destroyed;
+  // values keep accumulating behind the view while the simulation runs, so callers that
+  // need a fixed point in time must copy.
+  const CounterArray& Snapshot(kernelsim::ThreadId tid) const;
 
   double Value(kernelsim::ThreadId tid, PerfEventType event) const;
 
@@ -37,13 +51,39 @@ class CounterHub : public kernelsim::KernelEventSink {
   void OnCpuMigration(const kernelsim::Thread& thread) override;
 
  private:
-  CounterArray& Counters(kernelsim::ThreadId tid);
-  double Noise();
+  // Ring sizes are powers of two so the cursor wraps with a mask. 1024 log-normal
+  // multipliers serve ~85 charges before reuse; ample for aggregate statistics.
+  static constexpr size_t kNoiseRingSize = 1024;
+  static constexpr size_t kJitterRingSize = 256;
+
+  struct ThreadState {
+    CounterArray counters{};
+    // LogNormal(0, noise_sigma) multipliers for hardware-event derivation.
+    std::vector<double> noise_ring;
+    // Uniform(0.9995, 1.0005) factors modelling cpu-clock hrtimer drift.
+    std::vector<double> jitter_ring;
+    uint32_t noise_pos = 0;
+    uint32_t jitter_pos = 0;
+  };
+
+  ThreadState& State(kernelsim::ThreadId tid);
+
+  double NextNoise(ThreadState& state) {
+    double v = state.noise_ring[state.noise_pos];
+    state.noise_pos = (state.noise_pos + 1) & (kNoiseRingSize - 1);
+    return v;
+  }
+
+  double NextJitter(ThreadState& state) {
+    double v = state.jitter_ring[state.jitter_pos];
+    state.jitter_pos = (state.jitter_pos + 1) & (kJitterRingSize - 1);
+    return v;
+  }
 
   kernelsim::Kernel* kernel_;
-  simkit::Rng rng_;
+  uint64_t seed_;
   double noise_sigma_;
-  std::unordered_map<kernelsim::ThreadId, CounterArray> counters_;
+  std::vector<ThreadState> threads_;  // dense, indexed by ThreadId
 };
 
 }  // namespace perfsim

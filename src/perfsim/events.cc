@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "src/simkit/string_hash.h"
+
 namespace perfsim {
 
 bool IsSoftwareEvent(PerfEventType event) {
@@ -54,9 +56,11 @@ const std::string& PerfEventName(PerfEventType event) {
   return kNames.at(static_cast<size_t>(event));
 }
 
-std::optional<PerfEventType> PerfEventFromName(const std::string& name) {
-  static const std::unordered_map<std::string, PerfEventType> kByName = [] {
-    std::unordered_map<std::string, PerfEventType> map;
+std::optional<PerfEventType> PerfEventFromName(std::string_view name) {
+  static const std::unordered_map<std::string, PerfEventType, simkit::StringHash,
+                                  std::equal_to<>>
+      kByName = [] {
+    std::unordered_map<std::string, PerfEventType, simkit::StringHash, std::equal_to<>> map;
     for (size_t i = 0; i < kNumPerfEvents; ++i) {
       map.emplace(kNames[i], static_cast<PerfEventType>(i));
     }

@@ -1,53 +1,8 @@
 #include "src/simkit/event_queue.h"
 
 #include <cassert>
-#include <utility>
 
 namespace simkit {
-
-EventId EventQueue::ScheduleAt(SimTime when, EventCallback cb) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
-  ++live_count_;
-  return id;
-}
-
-bool EventQueue::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) {
-    return false;
-  }
-  // We cannot remove from the middle of a binary heap; mark the id and skip it lazily.
-  if (cancelled_.insert(id).second) {
-    if (live_count_ == 0) {
-      cancelled_.erase(id);
-      return false;
-    }
-    --live_count_;
-    return true;
-  }
-  return false;
-}
-
-void EventQueue::DropCancelledHead() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::Empty() const {
-  DropCancelledHead();
-  return heap_.empty();
-}
-
-SimTime EventQueue::NextTime() const {
-  DropCancelledHead();
-  return heap_.empty() ? kSimTimeNever : heap_.top().when;
-}
 
 SimTime EventQueue::RunNext() {
   SimTime when = 0;
@@ -57,18 +12,6 @@ SimTime EventQueue::RunNext() {
   (void)ok;
   cb();
   return when;
-}
-
-bool EventQueue::PopNext(SimTime* when, EventCallback* cb) {
-  DropCancelledHead();
-  if (heap_.empty()) {
-    return false;
-  }
-  *when = heap_.top().when;
-  *cb = std::move(heap_.top().cb);
-  heap_.pop();
-  --live_count_;
-  return true;
 }
 
 }  // namespace simkit

@@ -1,20 +1,35 @@
 // Discrete-event queue: the heart of the simulator. Events are (time, sequence, callback)
 // triples ordered by time with FIFO tie-breaking, so simultaneous events run in scheduling
 // order and every run is deterministic. Events can be cancelled via the returned handle.
+//
+// Storage is a slab of pooled slots with per-slot generation counters:
+//  - a slot holds the callback; the binary heap holds 24-byte POD (time, seq, slot, gen)
+//    entries, so heap sift operations never move callbacks;
+//  - an EventId encodes (generation << 32 | slot). Cancel is O(1): if the id's generation
+//    matches the slot's, bump the generation and put the slot back on the free list. The
+//    heap entry becomes stale and is skipped lazily when it reaches the top — there is no
+//    cancelled-id side table to grow, and slab capacity is bounded by the high-water mark
+//    of concurrently pending events;
+//  - popped slots also bump the generation, so ids are never resurrected by slot reuse;
+//  - when stale entries outnumber live events 4:1 the heap is compacted in place (amortized
+//    O(1) per cancel), so even pathological schedule/cancel churn keeps heap memory
+//    proportional to the live event count.
+// The (time, seq) FIFO-tie determinism contract is unchanged: seq is assigned in ScheduleAt
+// order exactly as before, and (when, seq) is a strict total order, so pop order is
+// independent of heap layout.
 #ifndef SRC_SIMKIT_EVENT_QUEUE_H_
 #define SRC_SIMKIT_EVENT_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/simkit/inline_callback.h"
 #include "src/simkit/time.h"
 
 namespace simkit {
 
-using EventCallback = std::function<void()>;
+using EventCallback = InlineCallback;
 using EventId = uint64_t;
 
 class EventQueue {
@@ -24,16 +39,37 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   // Schedules `cb` to run at absolute time `when`. Returns an id usable with Cancel().
-  EventId ScheduleAt(SimTime when, EventCallback cb);
+  EventId ScheduleAt(SimTime when, EventCallback cb) {
+    uint32_t slot = AcquireSlot();
+    Slot& s = slots_[slot];
+    s.cb = std::move(cb);
+    heap_.push_back(Entry{when, next_seq_++, slot, s.generation});
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    ++live_count_;
+    return MakeId(slot, s.generation);
+  }
 
   // Cancels a pending event. Returns false if the event already ran or was cancelled.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) {
+    uint32_t slot = static_cast<uint32_t>(id);
+    uint32_t generation = static_cast<uint32_t>(id >> 32);
+    if (slot >= slots_.size() || slots_[slot].generation != generation || generation == 0) {
+      return false;
+    }
+    ReleaseSlot(slot);
+    --live_count_;
+    MaybeCompact();
+    return true;
+  }
 
   // True if no live (non-cancelled) events remain.
-  bool Empty() const;
+  bool Empty() const { return live_count_ == 0; }
 
   // Time of the earliest live event; kSimTimeNever when empty.
-  SimTime NextTime() const;
+  SimTime NextTime() const {
+    DropStaleHead();
+    return heap_.empty() ? kSimTimeNever : heap_.front().when;
+  }
 
   // Pops and runs the earliest live event; returns its time. Requires !Empty().
   // NOTE: callers that own a clock should use PopNext and advance the clock BEFORE invoking
@@ -41,33 +77,135 @@ class EventQueue {
   SimTime RunNext();
 
   // Pops the earliest live event without running it. Returns false when empty.
-  bool PopNext(SimTime* when, EventCallback* cb);
+  bool PopNext(SimTime* when, EventCallback* cb) {
+    DropStaleHead();
+    if (heap_.empty()) {
+      return false;
+    }
+    const Entry& top = heap_.front();
+    *when = top.when;
+    uint32_t slot = top.slot;
+    *cb = std::move(slots_[slot].cb);
+    ReleaseSlot(slot);
+    PopHead();
+    --live_count_;
+    return true;
+  }
+
+  // Pops the earliest live event only if it is at or before `deadline` (single head check —
+  // the driver's hot loop). Returns false when empty or the head is later.
+  bool PopNextAtOrBefore(SimTime deadline, SimTime* when, EventCallback* cb) {
+    DropStaleHead();
+    if (heap_.empty() || heap_.front().when > deadline) {
+      return false;
+    }
+    const Entry& top = heap_.front();
+    *when = top.when;
+    uint32_t slot = top.slot;
+    *cb = std::move(slots_[slot].cb);
+    ReleaseSlot(slot);
+    PopHead();
+    --live_count_;
+    return true;
+  }
 
   // Number of live events.
   size_t Size() const { return live_count_; }
 
+  // Slab/heap introspection for the bounded-memory regression tests: the slot pool is bounded
+  // by the high-water mark of *concurrently pending* events and the heap by a small multiple
+  // of the live count — never by cancellation volume.
+  size_t SlabCapacity() const { return slots_.size(); }
+  size_t HeapSize() const { return heap_.size(); }
+
  private:
+  struct Slot {
+    EventCallback cb;
+    // 0 is never a live generation, so an EventId of 0 is always invalid.
+    uint32_t generation = 0;
+    uint32_t next_free = kNoFreeSlot;
+  };
+
   struct Entry {
     SimTime when;
     uint64_t seq;
-    EventId id;
-    // Mutable: callbacks move out of the priority queue when run.
-    mutable EventCallback cb;
+    uint32_t slot;
+    uint32_t generation;
+  };
 
-    bool operator>(const Entry& other) const {
-      if (when != other.when) {
-        return when > other.when;
+  // "a runs after b": orders the min-heap so the earliest (when, seq) sits at the front.
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
       }
-      return seq > other.seq;
+      return a.seq > b.seq;
     }
   };
 
-  void DropCancelledHead() const;
+  static constexpr uint32_t kNoFreeSlot = UINT32_MAX;
+  // Compaction only kicks in past this heap size, so small queues never pay for it.
+  static constexpr size_t kCompactMinHeap = 64;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
+  static EventId MakeId(uint32_t slot, uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  uint32_t AcquireSlot() {
+    if (free_head_ != kNoFreeSlot) {
+      uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      ++slots_[slot].generation;  // 0 -> 1 on first use; stale ids can never match again
+      return slot;
+    }
+    slots_.emplace_back();
+    slots_.back().generation = 1;
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+
+  // Invalidates the slot's ids, drops its callback and returns it to the free list. The
+  // slot's heap entry (if still queued) becomes stale and is skipped lazily.
+  void ReleaseSlot(uint32_t slot) {
+    Slot& s = slots_[slot];
+    ++s.generation;
+    s.cb.Reset();
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  bool Stale(const Entry& entry) const {
+    return slots_[entry.slot].generation != entry.generation;
+  }
+
+  void PopHead() const {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+  }
+
+  // Pops heap entries whose slot generation moved on (cancelled events).
+  void DropStaleHead() const {
+    while (!heap_.empty() && Stale(heap_.front())) {
+      PopHead();
+    }
+  }
+
+  // Once stale entries dominate, filter them out and re-heapify. Each compaction removes
+  // >= 3/4 of the heap, and only cancellations grow the stale share, so the cost is
+  // amortized O(1) per cancel and heap memory stays proportional to live events.
+  void MaybeCompact() {
+    if (heap_.size() < kCompactMinHeap || heap_.size() <= 4 * live_count_) {
+      return;
+    }
+    heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                               [this](const Entry& entry) { return Stale(entry); }),
+                heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  }
+
+  mutable std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   size_t live_count_ = 0;
 };
 

@@ -1,0 +1,115 @@
+// Small-buffer move-only callable for the event queue's hot path. std::function heap-allocates
+// any capture list larger than two pointers and pays a virtual-ish dispatch through _M_manager;
+// the simulator schedules tens of millions of events per run whose captures are all a handful
+// of scalars, so InlineCallback stores them in a fixed in-object buffer with direct
+// function-pointer dispatch. Oversized callables still work via a transparent heap fallback,
+// keeping the type a drop-in replacement for std::function<void()> as an event callback.
+#ifndef SRC_SIMKIT_INLINE_CALLBACK_H_
+#define SRC_SIMKIT_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace simkit {
+
+class InlineCallback {
+ public:
+  // Big enough for every scheduler/app lambda in the tree (this + a few ids); measured, not
+  // guessed: the largest hot-path capture today is 24 bytes.
+  static constexpr size_t kInlineBytes = 48;
+
+  InlineCallback() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                            std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    Emplace(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct into dst from src, then destroy src's object.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*std::launder(static_cast<F*>(storage)))(); }
+    static void Relocate(void* dst, void* src) {
+      F* from = std::launder(static_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* storage) { std::launder(static_cast<F*>(storage))->~F(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F*& Ptr(void* storage) { return *std::launder(static_cast<F**>(storage)); }
+    static void Invoke(void* storage) { (*Ptr(storage))(); }
+    static void Relocate(void* dst, void* src) { ::new (dst) F*(Ptr(src)); }
+    static void Destroy(void* storage) { delete Ptr(storage); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_INLINE_CALLBACK_H_

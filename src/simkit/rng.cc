@@ -1,92 +1,6 @@
 #include "src/simkit/rng.h"
 
-#include <cmath>
-
 namespace simkit {
-
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-Rng::Rng(uint64_t seed, uint64_t stream) : seed_(seed), stream_(stream) {
-  state_ = SplitMix64(seed ^ SplitMix64(stream));
-  inc_ = (SplitMix64(stream ^ 0xda3e39cb94b95bdbULL) << 1u) | 1u;
-  // Warm up per the PCG reference implementation.
-  NextU32();
-}
-
-uint32_t Rng::NextU32() {
-  uint64_t old = state_;
-  state_ = old * 6364136223846793005ULL + inc_;
-  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
-  uint32_t rot = static_cast<uint32_t>(old >> 59u);
-  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
-}
-
-uint64_t Rng::NextU64() {
-  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
-}
-
-double Rng::NextDouble() {
-  // 53 random bits into [0, 1).
-  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
-}
-
-int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  if (lo >= hi) {
-    return lo;
-  }
-  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
-  // Rejection sampling to remove modulo bias.
-  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
-  uint64_t v = NextU64();
-  while (v >= limit) {
-    v = NextU64();
-  }
-  return lo + static_cast<int64_t>(v % range);
-}
-
-double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) {
-    return false;
-  }
-  if (p >= 1.0) {
-    return true;
-  }
-  return NextDouble() < p;
-}
-
-double Rng::Normal(double mean, double stddev) {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return mean + stddev * cached_normal_;
-  }
-  double u1 = NextDouble();
-  double u2 = NextDouble();
-  while (u1 <= 1e-300) {
-    u1 = NextDouble();
-  }
-  double r = std::sqrt(-2.0 * std::log(u1));
-  double theta = 2.0 * M_PI * u2;
-  cached_normal_ = r * std::sin(theta);
-  has_cached_normal_ = true;
-  return mean + stddev * r * std::cos(theta);
-}
-
-double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
-
-double Rng::Exponential(double mean) {
-  double u = NextDouble();
-  while (u <= 1e-300) {
-    u = NextDouble();
-  }
-  return -mean * std::log(u);
-}
 
 int64_t Rng::Poisson(double mean) {
   if (mean <= 0.0) {
@@ -106,10 +20,6 @@ int64_t Rng::Poisson(double mean) {
   // Normal approximation with continuity correction; adequate for count noise.
   double v = Normal(mean, std::sqrt(mean));
   return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
-}
-
-Rng Rng::Fork(uint64_t tag) {
-  return Rng(SplitMix64(seed_ ^ SplitMix64(tag)), SplitMix64(stream_ + 0x632be59bd9b4e019ULL + tag));
 }
 
 }  // namespace simkit

@@ -4,53 +4,122 @@
 // SplitMix64 so that adding a new consumer never perturbs the draws seen by existing ones.
 // The core generator is PCG32 (O'Neill, 2014): small state, good statistical quality, and fully
 // reproducible across platforms, which keeps every benchmark table bit-stable.
+//
+// All draw methods are defined inline: the counter hub draws a dozen log-normals per CPU
+// charge and the kernel an exponential per micro-yield, so the generator is a genuine hot
+// path and must not cost a cross-TU call per 32 bits of randomness. The arithmetic is
+// exactly the pre-inline sequence, so every stream stays bit-identical.
 #ifndef SRC_SIMKIT_RNG_H_
 #define SRC_SIMKIT_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 
 namespace simkit {
 
 // Mixes a 64-bit value into a well-distributed 64-bit value. Used for seed derivation.
-uint64_t SplitMix64(uint64_t x);
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
 class Rng {
  public:
-  explicit Rng(uint64_t seed, uint64_t stream = 0);
+  explicit Rng(uint64_t seed, uint64_t stream = 0) : seed_(seed), stream_(stream) {
+    state_ = SplitMix64(seed ^ SplitMix64(stream));
+    inc_ = (SplitMix64(stream ^ 0xda3e39cb94b95bdbULL) << 1u) | 1u;
+    // Warm up per the PCG reference implementation.
+    NextU32();
+  }
 
   // Uniform 32-bit value.
-  uint32_t NextU32();
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
 
   // Uniform 64-bit value.
-  uint64_t NextU64();
+  uint64_t NextU64() { return (static_cast<uint64_t>(NextU32()) << 32) | NextU32(); }
 
   // Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    // 53 random bits into [0, 1).
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
 
   // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    if (lo >= hi) {
+      return lo;
+    }
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    // Rejection sampling to remove modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t v = NextU64();
+    while (v >= limit) {
+      v = NextU64();
+    }
+    return lo + static_cast<int64_t>(v % range);
+  }
 
   // Uniform double in [lo, hi).
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
 
   // True with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return NextDouble() < p;
+  }
 
   // Normal distribution via Box-Muller. Unclamped.
-  double Normal(double mean, double stddev);
+  double Normal(double mean, double stddev) {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return mean + stddev * cached_normal_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    while (u1 <= 1e-300) {
+      u1 = NextDouble();
+    }
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
 
   // Log-normal: exp(Normal(mu, sigma)). Used for long-tailed I/O and API latencies.
-  double LogNormal(double mu, double sigma);
+  double LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
 
   // Exponential with the given mean (mean = 1/lambda). Used for think times and arrivals.
-  double Exponential(double mean);
+  double Exponential(double mean) {
+    double u = NextDouble();
+    while (u <= 1e-300) {
+      u = NextDouble();
+    }
+    return -mean * std::log(u);
+  }
 
   // Poisson-distributed count with the given mean. Used for event-count noise.
   // Uses inversion for small means and a normal approximation for large ones.
   int64_t Poisson(double mean);
 
   // Derives an independent child stream; deterministic in (this stream, tag).
-  Rng Fork(uint64_t tag);
+  Rng Fork(uint64_t tag) {
+    return Rng(SplitMix64(seed_ ^ SplitMix64(tag)),
+               SplitMix64(stream_ + 0x632be59bd9b4e019ULL + tag));
+  }
 
  private:
   uint64_t state_;

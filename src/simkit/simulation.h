@@ -1,9 +1,11 @@
 // Simulation driver: owns the clock and the event queue and advances time by executing events
 // in order. All substrates (kernel, devices, monitors) schedule against one Simulation.
+// The stepping loop is defined inline: one simulated session executes tens of millions of
+// events, so the pop-advance-invoke cycle must not pay cross-TU call overhead.
 #ifndef SRC_SIMKIT_SIMULATION_H_
 #define SRC_SIMKIT_SIMULATION_H_
 
-#include <functional>
+#include <algorithm>
 
 #include "src/simkit/event_queue.h"
 #include "src/simkit/time.h"
@@ -19,24 +21,57 @@ class Simulation {
   SimTime Now() const { return now_; }
 
   // Schedules `cb` after `delay` nanoseconds (clamped to now for negative delays).
-  EventId ScheduleAfter(SimDuration delay, EventCallback cb);
+  EventId ScheduleAfter(SimDuration delay, EventCallback cb) {
+    return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(cb));
+  }
 
   // Schedules `cb` at absolute time `when` (clamped to now if in the past).
-  EventId ScheduleAt(SimTime when, EventCallback cb);
+  EventId ScheduleAt(SimTime when, EventCallback cb) {
+    return queue_.ScheduleAt(std::max(when, now_), std::move(cb));
+  }
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
   // Runs events until the queue empties or the clock passes `deadline`.
   // Events scheduled exactly at `deadline` are executed. Returns the final clock value.
-  SimTime RunUntil(SimTime deadline);
+  SimTime RunUntil(SimTime deadline) {
+    SimTime when = 0;
+    EventCallback cb;
+    while (queue_.PopNextAtOrBefore(deadline, &when, &cb)) {
+      // Advance the clock before the callback so handlers observe their own timestamp.
+      now_ = when;
+      cb();
+      cb.Reset();
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+    return now_;
+  }
 
   // Runs events until the queue is empty.
-  SimTime RunToCompletion();
+  SimTime RunToCompletion() {
+    while (Step()) {
+    }
+    return now_;
+  }
 
   // Runs exactly one event if present; returns false when the queue is empty.
-  bool Step();
+  bool Step() {
+    SimTime when = 0;
+    EventCallback cb;
+    if (!queue_.PopNext(&when, &cb)) {
+      return false;
+    }
+    // Advance the clock before the callback so handlers observe their own timestamp.
+    now_ = when;
+    cb();
+    return true;
+  }
 
   size_t PendingEvents() const { return queue_.Size(); }
+
+  const EventQueue& queue() const { return queue_; }
 
  private:
   SimTime now_ = 0;

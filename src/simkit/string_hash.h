@@ -1,0 +1,27 @@
+// Transparent string hashing for unordered containers, so lookups by std::string_view or
+// const char* never materialize a temporary std::string. Use as
+//   std::unordered_map<std::string, V, simkit::StringHash, std::equal_to<>>
+#ifndef SRC_SIMKIT_STRING_HASH_H_
+#define SRC_SIMKIT_STRING_HASH_H_
+
+#include <string>
+#include <string_view>
+
+namespace simkit {
+
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_STRING_HASH_H_

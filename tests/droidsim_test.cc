@@ -2,6 +2,8 @@
 // render thread, app lifecycle and quiescence, stack sampling, device profiles.
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "src/droidsim/api.h"
 #include "src/droidsim/app.h"
 #include "src/droidsim/phone.h"
@@ -253,11 +255,12 @@ TEST_F(DroidsimTest, MainStackShowsExecutingFrames) {
   app->PerformAction(0);
   // 300 ms in, the main thread is inside clean().
   phone_.RunFor(simkit::Milliseconds(300));
-  const std::vector<droidsim::StackFrame>& stack = app->MainStack();
+  const std::vector<droidsim::FrameId>& stack = app->MainStack();
   ASSERT_GE(stack.size(), 2u);
-  EXPECT_EQ(stack.front().function, "onClick");
-  EXPECT_EQ(stack.back().function, "clean");
-  EXPECT_EQ(stack.back().clazz, "org.htmlcleaner.HtmlCleaner");
+  const droidsim::SymbolTable& symbols = app->symbols();
+  EXPECT_EQ(symbols.Frame(stack.front()).function, "onClick");
+  EXPECT_EQ(symbols.Frame(stack.back()).function, "clean");
+  EXPECT_EQ(symbols.Frame(stack.back()).clazz, "org.htmlcleaner.HtmlCleaner");
   phone_.RunFor(simkit::Seconds(10));
   EXPECT_TRUE(app->MainStack().empty());  // idle after the event
 }
@@ -272,12 +275,13 @@ TEST_F(DroidsimTest, StackSamplerCollectsDuringHang) {
   phone_.RunFor(simkit::Milliseconds(150));
   sampler.StartCollection();
   phone_.RunFor(simkit::Milliseconds(400));
-  std::vector<droidsim::StackTrace> traces = sampler.StopCollection();
+  std::span<const droidsim::StackTrace> traces = sampler.StopCollection();
   EXPECT_FALSE(sampler.active());
   ASSERT_GE(traces.size(), 10u);
   int with_clean = 0;
   for (const droidsim::StackTrace& trace : traces) {
-    with_clean += trace.Contains("org.htmlcleaner.HtmlCleaner", "clean") ? 1 : 0;
+    with_clean +=
+        app->symbols().TraceContains(trace, "org.htmlcleaner.HtmlCleaner", "clean") ? 1 : 0;
   }
   EXPECT_GT(with_clean, static_cast<int>(traces.size() / 2));
   // A second collection starts clean.
@@ -334,10 +338,17 @@ TEST(StackTraceTest, FormatAndContains) {
   droidsim::StackFrame frame{"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25,
                              true};
   EXPECT_EQ(droidsim::FormatFrame(frame), "clean(HtmlSanitizer.java:25)");
+  droidsim::SymbolTable symbols;
+  droidsim::FrameId id = symbols.Intern(frame);
+  // Re-interning the same identity returns the same id.
+  EXPECT_EQ(symbols.Intern(frame), id);
+  EXPECT_EQ(symbols.Frame(id), frame);
+  EXPECT_FALSE(symbols.IsUi(id));
   droidsim::StackTrace trace;
-  trace.frames.push_back(frame);
-  EXPECT_TRUE(trace.Contains("org.htmlcleaner.HtmlCleaner", "clean"));
-  EXPECT_FALSE(trace.Contains("org.htmlcleaner.HtmlCleaner", "dirty"));
+  trace.frames.push_back(id);
+  EXPECT_TRUE(trace.Contains(id));
+  EXPECT_TRUE(symbols.TraceContains(trace, "org.htmlcleaner.HtmlCleaner", "clean"));
+  EXPECT_FALSE(symbols.TraceContains(trace, "org.htmlcleaner.HtmlCleaner", "dirty"));
 }
 
 }  // namespace

@@ -105,12 +105,6 @@ TEST(ActionTableTest, CountNormalIgnoresOtherStates) {
   EXPECT_EQ(table.Lookup(2).state, ActionState::kHangBug);
 }
 
-droidsim::StackTrace Trace(std::initializer_list<droidsim::StackFrame> frames) {
-  droidsim::StackTrace trace;
-  trace.frames = frames;
-  return trace;
-}
-
 const droidsim::StackFrame kHandler{"onClick", "com.app.Main", "Main.java", 10, false};
 const droidsim::StackFrame kClean{"clean", "org.htmlcleaner.HtmlCleaner", "Sanitizer.java", 25,
                                   true};
@@ -118,14 +112,28 @@ const droidsim::StackFrame kInflate{"inflate", "android.view.LayoutInflater", "M
                                     false};
 const droidsim::StackFrame kLoop{"processAll", "com.app.Loader", "Loader.java", 50, false};
 
+// Interns test frames into its own SymbolTable, the way an App would at construction.
+struct AnalyzerFixture {
+  droidsim::SymbolTable symbols;
+
+  droidsim::StackTrace Trace(std::initializer_list<droidsim::StackFrame> frames) {
+    droidsim::StackTrace trace;
+    for (const droidsim::StackFrame& frame : frames) {
+      trace.frames.push_back(symbols.Intern(frame));
+    }
+    return trace;
+  }
+};
+
 TEST(TraceAnalyzerTest, DominantApiIsCulprit) {
   TraceAnalyzer analyzer;
+  AnalyzerFixture fix;
   std::vector<droidsim::StackTrace> traces;
   for (int i = 0; i < 9; ++i) {
-    traces.push_back(Trace({kHandler, kClean}));
+    traces.push_back(fix.Trace({kHandler, kClean}));
   }
-  traces.push_back(Trace({kHandler, kInflate}));
-  Diagnosis diagnosis = analyzer.Analyze(traces);
+  traces.push_back(fix.Trace({kHandler, kInflate}));
+  Diagnosis diagnosis = analyzer.Analyze(traces, fix.symbols);
   ASSERT_TRUE(diagnosis.valid);
   EXPECT_EQ(diagnosis.culprit.function, "clean");
   EXPECT_NEAR(diagnosis.occurrence_factor, 0.9, 1e-9);
@@ -135,12 +143,13 @@ TEST(TraceAnalyzerTest, DominantApiIsCulprit) {
 
 TEST(TraceAnalyzerTest, UiMajorityIsBenign) {
   TraceAnalyzer analyzer;
+  AnalyzerFixture fix;
   std::vector<droidsim::StackTrace> traces;
   for (int i = 0; i < 8; ++i) {
-    traces.push_back(Trace({kHandler, kInflate}));
+    traces.push_back(fix.Trace({kHandler, kInflate}));
   }
-  traces.push_back(Trace({kHandler, kClean}));
-  Diagnosis diagnosis = analyzer.Analyze(traces);
+  traces.push_back(fix.Trace({kHandler, kClean}));
+  Diagnosis diagnosis = analyzer.Analyze(traces, fix.symbols);
   ASSERT_TRUE(diagnosis.valid);
   EXPECT_TRUE(diagnosis.is_ui);
   EXPECT_EQ(diagnosis.culprit.function, "inflate");
@@ -148,14 +157,15 @@ TEST(TraceAnalyzerTest, UiMajorityIsBenign) {
 
 TEST(TraceAnalyzerTest, SelfDevelopedCallerWhenNoApiDominates) {
   TraceAnalyzer analyzer;
+  AnalyzerFixture fix;
   std::vector<droidsim::StackTrace> traces;
   // Many different light callees below a common self-developed loop frame.
   for (int i = 0; i < 12; ++i) {
     droidsim::StackFrame leaf{"op" + std::to_string(i), "java.util.Helper", "Helper.java",
                               i + 1, false};
-    traces.push_back(Trace({kHandler, kLoop, leaf}));
+    traces.push_back(fix.Trace({kHandler, kLoop, leaf}));
   }
-  Diagnosis diagnosis = analyzer.Analyze(traces);
+  Diagnosis diagnosis = analyzer.Analyze(traces, fix.symbols);
   ASSERT_TRUE(diagnosis.valid);
   EXPECT_TRUE(diagnosis.is_self_developed);
   EXPECT_EQ(diagnosis.culprit.function, "processAll");
@@ -165,18 +175,20 @@ TEST(TraceAnalyzerTest, SelfDevelopedCallerWhenNoApiDominates) {
 
 TEST(TraceAnalyzerTest, EmptyAndIdleTracesInvalid) {
   TraceAnalyzer analyzer;
-  EXPECT_FALSE(analyzer.Analyze({}).valid);
+  AnalyzerFixture fix;
+  EXPECT_FALSE(analyzer.Analyze({}, fix.symbols).valid);
   std::vector<droidsim::StackTrace> idle(3);
-  EXPECT_FALSE(analyzer.Analyze(idle).valid);
+  EXPECT_FALSE(analyzer.Analyze(idle, fix.symbols).valid);
 }
 
 TEST(TraceAnalyzerTest, IdleSamplesAreIgnoredNotCounted) {
   TraceAnalyzer analyzer;
+  AnalyzerFixture fix;
   std::vector<droidsim::StackTrace> traces(5);  // idle
   for (int i = 0; i < 5; ++i) {
-    traces.push_back(Trace({kHandler, kClean}));
+    traces.push_back(fix.Trace({kHandler, kClean}));
   }
-  Diagnosis diagnosis = analyzer.Analyze(traces);
+  Diagnosis diagnosis = analyzer.Analyze(traces, fix.symbols);
   ASSERT_TRUE(diagnosis.valid);
   EXPECT_EQ(diagnosis.samples_used, 5u);
   EXPECT_NEAR(diagnosis.occurrence_factor, 1.0, 1e-9);
