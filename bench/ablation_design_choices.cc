@@ -8,7 +8,7 @@
 //  D. the state machine vs tracing every hang (the phase-1 savings argument).
 #include <cstdio>
 
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/perfsim/perf_session.h"
 #include "src/workload/experiment.h"
 #include "src/workload/training.h"

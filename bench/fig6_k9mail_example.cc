@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <map>
 
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/user_model.h"
 

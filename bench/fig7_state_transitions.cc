@@ -7,7 +7,7 @@
 // cost nothing.
 #include <cstdio>
 
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/user_model.h"
 

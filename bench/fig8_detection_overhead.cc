@@ -17,7 +17,7 @@
 #include "src/baselines/combined_detector.h"
 #include "src/baselines/timeout_detector.h"
 #include "src/baselines/utilization_detector.h"
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/experiment.h"
 
 namespace {

@@ -13,13 +13,14 @@
 // 62% in the paper — require real issue trackers and are out of scope here.)
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "bench/smoke.h"
 #include "src/baselines/offline_scanner.h"
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/experiment.h"
 #include "src/workload/fleet.h"
 
@@ -27,6 +28,10 @@ namespace {
 
 std::string BugKey(const std::string& api, const std::string& file, int32_t line) {
   return api + "@" + file + ":" + std::to_string(line);
+}
+
+std::string JobLogPath(const std::string& dir, size_t job_index) {
+  return dir + "/job_" + std::to_string(job_index) + ".hdsl";
 }
 
 std::string Downloads(int64_t n) {
@@ -66,10 +71,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --record=DIR taps every job's telemetry into DIR/job_<i>.hdsl (results unchanged);
+  // --replay=DIR skips the live fleet and re-runs the detectors from those logs instead.
+  const std::string record_dir = workload::ResolveRecordDir(argc, argv);
+  const std::string replay_dir = workload::ResolveReplayDir(argc, argv);
+  if (!record_dir.empty()) {
+    std::filesystem::create_directories(record_dir);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].record_path = JobLogPath(record_dir, i);
+    }
+  }
+
   workload::FleetOptions options;
   options.jobs = workload::ResolveJobs(argc, argv);
   auto fleet_start = std::chrono::steady_clock::now();
-  workload::FleetSummary summary = workload::RunFleet(jobs, options);
+  workload::FleetSummary summary;
+  if (!replay_dir.empty()) {
+    std::vector<std::string> paths;
+    paths.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      paths.push_back(JobLogPath(replay_dir, i));
+    }
+    summary = workload::ReplayFleet(paths, options, &known_db);
+  } else {
+    summary = workload::RunFleet(jobs, options);
+  }
   double fleet_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - fleet_start).count();
 

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/experiment.h"
 #include "src/workload/fleet.h"

@@ -4,7 +4,7 @@
 // on HtmlCleaner.clean — an API nobody knew was blocking.
 #include <cstdio>
 
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/user_model.h"
 

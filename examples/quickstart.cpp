@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "src/droidsim/phone.h"
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/api_catalog.h"
 #include "src/workload/user_model.h"
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# clang-format check over *changed* C/C++ files (against .clang-format at the repo root).
+#
+# Usage: scripts/check_format.sh [base-ref]
+#   base-ref defaults to origin/main; changed files are computed against the merge-base so
+#   a stale base branch never flags unrelated files. When the base ref does not exist
+#   (shallow clone, fresh repo) every tracked source file is checked instead.
+#
+# Only changed files are checked, so adopting the format never requires a repo-wide
+# reformat commit. Exits 0 with a notice when clang-format is not installed (it is not part
+# of the pinned build toolchain; CI installs it for the lint leg).
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed; skipping"
+  exit 0
+fi
+
+base=${1:-origin/main}
+if git rev-parse --verify --quiet "$base" >/dev/null; then
+  range_base=$(git merge-base "$base" HEAD)
+  mapfile -t files < <(git diff --name-only --diff-filter=ACMR "$range_base" HEAD -- \
+    '*.cc' '*.h' '*.cpp')
+else
+  echo "check_format: base ref '$base' not found; checking all tracked sources"
+  mapfile -t files < <(git ls-files '*.cc' '*.h' '*.cpp')
+fi
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "check_format: no changed C/C++ files"
+  exit 0
+fi
+
+clang-format --dry-run --Werror "${files[@]}"
+echo "check_format: ${#files[@]} file(s) clean"

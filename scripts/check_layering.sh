@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Layering check for the substrate-agnostic detector core (DESIGN.md section 3.3).
+#
+# src/hangdoctor/ is the Hang Doctor core: it may depend only on the Telemetry Host SPI
+# vocabulary (src/telemetry/) and simkit time/ids/rng. Substrate knowledge — the droidsim
+# Android model, the perfsim counter model, the kernelsim scheduler — lives in the hosts
+# (src/hosts/, src/baselines adapters). An include of a substrate header from the core is a
+# layering violation: it would break the record/replay guarantee that a session log is a
+# complete description of everything the detector observed.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+core_dir="$repo_root/src/hangdoctor"
+
+if [ ! -d "$core_dir" ]; then
+  echo "layering check: $core_dir not found" >&2
+  exit 2
+fi
+
+violations=$(grep -rnE '#include "src/(droidsim|perfsim|kernelsim|hosts|baselines|workload)/' \
+  "$core_dir" || true)
+
+if [ -n "$violations" ]; then
+  echo "layering violation: src/hangdoctor must not include substrate or host headers:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+
+echo "layering ok: src/hangdoctor depends only on src/telemetry and src/simkit"

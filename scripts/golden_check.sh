@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Golden-output regression check: runs a bench binary (the caller sets HANGDOCTOR_SMOKE=1)
+# and diffs its stdout against the pinned file in tests/golden/. Wall-clock timings are the
+# only non-deterministic output, so lines like "... in 1.23 s" are normalized before the
+# diff. Regenerate a golden intentionally with:
+#   HANGDOCTOR_SMOKE=1 <binary> [args] | sed 's/in [0-9.]* s/in X s/' > tests/golden/<name>.txt
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <bench-binary> <golden-file> [bench args...]" >&2
+  exit 2
+fi
+
+binary=$1
+golden=$2
+shift 2
+
+# Command substitution trims trailing newlines; run the golden through the same
+# substitution so a trailing blank line in the capture can never cause a spurious diff.
+actual=$("$binary" "$@" 2>&1 | sed 's/in [0-9.]* s/in X s/')
+expected=$(cat "$golden")
+
+if ! diff -u --label "$golden" <(printf '%s\n' "$expected") --label actual <(printf '%s\n' "$actual"); then
+  echo "golden mismatch for $binary (expected $golden)" >&2
+  exit 1
+fi
+echo "golden match: $golden"

@@ -2,15 +2,16 @@
 
 #include <utility>
 
+#include "src/baselines/utilization_detector.h"
+
 namespace baselines {
 
 CombinedDetector::CombinedDetector(droidsim::Phone* phone, droidsim::App* app,
                                    CombinedDetectorConfig config)
     : phone_(phone),
       app_(app),
-      config_(std::move(config)),
-      analyzer_(config_.analyzer),
-      sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
+      core_(BaselineSessionInfo(*app), std::move(config)),
+      sampler_(&phone->sim(), &app->main_looper(), core_.config().sample_interval) {
   app_->AddObserver(this);
 }
 
@@ -25,20 +26,28 @@ void CombinedDetector::OnInputEventStart(droidsim::App& app,
                                          const droidsim::ActionExecution& execution,
                                          int32_t event_index) {
   (void)app;
-  overhead_.AddCpu(config_.costs.response_probe);
-  auto [it, inserted] = live_.try_emplace(execution.execution_id);
+  auto [it, inserted] = event_open_.try_emplace(execution.execution_id);
   if (inserted) {
-    it->second.event_open.resize(execution.events_total, false);
+    it->second.resize(execution.events_total, false);
   }
-  it->second.event_open[static_cast<size_t>(event_index)] = true;
+  it->second[static_cast<size_t>(event_index)] = true;
+
+  hangdoctor::DispatchStart start;
+  start.now = phone_->Now();
+  start.execution_id = execution.execution_id;
+  start.action_uid = execution.action_uid;
+  start.event_index = event_index;
+  start.events_total = static_cast<int32_t>(execution.events_total);
+  core_.OnDispatchStart(start);
+
   int64_t execution_id = execution.execution_id;
-  phone_->sim().ScheduleAfter(config_.timeout, [this, execution_id, event_index]() {
-    auto live_it = live_.find(execution_id);
-    if (live_it == live_.end()) {
+  phone_->sim().ScheduleAfter(core_.config().timeout, [this, execution_id, event_index]() {
+    auto open_it = event_open_.find(execution_id);
+    if (open_it == event_open_.end()) {
       return;
     }
     auto idx = static_cast<size_t>(event_index);
-    if (idx >= live_it->second.event_open.size() || !live_it->second.event_open[idx]) {
+    if (idx >= open_it->second.size() || !open_it->second[idx]) {
       return;  // finished below the timeout: utilization sampling never starts
     }
     // The hang is confirmed; start windowed utilization sampling.
@@ -50,26 +59,23 @@ void CombinedDetector::OnInputEventStart(droidsim::App& app,
 
 void CombinedDetector::HangTick(int64_t execution_id, int32_t event_index) {
   pending_tick_ =
-      phone_->sim().ScheduleAfter(config_.period, [this, execution_id, event_index]() {
+      phone_->sim().ScheduleAfter(core_.config().period, [this, execution_id, event_index]() {
         pending_tick_ = 0;
-        auto it = live_.find(execution_id);
-        if (it == live_.end()) {
+        auto it = event_open_.find(execution_id);
+        if (it == event_open_.end()) {
           return;
         }
         auto idx = static_cast<size_t>(event_index);
-        if (idx >= it->second.event_open.size() || !it->second.event_open[idx]) {
+        if (idx >= it->second.size() || !it->second[idx]) {
           return;  // the hang ended; stop sampling
         }
-        overhead_.AddCpu(config_.costs.utilization_sample);
-        overhead_.AddMemory(config_.costs.utilization_sample_bytes);
         kernelsim::ThreadStats now_stats =
             phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
         UtilizationSample sample =
             ComputeUtilization(window_stats_, now_stats, phone_->Now() - window_start_);
         window_stats_ = now_stats;
         window_start_ = phone_->Now();
-        if (sample.Above(config_.thresholds)) {
-          it->second.flagged = true;
+        if (core_.OnHangSample(execution_id, sample)) {
           if (!sampler_.active()) {
             sampler_.StartCollection();
           }
@@ -82,46 +88,36 @@ void CombinedDetector::OnInputEventEnd(droidsim::App& app,
                                        const droidsim::ActionExecution& execution,
                                        int32_t event_index) {
   (void)app;
-  overhead_.AddCpu(config_.costs.response_probe);
-  auto it = live_.find(execution.execution_id);
-  if (it == live_.end()) {
-    return;
+  hangdoctor::DispatchEnd end;
+  end.now = phone_->Now();
+  end.execution_id = execution.execution_id;
+  end.event_index = event_index;
+  auto it = event_open_.find(execution.execution_id);
+  if (it != event_open_.end()) {
+    auto idx = static_cast<size_t>(event_index);
+    if (idx < it->second.size()) {
+      it->second[idx] = false;
+    }
+    const droidsim::EventTiming& timing = execution.events[idx];
+    end.response = timing.end - timing.start;
+    if (sampler_.active()) {
+      end.trace_stopped = true;
+      end.samples = sampler_.StopCollection();
+    }
   }
-  auto idx = static_cast<size_t>(event_index);
-  if (idx < it->second.event_open.size()) {
-    it->second.event_open[idx] = false;
-  }
-  if (sampler_.active()) {
-    std::span<const droidsim::StackTrace> collected = sampler_.StopCollection();
-    auto count = static_cast<int64_t>(collected.size());
-    overhead_.AddCpu(config_.costs.trace_start);
-    overhead_.AddMemory(config_.costs.trace_start_bytes);
-    overhead_.AddCpu(config_.costs.stack_sample * count);
-    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
-    // The sampler's buffer is reused on the next collection; copy the id traces out.
-    it->second.traces.insert(it->second.traces.end(), collected.begin(), collected.end());
-  }
+  core_.OnDispatchEnd(end);
 }
 
 void CombinedDetector::OnActionQuiesced(droidsim::App& app,
                                         const droidsim::ActionExecution& execution) {
   (void)app;
-  auto it = live_.find(execution.execution_id);
-  if (it == live_.end()) {
-    return;
-  }
-  DetectionOutcome outcome;
-  outcome.action_uid = execution.action_uid;
-  outcome.execution_id = execution.execution_id;
-  outcome.response = execution.max_response;
-  outcome.hang = execution.max_response > simkit::kPerceivableDelay;
-  outcome.flagged = it->second.flagged;
-  outcome.traced = !it->second.traces.empty();
-  if (outcome.traced) {
-    outcome.diagnosis = analyzer_.Analyze(it->second.traces, app.symbols());
-  }
-  outcomes_.push_back(std::move(outcome));
-  live_.erase(it);
+  hangdoctor::ActionQuiesce quiesce;
+  quiesce.now = phone_->Now();
+  quiesce.execution_id = execution.execution_id;
+  quiesce.action_uid = execution.action_uid;
+  quiesce.max_response = execution.max_response;
+  core_.OnActionQuiesced(quiesce);
+  event_open_.erase(execution.execution_id);
 }
 
 }  // namespace baselines

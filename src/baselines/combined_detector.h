@@ -3,33 +3,28 @@
 // utilization threshold is also violated. UTH+TI is the cheapest baseline but inherits UTH's
 // misses; UTL+TI prunes some of UTL's false positives but not the UI operations that are both
 // slow and busy.
+//
+// This class is the droidsim host; detection logic lives in CombinedCore (detector_cores.h).
 #ifndef SRC_BASELINES_COMBINED_DETECTOR_H_
 #define SRC_BASELINES_COMBINED_DETECTOR_H_
 
 #include <unordered_map>
+#include <vector>
 
-#include "src/baselines/utilization_detector.h"
+#include "src/baselines/detector.h"
+#include "src/droidsim/phone.h"
+#include "src/droidsim/stack_sampler.h"
 
 namespace baselines {
-
-struct CombinedDetectorConfig {
-  UtilizationThresholds thresholds;
-  simkit::SimDuration timeout = simkit::kPerceivableDelay;
-  simkit::SimDuration period = simkit::Milliseconds(100);
-  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
-  hangdoctor::TraceAnalyzerConfig analyzer;
-  hangdoctor::MonitorCosts costs;
-  std::string label = "UT+TI";
-};
 
 class CombinedDetector : public Detector {
  public:
   CombinedDetector(droidsim::Phone* phone, droidsim::App* app, CombinedDetectorConfig config);
   ~CombinedDetector() override;
 
-  std::string name() const override { return config_.label; }
-  const std::vector<DetectionOutcome>& outcomes() const override { return outcomes_; }
-  const hangdoctor::OverheadMeter& overhead() const override { return overhead_; }
+  std::string name() const override { return core_.config().label; }
+  const std::vector<DetectionOutcome>& outcomes() const override { return core_.outcomes(); }
+  const hangdoctor::OverheadMeter& overhead() const override { return core_.overhead(); }
 
   // droidsim::AppObserver:
   void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
@@ -39,23 +34,14 @@ class CombinedDetector : public Detector {
   void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
 
  private:
-  struct LiveExecution {
-    std::vector<bool> event_open;
-    bool flagged = false;
-    std::vector<droidsim::StackTrace> traces;
-  };
-
   // Samples the main thread's utilization while (execution_id, event_index) is still hanging.
   void HangTick(int64_t execution_id, int32_t event_index);
 
   droidsim::Phone* phone_;
   droidsim::App* app_;
-  CombinedDetectorConfig config_;
-  hangdoctor::TraceAnalyzer analyzer_;
-  hangdoctor::OverheadMeter overhead_;
+  CombinedCore core_;
   droidsim::StackSampler sampler_;
-  std::unordered_map<int64_t, LiveExecution> live_;
-  std::vector<DetectionOutcome> outcomes_;
+  std::unordered_map<int64_t, std::vector<bool>> event_open_;
   kernelsim::ThreadStats window_stats_;
   simkit::SimTime window_start_ = 0;
   simkit::EventId pending_tick_ = 0;

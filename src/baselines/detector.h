@@ -2,27 +2,20 @@
 // watches an app's input events, decides per action execution whether to collect stack traces
 // (the costed act the evaluation counts), and charges its monitoring work to an OverheadMeter
 // using the same cost model as Hang Doctor, so Figure 8(c) is an apples-to-apples comparison.
+//
+// The decision logic lives in substrate-agnostic cores (detector_cores.h) consuming the same
+// Telemetry Host SPI as Hang Doctor's DetectorCore; the classes deriving from Detector are
+// the droidsim hosts.
 #ifndef SRC_BASELINES_DETECTOR_H_
 #define SRC_BASELINES_DETECTOR_H_
 
 #include <string>
 #include <vector>
 
+#include "src/baselines/detector_cores.h"
 #include "src/droidsim/app.h"
-#include "src/hangdoctor/overhead.h"
-#include "src/hangdoctor/trace_analyzer.h"
 
 namespace baselines {
-
-struct DetectionOutcome {
-  int32_t action_uid = -1;
-  int64_t execution_id = 0;
-  simkit::SimDuration response = 0;
-  bool hang = false;     // response exceeded the detector's hang definition (100 ms)
-  bool flagged = false;  // detector declared a potential soft hang bug
-  bool traced = false;   // stack traces were collected (the costed act)
-  hangdoctor::Diagnosis diagnosis;
-};
 
 class Detector : public droidsim::AppObserver {
  public:
@@ -36,6 +29,15 @@ class Detector : public droidsim::AppObserver {
   // fire whenever a threshold is crossed, hang or not). Pure false positives.
   virtual int64_t spurious_detections() const { return 0; }
 };
+
+// Builds the SPI session descriptor for a droidsim-hosted baseline.
+inline hangdoctor::SessionInfo BaselineSessionInfo(const droidsim::App& app) {
+  hangdoctor::SessionInfo info;
+  info.app_package = app.spec().package;
+  info.num_actions = app.num_actions();
+  info.symbols = &app.symbols();
+  return info;
+}
 
 }  // namespace baselines
 

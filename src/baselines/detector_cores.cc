@@ -1,0 +1,181 @@
+#include "src/baselines/detector_cores.h"
+
+#include <utility>
+
+namespace baselines {
+
+namespace {
+
+void ChargeStoppedTrace(const hangdoctor::DispatchEnd& end,
+                        const hangdoctor::MonitorCosts& costs,
+                        hangdoctor::OverheadMeter& overhead,
+                        std::vector<telemetry::StackTrace>& traces) {
+  auto count = static_cast<int64_t>(end.samples.size());
+  overhead.AddCpu(costs.trace_start);
+  overhead.AddMemory(costs.trace_start_bytes);
+  overhead.AddCpu(costs.stack_sample * count);
+  overhead.AddMemory(costs.stack_sample_bytes * count);
+  // The host's sample buffer is reused on the next collection; copy the id traces out.
+  traces.insert(traces.end(), end.samples.begin(), end.samples.end());
+}
+
+}  // namespace
+
+TimeoutCore::TimeoutCore(const hangdoctor::SessionInfo& info, TimeoutDetectorConfig config)
+    : info_(info), config_(config), analyzer_(config.analyzer) {}
+
+void TimeoutCore::OnDispatchStart(const hangdoctor::DispatchStart& start) {
+  overhead_.AddCpu(config_.costs.response_probe);
+  live_.try_emplace(start.execution_id);
+}
+
+void TimeoutCore::OnDispatchEnd(const hangdoctor::DispatchEnd& end) {
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto it = live_.find(end.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  if (end.trace_stopped) {
+    ChargeStoppedTrace(end, config_.costs, overhead_, it->second.traces);
+  }
+}
+
+void TimeoutCore::OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce) {
+  auto it = live_.find(quiesce.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  DetectionOutcome outcome;
+  outcome.action_uid = quiesce.action_uid;
+  outcome.execution_id = quiesce.execution_id;
+  outcome.response = quiesce.max_response;
+  outcome.hang = quiesce.max_response > simkit::kPerceivableDelay;
+  outcome.flagged = quiesce.max_response > config_.timeout;
+  outcome.traced = !it->second.traces.empty();
+  if (outcome.traced) {
+    outcome.diagnosis = analyzer_.Analyze(it->second.traces, *info_.symbols);
+  }
+  outcomes_.push_back(std::move(outcome));
+  live_.erase(it);
+}
+
+UtilizationCore::UtilizationCore(const hangdoctor::SessionInfo& info,
+                                 UtilizationDetectorConfig config)
+    : info_(info), config_(std::move(config)), analyzer_(config_.analyzer) {}
+
+void UtilizationCore::OnDispatchStart(const hangdoctor::DispatchStart& start) {
+  overhead_.AddCpu(config_.costs.response_probe);
+  live_.try_emplace(start.execution_id);
+  dispatching_execution_ = start.execution_id;
+}
+
+bool UtilizationCore::OnUtilizationTick(const UtilizationSample& sample) {
+  ++samples_taken_;
+  overhead_.AddCpu(config_.costs.utilization_sample);
+  overhead_.AddMemory(config_.costs.utilization_sample_bytes);
+  if (!sample.Above(config_.thresholds)) {
+    return false;
+  }
+  if (dispatching_execution_ >= 0) {
+    auto it = live_.find(dispatching_execution_);
+    if (it != live_.end()) {
+      it->second.flagged = true;
+      return true;
+    }
+    return false;
+  }
+  // Threshold crossed with no input event in flight: the detector still raises a
+  // potential-bug alarm and pays for a trace burst — a pure false positive.
+  ++spurious_;
+  constexpr int64_t kSpuriousTraceSamples = 4;
+  overhead_.AddCpu(config_.costs.trace_start +
+                   config_.costs.stack_sample * kSpuriousTraceSamples);
+  overhead_.AddMemory(config_.costs.trace_start_bytes +
+                      config_.costs.stack_sample_bytes * kSpuriousTraceSamples);
+  return false;
+}
+
+void UtilizationCore::OnDispatchEnd(const hangdoctor::DispatchEnd& end) {
+  overhead_.AddCpu(config_.costs.response_probe);
+  dispatching_execution_ = -1;
+  auto it = live_.find(end.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  if (end.trace_stopped) {
+    ChargeStoppedTrace(end, config_.costs, overhead_, it->second.traces);
+  }
+}
+
+void UtilizationCore::OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce) {
+  auto it = live_.find(quiesce.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  DetectionOutcome outcome;
+  outcome.action_uid = quiesce.action_uid;
+  outcome.execution_id = quiesce.execution_id;
+  outcome.response = quiesce.max_response;
+  outcome.hang = quiesce.max_response > simkit::kPerceivableDelay;
+  outcome.flagged = it->second.flagged;
+  outcome.traced = !it->second.traces.empty();
+  if (outcome.traced) {
+    outcome.diagnosis = analyzer_.Analyze(it->second.traces, *info_.symbols);
+  }
+  outcomes_.push_back(std::move(outcome));
+  live_.erase(it);
+}
+
+CombinedCore::CombinedCore(const hangdoctor::SessionInfo& info, CombinedDetectorConfig config)
+    : info_(info), config_(std::move(config)), analyzer_(config_.analyzer) {}
+
+void CombinedCore::OnDispatchStart(const hangdoctor::DispatchStart& start) {
+  overhead_.AddCpu(config_.costs.response_probe);
+  live_.try_emplace(start.execution_id);
+}
+
+bool CombinedCore::OnHangSample(int64_t execution_id, const UtilizationSample& sample) {
+  auto it = live_.find(execution_id);
+  if (it == live_.end()) {
+    return false;
+  }
+  overhead_.AddCpu(config_.costs.utilization_sample);
+  overhead_.AddMemory(config_.costs.utilization_sample_bytes);
+  if (sample.Above(config_.thresholds)) {
+    it->second.flagged = true;
+    return true;
+  }
+  return false;
+}
+
+void CombinedCore::OnDispatchEnd(const hangdoctor::DispatchEnd& end) {
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto it = live_.find(end.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  if (end.trace_stopped) {
+    ChargeStoppedTrace(end, config_.costs, overhead_, it->second.traces);
+  }
+}
+
+void CombinedCore::OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce) {
+  auto it = live_.find(quiesce.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  DetectionOutcome outcome;
+  outcome.action_uid = quiesce.action_uid;
+  outcome.execution_id = quiesce.execution_id;
+  outcome.response = quiesce.max_response;
+  outcome.hang = quiesce.max_response > simkit::kPerceivableDelay;
+  outcome.flagged = it->second.flagged;
+  outcome.traced = !it->second.traces.empty();
+  if (outcome.traced) {
+    outcome.diagnosis = analyzer_.Analyze(it->second.traces, *info_.symbols);
+  }
+  outcomes_.push_back(std::move(outcome));
+  live_.erase(it);
+}
+
+}  // namespace baselines

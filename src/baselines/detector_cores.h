@@ -1,0 +1,174 @@
+// Substrate-agnostic cores of the paper's baseline runtime detectors (Section 4.1), ported
+// to the same Telemetry Host SPI as Hang Doctor's DetectorCore: each core consumes
+// DispatchStart / DispatchEnd / ActionQuiesce telemetry (plus, for the utilization family,
+// point UtilizationSamples), and never touches a substrate. The droidsim adapters in
+// timeout_detector.h / utilization_detector.h / combined_detector.h own the simulator
+// mechanics (timeout timers, /proc snapshots, the stack sampler) and delegate every decision
+// here — so the baselines, like Hang Doctor, are replayable functions of a telemetry stream.
+#ifndef SRC_BASELINES_DETECTOR_CORES_H_
+#define SRC_BASELINES_DETECTOR_CORES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hangdoctor/host_spi.h"
+#include "src/hangdoctor/overhead.h"
+#include "src/hangdoctor/thresholds.h"
+#include "src/hangdoctor/trace_analyzer.h"
+
+namespace baselines {
+
+struct DetectionOutcome {
+  int32_t action_uid = -1;
+  int64_t execution_id = 0;
+  simkit::SimDuration response = 0;
+  bool hang = false;     // response exceeded the detector's hang definition (100 ms)
+  bool flagged = false;  // detector declared a potential soft hang bug
+  bool traced = false;   // stack traces were collected (the costed act)
+  hangdoctor::Diagnosis diagnosis;
+};
+
+struct UtilizationThresholds {
+  // Main-thread CPU time per wall time over the sampling window.
+  double cpu_fraction = 0.5;
+  // Memory traffic (faulted + allocated bytes) per second over the window.
+  double mem_bytes_per_sec = 8.0 * 1024 * 1024;
+};
+
+// A point utilization measurement of one thread over a window — the utilization family's
+// extra telemetry input, computed host-side from whatever /proc equivalent exists.
+struct UtilizationSample {
+  double cpu_fraction = 0.0;
+  double mem_bytes_per_sec = 0.0;
+
+  bool Above(const UtilizationThresholds& thresholds) const {
+    return cpu_fraction > thresholds.cpu_fraction ||
+           mem_bytes_per_sec > thresholds.mem_bytes_per_sec;
+  }
+};
+
+struct TimeoutDetectorConfig {
+  simkit::SimDuration timeout = simkit::kPerceivableDelay;
+  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
+  hangdoctor::TraceAnalyzerConfig analyzer;
+  hangdoctor::MonitorCosts costs;
+};
+
+struct UtilizationDetectorConfig {
+  UtilizationThresholds thresholds;
+  simkit::SimDuration period = simkit::Milliseconds(100);
+  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
+  hangdoctor::TraceAnalyzerConfig analyzer;
+  hangdoctor::MonitorCosts costs;
+  std::string label = "UT";
+};
+
+struct CombinedDetectorConfig {
+  UtilizationThresholds thresholds;
+  simkit::SimDuration timeout = simkit::kPerceivableDelay;
+  simkit::SimDuration period = simkit::Milliseconds(100);
+  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
+  hangdoctor::TraceAnalyzerConfig analyzer;
+  hangdoctor::MonitorCosts costs;
+  std::string label = "UT+TI";
+};
+
+// TImeout-based (TI) core: flag whenever an action's response exceeds the timeout; the host
+// arms the timeout check and delivers any traces collected over the hang's remainder.
+class TimeoutCore {
+ public:
+  TimeoutCore(const hangdoctor::SessionInfo& info, TimeoutDetectorConfig config);
+
+  void OnDispatchStart(const hangdoctor::DispatchStart& start);
+  void OnDispatchEnd(const hangdoctor::DispatchEnd& end);
+  void OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce);
+
+  const std::vector<DetectionOutcome>& outcomes() const { return outcomes_; }
+  const hangdoctor::OverheadMeter& overhead() const { return overhead_; }
+  const TimeoutDetectorConfig& config() const { return config_; }
+
+ private:
+  struct LiveExecution {
+    std::vector<telemetry::StackTrace> traces;
+  };
+
+  hangdoctor::SessionInfo info_;
+  TimeoutDetectorConfig config_;
+  hangdoctor::TraceAnalyzer analyzer_;
+  hangdoctor::OverheadMeter overhead_;
+  std::unordered_map<int64_t, LiveExecution> live_;
+  std::vector<DetectionOutcome> outcomes_;
+};
+
+// UTilization-based (UT) core: the host ticks in a point utilization sample every period;
+// a threshold crossing during a dispatch flags the execution (OnUtilizationTick returns true
+// when the host should begin trace collection); one outside any dispatch is a spurious
+// detection that still pays for a trace burst.
+class UtilizationCore {
+ public:
+  UtilizationCore(const hangdoctor::SessionInfo& info, UtilizationDetectorConfig config);
+
+  void OnDispatchStart(const hangdoctor::DispatchStart& start);
+  // Returns true when the host should start collecting stack traces.
+  bool OnUtilizationTick(const UtilizationSample& sample);
+  void OnDispatchEnd(const hangdoctor::DispatchEnd& end);
+  void OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce);
+
+  const std::vector<DetectionOutcome>& outcomes() const { return outcomes_; }
+  const hangdoctor::OverheadMeter& overhead() const { return overhead_; }
+  const UtilizationDetectorConfig& config() const { return config_; }
+  int64_t samples_taken() const { return samples_taken_; }
+  int64_t spurious_detections() const { return spurious_; }
+
+ private:
+  struct LiveExecution {
+    bool flagged = false;
+    std::vector<telemetry::StackTrace> traces;
+  };
+
+  hangdoctor::SessionInfo info_;
+  UtilizationDetectorConfig config_;
+  hangdoctor::TraceAnalyzer analyzer_;
+  hangdoctor::OverheadMeter overhead_;
+  std::unordered_map<int64_t, LiveExecution> live_;
+  std::vector<DetectionOutcome> outcomes_;
+  int64_t dispatching_execution_ = -1;  // execution whose event is currently dispatching
+  int64_t samples_taken_ = 0;
+  int64_t spurious_ = 0;
+};
+
+// UT+TI core: utilization is sampled only during confirmed hangs (the host's timeout check
+// fires first); a threshold crossing flags the hanging execution and starts traces.
+class CombinedCore {
+ public:
+  CombinedCore(const hangdoctor::SessionInfo& info, CombinedDetectorConfig config);
+
+  void OnDispatchStart(const hangdoctor::DispatchStart& start);
+  // A windowed sample taken while `execution_id` hangs; returns true when the host should
+  // start collecting stack traces.
+  bool OnHangSample(int64_t execution_id, const UtilizationSample& sample);
+  void OnDispatchEnd(const hangdoctor::DispatchEnd& end);
+  void OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce);
+
+  const std::vector<DetectionOutcome>& outcomes() const { return outcomes_; }
+  const hangdoctor::OverheadMeter& overhead() const { return overhead_; }
+  const CombinedDetectorConfig& config() const { return config_; }
+
+ private:
+  struct LiveExecution {
+    bool flagged = false;
+    std::vector<telemetry::StackTrace> traces;
+  };
+
+  hangdoctor::SessionInfo info_;
+  CombinedDetectorConfig config_;
+  hangdoctor::TraceAnalyzer analyzer_;
+  hangdoctor::OverheadMeter overhead_;
+  std::unordered_map<int64_t, LiveExecution> live_;
+  std::vector<DetectionOutcome> outcomes_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_DETECTOR_CORES_H_

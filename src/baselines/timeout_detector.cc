@@ -8,8 +8,7 @@ TimeoutDetector::TimeoutDetector(droidsim::Phone* phone, droidsim::App* app,
                                  TimeoutDetectorConfig config)
     : phone_(phone),
       app_(app),
-      config_(config),
-      analyzer_(config.analyzer),
+      core_(BaselineSessionInfo(*app), config),
       sampler_(&phone->sim(), &app->main_looper(), config.sample_interval) {
   app_->AddObserver(this);
 }
@@ -17,27 +16,35 @@ TimeoutDetector::TimeoutDetector(droidsim::Phone* phone, droidsim::App* app,
 TimeoutDetector::~TimeoutDetector() { app_->RemoveObserver(this); }
 
 std::string TimeoutDetector::name() const {
-  return "TI-" + std::to_string(simkit::ToMilliseconds(config_.timeout)) + "ms";
+  return "TI-" + std::to_string(simkit::ToMilliseconds(core_.config().timeout)) + "ms";
 }
 
 void TimeoutDetector::OnInputEventStart(droidsim::App& app,
                                         const droidsim::ActionExecution& execution,
                                         int32_t event_index) {
   (void)app;
-  overhead_.AddCpu(config_.costs.response_probe);
-  auto [it, inserted] = live_.try_emplace(execution.execution_id);
+  auto [it, inserted] = event_open_.try_emplace(execution.execution_id);
   if (inserted) {
-    it->second.event_open.resize(execution.events_total, false);
+    it->second.resize(execution.events_total, false);
   }
-  it->second.event_open[static_cast<size_t>(event_index)] = true;
+  it->second[static_cast<size_t>(event_index)] = true;
+
+  hangdoctor::DispatchStart start;
+  start.now = phone_->Now();
+  start.execution_id = execution.execution_id;
+  start.action_uid = execution.action_uid;
+  start.event_index = event_index;
+  start.events_total = static_cast<int32_t>(execution.events_total);
+  core_.OnDispatchStart(start);
+
   int64_t execution_id = execution.execution_id;
-  phone_->sim().ScheduleAfter(config_.timeout, [this, execution_id, event_index]() {
-    auto live_it = live_.find(execution_id);
-    if (live_it == live_.end()) {
+  phone_->sim().ScheduleAfter(core_.config().timeout, [this, execution_id, event_index]() {
+    auto open_it = event_open_.find(execution_id);
+    if (open_it == event_open_.end()) {
       return;
     }
     auto idx = static_cast<size_t>(event_index);
-    if (idx >= live_it->second.event_open.size() || !live_it->second.event_open[idx]) {
+    if (idx >= open_it->second.size() || !open_it->second[idx]) {
       return;
     }
     if (!sampler_.active()) {
@@ -50,46 +57,36 @@ void TimeoutDetector::OnInputEventEnd(droidsim::App& app,
                                       const droidsim::ActionExecution& execution,
                                       int32_t event_index) {
   (void)app;
-  overhead_.AddCpu(config_.costs.response_probe);
-  auto it = live_.find(execution.execution_id);
-  if (it == live_.end()) {
-    return;
+  hangdoctor::DispatchEnd end;
+  end.now = phone_->Now();
+  end.execution_id = execution.execution_id;
+  end.event_index = event_index;
+  auto it = event_open_.find(execution.execution_id);
+  if (it != event_open_.end()) {
+    auto idx = static_cast<size_t>(event_index);
+    if (idx < it->second.size()) {
+      it->second[idx] = false;
+    }
+    const droidsim::EventTiming& timing = execution.events[idx];
+    end.response = timing.end - timing.start;
+    if (sampler_.active()) {
+      end.trace_stopped = true;
+      end.samples = sampler_.StopCollection();
+    }
   }
-  auto idx = static_cast<size_t>(event_index);
-  if (idx < it->second.event_open.size()) {
-    it->second.event_open[idx] = false;
-  }
-  if (sampler_.active()) {
-    std::span<const droidsim::StackTrace> collected = sampler_.StopCollection();
-    auto count = static_cast<int64_t>(collected.size());
-    overhead_.AddCpu(config_.costs.trace_start);
-    overhead_.AddMemory(config_.costs.trace_start_bytes);
-    overhead_.AddCpu(config_.costs.stack_sample * count);
-    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
-    // The sampler's buffer is reused on the next collection; copy the id traces out.
-    it->second.traces.insert(it->second.traces.end(), collected.begin(), collected.end());
-  }
+  core_.OnDispatchEnd(end);
 }
 
 void TimeoutDetector::OnActionQuiesced(droidsim::App& app,
                                        const droidsim::ActionExecution& execution) {
   (void)app;
-  auto it = live_.find(execution.execution_id);
-  if (it == live_.end()) {
-    return;
-  }
-  DetectionOutcome outcome;
-  outcome.action_uid = execution.action_uid;
-  outcome.execution_id = execution.execution_id;
-  outcome.response = execution.max_response;
-  outcome.hang = execution.max_response > simkit::kPerceivableDelay;
-  outcome.flagged = execution.max_response > config_.timeout;
-  outcome.traced = !it->second.traces.empty();
-  if (outcome.traced) {
-    outcome.diagnosis = analyzer_.Analyze(it->second.traces, app.symbols());
-  }
-  outcomes_.push_back(std::move(outcome));
-  live_.erase(it);
+  hangdoctor::ActionQuiesce quiesce;
+  quiesce.now = phone_->Now();
+  quiesce.execution_id = execution.execution_id;
+  quiesce.action_uid = execution.action_uid;
+  quiesce.max_response = execution.max_response;
+  core_.OnActionQuiesced(quiesce);
+  event_open_.erase(execution.execution_id);
 }
 
 }  // namespace baselines

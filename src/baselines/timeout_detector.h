@@ -2,11 +2,13 @@
 // response time exceeds a timeout, and collect stack traces for the remainder of the hang.
 // With the 5 s timeout this is Android's ANR tool; with 100 ms it is the Jovic et al. style
 // detector whose false-positive cost Table 2 quantifies.
+//
+// This class is the droidsim host; detection logic lives in TimeoutCore (detector_cores.h).
 #ifndef SRC_BASELINES_TIMEOUT_DETECTOR_H_
 #define SRC_BASELINES_TIMEOUT_DETECTOR_H_
 
-#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/baselines/detector.h"
 #include "src/droidsim/phone.h"
@@ -14,21 +16,14 @@
 
 namespace baselines {
 
-struct TimeoutDetectorConfig {
-  simkit::SimDuration timeout = simkit::kPerceivableDelay;
-  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
-  hangdoctor::TraceAnalyzerConfig analyzer;
-  hangdoctor::MonitorCosts costs;
-};
-
 class TimeoutDetector : public Detector {
  public:
   TimeoutDetector(droidsim::Phone* phone, droidsim::App* app, TimeoutDetectorConfig config);
   ~TimeoutDetector() override;
 
   std::string name() const override;
-  const std::vector<DetectionOutcome>& outcomes() const override { return outcomes_; }
-  const hangdoctor::OverheadMeter& overhead() const override { return overhead_; }
+  const std::vector<DetectionOutcome>& outcomes() const override { return core_.outcomes(); }
+  const hangdoctor::OverheadMeter& overhead() const override { return core_.overhead(); }
 
   // droidsim::AppObserver:
   void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
@@ -38,19 +33,11 @@ class TimeoutDetector : public Detector {
   void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
 
  private:
-  struct LiveExecution {
-    std::vector<bool> event_open;
-    std::vector<droidsim::StackTrace> traces;
-  };
-
   droidsim::Phone* phone_;
   droidsim::App* app_;
-  TimeoutDetectorConfig config_;
-  hangdoctor::TraceAnalyzer analyzer_;
-  hangdoctor::OverheadMeter overhead_;
+  TimeoutCore core_;
   droidsim::StackSampler sampler_;
-  std::unordered_map<int64_t, LiveExecution> live_;
-  std::vector<DetectionOutcome> outcomes_;
+  std::unordered_map<int64_t, std::vector<bool>> event_open_;
 };
 
 }  // namespace baselines

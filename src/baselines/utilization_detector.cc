@@ -28,13 +28,12 @@ UtilizationDetector::UtilizationDetector(droidsim::Phone* phone, droidsim::App* 
                                          UtilizationDetectorConfig config)
     : phone_(phone),
       app_(app),
-      config_(std::move(config)),
-      analyzer_(config_.analyzer),
-      sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
+      core_(BaselineSessionInfo(*app), std::move(config)),
+      sampler_(&phone->sim(), &app->main_looper(), core_.config().sample_interval) {
   app_->AddObserver(this);
   last_stats_ = phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
   last_tick_ = phone_->Now();
-  pending_tick_ = phone_->sim().ScheduleAfter(config_.period, [this]() { Tick(); });
+  pending_tick_ = phone_->sim().ScheduleAfter(core_.config().period, [this]() { Tick(); });
 }
 
 UtilizationDetector::~UtilizationDetector() {
@@ -46,89 +45,61 @@ UtilizationDetector::~UtilizationDetector() {
 
 void UtilizationDetector::Tick() {
   pending_tick_ = 0;
-  ++samples_taken_;
-  overhead_.AddCpu(config_.costs.utilization_sample);
-  overhead_.AddMemory(config_.costs.utilization_sample_bytes);
   kernelsim::ThreadStats now_stats = phone_->kernel().ThreadStatsSnapshot(app_->main_tid());
   simkit::SimTime now = phone_->Now();
   UtilizationSample sample = ComputeUtilization(last_stats_, now_stats, now - last_tick_);
   last_stats_ = now_stats;
   last_tick_ = now;
-  if (sample.Above(config_.thresholds)) {
-    if (dispatching_execution_ >= 0) {
-      auto it = live_.find(dispatching_execution_);
-      if (it != live_.end()) {
-        it->second.flagged = true;
-        if (!sampler_.active()) {
-          sampler_.StartCollection();
-        }
-      }
-    } else {
-      // Threshold crossed with no input event in flight: the detector still raises a
-      // potential-bug alarm and pays for a trace burst — a pure false positive.
-      ++spurious_;
-      constexpr int64_t kSpuriousTraceSamples = 4;
-      overhead_.AddCpu(config_.costs.trace_start +
-                       config_.costs.stack_sample * kSpuriousTraceSamples);
-      overhead_.AddMemory(config_.costs.trace_start_bytes +
-                          config_.costs.stack_sample_bytes * kSpuriousTraceSamples);
+  if (core_.OnUtilizationTick(sample)) {
+    if (!sampler_.active()) {
+      sampler_.StartCollection();
     }
   }
-  pending_tick_ = phone_->sim().ScheduleAfter(config_.period, [this]() { Tick(); });
+  pending_tick_ = phone_->sim().ScheduleAfter(core_.config().period, [this]() { Tick(); });
 }
 
 void UtilizationDetector::OnInputEventStart(droidsim::App& app,
                                             const droidsim::ActionExecution& execution,
                                             int32_t event_index) {
   (void)app;
-  (void)event_index;
-  overhead_.AddCpu(config_.costs.response_probe);
-  live_.try_emplace(execution.execution_id);
-  dispatching_execution_ = execution.execution_id;
+  hangdoctor::DispatchStart start;
+  start.now = phone_->Now();
+  start.execution_id = execution.execution_id;
+  start.action_uid = execution.action_uid;
+  start.event_index = event_index;
+  start.events_total = static_cast<int32_t>(execution.events_total);
+  core_.OnDispatchStart(start);
 }
 
 void UtilizationDetector::OnInputEventEnd(droidsim::App& app,
                                           const droidsim::ActionExecution& execution,
                                           int32_t event_index) {
   (void)app;
-  (void)event_index;
-  overhead_.AddCpu(config_.costs.response_probe);
-  dispatching_execution_ = -1;
-  auto it = live_.find(execution.execution_id);
-  if (it == live_.end()) {
-    return;
+  hangdoctor::DispatchEnd end;
+  end.now = phone_->Now();
+  end.execution_id = execution.execution_id;
+  end.event_index = event_index;
+  auto idx = static_cast<size_t>(event_index);
+  if (idx < execution.events.size()) {
+    const droidsim::EventTiming& timing = execution.events[idx];
+    end.response = timing.end - timing.start;
   }
   if (sampler_.active()) {
-    std::span<const droidsim::StackTrace> collected = sampler_.StopCollection();
-    auto count = static_cast<int64_t>(collected.size());
-    overhead_.AddCpu(config_.costs.trace_start);
-    overhead_.AddMemory(config_.costs.trace_start_bytes);
-    overhead_.AddCpu(config_.costs.stack_sample * count);
-    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
-    // The sampler's buffer is reused on the next collection; copy the id traces out.
-    it->second.traces.insert(it->second.traces.end(), collected.begin(), collected.end());
+    end.trace_stopped = true;
+    end.samples = sampler_.StopCollection();
   }
+  core_.OnDispatchEnd(end);
 }
 
 void UtilizationDetector::OnActionQuiesced(droidsim::App& app,
                                            const droidsim::ActionExecution& execution) {
   (void)app;
-  auto it = live_.find(execution.execution_id);
-  if (it == live_.end()) {
-    return;
-  }
-  DetectionOutcome outcome;
-  outcome.action_uid = execution.action_uid;
-  outcome.execution_id = execution.execution_id;
-  outcome.response = execution.max_response;
-  outcome.hang = execution.max_response > simkit::kPerceivableDelay;
-  outcome.flagged = it->second.flagged;
-  outcome.traced = !it->second.traces.empty();
-  if (outcome.traced) {
-    outcome.diagnosis = analyzer_.Analyze(it->second.traces, app.symbols());
-  }
-  outcomes_.push_back(std::move(outcome));
-  live_.erase(it);
+  hangdoctor::ActionQuiesce quiesce;
+  quiesce.now = phone_->Now();
+  quiesce.execution_id = execution.execution_id;
+  quiesce.action_uid = execution.action_uid;
+  quiesce.max_response = execution.max_response;
+  core_.OnActionQuiesced(quiesce);
 }
 
 }  // namespace baselines

@@ -3,10 +3,12 @@
 // violated during a dispatch, collect stack traces until the event ends. UTL uses the minimum
 // utilization ever observed during a bug hang (catches everything, floods of false positives);
 // UTH uses 90% of the peak (few false positives, misses most bugs) — Section 4.1.
+//
+// This class is the droidsim host; detection logic lives in UtilizationCore
+// (detector_cores.h). The host owns the periodic /proc-style tick and hands the computed
+// UtilizationSample to the core.
 #ifndef SRC_BASELINES_UTILIZATION_DETECTOR_H_
 #define SRC_BASELINES_UTILIZATION_DETECTOR_H_
-
-#include <unordered_map>
 
 #include "src/baselines/detector.h"
 #include "src/droidsim/phone.h"
@@ -14,34 +16,7 @@
 
 namespace baselines {
 
-struct UtilizationThresholds {
-  // Main-thread CPU time per wall time over the sampling window.
-  double cpu_fraction = 0.5;
-  // Memory traffic (faulted + allocated bytes) per second over the window.
-  double mem_bytes_per_sec = 8.0 * 1024 * 1024;
-};
-
-struct UtilizationDetectorConfig {
-  UtilizationThresholds thresholds;
-  simkit::SimDuration period = simkit::Milliseconds(100);
-  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
-  hangdoctor::TraceAnalyzerConfig analyzer;
-  hangdoctor::MonitorCosts costs;
-  std::string label = "UT";
-};
-
-// A point utilization measurement of one thread over a window.
-struct UtilizationSample {
-  double cpu_fraction = 0.0;
-  double mem_bytes_per_sec = 0.0;
-
-  bool Above(const UtilizationThresholds& thresholds) const {
-    return cpu_fraction > thresholds.cpu_fraction ||
-           mem_bytes_per_sec > thresholds.mem_bytes_per_sec;
-  }
-};
-
-// Computes the utilization of `tid` between two stat snapshots `window` apart.
+// Computes the utilization of a thread between two stat snapshots `window` apart.
 UtilizationSample ComputeUtilization(const kernelsim::ThreadStats& before,
                                      const kernelsim::ThreadStats& after,
                                      simkit::SimDuration window);
@@ -52,11 +27,11 @@ class UtilizationDetector : public Detector {
                       UtilizationDetectorConfig config);
   ~UtilizationDetector() override;
 
-  std::string name() const override { return config_.label; }
-  const std::vector<DetectionOutcome>& outcomes() const override { return outcomes_; }
-  const hangdoctor::OverheadMeter& overhead() const override { return overhead_; }
-  int64_t samples_taken() const { return samples_taken_; }
-  int64_t spurious_detections() const override { return spurious_; }
+  std::string name() const override { return core_.config().label; }
+  const std::vector<DetectionOutcome>& outcomes() const override { return core_.outcomes(); }
+  const hangdoctor::OverheadMeter& overhead() const override { return core_.overhead(); }
+  int64_t samples_taken() const { return core_.samples_taken(); }
+  int64_t spurious_detections() const override { return core_.spurious_detections(); }
 
   // droidsim::AppObserver:
   void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
@@ -66,27 +41,15 @@ class UtilizationDetector : public Detector {
   void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
 
  private:
-  struct LiveExecution {
-    bool flagged = false;
-    std::vector<droidsim::StackTrace> traces;
-  };
-
   void Tick();
 
   droidsim::Phone* phone_;
   droidsim::App* app_;
-  UtilizationDetectorConfig config_;
-  hangdoctor::TraceAnalyzer analyzer_;
-  hangdoctor::OverheadMeter overhead_;
+  UtilizationCore core_;
   droidsim::StackSampler sampler_;
-  std::unordered_map<int64_t, LiveExecution> live_;
-  std::vector<DetectionOutcome> outcomes_;
   kernelsim::ThreadStats last_stats_;
   simkit::SimTime last_tick_ = 0;
-  int64_t dispatching_execution_ = -1;  // execution whose event is currently dispatching
   simkit::EventId pending_tick_ = 0;
-  int64_t samples_taken_ = 0;
-  int64_t spurious_ = 0;
 };
 
 }  // namespace baselines

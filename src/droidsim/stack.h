@@ -1,57 +1,18 @@
-// Stack traces as Hang Doctor's Diagnoser sees them: one frame per active call, innermost
-// last. On the hot sampling path a frame is a 32-bit FrameId interned in the app's
-// SymbolTable (symbols.h); the symbolic StackFrame — API name, class, call-site file/line —
-// is materialized only at report-render time. Frames inside closed-source third-party
-// libraries carry a flag so the offline-scanner baseline can be made realistically blind to
-// them while the runtime trace collector still sees the symbols (on a real phone they come
-// from the unwinder; symbol names survive even without source access).
+// Compatibility shim: the interned stack-trace representation moved to src/telemetry/stack.h
+// so the detector core (src/hangdoctor) can consume traces without depending on this
+// simulated substrate. droidsim code and its existing users keep referring to the types
+// through the aliases below.
 #ifndef SRC_DROIDSIM_STACK_H_
 #define SRC_DROIDSIM_STACK_H_
 
-#include <cstdint>
-#include <string>
-#include <vector>
+#include "src/telemetry/stack.h"
 
 namespace droidsim {
 
-// Index into a SymbolTable. Ids are assigned in spec-walk order at App construction, so the
-// same app spec yields the same ids in every run and under any fleet sharding.
-using FrameId = uint32_t;
-
-// A materialized (symbolic) frame: what reports and diagnoses show.
-struct StackFrame {
-  std::string function;  // e.g. "clean"
-  std::string clazz;     // e.g. "org.htmlcleaner.HtmlCleaner"
-  std::string file;      // e.g. "HtmlSanitizer.java"
-  int32_t line = 0;
-  bool in_closed_library = false;
-
-  bool operator==(const StackFrame& other) const {
-    return function == other.function && clazz == other.clazz && file == other.file &&
-           line == other.line;
-  }
-};
-
-// A sampled stack: interned frame ids, outermost first. Resolving an id back to its
-// StackFrame requires the app's SymbolTable (see SymbolTable::Frame).
-struct StackTrace {
-  int64_t timestamp_ns = 0;
-  std::vector<FrameId> frames;  // outermost first
-
-  bool Contains(FrameId id) const {
-    for (FrameId frame : frames) {
-      if (frame == id) {
-        return true;
-      }
-    }
-    return false;
-  }
-};
-
-// Renders "function(File.java:123)" like an Android stack dump line.
-inline std::string FormatFrame(const StackFrame& frame) {
-  return frame.function + "(" + frame.file + ":" + std::to_string(frame.line) + ")";
-}
+using telemetry::FrameId;
+using telemetry::StackFrame;
+using telemetry::StackTrace;
+using telemetry::FormatFrame;
 
 }  // namespace droidsim
 

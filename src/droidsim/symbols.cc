@@ -6,36 +6,9 @@
 
 namespace droidsim {
 
-namespace {
-
-// Dedup key over the census identity (function, clazz, file, line). '\0' separators keep
-// distinct tuples from colliding.
-std::string FrameKey(const StackFrame& frame) {
-  std::string key;
-  key.reserve(frame.function.size() + frame.clazz.size() + frame.file.size() + 14);
-  key.append(frame.function);
-  key.push_back('\0');
-  key.append(frame.clazz);
-  key.push_back('\0');
-  key.append(frame.file);
-  key.push_back('\0');
-  key.append(std::to_string(frame.line));
-  return key;
-}
-
-}  // namespace
-
 FrameId SymbolTable::Intern(StackFrame frame) {
-  std::string key = FrameKey(frame);
-  auto it = by_key_.find(key);
-  if (it != by_key_.end()) {
-    return it->second;
-  }
-  auto id = static_cast<FrameId>(frames_.size());
-  is_ui_.push_back(IsUiClass(frame.clazz) ? 1 : 0);
-  frames_.push_back(std::move(frame));
-  by_key_.emplace(std::move(key), id);
-  return id;
+  bool is_ui = IsUiClass(frame.clazz);
+  return telemetry::SymbolTable::Intern(std::move(frame), is_ui);
 }
 
 void SymbolTable::IndexOp(const OpNode& node) {

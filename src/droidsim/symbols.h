@@ -1,8 +1,9 @@
-// Per-app symbol interning. Every frame an app can ever put on a stack — event handlers and
-// op call sites — is interned once, at App construction, into a SymbolTable that maps it to a
-// dense u32 FrameId. The hot paths (executor stack push, 20 ms stack sampling, occurrence
-// counting in the Trace Analyzer) then move integers around; strings are materialized only
-// when a diagnosis or report is rendered.
+// The droidsim host's symbol interning: a telemetry::SymbolTable plus the canonical AppSpec
+// walk that fills it. Every frame an app can ever put on a stack — event handlers and op call
+// sites — is interned once, at App construction, into a table mapping it to a dense u32
+// FrameId. The hot paths (executor stack push, 20 ms stack sampling, occurrence counting in
+// the Trace Analyzer) then move integers around; strings are materialized only when a
+// diagnosis or report is rendered.
 //
 // Determinism: ids are assigned by a canonical walk of the AppSpec — actions in declaration
 // order, each action's input events in order, each event's handler frame first and then its
@@ -11,27 +12,25 @@
 //
 // The executor never interns at runtime: spec nodes are keyed by pointer during the walk
 // (OpNode* / InputEventSpec*), so pushing a frame is one pointer-hash lookup, no allocation.
+//
+// UI-class classification (IsUiClass, an Android-framework judgement) happens here, at intern
+// time: the substrate-neutral base table just stores the bit the core's classifier reads.
 #ifndef SRC_DROIDSIM_SYMBOLS_H_
 #define SRC_DROIDSIM_SYMBOLS_H_
 
-#include <string>
-#include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "src/droidsim/operation.h"
 #include "src/droidsim/stack.h"
+#include "src/telemetry/symbols.h"
 
 namespace droidsim {
 
-class SymbolTable {
+class SymbolTable : public telemetry::SymbolTable {
  public:
   SymbolTable() = default;
-  SymbolTable(const SymbolTable&) = delete;
-  SymbolTable& operator=(const SymbolTable&) = delete;
 
-  // Interns `frame`, deduplicating on (function, clazz, file, line) — the same identity the
-  // Trace Analyzer's census keys on. Returns the existing id for a known frame.
+  // Interns `frame`, classifying frame.clazz against the Android UI-class list.
   FrameId Intern(StackFrame frame);
 
   // Canonical spec walk (see file comment): interns the handler frame of every input event
@@ -41,30 +40,9 @@ class SymbolTable {
   // Id of a spec object registered by IndexAction. The spec must have been indexed.
   FrameId IdFor(const void* spec_node) const { return by_ptr_.at(spec_node); }
 
-  const StackFrame& Frame(FrameId id) const { return frames_[id]; }
-  // Precomputed IsUiClass(frame.clazz) bit, so classification never touches strings.
-  bool IsUi(FrameId id) const { return is_ui_[id] != 0; }
-  size_t size() const { return frames_.size(); }
-
-  // True when any frame of `trace` matches (clazz, function) — the symbolic containment
-  // query tests and walkthroughs use.
-  bool TraceContains(const StackTrace& trace, std::string_view clazz,
-                     std::string_view function) const {
-    for (FrameId id : trace.frames) {
-      const StackFrame& frame = frames_[id];
-      if (frame.clazz == clazz && frame.function == function) {
-        return true;
-      }
-    }
-    return false;
-  }
-
  private:
   void IndexOp(const OpNode& node);
 
-  std::vector<StackFrame> frames_;           // indexed by FrameId
-  std::vector<uint8_t> is_ui_;               // indexed by FrameId
-  std::unordered_map<std::string, FrameId> by_key_;  // content dedup
   std::unordered_map<const void*, FrameId> by_ptr_;  // spec object -> id
 };
 

@@ -15,9 +15,9 @@ std::vector<RankedEvent> RankEvents(std::span<const LabeledSample> samples) {
     labels.push_back(sample.is_bug ? 1.0 : 0.0);
   }
   std::vector<RankedEvent> ranked;
-  ranked.reserve(perfsim::kNumPerfEvents);
+  ranked.reserve(telemetry::kNumPerfEvents);
   std::vector<double> values(samples.size());
-  for (perfsim::PerfEventType event : perfsim::AllPerfEvents()) {
+  for (telemetry::PerfEventType event : telemetry::AllPerfEvents()) {
     auto idx = static_cast<size_t>(event);
     for (size_t i = 0; i < samples.size(); ++i) {
       values[i] = samples[i].readings[idx];
@@ -59,7 +59,7 @@ struct ThresholdFit {
 };
 
 ThresholdFit FitThreshold(std::span<const LabeledSample> samples,
-                          const std::vector<char>& uncovered, perfsim::PerfEventType event,
+                          const std::vector<char>& uncovered, telemetry::PerfEventType event,
                           double miss_weight) {
   auto idx = static_cast<size_t>(event);
   // Candidate thresholds: midpoints between adjacent distinct sample values, plus sentinels.
@@ -143,7 +143,7 @@ SoftHangFilter TrainFilter(std::span<const LabeledSample> samples,
   while (remaining_bugs > 0 && conditions.size() < 16) {
     ThresholdFit best_fit;
     best_fit.new_bugs_covered = 0;
-    perfsim::PerfEventType best_event = ranking.front().event;
+    telemetry::PerfEventType best_event = ranking.front().event;
     for (const RankedEvent& ranked : ranking) {
       ThresholdFit fit = FitThreshold(samples, uncovered, ranked.event, /*miss_weight=*/1e12);
       if (fit.new_bugs_covered > best_fit.new_bugs_covered ||

@@ -17,18 +17,18 @@
 #include <vector>
 
 #include "src/hangdoctor/filter.h"
-#include "src/perfsim/events.h"
+#include "src/telemetry/counters.h"
 
 namespace hangdoctor {
 
 struct LabeledSample {
-  perfsim::CounterArray readings{};  // per-event value for this soft hang
+  telemetry::CounterArray readings{};  // per-event value for this soft hang
   bool is_bug = false;
   std::string source;  // "app/bug-id" or "app/ui-api", for reporting
 };
 
 struct RankedEvent {
-  perfsim::PerfEventType event = perfsim::PerfEventType::kContextSwitches;
+  telemetry::PerfEventType event = telemetry::PerfEventType::kContextSwitches;
   double correlation = 0.0;
 };
 

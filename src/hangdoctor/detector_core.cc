@@ -1,0 +1,223 @@
+#include "src/hangdoctor/detector_core.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hangdoctor {
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kNotChecked:
+      return "not-checked";
+    case Verdict::kNoHang:
+      return "no-hang";
+    case Verdict::kFilteredUi:
+      return "filtered-ui";
+    case Verdict::kMarkedSuspicious:
+      return "marked-suspicious";
+    case Verdict::kAwaitingHang:
+      return "awaiting-hang";
+    case Verdict::kDiagnosedUi:
+      return "diagnosed-ui";
+    case Verdict::kDiagnosedBug:
+      return "diagnosed-bug";
+  }
+  return "?";
+}
+
+DetectorCore::DetectorCore(const SessionInfo& info, HangDoctorConfig config,
+                           BlockingApiDatabase* database, HangBugReport* fleet_report)
+    : info_(info),
+      config_(std::move(config)),
+      table_(config_.reset_after_normal),
+      analyzer_(config_.analyzer),
+      database_(database != nullptr ? database : &own_database_),
+      fleet_report_(fleet_report) {
+  // App Injector: assign a UID to every action up front.
+  for (int32_t uid = 0; uid < info_.num_actions; ++uid) {
+    table_.Lookup(uid);
+  }
+}
+
+DetectorCore::LiveExecution& DetectorCore::Live(const DispatchStart& start) {
+  auto [it, inserted] = live_.try_emplace(start.execution_id);
+  if (inserted) {
+    it->second.state_before = table_.Lookup(start.action_uid).state;
+  }
+  return it->second;
+}
+
+MonitorDirectives DetectorCore::OnDispatchStart(const DispatchStart& start) {
+  overhead_.AddCpu(config_.costs.state_lookup + config_.costs.response_probe);
+  LiveExecution& live = Live(start);
+  if (config_.second_phase_only) {
+    return MonitorDirectives{.arm_hang_check = true};
+  }
+  switch (live.state_before) {
+    case ActionState::kUncategorized: {
+      if (!live.counters_started) {
+        live.counters_started = true;
+        overhead_.AddCpu(config_.costs.perf_start);
+        overhead_.AddMemory(config_.costs.perf_session_bytes);
+        return MonitorDirectives{.start_counters = true};
+      }
+      break;
+    }
+    case ActionState::kSuspicious:
+    case ActionState::kHangBug: {
+      live.diagnoser_armed = true;
+      return MonitorDirectives{.arm_hang_check = true};
+    }
+    case ActionState::kNormal:
+      break;
+  }
+  return MonitorDirectives{};
+}
+
+void DetectorCore::OnDispatchEnd(const DispatchEnd& end) {
+  overhead_.AddCpu(config_.costs.response_probe);
+  auto it = live_.find(end.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  LiveExecution& live = it->second;
+  if (end.response > config_.hang_timeout) {
+    live.longest_hang = std::max(live.longest_hang, end.response);
+  }
+  if (end.trace_stopped) {
+    auto count = static_cast<int64_t>(end.samples.size());
+    overhead_.AddCpu(config_.costs.trace_start);
+    overhead_.AddMemory(config_.costs.trace_start_bytes);
+    samples_taken_ += count;
+    overhead_.AddCpu(config_.costs.stack_sample * count);
+    overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
+    // The host's sample buffer is reused on the next collection; copy the id traces out.
+    live.traces.insert(live.traces.end(), end.samples.begin(), end.samples.end());
+  }
+}
+
+void DetectorCore::RunSChecker(const ActionQuiesce& quiesce, LiveExecution& live,
+                               ExecutionRecord& record) {
+  (void)live;
+  record.schecker_ran = true;
+  std::vector<telemetry::PerfEventType> events = config_.filter.Events();
+  overhead_.AddCpu(config_.costs.perf_read_per_event *
+                   static_cast<int64_t>(events.size() * (config_.main_only ? 1 : 2)));
+  record.schecker_diffs = quiesce.counter_diffs;
+  if (config_.filter.HasSymptoms(quiesce.counter_diffs)) {
+    table_.Transition(quiesce.now, quiesce.action_uid, ActionState::kSuspicious,
+                      "S-Checker: soft hang bug symptoms");
+    record.verdict = Verdict::kMarkedSuspicious;
+  } else {
+    table_.Transition(quiesce.now, quiesce.action_uid, ActionState::kNormal,
+                      "S-Checker: UI operation");
+    record.verdict = Verdict::kFilteredUi;
+  }
+}
+
+void DetectorCore::RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& live,
+                                ExecutionRecord& record) {
+  record.diagnoser_ran = true;
+  if (live.traces.empty()) {
+    // The action did not hang this time; an occasional bug may still manifest later, so the
+    // action stays where it is (Suspicious or Hang Bug).
+    record.verdict = Verdict::kAwaitingHang;
+    return;
+  }
+  record.traced = true;
+  Diagnosis diagnosis = analyzer_.Analyze(live.traces, *info_.symbols, info_.app_package);
+  record.diagnosis = diagnosis;
+  if (config_.keep_traces) {
+    record.traces = live.traces;
+  }
+  if (!diagnosis.valid) {
+    record.verdict = Verdict::kAwaitingHang;
+    return;
+  }
+  if (diagnosis.is_ui) {
+    record.verdict = Verdict::kDiagnosedUi;
+    if (live.state_before == ActionState::kSuspicious) {
+      table_.Transition(quiesce.now, quiesce.action_uid, ActionState::kNormal,
+                        "Diagnoser: UI operation (path B)");
+    }
+    return;
+  }
+  record.verdict = Verdict::kDiagnosedBug;
+  table_.Transition(quiesce.now, quiesce.action_uid, ActionState::kHangBug,
+                    "Diagnoser: soft hang bug (path C)");
+  simkit::SimDuration hang = std::max(live.longest_hang, quiesce.max_response);
+  local_report_.Record(info_.app_package, diagnosis, hang, info_.device_id);
+  if (fleet_report_ != nullptr) {
+    fleet_report_->Record(info_.app_package, diagnosis, hang, info_.device_id);
+  }
+  if (!diagnosis.is_self_developed) {
+    // Self-developed lengthy operations are reported only to the developer; real APIs feed
+    // the offline detectors' database.
+    database_->AddDiscovered(diagnosis.culprit.clazz + "." + diagnosis.culprit.function);
+  }
+}
+
+void DetectorCore::OnActionQuiesced(const ActionQuiesce& quiesce) {
+  auto it = live_.find(quiesce.execution_id);
+  if (it == live_.end()) {
+    return;
+  }
+  LiveExecution& live = it->second;
+  ExecutionRecord record;
+  record.action_uid = quiesce.action_uid;
+  record.execution_id = quiesce.execution_id;
+  record.response = quiesce.max_response;
+  record.hang = quiesce.max_response > config_.hang_timeout;
+  record.state_before = live.state_before;
+
+  ActionInfo& info = table_.Lookup(quiesce.action_uid);
+  ++info.executions;
+  if (record.hang) {
+    ++info.hangs_observed;
+  }
+
+  if (config_.second_phase_only) {
+    if (record.hang || !live.traces.empty()) {
+      RunDiagnoser(quiesce, live, record);
+    } else {
+      record.verdict = Verdict::kNoHang;
+    }
+    if (record.traced) {
+      ++info.times_traced;
+    }
+    log_.push_back(std::move(record));
+    live_.erase(it);
+    return;
+  }
+
+  switch (live.state_before) {
+    case ActionState::kUncategorized: {
+      if (live.counters_started) {
+        overhead_.AddCpu(config_.costs.perf_stop);
+      }
+      if (record.hang) {
+        RunSChecker(quiesce, live, record);
+      } else {
+        record.verdict = Verdict::kNoHang;  // stays Uncategorized, monitored again next time
+      }
+      break;
+    }
+    case ActionState::kSuspicious:
+    case ActionState::kHangBug: {
+      RunDiagnoser(quiesce, live, record);
+      break;
+    }
+    case ActionState::kNormal: {
+      record.verdict = Verdict::kNotChecked;
+      table_.CountNormalExecution(quiesce.now, quiesce.action_uid);
+      break;
+    }
+  }
+  if (record.traced) {
+    ++info.times_traced;
+  }
+  log_.push_back(std::move(record));
+  live_.erase(it);
+}
+
+}  // namespace hangdoctor

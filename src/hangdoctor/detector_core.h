@@ -1,42 +1,41 @@
-// Hang Doctor runtime (Figure 2(a)): the two-phase detector attached to one app on one device.
-//
-// Components and their paper counterparts:
-//  - App Injector        -> the constructor: seeds the action table with one UID per action
-//                           and hooks the app's Looper dispatch notifications.
-//  - Response Time Mon.  -> OnInputEventStart/End (backed by Looper message logging, the
-//                           setMessageLogging technique of Section 3.5).
-//  - Perf Event Monitor  -> a perfsim::PerfSession over the main and render threads counting
-//                           exactly the filter's events (three software events by default).
+// The substrate-agnostic Hang Doctor core (Figure 2(a)): the two-phase detector as a pure
+// function of a telemetry stream. Components and their paper counterparts:
+//  - App Injector        -> the constructor: seeds the action table with one UID per action.
+//  - Response Time Mon.  -> DispatchStart/DispatchEnd telemetry (on a device this is Looper
+//                           message logging, the setMessageLogging technique of Section 3.5;
+//                           in simulation the droidsim host's dispatch notifications).
+//  - Perf Event Monitor  -> the host's counter session, engaged on the core's
+//                           start_counters directive and read back as ActionQuiesce deltas.
 //  - S-Checker           -> first phase, runs for Uncategorized actions: on a >100 ms action,
-//                           reads the main−render counter differences and applies the
-//                           SoftHangFilter.
-//  - Diagnoser           -> second phase, runs for Suspicious/HangBug actions: once an input
-//                           event exceeds the timeout again, collects stack traces until the
-//                           hang ends (Trace Collector) and attributes the hang (Trace
-//                           Analyzer), transitioning the action per Figure 3.
+//                           applies the SoftHangFilter to the main−render counter deltas.
+//  - Diagnoser           -> second phase, runs for Suspicious/HangBug actions: arms the
+//                           host's hang check, consumes the stack samples delivered at
+//                           DispatchEnd, and attributes the hang (Trace Analyzer),
+//                           transitioning the action per Figure 3.
 //  - Hang Bug Report     -> diagnosed bugs are recorded locally and into a shared fleet report.
 //  - Blocking-API DB     -> newly diagnosed non-UI, non-self-developed APIs are added so
 //                           offline detectors learn them.
 //
+// The core depends only on the Telemetry Host SPI (host_spi.h), simkit time/ids, and the
+// telemetry vocabulary — never on a substrate. Feeding two cores the same SessionInfo,
+// config, and telemetry stream produces bit-identical logs, state transitions, reports, and
+// overhead accounting; that property is what the session record/replay hosts build on.
+//
 // Every monitoring act is charged to an OverheadMeter per the Section 4.5 methodology.
-#ifndef SRC_HANGDOCTOR_HANG_DOCTOR_H_
-#define SRC_HANGDOCTOR_HANG_DOCTOR_H_
+#ifndef SRC_HANGDOCTOR_DETECTOR_CORE_H_
+#define SRC_HANGDOCTOR_DETECTOR_CORE_H_
 
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
-#include "src/droidsim/app.h"
-#include "src/droidsim/phone.h"
-#include "src/droidsim/stack_sampler.h"
 #include "src/hangdoctor/action_state.h"
 #include "src/hangdoctor/blocking_api_db.h"
-#include "src/hangdoctor/correlation.h"
 #include "src/hangdoctor/filter.h"
+#include "src/hangdoctor/host_spi.h"
 #include "src/hangdoctor/overhead.h"
 #include "src/hangdoctor/report.h"
+#include "src/hangdoctor/thresholds.h"
 #include "src/hangdoctor/trace_analyzer.h"
-#include "src/perfsim/perf_session.h"
 
 namespace hangdoctor {
 
@@ -64,18 +63,18 @@ struct ExecutionRecord {
   Verdict verdict = Verdict::kNotChecked;
   Diagnosis diagnosis;
   // Counter differences S-Checker read (filter events only; zeros elsewhere).
-  perfsim::CounterArray schecker_diffs{};
+  telemetry::CounterArray schecker_diffs{};
   // Stack traces the Diagnoser collected (kept only when config.keep_traces is set).
-  std::vector<droidsim::StackTrace> traces;
+  std::vector<telemetry::StackTrace> traces;
 };
 
 struct HangDoctorConfig {
   SoftHangFilter filter = SoftHangFilter::Default();
   // Monitor only the main thread (pre-5.0 devices, Table 3(b) mode).
   bool main_only = false;
-  simkit::SimDuration hang_timeout = simkit::kPerceivableDelay;
-  simkit::SimDuration sample_interval = simkit::Milliseconds(20);
-  int32_t reset_after_normal = 20;
+  simkit::SimDuration hang_timeout = kHangTimeout;
+  simkit::SimDuration sample_interval = kDefaultSampleInterval;
+  int32_t reset_after_normal = kDefaultResetAfterNormal;
   TraceAnalyzerConfig analyzer;
   MonitorCosts costs;
   // Test-bed mode (Section 4.6): skip phase 1 and trace every soft hang.
@@ -84,23 +83,20 @@ struct HangDoctorConfig {
   bool keep_traces = false;
 };
 
-class HangDoctor : public droidsim::AppObserver {
+class DetectorCore {
  public:
   // `database` and `fleet_report` may be null (a private one is used); when given they must
-  // outlive this object and collect discoveries across devices.
-  HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
-             BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr,
-             int32_t device_id = 0);
-  ~HangDoctor() override;
-  HangDoctor(const HangDoctor&) = delete;
-  HangDoctor& operator=(const HangDoctor&) = delete;
+  // outlive this object and collect discoveries across devices. `info.symbols` must outlive
+  // this object.
+  DetectorCore(const SessionInfo& info, HangDoctorConfig config,
+               BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr);
+  DetectorCore(const DetectorCore&) = delete;
+  DetectorCore& operator=(const DetectorCore&) = delete;
 
-  // droidsim::AppObserver:
-  void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
-                         int32_t event_index) override;
-  void OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
-                       int32_t event_index) override;
-  void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
+  // Telemetry Host SPI entry points (see host_spi.h for the contract).
+  MonitorDirectives OnDispatchStart(const DispatchStart& start);
+  void OnDispatchEnd(const DispatchEnd& end);
+  void OnActionQuiesced(const ActionQuiesce& quiesce);
 
   const std::vector<ExecutionRecord>& log() const { return log_; }
   const ActionTable& actions() const { return table_; }
@@ -108,27 +104,23 @@ class HangDoctor : public droidsim::AppObserver {
   const HangBugReport& local_report() const { return local_report_; }
   const BlockingApiDatabase& database() const { return *database_; }
   const HangDoctorConfig& config() const { return config_; }
+  const SessionInfo& session() const { return info_; }
   int64_t stack_samples_taken() const { return samples_taken_; }
 
  private:
   struct LiveExecution {
     ActionState state_before = ActionState::kUncategorized;
-    std::unique_ptr<perfsim::PerfSession> session;
-    std::vector<droidsim::StackTrace> traces;
-    std::vector<bool> event_open;
+    std::vector<telemetry::StackTrace> traces;
+    bool counters_started = false;
     bool diagnoser_armed = false;
     simkit::SimDuration longest_hang = 0;
   };
 
-  LiveExecution& Live(const droidsim::ActionExecution& execution);
-  void ArmHangCheck(int64_t execution_id, int32_t event_index);
-  void RunSChecker(const droidsim::ActionExecution& execution, LiveExecution& live,
-                   ExecutionRecord& record);
-  void RunDiagnoser(const droidsim::ActionExecution& execution, LiveExecution& live,
-                    ExecutionRecord& record);
+  LiveExecution& Live(const DispatchStart& start);
+  void RunSChecker(const ActionQuiesce& quiesce, LiveExecution& live, ExecutionRecord& record);
+  void RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& live, ExecutionRecord& record);
 
-  droidsim::Phone* phone_;
-  droidsim::App* app_;
+  SessionInfo info_;
   HangDoctorConfig config_;
   ActionTable table_;
   TraceAnalyzer analyzer_;
@@ -136,10 +128,7 @@ class HangDoctor : public droidsim::AppObserver {
   BlockingApiDatabase* database_;
   HangBugReport local_report_;
   HangBugReport* fleet_report_;
-  int32_t device_id_;
-  simkit::Rng rng_;
   OverheadMeter overhead_;
-  droidsim::StackSampler sampler_;
   std::unordered_map<int64_t, LiveExecution> live_;
   std::vector<ExecutionRecord> log_;
   int64_t samples_taken_ = 0;
@@ -147,4 +136,4 @@ class HangDoctor : public droidsim::AppObserver {
 
 }  // namespace hangdoctor
 
-#endif  // SRC_HANGDOCTOR_HANG_DOCTOR_H_
+#endif  // SRC_HANGDOCTOR_DETECTOR_CORE_H_

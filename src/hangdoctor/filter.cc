@@ -1,5 +1,6 @@
 #include "src/hangdoctor/filter.h"
 
+#include "src/hangdoctor/thresholds.h"
 #include <algorithm>
 #include <sstream>
 #include <utility>
@@ -11,13 +12,13 @@ SoftHangFilter::SoftHangFilter(std::vector<FilterCondition> conditions)
 
 SoftHangFilter SoftHangFilter::Default() {
   return SoftHangFilter({
-      {perfsim::PerfEventType::kContextSwitches, 0.0},
-      {perfsim::PerfEventType::kTaskClock, 1.7e8},
-      {perfsim::PerfEventType::kPageFaults, 500.0},
+      {telemetry::PerfEventType::kContextSwitches, kContextSwitchDiffThreshold},
+      {telemetry::PerfEventType::kTaskClock, kTaskClockDiffThresholdNs},
+      {telemetry::PerfEventType::kPageFaults, kPageFaultDiffThreshold},
   });
 }
 
-bool SoftHangFilter::HasSymptoms(const perfsim::CounterArray& diffs) const {
+bool SoftHangFilter::HasSymptoms(const telemetry::CounterArray& diffs) const {
   for (const FilterCondition& condition : conditions_) {
     if (diffs[static_cast<size_t>(condition.event)] > condition.threshold) {
       return true;
@@ -26,7 +27,7 @@ bool SoftHangFilter::HasSymptoms(const perfsim::CounterArray& diffs) const {
   return false;
 }
 
-std::vector<bool> SoftHangFilter::MatchVector(const perfsim::CounterArray& diffs) const {
+std::vector<bool> SoftHangFilter::MatchVector(const telemetry::CounterArray& diffs) const {
   std::vector<bool> matches;
   matches.reserve(conditions_.size());
   for (const FilterCondition& condition : conditions_) {
@@ -35,8 +36,8 @@ std::vector<bool> SoftHangFilter::MatchVector(const perfsim::CounterArray& diffs
   return matches;
 }
 
-std::vector<perfsim::PerfEventType> SoftHangFilter::Events() const {
-  std::vector<perfsim::PerfEventType> events;
+std::vector<telemetry::PerfEventType> SoftHangFilter::Events() const {
+  std::vector<telemetry::PerfEventType> events;
   for (const FilterCondition& condition : conditions_) {
     if (std::find(events.begin(), events.end(), condition.event) == events.end()) {
       events.push_back(condition.event);
@@ -51,7 +52,7 @@ std::string SoftHangFilter::ToString() const {
     if (i > 0) {
       out << " OR ";
     }
-    out << perfsim::PerfEventName(conditions_[i].event) << " diff > "
+    out << telemetry::PerfEventName(conditions_[i].event) << " diff > "
         << conditions_[i].threshold;
   }
   return out.str();

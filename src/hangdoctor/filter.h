@@ -13,12 +13,12 @@
 #include <string>
 #include <vector>
 
-#include "src/perfsim/events.h"
+#include "src/telemetry/counters.h"
 
 namespace hangdoctor {
 
 struct FilterCondition {
-  perfsim::PerfEventType event = perfsim::PerfEventType::kContextSwitches;
+  telemetry::PerfEventType event = telemetry::PerfEventType::kContextSwitches;
   double threshold = 0.0;  // condition holds when diff > threshold
 };
 
@@ -31,15 +31,15 @@ class SoftHangFilter {
   static SoftHangFilter Default();
 
   // True when any condition holds for the given per-event differences.
-  bool HasSymptoms(const perfsim::CounterArray& diffs) const;
+  bool HasSymptoms(const telemetry::CounterArray& diffs) const;
 
   // Which conditions hold (parallel to conditions()); used by the Table 6 bench.
-  std::vector<bool> MatchVector(const perfsim::CounterArray& diffs) const;
+  std::vector<bool> MatchVector(const telemetry::CounterArray& diffs) const;
 
   const std::vector<FilterCondition>& conditions() const { return conditions_; }
 
   // The distinct events the filter needs a PerfSession to count.
-  std::vector<perfsim::PerfEventType> Events() const;
+  std::vector<telemetry::PerfEventType> Events() const;
 
   std::string ToString() const;
 

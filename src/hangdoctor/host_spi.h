@@ -1,0 +1,104 @@
+// The Telemetry Host SPI: the narrow data contract between the substrate-agnostic detector
+// core (detector_core.h) and whatever host feeds it — the droidsim adapter
+// (src/hosts/hang_doctor.h), the session-log replayer (src/hosts/replay_host.h), or a future
+// /proc-style on-device collector.
+//
+// The contract is deliberately value-shaped rather than virtual-call-shaped: the host pushes
+// three kinds of telemetry into the core —
+//   (a) action dispatch begin/end/quiesce events with response times,
+//   (b) main−render counter deltas for the symptom events (read at quiesce, only when the
+//       core previously directed the host to count and the action hung),
+//   (c) interned stack samples collected during diagnosis —
+// and the core answers dispatch-begin with MonitorDirectives telling the host which
+// mechanisms to engage. Because every byte the core ever sees crosses this boundary as plain
+// data, a session is trivially recordable (serialize the pushed structs) and replayable
+// (push them again): the core is a pure function of (SessionInfo, config, telemetry stream),
+// which is what makes the record/replay round-trip bit-identical.
+//
+// Symbol resolution stays id-based: traces carry telemetry::FrameIds interned in the session's
+// SymbolTable (supplied once in SessionInfo); the core materializes strings only when a
+// diagnosis or report is rendered.
+#ifndef SRC_HANGDOCTOR_HOST_SPI_H_
+#define SRC_HANGDOCTOR_HOST_SPI_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/simkit/time.h"
+#include "src/telemetry/counters.h"
+#include "src/telemetry/stack.h"
+#include "src/telemetry/symbols.h"
+
+namespace hangdoctor {
+
+// Per-session facts the host supplies once, before any telemetry. `symbols` must outlive the
+// core and resolve every FrameId the host will ever push.
+struct SessionInfo {
+  std::string app_package;
+  int32_t num_actions = 0;
+  int32_t device_id = 0;
+  const telemetry::SymbolTable* symbols = nullptr;
+};
+
+// (a) An input event of an action execution began dispatching on the main thread.
+struct DispatchStart {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  int32_t action_uid = -1;
+  int32_t event_index = 0;
+  int32_t events_total = 0;
+};
+
+// (a)+(c) An input event finished dispatching. When the host had an active trace collection
+// (armed per MonitorDirectives::arm_hang_check), it stops the collection at this boundary and
+// delivers the samples here; `trace_stopped` is set even when zero samples fit the window, so
+// the core's overhead accounting matches a real collector's fixed start cost.
+struct DispatchEnd {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  int32_t event_index = 0;
+  simkit::SimDuration response = 0;
+  bool trace_stopped = false;
+  std::span<const telemetry::StackTrace> samples;
+};
+
+// (a)+(b) The action quiesced (main thread finished all its input events and the render
+// thread drained). When the core directed counting (start_counters) and the action hung
+// (max_response exceeded the configured timeout), the host reads the per-event main−render
+// deltas — in SoftHangFilter::Events() order — into `counter_diffs` and sets
+// `counters_valid`; entries for events outside the filter stay zero.
+struct ActionQuiesce {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  int32_t action_uid = -1;
+  simkit::SimDuration max_response = 0;
+  bool counters_valid = false;
+  telemetry::CounterArray counter_diffs{};
+};
+
+// The core's answer to DispatchStart: which host mechanisms to engage for this execution.
+struct MonitorDirectives {
+  // Begin a per-execution counter session over the symptom events (first Uncategorized
+  // dispatch only; idempotent for the host to ignore when already counting).
+  bool start_counters = false;
+  // Arm the hang check: if this event is still dispatching one hang-timeout from now, start
+  // periodic stack-trace collection until the event ends.
+  bool arm_hang_check = false;
+};
+
+// Passive tap on the SPI: everything the host pushes into the core is offered to the sink
+// first. SessionLogWriter implements this to produce a replayable session log; the tap never
+// influences the core, so recording cannot perturb detection.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void OnSessionStart(const SessionInfo& info) = 0;
+  virtual void OnDispatchStart(const DispatchStart& start) = 0;
+  virtual void OnDispatchEnd(const DispatchEnd& end) = 0;
+  virtual void OnActionQuiesce(const ActionQuiesce& quiesce) = 0;
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_HOST_SPI_H_

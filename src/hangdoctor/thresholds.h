@@ -1,0 +1,46 @@
+// The paper's magic numbers, in one place. Every component that reasons about "is this a
+// perceivable hang" or "does this counter difference look like a soft hang bug" references
+// these named constants instead of re-stating the literals, so a retuning (or a sensitivity
+// study like Table 4) starts here.
+//
+// Sources:
+//  - 100 ms perceivable delay: Section 1, footnote 1 — the response-time bound every runtime
+//    detector in the paper uses as its hang definition and timeout.
+//  - context-switch / task-clock / page-fault thresholds: Section 3.3.1 — the production
+//    S-Checker filter selected by the Table 3 correlation study ("context switch difference
+//    larger than zero", "task clock difference larger than 1.7e8 ns", "page fault difference
+//    larger than 500").
+//  - occurrence factors: Section 3.4.1 — a single API is the culprit when it appears innermost
+//    in at least half the traces; a caller is a self-developed culprit at 80%.
+#ifndef SRC_HANGDOCTOR_THRESHOLDS_H_
+#define SRC_HANGDOCTOR_THRESHOLDS_H_
+
+#include "src/simkit/time.h"
+
+namespace hangdoctor {
+
+// Response-time bound: an input event slower than this is a soft hang (and the default
+// Diagnoser arming timeout). Equal to simkit::kPerceivableDelay; restated here as the
+// detector-side name.
+inline constexpr simkit::SimDuration kHangTimeout = simkit::kPerceivableDelay;
+
+// S-Checker production filter conditions (main−render counter differences).
+inline constexpr double kContextSwitchDiffThreshold = 0.0;    // "> 0"
+inline constexpr double kTaskClockDiffThresholdNs = 1.7e8;    // "> 1.7e8 ns"
+inline constexpr double kPageFaultDiffThreshold = 500.0;      // "> 500"
+
+// Trace Collector sampling period (~60 traces over the 1.3 s hang of Figure 6(b)).
+inline constexpr simkit::SimDuration kDefaultSampleInterval = simkit::Milliseconds(20);
+
+// Executions after which a Normal action is reset to Uncategorized (Figure 3's periodic
+// re-examination of late-manifesting bugs).
+inline constexpr int32_t kDefaultResetAfterNormal = 20;
+
+// Trace Analyzer occurrence factors (Section 3.4.1).
+inline constexpr double kApiOccurrenceThreshold = 0.5;
+inline constexpr double kCallerOccurrenceThreshold = 0.8;
+inline constexpr double kUiMajorityThreshold = 0.5;
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_THRESHOLDS_H_

@@ -9,23 +9,23 @@ namespace {
 
 // The census identity string the analyzer historically keyed on. Only materialized to break
 // exact count ties, so the common path never touches symbols.
-std::string FrameKey(const droidsim::StackFrame& frame) {
+std::string FrameKey(const telemetry::StackFrame& frame) {
   return frame.clazz + "." + frame.function + "@" + frame.file + ":" +
          std::to_string(frame.line);
 }
 
 // Tie order: lexicographically smallest census key wins (the order the analyzer's old
 // string-keyed map iterated in), keeping diagnoses byte-identical across the id refactor.
-bool KeyLess(const droidsim::SymbolTable& symbols, droidsim::FrameId a, droidsim::FrameId b) {
+bool KeyLess(const telemetry::SymbolTable& symbols, telemetry::FrameId a, telemetry::FrameId b) {
   return FrameKey(symbols.Frame(a)) < FrameKey(symbols.Frame(b));
 }
 
-constexpr droidsim::FrameId kNoFrame = UINT32_MAX;
+constexpr telemetry::FrameId kNoFrame = UINT32_MAX;
 
 }  // namespace
 
-Diagnosis TraceAnalyzer::Analyze(std::span<const droidsim::StackTrace> traces,
-                                 const droidsim::SymbolTable& symbols,
+Diagnosis TraceAnalyzer::Analyze(std::span<const telemetry::StackTrace> traces,
+                                 const telemetry::SymbolTable& symbols,
                                  const std::string& app_package) const {
   // A dominant single API is reported as a (possibly new) blocking API even when its class
   // lives in the app's own package — runtime behaviour, not provenance, is what matters
@@ -33,8 +33,8 @@ Diagnosis TraceAnalyzer::Analyze(std::span<const droidsim::StackTrace> traces,
   // only disambiguates case 4, where the culprit is a caller *function* rather than an API.
   (void)app_package;
   Diagnosis diagnosis;
-  std::vector<const droidsim::StackTrace*> usable;
-  for (const droidsim::StackTrace& trace : traces) {
+  std::vector<const telemetry::StackTrace*> usable;
+  for (const telemetry::StackTrace& trace : traces) {
     if (!trace.frames.empty()) {
       usable.push_back(&trace);
     }
@@ -49,15 +49,15 @@ Diagnosis TraceAnalyzer::Analyze(std::span<const droidsim::StackTrace> traces,
   // Innermost-frame census: dense integer counting over frame ids.
   std::vector<int64_t> innermost(symbols.size(), 0);
   int64_t ui_innermost = 0;
-  for (const droidsim::StackTrace* trace : usable) {
-    droidsim::FrameId leaf = trace->frames.back();
+  for (const telemetry::StackTrace* trace : usable) {
+    telemetry::FrameId leaf = trace->frames.back();
     ++innermost[leaf];
     if (symbols.IsUi(leaf)) {
       ++ui_innermost;
     }
   }
-  droidsim::FrameId top = kNoFrame;
-  for (droidsim::FrameId id = 0; id < innermost.size(); ++id) {
+  telemetry::FrameId top = kNoFrame;
+  for (telemetry::FrameId id = 0; id < innermost.size(); ++id) {
     if (innermost[id] == 0) {
       continue;
     }
@@ -70,8 +70,8 @@ Diagnosis TraceAnalyzer::Analyze(std::span<const droidsim::StackTrace> traces,
   // Case 2: the samples are dominated by UI-class work.
   if (static_cast<double>(ui_innermost) / total >= config_.ui_majority) {
     // Report the most frequent innermost UI frame as the (benign) cause.
-    droidsim::FrameId top_ui = kNoFrame;
-    for (droidsim::FrameId id = 0; id < innermost.size(); ++id) {
+    telemetry::FrameId top_ui = kNoFrame;
+    for (telemetry::FrameId id = 0; id < innermost.size(); ++id) {
       if (innermost[id] == 0 || !symbols.IsUi(id)) {
         continue;
       }
@@ -80,7 +80,7 @@ Diagnosis TraceAnalyzer::Analyze(std::span<const droidsim::StackTrace> traces,
         top_ui = id;
       }
     }
-    droidsim::FrameId chosen = top_ui != kNoFrame ? top_ui : top;
+    telemetry::FrameId chosen = top_ui != kNoFrame ? top_ui : top;
     diagnosis.culprit = symbols.Frame(chosen);
     diagnosis.occurrence_factor = static_cast<double>(innermost[chosen]) / total;
     diagnosis.is_ui = true;
@@ -100,15 +100,15 @@ Diagnosis TraceAnalyzer::Analyze(std::span<const droidsim::StackTrace> traces,
   // Count occurrence (at any depth) per non-leaf frame, remembering its maximum depth.
   std::vector<int64_t> callers(symbols.size(), 0);
   std::vector<size_t> caller_depth(symbols.size(), 0);
-  for (const droidsim::StackTrace* trace : usable) {
+  for (const telemetry::StackTrace* trace : usable) {
     for (size_t depth = 0; depth + 1 < trace->frames.size(); ++depth) {
-      droidsim::FrameId id = trace->frames[depth];
+      telemetry::FrameId id = trace->frames[depth];
       ++callers[id];
       caller_depth[id] = std::max(caller_depth[id], depth);
     }
   }
-  droidsim::FrameId best = kNoFrame;
-  for (droidsim::FrameId id = 0; id < callers.size(); ++id) {
+  telemetry::FrameId best = kNoFrame;
+  for (telemetry::FrameId id = 0; id < callers.size(); ++id) {
     if (callers[id] == 0) {
       continue;
     }

@@ -22,14 +22,15 @@
 #include <string>
 #include <vector>
 
-#include "src/droidsim/stack.h"
-#include "src/droidsim/symbols.h"
+#include "src/hangdoctor/thresholds.h"
+#include "src/telemetry/stack.h"
+#include "src/telemetry/symbols.h"
 
 namespace hangdoctor {
 
 struct Diagnosis {
   bool valid = false;  // false when no usable samples were collected
-  droidsim::StackFrame culprit;
+  telemetry::StackFrame culprit;
   double occurrence_factor = 0.0;
   bool is_ui = false;
   bool is_self_developed = false;
@@ -38,11 +39,11 @@ struct Diagnosis {
 
 struct TraceAnalyzerConfig {
   // Minimum innermost-frame occurrence for a single API to be declared the culprit.
-  double api_occurrence_threshold = 0.5;
+  double api_occurrence_threshold = kApiOccurrenceThreshold;
   // Minimum occurrence for a caller frame to be declared a self-developed culprit.
-  double caller_occurrence_threshold = 0.8;
+  double caller_occurrence_threshold = kCallerOccurrenceThreshold;
   // Fraction of innermost UI frames above which the hang is classified as UI work.
-  double ui_majority = 0.5;
+  double ui_majority = kUiMajorityThreshold;
 };
 
 class TraceAnalyzer {
@@ -52,8 +53,8 @@ class TraceAnalyzer {
   // `symbols` must be the table the traces' frame ids were interned in (the app's).
   // `app_package`, when given, marks culprits whose class lives under the app's own package
   // as self-developed operations (reported to the developer only, never to the API database).
-  Diagnosis Analyze(std::span<const droidsim::StackTrace> traces,
-                    const droidsim::SymbolTable& symbols,
+  Diagnosis Analyze(std::span<const telemetry::StackTrace> traces,
+                    const telemetry::SymbolTable& symbols,
                     const std::string& app_package = "") const;
 
   const TraceAnalyzerConfig& config() const { return config_; }

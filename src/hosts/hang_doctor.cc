@@ -1,0 +1,162 @@
+#include "src/hosts/hang_doctor.h"
+
+#include <utility>
+
+namespace hangdoctor {
+
+namespace {
+
+SessionInfo MakeSessionInfo(const droidsim::App& app, int32_t device_id) {
+  SessionInfo info;
+  info.app_package = app.spec().package;
+  info.num_actions = app.num_actions();
+  info.device_id = device_id;
+  info.symbols = &app.symbols();
+  return info;
+}
+
+}  // namespace
+
+HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
+                       BlockingApiDatabase* database, HangBugReport* fleet_report,
+                       int32_t device_id, TelemetrySink* sink)
+    : phone_(phone),
+      app_(app),
+      rng_(phone->ForkRng(0x4844 + static_cast<uint64_t>(device_id)).NextU64(),
+           /*stream=*/0x4841ULL),
+      sink_(sink),
+      core_(MakeSessionInfo(*app, device_id), std::move(config), database, fleet_report),
+      sampler_(&phone->sim(), &app->main_looper(), core_.config().sample_interval) {
+  if (sink_ != nullptr) {
+    sink_->OnSessionStart(core_.session());
+  }
+  app_->AddObserver(this);
+}
+
+HangDoctor::~HangDoctor() { app_->RemoveObserver(this); }
+
+HangDoctor::HostExecution& HangDoctor::Live(const droidsim::ActionExecution& execution) {
+  auto [it, inserted] = live_.try_emplace(execution.execution_id);
+  if (inserted) {
+    it->second.event_open.resize(execution.events_total, false);
+  }
+  return it->second;
+}
+
+void HangDoctor::ArmHangCheck(int64_t execution_id, int32_t event_index) {
+  phone_->sim().ScheduleAfter(core_.config().hang_timeout, [this, execution_id, event_index]() {
+    auto it = live_.find(execution_id);
+    if (it == live_.end()) {
+      return;
+    }
+    HostExecution& live = it->second;
+    auto idx = static_cast<size_t>(event_index);
+    if (idx >= live.event_open.size() || !live.event_open[idx]) {
+      return;  // the event finished below the timeout: no soft hang this time
+    }
+    if (!sampler_.active()) {
+      sampler_.StartCollection();
+    }
+  });
+}
+
+void HangDoctor::StartCounters(HostExecution& live) {
+  live.session = std::make_unique<perfsim::PerfSession>(
+      &phone_->counter_hub(), phone_->profile().pmu, rng_.Fork(0x5350).NextU64());
+  live.session->AddThread(app_->main_tid());
+  if (!core_.config().main_only) {
+    live.session->AddThread(app_->render_tid());
+  }
+  for (telemetry::PerfEventType event : core_.config().filter.Events()) {
+    live.session->AddEvent(event);
+  }
+  live.session->Start();
+}
+
+void HangDoctor::OnInputEventStart(droidsim::App& app,
+                                   const droidsim::ActionExecution& execution,
+                                   int32_t event_index) {
+  (void)app;
+  HostExecution& live = Live(execution);
+  live.event_open[static_cast<size_t>(event_index)] = true;
+
+  DispatchStart start;
+  start.now = phone_->Now();
+  start.execution_id = execution.execution_id;
+  start.action_uid = execution.action_uid;
+  start.event_index = event_index;
+  start.events_total = static_cast<int32_t>(execution.events_total);
+  if (sink_ != nullptr) {
+    sink_->OnDispatchStart(start);
+  }
+  MonitorDirectives directives = core_.OnDispatchStart(start);
+  if (directives.start_counters && live.session == nullptr) {
+    StartCounters(live);
+  }
+  if (directives.arm_hang_check) {
+    ArmHangCheck(execution.execution_id, event_index);
+  }
+}
+
+void HangDoctor::OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
+                                 int32_t event_index) {
+  (void)app;
+  DispatchEnd end;
+  end.now = phone_->Now();
+  end.execution_id = execution.execution_id;
+  end.event_index = event_index;
+
+  auto it = live_.find(execution.execution_id);
+  if (it != live_.end()) {
+    auto idx = static_cast<size_t>(event_index);
+    HostExecution& live = it->second;
+    if (idx < live.event_open.size()) {
+      live.event_open[idx] = false;
+    }
+    const droidsim::EventTiming& timing = execution.events[idx];
+    end.response = timing.end - timing.start;
+    if (sampler_.active()) {
+      end.trace_stopped = true;
+      end.samples = sampler_.StopCollection();
+    }
+  }
+  if (sink_ != nullptr) {
+    sink_->OnDispatchEnd(end);
+  }
+  core_.OnDispatchEnd(end);
+}
+
+void HangDoctor::OnActionQuiesced(droidsim::App& app,
+                                  const droidsim::ActionExecution& execution) {
+  (void)app;
+  ActionQuiesce quiesce;
+  quiesce.now = phone_->Now();
+  quiesce.execution_id = execution.execution_id;
+  quiesce.action_uid = execution.action_uid;
+  quiesce.max_response = execution.max_response;
+
+  auto it = live_.find(execution.execution_id);
+  if (it != live_.end() && it->second.session != nullptr) {
+    perfsim::PerfSession& session = *it->second.session;
+    session.Stop();
+    if (execution.max_response > core_.config().hang_timeout) {
+      // S-Checker will run: read the main−render differences, in filter-event order.
+      quiesce.counters_valid = true;
+      for (telemetry::PerfEventType event : core_.config().filter.Events()) {
+        double value = core_.config().main_only
+                           ? session.Read(app_->main_tid(), event)
+                           : session.ReadDifference(app_->main_tid(), app_->render_tid(), event);
+        quiesce.counter_diffs[static_cast<size_t>(event)] = value;
+      }
+    }
+  }
+  if (sink_ != nullptr) {
+    sink_->OnActionQuiesce(quiesce);
+  }
+  core_.OnActionQuiesced(quiesce);
+  if (it != live_.end()) {
+    live_.erase(it);
+  }
+}
+
+}  // namespace hangdoctor

@@ -1,0 +1,82 @@
+// The droidsim Telemetry Host: attaches a substrate-agnostic DetectorCore
+// (src/hangdoctor/detector_core.h) to one app on one simulated phone. This class owns every
+// substrate mechanism the paper's runtime needs —
+//  - Looper dispatch notifications (AppObserver) become DispatchStart/End/ActionQuiesce
+//    telemetry,
+//  - the core's start_counters directive opens a perfsim::PerfSession over the main and
+//    render threads counting exactly the filter's events,
+//  - the core's arm_hang_check directive schedules the one-timeout-later check that starts
+//    the StackSampler if the event is still dispatching (Trace Collector),
+//  - at quiesce, the main−render counter differences are read back (only when the core was
+//    counting and the action hung) and pushed in with the quiesce event —
+// while every detection decision stays in the core. An optional TelemetrySink observes the
+// exact stream the core consumes, which is how session recording works (session_log.h).
+//
+// This is the drop-in successor of the old monolithic hangdoctor::HangDoctor; constructor and
+// accessors are unchanged, so existing experiments only swap the include path.
+#ifndef SRC_HOSTS_HANG_DOCTOR_H_
+#define SRC_HOSTS_HANG_DOCTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/droidsim/app.h"
+#include "src/droidsim/phone.h"
+#include "src/droidsim/stack_sampler.h"
+#include "src/hangdoctor/detector_core.h"
+#include "src/perfsim/perf_session.h"
+
+namespace hangdoctor {
+
+class HangDoctor : public droidsim::AppObserver {
+ public:
+  // `database` and `fleet_report` may be null (a private one is used); when given they must
+  // outlive this object and collect discoveries across devices. `sink`, when given, receives
+  // the full telemetry stream fed to the core (see host_spi.h) and must outlive this object.
+  HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
+             BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr,
+             int32_t device_id = 0, TelemetrySink* sink = nullptr);
+  ~HangDoctor() override;
+  HangDoctor(const HangDoctor&) = delete;
+  HangDoctor& operator=(const HangDoctor&) = delete;
+
+  // droidsim::AppObserver:
+  void OnInputEventStart(droidsim::App& app, const droidsim::ActionExecution& execution,
+                         int32_t event_index) override;
+  void OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
+                       int32_t event_index) override;
+  void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
+
+  const DetectorCore& core() const { return core_; }
+  const std::vector<ExecutionRecord>& log() const { return core_.log(); }
+  const ActionTable& actions() const { return core_.actions(); }
+  const OverheadMeter& overhead() const { return core_.overhead(); }
+  const HangBugReport& local_report() const { return core_.local_report(); }
+  const BlockingApiDatabase& database() const { return core_.database(); }
+  const HangDoctorConfig& config() const { return core_.config(); }
+  int64_t stack_samples_taken() const { return core_.stack_samples_taken(); }
+
+ private:
+  // Substrate state for one in-flight action execution; detection state lives in the core.
+  struct HostExecution {
+    std::unique_ptr<perfsim::PerfSession> session;
+    std::vector<bool> event_open;
+  };
+
+  HostExecution& Live(const droidsim::ActionExecution& execution);
+  void ArmHangCheck(int64_t execution_id, int32_t event_index);
+  void StartCounters(HostExecution& live);
+
+  droidsim::Phone* phone_;
+  droidsim::App* app_;
+  simkit::Rng rng_;
+  TelemetrySink* sink_;
+  DetectorCore core_;
+  droidsim::StackSampler sampler_;
+  std::unordered_map<int64_t, HostExecution> live_;
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HOSTS_HANG_DOCTOR_H_

@@ -1,0 +1,411 @@
+#include "src/hosts/session_log.h"
+
+#include <cstring>
+#include <utility>
+
+namespace hangdoctor {
+
+namespace {
+
+uint64_t ZigzagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+// Sequential reader over a loaded log; all Get* methods fail sticky.
+class Parser {
+ public:
+  Parser(const std::string& data, std::string* error) : data_(data), error_(error) {}
+
+  bool ok() const { return ok_; }
+
+  bool Fail(const std::string& message) {
+    if (ok_) {
+      ok_ = false;
+      *error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  uint8_t GetByte() {
+    if (!ok_ || pos_ >= data_.size()) {
+      Fail("unexpected end of log");
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint64_t GetVarint() {
+    uint64_t value = 0;
+    int shift = 0;
+    while (ok_) {
+      uint8_t byte = GetByte();
+      value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        break;
+      }
+      shift += 7;
+      if (shift >= 64) {
+        Fail("varint too long");
+        break;
+      }
+    }
+    return value;
+  }
+
+  int64_t GetSigned() { return ZigzagDecode(GetVarint()); }
+
+  double GetDouble() {
+    if (!ok_ || pos_ + 8 > data_.size()) {
+      Fail("unexpected end of log");
+      return 0.0;
+    }
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]))
+              << (8 * i);
+    }
+    pos_ += 8;
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  std::string GetString() {
+    uint64_t length = GetVarint();
+    if (!ok_ || pos_ + length > data_.size()) {
+      Fail("unexpected end of log");
+      return "";
+    }
+    std::string value = data_.substr(pos_, length);
+    pos_ += length;
+    return value;
+  }
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+
+ private:
+  const std::string& data_;
+  std::string* error_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+SessionLogWriter::SessionLogWriter(const std::string& path, const HangDoctorConfig& config)
+    : out_(path, std::ios::binary | std::ios::trunc), config_(config) {}
+
+SessionLogWriter::~SessionLogWriter() { Finish(); }
+
+void SessionLogWriter::PutByte(uint8_t byte) {
+  out_.put(static_cast<char>(byte));
+}
+
+void SessionLogWriter::PutVarint(uint64_t value) {
+  while (value >= 0x80) {
+    PutByte(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  PutByte(static_cast<uint8_t>(value));
+}
+
+void SessionLogWriter::PutSigned(int64_t value) { PutVarint(ZigzagEncode(value)); }
+
+void SessionLogWriter::PutDouble(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    PutByte(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void SessionLogWriter::PutString(const std::string& value) {
+  PutVarint(value.size());
+  out_.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+void SessionLogWriter::OnSessionStart(const SessionInfo& info) {
+  out_.write(kSessionLogMagic, sizeof(kSessionLogMagic));
+  PutVarint(kSessionLogVersion);
+  PutString(info.app_package);
+  PutSigned(info.num_actions);
+  PutSigned(info.device_id);
+
+  // Full config, so replay reconstructs the exact detector.
+  PutVarint(config_.filter.conditions().size());
+  for (const FilterCondition& condition : config_.filter.conditions()) {
+    PutVarint(static_cast<uint64_t>(condition.event));
+    PutDouble(condition.threshold);
+  }
+  PutByte(config_.main_only ? 1 : 0);
+  PutSigned(config_.hang_timeout);
+  PutSigned(config_.sample_interval);
+  PutSigned(config_.reset_after_normal);
+  PutDouble(config_.analyzer.api_occurrence_threshold);
+  PutDouble(config_.analyzer.caller_occurrence_threshold);
+  PutDouble(config_.analyzer.ui_majority);
+  PutSigned(config_.costs.perf_start);
+  PutSigned(config_.costs.perf_stop);
+  PutSigned(config_.costs.perf_read_per_event);
+  PutSigned(config_.costs.perf_session_bytes);
+  PutSigned(config_.costs.state_lookup);
+  PutSigned(config_.costs.trace_start);
+  PutSigned(config_.costs.trace_start_bytes);
+  PutSigned(config_.costs.stack_sample);
+  PutSigned(config_.costs.stack_sample_bytes);
+  PutSigned(config_.costs.utilization_sample);
+  PutSigned(config_.costs.utilization_sample_bytes);
+  PutSigned(config_.costs.response_probe);
+  PutByte(config_.second_phase_only ? 1 : 0);
+  PutByte(config_.keep_traces ? 1 : 0);
+
+  // Symbol table: every frame in id order, with its host-side UI classification, so the
+  // replayed core resolves FrameIds exactly as the live one did.
+  const telemetry::SymbolTable& symbols = *info.symbols;
+  PutVarint(symbols.size());
+  for (telemetry::FrameId id = 0; id < symbols.size(); ++id) {
+    const telemetry::StackFrame& frame = symbols.Frame(id);
+    PutString(frame.function);
+    PutString(frame.clazz);
+    PutString(frame.file);
+    PutSigned(frame.line);
+    uint8_t flags = 0;
+    if (frame.in_closed_library) {
+      flags |= 1;
+    }
+    if (symbols.IsUi(id)) {
+      flags |= 2;
+    }
+    PutByte(flags);
+  }
+}
+
+void SessionLogWriter::OnDispatchStart(const DispatchStart& start) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kDispatchStart));
+  PutSigned(start.now);
+  PutSigned(start.execution_id);
+  PutSigned(start.action_uid);
+  PutSigned(start.event_index);
+  PutSigned(start.events_total);
+}
+
+void SessionLogWriter::OnDispatchEnd(const DispatchEnd& end) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kDispatchEnd));
+  PutSigned(end.now);
+  PutSigned(end.execution_id);
+  PutSigned(end.event_index);
+  PutSigned(end.response);
+  PutByte(end.trace_stopped ? 1 : 0);
+  if (end.trace_stopped) {
+    PutVarint(end.samples.size());
+    for (const telemetry::StackTrace& sample : end.samples) {
+      PutSigned(sample.timestamp_ns);
+      PutVarint(sample.frames.size());
+      for (telemetry::FrameId frame : sample.frames) {
+        PutVarint(frame);
+      }
+    }
+  }
+}
+
+void SessionLogWriter::OnActionQuiesce(const ActionQuiesce& quiesce) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kActionQuiesce));
+  PutSigned(quiesce.now);
+  PutSigned(quiesce.execution_id);
+  PutSigned(quiesce.action_uid);
+  PutSigned(quiesce.max_response);
+  PutByte(quiesce.counters_valid ? 1 : 0);
+  // Sparse nonzero entries; zeros reconstruct implicitly.
+  uint64_t nonzero = 0;
+  for (double value : quiesce.counter_diffs) {
+    if (value != 0.0) {
+      ++nonzero;
+    }
+  }
+  PutVarint(nonzero);
+  for (size_t index = 0; index < quiesce.counter_diffs.size(); ++index) {
+    if (quiesce.counter_diffs[index] != 0.0) {
+      PutVarint(index);
+      PutDouble(quiesce.counter_diffs[index]);
+    }
+  }
+}
+
+void SessionLogWriter::WriteTraceUsage(int64_t cpu, int64_t bytes) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kTraceUsage));
+  PutSigned(cpu);
+  PutSigned(bytes);
+}
+
+void SessionLogWriter::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (out_.is_open()) {
+    PutByte(static_cast<uint8_t>(SessionRecordTag::kEnd));
+    out_.close();
+  }
+}
+
+bool LoadSessionLog(const std::string& path, SessionLog* log, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  Parser parser(data, error);
+
+  if (data.size() < sizeof(kSessionLogMagic) ||
+      std::memcmp(data.data(), kSessionLogMagic, sizeof(kSessionLogMagic)) != 0) {
+    *error = "not a session log (bad magic)";
+    return false;
+  }
+  for (size_t i = 0; i < sizeof(kSessionLogMagic); ++i) {
+    parser.GetByte();
+  }
+  uint64_t version = parser.GetVarint();
+  if (parser.ok() && version != kSessionLogVersion) {
+    *error = "unsupported session log version " + std::to_string(version);
+    return false;
+  }
+
+  log->info.app_package = parser.GetString();
+  log->info.num_actions = static_cast<int32_t>(parser.GetSigned());
+  log->info.device_id = static_cast<int32_t>(parser.GetSigned());
+
+  uint64_t num_conditions = parser.GetVarint();
+  std::vector<FilterCondition> conditions;
+  for (uint64_t i = 0; parser.ok() && i < num_conditions; ++i) {
+    FilterCondition condition;
+    condition.event = static_cast<telemetry::PerfEventType>(parser.GetVarint());
+    condition.threshold = parser.GetDouble();
+    conditions.push_back(condition);
+  }
+  log->config.filter = SoftHangFilter(std::move(conditions));
+  log->config.main_only = parser.GetByte() != 0;
+  log->config.hang_timeout = parser.GetSigned();
+  log->config.sample_interval = parser.GetSigned();
+  log->config.reset_after_normal = static_cast<int32_t>(parser.GetSigned());
+  log->config.analyzer.api_occurrence_threshold = parser.GetDouble();
+  log->config.analyzer.caller_occurrence_threshold = parser.GetDouble();
+  log->config.analyzer.ui_majority = parser.GetDouble();
+  log->config.costs.perf_start = parser.GetSigned();
+  log->config.costs.perf_stop = parser.GetSigned();
+  log->config.costs.perf_read_per_event = parser.GetSigned();
+  log->config.costs.perf_session_bytes = parser.GetSigned();
+  log->config.costs.state_lookup = parser.GetSigned();
+  log->config.costs.trace_start = parser.GetSigned();
+  log->config.costs.trace_start_bytes = parser.GetSigned();
+  log->config.costs.stack_sample = parser.GetSigned();
+  log->config.costs.stack_sample_bytes = parser.GetSigned();
+  log->config.costs.utilization_sample = parser.GetSigned();
+  log->config.costs.utilization_sample_bytes = parser.GetSigned();
+  log->config.costs.response_probe = parser.GetSigned();
+  log->config.second_phase_only = parser.GetByte() != 0;
+  log->config.keep_traces = parser.GetByte() != 0;
+
+  log->symbols = std::make_unique<telemetry::SymbolTable>();
+  uint64_t num_frames = parser.GetVarint();
+  for (uint64_t i = 0; parser.ok() && i < num_frames; ++i) {
+    telemetry::StackFrame frame;
+    frame.function = parser.GetString();
+    frame.clazz = parser.GetString();
+    frame.file = parser.GetString();
+    frame.line = static_cast<int32_t>(parser.GetSigned());
+    uint8_t flags = parser.GetByte();
+    frame.in_closed_library = (flags & 1) != 0;
+    telemetry::FrameId id = log->symbols->Intern(std::move(frame), (flags & 2) != 0);
+    if (id != i) {
+      return parser.Fail("symbol table not in id order");
+    }
+  }
+  log->info.symbols = log->symbols.get();
+
+  bool saw_end = false;
+  while (parser.ok() && !saw_end) {
+    auto tag = static_cast<SessionRecordTag>(parser.GetByte());
+    if (!parser.ok()) {
+      break;
+    }
+    switch (tag) {
+      case SessionRecordTag::kDispatchStart: {
+        SessionRecord record;
+        record.tag = tag;
+        record.start.now = parser.GetSigned();
+        record.start.execution_id = parser.GetSigned();
+        record.start.action_uid = static_cast<int32_t>(parser.GetSigned());
+        record.start.event_index = static_cast<int32_t>(parser.GetSigned());
+        record.start.events_total = static_cast<int32_t>(parser.GetSigned());
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kDispatchEnd: {
+        SessionRecord record;
+        record.tag = tag;
+        record.end.now = parser.GetSigned();
+        record.end.execution_id = parser.GetSigned();
+        record.end.event_index = static_cast<int32_t>(parser.GetSigned());
+        record.end.response = parser.GetSigned();
+        record.end.trace_stopped = parser.GetByte() != 0;
+        if (record.end.trace_stopped) {
+          uint64_t num_samples = parser.GetVarint();
+          for (uint64_t s = 0; parser.ok() && s < num_samples; ++s) {
+            telemetry::StackTrace sample;
+            sample.timestamp_ns = parser.GetSigned();
+            uint64_t depth = parser.GetVarint();
+            for (uint64_t f = 0; parser.ok() && f < depth; ++f) {
+              sample.frames.push_back(static_cast<telemetry::FrameId>(parser.GetVarint()));
+            }
+            record.samples.push_back(std::move(sample));
+          }
+        }
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kActionQuiesce: {
+        SessionRecord record;
+        record.tag = tag;
+        record.quiesce.now = parser.GetSigned();
+        record.quiesce.execution_id = parser.GetSigned();
+        record.quiesce.action_uid = static_cast<int32_t>(parser.GetSigned());
+        record.quiesce.max_response = parser.GetSigned();
+        record.quiesce.counters_valid = parser.GetByte() != 0;
+        uint64_t num_pairs = parser.GetVarint();
+        for (uint64_t p = 0; parser.ok() && p < num_pairs; ++p) {
+          uint64_t index = parser.GetVarint();
+          double value = parser.GetDouble();
+          if (index >= record.quiesce.counter_diffs.size()) {
+            return parser.Fail("counter index out of range");
+          }
+          record.quiesce.counter_diffs[index] = value;
+        }
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kTraceUsage: {
+        log->has_usage = true;
+        log->usage_cpu = parser.GetSigned();
+        log->usage_bytes = parser.GetSigned();
+        break;
+      }
+      case SessionRecordTag::kEnd: {
+        saw_end = true;
+        break;
+      }
+      default:
+        return parser.Fail("unknown record tag " + std::to_string(static_cast<int>(tag)));
+    }
+  }
+  if (parser.ok() && !saw_end) {
+    return parser.Fail("missing end marker (truncated log)");
+  }
+  return parser.ok();
+}
+
+}  // namespace hangdoctor

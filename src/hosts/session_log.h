@@ -1,0 +1,108 @@
+// Session record/replay: a compact binary log ("HDSL") of everything that ever crosses the
+// Telemetry Host SPI into a DetectorCore, sufficient to re-run the core offline with
+// bit-identical results.
+//
+// A log holds, in order:
+//   header  — magic "HDSL", format version, the SessionInfo (app package, action count,
+//             device id), the full HangDoctorConfig, and the session's symbol table (every
+//             frame with its is_ui classification), so the reader can rebuild FrameId
+//             resolution exactly;
+//   records — the SPI stream: one record per DispatchStart / DispatchEnd / ActionQuiesce, in
+//             push order, including stack samples (as interned FrameIds) and the main−render
+//             counter differences S-Checker read;
+//   footer  — optionally, the monitored trace's own resource usage (CPU + bytes), so the
+//             Section 4.5 overhead percentage is reproducible offline.
+//
+// Encoding: unsigned LEB128 varints, zigzag for signed integers, raw little-endian IEEE-754
+// for doubles, length-prefixed UTF-8 for strings. The byte-level layout is specified in
+// DESIGN.md ("Session log format").
+//
+// SessionLogWriter is a TelemetrySink: hand it to the droidsim host (or any host) and it
+// records the exact stream the core consumes, without influencing detection. SessionLog is
+// the in-memory parse; replay_host.h re-feeds it to a fresh core.
+#ifndef SRC_HOSTS_SESSION_LOG_H_
+#define SRC_HOSTS_SESSION_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hangdoctor/detector_core.h"
+#include "src/hangdoctor/host_spi.h"
+
+namespace hangdoctor {
+
+inline constexpr char kSessionLogMagic[4] = {'H', 'D', 'S', 'L'};
+inline constexpr uint32_t kSessionLogVersion = 1;
+
+// Record tags (one byte each, in-stream).
+enum class SessionRecordTag : uint8_t {
+  kDispatchStart = 1,
+  kDispatchEnd = 2,
+  kActionQuiesce = 3,
+  kTraceUsage = 4,
+  kEnd = 5,
+};
+
+class SessionLogWriter : public TelemetrySink {
+ public:
+  // Opens `path` for writing; the header is emitted on OnSessionStart (the config is needed
+  // for the header, so it is captured here).
+  SessionLogWriter(const std::string& path, const HangDoctorConfig& config);
+  ~SessionLogWriter() override;
+
+  bool ok() const { return out_.good(); }
+
+  // TelemetrySink:
+  void OnSessionStart(const SessionInfo& info) override;
+  void OnDispatchStart(const DispatchStart& start) override;
+  void OnDispatchEnd(const DispatchEnd& end) override;
+  void OnActionQuiesce(const ActionQuiesce& quiesce) override;
+
+  // Optional footer: the monitored trace's own resource usage (overhead denominator).
+  void WriteTraceUsage(int64_t cpu, int64_t bytes);
+
+  // Writes the end marker and closes the file. Called by the destructor if not already done.
+  void Finish();
+
+ private:
+  void PutByte(uint8_t byte);
+  void PutVarint(uint64_t value);
+  void PutSigned(int64_t value);
+  void PutDouble(double value);
+  void PutString(const std::string& value);
+
+  std::ofstream out_;
+  HangDoctorConfig config_;
+  bool finished_ = false;
+};
+
+// One parsed SPI record. `end.samples` is not set directly (spans would dangle as the vector
+// grows); replay points it at `samples` when pushing.
+struct SessionRecord {
+  SessionRecordTag tag = SessionRecordTag::kEnd;
+  DispatchStart start;
+  DispatchEnd end;
+  std::vector<telemetry::StackTrace> samples;
+  ActionQuiesce quiesce;
+};
+
+// A fully parsed session log.
+struct SessionLog {
+  SessionInfo info;  // info.symbols points at *symbols below
+  HangDoctorConfig config;
+  std::unique_ptr<telemetry::SymbolTable> symbols;
+  std::vector<SessionRecord> records;
+  bool has_usage = false;
+  int64_t usage_cpu = 0;
+  int64_t usage_bytes = 0;
+};
+
+// Parses `path`; on failure returns false and sets `error`. `log` is valid only on success.
+bool LoadSessionLog(const std::string& path, SessionLog* log, std::string* error);
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HOSTS_SESSION_LOG_H_

@@ -1,68 +1,21 @@
-// The performance events this simulator exposes. They mirror the events the paper profiles on
-// the LG V10 (46 available there; the 24 modeled here cover every event appearing in Tables 3
-// and 4 plus the machinery needed to show PMU register pressure). Events split into two kinds,
-// exactly as in Section 3.3.1:
-//  - kernel software events: generated by the scheduler/MM, always available, exact;
-//  - PMU hardware events: counted by a finite register file and therefore subject to
-//    time-multiplexing when oversubscribed.
+// Compatibility shim: the performance-event vocabulary moved to src/telemetry/counters.h so
+// the detector core (src/hangdoctor) can name events without depending on this simulated
+// counting substrate. perfsim code and its existing users keep referring to the types through
+// the aliases below.
 #ifndef SRC_PERFSIM_EVENTS_H_
 #define SRC_PERFSIM_EVENTS_H_
 
-#include <array>
-#include <cstdint>
-#include <optional>
-#include <string>
-#include <string_view>
+#include "src/telemetry/counters.h"
 
 namespace perfsim {
 
-enum class PerfEventType : int32_t {
-  // Kernel software events.
-  kContextSwitches = 0,
-  kCpuMigrations,
-  kPageFaults,
-  kMinorFaults,
-  kMajorFaults,
-  kTaskClock,
-  kCpuClock,
-  kAlignmentFaults,
-  kEmulationFaults,
-  // PMU hardware events.
-  kCpuCycles,
-  kInstructions,
-  kCacheReferences,
-  kCacheMisses,
-  kBranchLoads,
-  kBranchMisses,
-  kBusCycles,
-  kStalledCyclesFrontend,
-  kStalledCyclesBackend,
-  kL1DcacheLoads,
-  kL1DcacheStores,
-  kRawL1DcacheRefill,
-  kRawL1IcacheRefill,
-  kRawL1ItlbRefill,
-  kRawL1DtlbRefill,
-  kNumEvents,
-};
-
-inline constexpr size_t kNumPerfEvents = static_cast<size_t>(PerfEventType::kNumEvents);
-
-// True for events generated at kernel level (always available on any CPU, never multiplexed).
-bool IsSoftwareEvent(PerfEventType event);
-
-// perf-style event name, e.g. "context-switches".
-const std::string& PerfEventName(PerfEventType event);
-
-// Reverse lookup; nullopt for unknown names.
-// Heterogeneous lookup: accepts string_view / const char* without building a key copy.
-std::optional<PerfEventType> PerfEventFromName(std::string_view name);
-
-// All modeled events, in enum order.
-const std::array<PerfEventType, kNumPerfEvents>& AllPerfEvents();
-
-// Raw per-thread counter vector (indexed by PerfEventType).
-using CounterArray = std::array<double, kNumPerfEvents>;
+using telemetry::PerfEventType;
+using telemetry::kNumPerfEvents;
+using telemetry::IsSoftwareEvent;
+using telemetry::PerfEventName;
+using telemetry::PerfEventFromName;
+using telemetry::AllPerfEvents;
+using telemetry::CounterArray;
 
 }  // namespace perfsim
 

@@ -1,10 +1,10 @@
-#include "src/perfsim/events.h"
+#include "src/telemetry/counters.h"
 
 #include <unordered_map>
 
 #include "src/simkit/string_hash.h"
 
-namespace perfsim {
+namespace telemetry {
 
 bool IsSoftwareEvent(PerfEventType event) {
   switch (event) {
@@ -84,4 +84,4 @@ const std::array<PerfEventType, kNumPerfEvents>& AllPerfEvents() {
   return kAll;
 }
 
-}  // namespace perfsim
+}  // namespace telemetry

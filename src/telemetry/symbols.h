@@ -1,0 +1,62 @@
+// Per-session symbol interning. Every frame a monitored app can ever put on a stack is
+// interned once into a SymbolTable that maps it to a dense u32 FrameId. The hot paths
+// (executor stack push, 20 ms stack sampling, occurrence counting in the Trace Analyzer)
+// then move integers around; strings are materialized only when a diagnosis or report is
+// rendered.
+//
+// The table is substrate-neutral: the droidsim host derives a spec-walking subclass that
+// knows how to index AppSpecs, and the session-log replay host rebuilds a table verbatim
+// from the recorded frame list. Whether a frame is a UI-class API is a *host* judgement
+// (Android framework knowledge), so it is supplied at intern time and stored as a dense bit
+// the core's classifier reads without touching strings.
+#ifndef SRC_TELEMETRY_SYMBOLS_H_
+#define SRC_TELEMETRY_SYMBOLS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/telemetry/stack.h"
+
+namespace telemetry {
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  virtual ~SymbolTable() = default;
+
+  // Interns `frame`, deduplicating on (function, clazz, file, line) — the same identity the
+  // Trace Analyzer's census keys on. Returns the existing id for a known frame (in which
+  // case `is_ui` must match the original interning and is ignored).
+  FrameId Intern(StackFrame frame, bool is_ui);
+
+  const StackFrame& Frame(FrameId id) const { return frames_[id]; }
+  // Precomputed UI-class bit, so classification never touches strings.
+  bool IsUi(FrameId id) const { return is_ui_[id] != 0; }
+  size_t size() const { return frames_.size(); }
+
+  // True when any frame of `trace` matches (clazz, function) — the symbolic containment
+  // query tests and walkthroughs use.
+  bool TraceContains(const StackTrace& trace, std::string_view clazz,
+                     std::string_view function) const {
+    for (FrameId id : trace.frames) {
+      const StackFrame& frame = frames_[id];
+      if (frame.clazz == clazz && frame.function == function) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<StackFrame> frames_;           // indexed by FrameId
+  std::vector<uint8_t> is_ui_;               // indexed by FrameId
+  std::unordered_map<std::string, FrameId> by_key_;  // content dedup
+};
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_SYMBOLS_H_

@@ -10,7 +10,7 @@
 
 #include "src/baselines/detector.h"
 #include "src/droidsim/phone.h"
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/ground_truth.h"
 #include "src/workload/user_model.h"

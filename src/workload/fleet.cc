@@ -1,12 +1,17 @@
 #include "src/workload/fleet.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "src/hosts/replay_host.h"
+#include "src/hosts/session_log.h"
 #include "src/simkit/rng.h"
 #include "src/simkit/thread_pool.h"
 
@@ -30,9 +35,18 @@ FleetJobResult RunFleetJob(const FleetJob& job) {
   if (job.known_db != nullptr) {
     database = *job.known_db;
   }
+  // Recording is a passive tap on the Telemetry Host SPI — it never feeds anything back, so
+  // a recorded job's results are bit-identical to an unrecorded one.
+  std::unique_ptr<hangdoctor::SessionLogWriter> recorder;
+  if (!job.record_path.empty()) {
+    recorder = std::make_unique<hangdoctor::SessionLogWriter>(job.record_path, job.doctor);
+    if (!recorder->ok()) {
+      throw std::runtime_error("cannot open session log for writing: " + job.record_path);
+    }
+  }
   SingleAppHarness harness(job.profile, job.spec, job.seed);
   hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), job.doctor, &database,
-                                /*fleet_report=*/nullptr, job.device_id);
+                                /*fleet_report=*/nullptr, job.device_id, recorder.get());
   harness.RunUserSession(job.session, job.user);
 
   result.stats = ScoreHangDoctor(harness.truth(), doctor.log());
@@ -44,22 +58,56 @@ FleetJobResult RunFleetJob(const FleetJob& job) {
   result.discovered = database.discovered();
   result.stack_samples = doctor.stack_samples_taken();
   result.ok = true;
+  if (recorder != nullptr) {
+    recorder->WriteTraceUsage(result.usage.cpu, result.usage.bytes);
+    recorder->Finish();
+  }
   return result;
 }
 
-FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& options) {
+FleetJobResult ReplayFleetJob(const std::string& path,
+                              const hangdoctor::BlockingApiDatabase* known_db) {
+  FleetJobResult result;
+  hangdoctor::BlockingApiDatabase database;
+  if (known_db != nullptr) {
+    database = *known_db;
+  }
+  std::string error;
+  std::unique_ptr<hangdoctor::ReplaySession> session =
+      hangdoctor::ReplaySessionLog(path, &error, &database);
+  if (session == nullptr) {
+    throw std::runtime_error("replay of " + path + " failed: " + error);
+  }
+  const hangdoctor::DetectorCore& core = session->core();
+  // Ground truth is not recorded, so TP/FP/FN scoring is unavailable offline; only the
+  // overhead percentage (recorded usage footer) is reproduced.
+  result.usage.cpu = session->log().usage_cpu;
+  result.usage.bytes = session->log().usage_bytes;
+  result.overhead_pct = session->OverheadPercent();
+  result.stats.overhead_pct = result.overhead_pct;
+  result.report = core.local_report();
+  result.discovered = database.discovered();
+  result.stack_samples = core.stack_samples_taken();
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+// Shared fan-out/merge body of RunFleet and ReplayFleet: `run(i)` produces job i's result.
+template <typename RunJob>
+FleetSummary RunFleetWith(size_t count, const FleetOptions& options, RunJob run) {
   FleetSummary summary;
-  summary.jobs.resize(jobs.size());
+  summary.jobs.resize(count);
 
   {
     simkit::ThreadPool pool(options.jobs);
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      const FleetJob* job = &jobs[i];
+    for (size_t i = 0; i < count; ++i) {
       FleetJobResult* slot = &summary.jobs[i];
-      pool.Submit([job, slot]() {
+      pool.Submit([i, slot, &run]() {
         // A throwing job fails only its own slot; the worker (and the other jobs) carry on.
         try {
-          *slot = RunFleetJob(*job);
+          *slot = run(i);
         } catch (const std::exception& e) {
           slot->ok = false;
           slot->error = e.what();
@@ -89,6 +137,20 @@ FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& option
   return summary;
 }
 
+}  // namespace
+
+FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& options) {
+  return RunFleetWith(jobs.size(), options,
+                      [&jobs](size_t i) { return RunFleetJob(jobs[i]); });
+}
+
+FleetSummary ReplayFleet(std::span<const std::string> paths, const FleetOptions& options,
+                         const hangdoctor::BlockingApiDatabase* known_db) {
+  return RunFleetWith(paths.size(), options, [&paths, known_db](size_t i) {
+    return ReplayFleetJob(paths[i], known_db);
+  });
+}
+
 hangdoctor::HangBugReport FleetSummary::MergeReports(size_t begin, size_t end) const {
   hangdoctor::HangBugReport merged;
   for (size_t i = begin; i < end && i < jobs.size(); ++i) {
@@ -99,17 +161,37 @@ hangdoctor::HangBugReport FleetSummary::MergeReports(size_t begin, size_t end) c
   return merged;
 }
 
-int32_t ResolveJobs(int argc, char** argv) {
+namespace {
+
+std::string FlagValue(int argc, char** argv, const char* prefix) {
+  size_t length = std::strlen(prefix);
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      int value = std::atoi(arg + 7);
-      if (value > 0) {
-        return value;
-      }
+    if (std::strncmp(argv[i], prefix, length) == 0) {
+      return std::string(argv[i] + length);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int32_t ResolveJobs(int argc, char** argv) {
+  std::string value = FlagValue(argc, argv, "--jobs=");
+  if (!value.empty()) {
+    int jobs = std::atoi(value.c_str());
+    if (jobs > 0) {
+      return jobs;
     }
   }
   return simkit::ThreadPool::DefaultJobCount();
+}
+
+std::string ResolveRecordDir(int argc, char** argv) {
+  return FlagValue(argc, argv, "--record=");
+}
+
+std::string ResolveReplayDir(int argc, char** argv) {
+  return FlagValue(argc, argv, "--replay=");
 }
 
 }  // namespace workload

@@ -9,6 +9,11 @@
 // merges fold in job-index order. Therefore the merged DetectionStats, the merged
 // HangBugReport, and each per-job result are bit-identical for any worker count
 // (`FleetOptions::jobs`) and any host scheduling order. Same seeds => same results.
+//
+// Record/replay: a job with `record_path` set writes an HDSL session log of the exact
+// telemetry its HangDoctor consumed (src/hosts/session_log.h); ReplayFleetJob re-runs a
+// detector from such a log offline, with a bit-identical report and execution log. Recording
+// is a passive tap, so a recorded fleet's results are bit-identical to an unrecorded one.
 #ifndef SRC_WORKLOAD_FLEET_H_
 #define SRC_WORKLOAD_FLEET_H_
 
@@ -17,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/simkit/time.h"
 #include "src/workload/experiment.h"
 
@@ -36,6 +41,8 @@ struct FleetJob {
   // job copies it so no mutable state is shared across workers and discoveries stay
   // deterministic regardless of which job finishes first.
   const hangdoctor::BlockingApiDatabase* known_db = nullptr;
+  // When non-empty, write an HDSL session log of this job's telemetry stream here.
+  std::string record_path;
 };
 
 // Deterministic per-job seed: splits the fleet master stream by job index with simkit::Rng
@@ -79,9 +86,24 @@ FleetJobResult RunFleetJob(const FleetJob& job);
 // is excluded from the merged aggregates; the remaining jobs are unaffected.
 FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& options = {});
 
+// Replays one recorded session log offline. The replayed report, execution log, and overhead
+// accounting are bit-identical to the recording job's. Ground truth is not in the log, so
+// `stats` stays zero apart from overhead_pct (detection-only replay); pass the same seeded
+// `known_db` as the live run to reproduce the report's `discovered` markers.
+FleetJobResult ReplayFleetJob(const std::string& path,
+                              const hangdoctor::BlockingApiDatabase* known_db = nullptr);
+
+// Replays many logs across the pool (same merge semantics as RunFleet).
+FleetSummary ReplayFleet(std::span<const std::string> paths, const FleetOptions& options = {},
+                         const hangdoctor::BlockingApiDatabase* known_db = nullptr);
+
 // Resolves the worker count for a CLI consumer: `--jobs=N` argv flag wins, then the
 // HANGDOCTOR_JOBS environment variable, then hardware_concurrency.
 int32_t ResolveJobs(int argc, char** argv);
+
+// CLI flag helpers for record/replay: `--record=DIR` / `--replay=DIR`; empty when absent.
+std::string ResolveRecordDir(int argc, char** argv);
+std::string ResolveReplayDir(int argc, char** argv);
 
 }  // namespace workload
 

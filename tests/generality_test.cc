@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/hangdoctor/correlation.h"
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/catalog.h"
 #include "src/workload/experiment.h"
 #include "src/workload/fleet.h"

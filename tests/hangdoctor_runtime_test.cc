@@ -3,7 +3,7 @@
 // bugs, main-only mode and the test-bed (second-phase-only) mode.
 #include <gtest/gtest.h>
 
-#include "src/hangdoctor/hang_doctor.h"
+#include "src/hosts/hang_doctor.h"
 #include "src/workload/api_catalog.h"
 #include "src/workload/user_model.h"
 

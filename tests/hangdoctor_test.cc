@@ -3,6 +3,7 @@
 // correlation trainer and the overhead meter.
 #include <gtest/gtest.h>
 
+#include "src/droidsim/symbols.h"
 #include "src/hangdoctor/action_state.h"
 #include "src/hangdoctor/blocking_api_db.h"
 #include "src/hangdoctor/correlation.h"
@@ -20,10 +21,10 @@ using hangdoctor::FilterCondition;
 using hangdoctor::LabeledSample;
 using hangdoctor::SoftHangFilter;
 using hangdoctor::TraceAnalyzer;
-using perfsim::PerfEventType;
+using telemetry::PerfEventType;
 
-perfsim::CounterArray Diffs(double ctx, double task, double page) {
-  perfsim::CounterArray diffs{};
+telemetry::CounterArray Diffs(double ctx, double task, double page) {
+  telemetry::CounterArray diffs{};
   diffs[static_cast<size_t>(PerfEventType::kContextSwitches)] = ctx;
   diffs[static_cast<size_t>(PerfEventType::kTaskClock)] = task;
   diffs[static_cast<size_t>(PerfEventType::kPageFaults)] = page;
