@@ -15,11 +15,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench/smoke.h"
 #include "src/baselines/offline_scanner.h"
+#include "src/faultsim/fault_plan.h"
+#include "src/hangdoctor/stream_guard.h"
 #include "src/hosts/hang_doctor.h"
 #include "src/workload/experiment.h"
 #include "src/workload/fleet.h"
@@ -68,6 +71,26 @@ int main(int argc, char** argv) {
       job.device_id = device;
       job.known_db = &known_db;
       jobs.push_back(job);
+    }
+  }
+
+  // --faults=PROFILE injects seeded telemetry faults into every job (src/faultsim); with the
+  // flag absent the profile is "none" and the output below is byte-identical to a build
+  // without the fault layer.
+  faultsim::FaultProfile faults;
+  try {
+    faults = workload::ResolveFaultProfile(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s; known profiles:", e.what());
+    for (const std::string& name : faultsim::FaultProfile::KnownProfiles()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  if (faults.enabled()) {
+    for (workload::FleetJob& job : jobs) {
+      job.faults = faults;
     }
   }
 
@@ -170,5 +193,47 @@ int main(int argc, char** argv) {
   std::printf("new blocking APIs discovered by the fleet at runtime: %zu\n\n",
               summary.discovered.size());
   std::printf("%s\n", summary.merged_report.Render(devices_per_app).c_str());
+
+  // Degradation accounting — printed only under --faults so the fault-free output stays
+  // byte-identical to the pinned goldens.
+  if (faults.enabled()) {
+    hangdoctor::DegradationStats total;
+    int64_t degraded_jobs = 0;
+    int64_t stream_errors = 0;
+    int64_t record_failures = 0;
+    for (const workload::FleetJobResult& result : summary.jobs) {
+      if (!result.ok) {
+        continue;
+      }
+      total.counter_open_failures += result.degradation.counter_open_failures;
+      total.counter_retries += result.degradation.counter_retries;
+      total.invalid_counter_windows += result.degradation.invalid_counter_windows;
+      total.degraded_checks += result.degradation.degraded_checks;
+      total.empty_trace_windows += result.degradation.empty_trace_windows;
+      total.dropped_records += result.degradation.dropped_records;
+      if (result.degradation.Degraded()) {
+        ++degraded_jobs;
+      }
+      if (!result.stream_ok) {
+        ++stream_errors;
+      }
+      if (!result.record_ok) {
+        ++record_failures;
+      }
+    }
+    std::printf("=== Fault injection: profile '%s' ===\n", faults.name.c_str());
+    std::printf("degraded jobs: %ld/%zu  (stream errors: %ld, torn recordings: %ld)\n",
+                static_cast<long>(degraded_jobs), summary.jobs.size(),
+                static_cast<long>(stream_errors), static_cast<long>(record_failures));
+    std::printf("counter opens failed: %ld  retries: %ld  invalid windows: %ld  degraded "
+                "checks: %ld\n",
+                static_cast<long>(total.counter_open_failures),
+                static_cast<long>(total.counter_retries),
+                static_cast<long>(total.invalid_counter_windows),
+                static_cast<long>(total.degraded_checks));
+    std::printf("empty trace windows: %ld  dropped records: %ld\n",
+                static_cast<long>(total.empty_trace_windows),
+                static_cast<long>(total.dropped_records));
+  }
   return 0;
 }

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Verifies the committed fuzz corpus against its hash manifest. The fuzz harness
+# (tests/hdsl_fuzz_test.cc) derives every mutant deterministically from these bytes, so a
+# silently-changed corpus would silently change what CI fuzzes; regenerate with
+# tools/make_corpus and refresh MANIFEST.sha256 together, never one without the other.
+set -euo pipefail
+cd "$(dirname "$0")/../tests/corpus"
+sha256sum --check --strict MANIFEST.sha256

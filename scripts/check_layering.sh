@@ -17,7 +17,9 @@ if [ ! -d "$core_dir" ]; then
   exit 2
 fi
 
-violations=$(grep -rnE '#include "src/(droidsim|perfsim|kernelsim|hosts|baselines|workload)/' \
+# faultsim is also forbidden: fault *injection* is a host-side concern — the core only ever
+# sees the faulty telemetry (and CounterFault records), never the plan that produced it.
+violations=$(grep -rnE '#include "src/(droidsim|perfsim|kernelsim|hosts|baselines|workload|faultsim)/' \
   "$core_dir" || true)
 
 if [ -n "$violations" ]; then

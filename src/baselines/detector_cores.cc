@@ -25,24 +25,35 @@ TimeoutCore::TimeoutCore(const hangdoctor::SessionInfo& info, TimeoutDetectorCon
     : info_(info), config_(config), analyzer_(config.analyzer) {}
 
 void TimeoutCore::OnDispatchStart(const hangdoctor::DispatchStart& start) {
+  if (!guard_.AdmitTime(start.now)) {
+    return;
+  }
   overhead_.AddCpu(config_.costs.response_probe);
   live_.try_emplace(start.execution_id);
 }
 
 void TimeoutCore::OnDispatchEnd(const hangdoctor::DispatchEnd& end) {
-  overhead_.AddCpu(config_.costs.response_probe);
-  auto it = live_.find(end.execution_id);
-  if (it == live_.end()) {
+  if (!guard_.AdmitTime(end.now)) {
     return;
   }
+  auto it = live_.find(end.execution_id);
+  if (it == live_.end()) {
+    ++degradation_.dropped_records;
+    return;
+  }
+  overhead_.AddCpu(config_.costs.response_probe);
   if (end.trace_stopped) {
     ChargeStoppedTrace(end, config_.costs, overhead_, it->second.traces);
   }
 }
 
 void TimeoutCore::OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce) {
+  if (!guard_.AdmitTime(quiesce.now)) {
+    return;
+  }
   auto it = live_.find(quiesce.execution_id);
   if (it == live_.end()) {
+    ++degradation_.dropped_records;
     return;
   }
   DetectionOutcome outcome;
@@ -64,6 +75,9 @@ UtilizationCore::UtilizationCore(const hangdoctor::SessionInfo& info,
     : info_(info), config_(std::move(config)), analyzer_(config_.analyzer) {}
 
 void UtilizationCore::OnDispatchStart(const hangdoctor::DispatchStart& start) {
+  if (!guard_.AdmitTime(start.now)) {
+    return;
+  }
   overhead_.AddCpu(config_.costs.response_probe);
   live_.try_emplace(start.execution_id);
   dispatching_execution_ = start.execution_id;
@@ -96,20 +110,28 @@ bool UtilizationCore::OnUtilizationTick(const UtilizationSample& sample) {
 }
 
 void UtilizationCore::OnDispatchEnd(const hangdoctor::DispatchEnd& end) {
-  overhead_.AddCpu(config_.costs.response_probe);
+  if (!guard_.AdmitTime(end.now)) {
+    return;
+  }
   dispatching_execution_ = -1;
   auto it = live_.find(end.execution_id);
   if (it == live_.end()) {
+    ++degradation_.dropped_records;
     return;
   }
+  overhead_.AddCpu(config_.costs.response_probe);
   if (end.trace_stopped) {
     ChargeStoppedTrace(end, config_.costs, overhead_, it->second.traces);
   }
 }
 
 void UtilizationCore::OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce) {
+  if (!guard_.AdmitTime(quiesce.now)) {
+    return;
+  }
   auto it = live_.find(quiesce.execution_id);
   if (it == live_.end()) {
+    ++degradation_.dropped_records;
     return;
   }
   DetectionOutcome outcome;
@@ -130,6 +152,9 @@ CombinedCore::CombinedCore(const hangdoctor::SessionInfo& info, CombinedDetector
     : info_(info), config_(std::move(config)), analyzer_(config_.analyzer) {}
 
 void CombinedCore::OnDispatchStart(const hangdoctor::DispatchStart& start) {
+  if (!guard_.AdmitTime(start.now)) {
+    return;
+  }
   overhead_.AddCpu(config_.costs.response_probe);
   live_.try_emplace(start.execution_id);
 }
@@ -149,19 +174,27 @@ bool CombinedCore::OnHangSample(int64_t execution_id, const UtilizationSample& s
 }
 
 void CombinedCore::OnDispatchEnd(const hangdoctor::DispatchEnd& end) {
-  overhead_.AddCpu(config_.costs.response_probe);
-  auto it = live_.find(end.execution_id);
-  if (it == live_.end()) {
+  if (!guard_.AdmitTime(end.now)) {
     return;
   }
+  auto it = live_.find(end.execution_id);
+  if (it == live_.end()) {
+    ++degradation_.dropped_records;
+    return;
+  }
+  overhead_.AddCpu(config_.costs.response_probe);
   if (end.trace_stopped) {
     ChargeStoppedTrace(end, config_.costs, overhead_, it->second.traces);
   }
 }
 
 void CombinedCore::OnActionQuiesced(const hangdoctor::ActionQuiesce& quiesce) {
+  if (!guard_.AdmitTime(quiesce.now)) {
+    return;
+  }
   auto it = live_.find(quiesce.execution_id);
   if (it == live_.end()) {
+    ++degradation_.dropped_records;
     return;
   }
   DetectionOutcome outcome;

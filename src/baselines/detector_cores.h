@@ -5,6 +5,11 @@
 // timeout_detector.h / utilization_detector.h / combined_detector.h own the simulator
 // mechanics (timeout timers, /proc snapshots, the stack sampler) and delegate every decision
 // here — so the baselines, like Hang Doctor, are replayable functions of a telemetry stream.
+//
+// Every core embeds the same hangdoctor::StreamGuard contract as DetectorCore: an impossible
+// stream (time regression) fails sticky; duplicate-shaped records (an end or quiesce for an
+// unknown execution) are dropped and counted in DegradationStats — keeping fault-injected
+// Table 2/5 comparisons apples-to-apples across detectors.
 #ifndef SRC_BASELINES_DETECTOR_CORES_H_
 #define SRC_BASELINES_DETECTOR_CORES_H_
 
@@ -14,6 +19,7 @@
 
 #include "src/hangdoctor/host_spi.h"
 #include "src/hangdoctor/overhead.h"
+#include "src/hangdoctor/stream_guard.h"
 #include "src/hangdoctor/thresholds.h"
 #include "src/hangdoctor/trace_analyzer.h"
 
@@ -87,6 +93,8 @@ class TimeoutCore {
   const std::vector<DetectionOutcome>& outcomes() const { return outcomes_; }
   const hangdoctor::OverheadMeter& overhead() const { return overhead_; }
   const TimeoutDetectorConfig& config() const { return config_; }
+  const hangdoctor::DegradationStats& degradation() const { return degradation_; }
+  const hangdoctor::StreamGuard& stream() const { return guard_; }
 
  private:
   struct LiveExecution {
@@ -97,6 +105,8 @@ class TimeoutCore {
   TimeoutDetectorConfig config_;
   hangdoctor::TraceAnalyzer analyzer_;
   hangdoctor::OverheadMeter overhead_;
+  hangdoctor::StreamGuard guard_;
+  hangdoctor::DegradationStats degradation_;
   std::unordered_map<int64_t, LiveExecution> live_;
   std::vector<DetectionOutcome> outcomes_;
 };
@@ -118,6 +128,8 @@ class UtilizationCore {
   const std::vector<DetectionOutcome>& outcomes() const { return outcomes_; }
   const hangdoctor::OverheadMeter& overhead() const { return overhead_; }
   const UtilizationDetectorConfig& config() const { return config_; }
+  const hangdoctor::DegradationStats& degradation() const { return degradation_; }
+  const hangdoctor::StreamGuard& stream() const { return guard_; }
   int64_t samples_taken() const { return samples_taken_; }
   int64_t spurious_detections() const { return spurious_; }
 
@@ -131,6 +143,8 @@ class UtilizationCore {
   UtilizationDetectorConfig config_;
   hangdoctor::TraceAnalyzer analyzer_;
   hangdoctor::OverheadMeter overhead_;
+  hangdoctor::StreamGuard guard_;
+  hangdoctor::DegradationStats degradation_;
   std::unordered_map<int64_t, LiveExecution> live_;
   std::vector<DetectionOutcome> outcomes_;
   int64_t dispatching_execution_ = -1;  // execution whose event is currently dispatching
@@ -154,6 +168,8 @@ class CombinedCore {
   const std::vector<DetectionOutcome>& outcomes() const { return outcomes_; }
   const hangdoctor::OverheadMeter& overhead() const { return overhead_; }
   const CombinedDetectorConfig& config() const { return config_; }
+  const hangdoctor::DegradationStats& degradation() const { return degradation_; }
+  const hangdoctor::StreamGuard& stream() const { return guard_; }
 
  private:
   struct LiveExecution {
@@ -165,6 +181,8 @@ class CombinedCore {
   CombinedDetectorConfig config_;
   hangdoctor::TraceAnalyzer analyzer_;
   hangdoctor::OverheadMeter overhead_;
+  hangdoctor::StreamGuard guard_;
+  hangdoctor::DegradationStats degradation_;
   std::unordered_map<int64_t, LiveExecution> live_;
   std::vector<DetectionOutcome> outcomes_;
 };

@@ -1,0 +1,118 @@
+#include "src/faultsim/fault_injector.h"
+
+#include <utility>
+
+namespace faultsim {
+
+FaultInjector::FaultInjector(FaultPlan plan, hangdoctor::DetectorCore* core,
+                             hangdoctor::TelemetrySink* sink)
+    : plan_(std::move(plan)), core_(core), sink_(sink) {}
+
+hangdoctor::MonitorDirectives FaultInjector::PushStart(const hangdoctor::DispatchStart& start) {
+  // A held record is released after the *next* record: the start is that next record, so it
+  // goes first and the stale one follows with its older timestamp.
+  if (sink_ != nullptr) {
+    sink_->OnDispatchStart(start);
+  }
+  hangdoctor::MonitorDirectives directives = core_->OnDispatchStart(start);
+  ReleaseHeld();
+  return directives;
+}
+
+void FaultInjector::DeliverEnd(const hangdoctor::DispatchEnd& end) {
+  if (sink_ != nullptr) {
+    sink_->OnDispatchEnd(end);
+  }
+  core_->OnDispatchEnd(end);
+}
+
+void FaultInjector::DeliverQuiesce(const hangdoctor::ActionQuiesce& quiesce) {
+  if (sink_ != nullptr) {
+    sink_->OnActionQuiesce(quiesce);
+  }
+  core_->OnActionQuiesced(quiesce);
+}
+
+void FaultInjector::ReleaseHeld() {
+  if (!held_.has_value()) {
+    return;
+  }
+  Held held = std::move(*held_);
+  held_.reset();
+  if (held.is_end) {
+    held.end.samples = held.samples;
+    DeliverEnd(held.end);
+  } else {
+    DeliverQuiesce(held.quiesce);
+  }
+}
+
+void FaultInjector::PushEnd(const hangdoctor::DispatchEnd& end) {
+  FaultPlan::RecordFate fate = plan_.NextRecordFate();
+  if (fate == FaultPlan::RecordFate::kDelay) {
+    // Hold this record; whatever is pushed next goes first. An already-held record is
+    // released now (at most one record rides the delay buffer).
+    Held held;
+    held.is_end = true;
+    held.end = end;
+    held.samples.assign(end.samples.begin(), end.samples.end());
+    ReleaseHeld();
+    held_ = std::move(held);
+    return;
+  }
+  DeliverEnd(end);
+  if (fate == FaultPlan::RecordFate::kDuplicate) {
+    DeliverEnd(end);
+  }
+  ReleaseHeld();
+}
+
+void FaultInjector::PushQuiesce(const hangdoctor::ActionQuiesce& quiesce) {
+  FaultPlan::RecordFate fate = plan_.NextRecordFate();
+  if (fate == FaultPlan::RecordFate::kDelay) {
+    Held held;
+    held.is_end = false;
+    held.quiesce = quiesce;
+    ReleaseHeld();
+    held_ = std::move(held);
+    return;
+  }
+  DeliverQuiesce(quiesce);
+  if (fate == FaultPlan::RecordFate::kDuplicate) {
+    DeliverQuiesce(quiesce);
+  }
+  ReleaseHeld();
+}
+
+void FaultInjector::PushCounterFault(const hangdoctor::CounterFault& fault) {
+  if (sink_ != nullptr) {
+    sink_->OnCounterFault(fault);
+  }
+  core_->OnCounterFault(fault);
+  ReleaseHeld();
+}
+
+std::vector<telemetry::StackTrace> FaultInjector::FilterSamples(
+    std::span<const telemetry::StackTrace> samples) {
+  std::vector<telemetry::StackTrace> kept;
+  FaultPlan::WindowFate fate = plan_.NextWindowFate();
+  if (fate == FaultPlan::WindowFate::kLost || samples.empty()) {
+    return kept;
+  }
+  size_t limit = samples.size();
+  if (fate == FaultPlan::WindowFate::kTimeout) {
+    // The collector died partway through the window: only the first half of the samples was
+    // ever taken.
+    limit = samples.size() / 2;
+  }
+  kept.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    if (plan_.NextSampleDrop()) {
+      continue;
+    }
+    kept.push_back(samples[i]);
+  }
+  return kept;
+}
+
+}  // namespace faultsim

@@ -1,0 +1,121 @@
+#include "src/faultsim/fault_plan.h"
+
+#include <stdexcept>
+
+namespace faultsim {
+
+bool FaultProfile::enabled() const {
+  return counter_open_fail > 0.0 || counter_read_invalid > 0.0 || sample_drop > 0.0 ||
+         trace_timeout > 0.0 || trace_lost > 0.0 || duplicate_record > 0.0 ||
+         delay_record > 0.0 || hdsl_fail_after >= 0;
+}
+
+FaultProfile FaultProfile::Named(const std::string& name) {
+  FaultProfile profile;
+  profile.name = name;
+  if (name == "none") {
+    return profile;
+  }
+  if (name == "flaky-counters") {
+    // Transient perf_event_open refusals: exercises retry-with-backoff.
+    profile.counter_open_fail = 0.35;
+    profile.counter_open_permanent = 0.0;
+    profile.counter_read_invalid = 0.10;
+    return profile;
+  }
+  if (name == "no-counters") {
+    // Counters permanently unavailable from the first open: S-Checker must degrade to the
+    // timeout-only predicate and flag everything it reports.
+    profile.counter_open_fail = 1.0;
+    profile.counter_open_permanent = 1.0;
+    return profile;
+  }
+  if (name == "lossy-sampler") {
+    // A sampler that drops samples, times out, or loses whole windows: exercises the
+    // zero-sample diagnosis abort/retry path.
+    profile.sample_drop = 0.25;
+    profile.trace_timeout = 0.20;
+    profile.trace_lost = 0.15;
+    return profile;
+  }
+  if (name == "reorder") {
+    // Duplicate and delayed End/Quiesce records: exercises the StreamGuard drop-and-count
+    // policy and its sticky time-regression error.
+    profile.duplicate_record = 0.10;
+    profile.delay_record = 0.05;
+    return profile;
+  }
+  if (name == "torn-log") {
+    // The session log dies mid-write; detection is unaffected but the recorder must report
+    // failure and the reader must reject the truncated file.
+    profile.hdsl_fail_after = 1024;
+    return profile;
+  }
+  if (name == "chaos") {
+    // Everything at once, at lower rates.
+    profile.counter_open_fail = 0.20;
+    profile.counter_open_permanent = 0.10;
+    profile.counter_read_invalid = 0.10;
+    profile.sample_drop = 0.10;
+    profile.trace_timeout = 0.10;
+    profile.trace_lost = 0.05;
+    profile.duplicate_record = 0.05;
+    profile.delay_record = 0.02;
+    return profile;
+  }
+  throw std::invalid_argument("unknown fault profile: " + name);
+}
+
+std::vector<std::string> FaultProfile::KnownProfiles() {
+  return {"none",    "flaky-counters", "no-counters", "lossy-sampler",
+          "reorder", "torn-log",       "chaos"};
+}
+
+FaultPlan::FaultPlan(const FaultProfile& profile, uint64_t seed)
+    : profile_(profile),
+      counter_rng_(simkit::Rng(seed, 0x666c7401).Fork(1)),
+      read_rng_(simkit::Rng(seed, 0x666c7401).Fork(2)),
+      sampler_rng_(simkit::Rng(seed, 0x666c7401).Fork(3)),
+      record_rng_(simkit::Rng(seed, 0x666c7401).Fork(4)) {}
+
+FaultPlan::CounterOpen FaultPlan::NextCounterOpen() {
+  if (permanent_issued_) {
+    return CounterOpen::kPermanentFailure;
+  }
+  if (!counter_rng_.Bernoulli(profile_.counter_open_fail)) {
+    return CounterOpen::kOk;
+  }
+  if (counter_rng_.Bernoulli(profile_.counter_open_permanent)) {
+    permanent_issued_ = true;
+    return CounterOpen::kPermanentFailure;
+  }
+  return CounterOpen::kTransientFailure;
+}
+
+bool FaultPlan::NextCounterReadInvalid() {
+  return read_rng_.Bernoulli(profile_.counter_read_invalid);
+}
+
+FaultPlan::WindowFate FaultPlan::NextWindowFate() {
+  if (sampler_rng_.Bernoulli(profile_.trace_lost)) {
+    return WindowFate::kLost;
+  }
+  if (sampler_rng_.Bernoulli(profile_.trace_timeout)) {
+    return WindowFate::kTimeout;
+  }
+  return WindowFate::kIntact;
+}
+
+bool FaultPlan::NextSampleDrop() { return sampler_rng_.Bernoulli(profile_.sample_drop); }
+
+FaultPlan::RecordFate FaultPlan::NextRecordFate() {
+  if (record_rng_.Bernoulli(profile_.duplicate_record)) {
+    return RecordFate::kDuplicate;
+  }
+  if (record_rng_.Bernoulli(profile_.delay_record)) {
+    return RecordFate::kDelay;
+  }
+  return RecordFate::kDeliver;
+}
+
+}  // namespace faultsim

@@ -1,0 +1,102 @@
+// Seeded, deterministic telemetry fault plans. A FaultPlan is the single source of every
+// fault decision a host makes while feeding a DetectorCore: whether a counter session opens,
+// whether a counter read delivers garbage, whether the stack sampler drops a sample or loses
+// a whole collection window, and whether an SPI record is duplicated or delayed in flight.
+//
+// Determinism contract (same as the fleet seeds in src/workload/fleet.h): a plan is a pure
+// function of (FaultProfile, seed). Each decision family draws from its own forked Rng
+// stream, so e.g. adding a sampler-fault query never perturbs the counter-fault sequence —
+// the property that keeps a recorded faulty session byte-identical under replay and under
+// any --jobs=N sharding.
+//
+// The layer sits strictly host-side: the core never sees the plan, only the faulty telemetry
+// it produces (plus CounterFault records), exactly as a real device's flaky kernel would
+// present itself.
+#ifndef SRC_FAULTSIM_FAULT_PLAN_H_
+#define SRC_FAULTSIM_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/simkit/rng.h"
+
+namespace faultsim {
+
+// The fault taxonomy, as per-decision probabilities. Probabilities are evaluated
+// independently at each decision point (see FaultPlan methods). The named presets below
+// cover the study's degradation scenarios; DESIGN.md 3.4 tabulates them.
+struct FaultProfile {
+  std::string name = "none";
+  // P(a counter-session open fails) — evaluated per start_counters directive.
+  double counter_open_fail = 0.0;
+  // P(a failed open is permanent) — "counters disabled on this device".
+  double counter_open_permanent = 0.0;
+  // P(a hang's counter read delivers an unusable window: counters_valid false or NaN).
+  double counter_read_invalid = 0.0;
+  // P(an individual stack sample is dropped by the sampler).
+  double sample_drop = 0.0;
+  // P(a collection window times out: only a prefix of its samples is delivered).
+  double trace_timeout = 0.0;
+  // P(a collection window is lost entirely: trace_stopped with zero samples).
+  double trace_lost = 0.0;
+  // P(a DispatchEnd/ActionQuiesce record is delivered twice).
+  double duplicate_record = 0.0;
+  // P(a DispatchEnd/ActionQuiesce record is held back and delivered after its successor,
+  // i.e. out of order — with its original timestamp, so the core sees time regress).
+  double delay_record = 0.0;
+  // Session-log writer byte budget: every byte past this fails to land (torn write / full
+  // disk). Negative disables.
+  int64_t hdsl_fail_after = -1;
+
+  // True when any fault can fire.
+  bool enabled() const;
+
+  // Named presets: "none", "flaky-counters", "no-counters", "lossy-sampler", "reorder",
+  // "torn-log", "chaos". Throws std::invalid_argument on an unknown name.
+  static FaultProfile Named(const std::string& name);
+  static std::vector<std::string> KnownProfiles();
+};
+
+// The stateful decision stream for one session. Copyable by value into a host.
+class FaultPlan {
+ public:
+  // A disabled plan: every decision is "no fault", with zero Rng draws.
+  FaultPlan() = default;
+  FaultPlan(const FaultProfile& profile, uint64_t seed);
+
+  bool enabled() const { return profile_.enabled(); }
+  const FaultProfile& profile() const { return profile_; }
+
+  enum class CounterOpen { kOk, kTransientFailure, kPermanentFailure };
+  // Decides the fate of one counter-session open. Once a permanent failure has been issued
+  // every later open fails permanently too (the device's counters do not come back).
+  CounterOpen NextCounterOpen();
+
+  // Decides whether a hang's counter read window is unusable.
+  bool NextCounterReadInvalid();
+
+  enum class WindowFate { kIntact, kTimeout, kLost };
+  // Decides the fate of one trace-collection window (lost beats timeout).
+  WindowFate NextWindowFate();
+
+  // Decides whether one sample inside a surviving window is dropped.
+  bool NextSampleDrop();
+
+  enum class RecordFate { kDeliver, kDuplicate, kDelay };
+  // Decides the in-flight fate of one DispatchEnd/ActionQuiesce record.
+  RecordFate NextRecordFate();
+
+ private:
+  FaultProfile profile_;
+  bool permanent_issued_ = false;
+  // One independent stream per decision family (see file comment).
+  simkit::Rng counter_rng_{0};
+  simkit::Rng read_rng_{0};
+  simkit::Rng sampler_rng_{0};
+  simkit::Rng record_rng_{0};
+};
+
+}  // namespace faultsim
+
+#endif  // SRC_FAULTSIM_FAULT_PLAN_H_

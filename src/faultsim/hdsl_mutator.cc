@@ -1,0 +1,143 @@
+#include "src/faultsim/hdsl_mutator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace faultsim {
+
+namespace {
+
+// [begin, end) of record index `i` in the byte stream.
+std::pair<size_t, size_t> RecordSpan(const std::string& bytes,
+                                     std::span<const size_t> record_offsets, size_t i) {
+  size_t begin = record_offsets[i];
+  size_t end = i + 1 < record_offsets.size() ? record_offsets[i + 1] : bytes.size();
+  return {begin, end};
+}
+
+}  // namespace
+
+const char* HdslMutationName(HdslMutation mutation) {
+  switch (mutation) {
+    case HdslMutation::kBitFlip:
+      return "bit-flip";
+    case HdslMutation::kByteSet:
+      return "byte-set";
+    case HdslMutation::kTruncateAtRecord:
+      return "truncate-at-record";
+    case HdslMutation::kTruncateMidRecord:
+      return "truncate-mid-record";
+    case HdslMutation::kCorruptTag:
+      return "corrupt-tag";
+    case HdslMutation::kCorruptVarint:
+      return "corrupt-varint";
+    case HdslMutation::kDuplicateRecord:
+      return "duplicate-record";
+    case HdslMutation::kSwapRecords:
+      return "swap-records";
+    case HdslMutation::kDeleteRecord:
+      return "delete-record";
+  }
+  return "?";
+}
+
+std::string MutateSessionLog(const std::string& bytes, size_t header_end,
+                             std::span<const size_t> record_offsets, simkit::Rng& rng,
+                             HdslMutation* applied) {
+  auto mutation = static_cast<HdslMutation>(rng.UniformInt(0, kNumHdslMutations - 1));
+  if (applied != nullptr) {
+    *applied = mutation;
+  }
+  std::string out = bytes;
+  if (out.empty()) {
+    return out;
+  }
+  bool have_records = !record_offsets.empty();
+  switch (mutation) {
+    case HdslMutation::kBitFlip: {
+      size_t pos = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+      out[pos] = static_cast<char>(static_cast<uint8_t>(out[pos]) ^
+                                   (1u << static_cast<unsigned>(rng.UniformInt(0, 7))));
+      break;
+    }
+    case HdslMutation::kByteSet: {
+      size_t pos = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+      out[pos] = static_cast<char>(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      break;
+    }
+    case HdslMutation::kTruncateAtRecord: {
+      if (!have_records) {
+        out.resize(out.size() / 2);
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 1));
+      out.resize(record_offsets[index]);
+      break;
+    }
+    case HdslMutation::kTruncateMidRecord: {
+      // Anywhere in the file, header included — a torn write stops mid-field.
+      size_t cut = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+      out.resize(cut);
+      break;
+    }
+    case HdslMutation::kCorruptTag: {
+      if (!have_records) {
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 1));
+      out[record_offsets[index]] = static_cast<char>(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      break;
+    }
+    case HdslMutation::kCorruptVarint: {
+      // Set continuation bits on the bytes after a tag: the parser must bound varint length
+      // rather than shift forever.
+      size_t begin = have_records
+                         ? record_offsets[static_cast<size_t>(rng.UniformInt(
+                               0, static_cast<int64_t>(record_offsets.size()) - 1))] +
+                               1
+                         : std::min(header_end, out.size() - 1);
+      for (size_t i = begin; i < out.size() && i < begin + 12; ++i) {
+        out[i] = static_cast<char>(static_cast<uint8_t>(out[i]) | 0x80);
+      }
+      break;
+    }
+    case HdslMutation::kDuplicateRecord: {
+      if (!have_records) {
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 1));
+      auto [begin, end] = RecordSpan(bytes, record_offsets, index);
+      out.insert(end, bytes.substr(begin, end - begin));
+      break;
+    }
+    case HdslMutation::kSwapRecords: {
+      if (record_offsets.size() < 2) {
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 2));
+      auto [a_begin, a_end] = RecordSpan(bytes, record_offsets, index);
+      auto [b_begin, b_end] = RecordSpan(bytes, record_offsets, index + 1);
+      std::string swapped = bytes.substr(b_begin, b_end - b_begin) +
+                            bytes.substr(a_begin, a_end - a_begin);
+      out.replace(a_begin, b_end - a_begin, swapped);
+      break;
+    }
+    case HdslMutation::kDeleteRecord: {
+      if (!have_records) {
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 1));
+      auto [begin, end] = RecordSpan(bytes, record_offsets, index);
+      out.erase(begin, end - begin);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace faultsim

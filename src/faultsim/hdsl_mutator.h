@@ -1,0 +1,46 @@
+// Structure-aware HDSL mutation for the deterministic fuzz harness. Blind bit flipping
+// mostly dies at the magic check; these mutations use the record-boundary map produced by
+// hangdoctor::ScanSessionLog (passed in as plain offsets so this layer never depends on the
+// hosts library) to land corruption where the parser actually has decisions to make: tag
+// bytes, varint continuations, record boundaries, and record-level reordering.
+//
+// Every mutant is a pure function of (bytes, layout, the Rng's state), so a failing seed
+// reproduces exactly.
+#ifndef SRC_FAULTSIM_HDSL_MUTATOR_H_
+#define SRC_FAULTSIM_HDSL_MUTATOR_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "src/simkit/rng.h"
+
+namespace faultsim {
+
+// The mutation families, exposed so tests can assert coverage and bias selection.
+enum class HdslMutation {
+  kBitFlip,           // flip one bit anywhere in the file
+  kByteSet,           // overwrite one byte with a random value
+  kTruncateAtRecord,  // cut the file at a record boundary (clean truncation)
+  kTruncateMidRecord, // cut the file inside a record (torn write)
+  kCorruptTag,        // overwrite a record's tag byte
+  kCorruptVarint,     // set continuation bits after a record tag (runaway varint)
+  kDuplicateRecord,   // re-insert a whole record after itself
+  kSwapRecords,       // exchange two adjacent records
+  kDeleteRecord,      // remove a whole record
+};
+inline constexpr int kNumHdslMutations = 9;
+
+const char* HdslMutationName(HdslMutation mutation);
+
+// Applies one randomly chosen mutation (uniform over the families above) to `bytes`.
+// `header_end` and `record_offsets` come from a ScanSessionLog of the *original* bytes; the
+// trailing kEnd marker must be included in `record_offsets`. Returns the mutant and reports
+// the family chosen via `applied` (may be null).
+std::string MutateSessionLog(const std::string& bytes, size_t header_end,
+                             std::span<const size_t> record_offsets, simkit::Rng& rng,
+                             HdslMutation* applied = nullptr);
+
+}  // namespace faultsim
+
+#endif  // SRC_FAULTSIM_HDSL_MUTATOR_H_

@@ -1,6 +1,8 @@
 #include "src/hangdoctor/detector_core.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace hangdoctor {
@@ -21,6 +23,8 @@ const char* VerdictName(Verdict verdict) {
       return "diagnosed-ui";
     case Verdict::kDiagnosedBug:
       return "diagnosed-bug";
+    case Verdict::kCounterFailure:
+      return "counter-failure";
   }
   return "?";
 }
@@ -33,6 +37,13 @@ DetectorCore::DetectorCore(const SessionInfo& info, HangDoctorConfig config,
       analyzer_(config_.analyzer),
       database_(database != nullptr ? database : &own_database_),
       fleet_report_(fleet_report) {
+  if (info_.symbols == nullptr) {
+    throw std::invalid_argument("DetectorCore: SessionInfo.symbols must be non-null");
+  }
+  if (info_.num_actions <= 0) {
+    throw std::invalid_argument("DetectorCore: SessionInfo.num_actions must be positive, got " +
+                                std::to_string(info_.num_actions));
+  }
   // App Injector: assign a UID to every action up front.
   for (int32_t uid = 0; uid < info_.num_actions; ++uid) {
     table_.Lookup(uid);
@@ -43,23 +54,67 @@ DetectorCore::LiveExecution& DetectorCore::Live(const DispatchStart& start) {
   auto [it, inserted] = live_.try_emplace(start.execution_id);
   if (inserted) {
     it->second.state_before = table_.Lookup(start.action_uid).state;
+    it->second.action_uid = start.action_uid;
   }
   return it->second;
 }
 
 MonitorDirectives DetectorCore::OnDispatchStart(const DispatchStart& start) {
+  if (!guard_.AdmitTime(start.now)) {
+    return MonitorDirectives{};
+  }
+  if (start.action_uid < 0 || start.action_uid >= info_.num_actions) {
+    // An action the session never declared: indistinguishable from a corrupted record;
+    // dropping it keeps the action table well-formed.
+    ++degradation_.dropped_records;
+    return MonitorDirectives{};
+  }
+  auto existing = live_.find(start.execution_id);
+  if (existing == live_.end() && start.execution_id <= completed_watermark_) {
+    // Stale re-delivery of an execution that already quiesced.
+    ++degradation_.dropped_records;
+    return MonitorDirectives{};
+  }
+  if (existing != live_.end()) {
+    if (existing->second.open_event >= 0) {
+      guard_.SetError("DispatchStart for execution " + std::to_string(start.execution_id) +
+                      " while event " + std::to_string(existing->second.open_event) +
+                      " is still dispatching");
+      return MonitorDirectives{};
+    }
+    if (existing->second.action_uid != start.action_uid) {
+      guard_.SetError("execution " + std::to_string(start.execution_id) + " changed action " +
+                      std::to_string(existing->second.action_uid) + " -> " +
+                      std::to_string(start.action_uid));
+      return MonitorDirectives{};
+    }
+  }
   overhead_.AddCpu(config_.costs.state_lookup + config_.costs.response_probe);
   LiveExecution& live = Live(start);
+  live.open_event = start.event_index;
+  ++dispatch_events_;
   if (config_.second_phase_only) {
     return MonitorDirectives{.arm_hang_check = true};
   }
   switch (live.state_before) {
     case ActionState::kUncategorized: {
-      if (!live.counters_started) {
-        live.counters_started = true;
-        overhead_.AddCpu(config_.costs.perf_start);
-        overhead_.AddMemory(config_.costs.perf_session_bytes);
-        return MonitorDirectives{.start_counters = true};
+      if (!live.counters_started && !degradation_.counters_unavailable) {
+        bool first_attempt = counter_failure_streak_ == 0;
+        // After a transient open failure, re-opening waits out a backoff measured in
+        // dispatch events and doubled per consecutive failure; a streak past
+        // max_counter_retries escalates to counters_unavailable (see OnCounterFault), so
+        // reaching here with a nonzero streak means the budget still has room.
+        bool retry_due = !first_attempt && dispatch_events_ >= counter_retry_at_;
+        if (first_attempt || retry_due) {
+          live.counters_started = true;
+          overhead_.AddCpu(config_.costs.perf_start);
+          overhead_.AddMemory(config_.costs.perf_session_bytes);
+          if (!first_attempt) {
+            overhead_.CountCounterRetry();
+            ++degradation_.counter_retries;
+          }
+          return MonitorDirectives{.start_counters = true};
+        }
       }
       break;
     }
@@ -75,12 +130,18 @@ MonitorDirectives DetectorCore::OnDispatchStart(const DispatchStart& start) {
 }
 
 void DetectorCore::OnDispatchEnd(const DispatchEnd& end) {
-  overhead_.AddCpu(config_.costs.response_probe);
+  if (!guard_.AdmitTime(end.now)) {
+    return;
+  }
   auto it = live_.find(end.execution_id);
-  if (it == live_.end()) {
+  if (it == live_.end() || it->second.open_event != end.event_index) {
+    // End for an unknown execution or a non-open event: a re-delivered or delayed record.
+    ++degradation_.dropped_records;
     return;
   }
   LiveExecution& live = it->second;
+  live.open_event = -1;
+  overhead_.AddCpu(config_.costs.response_probe);
   if (end.response > config_.hang_timeout) {
     live.longest_hang = std::max(live.longest_hang, end.response);
   }
@@ -91,8 +152,35 @@ void DetectorCore::OnDispatchEnd(const DispatchEnd& end) {
     samples_taken_ += count;
     overhead_.AddCpu(config_.costs.stack_sample * count);
     overhead_.AddMemory(config_.costs.stack_sample_bytes * count);
+    if (count == 0) {
+      // A lost or timed-out collection window; the diagnosis aborts and retries on the
+      // action's next hang (the action keeps its state).
+      ++degradation_.empty_trace_windows;
+    }
     // The host's sample buffer is reused on the next collection; copy the id traces out.
     live.traces.insert(live.traces.end(), end.samples.begin(), end.samples.end());
+  }
+}
+
+void DetectorCore::OnCounterFault(const CounterFault& fault) {
+  if (!guard_.AdmitTime(fault.now)) {
+    return;
+  }
+  ++degradation_.counter_open_failures;
+  ++counter_failure_streak_;
+  if (fault.permanent || counter_failure_streak_ > config_.max_counter_retries ||
+      degradation_.counter_open_failures >= kCounterFailureEscalation) {
+    // Counters are gone for the session: stop retrying, degrade S-Checker to the
+    // timeout-only predicate, and mark everything it reports as degraded.
+    degradation_.counters_unavailable = true;
+  } else {
+    int32_t doublings = std::min(counter_failure_streak_ - 1, 30);
+    counter_retry_at_ = dispatch_events_ +
+                        (static_cast<int64_t>(config_.counter_retry_backoff) << doublings);
+  }
+  auto it = live_.find(fault.execution_id);
+  if (it != live_.end()) {
+    it->second.counters_started = false;
   }
 }
 
@@ -100,10 +188,29 @@ void DetectorCore::RunSChecker(const ActionQuiesce& quiesce, LiveExecution& live
                                ExecutionRecord& record) {
   (void)live;
   record.schecker_ran = true;
+  record.schecker_diffs = quiesce.counter_diffs;
+  if (!quiesce.counters_valid || !SoftHangFilter::FiniteDiffs(quiesce.counter_diffs)) {
+    // No usable counter window for this hang. With counters permanently unavailable the
+    // S-Checker degrades to the response-time predicate alone — the hang already exceeded
+    // the timeout, so the action is marked Suspicious and the report flagged degraded
+    // (false positives here are filtered by the Diagnoser, at extra tracing cost). While
+    // retries are still possible the action simply stays Uncategorized and the next hang
+    // re-examines it.
+    record.degraded = true;
+    if (degradation_.counters_unavailable) {
+      ++degradation_.degraded_checks;
+      table_.Transition(quiesce.now, quiesce.action_uid, ActionState::kSuspicious,
+                        "S-Checker degraded: timeout-only suspicion");
+      record.verdict = Verdict::kMarkedSuspicious;
+    } else {
+      ++degradation_.invalid_counter_windows;
+      record.verdict = Verdict::kCounterFailure;
+    }
+    return;
+  }
   std::vector<telemetry::PerfEventType> events = config_.filter.Events();
   overhead_.AddCpu(config_.costs.perf_read_per_event *
                    static_cast<int64_t>(events.size() * (config_.main_only ? 1 : 2)));
-  record.schecker_diffs = quiesce.counter_diffs;
   if (config_.filter.HasSymptoms(quiesce.counter_diffs)) {
     table_.Transition(quiesce.now, quiesce.action_uid, ActionState::kSuspicious,
                       "S-Checker: soft hang bug symptoms");
@@ -143,12 +250,15 @@ void DetectorCore::RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& liv
     return;
   }
   record.verdict = Verdict::kDiagnosedBug;
+  // A diagnosis reached through the degraded timeout-only S-Checker is flagged so report
+  // consumers know the symptom filter never vetted it.
+  record.degraded = record.degraded || degradation_.counters_unavailable;
   table_.Transition(quiesce.now, quiesce.action_uid, ActionState::kHangBug,
                     "Diagnoser: soft hang bug (path C)");
   simkit::SimDuration hang = std::max(live.longest_hang, quiesce.max_response);
-  local_report_.Record(info_.app_package, diagnosis, hang, info_.device_id);
+  local_report_.Record(info_.app_package, diagnosis, hang, info_.device_id, record.degraded);
   if (fleet_report_ != nullptr) {
-    fleet_report_->Record(info_.app_package, diagnosis, hang, info_.device_id);
+    fleet_report_->Record(info_.app_package, diagnosis, hang, info_.device_id, record.degraded);
   }
   if (!diagnosis.is_self_developed) {
     // Self-developed lengthy operations are reported only to the developer; real APIs feed
@@ -158,11 +268,24 @@ void DetectorCore::RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& liv
 }
 
 void DetectorCore::OnActionQuiesced(const ActionQuiesce& quiesce) {
+  if (!guard_.AdmitTime(quiesce.now)) {
+    return;
+  }
   auto it = live_.find(quiesce.execution_id);
-  if (it == live_.end()) {
+  if (it == live_.end() || it->second.action_uid != quiesce.action_uid) {
+    // Quiesce for an unknown execution (a re-delivered record after completion) or one whose
+    // recorded action disagrees: dropped, detection continues.
+    ++degradation_.dropped_records;
     return;
   }
   LiveExecution& live = it->second;
+  live.open_event = -1;
+  completed_watermark_ = std::max(completed_watermark_, quiesce.execution_id);
+  if (live.counters_started) {
+    // The counter session opened for this execution survived to quiesce: the device's
+    // counters work again, so the retry backoff streak resets.
+    counter_failure_streak_ = 0;
+  }
   ExecutionRecord record;
   record.action_uid = quiesce.action_uid;
   record.execution_id = quiesce.execution_id;

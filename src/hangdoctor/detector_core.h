@@ -25,6 +25,7 @@
 #ifndef SRC_HANGDOCTOR_DETECTOR_CORE_H_
 #define SRC_HANGDOCTOR_DETECTOR_CORE_H_
 
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "src/hangdoctor/host_spi.h"
 #include "src/hangdoctor/overhead.h"
 #include "src/hangdoctor/report.h"
+#include "src/hangdoctor/stream_guard.h"
 #include "src/hangdoctor/thresholds.h"
 #include "src/hangdoctor/trace_analyzer.h"
 
@@ -47,6 +49,7 @@ enum class Verdict {
   kAwaitingHang,      // Diagnoser armed but the action did not hang this time
   kDiagnosedUi,       // Diagnoser: culprit is a UI operation -> Normal (path B)
   kDiagnosedBug,      // Diagnoser: soft hang bug confirmed -> Hang Bug (path C)
+  kCounterFailure,    // S-Checker: hang but no usable counters yet -> stays Uncategorized
 };
 
 const char* VerdictName(Verdict verdict);
@@ -60,6 +63,9 @@ struct ExecutionRecord {
   bool schecker_ran = false;
   bool diagnoser_ran = false;
   bool traced = false;
+  // The check ran without usable counters (invalid read, or counters permanently gone and
+  // S-Checker fell back to the timeout-only predicate).
+  bool degraded = false;
   Verdict verdict = Verdict::kNotChecked;
   Diagnosis diagnosis;
   // Counter differences S-Checker read (filter events only; zeros elsewhere).
@@ -81,13 +87,20 @@ struct HangDoctorConfig {
   bool second_phase_only = false;
   // Retain collected stack traces in the execution log (debugging / report rendering).
   bool keep_traces = false;
+  // Graceful-degradation policy for transient counter-session failures (DESIGN.md 3.4):
+  // bounded per-execution retries, each waiting counter_retry_backoff << (k-1) dispatch
+  // events before re-issuing start_counters.
+  int32_t max_counter_retries = kMaxCounterOpenRetries;
+  int32_t counter_retry_backoff = kCounterRetryBackoffDispatches;
 };
 
 class DetectorCore {
  public:
   // `database` and `fleet_report` may be null (a private one is used); when given they must
   // outlive this object and collect discoveries across devices. `info.symbols` must outlive
-  // this object.
+  // this object. Throws std::invalid_argument when `info` is malformed (null symbol table or
+  // a non-positive action count) — a session that cannot be monitored is refused up front
+  // rather than left to fault on the first telemetry push.
   DetectorCore(const SessionInfo& info, HangDoctorConfig config,
                BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr);
   DetectorCore(const DetectorCore&) = delete;
@@ -97,6 +110,7 @@ class DetectorCore {
   MonitorDirectives OnDispatchStart(const DispatchStart& start);
   void OnDispatchEnd(const DispatchEnd& end);
   void OnActionQuiesced(const ActionQuiesce& quiesce);
+  void OnCounterFault(const CounterFault& fault);
 
   const std::vector<ExecutionRecord>& log() const { return log_; }
   const ActionTable& actions() const { return table_; }
@@ -106,11 +120,18 @@ class DetectorCore {
   const HangDoctorConfig& config() const { return config_; }
   const SessionInfo& session() const { return info_; }
   int64_t stack_samples_taken() const { return samples_taken_; }
+  const DegradationStats& degradation() const { return degradation_; }
+  // SPI-stream validator; stream().ok() goes false (sticky) on an impossible stream.
+  const StreamGuard& stream() const { return guard_; }
 
  private:
   struct LiveExecution {
     ActionState state_before = ActionState::kUncategorized;
     std::vector<telemetry::StackTrace> traces;
+    int32_t action_uid = -1;
+    // event_index of the input event currently dispatching; -1 between events. A second
+    // start while an event is open is an impossible stream (sticky StreamError).
+    int32_t open_event = -1;
     bool counters_started = false;
     bool diagnoser_armed = false;
     simkit::SimDuration longest_hang = 0;
@@ -129,9 +150,23 @@ class DetectorCore {
   HangBugReport local_report_;
   HangBugReport* fleet_report_;
   OverheadMeter overhead_;
+  StreamGuard guard_;
+  DegradationStats degradation_;
   std::unordered_map<int64_t, LiveExecution> live_;
   std::vector<ExecutionRecord> log_;
   int64_t samples_taken_ = 0;
+  // Highest execution_id ever quiesced: a DispatchStart at or below it (and not live) is a
+  // stale re-delivery and is dropped, not restarted.
+  int64_t completed_watermark_ = std::numeric_limits<int64_t>::min();
+  // Counter-open retry state, session-wide (executions are usually single-dispatch, so the
+  // backoff clock must span executions): `counter_failure_streak_` counts consecutive
+  // transient open failures and resets when an opened session survives to quiesce;
+  // `dispatch_events_` is the backoff clock; a retry is issued once it reaches
+  // `counter_retry_at_`. A streak past config.max_counter_retries escalates to
+  // counters_unavailable.
+  int64_t dispatch_events_ = 0;
+  int32_t counter_failure_streak_ = 0;
+  int64_t counter_retry_at_ = 0;
 };
 
 }  // namespace hangdoctor

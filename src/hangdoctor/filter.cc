@@ -2,6 +2,7 @@
 
 #include "src/hangdoctor/thresholds.h"
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <utility>
 
@@ -16,6 +17,15 @@ SoftHangFilter SoftHangFilter::Default() {
       {telemetry::PerfEventType::kTaskClock, kTaskClockDiffThresholdNs},
       {telemetry::PerfEventType::kPageFaults, kPageFaultDiffThreshold},
   });
+}
+
+bool SoftHangFilter::FiniteDiffs(const telemetry::CounterArray& diffs) {
+  for (double diff : diffs) {
+    if (!std::isfinite(diff)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool SoftHangFilter::HasSymptoms(const telemetry::CounterArray& diffs) const {

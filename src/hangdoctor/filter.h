@@ -33,6 +33,11 @@ class SoftHangFilter {
   // True when any condition holds for the given per-event differences.
   bool HasSymptoms(const telemetry::CounterArray& diffs) const;
 
+  // True when every entry is a finite number. A faulty counter read (src/faultsim's
+  // counter_read_invalid, or a corrupted session log) can deliver NaN/Inf deltas; the core
+  // treats such a window like counters_valid == false rather than comparing garbage.
+  static bool FiniteDiffs(const telemetry::CounterArray& diffs);
+
   // Which conditions hold (parallel to conditions()); used by the Table 6 bench.
   std::vector<bool> MatchVector(const telemetry::CounterArray& diffs) const;
 

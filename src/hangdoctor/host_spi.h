@@ -67,7 +67,9 @@ struct DispatchEnd {
 // thread drained). When the core directed counting (start_counters) and the action hung
 // (max_response exceeded the configured timeout), the host reads the per-event main−render
 // deltas — in SoftHangFilter::Events() order — into `counter_diffs` and sets
-// `counters_valid`; entries for events outside the filter stay zero.
+// `counters_valid`; entries for events outside the filter stay zero. A host whose counter
+// read failed (or that never managed to open the session) leaves `counters_valid` false even
+// on a hang; the core then degrades per its policy instead of filtering on zeros.
 struct ActionQuiesce {
   simkit::SimTime now = 0;
   int64_t execution_id = 0;
@@ -75,6 +77,18 @@ struct ActionQuiesce {
   simkit::SimDuration max_response = 0;
   bool counters_valid = false;
   telemetry::CounterArray counter_diffs{};
+};
+
+// (b) The host failed to honor a start_counters directive (perf_event_open refused, the
+// counter file descriptor died, ...). `permanent` distinguishes a transient failure — the
+// core may direct a bounded retry with backoff — from a permanent one (counters disabled on
+// this device), after which the core degrades S-Checker to the timeout-only predicate for
+// the rest of the session. Pushed like any other telemetry so faulty sessions record and
+// replay bit-identically.
+struct CounterFault {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  bool permanent = false;
 };
 
 // The core's answer to DispatchStart: which host mechanisms to engage for this execution.
@@ -97,6 +111,7 @@ class TelemetrySink {
   virtual void OnDispatchStart(const DispatchStart& start) = 0;
   virtual void OnDispatchEnd(const DispatchEnd& end) = 0;
   virtual void OnActionQuiesce(const ActionQuiesce& quiesce) = 0;
+  virtual void OnCounterFault(const CounterFault& fault) = 0;
 };
 
 }  // namespace hangdoctor

@@ -43,9 +43,14 @@ class OverheadMeter {
  public:
   void AddCpu(simkit::SimDuration cpu) { cpu_ += cpu; }
   void AddMemory(int64_t bytes) { bytes_ += bytes; }
+  // A re-issued start_counters directive after a transient counter-session failure. The
+  // retry's perf_start cost is charged via AddCpu as usual; the count is kept separately so
+  // the Section 4.5 accounting can attribute how much overhead degradation retries added.
+  void CountCounterRetry() { ++counter_retries_; }
 
   simkit::SimDuration cpu() const { return cpu_; }
   int64_t memory_bytes() const { return bytes_; }
+  int64_t counter_retries() const { return counter_retries_; }
 
   // The paper's metric: mean of %CPU and %memory increase over the unmonitored trace.
   double OverheadPercent(simkit::SimDuration trace_cpu, int64_t trace_bytes) const {
@@ -60,11 +65,13 @@ class OverheadMeter {
   void Reset() {
     cpu_ = 0;
     bytes_ = 0;
+    counter_retries_ = 0;
   }
 
  private:
   simkit::SimDuration cpu_ = 0;
   int64_t bytes_ = 0;
+  int64_t counter_retries_ = 0;
 };
 
 }  // namespace hangdoctor

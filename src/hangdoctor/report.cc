@@ -11,7 +11,7 @@ std::string HangBugReport::Key(const std::string& app_package, const Diagnosis& 
 }
 
 void HangBugReport::Record(const std::string& app_package, const Diagnosis& diagnosis,
-                           simkit::SimDuration hang_duration, int32_t device_id) {
+                           simkit::SimDuration hang_duration, int32_t device_id, bool degraded) {
   BugReportEntry& entry = entries_[Key(app_package, diagnosis)];
   if (entry.occurrences == 0) {
     entry.app_package = app_package;
@@ -20,6 +20,7 @@ void HangBugReport::Record(const std::string& app_package, const Diagnosis& diag
     entry.line = diagnosis.culprit.line;
     entry.self_developed = diagnosis.is_self_developed;
   }
+  entry.degraded = entry.degraded || degraded;
   ++entry.occurrences;
   entry.devices.insert(device_id);
   entry.total_hang += hang_duration;
@@ -33,6 +34,7 @@ void HangBugReport::Merge(const HangBugReport& other) {
       mine = entry;
       continue;
     }
+    mine.degraded = mine.degraded || entry.degraded;
     mine.occurrences += entry.occurrences;
     mine.devices.insert(entry.devices.begin(), entry.devices.end());
     mine.total_hang += entry.total_hang;
@@ -67,7 +69,8 @@ std::string HangBugReport::Render(int32_t total_devices) const {
                                                 static_cast<double>(total_devices)
                                           : 0.0;
     out << "  " << entry.app_package << " | " << entry.api
-        << (entry.self_developed ? " [self-developed]" : "") << " | " << entry.file << ":"
+        << (entry.self_developed ? " [self-developed]" : "")
+        << (entry.degraded ? " [degraded]" : "") << " | " << entry.file << ":"
         << entry.line << " | " << static_cast<int64_t>(entry.MeanHangMs()) << " | "
         << entry.occurrences << " | " << static_cast<int64_t>(device_pct) << "%\n";
   }

@@ -22,6 +22,9 @@ struct BugReportEntry {
   std::string file;   // call site
   int32_t line = 0;
   bool self_developed = false;
+  // At least one occurrence was diagnosed while S-Checker ran degraded (timeout-only, no
+  // counter vetting); consumers should weigh such entries accordingly.
+  bool degraded = false;
   int64_t occurrences = 0;  // soft hangs diagnosed to this bug
   std::set<int32_t> devices;
   simkit::SimDuration total_hang = 0;
@@ -34,9 +37,10 @@ struct BugReportEntry {
 
 class HangBugReport {
  public:
-  // Records one diagnosed soft hang bug occurrence observed on `device_id`.
+  // Records one diagnosed soft hang bug occurrence observed on `device_id`. `degraded` marks
+  // an occurrence diagnosed without counter vetting (see BugReportEntry::degraded).
   void Record(const std::string& app_package, const Diagnosis& diagnosis,
-              simkit::SimDuration hang_duration, int32_t device_id);
+              simkit::SimDuration hang_duration, int32_t device_id, bool degraded = false);
 
   // Folds another device's (or fleet's) report into this one.
   void Merge(const HangBugReport& other);

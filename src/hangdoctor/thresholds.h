@@ -41,6 +41,19 @@ inline constexpr double kApiOccurrenceThreshold = 0.5;
 inline constexpr double kCallerOccurrenceThreshold = 0.8;
 inline constexpr double kUiMajorityThreshold = 0.5;
 
+// Graceful-degradation policy for counter-session failures (DESIGN.md section 3.4). A
+// A transient perf_event_open failure is retried after a backoff; a streak of more than this
+// many consecutive failures (without an open surviving to quiesce in between) escalates to
+// counters-unavailable for the rest of the session.
+inline constexpr int32_t kMaxCounterOpenRetries = 3;
+// Dispatch-begin events (session-wide — executions are typically single-dispatch) to wait
+// before the first retry; doubles after every further consecutive failure (retry k waits
+// kCounterRetryBackoffDispatches << (k-1) events).
+inline constexpr int32_t kCounterRetryBackoffDispatches = 2;
+// Session-wide failure count after which the core stops retrying and treats the counters as
+// permanently unavailable (S-Checker degrades to the timeout-only predicate).
+inline constexpr int64_t kCounterFailureEscalation = 12;
+
 }  // namespace hangdoctor
 
 #endif  // SRC_HANGDOCTOR_THRESHOLDS_H_

@@ -35,7 +35,19 @@ Diagnosis TraceAnalyzer::Analyze(std::span<const telemetry::StackTrace> traces,
   Diagnosis diagnosis;
   std::vector<const telemetry::StackTrace*> usable;
   for (const telemetry::StackTrace& trace : traces) {
-    if (!trace.frames.empty()) {
+    if (trace.frames.empty()) {
+      continue;
+    }
+    // A frame id outside the session's symbol table marks a corrupted sample (a fuzzed or
+    // torn log); such traces are excluded from the census rather than indexed blindly.
+    bool in_range = true;
+    for (telemetry::FrameId id : trace.frames) {
+      if (id >= symbols.size()) {
+        in_range = false;
+        break;
+      }
+    }
+    if (in_range) {
       usable.push_back(&trace);
     }
   }

@@ -1,5 +1,6 @@
 #include "src/hosts/hang_doctor.h"
 
+#include <limits>
 #include <utility>
 
 namespace hangdoctor {
@@ -19,7 +20,7 @@ SessionInfo MakeSessionInfo(const droidsim::App& app, int32_t device_id) {
 
 HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
                        BlockingApiDatabase* database, HangBugReport* fleet_report,
-                       int32_t device_id, TelemetrySink* sink)
+                       int32_t device_id, TelemetrySink* sink, faultsim::FaultPlan plan)
     : phone_(phone),
       app_(app),
       rng_(phone->ForkRng(0x4844 + static_cast<uint64_t>(device_id)).NextU64(),
@@ -27,6 +28,9 @@ HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorCon
       sink_(sink),
       core_(MakeSessionInfo(*app, device_id), std::move(config), database, fleet_report),
       sampler_(&phone->sim(), &app->main_looper(), core_.config().sample_interval) {
+  if (plan.enabled()) {
+    injector_ = std::make_unique<faultsim::FaultInjector>(std::move(plan), &core_, sink_);
+  }
   if (sink_ != nullptr) {
     sink_->OnSessionStart(core_.session());
   }
@@ -34,6 +38,49 @@ HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorCon
 }
 
 HangDoctor::~HangDoctor() { app_->RemoveObserver(this); }
+
+MonitorDirectives HangDoctor::PushStart(const DispatchStart& start) {
+  if (injector_ != nullptr) {
+    return injector_->PushStart(start);
+  }
+  if (sink_ != nullptr) {
+    sink_->OnDispatchStart(start);
+  }
+  return core_.OnDispatchStart(start);
+}
+
+void HangDoctor::PushEnd(const DispatchEnd& end) {
+  if (injector_ != nullptr) {
+    injector_->PushEnd(end);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->OnDispatchEnd(end);
+  }
+  core_.OnDispatchEnd(end);
+}
+
+void HangDoctor::PushQuiesce(const ActionQuiesce& quiesce) {
+  if (injector_ != nullptr) {
+    injector_->PushQuiesce(quiesce);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->OnActionQuiesce(quiesce);
+  }
+  core_.OnActionQuiesced(quiesce);
+}
+
+void HangDoctor::PushCounterFault(const CounterFault& fault) {
+  if (injector_ != nullptr) {
+    injector_->PushCounterFault(fault);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->OnCounterFault(fault);
+  }
+  core_.OnCounterFault(fault);
+}
 
 HangDoctor::HostExecution& HangDoctor::Live(const droidsim::ActionExecution& execution) {
   auto [it, inserted] = live_.try_emplace(execution.execution_id);
@@ -86,12 +133,22 @@ void HangDoctor::OnInputEventStart(droidsim::App& app,
   start.action_uid = execution.action_uid;
   start.event_index = event_index;
   start.events_total = static_cast<int32_t>(execution.events_total);
-  if (sink_ != nullptr) {
-    sink_->OnDispatchStart(start);
-  }
-  MonitorDirectives directives = core_.OnDispatchStart(start);
+  MonitorDirectives directives = PushStart(start);
   if (directives.start_counters && live.session == nullptr) {
-    StartCounters(live);
+    faultsim::FaultPlan::CounterOpen fate = injector_ != nullptr
+                                                ? injector_->NextCounterOpen()
+                                                : faultsim::FaultPlan::CounterOpen::kOk;
+    if (fate == faultsim::FaultPlan::CounterOpen::kOk) {
+      StartCounters(live);
+    } else {
+      // The open failed: report it as telemetry so the core can retry or degrade (and so
+      // the recorded session replays the same decision).
+      CounterFault fault;
+      fault.now = start.now;
+      fault.execution_id = execution.execution_id;
+      fault.permanent = fate == faultsim::FaultPlan::CounterOpen::kPermanentFailure;
+      PushCounterFault(fault);
+    }
   }
   if (directives.arm_hang_check) {
     ArmHangCheck(execution.execution_id, event_index);
@@ -106,6 +163,8 @@ void HangDoctor::OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecu
   end.execution_id = execution.execution_id;
   end.event_index = event_index;
 
+  // Owned storage for a fault-filtered window; must outlive the push below.
+  std::vector<telemetry::StackTrace> filtered;
   auto it = live_.find(execution.execution_id);
   if (it != live_.end()) {
     auto idx = static_cast<size_t>(event_index);
@@ -118,12 +177,13 @@ void HangDoctor::OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecu
     if (sampler_.active()) {
       end.trace_stopped = true;
       end.samples = sampler_.StopCollection();
+      if (injector_ != nullptr) {
+        filtered = injector_->FilterSamples(end.samples);
+        end.samples = filtered;
+      }
     }
   }
-  if (sink_ != nullptr) {
-    sink_->OnDispatchEnd(end);
-  }
-  core_.OnDispatchEnd(end);
+  PushEnd(end);
 }
 
 void HangDoctor::OnActionQuiesced(droidsim::App& app,
@@ -148,12 +208,19 @@ void HangDoctor::OnActionQuiesced(droidsim::App& app,
                            : session.ReadDifference(app_->main_tid(), app_->render_tid(), event);
         quiesce.counter_diffs[static_cast<size_t>(event)] = value;
       }
+      if (injector_ != nullptr && injector_->NextCounterReadInvalid()) {
+        // The read returned garbage: poison the first filter event with NaN. The core's
+        // FiniteDiffs guard must treat the window as unusable (and the NaN round-trips
+        // through the session log, so replay sees the identical poison).
+        const std::vector<telemetry::PerfEventType> events = core_.config().filter.Events();
+        if (!events.empty()) {
+          quiesce.counter_diffs[static_cast<size_t>(events.front())] =
+              std::numeric_limits<double>::quiet_NaN();
+        }
+      }
     }
   }
-  if (sink_ != nullptr) {
-    sink_->OnActionQuiesce(quiesce);
-  }
-  core_.OnActionQuiesced(quiesce);
+  PushQuiesce(quiesce);
   if (it != live_.end()) {
     live_.erase(it);
   }

@@ -24,6 +24,8 @@
 #include "src/droidsim/app.h"
 #include "src/droidsim/phone.h"
 #include "src/droidsim/stack_sampler.h"
+#include "src/faultsim/fault_injector.h"
+#include "src/faultsim/fault_plan.h"
 #include "src/hangdoctor/detector_core.h"
 #include "src/perfsim/perf_session.h"
 
@@ -34,9 +36,13 @@ class HangDoctor : public droidsim::AppObserver {
   // `database` and `fleet_report` may be null (a private one is used); when given they must
   // outlive this object and collect discoveries across devices. `sink`, when given, receives
   // the full telemetry stream fed to the core (see host_spi.h) and must outlive this object.
+  // `plan`, when enabled, injects telemetry faults between this host's mechanisms and the
+  // core (src/faultsim); the sink observes the post-injection stream, so faulty sessions
+  // record and replay bit-identically.
   HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
              BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr,
-             int32_t device_id = 0, TelemetrySink* sink = nullptr);
+             int32_t device_id = 0, TelemetrySink* sink = nullptr,
+             faultsim::FaultPlan plan = {});
   ~HangDoctor() override;
   HangDoctor(const HangDoctor&) = delete;
   HangDoctor& operator=(const HangDoctor&) = delete;
@@ -68,12 +74,20 @@ class HangDoctor : public droidsim::AppObserver {
   void ArmHangCheck(int64_t execution_id, int32_t event_index);
   void StartCounters(HostExecution& live);
 
+  // SPI routing: through the fault injector when a plan is enabled, else straight to
+  // (sink, core) — sink first, so recording sees exactly what the core consumes.
+  MonitorDirectives PushStart(const DispatchStart& start);
+  void PushEnd(const DispatchEnd& end);
+  void PushQuiesce(const ActionQuiesce& quiesce);
+  void PushCounterFault(const CounterFault& fault);
+
   droidsim::Phone* phone_;
   droidsim::App* app_;
   simkit::Rng rng_;
   TelemetrySink* sink_;
   DetectorCore core_;
   droidsim::StackSampler sampler_;
+  std::unique_ptr<faultsim::FaultInjector> injector_;
   std::unordered_map<int64_t, HostExecution> live_;
 };
 

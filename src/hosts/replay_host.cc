@@ -24,6 +24,9 @@ void ReplaySession::Run() {
       case SessionRecordTag::kActionQuiesce:
         core_.OnActionQuiesced(record.quiesce);
         break;
+      case SessionRecordTag::kCounterFault:
+        core_.OnCounterFault(record.fault);
+        break;
       default:
         break;
     }

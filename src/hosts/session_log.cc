@@ -1,11 +1,16 @@
 #include "src/hosts/session_log.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 namespace hangdoctor {
 
 namespace {
+
+// Sessions with more declared actions than this are refused at parse: a fuzzed header must
+// not be able to make the replayed core allocate an unbounded action table.
+constexpr int64_t kMaxActionsInLog = 1 << 20;
 
 uint64_t ZigzagEncode(int64_t value) {
   return (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
@@ -21,6 +26,7 @@ class Parser {
   Parser(const std::string& data, std::string* error) : data_(data), error_(error) {}
 
   bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
 
   bool Fail(const std::string& message) {
     if (ok_) {
@@ -59,7 +65,7 @@ class Parser {
   int64_t GetSigned() { return ZigzagDecode(GetVarint()); }
 
   double GetDouble() {
-    if (!ok_ || pos_ + 8 > data_.size()) {
+    if (!ok_ || data_.size() - pos_ < 8) {
       Fail("unexpected end of log");
       return 0.0;
     }
@@ -76,7 +82,9 @@ class Parser {
 
   std::string GetString() {
     uint64_t length = GetVarint();
-    if (!ok_ || pos_ + length > data_.size()) {
+    // Compare against the remaining bytes, never `pos_ + length` — a fuzzed length near
+    // 2^64 would wrap that sum and pass the check.
+    if (!ok_ || length > data_.size() - pos_) {
       Fail("unexpected end of log");
       return "";
     }
@@ -94,15 +102,230 @@ class Parser {
   bool ok_ = true;
 };
 
+bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout* layout,
+                     std::string* error) {
+  Parser parser(data, error);
+
+  if (data.size() < sizeof(kSessionLogMagic) ||
+      std::memcmp(data.data(), kSessionLogMagic, sizeof(kSessionLogMagic)) != 0) {
+    *error = "not a session log (bad magic)";
+    return false;
+  }
+  for (size_t i = 0; i < sizeof(kSessionLogMagic); ++i) {
+    parser.GetByte();
+  }
+  uint64_t version = parser.GetVarint();
+  if (parser.ok() && version != kSessionLogVersion) {
+    *error = "unsupported session log version " + std::to_string(version);
+    return false;
+  }
+
+  log->info.app_package = parser.GetString();
+  int64_t num_actions = parser.GetSigned();
+  if (parser.ok() && (num_actions <= 0 || num_actions > kMaxActionsInLog)) {
+    return parser.Fail("action count out of range: " + std::to_string(num_actions));
+  }
+  log->info.num_actions = static_cast<int32_t>(num_actions);
+  log->info.device_id = static_cast<int32_t>(parser.GetSigned());
+
+  uint64_t num_conditions = parser.GetVarint();
+  std::vector<FilterCondition> conditions;
+  for (uint64_t i = 0; parser.ok() && i < num_conditions; ++i) {
+    FilterCondition condition;
+    uint64_t event = parser.GetVarint();
+    if (parser.ok() && event >= telemetry::kNumPerfEvents) {
+      return parser.Fail("filter event out of range: " + std::to_string(event));
+    }
+    condition.event = static_cast<telemetry::PerfEventType>(event);
+    condition.threshold = parser.GetDouble();
+    conditions.push_back(condition);
+  }
+  log->config.filter = SoftHangFilter(std::move(conditions));
+  log->config.main_only = parser.GetByte() != 0;
+  log->config.hang_timeout = parser.GetSigned();
+  log->config.sample_interval = parser.GetSigned();
+  log->config.reset_after_normal = static_cast<int32_t>(parser.GetSigned());
+  log->config.max_counter_retries = static_cast<int32_t>(parser.GetSigned());
+  log->config.counter_retry_backoff = static_cast<int32_t>(parser.GetSigned());
+  log->config.analyzer.api_occurrence_threshold = parser.GetDouble();
+  log->config.analyzer.caller_occurrence_threshold = parser.GetDouble();
+  log->config.analyzer.ui_majority = parser.GetDouble();
+  log->config.costs.perf_start = parser.GetSigned();
+  log->config.costs.perf_stop = parser.GetSigned();
+  log->config.costs.perf_read_per_event = parser.GetSigned();
+  log->config.costs.perf_session_bytes = parser.GetSigned();
+  log->config.costs.state_lookup = parser.GetSigned();
+  log->config.costs.trace_start = parser.GetSigned();
+  log->config.costs.trace_start_bytes = parser.GetSigned();
+  log->config.costs.stack_sample = parser.GetSigned();
+  log->config.costs.stack_sample_bytes = parser.GetSigned();
+  log->config.costs.utilization_sample = parser.GetSigned();
+  log->config.costs.utilization_sample_bytes = parser.GetSigned();
+  log->config.costs.response_probe = parser.GetSigned();
+  log->config.second_phase_only = parser.GetByte() != 0;
+  log->config.keep_traces = parser.GetByte() != 0;
+
+  log->symbols = std::make_unique<telemetry::SymbolTable>();
+  uint64_t num_frames = parser.GetVarint();
+  for (uint64_t i = 0; parser.ok() && i < num_frames; ++i) {
+    telemetry::StackFrame frame;
+    frame.function = parser.GetString();
+    frame.clazz = parser.GetString();
+    frame.file = parser.GetString();
+    frame.line = static_cast<int32_t>(parser.GetSigned());
+    uint8_t flags = parser.GetByte();
+    frame.in_closed_library = (flags & 1) != 0;
+    if (!parser.ok()) {
+      break;
+    }
+    telemetry::FrameId id = log->symbols->Intern(std::move(frame), (flags & 2) != 0);
+    if (id != i) {
+      return parser.Fail("symbol table not in id order");
+    }
+  }
+  log->info.symbols = log->symbols.get();
+  if (layout != nullptr) {
+    layout->header_end = parser.pos();
+  }
+
+  bool saw_end = false;
+  while (parser.ok() && !saw_end) {
+    size_t record_offset = parser.pos();
+    auto tag = static_cast<SessionRecordTag>(parser.GetByte());
+    if (!parser.ok()) {
+      break;
+    }
+    if (layout != nullptr) {
+      layout->record_offsets.push_back(record_offset);
+    }
+    switch (tag) {
+      case SessionRecordTag::kDispatchStart: {
+        SessionRecord record;
+        record.tag = tag;
+        record.start.now = parser.GetSigned();
+        record.start.execution_id = parser.GetSigned();
+        record.start.action_uid = static_cast<int32_t>(parser.GetSigned());
+        record.start.event_index = static_cast<int32_t>(parser.GetSigned());
+        record.start.events_total = static_cast<int32_t>(parser.GetSigned());
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kDispatchEnd: {
+        SessionRecord record;
+        record.tag = tag;
+        record.end.now = parser.GetSigned();
+        record.end.execution_id = parser.GetSigned();
+        record.end.event_index = static_cast<int32_t>(parser.GetSigned());
+        record.end.response = parser.GetSigned();
+        record.end.trace_stopped = parser.GetByte() != 0;
+        if (record.end.trace_stopped) {
+          uint64_t num_samples = parser.GetVarint();
+          for (uint64_t s = 0; parser.ok() && s < num_samples; ++s) {
+            telemetry::StackTrace sample;
+            sample.timestamp_ns = parser.GetSigned();
+            uint64_t depth = parser.GetVarint();
+            for (uint64_t f = 0; parser.ok() && f < depth; ++f) {
+              uint64_t frame_id = parser.GetVarint();
+              // Unknown FrameIds must die here: the replayed core indexes the symbol table
+              // by id, and the analyzer's census arrays are sized to it.
+              if (parser.ok() && frame_id >= log->symbols->size()) {
+                return parser.Fail("frame id out of range: " + std::to_string(frame_id));
+              }
+              sample.frames.push_back(static_cast<telemetry::FrameId>(frame_id));
+            }
+            record.samples.push_back(std::move(sample));
+          }
+        }
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kActionQuiesce: {
+        SessionRecord record;
+        record.tag = tag;
+        record.quiesce.now = parser.GetSigned();
+        record.quiesce.execution_id = parser.GetSigned();
+        record.quiesce.action_uid = static_cast<int32_t>(parser.GetSigned());
+        record.quiesce.max_response = parser.GetSigned();
+        record.quiesce.counters_valid = parser.GetByte() != 0;
+        uint64_t num_pairs = parser.GetVarint();
+        for (uint64_t p = 0; parser.ok() && p < num_pairs; ++p) {
+          uint64_t index = parser.GetVarint();
+          double value = parser.GetDouble();
+          if (index >= record.quiesce.counter_diffs.size()) {
+            return parser.Fail("counter index out of range");
+          }
+          record.quiesce.counter_diffs[index] = value;
+        }
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kCounterFault: {
+        SessionRecord record;
+        record.tag = tag;
+        record.fault.now = parser.GetSigned();
+        record.fault.execution_id = parser.GetSigned();
+        record.fault.permanent = parser.GetByte() != 0;
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kTraceUsage: {
+        log->has_usage = true;
+        log->usage_cpu = parser.GetSigned();
+        log->usage_bytes = parser.GetSigned();
+        break;
+      }
+      case SessionRecordTag::kEnd: {
+        saw_end = true;
+        break;
+      }
+      default:
+        return parser.Fail("unknown record tag " + std::to_string(static_cast<int>(tag)));
+    }
+  }
+  if (parser.ok() && !saw_end) {
+    return parser.Fail("missing end marker (truncated log)");
+  }
+  return parser.ok();
+}
+
 }  // namespace
 
 SessionLogWriter::SessionLogWriter(const std::string& path, const HangDoctorConfig& config)
-    : out_(path, std::ios::binary | std::ios::trunc), config_(config) {}
+    : out_(path, std::ios::binary | std::ios::trunc), config_(config) {
+  if (!out_.good()) {
+    ok_ = false;
+  }
+}
 
 SessionLogWriter::~SessionLogWriter() { Finish(); }
 
+void SessionLogWriter::WriteBytes(const char* data, size_t size) {
+  if (!ok_ || size == 0) {
+    return;
+  }
+  auto want = static_cast<int64_t>(size);
+  if (fail_after_ >= 0 && written_ + want > fail_after_) {
+    // Injected torn write: the prefix that fits lands, the rest is lost, and the writer
+    // fails sticky — exactly the shape of a crash mid-write or a disk running full.
+    int64_t fits = std::max<int64_t>(0, fail_after_ - written_);
+    if (fits > 0) {
+      out_.write(data, static_cast<std::streamsize>(fits));
+      written_ += fits;
+    }
+    ok_ = false;
+    return;
+  }
+  out_.write(data, static_cast<std::streamsize>(size));
+  if (!out_.good()) {
+    ok_ = false;
+    return;
+  }
+  written_ += want;
+}
+
 void SessionLogWriter::PutByte(uint8_t byte) {
-  out_.put(static_cast<char>(byte));
+  char c = static_cast<char>(byte);
+  WriteBytes(&c, 1);
 }
 
 void SessionLogWriter::PutVarint(uint64_t value) {
@@ -125,11 +348,11 @@ void SessionLogWriter::PutDouble(double value) {
 
 void SessionLogWriter::PutString(const std::string& value) {
   PutVarint(value.size());
-  out_.write(value.data(), static_cast<std::streamsize>(value.size()));
+  WriteBytes(value.data(), value.size());
 }
 
 void SessionLogWriter::OnSessionStart(const SessionInfo& info) {
-  out_.write(kSessionLogMagic, sizeof(kSessionLogMagic));
+  WriteBytes(kSessionLogMagic, sizeof(kSessionLogMagic));
   PutVarint(kSessionLogVersion);
   PutString(info.app_package);
   PutSigned(info.num_actions);
@@ -145,6 +368,8 @@ void SessionLogWriter::OnSessionStart(const SessionInfo& info) {
   PutSigned(config_.hang_timeout);
   PutSigned(config_.sample_interval);
   PutSigned(config_.reset_after_normal);
+  PutSigned(config_.max_counter_retries);
+  PutSigned(config_.counter_retry_backoff);
   PutDouble(config_.analyzer.api_occurrence_threshold);
   PutDouble(config_.analyzer.caller_occurrence_threshold);
   PutDouble(config_.analyzer.ui_majority);
@@ -235,6 +460,13 @@ void SessionLogWriter::OnActionQuiesce(const ActionQuiesce& quiesce) {
   }
 }
 
+void SessionLogWriter::OnCounterFault(const CounterFault& fault) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kCounterFault));
+  PutSigned(fault.now);
+  PutSigned(fault.execution_id);
+  PutByte(fault.permanent ? 1 : 0);
+}
+
 void SessionLogWriter::WriteTraceUsage(int64_t cpu, int64_t bytes) {
   PutByte(static_cast<uint8_t>(SessionRecordTag::kTraceUsage));
   PutSigned(cpu);
@@ -249,6 +481,9 @@ void SessionLogWriter::Finish() {
   if (out_.is_open()) {
     PutByte(static_cast<uint8_t>(SessionRecordTag::kEnd));
     out_.close();
+    if (!out_.good()) {
+      ok_ = false;
+    }
   }
 }
 
@@ -259,153 +494,18 @@ bool LoadSessionLog(const std::string& path, SessionLog* log, std::string* error
     return false;
   }
   std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  Parser parser(data, error);
+  return ParseSessionLog(data, log, nullptr, error);
+}
 
-  if (data.size() < sizeof(kSessionLogMagic) ||
-      std::memcmp(data.data(), kSessionLogMagic, sizeof(kSessionLogMagic)) != 0) {
-    *error = "not a session log (bad magic)";
-    return false;
-  }
-  for (size_t i = 0; i < sizeof(kSessionLogMagic); ++i) {
-    parser.GetByte();
-  }
-  uint64_t version = parser.GetVarint();
-  if (parser.ok() && version != kSessionLogVersion) {
-    *error = "unsupported session log version " + std::to_string(version);
-    return false;
-  }
+bool LoadSessionLogBytes(const std::string& bytes, SessionLog* log, std::string* error) {
+  return ParseSessionLog(bytes, log, nullptr, error);
+}
 
-  log->info.app_package = parser.GetString();
-  log->info.num_actions = static_cast<int32_t>(parser.GetSigned());
-  log->info.device_id = static_cast<int32_t>(parser.GetSigned());
-
-  uint64_t num_conditions = parser.GetVarint();
-  std::vector<FilterCondition> conditions;
-  for (uint64_t i = 0; parser.ok() && i < num_conditions; ++i) {
-    FilterCondition condition;
-    condition.event = static_cast<telemetry::PerfEventType>(parser.GetVarint());
-    condition.threshold = parser.GetDouble();
-    conditions.push_back(condition);
-  }
-  log->config.filter = SoftHangFilter(std::move(conditions));
-  log->config.main_only = parser.GetByte() != 0;
-  log->config.hang_timeout = parser.GetSigned();
-  log->config.sample_interval = parser.GetSigned();
-  log->config.reset_after_normal = static_cast<int32_t>(parser.GetSigned());
-  log->config.analyzer.api_occurrence_threshold = parser.GetDouble();
-  log->config.analyzer.caller_occurrence_threshold = parser.GetDouble();
-  log->config.analyzer.ui_majority = parser.GetDouble();
-  log->config.costs.perf_start = parser.GetSigned();
-  log->config.costs.perf_stop = parser.GetSigned();
-  log->config.costs.perf_read_per_event = parser.GetSigned();
-  log->config.costs.perf_session_bytes = parser.GetSigned();
-  log->config.costs.state_lookup = parser.GetSigned();
-  log->config.costs.trace_start = parser.GetSigned();
-  log->config.costs.trace_start_bytes = parser.GetSigned();
-  log->config.costs.stack_sample = parser.GetSigned();
-  log->config.costs.stack_sample_bytes = parser.GetSigned();
-  log->config.costs.utilization_sample = parser.GetSigned();
-  log->config.costs.utilization_sample_bytes = parser.GetSigned();
-  log->config.costs.response_probe = parser.GetSigned();
-  log->config.second_phase_only = parser.GetByte() != 0;
-  log->config.keep_traces = parser.GetByte() != 0;
-
-  log->symbols = std::make_unique<telemetry::SymbolTable>();
-  uint64_t num_frames = parser.GetVarint();
-  for (uint64_t i = 0; parser.ok() && i < num_frames; ++i) {
-    telemetry::StackFrame frame;
-    frame.function = parser.GetString();
-    frame.clazz = parser.GetString();
-    frame.file = parser.GetString();
-    frame.line = static_cast<int32_t>(parser.GetSigned());
-    uint8_t flags = parser.GetByte();
-    frame.in_closed_library = (flags & 1) != 0;
-    telemetry::FrameId id = log->symbols->Intern(std::move(frame), (flags & 2) != 0);
-    if (id != i) {
-      return parser.Fail("symbol table not in id order");
-    }
-  }
-  log->info.symbols = log->symbols.get();
-
-  bool saw_end = false;
-  while (parser.ok() && !saw_end) {
-    auto tag = static_cast<SessionRecordTag>(parser.GetByte());
-    if (!parser.ok()) {
-      break;
-    }
-    switch (tag) {
-      case SessionRecordTag::kDispatchStart: {
-        SessionRecord record;
-        record.tag = tag;
-        record.start.now = parser.GetSigned();
-        record.start.execution_id = parser.GetSigned();
-        record.start.action_uid = static_cast<int32_t>(parser.GetSigned());
-        record.start.event_index = static_cast<int32_t>(parser.GetSigned());
-        record.start.events_total = static_cast<int32_t>(parser.GetSigned());
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kDispatchEnd: {
-        SessionRecord record;
-        record.tag = tag;
-        record.end.now = parser.GetSigned();
-        record.end.execution_id = parser.GetSigned();
-        record.end.event_index = static_cast<int32_t>(parser.GetSigned());
-        record.end.response = parser.GetSigned();
-        record.end.trace_stopped = parser.GetByte() != 0;
-        if (record.end.trace_stopped) {
-          uint64_t num_samples = parser.GetVarint();
-          for (uint64_t s = 0; parser.ok() && s < num_samples; ++s) {
-            telemetry::StackTrace sample;
-            sample.timestamp_ns = parser.GetSigned();
-            uint64_t depth = parser.GetVarint();
-            for (uint64_t f = 0; parser.ok() && f < depth; ++f) {
-              sample.frames.push_back(static_cast<telemetry::FrameId>(parser.GetVarint()));
-            }
-            record.samples.push_back(std::move(sample));
-          }
-        }
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kActionQuiesce: {
-        SessionRecord record;
-        record.tag = tag;
-        record.quiesce.now = parser.GetSigned();
-        record.quiesce.execution_id = parser.GetSigned();
-        record.quiesce.action_uid = static_cast<int32_t>(parser.GetSigned());
-        record.quiesce.max_response = parser.GetSigned();
-        record.quiesce.counters_valid = parser.GetByte() != 0;
-        uint64_t num_pairs = parser.GetVarint();
-        for (uint64_t p = 0; parser.ok() && p < num_pairs; ++p) {
-          uint64_t index = parser.GetVarint();
-          double value = parser.GetDouble();
-          if (index >= record.quiesce.counter_diffs.size()) {
-            return parser.Fail("counter index out of range");
-          }
-          record.quiesce.counter_diffs[index] = value;
-        }
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kTraceUsage: {
-        log->has_usage = true;
-        log->usage_cpu = parser.GetSigned();
-        log->usage_bytes = parser.GetSigned();
-        break;
-      }
-      case SessionRecordTag::kEnd: {
-        saw_end = true;
-        break;
-      }
-      default:
-        return parser.Fail("unknown record tag " + std::to_string(static_cast<int>(tag)));
-    }
-  }
-  if (parser.ok() && !saw_end) {
-    return parser.Fail("missing end marker (truncated log)");
-  }
-  return parser.ok();
+bool ScanSessionLog(const std::string& bytes, SessionLogLayout* layout, std::string* error) {
+  SessionLog scratch;
+  layout->header_end = 0;
+  layout->record_offsets.clear();
+  return ParseSessionLog(bytes, &scratch, layout, error);
 }
 
 }  // namespace hangdoctor

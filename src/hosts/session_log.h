@@ -7,9 +7,9 @@
 //             device id), the full HangDoctorConfig, and the session's symbol table (every
 //             frame with its is_ui classification), so the reader can rebuild FrameId
 //             resolution exactly;
-//   records — the SPI stream: one record per DispatchStart / DispatchEnd / ActionQuiesce, in
-//             push order, including stack samples (as interned FrameIds) and the main−render
-//             counter differences S-Checker read;
+//   records — the SPI stream: one record per DispatchStart / DispatchEnd / ActionQuiesce /
+//             CounterFault, in push order, including stack samples (as interned FrameIds)
+//             and the main−render counter differences S-Checker read;
 //   footer  — optionally, the monitored trace's own resource usage (CPU + bytes), so the
 //             Section 4.5 overhead percentage is reproducible offline.
 //
@@ -17,12 +17,17 @@
 // for doubles, length-prefixed UTF-8 for strings. The byte-level layout is specified in
 // DESIGN.md ("Session log format").
 //
+// Version history: v1 had no CounterFault records and no retry-policy config fields; v2
+// (current) adds both, so a session recorded under injected telemetry faults replays the
+// same degradation decisions bit-identically.
+//
 // SessionLogWriter is a TelemetrySink: hand it to the droidsim host (or any host) and it
 // records the exact stream the core consumes, without influencing detection. SessionLog is
 // the in-memory parse; replay_host.h re-feeds it to a fresh core.
 #ifndef SRC_HOSTS_SESSION_LOG_H_
 #define SRC_HOSTS_SESSION_LOG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -35,7 +40,7 @@
 namespace hangdoctor {
 
 inline constexpr char kSessionLogMagic[4] = {'H', 'D', 'S', 'L'};
-inline constexpr uint32_t kSessionLogVersion = 1;
+inline constexpr uint32_t kSessionLogVersion = 2;
 
 // Record tags (one byte each, in-stream).
 enum class SessionRecordTag : uint8_t {
@@ -44,6 +49,7 @@ enum class SessionRecordTag : uint8_t {
   kActionQuiesce = 3,
   kTraceUsage = 4,
   kEnd = 5,
+  kCounterFault = 6,
 };
 
 class SessionLogWriter : public TelemetrySink {
@@ -53,13 +59,24 @@ class SessionLogWriter : public TelemetrySink {
   SessionLogWriter(const std::string& path, const HangDoctorConfig& config);
   ~SessionLogWriter() override;
 
-  bool ok() const { return out_.good(); }
+  // Sticky: goes false on the first failed or short write (file unopenable, stream error, or
+  // an injected torn write) and never recovers; once false no further bytes are emitted, so
+  // a failed log is a clean prefix, not interleaved garbage. Callers must check this after
+  // Finish() — a silently truncated log would replay as a different session.
+  bool ok() const { return ok_; }
+  // Total bytes successfully written so far.
+  int64_t bytes_written() const { return written_; }
+
+  // Fault hook (src/faultsim's torn-log profile): every byte past `bytes` fails to land,
+  // simulating a full disk or a crash mid-write. Negative disables (default).
+  void SetFailAfter(int64_t bytes) { fail_after_ = bytes; }
 
   // TelemetrySink:
   void OnSessionStart(const SessionInfo& info) override;
   void OnDispatchStart(const DispatchStart& start) override;
   void OnDispatchEnd(const DispatchEnd& end) override;
   void OnActionQuiesce(const ActionQuiesce& quiesce) override;
+  void OnCounterFault(const CounterFault& fault) override;
 
   // Optional footer: the monitored trace's own resource usage (overhead denominator).
   void WriteTraceUsage(int64_t cpu, int64_t bytes);
@@ -68,6 +85,7 @@ class SessionLogWriter : public TelemetrySink {
   void Finish();
 
  private:
+  void WriteBytes(const char* data, size_t size);
   void PutByte(uint8_t byte);
   void PutVarint(uint64_t value);
   void PutSigned(int64_t value);
@@ -77,6 +95,9 @@ class SessionLogWriter : public TelemetrySink {
   std::ofstream out_;
   HangDoctorConfig config_;
   bool finished_ = false;
+  bool ok_ = true;
+  int64_t written_ = 0;
+  int64_t fail_after_ = -1;
 };
 
 // One parsed SPI record. `end.samples` is not set directly (spans would dangle as the vector
@@ -87,6 +108,7 @@ struct SessionRecord {
   DispatchEnd end;
   std::vector<telemetry::StackTrace> samples;
   ActionQuiesce quiesce;
+  CounterFault fault;
 };
 
 // A fully parsed session log.
@@ -100,8 +122,26 @@ struct SessionLog {
   int64_t usage_bytes = 0;
 };
 
+// Byte-level structure of a well-formed log, for structure-aware mutation (src/faultsim's
+// HDSL mutator works on record boundaries, not blind byte soup). Plain data so faultsim can
+// consume it without depending on the parser.
+struct SessionLogLayout {
+  // Offset one past the header (= offset of the first record's tag byte).
+  size_t header_end = 0;
+  // Offset of every record's tag byte, in stream order, including kTraceUsage and the
+  // trailing kEnd marker.
+  std::vector<size_t> record_offsets;
+};
+
 // Parses `path`; on failure returns false and sets `error`. `log` is valid only on success.
 bool LoadSessionLog(const std::string& path, SessionLog* log, std::string* error);
+
+// Same, from an in-memory byte string (the fuzz harness parses mutated logs without disk).
+bool LoadSessionLogBytes(const std::string& bytes, SessionLog* log, std::string* error);
+
+// Parses only as far as needed to map record boundaries. Returns false (with `error`) when
+// `bytes` is not a well-formed log; `layout` is valid only on success.
+bool ScanSessionLog(const std::string& bytes, SessionLogLayout* layout, std::string* error);
 
 }  // namespace hangdoctor
 

@@ -43,10 +43,21 @@ FleetJobResult RunFleetJob(const FleetJob& job) {
     if (!recorder->ok()) {
       throw std::runtime_error("cannot open session log for writing: " + job.record_path);
     }
+    if (job.faults.hdsl_fail_after >= 0) {
+      recorder->SetFailAfter(job.faults.hdsl_fail_after);
+    }
+  }
+  // The fault plan splits off the same job seed the harness uses; FaultPlan forks its own
+  // tagged streams internally, so the app/user randomness is untouched and the fault
+  // sequence is identical at any --jobs=N.
+  faultsim::FaultPlan plan;
+  if (job.faults.enabled()) {
+    plan = faultsim::FaultPlan(job.faults, job.seed);
   }
   SingleAppHarness harness(job.profile, job.spec, job.seed);
   hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), job.doctor, &database,
-                                /*fleet_report=*/nullptr, job.device_id, recorder.get());
+                                /*fleet_report=*/nullptr, job.device_id, recorder.get(),
+                                std::move(plan));
   harness.RunUserSession(job.session, job.user);
 
   result.stats = ScoreHangDoctor(harness.truth(), doctor.log());
@@ -57,10 +68,20 @@ FleetJobResult RunFleetJob(const FleetJob& job) {
   result.report = doctor.local_report();
   result.discovered = database.discovered();
   result.stack_samples = doctor.stack_samples_taken();
+  result.degradation = doctor.core().degradation();
+  result.stream_ok = doctor.core().stream().ok();
+  result.stream_error = doctor.core().stream().error();
   result.ok = true;
   if (recorder != nullptr) {
     recorder->WriteTraceUsage(result.usage.cpu, result.usage.bytes);
     recorder->Finish();
+    if (!recorder->ok()) {
+      // An injected torn write (or a genuinely full disk): the run itself is fine, the
+      // recording is not. Surface it instead of throwing so the fleet's other results and
+      // this job's detections survive.
+      result.record_ok = false;
+      result.record_error = "session log short write: " + job.record_path;
+    }
   }
   return result;
 }
@@ -88,6 +109,9 @@ FleetJobResult ReplayFleetJob(const std::string& path,
   result.report = core.local_report();
   result.discovered = database.discovered();
   result.stack_samples = core.stack_samples_taken();
+  result.degradation = core.degradation();
+  result.stream_ok = core.stream().ok();
+  result.stream_error = core.stream().error();
   result.ok = true;
   return result;
 }
@@ -192,6 +216,14 @@ std::string ResolveRecordDir(int argc, char** argv) {
 
 std::string ResolveReplayDir(int argc, char** argv) {
   return FlagValue(argc, argv, "--replay=");
+}
+
+faultsim::FaultProfile ResolveFaultProfile(int argc, char** argv) {
+  std::string value = FlagValue(argc, argv, "--faults=");
+  if (value.empty()) {
+    return faultsim::FaultProfile{};
+  }
+  return faultsim::FaultProfile::Named(value);
 }
 
 }  // namespace workload

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/faultsim/fault_plan.h"
 #include "src/hosts/hang_doctor.h"
 #include "src/simkit/time.h"
 #include "src/workload/experiment.h"
@@ -43,6 +44,11 @@ struct FleetJob {
   const hangdoctor::BlockingApiDatabase* known_db = nullptr;
   // When non-empty, write an HDSL session log of this job's telemetry stream here.
   std::string record_path;
+  // Telemetry faults to inject between the host and the core (src/faultsim). The job's
+  // FaultPlan is seeded from `seed`, so the fault sequence — like everything else — is a
+  // pure function of (fleet_seed, job_index) and identical at any --jobs=N. The profile's
+  // hdsl_fail_after budget additionally applies to this job's recorder, when any.
+  faultsim::FaultProfile faults;
 };
 
 // Deterministic per-job seed: splits the fleet master stream by job index with simkit::Rng
@@ -59,6 +65,17 @@ struct FleetJobResult {
   TraceUsage usage;
   double overhead_pct = 0.0;
   int64_t stack_samples = 0;
+  // Graceful-degradation accounting (src/hangdoctor/stream_guard.h): retries, degraded
+  // checks, dropped records. All-zero on a fault-free run.
+  hangdoctor::DegradationStats degradation;
+  // False when the core hit a sticky stream-contract violation (e.g. an injected delay made
+  // time regress); the job still completes and reports whatever it concluded before.
+  bool stream_ok = true;
+  std::string stream_error;
+  // False when the session-log recorder lost bytes (torn-write injection / full disk). The
+  // job itself still succeeds; only the recording is unusable.
+  bool record_ok = true;
+  std::string record_error;
 };
 
 struct FleetSummary {
@@ -104,6 +121,11 @@ int32_t ResolveJobs(int argc, char** argv);
 // CLI flag helpers for record/replay: `--record=DIR` / `--replay=DIR`; empty when absent.
 std::string ResolveRecordDir(int argc, char** argv);
 std::string ResolveReplayDir(int argc, char** argv);
+
+// `--faults=PROFILE` flag helper: resolves a named FaultProfile (see
+// faultsim::FaultProfile::KnownProfiles). Returns the "none" profile when the flag is
+// absent; throws std::invalid_argument on an unknown name.
+faultsim::FaultProfile ResolveFaultProfile(int argc, char** argv);
 
 }  // namespace workload
 

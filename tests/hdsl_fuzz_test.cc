@@ -1,0 +1,251 @@
+// Deterministic fuzz + property harness for the HDSL session-log reader and the
+// DetectorCore's SPI-stream contract.
+//
+// Fuzz half: structure-aware mutations (src/faultsim/hdsl_mutator.h) of the committed
+// mini-corpus (tests/corpus/, integrity-pinned by MANIFEST.sha256). Every mutant either
+// parses — in which case replaying it must not crash — or is rejected with a sticky,
+// non-empty error. Run under ASan/UBSan in CI; "no crash" there means no overflow, no
+// uninitialized read, no unbounded allocation.
+//
+// Property half: randomly generated *valid* SPI streams (src/faultsim/stream_gen.h) must
+// drive only legal Figure 3 action-state transitions with monotone overhead accounting;
+// streams with one spliced contract violation must be dropped-and-counted or sticky-failed,
+// never crash.
+//
+// Everything is seeded: HANGDOCTOR_FUZZ_SEED (default 1) picks the master seed and
+// HANGDOCTOR_FUZZ_ITERS (default 2000) the mutation budget, so a CI failure reproduces
+// locally by exporting the same pair.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/faultsim/hdsl_mutator.h"
+#include "src/faultsim/stream_gen.h"
+#include "src/hangdoctor/detector_core.h"
+#include "src/hosts/replay_host.h"
+#include "src/hosts/session_log.h"
+#include "src/simkit/rng.h"
+
+namespace {
+
+#ifndef HD_CORPUS_DIR
+#error "HD_CORPUS_DIR must be defined by the build"
+#endif
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  return std::atoll(value);
+}
+
+uint64_t FuzzSeed() { return static_cast<uint64_t>(EnvInt("HANGDOCTOR_FUZZ_SEED", 1)); }
+int64_t FuzzIters() { return EnvInt("HANGDOCTOR_FUZZ_ITERS", 2000); }
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(HD_CORPUS_DIR)) {
+    if (entry.path().extension() == ".hdsl") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(HdslCorpusTest, EveryCorpusFileParsesAndReplays) {
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_EQ(files.size(), 4u) << "corpus drifted from tools/make_corpus";
+  bool saw_counter_fault = false;
+  for (const std::string& path : files) {
+    std::string bytes = FileBytes(path);
+    ASSERT_FALSE(bytes.empty()) << path;
+    hangdoctor::SessionLog log;
+    std::string error;
+    ASSERT_TRUE(hangdoctor::LoadSessionLogBytes(bytes, &log, &error)) << path << ": " << error;
+    EXPECT_FALSE(log.records.empty()) << path;
+    for (const hangdoctor::SessionRecord& record : log.records) {
+      if (record.tag == hangdoctor::SessionRecordTag::kCounterFault) {
+        saw_counter_fault = true;
+      }
+    }
+    hangdoctor::ReplaySession session(std::move(log));
+    session.Run();
+    EXPECT_FALSE(session.core().log().empty()) << path;
+
+    hangdoctor::SessionLogLayout layout;
+    ASSERT_TRUE(hangdoctor::ScanSessionLog(bytes, &layout, &error)) << path << ": " << error;
+    EXPECT_GT(layout.header_end, 0u) << path;
+    EXPECT_GT(layout.record_offsets.size(), 2u) << path;
+  }
+  EXPECT_TRUE(saw_counter_fault)
+      << "the corpus must exercise the kCounterFault grammar (see faulty.hdsl)";
+}
+
+TEST(HdslFuzzTest, SeededMutantsNeverCrashAndFailuresAreSticky) {
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  const int64_t iters = FuzzIters();
+  simkit::Rng rng(FuzzSeed(), /*stream=*/0x68647a66ULL);
+
+  // Pre-scan every corpus file once; mutants derive from the original layout.
+  std::vector<std::pair<std::string, hangdoctor::SessionLogLayout>> corpus;
+  for (const std::string& path : files) {
+    std::string bytes = FileBytes(path);
+    hangdoctor::SessionLogLayout layout;
+    std::string error;
+    ASSERT_TRUE(hangdoctor::ScanSessionLog(bytes, &layout, &error)) << path << ": " << error;
+    corpus.emplace_back(std::move(bytes), std::move(layout));
+  }
+
+  std::map<std::string, int64_t> by_family;
+  int64_t parsed = 0;
+  int64_t rejected = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const auto& [bytes, layout] =
+        corpus[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(corpus.size()) - 1))];
+    faultsim::HdslMutation applied;
+    std::string mutant = faultsim::MutateSessionLog(bytes, layout.header_end,
+                                                    layout.record_offsets, rng, &applied);
+    ++by_family[faultsim::HdslMutationName(applied)];
+
+    hangdoctor::SessionLog log;
+    std::string error;
+    if (hangdoctor::LoadSessionLogBytes(mutant, &log, &error)) {
+      // Some mutations land in don't-care bytes (string contents, counter values) or
+      // produce a different-but-legal log; replaying it must still be safe.
+      ++parsed;
+      hangdoctor::ReplaySession session(std::move(log));
+      session.Run();
+    } else {
+      ++rejected;
+      EXPECT_FALSE(error.empty()) << "iter " << i << " family "
+                                  << faultsim::HdslMutationName(applied);
+    }
+  }
+  // The mutator must actually bite: most mutants of a compact binary format are invalid.
+  EXPECT_GT(rejected, parsed / 4) << "mutations are too gentle to test the parser";
+  EXPECT_EQ(parsed + rejected, iters);
+  // Uniform family choice at any realistic budget covers every family.
+  if (iters >= 500) {
+    EXPECT_EQ(by_family.size(), static_cast<size_t>(faultsim::kNumHdslMutations));
+  }
+}
+
+TEST(HdslFuzzTest, TruncationAtEveryRecordBoundaryIsRejected) {
+  for (const std::string& path : CorpusFiles()) {
+    std::string bytes = FileBytes(path);
+    hangdoctor::SessionLogLayout layout;
+    std::string error;
+    ASSERT_TRUE(hangdoctor::ScanSessionLog(bytes, &layout, &error)) << path;
+    std::vector<size_t> cuts = layout.record_offsets;
+    cuts.push_back(layout.header_end);
+    cuts.push_back(0);
+    cuts.push_back(bytes.size() - 1);
+    for (size_t cut : cuts) {
+      if (cut >= bytes.size()) {
+        continue;  // cutting nothing is the intact log
+      }
+      hangdoctor::SessionLog log;
+      error.clear();
+      EXPECT_FALSE(hangdoctor::LoadSessionLogBytes(bytes.substr(0, cut), &log, &error))
+          << path << " cut at " << cut;
+      EXPECT_FALSE(error.empty()) << path << " cut at " << cut;
+    }
+  }
+}
+
+// Legal Figure 3 transitions under the default two-phase config (plus the degraded
+// timeout-only suspicion, which still only ever marks U -> S).
+bool LegalTransition(hangdoctor::ActionState from, hangdoctor::ActionState to) {
+  using S = hangdoctor::ActionState;
+  return (from == S::kUncategorized && to == S::kNormal) ||
+         (from == S::kUncategorized && to == S::kSuspicious) ||
+         (from == S::kSuspicious && to == S::kNormal) ||
+         (from == S::kSuspicious && to == S::kHangBug) ||
+         (from == S::kNormal && to == S::kUncategorized);
+}
+
+TEST(SpiStreamPropertyTest, ValidStreamsDriveOnlyLegalTransitionsWithMonotoneOverhead) {
+  const int64_t rounds = std::max<int64_t>(FuzzIters() / 40, 25);
+  simkit::Rng rng(FuzzSeed(), /*stream=*/0x73706970ULL);
+  for (int64_t round = 0; round < rounds; ++round) {
+    faultsim::StreamGenOptions options;
+    options.num_actions = static_cast<int32_t>(rng.UniformInt(1, 6));
+    options.num_executions = static_cast<int32_t>(rng.UniformInt(4, 40));
+    options.counter_fault_probability = rng.Bernoulli(0.5) ? 0.15 : 0.0;
+    faultsim::GeneratedStream stream = faultsim::GenerateStream(options, rng);
+
+    hangdoctor::DetectorCore core(stream.info, hangdoctor::HangDoctorConfig{});
+    int64_t last_cpu = 0;
+    int64_t last_bytes = 0;
+    for (faultsim::StreamEvent& event : stream.events) {
+      std::vector<faultsim::StreamEvent> one;
+      one.push_back(std::move(event));
+      faultsim::PushStream(core, one);
+      event = std::move(one.front());
+      EXPECT_GE(core.overhead().cpu(), last_cpu) << "round " << round;
+      EXPECT_GE(core.overhead().memory_bytes(), last_bytes) << "round " << round;
+      last_cpu = core.overhead().cpu();
+      last_bytes = core.overhead().memory_bytes();
+    }
+
+    ASSERT_TRUE(core.stream().ok()) << "round " << round << ": " << core.stream().error();
+    EXPECT_EQ(core.degradation().dropped_records, 0) << "round " << round;
+    for (const hangdoctor::StateTransition& transition : core.actions().transitions()) {
+      EXPECT_TRUE(LegalTransition(transition.from, transition.to))
+          << "round " << round << ": illegal "
+          << hangdoctor::ActionStateName(transition.from) << " -> "
+          << hangdoctor::ActionStateName(transition.to) << " (" << transition.reason << ")";
+      EXPECT_GE(transition.action_uid, 0) << "round " << round;
+      EXPECT_LT(transition.action_uid, options.num_actions) << "round " << round;
+    }
+  }
+}
+
+TEST(SpiStreamPropertyTest, CorruptStreamsAreDroppedOrStickyFailedNeverFatal) {
+  const int64_t rounds = std::max<int64_t>(FuzzIters() / 40, 25);
+  simkit::Rng rng(FuzzSeed(), /*stream=*/0x73706963ULL);
+  std::set<std::string> corruptions_seen;
+  for (int64_t round = 0; round < rounds; ++round) {
+    faultsim::StreamGenOptions options;
+    options.num_actions = static_cast<int32_t>(rng.UniformInt(1, 6));
+    options.num_executions = static_cast<int32_t>(rng.UniformInt(4, 40));
+    options.corrupt = true;
+    faultsim::GeneratedStream stream = faultsim::GenerateStream(options, rng);
+    ASSERT_FALSE(stream.corruption.empty()) << "round " << round;
+    corruptions_seen.insert(stream.corruption);
+
+    hangdoctor::DetectorCore core(stream.info, hangdoctor::HangDoctorConfig{});
+    faultsim::PushStream(core, stream.events);
+    bool noticed = core.degradation().dropped_records > 0 || !core.stream().ok();
+    EXPECT_TRUE(noticed) << "round " << round << ": corruption '" << stream.corruption
+                         << "' sailed through unnoticed";
+    if (!core.stream().ok()) {
+      EXPECT_FALSE(core.stream().error().empty()) << "round " << round;
+    }
+  }
+  if (rounds >= 100) {
+    EXPECT_GE(corruptions_seen.size(), 4u) << "corruption variety collapsed";
+  }
+}
+
+}  // namespace

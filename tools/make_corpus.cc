@@ -1,0 +1,72 @@
+// Regenerates the committed HDSL fuzz corpus (tests/corpus/). Each corpus file is one small
+// recorded session chosen to cover a distinct slice of the log grammar: the default config,
+// main_only (single-thread counter windows), second_phase_only + keep_traces (trace-heavy
+// records), and a fault-injected session (kCounterFault records, NaN counter diffs). All
+// seeds are fixed, so the corpus is reproducible byte-for-byte; after regenerating, refresh
+// tests/corpus/MANIFEST.sha256 (see scripts/check_corpus.sh).
+//
+// Usage: make_corpus <output-dir>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/faultsim/fault_plan.h"
+#include "src/workload/catalog.h"
+#include "src/workload/fleet.h"
+
+namespace {
+
+struct CorpusEntry {
+  const char* file;
+  size_t app_index;
+  uint64_t seed;
+  bool main_only = false;
+  bool second_phase_only = false;
+  bool keep_traces = false;
+  const char* fault_profile = nullptr;
+};
+
+constexpr CorpusEntry kCorpus[] = {
+    {"default.hdsl", 0, 101},
+    {"main_only.hdsl", 1, 102, /*main_only=*/true},
+    {"second_phase.hdsl", 2, 103, false, /*second_phase_only=*/true, /*keep_traces=*/true},
+    {"faulty.hdsl", 3, 104, false, false, false, /*fault_profile=*/"flaky-counters"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 1;
+  }
+  const std::string dir = argv[1];
+  std::filesystem::create_directories(dir);
+
+  workload::Catalog catalog;
+  hangdoctor::BlockingApiDatabase known_db = catalog.MakeKnownDatabase();
+  for (const CorpusEntry& entry : kCorpus) {
+    workload::FleetJob job;
+    job.spec = catalog.study_apps()[entry.app_index];
+    job.profile = droidsim::LgV10();
+    job.seed = entry.seed;
+    job.session = simkit::Seconds(10);
+    job.known_db = &known_db;
+    job.doctor.main_only = entry.main_only;
+    job.doctor.second_phase_only = entry.second_phase_only;
+    job.doctor.keep_traces = entry.keep_traces;
+    if (entry.fault_profile != nullptr) {
+      job.faults = faultsim::FaultProfile::Named(entry.fault_profile);
+    }
+    job.record_path = dir + "/" + entry.file;
+    workload::FleetJobResult result = workload::RunFleetJob(job);
+    if (!result.ok || !result.record_ok) {
+      std::fprintf(stderr, "recording %s failed: %s%s\n", entry.file, result.error.c_str(),
+                   result.record_error.c_str());
+      return 1;
+    }
+    std::printf("%s: %s, %ju bytes\n", entry.file, job.spec->name.c_str(),
+                static_cast<uintmax_t>(std::filesystem::file_size(job.record_path)));
+  }
+  return 0;
+}
