@@ -76,21 +76,21 @@ int main() {
       perfsim::PerfSession session(&phone.counter_hub(), phone.profile().pmu, 5000 + run);
       session.AddThread(app->main_tid());
       session.AddThread(app->render_tid());
-      for (perfsim::PerfEventType event : trio.Events()) {
+      for (telemetry::PerfEventType event : trio.Events()) {
         session.AddEvent(event);
       }
       session.Start();
       app->PerformAction(folders);
       phone.RunFor(simkit::Milliseconds(150));  // the tempting early read
-      perfsim::CounterArray early{};
-      for (perfsim::PerfEventType event : trio.Events()) {
+      telemetry::CounterArray early{};
+      for (telemetry::PerfEventType event : trio.Events()) {
         early[static_cast<size_t>(event)] =
             session.ReadDifference(app->main_tid(), app->render_tid(), event);
       }
       phone.RunFor(simkit::Seconds(8));  // quiesce
       session.Stop();
-      perfsim::CounterArray late{};
-      for (perfsim::PerfEventType event : trio.Events()) {
+      telemetry::CounterArray late{};
+      for (telemetry::PerfEventType event : trio.Events()) {
         late[static_cast<size_t>(event)] =
             session.ReadDifference(app->main_tid(), app->render_tid(), event);
       }

@@ -1,0 +1,231 @@
+// DetectorService capacity benchmark. One process, one service, N concurrent sessions: a
+// donor SPI stream (one recorded droidsim session) is replayed into N live sessions
+// round-robin — records of all sessions interleaved, the shape a fleet ingestion backend
+// sees — and the bench reports sustained sessions/s plus resident memory at each
+// concurrency level (1 / 100 / 10k live sessions; smoke: 1 / 10 / 100).
+//
+// The point being measured: session cost is one arena (core + action table + private
+// blocking-API database), not one thread — so the sustained concurrent-session count
+// exceeds the machine's thread count by orders of magnitude, and memory tracks *live*
+// sessions (each level closes its sessions and the next level's RSS does not accumulate
+// the total ever processed). Emits machine-readable BENCH_service.json.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/smoke.h"
+#include "src/hangdoctor/detector_service.h"
+#include "src/hangdoctor/session_stream.h"
+#include "src/hosts/hang_doctor.h"
+#include "src/workload/catalog.h"
+#include "src/workload/experiment.h"
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+// Current resident set in MiB (/proc/self/statm; falls back to getrusage peak).
+double ResidentMb() {
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    long total = 0;
+    long resident = 0;
+    int fields = std::fscanf(statm, "%ld %ld", &total, &resident);
+    std::fclose(statm);
+    if (fields == 2) {
+      return static_cast<double>(resident) * static_cast<double>(sysconf(_SC_PAGESIZE)) /
+             (1024.0 * 1024.0);
+    }
+  }
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+double PeakRssMb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+// In-memory TelemetrySink: captures the donor session's SPI stream as owned payloads.
+class StreamRecorder : public hangdoctor::TelemetrySink {
+ public:
+  void OnSessionStart(const hangdoctor::SessionInfo& info) override { info_ = info; }
+  void OnDispatchStart(const hangdoctor::DispatchStart& start) override {
+    hangdoctor::SpiPayload payload;
+    payload.kind = hangdoctor::SpiPayload::Kind::kDispatchStart;
+    payload.start = start;
+    records_.push_back(std::move(payload));
+  }
+  void OnDispatchEnd(const hangdoctor::DispatchEnd& end) override {
+    hangdoctor::SpiPayload payload;
+    payload.kind = hangdoctor::SpiPayload::Kind::kDispatchEnd;
+    payload.end = end;
+    payload.samples.assign(end.samples.begin(), end.samples.end());
+    records_.push_back(std::move(payload));
+  }
+  void OnActionQuiesce(const hangdoctor::ActionQuiesce& quiesce) override {
+    hangdoctor::SpiPayload payload;
+    payload.kind = hangdoctor::SpiPayload::Kind::kActionQuiesce;
+    payload.quiesce = quiesce;
+    records_.push_back(std::move(payload));
+  }
+  void OnCounterFault(const hangdoctor::CounterFault& fault) override {
+    hangdoctor::SpiPayload payload;
+    payload.kind = hangdoctor::SpiPayload::Kind::kCounterFault;
+    payload.fault = fault;
+    records_.push_back(std::move(payload));
+  }
+
+  const hangdoctor::SessionInfo& info() const { return info_; }
+  const std::vector<hangdoctor::SpiPayload>& records() const { return records_; }
+
+ private:
+  hangdoctor::SessionInfo info_;
+  std::vector<hangdoctor::SpiPayload> records_;
+};
+
+struct LevelResult {
+  size_t concurrent = 0;
+  double seconds = 0.0;
+  double sessions_per_sec = 0.0;
+  double records_per_sec = 0.0;
+  double live_rss_mb = 0.0;    // resident while all sessions of the level are open
+  double closed_rss_mb = 0.0;  // resident after every session of the level is closed
+};
+
+// Opens `concurrent` sessions, streams the donor records into all of them round-robin
+// (record r of every session lands before record r+1 of any), then closes them all.
+LevelResult RunLevel(size_t concurrent, const hangdoctor::SessionInfo& info,
+                     const hangdoctor::HangDoctorConfig& config,
+                     const std::vector<hangdoctor::SpiPayload>& records, int32_t shards) {
+  hangdoctor::DetectorService service(hangdoctor::ServiceOptions{shards});
+  auto start = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < concurrent; ++s) {
+    service.Open(telemetry::SessionId{s}, info, config);
+  }
+  for (const hangdoctor::SpiPayload& payload : records) {
+    for (size_t s = 0; s < concurrent; ++s) {
+      telemetry::SessionId id{s};
+      switch (payload.kind) {
+        case hangdoctor::SpiPayload::Kind::kDispatchStart:
+          service.OnDispatchStart(id, payload.start);
+          break;
+        case hangdoctor::SpiPayload::Kind::kDispatchEnd: {
+          hangdoctor::DispatchEnd end = payload.end;
+          end.samples = payload.samples;
+          service.OnDispatchEnd(id, end);
+          break;
+        }
+        case hangdoctor::SpiPayload::Kind::kActionQuiesce:
+          service.OnActionQuiesced(id, payload.quiesce);
+          break;
+        case hangdoctor::SpiPayload::Kind::kCounterFault:
+          service.OnCounterFault(id, payload.fault);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  LevelResult result;
+  result.live_rss_mb = ResidentMb();
+  for (size_t s = 0; s < concurrent; ++s) {
+    hangdoctor::SessionResult session = service.Close(telemetry::SessionId{s});
+    (void)session;  // harvested and dropped: the arena is what we are freeing
+  }
+  result.concurrent = concurrent;
+  result.seconds = Seconds(start);
+  result.sessions_per_sec = static_cast<double>(concurrent) / result.seconds;
+  result.records_per_sec =
+      static_cast<double>(concurrent * records.size()) / result.seconds;
+  result.closed_rss_mb = ResidentMb();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = bench::SmokeRun();
+  const simkit::SimDuration donor_session =
+      bench::SmokeScaled(simkit::Seconds(60), simkit::Seconds(10));
+  const std::vector<size_t> levels =
+      smoke ? std::vector<size_t>{1, 10, 100} : std::vector<size_t>{1, 100, 10000};
+
+  // Donor stream: one recorded droidsim session; the replay property guarantees any core
+  // fed this stream behaves bit-identically, so N sessions fed the same stream model N
+  // concurrent devices exactly.
+  workload::Catalog catalog;
+  StreamRecorder recorder;
+  hangdoctor::HangDoctorConfig config;
+  workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp("K9-Mail"),
+                                     /*seed=*/0x5E55);
+  {
+    hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), config,
+                                  /*database=*/nullptr, /*fleet_report=*/nullptr,
+                                  /*device_id=*/0, &recorder);
+    harness.RunUserSession(donor_session, {});
+  }
+
+  const unsigned threads = std::max(1u, std::thread::hardware_concurrency());
+  const int32_t shards = static_cast<int32_t>(std::max(1u, threads / 2));
+  std::printf("donor stream: %zu records (%s session)%s\n", recorder.records().size(),
+              "K9-Mail", smoke ? " (smoke)" : "");
+  std::printf("machine threads: %u   service shards: %d\n\n", threads, shards);
+
+  std::vector<LevelResult> results;
+  for (size_t level : levels) {
+    LevelResult result =
+        RunLevel(level, recorder.info(), config, recorder.records(), shards);
+    std::printf(
+        "concurrent=%-6zu  %8.3f s  %10.1f sessions/s  %12.0f records/s  "
+        "rss live %.1f MB / closed %.1f MB\n",
+        result.concurrent, result.seconds, result.sessions_per_sec, result.records_per_sec,
+        result.live_rss_mb, result.closed_rss_mb);
+    results.push_back(result);
+  }
+
+  const LevelResult& top = results.back();
+  double sessions_per_thread = static_cast<double>(top.concurrent) / threads;
+  std::printf("\nmax concurrency sustained: %zu sessions in one process = %.1fx the "
+              "machine's %u threads\n",
+              top.concurrent, sessions_per_thread, threads);
+
+  std::FILE* json = std::fopen("BENCH_service.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"service\",\n");
+  std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(json, "  \"donor_records\": %zu,\n", recorder.records().size());
+  std::fprintf(json, "  \"threads\": %u,\n", threads);
+  std::fprintf(json, "  \"shards\": %d,\n", shards);
+  std::fprintf(json, "  \"levels\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const LevelResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"concurrent_sessions\": %zu, \"seconds\": %.3f, "
+                 "\"sessions_per_sec\": %.2f, \"records_per_sec\": %.0f, "
+                 "\"live_rss_mb\": %.1f, \"closed_rss_mb\": %.1f}%s\n",
+                 r.concurrent, r.seconds, r.sessions_per_sec, r.records_per_sec,
+                 r.live_rss_mb, r.closed_rss_mb, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"max_concurrent_sessions\": %zu,\n", top.concurrent);
+  std::fprintf(json, "  \"sessions_per_thread\": %.1f,\n", sessions_per_thread);
+  std::fprintf(json, "  \"peak_rss_mb\": %.1f\n", PeakRssMb());
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_service.json\n");
+  return 0;
+}

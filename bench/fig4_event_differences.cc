@@ -18,7 +18,7 @@
 
 namespace {
 
-void PrintSeries(const char* title, perfsim::PerfEventType event, double threshold,
+void PrintSeries(const char* title, telemetry::PerfEventType event, double threshold,
                  const std::vector<hangdoctor::LabeledSample>& samples) {
   std::vector<double> bug_values;
   std::vector<double> ui_values;
@@ -60,11 +60,11 @@ int main() {
   workload::TrainingData data = workload::CollectTrainingSamples(catalog, config);
   std::printf("=== Figure 4: filter-event differences over the training set (%zu hangs) ===\n\n",
               data.diff_samples.size());
-  PrintSeries("(a) Context-Switch Difference", perfsim::PerfEventType::kContextSwitches, 0.0,
+  PrintSeries("(a) Context-Switch Difference", telemetry::PerfEventType::kContextSwitches, 0.0,
               data.diff_samples);
-  PrintSeries("(b) Task-Clock Difference", perfsim::PerfEventType::kTaskClock, 1.7e8,
+  PrintSeries("(b) Task-Clock Difference", telemetry::PerfEventType::kTaskClock, 1.7e8,
               data.diff_samples);
-  PrintSeries("(c) Page-Fault Difference", perfsim::PerfEventType::kPageFaults, 500.0,
+  PrintSeries("(c) Page-Fault Difference", telemetry::PerfEventType::kPageFaults, 500.0,
               data.diff_samples);
   return 0;
 }

@@ -32,18 +32,18 @@ Series TraceAction(const workload::Catalog& catalog, const char* app_name, const
   }
   Series series;
   double main0 = phone.counter_hub().Value(app->main_tid(),
-                                           perfsim::PerfEventType::kContextSwitches);
+                                           telemetry::PerfEventType::kContextSwitches);
   double render0 = phone.counter_hub().Value(app->render_tid(),
-                                             perfsim::PerfEventType::kContextSwitches);
+                                             telemetry::PerfEventType::kContextSwitches);
   app->PerformAction(uid);
   for (int step = 0; step < 20; ++step) {
     phone.RunFor(simkit::Milliseconds(100));
     series.main_ctx.push_back(phone.counter_hub().Value(
-                                  app->main_tid(), perfsim::PerfEventType::kContextSwitches) -
+                                  app->main_tid(), telemetry::PerfEventType::kContextSwitches) -
                               main0);
     series.render_ctx.push_back(
         phone.counter_hub().Value(app->render_tid(),
-                                  perfsim::PerfEventType::kContextSwitches) -
+                                  telemetry::PerfEventType::kContextSwitches) -
         render0);
   }
   return series;

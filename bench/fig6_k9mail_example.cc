@@ -45,7 +45,7 @@ int main() {
                 hangdoctor::ActionStateName(record.state_before),
                 hangdoctor::VerdictName(record.verdict),
                 record.schecker_diffs[static_cast<size_t>(
-                    perfsim::PerfEventType::kContextSwitches)]);
+                    telemetry::PerfEventType::kContextSwitches)]);
     if (record.verdict == hangdoctor::Verdict::kDiagnosedBug && diagnosed == nullptr) {
       diagnosed = &record;
     }
@@ -67,11 +67,11 @@ int main() {
       }
       continue;
     }
-    const droidsim::StackTrace& trace = diagnosed->traces[i];
+    const telemetry::StackTrace& trace = diagnosed->traces[i];
     std::printf("  [ST %2zu] ", i + 1);
     for (size_t f = trace.frames.size(); f > 0; --f) {
       std::printf("%s%s",
-                  droidsim::FormatFrame(app->symbols().Frame(trace.frames[f - 1])).c_str(),
+                  telemetry::FormatFrame(app->symbols().Frame(trace.frames[f - 1])).c_str(),
                   f > 1 ? " -> " : "");
     }
     std::printf("\n");

@@ -32,10 +32,10 @@ BENCHMARK(BM_ActionTableLookup);
 
 void BM_FilterHasSymptoms(benchmark::State& state) {
   hangdoctor::SoftHangFilter filter = hangdoctor::SoftHangFilter::Default();
-  perfsim::CounterArray diffs{};
-  diffs[static_cast<size_t>(perfsim::PerfEventType::kContextSwitches)] = -25.0;
-  diffs[static_cast<size_t>(perfsim::PerfEventType::kTaskClock)] = 9.0e7;
-  diffs[static_cast<size_t>(perfsim::PerfEventType::kPageFaults)] = 120.0;
+  telemetry::CounterArray diffs{};
+  diffs[static_cast<size_t>(telemetry::PerfEventType::kContextSwitches)] = -25.0;
+  diffs[static_cast<size_t>(telemetry::PerfEventType::kTaskClock)] = 9.0e7;
+  diffs[static_cast<size_t>(telemetry::PerfEventType::kPageFaults)] = 120.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(filter.HasSymptoms(diffs));
   }
@@ -56,13 +56,13 @@ void BM_PerfSessionBracket(benchmark::State& state) {
     perfsim::PerfSession session(&phone.counter_hub(), phone.profile().pmu, 7);
     session.AddThread(app->main_tid());
     session.AddThread(app->render_tid());
-    for (perfsim::PerfEventType event : filter.Events()) {
+    for (telemetry::PerfEventType event : filter.Events()) {
       session.AddEvent(event);
     }
     session.Start();
     session.Stop();
     double diff = 0.0;
-    for (perfsim::PerfEventType event : filter.Events()) {
+    for (telemetry::PerfEventType event : filter.Events()) {
       diff += session.ReadDifference(app->main_tid(), app->render_tid(), event);
     }
     benchmark::DoNotOptimize(diff);
@@ -70,19 +70,19 @@ void BM_PerfSessionBracket(benchmark::State& state) {
 }
 BENCHMARK(BM_PerfSessionBracket);
 
-std::vector<droidsim::StackTrace> MakeTraces(size_t count, droidsim::SymbolTable* symbols) {
-  droidsim::FrameId click =
+std::vector<telemetry::StackTrace> MakeTraces(size_t count, droidsim::SymbolTable* symbols) {
+  telemetry::FrameId click =
       symbols->Intern({"onItemClick", "", "MessageList.java", 371, false});
-  droidsim::FrameId load =
+  telemetry::FrameId load =
       symbols->Intern({"loadMessage", "com.fsck.k9.MessageView", "MessageView.java", 120,
                        false});
-  droidsim::FrameId clean =
+  telemetry::FrameId clean =
       symbols->Intern({"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25, true});
-  droidsim::FrameId set_text =
+  telemetry::FrameId set_text =
       symbols->Intern({"setText", "android.widget.TextView", "MessageView.java", 140, false});
-  std::vector<droidsim::StackTrace> traces;
+  std::vector<telemetry::StackTrace> traces;
   for (size_t i = 0; i < count; ++i) {
-    droidsim::StackTrace trace;
+    telemetry::StackTrace trace;
     trace.frames = {click, load, i % 10 != 0 ? clean : set_text};
     traces.push_back(std::move(trace));
   }
@@ -92,7 +92,7 @@ std::vector<droidsim::StackTrace> MakeTraces(size_t count, droidsim::SymbolTable
 void BM_TraceAnalyzer60(benchmark::State& state) {
   hangdoctor::TraceAnalyzer analyzer;
   droidsim::SymbolTable symbols;
-  std::vector<droidsim::StackTrace> traces = MakeTraces(60, &symbols);
+  std::vector<telemetry::StackTrace> traces = MakeTraces(60, &symbols);
   for (auto _ : state) {
     benchmark::DoNotOptimize(analyzer.Analyze(traces, symbols));
   }
@@ -105,7 +105,7 @@ void BM_RankEvents(benchmark::State& state) {
   for (int i = 0; i < 200; ++i) {
     hangdoctor::LabeledSample sample;
     sample.is_bug = (i % 2) == 0;
-    for (size_t e = 0; e < perfsim::kNumPerfEvents; ++e) {
+    for (size_t e = 0; e < telemetry::kNumPerfEvents; ++e) {
       sample.readings[e] = rng.Normal(sample.is_bug ? 100.0 : -50.0, 80.0);
     }
     samples.push_back(sample);

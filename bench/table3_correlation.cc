@@ -21,7 +21,7 @@ void PrintTopTen(const char* title, const std::vector<hangdoctor::RankedEvent>& 
   std::printf("  %-26s %s\n", "Performance Event", "Corr. Coeff.");
   double sum = 0.0;
   for (size_t i = 0; i < 10 && i < ranking.size(); ++i) {
-    std::printf("  %-26s %.3f\n", perfsim::PerfEventName(ranking[i].event).c_str(),
+    std::printf("  %-26s %.3f\n", telemetry::PerfEventName(ranking[i].event).c_str(),
                 ranking[i].correlation);
     sum += ranking[i].correlation;
   }
@@ -46,7 +46,7 @@ int main() {
 
   std::printf("(appendix) full ranking, main - render:\n");
   for (const hangdoctor::RankedEvent& ranked : diff_ranking) {
-    std::printf("  %-26s %.3f\n", perfsim::PerfEventName(ranked.event).c_str(),
+    std::printf("  %-26s %.3f\n", telemetry::PerfEventName(ranked.event).c_str(),
                 ranked.correlation);
   }
   std::printf("\n");

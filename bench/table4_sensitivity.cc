@@ -30,14 +30,14 @@ std::vector<hangdoctor::LabeledSample> Subsample(
 void PrintTopTen(const char* title, const std::vector<hangdoctor::RankedEvent>& ranking) {
   std::printf("%s\n  %-26s %s\n", title, "Performance Event", "Corr. Coeff.");
   for (size_t i = 0; i < 10 && i < ranking.size(); ++i) {
-    std::printf("  %-26s %.3f\n", perfsim::PerfEventName(ranking[i].event).c_str(),
+    std::printf("  %-26s %.3f\n", telemetry::PerfEventName(ranking[i].event).c_str(),
                 ranking[i].correlation);
   }
   std::printf("\n");
 }
 
-std::set<perfsim::PerfEventType> TopFive(const std::vector<hangdoctor::RankedEvent>& ranking) {
-  std::set<perfsim::PerfEventType> top;
+std::set<telemetry::PerfEventType> TopFive(const std::vector<hangdoctor::RankedEvent>& ranking) {
+  std::set<telemetry::PerfEventType> top;
   for (size_t i = 0; i < 5 && i < ranking.size(); ++i) {
     top.insert(ranking[i].event);
   }
@@ -72,12 +72,12 @@ int main(int argc, char** argv) {
   PrintTopTen("(a) 75% training set", r75);
   PrintTopTen("(b) 50% training set", r50);
 
-  std::set<perfsim::PerfEventType> top_full = TopFive(full);
-  std::set<perfsim::PerfEventType> top75 = TopFive(r75);
-  std::set<perfsim::PerfEventType> top50 = TopFive(r50);
+  std::set<telemetry::PerfEventType> top_full = TopFive(full);
+  std::set<telemetry::PerfEventType> top75 = TopFive(r75);
+  std::set<telemetry::PerfEventType> top50 = TopFive(r50);
   size_t stable75 = 0;
   size_t stable50 = 0;
-  for (perfsim::PerfEventType event : top_full) {
+  for (telemetry::PerfEventType event : top_full) {
     stable75 += top75.count(event);
     stable50 += top50.count(event);
   }

@@ -105,8 +105,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The fleet always runs through the session-multiplexed DetectorService (bit-identical to
+  // the per-job path at any shard count); --service --shards=N makes the topology explicit
+  // and prints it. The fault-free default output stays byte-identical to the goldens.
   workload::FleetOptions options;
   options.jobs = workload::ResolveJobs(argc, argv);
+  options.shards = workload::ResolveShards(argc, argv);
+  const bool service_flag = workload::HasFlag(argc, argv, "--service");
   auto fleet_start = std::chrono::steady_clock::now();
   workload::FleetSummary summary;
   if (!replay_dir.empty()) {
@@ -124,8 +129,13 @@ int main(int argc, char** argv) {
 
   std::printf("=== Table 5: apps with soft hang problems (of %zu apps tested) ===\n",
               catalog.all_apps().size());
-  std::printf("fleet phase: %zu jobs on %d worker(s) in %.2f s\n\n", jobs.size(),
+  std::printf("fleet phase: %zu jobs on %d worker(s) in %.2f s\n", jobs.size(),
               options.jobs, fleet_seconds);
+  if (service_flag) {
+    std::printf("service mode: one DetectorService, %d shard(s), %zu multiplexed sessions\n",
+                options.shards > 0 ? options.shards : options.jobs, jobs.size());
+  }
+  std::printf("\n");
   std::printf("%-16s %-12s %-16s %-7s %-9s %-9s\n", "App (downloads)", "Commit", "Category",
               "Issue", "BD (MO)", "paper");
 
@@ -234,6 +244,12 @@ int main(int argc, char** argv) {
     std::printf("empty trace windows: %ld  dropped records: %ld\n",
                 static_cast<long>(total.empty_trace_windows),
                 static_cast<long>(total.dropped_records));
+    for (const workload::FleetJobResult& result : summary.jobs) {
+      if (!result.ok || result.degradation.Degraded() || !result.stream_ok ||
+          !result.record_ok) {
+        std::printf("  %s\n", result.Describe().c_str());
+      }
+    }
   }
   return 0;
 }

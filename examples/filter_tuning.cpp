@@ -34,7 +34,7 @@ int main() {
   std::printf("Top-5 events by correlation with soft hang bugs:\n");
   for (size_t i = 0; i < 5; ++i) {
     std::printf("  %zu. %-24s r = %.3f\n", i + 1,
-                perfsim::PerfEventName(ranking[i].event).c_str(), ranking[i].correlation);
+                telemetry::PerfEventName(ranking[i].event).c_str(), ranking[i].correlation);
   }
 
   hangdoctor::SoftHangFilter trained = hangdoctor::TrainFilter(training.diff_samples, ranking);

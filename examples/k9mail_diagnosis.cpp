@@ -50,10 +50,10 @@ int main() {
     }
     std::printf("\nA stack trace from the diagnosing hang (%zu collected, occurrence %.0f%%):\n",
                 record.traces.size(), 100.0 * record.diagnosis.occurrence_factor);
-    const droidsim::StackTrace& trace = record.traces[record.traces.size() / 2];
+    const telemetry::StackTrace& trace = record.traces[record.traces.size() / 2];
     for (size_t i = trace.frames.size(); i > 0; --i) {
-      const droidsim::StackFrame& frame = app->symbols().Frame(trace.frames[i - 1]);
-      std::printf("    at %s %s\n", frame.clazz.c_str(), droidsim::FormatFrame(frame).c_str());
+      const telemetry::StackFrame& frame = app->symbols().Frame(trace.frames[i - 1]);
+      std::printf("    at %s %s\n", frame.clazz.c_str(), telemetry::FormatFrame(frame).c_str());
     }
     break;
   }

@@ -28,4 +28,25 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+# The PR-3 compatibility shims (src/perfsim/events.h, src/droidsim/stack.h) re-exported the
+# telemetry vocabulary into substrate namespaces; they are deleted and must not come back —
+# neither the headers, nor alias-qualified uses of the telemetry names they exported.
+shim_includes=$(grep -rnE '#include "src/(perfsim/events|droidsim/stack)\.h"' \
+  "$repo_root/src" "$repo_root/tests" "$repo_root/bench" "$repo_root/examples" \
+  "$repo_root/tools" 2>/dev/null || true)
+alias_uses=$(grep -rnE \
+  'perfsim::(PerfEventType|kNumPerfEvents|IsSoftwareEvent|PerfEventName|PerfEventFromName|AllPerfEvents|CounterArray)|droidsim::(FrameId|StackFrame|StackTrace|FormatFrame)\b' \
+  --include='*.h' --include='*.cc' --include='*.cpp' \
+  "$repo_root/src" "$repo_root/tests" "$repo_root/bench" "$repo_root/examples" \
+  "$repo_root/tools" 2>/dev/null || true)
+
+if [ -n "$shim_includes$alias_uses" ]; then
+  echo "layering violation: the telemetry vocabulary must be used via telemetry::, not the" >&2
+  echo "deleted perfsim/droidsim alias shims:" >&2
+  [ -n "$shim_includes" ] && echo "$shim_includes" >&2
+  [ -n "$alias_uses" ] && echo "$alias_uses" >&2
+  exit 1
+fi
+
 echo "layering ok: src/hangdoctor depends only on src/telemetry and src/simkit"
+echo "layering ok: no perfsim/droidsim alias-shim usage"

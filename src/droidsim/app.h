@@ -98,7 +98,7 @@ class App : public OpExecutorHooks {
   int64_t PerformAction(int32_t uid);
 
   // Live main-thread stack as interned frame ids, as a stack sampler would see it.
-  const std::vector<FrameId>& MainStack() const { return main_looper_->CurrentStack(); }
+  const std::vector<telemetry::FrameId>& MainStack() const { return main_looper_->CurrentStack(); }
 
   // The app's symbol table: every frame id in this app's stacks/traces resolves here.
   const SymbolTable& symbols() const { return symbols_; }

@@ -48,7 +48,7 @@ class Looper : public kernelsim::WorkSource {
   void AddMessageLogger(MessageLogger logger) { loggers_.push_back(std::move(logger)); }
   void SetDoneCallback(DoneCallback done) { done_ = std::move(done); }
 
-  const std::vector<FrameId>& CurrentStack() const { return executor_.CurrentStack(); }
+  const std::vector<telemetry::FrameId>& CurrentStack() const { return executor_.CurrentStack(); }
   std::optional<int64_t> CurrentMessageId() const;
   bool Idle() const { return !current_.has_value() && queue_.empty(); }
   size_t QueueDepth() const { return queue_.size(); }

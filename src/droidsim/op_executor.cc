@@ -11,7 +11,7 @@ OpExecutor::OpExecutor(simkit::Simulation* sim, simkit::Rng rng, OpExecutorHooks
                        const int32_t* device_ids, const SymbolTable* symbols)
     : sim_(sim), rng_(rng), hooks_(hooks), device_ids_(device_ids), symbols_(symbols) {}
 
-void OpExecutor::Begin(FrameId handler_frame, std::span<const OpNode> ops) {
+void OpExecutor::Begin(telemetry::FrameId handler_frame, std::span<const OpNode> ops) {
   assert(stack_.empty());
   PushRoot(handler_frame, ops);
 }
@@ -21,7 +21,7 @@ void OpExecutor::BeginSubtree(const OpNode* node) {
   PushNode(*node);
 }
 
-void OpExecutor::PushRoot(FrameId frame, std::span<const OpNode> ops) {
+void OpExecutor::PushRoot(telemetry::FrameId frame, std::span<const OpNode> ops) {
   NodeState state;
   state.children = ops;
   state.phase = 0;

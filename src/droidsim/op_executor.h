@@ -13,7 +13,7 @@
 
 #include "src/droidsim/api.h"
 #include "src/droidsim/operation.h"
-#include "src/droidsim/stack.h"
+#include "src/telemetry/stack.h"
 #include "src/droidsim/symbols.h"
 #include "src/kernelsim/segment.h"
 #include "src/kernelsim/types.h"
@@ -54,7 +54,7 @@ class OpExecutor {
              const SymbolTable* symbols);
 
   // Starts executing `ops` under a synthetic root frame (the event handler).
-  void Begin(FrameId handler_frame, std::span<const OpNode> ops);
+  void Begin(telemetry::FrameId handler_frame, std::span<const OpNode> ops);
 
   // Starts executing a single subtree (worker-thread path); the root frame is the node's own.
   void BeginSubtree(const OpNode* node);
@@ -66,7 +66,7 @@ class OpExecutor {
 
   // Live stack as interned frame ids, outermost first. Valid between Begin() and the nullopt
   // from Next().
-  const std::vector<FrameId>& CurrentStack() const { return visible_stack_; }
+  const std::vector<telemetry::FrameId>& CurrentStack() const { return visible_stack_; }
 
   // Contributions recorded since the last call (cleared on return).
   std::vector<OpContribution> TakeContributions();
@@ -98,7 +98,7 @@ class OpExecutor {
     bool has_frame = false;
   };
 
-  void PushRoot(FrameId frame, std::span<const OpNode> ops);
+  void PushRoot(telemetry::FrameId frame, std::span<const OpNode> ops);
   void PushNode(const OpNode& node);
   void PopNode();
   Realization Realize(const OpNode& node);
@@ -109,7 +109,7 @@ class OpExecutor {
   const int32_t* device_ids_;
   const SymbolTable* symbols_;
   std::vector<NodeState> stack_;
-  std::vector<FrameId> visible_stack_;
+  std::vector<telemetry::FrameId> visible_stack_;
   std::vector<OpContribution> contributions_;
 };
 

@@ -23,7 +23,7 @@ void StackSampler::StartCollection() {
   ScheduleNext();
 }
 
-std::span<const StackTrace> StackSampler::StopCollection() {
+std::span<const telemetry::StackTrace> StackSampler::StopCollection() {
   active_ = false;
   if (pending_event_ != 0) {
     sim_->Cancel(pending_event_);
@@ -47,9 +47,9 @@ void StackSampler::TakeSample() {
   if (used_ == samples_.size()) {
     samples_.emplace_back();
   }
-  StackTrace& trace = samples_[used_++];
+  telemetry::StackTrace& trace = samples_[used_++];
   trace.timestamp_ns = sim_->Now();
-  const std::vector<FrameId>& stack = looper_->CurrentStack();
+  const std::vector<telemetry::FrameId>& stack = looper_->CurrentStack();
   trace.frames.assign(stack.begin(), stack.end());
   ++total_samples_;
 }

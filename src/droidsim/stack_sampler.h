@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "src/droidsim/looper.h"
-#include "src/droidsim/stack.h"
+#include "src/telemetry/stack.h"
 #include "src/simkit/simulation.h"
 
 namespace droidsim {
@@ -33,7 +33,7 @@ class StackSampler {
 
   // Ends the collection and returns everything sampled since StartCollection(), as a view
   // into the reused buffer — invalidated by the next StartCollection().
-  std::span<const StackTrace> StopCollection();
+  std::span<const telemetry::StackTrace> StopCollection();
 
   bool active() const { return active_; }
   // Lifetime samples taken, for overhead accounting.
@@ -48,7 +48,7 @@ class StackSampler {
   simkit::SimDuration interval_;
   bool active_ = false;
   simkit::EventId pending_event_ = 0;
-  std::vector<StackTrace> samples_;  // pooled slots; only the first `used_` are live
+  std::vector<telemetry::StackTrace> samples_;  // pooled slots; only the first `used_` are live
   size_t used_ = 0;
   int64_t total_samples_ = 0;
 };

@@ -6,13 +6,13 @@
 
 namespace droidsim {
 
-FrameId SymbolTable::Intern(StackFrame frame) {
+telemetry::FrameId SymbolTable::Intern(telemetry::StackFrame frame) {
   bool is_ui = IsUiClass(frame.clazz);
   return telemetry::SymbolTable::Intern(std::move(frame), is_ui);
 }
 
 void SymbolTable::IndexOp(const OpNode& node) {
-  StackFrame frame;
+  telemetry::StackFrame frame;
   frame.function = node.api->name;
   frame.clazz = node.api->clazz;
   frame.file = node.file;
@@ -26,7 +26,7 @@ void SymbolTable::IndexOp(const OpNode& node) {
 
 void SymbolTable::IndexAction(const ActionSpec& action) {
   for (const InputEventSpec& event : action.events) {
-    StackFrame handler;
+    telemetry::StackFrame handler;
     handler.function = event.handler;
     handler.file = event.handler_file;
     handler.line = event.handler_line;

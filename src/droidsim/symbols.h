@@ -1,7 +1,7 @@
 // The droidsim host's symbol interning: a telemetry::SymbolTable plus the canonical AppSpec
 // walk that fills it. Every frame an app can ever put on a stack — event handlers and op call
 // sites — is interned once, at App construction, into a table mapping it to a dense u32
-// FrameId. The hot paths (executor stack push, 20 ms stack sampling, occurrence counting in
+// telemetry::FrameId. The hot paths (executor stack push, 20 ms stack sampling, occurrence counting in
 // the Trace Analyzer) then move integers around; strings are materialized only when a
 // diagnosis or report is rendered.
 //
@@ -21,7 +21,7 @@
 #include <unordered_map>
 
 #include "src/droidsim/operation.h"
-#include "src/droidsim/stack.h"
+#include "src/telemetry/stack.h"
 #include "src/telemetry/symbols.h"
 
 namespace droidsim {
@@ -31,19 +31,19 @@ class SymbolTable : public telemetry::SymbolTable {
   SymbolTable() = default;
 
   // Interns `frame`, classifying frame.clazz against the Android UI-class list.
-  FrameId Intern(StackFrame frame);
+  telemetry::FrameId Intern(telemetry::StackFrame frame);
 
   // Canonical spec walk (see file comment): interns the handler frame of every input event
   // and every op node of `action`, keying the spec objects by pointer for IdFor().
   void IndexAction(const ActionSpec& action);
 
   // Id of a spec object registered by IndexAction. The spec must have been indexed.
-  FrameId IdFor(const void* spec_node) const { return by_ptr_.at(spec_node); }
+  telemetry::FrameId IdFor(const void* spec_node) const { return by_ptr_.at(spec_node); }
 
  private:
   void IndexOp(const OpNode& node);
 
-  std::unordered_map<const void*, FrameId> by_ptr_;  // spec object -> id
+  std::unordered_map<const void*, telemetry::FrameId> by_ptr_;  // spec object -> id
 };
 
 }  // namespace droidsim

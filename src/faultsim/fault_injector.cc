@@ -4,7 +4,7 @@
 
 namespace faultsim {
 
-FaultInjector::FaultInjector(FaultPlan plan, hangdoctor::DetectorCore* core,
+FaultInjector::FaultInjector(FaultPlan plan, hangdoctor::SpiBackend* core,
                              hangdoctor::TelemetrySink* sink)
     : plan_(std::move(plan)), core_(core), sink_(sink) {}
 

@@ -24,7 +24,6 @@
 #include <vector>
 
 #include "src/faultsim/fault_plan.h"
-#include "src/hangdoctor/detector_core.h"
 #include "src/hangdoctor/host_spi.h"
 #include "src/telemetry/stack.h"
 
@@ -32,8 +31,9 @@ namespace faultsim {
 
 class FaultInjector {
  public:
-  // `core` must be non-null and outlive the injector; `sink` may be null (no recording).
-  FaultInjector(FaultPlan plan, hangdoctor::DetectorCore* core, hangdoctor::TelemetrySink* sink);
+  // `core` is any SpiBackend — a private DetectorCore or a DetectorService session handle —
+  // must be non-null and outlive the injector; `sink` may be null (no recording).
+  FaultInjector(FaultPlan plan, hangdoctor::SpiBackend* core, hangdoctor::TelemetrySink* sink);
 
   hangdoctor::MonitorDirectives PushStart(const hangdoctor::DispatchStart& start);
   void PushEnd(const hangdoctor::DispatchEnd& end);
@@ -66,7 +66,7 @@ class FaultInjector {
   void ReleaseHeld();
 
   FaultPlan plan_;
-  hangdoctor::DetectorCore* core_;
+  hangdoctor::SpiBackend* core_;
   hangdoctor::TelemetrySink* sink_;
   std::optional<Held> held_;
 };

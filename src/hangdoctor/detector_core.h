@@ -94,7 +94,7 @@ struct HangDoctorConfig {
   int32_t counter_retry_backoff = kCounterRetryBackoffDispatches;
 };
 
-class DetectorCore {
+class DetectorCore : public SpiBackend {
  public:
   // `database` and `fleet_report` may be null (a private one is used); when given they must
   // outlive this object and collect discoveries across devices. `info.symbols` must outlive
@@ -107,12 +107,15 @@ class DetectorCore {
   DetectorCore& operator=(const DetectorCore&) = delete;
 
   // Telemetry Host SPI entry points (see host_spi.h for the contract).
-  MonitorDirectives OnDispatchStart(const DispatchStart& start);
-  void OnDispatchEnd(const DispatchEnd& end);
-  void OnActionQuiesced(const ActionQuiesce& quiesce);
-  void OnCounterFault(const CounterFault& fault);
+  MonitorDirectives OnDispatchStart(const DispatchStart& start) override;
+  void OnDispatchEnd(const DispatchEnd& end) override;
+  void OnActionQuiesced(const ActionQuiesce& quiesce) override;
+  void OnCounterFault(const CounterFault& fault) override;
 
   const std::vector<ExecutionRecord>& log() const { return log_; }
+  // Moves the execution log out (the DetectorService harvests it when a session closes and
+  // the core is about to be destroyed); the core is not usable for detection afterwards.
+  std::vector<ExecutionRecord> TakeLog() { return std::move(log_); }
   const ActionTable& actions() const { return table_; }
   const OverheadMeter& overhead() const { return overhead_; }
   const HangBugReport& local_report() const { return local_report_; }

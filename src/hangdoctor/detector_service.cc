@@ -1,0 +1,177 @@
+#include "src/hangdoctor/detector_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hangdoctor {
+
+DetectorService::DetectorService(const ServiceOptions& options) {
+  int32_t shards = std::max<int32_t>(1, options.shards);
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int32_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void DetectorService::Open(telemetry::SessionId id, const SessionInfo& info,
+                           const HangDoctorConfig& config,
+                           const BlockingApiDatabase* known_db) {
+  // Build the arena outside the shard lock: core construction validates info and copies the
+  // database, and neither needs the shard.
+  auto slot = std::make_unique<SessionSlot>();
+  if (known_db != nullptr) {
+    slot->database = *known_db;
+  }
+  slot->core = std::make_unique<DetectorCore>(info, config, &slot->database,
+                                              /*fleet_report=*/nullptr);
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.live.try_emplace(id, std::move(slot));
+    if (!inserted) {
+      throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
+                                  " is already open");
+    }
+  }
+  opened_.fetch_add(1, std::memory_order_relaxed);
+  live_.fetch_add(1, std::memory_order_relaxed);
+}
+
+DetectorService::SessionSlot& DetectorService::Slot(Shard& shard, telemetry::SessionId id) {
+  auto it = shard.live.find(id);
+  if (it == shard.live.end()) {
+    throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
+                                " is not open");
+  }
+  return *it->second;
+}
+
+MonitorDirectives DetectorService::OnDispatchStart(telemetry::SessionId id,
+                                                   const DispatchStart& start) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return Slot(shard, id).core->OnDispatchStart(start);
+}
+
+void DetectorService::OnDispatchEnd(telemetry::SessionId id, const DispatchEnd& end) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Slot(shard, id).core->OnDispatchEnd(end);
+}
+
+void DetectorService::OnActionQuiesced(telemetry::SessionId id, const ActionQuiesce& quiesce) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Slot(shard, id).core->OnActionQuiesced(quiesce);
+}
+
+void DetectorService::OnCounterFault(telemetry::SessionId id, const CounterFault& fault) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Slot(shard, id).core->OnCounterFault(fault);
+}
+
+SessionResult DetectorService::Close(telemetry::SessionId id) {
+  Shard& shard = ShardFor(id);
+  std::unique_ptr<SessionSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.live.find(id);
+    if (it == shard.live.end()) {
+      throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
+                                  " is not open");
+    }
+    slot = std::move(it->second);
+    shard.live.erase(it);
+  }
+  live_.fetch_sub(1, std::memory_order_relaxed);
+
+  // Harvest outside the lock; the slot is exclusively ours now.
+  DetectorCore& core = *slot->core;
+  SessionResult result;
+  result.id = id;
+  result.app_package = core.session().app_package;
+  result.device_id = core.session().device_id;
+  result.report = core.local_report();
+  result.overhead = core.overhead();
+  result.degradation = core.degradation();
+  result.stream_ok = core.stream().ok();
+  result.stream_error = core.stream().error();
+  result.stack_samples = core.stack_samples_taken();
+  result.discovered = slot->database.discovered();
+  result.log = core.TakeLog();
+  return result;  // `slot` dies here: the session's arena is gone, only the result remains
+}
+
+void DetectorService::Discard(telemetry::SessionId id) {
+  Shard& shard = ShardFor(id);
+  std::unique_ptr<SessionSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.live.find(id);
+    if (it == shard.live.end()) {
+      return;  // already closed or never opened: discarding is idempotent
+    }
+    slot = std::move(it->second);
+    shard.live.erase(it);
+  }
+  live_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecord> stream,
+                                                    const BlockingApiDatabase* known_db) {
+  std::vector<SessionResult> results;
+  for (const ServiceRecord& record : stream) {
+    const SpiPayload& payload = record.record;
+    switch (payload.kind) {
+      case SpiPayload::Kind::kSessionOpen:
+        Open(record.session, payload.info, payload.config, known_db);
+        break;
+      case SpiPayload::Kind::kDispatchStart:
+        OnDispatchStart(record.session, payload.start);
+        break;
+      case SpiPayload::Kind::kDispatchEnd: {
+        // The stored record owns its samples; repoint the span for the push.
+        DispatchEnd end = payload.end;
+        end.samples = payload.samples;
+        OnDispatchEnd(record.session, end);
+        break;
+      }
+      case SpiPayload::Kind::kActionQuiesce:
+        OnActionQuiesced(record.session, payload.quiesce);
+        break;
+      case SpiPayload::Kind::kCounterFault:
+        OnCounterFault(record.session, payload.fault);
+        break;
+      case SpiPayload::Kind::kSessionClose:
+        results.push_back(Close(record.session));
+        break;
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const SessionResult& a, const SessionResult& b) { return a.id < b.id; });
+  return results;
+}
+
+size_t DetectorService::live_sessions() const {
+  int64_t live = live_.load(std::memory_order_relaxed);
+  return live < 0 ? 0 : static_cast<size_t>(live);
+}
+
+HangBugReport MergeSessionReports(std::span<const SessionResult> results) {
+  std::vector<const SessionResult*> ordered;
+  ordered.reserve(results.size());
+  for (const SessionResult& result : results) {
+    ordered.push_back(&result);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SessionResult* a, const SessionResult* b) { return a->id < b->id; });
+  HangBugReport merged;
+  for (const SessionResult* result : ordered) {
+    merged.Merge(result->report);
+  }
+  return merged;
+}
+
+}  // namespace hangdoctor

@@ -1,0 +1,166 @@
+// The session-multiplexed detector service: one process, thousands of concurrent sessions.
+//
+// The paper's deployment is fleet-scale — many users' devices each streaming S-Checker /
+// Diagnoser telemetry that merges into one Hang Bug Report. A DetectorService is the backend
+// end of that pipe: it owns many live DetectorCores keyed by telemetry::SessionId, consumes a
+// single interleaved record stream (every SPI record carries a session tag — see
+// session_stream.h), and routes each record to the per-session core via deterministic shard
+// assignment (shard = ShardOf(session_id, shards) = hash(id) % shards).
+//
+// Concurrency and determinism contract:
+//  - Each session's records must be pushed in session order (one producer per session — the
+//    natural shape: a device's telemetry arrives in order). Different sessions may be pushed
+//    from different threads concurrently; a shard-level mutex serializes only the sessions
+//    that hash to the same shard.
+//  - Detection is per-session pure: a session's result depends only on its own (info, config,
+//    stream), never on shard placement, worker interleaving, or which other sessions are
+//    live. Merged outputs are folded in ascending-SessionId order (MergeSessionReports), so
+//    merged DetectionStats / HangBugReport are bit-identical at any shard or worker count.
+//  - Memory is bounded by *live* sessions, not total sessions: Close() harvests a compact
+//    SessionResult and destroys the per-session arena (core, action table, private
+//    blocking-API database) immediately. The fleet bench (bench/bench_service.cc) pins this:
+//    10k sequentially-windowed sessions peak at the working set of the window, not the total.
+//
+// Hosts attach through a SessionHandle, which implements SpiBackend — so the droidsim
+// adapter and the fault injector drive a service session with exactly the code that drives a
+// private core; faults are injected per-session, upstream of the mux, and recorded sessions
+// still replay bit-identically.
+#ifndef SRC_HANGDOCTOR_DETECTOR_SERVICE_H_
+#define SRC_HANGDOCTOR_DETECTOR_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hangdoctor/blocking_api_db.h"
+#include "src/hangdoctor/detector_core.h"
+#include "src/hangdoctor/host_spi.h"
+#include "src/hangdoctor/report.h"
+#include "src/hangdoctor/session_stream.h"
+#include "src/hangdoctor/stream_guard.h"
+#include "src/telemetry/session.h"
+
+namespace hangdoctor {
+
+struct ServiceOptions {
+  // Shard count; <= 0 resolves to 1. More shards reduce lock contention when many producer
+  // threads feed disjoint sessions; results are bit-identical at any value.
+  int32_t shards = 1;
+};
+
+// Everything a closed session leaves behind. Compact: the heavy live state (core, action
+// table, symbol-table references) is gone by the time the caller holds this.
+struct SessionResult {
+  telemetry::SessionId id;
+  std::string app_package;
+  int32_t device_id = 0;
+  std::vector<ExecutionRecord> log;  // the core's execution log (moved out, not copied)
+  HangBugReport report;              // the session's local Hang Bug Report
+  OverheadMeter overhead;
+  DegradationStats degradation;
+  bool stream_ok = true;
+  std::string stream_error;
+  int64_t stack_samples = 0;
+  std::vector<std::string> discovered;  // blocking APIs this session newly learned
+};
+
+class DetectorService {
+ public:
+  explicit DetectorService(const ServiceOptions& options = {});
+  DetectorService(const DetectorService&) = delete;
+  DetectorService& operator=(const DetectorService&) = delete;
+
+  // One session's view of the service, as an SpiBackend: hosts and fault injectors push
+  // through this exactly as they would into a private DetectorCore.
+  class SessionHandle final : public SpiBackend {
+   public:
+    SessionHandle(DetectorService* service, telemetry::SessionId id)
+        : service_(service), id_(id) {}
+    MonitorDirectives OnDispatchStart(const DispatchStart& start) override {
+      return service_->OnDispatchStart(id_, start);
+    }
+    void OnDispatchEnd(const DispatchEnd& end) override { service_->OnDispatchEnd(id_, end); }
+    void OnActionQuiesced(const ActionQuiesce& quiesce) override {
+      service_->OnActionQuiesced(id_, quiesce);
+    }
+    void OnCounterFault(const CounterFault& fault) override {
+      service_->OnCounterFault(id_, fault);
+    }
+    telemetry::SessionId id() const { return id_; }
+
+   private:
+    DetectorService* service_;
+    telemetry::SessionId id_;
+  };
+
+  // Opens a session: allocates its arena (private database copy seeded from `known_db` when
+  // given, plus the DetectorCore) on the shard the id hashes to. `info.symbols` must outlive
+  // the session. Throws std::invalid_argument on a duplicate id or malformed info (the core
+  // constructor's validation).
+  void Open(telemetry::SessionId id, const SessionInfo& info, const HangDoctorConfig& config,
+            const BlockingApiDatabase* known_db = nullptr);
+
+  // Per-record entry points; route to the owning shard. Throw std::invalid_argument for a
+  // session that was never opened (or already closed) — an unroutable record is a client
+  // bug, not telemetry the service can degrade on.
+  MonitorDirectives OnDispatchStart(telemetry::SessionId id, const DispatchStart& start);
+  void OnDispatchEnd(telemetry::SessionId id, const DispatchEnd& end);
+  void OnActionQuiesced(telemetry::SessionId id, const ActionQuiesce& quiesce);
+  void OnCounterFault(telemetry::SessionId id, const CounterFault& fault);
+
+  // Finalizes the session: harvests its result and frees its arena. The returned log is
+  // moved, not copied, so closing is O(result), independent of how many sessions ever ran.
+  SessionResult Close(telemetry::SessionId id);
+
+  // Drops a session without harvesting (client error path: the producer died mid-stream).
+  void Discard(telemetry::SessionId id);
+
+  SessionHandle Handle(telemetry::SessionId id) { return SessionHandle(this, id); }
+
+  // Batch entry: consumes one interleaved stream in order — open/record/close framing per
+  // session_stream.h — and returns the results of every session closed by the stream, in
+  // ascending-SessionId order. `known_db` seeds each opened session's private database.
+  std::vector<SessionResult> Consume(std::span<const ServiceRecord> stream,
+                                     const BlockingApiDatabase* known_db = nullptr);
+
+  size_t live_sessions() const;
+  int64_t sessions_opened() const { return opened_.load(std::memory_order_relaxed); }
+  int32_t shards() const { return static_cast<int32_t>(shards_.size()); }
+
+ private:
+  // One session's arena: everything that exists only while the session is live.
+  struct SessionSlot {
+    BlockingApiDatabase database;
+    std::unique_ptr<DetectorCore> core;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<telemetry::SessionId, std::unique_ptr<SessionSlot>,
+                       telemetry::SessionIdHasher>
+        live;
+  };
+
+  Shard& ShardFor(telemetry::SessionId id) {
+    return *shards_[telemetry::ShardOf(id, shards_.size())];
+  }
+  // Locks the owning shard and returns the slot; throws if the session is not live.
+  SessionSlot& Slot(Shard& shard, telemetry::SessionId id);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> opened_{0};
+  std::atomic<int64_t> live_{0};
+};
+
+// Folds session-local Hang Bug Reports into one fleet report in ascending-SessionId order —
+// the deterministic merge the service's bit-identity contract names.
+HangBugReport MergeSessionReports(std::span<const SessionResult> results);
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_DETECTOR_SERVICE_H_

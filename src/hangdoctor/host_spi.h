@@ -101,6 +101,20 @@ struct MonitorDirectives {
   bool arm_hang_check = false;
 };
 
+// The consuming half of the SPI as an interface: something that eats one session's telemetry
+// and answers DispatchStart with MonitorDirectives. DetectorCore implements it directly (the
+// single-session case); a DetectorService session handle implements it by routing the record
+// to the shard that owns the session. Hosts and the fault injector talk to a SpiBackend so
+// the same adapter code drives either a private core or one session of a multiplexed service.
+class SpiBackend {
+ public:
+  virtual ~SpiBackend() = default;
+  virtual MonitorDirectives OnDispatchStart(const DispatchStart& start) = 0;
+  virtual void OnDispatchEnd(const DispatchEnd& end) = 0;
+  virtual void OnActionQuiesced(const ActionQuiesce& quiesce) = 0;
+  virtual void OnCounterFault(const CounterFault& fault) = 0;
+};
+
 // Passive tap on the SPI: everything the host pushes into the core is offered to the sink
 // first. SessionLogWriter implements this to produce a replayable session log; the tap never
 // influences the core, so recording cannot perturb detection.

@@ -1,0 +1,50 @@
+// The interleaved multi-session SPI stream: every record a Telemetry Host can push into a
+// DetectorCore, as one session-tagged value type. A DetectorService consumes a flat sequence
+// of these — records of thousands of sessions arbitrarily interleaved, the shape a fleet
+// ingestion backend actually sees — and routes each one to the per-session core that owns it.
+//
+// Ownership: a ServiceRecord owns its stack samples (DispatchEnd::samples is a span and would
+// dangle inside a stored stream), but NOT the symbol table — `open.info.symbols` must outlive
+// every record of that session, exactly as SessionInfo demands of a single core. The HDSL v3
+// replayer (src/hosts/mux_log.h) keeps each session's parsed table alive until its close
+// record has been consumed.
+#ifndef SRC_HANGDOCTOR_SESSION_STREAM_H_
+#define SRC_HANGDOCTOR_SESSION_STREAM_H_
+
+#include <vector>
+
+#include "src/hangdoctor/detector_core.h"
+#include "src/hangdoctor/host_spi.h"
+#include "src/telemetry/session.h"
+#include "src/telemetry/stack.h"
+
+namespace hangdoctor {
+
+// The union of SPI traffic plus the open/close framing a multiplexed stream needs. `kind`
+// selects which member is meaningful; the others stay default-constructed.
+struct SpiPayload {
+  enum class Kind : uint8_t {
+    kSessionOpen = 0,    // info + config: create the per-session core
+    kDispatchStart = 1,  // start
+    kDispatchEnd = 2,    // end (+ owned samples when end.trace_stopped)
+    kActionQuiesce = 3,  // quiesce
+    kCounterFault = 4,   // fault
+    kSessionClose = 5,   // finalize the session and harvest its result
+  };
+
+  Kind kind = Kind::kSessionClose;
+  SessionInfo info;          // kSessionOpen; info.symbols is non-owning
+  HangDoctorConfig config;   // kSessionOpen
+  DispatchStart start;       // kDispatchStart
+  DispatchEnd end;           // kDispatchEnd; end.samples is repointed at `samples` on push
+  std::vector<telemetry::StackTrace> samples;  // owned storage for end.samples
+  ActionQuiesce quiesce;     // kActionQuiesce
+  CounterFault fault;        // kCounterFault
+};
+
+// One element of the interleaved stream: an SPI payload stamped with its session.
+using ServiceRecord = telemetry::SessionStamped<SpiPayload>;
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_SESSION_STREAM_H_

@@ -26,13 +26,38 @@ HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorCon
       rng_(phone->ForkRng(0x4844 + static_cast<uint64_t>(device_id)).NextU64(),
            /*stream=*/0x4841ULL),
       sink_(sink),
-      core_(MakeSessionInfo(*app, device_id), std::move(config), database, fleet_report),
-      sampler_(&phone->sim(), &app->main_looper(), core_.config().sample_interval) {
+      config_(std::move(config)),
+      core_(std::make_unique<DetectorCore>(MakeSessionInfo(*app, device_id), config_, database,
+                                           fleet_report)),
+      sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
+  backend_ = core_.get();
+  FinishSetup(std::move(plan), core_->session());
+}
+
+HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, const HangDoctorConfig& config,
+                       DetectorService* service, telemetry::SessionId id,
+                       const BlockingApiDatabase* known_db, int32_t device_id,
+                       TelemetrySink* sink, faultsim::FaultPlan plan)
+    : phone_(phone),
+      app_(app),
+      rng_(phone->ForkRng(0x4844 + static_cast<uint64_t>(device_id)).NextU64(),
+           /*stream=*/0x4841ULL),
+      sink_(sink),
+      config_(config),
+      sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
+  SessionInfo info = MakeSessionInfo(*app, device_id);
+  service->Open(id, info, config_, known_db);
+  handle_ = std::make_unique<DetectorService::SessionHandle>(service->Handle(id));
+  backend_ = handle_.get();
+  FinishSetup(std::move(plan), info);
+}
+
+void HangDoctor::FinishSetup(faultsim::FaultPlan plan, const SessionInfo& info) {
   if (plan.enabled()) {
-    injector_ = std::make_unique<faultsim::FaultInjector>(std::move(plan), &core_, sink_);
+    injector_ = std::make_unique<faultsim::FaultInjector>(std::move(plan), backend_, sink_);
   }
   if (sink_ != nullptr) {
-    sink_->OnSessionStart(core_.session());
+    sink_->OnSessionStart(info);
   }
   app_->AddObserver(this);
 }
@@ -46,7 +71,7 @@ MonitorDirectives HangDoctor::PushStart(const DispatchStart& start) {
   if (sink_ != nullptr) {
     sink_->OnDispatchStart(start);
   }
-  return core_.OnDispatchStart(start);
+  return backend_->OnDispatchStart(start);
 }
 
 void HangDoctor::PushEnd(const DispatchEnd& end) {
@@ -57,7 +82,7 @@ void HangDoctor::PushEnd(const DispatchEnd& end) {
   if (sink_ != nullptr) {
     sink_->OnDispatchEnd(end);
   }
-  core_.OnDispatchEnd(end);
+  backend_->OnDispatchEnd(end);
 }
 
 void HangDoctor::PushQuiesce(const ActionQuiesce& quiesce) {
@@ -68,7 +93,7 @@ void HangDoctor::PushQuiesce(const ActionQuiesce& quiesce) {
   if (sink_ != nullptr) {
     sink_->OnActionQuiesce(quiesce);
   }
-  core_.OnActionQuiesced(quiesce);
+  backend_->OnActionQuiesced(quiesce);
 }
 
 void HangDoctor::PushCounterFault(const CounterFault& fault) {
@@ -79,7 +104,7 @@ void HangDoctor::PushCounterFault(const CounterFault& fault) {
   if (sink_ != nullptr) {
     sink_->OnCounterFault(fault);
   }
-  core_.OnCounterFault(fault);
+  backend_->OnCounterFault(fault);
 }
 
 HangDoctor::HostExecution& HangDoctor::Live(const droidsim::ActionExecution& execution) {
@@ -91,7 +116,7 @@ HangDoctor::HostExecution& HangDoctor::Live(const droidsim::ActionExecution& exe
 }
 
 void HangDoctor::ArmHangCheck(int64_t execution_id, int32_t event_index) {
-  phone_->sim().ScheduleAfter(core_.config().hang_timeout, [this, execution_id, event_index]() {
+  phone_->sim().ScheduleAfter(config_.hang_timeout, [this, execution_id, event_index]() {
     auto it = live_.find(execution_id);
     if (it == live_.end()) {
       return;
@@ -111,10 +136,10 @@ void HangDoctor::StartCounters(HostExecution& live) {
   live.session = std::make_unique<perfsim::PerfSession>(
       &phone_->counter_hub(), phone_->profile().pmu, rng_.Fork(0x5350).NextU64());
   live.session->AddThread(app_->main_tid());
-  if (!core_.config().main_only) {
+  if (!config_.main_only) {
     live.session->AddThread(app_->render_tid());
   }
-  for (telemetry::PerfEventType event : core_.config().filter.Events()) {
+  for (telemetry::PerfEventType event : config_.filter.Events()) {
     live.session->AddEvent(event);
   }
   live.session->Start();
@@ -199,11 +224,11 @@ void HangDoctor::OnActionQuiesced(droidsim::App& app,
   if (it != live_.end() && it->second.session != nullptr) {
     perfsim::PerfSession& session = *it->second.session;
     session.Stop();
-    if (execution.max_response > core_.config().hang_timeout) {
+    if (execution.max_response > config_.hang_timeout) {
       // S-Checker will run: read the main−render differences, in filter-event order.
       quiesce.counters_valid = true;
-      for (telemetry::PerfEventType event : core_.config().filter.Events()) {
-        double value = core_.config().main_only
+      for (telemetry::PerfEventType event : config_.filter.Events()) {
+        double value = config_.main_only
                            ? session.Read(app_->main_tid(), event)
                            : session.ReadDifference(app_->main_tid(), app_->render_tid(), event);
         quiesce.counter_diffs[static_cast<size_t>(event)] = value;
@@ -212,7 +237,7 @@ void HangDoctor::OnActionQuiesced(droidsim::App& app,
         // The read returned garbage: poison the first filter event with NaN. The core's
         // FiniteDiffs guard must treat the window as unusable (and the NaN round-trips
         // through the session log, so replay sees the identical poison).
-        const std::vector<telemetry::PerfEventType> events = core_.config().filter.Events();
+        const std::vector<telemetry::PerfEventType> events = config_.filter.Events();
         if (!events.empty()) {
           quiesce.counter_diffs[static_cast<size_t>(events.front())] =
               std::numeric_limits<double>::quiet_NaN();

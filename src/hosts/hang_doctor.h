@@ -14,6 +14,12 @@
 //
 // This is the drop-in successor of the old monolithic hangdoctor::HangDoctor; constructor and
 // accessors are unchanged, so existing experiments only swap the include path.
+//
+// The host drives either a private DetectorCore (owned-core mode — every accessor below
+// works) or a DetectorService session it opened (service mode — detection state lives in the
+// service; the caller harvests it with DetectorService::Close after the run). Both modes
+// route SPI records through the same SpiBackend pointer, so the fault injector and the sink
+// tap sit in identical positions and recorded sessions replay bit-identically either way.
 #ifndef SRC_HOSTS_HANG_DOCTOR_H_
 #define SRC_HOSTS_HANG_DOCTOR_H_
 
@@ -27,22 +33,32 @@
 #include "src/faultsim/fault_injector.h"
 #include "src/faultsim/fault_plan.h"
 #include "src/hangdoctor/detector_core.h"
+#include "src/hangdoctor/detector_service.h"
 #include "src/perfsim/perf_session.h"
+#include "src/telemetry/session.h"
 
 namespace hangdoctor {
 
 class HangDoctor : public droidsim::AppObserver {
  public:
-  // `database` and `fleet_report` may be null (a private one is used); when given they must
-  // outlive this object and collect discoveries across devices. `sink`, when given, receives
-  // the full telemetry stream fed to the core (see host_spi.h) and must outlive this object.
-  // `plan`, when enabled, injects telemetry faults between this host's mechanisms and the
-  // core (src/faultsim); the sink observes the post-injection stream, so faulty sessions
-  // record and replay bit-identically.
+  // Owned-core mode. `database` and `fleet_report` may be null (a private one is used); when
+  // given they must outlive this object and collect discoveries across devices. `sink`, when
+  // given, receives the full telemetry stream fed to the core (see host_spi.h) and must
+  // outlive this object. `plan`, when enabled, injects telemetry faults between this host's
+  // mechanisms and the core (src/faultsim); the sink observes the post-injection stream, so
+  // faulty sessions record and replay bit-identically.
   HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorConfig config,
              BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr,
              int32_t device_id = 0, TelemetrySink* sink = nullptr,
              faultsim::FaultPlan plan = {});
+  // Service mode: opens session `id` on `service` (throws std::invalid_argument if the id is
+  // already open) and streams this app's telemetry into it. The service must outlive this
+  // object; the caller owns the session's lifecycle end — harvest with service->Close(id)
+  // (or Discard) after the run. The core-state accessors below must not be used in this mode.
+  HangDoctor(droidsim::Phone* phone, droidsim::App* app, const HangDoctorConfig& config,
+             DetectorService* service, telemetry::SessionId id,
+             const BlockingApiDatabase* known_db = nullptr, int32_t device_id = 0,
+             TelemetrySink* sink = nullptr, faultsim::FaultPlan plan = {});
   ~HangDoctor() override;
   HangDoctor(const HangDoctor&) = delete;
   HangDoctor& operator=(const HangDoctor&) = delete;
@@ -54,14 +70,17 @@ class HangDoctor : public droidsim::AppObserver {
                        int32_t event_index) override;
   void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
 
-  const DetectorCore& core() const { return core_; }
-  const std::vector<ExecutionRecord>& log() const { return core_.log(); }
-  const ActionTable& actions() const { return core_.actions(); }
-  const OverheadMeter& overhead() const { return core_.overhead(); }
-  const HangBugReport& local_report() const { return core_.local_report(); }
-  const BlockingApiDatabase& database() const { return core_.database(); }
-  const HangDoctorConfig& config() const { return core_.config(); }
-  int64_t stack_samples_taken() const { return core_.stack_samples_taken(); }
+  // Owned-core accessors; undefined in service mode (state lives in the service — harvest
+  // it via DetectorService::Close). config() works in both modes.
+  const DetectorCore& core() const { return *core_; }
+  const std::vector<ExecutionRecord>& log() const { return core_->log(); }
+  const ActionTable& actions() const { return core_->actions(); }
+  const OverheadMeter& overhead() const { return core_->overhead(); }
+  const HangBugReport& local_report() const { return core_->local_report(); }
+  const BlockingApiDatabase& database() const { return core_->database(); }
+  const HangDoctorConfig& config() const { return config_; }
+  int64_t stack_samples_taken() const { return core_->stack_samples_taken(); }
+  bool service_mode() const { return core_ == nullptr; }
 
  private:
   // Substrate state for one in-flight action execution; detection state lives in the core.
@@ -81,11 +100,16 @@ class HangDoctor : public droidsim::AppObserver {
   void PushQuiesce(const ActionQuiesce& quiesce);
   void PushCounterFault(const CounterFault& fault);
 
+  void FinishSetup(faultsim::FaultPlan plan, const SessionInfo& info);
+
   droidsim::Phone* phone_;
   droidsim::App* app_;
   simkit::Rng rng_;
   TelemetrySink* sink_;
-  DetectorCore core_;
+  HangDoctorConfig config_;
+  std::unique_ptr<DetectorCore> core_;                       // owned-core mode only
+  std::unique_ptr<DetectorService::SessionHandle> handle_;   // service mode only
+  SpiBackend* backend_ = nullptr;  // the core or the handle; faults/sink sit in front of it
   droidsim::StackSampler sampler_;
   std::unique_ptr<faultsim::FaultInjector> injector_;
   std::unordered_map<int64_t, HostExecution> live_;

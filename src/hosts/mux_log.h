@@ -1,0 +1,81 @@
+// HDSL v3: the multiplexed session log. One byte stream carrying many v2 session logs
+// (session_log.h) arbitrarily interleaved — the on-disk shape of what a DetectorService
+// ingests live. The container adds framing only; every payload byte is a byte of some v2
+// log, so mux → demux reproduces each input log byte-identically.
+//
+// Framing (after the shared magic "HDSL" and varint version = 3), one frame per step:
+//   kOpenSession  = 1 : varint session_id, varint size, payload = the session's complete v2
+//                       prefix (magic "HDSL", varint version = 2, and the whole header —
+//                       SessionInfo, config, symbol table).
+//   kRecord       = 2 : varint session_id, varint size, payload = exactly one v2 record
+//                       (tag byte + body), in that session's recorded order.
+//   kCloseSession = 3 : varint session_id. Demux appends the v2 end marker (kEnd = 5) here,
+//                       which is why mux refuses a log whose end marker is not its final
+//                       byte — the reconstruction must be able to regenerate it exactly.
+//   kEnd          = 4 : last byte of the stream; every opened session must be closed.
+//
+// A session's frames appear in its v2 order; frames of different sessions interleave freely.
+// ReplayMultiplexedLog turns the frame sequence into the equivalent interleaved SPI stream
+// (session_stream.h) and drives a DetectorService over it, so a recorded multiplexed run —
+// faults included, since faults are ordinary telemetry by the time they reach disk — replays
+// bit-identically at any shard count.
+#ifndef SRC_HOSTS_MUX_LOG_H_
+#define SRC_HOSTS_MUX_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/hangdoctor/detector_service.h"
+#include "src/hosts/session_log.h"
+#include "src/telemetry/session.h"
+
+namespace hangdoctor {
+
+inline constexpr uint32_t kMuxLogVersion = 3;
+
+enum class MuxFrameTag : uint8_t {
+  kOpenSession = 1,
+  kRecord = 2,
+  kCloseSession = 3,
+  kEnd = 4,
+};
+
+// One v2 session log traveling under a stream id.
+struct SessionLogSlice {
+  telemetry::SessionId id;
+  std::string bytes;
+};
+
+// Frames a well-formed v2 log contributes to a v3 stream: open + one per record (kTraceUsage
+// included, the trailing v2 end marker excluded) + close. Returns false (with `error`) when
+// `bytes` is not a well-formed v2 log.
+bool MuxFrameCount(const std::string& bytes, size_t* count, std::string* error);
+
+// Multiplexes v2 logs into one v3 stream. `schedule` dictates the interleaving: its k-th
+// entry is an index into `sessions`, and that session emits its next pending frame (open
+// first, then records in order, then close); each index must appear exactly its
+// MuxFrameCount times. An empty schedule means round-robin. Fails on a malformed input log,
+// a duplicate session id, trailing bytes after a log's end marker, or a schedule that does
+// not exhaust every session.
+bool MuxSessionLogs(std::span<const SessionLogSlice> sessions, std::span<const size_t> schedule,
+                    std::string* out, std::string* error);
+
+// Demultiplexes a v3 stream back into the per-session v2 logs, byte-identical to what was
+// muxed, ordered by each session's open frame. Each reconstructed log is re-validated, so a
+// corrupt container fails here rather than downstream.
+bool DemuxSessionLog(const std::string& bytes, std::vector<SessionLogSlice>* sessions,
+                     std::string* error);
+
+// Replays a v3 stream through a DetectorService: each open frame opens a session, each
+// record frame pushes the decoded SPI record (usage footers carry no SPI traffic and are
+// skipped), each close frame harvests. `results` comes back in ascending-SessionId order and
+// is bit-identical to replaying each demuxed v2 log alone — at any options.shards.
+bool ReplayMultiplexedLog(const std::string& bytes, const ServiceOptions& options,
+                          std::vector<SessionResult>* results, std::string* error);
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HOSTS_MUX_LOG_H_

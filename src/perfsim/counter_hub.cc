@@ -4,11 +4,11 @@ namespace perfsim {
 
 namespace {
 
-double& At(CounterArray& counters, PerfEventType event) {
+double& At(telemetry::CounterArray& counters, telemetry::PerfEventType event) {
   return counters[static_cast<size_t>(event)];
 }
 
-const CounterArray kZeroCounters{};
+const telemetry::CounterArray kZeroCounters{};
 
 }  // namespace
 
@@ -19,7 +19,7 @@ CounterHub::CounterHub(kernelsim::Kernel* kernel, uint64_t seed, double noise_si
 
 CounterHub::~CounterHub() { kernel_->RemoveSink(this); }
 
-const CounterArray& CounterHub::Snapshot(kernelsim::ThreadId tid) const {
+const telemetry::CounterArray& CounterHub::Snapshot(kernelsim::ThreadId tid) const {
   auto index = static_cast<size_t>(tid);
   if (tid < 0 || index >= threads_.size() || threads_[index].noise_ring.empty()) {
     return kZeroCounters;
@@ -27,7 +27,7 @@ const CounterArray& CounterHub::Snapshot(kernelsim::ThreadId tid) const {
   return threads_[index].counters;
 }
 
-double CounterHub::Value(kernelsim::ThreadId tid, PerfEventType event) const {
+double CounterHub::Value(kernelsim::ThreadId tid, telemetry::PerfEventType event) const {
   return Snapshot(tid)[static_cast<size_t>(event)];
 }
 
@@ -57,64 +57,64 @@ CounterHub::ThreadState& CounterHub::State(kernelsim::ThreadId tid) {
 void CounterHub::OnCpuCharge(const kernelsim::Thread& thread, simkit::SimDuration run,
                              const kernelsim::MicroArchProfile& uarch) {
   ThreadState& state = State(thread.tid);
-  CounterArray& c = state.counters;
+  telemetry::CounterArray& c = state.counters;
   double ns = static_cast<double>(run);
-  At(c, PerfEventType::kTaskClock) += ns;
+  At(c, telemetry::PerfEventType::kTaskClock) += ns;
   // cpu-clock is measured by a hrtimer rather than scheduler accounting; on real kernels the
   // two drift apart by a sliver. (The paper omits cpu-clock "because it is similar".)
-  At(c, PerfEventType::kCpuClock) += ns * NextJitter(state);
+  At(c, telemetry::PerfEventType::kCpuClock) += ns * NextJitter(state);
 
   double instructions = ns * uarch.instructions_per_ns * NextNoise(state);
   double kinstr = instructions / 1000.0;
   double cycles = ns * uarch.cycles_per_ns * NextNoise(state);
-  At(c, PerfEventType::kInstructions) += instructions;
-  At(c, PerfEventType::kCpuCycles) += cycles;
-  At(c, PerfEventType::kBusCycles) += cycles * 0.38;
-  At(c, PerfEventType::kStalledCyclesFrontend) +=
+  At(c, telemetry::PerfEventType::kInstructions) += instructions;
+  At(c, telemetry::PerfEventType::kCpuCycles) += cycles;
+  At(c, telemetry::PerfEventType::kBusCycles) += cycles * 0.38;
+  At(c, telemetry::PerfEventType::kStalledCyclesFrontend) +=
       cycles * uarch.stalled_frontend_ratio * NextNoise(state);
-  At(c, PerfEventType::kStalledCyclesBackend) +=
+  At(c, telemetry::PerfEventType::kStalledCyclesBackend) +=
       cycles * uarch.stalled_backend_ratio * NextNoise(state);
 
   double cache_refs = kinstr * uarch.cache_refs_per_kinstr * NextNoise(state);
-  At(c, PerfEventType::kCacheReferences) += cache_refs;
-  At(c, PerfEventType::kCacheMisses) += cache_refs * uarch.cache_miss_ratio * NextNoise(state);
+  At(c, telemetry::PerfEventType::kCacheReferences) += cache_refs;
+  At(c, telemetry::PerfEventType::kCacheMisses) += cache_refs * uarch.cache_miss_ratio * NextNoise(state);
 
   double l1d_loads = kinstr * uarch.l1d_loads_per_kinstr * NextNoise(state);
   double l1d_stores = kinstr * uarch.l1d_stores_per_kinstr * NextNoise(state);
-  At(c, PerfEventType::kL1DcacheLoads) += l1d_loads;
-  At(c, PerfEventType::kL1DcacheStores) += l1d_stores;
-  At(c, PerfEventType::kRawL1DcacheRefill) +=
+  At(c, telemetry::PerfEventType::kL1DcacheLoads) += l1d_loads;
+  At(c, telemetry::PerfEventType::kL1DcacheStores) += l1d_stores;
+  At(c, telemetry::PerfEventType::kRawL1DcacheRefill) +=
       (l1d_loads + l1d_stores) * uarch.l1d_refill_ratio * NextNoise(state);
-  At(c, PerfEventType::kRawL1IcacheRefill) +=
+  At(c, telemetry::PerfEventType::kRawL1IcacheRefill) +=
       kinstr * uarch.l1i_refill_per_kinstr * NextNoise(state);
-  At(c, PerfEventType::kRawL1DtlbRefill) +=
+  At(c, telemetry::PerfEventType::kRawL1DtlbRefill) +=
       kinstr * uarch.dtlb_refill_per_kinstr * NextNoise(state);
-  At(c, PerfEventType::kRawL1ItlbRefill) +=
+  At(c, telemetry::PerfEventType::kRawL1ItlbRefill) +=
       kinstr * uarch.itlb_refill_per_kinstr * NextNoise(state);
 
   double branches = kinstr * uarch.branches_per_kinstr * NextNoise(state);
-  At(c, PerfEventType::kBranchLoads) += branches;
-  At(c, PerfEventType::kBranchMisses) += branches * uarch.branch_miss_ratio * NextNoise(state);
+  At(c, telemetry::PerfEventType::kBranchLoads) += branches;
+  At(c, telemetry::PerfEventType::kBranchMisses) += branches * uarch.branch_miss_ratio * NextNoise(state);
 }
 
 void CounterHub::OnContextSwitch(const kernelsim::Thread& thread, bool voluntary, int64_t count) {
   (void)voluntary;
-  At(State(thread.tid).counters, PerfEventType::kContextSwitches) +=
+  At(State(thread.tid).counters, telemetry::PerfEventType::kContextSwitches) +=
       static_cast<double>(count);
 }
 
 void CounterHub::OnPageFault(const kernelsim::Thread& thread, bool major, int64_t count) {
-  CounterArray& c = State(thread.tid).counters;
-  At(c, PerfEventType::kPageFaults) += static_cast<double>(count);
+  telemetry::CounterArray& c = State(thread.tid).counters;
+  At(c, telemetry::PerfEventType::kPageFaults) += static_cast<double>(count);
   if (major) {
-    At(c, PerfEventType::kMajorFaults) += static_cast<double>(count);
+    At(c, telemetry::PerfEventType::kMajorFaults) += static_cast<double>(count);
   } else {
-    At(c, PerfEventType::kMinorFaults) += static_cast<double>(count);
+    At(c, telemetry::PerfEventType::kMinorFaults) += static_cast<double>(count);
   }
 }
 
 void CounterHub::OnCpuMigration(const kernelsim::Thread& thread) {
-  At(State(thread.tid).counters, PerfEventType::kCpuMigrations) += 1.0;
+  At(State(thread.tid).counters, telemetry::PerfEventType::kCpuMigrations) += 1.0;
 }
 
 }  // namespace perfsim

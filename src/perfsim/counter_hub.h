@@ -22,7 +22,7 @@
 
 #include "src/kernelsim/event_sink.h"
 #include "src/kernelsim/kernel.h"
-#include "src/perfsim/events.h"
+#include "src/telemetry/counters.h"
 #include "src/simkit/rng.h"
 
 namespace perfsim {
@@ -39,9 +39,9 @@ class CounterHub : public kernelsim::KernelEventSink {
   // (a shared all-zeros array for never-seen threads). Valid until the hub is destroyed;
   // values keep accumulating behind the view while the simulation runs, so callers that
   // need a fixed point in time must copy.
-  const CounterArray& Snapshot(kernelsim::ThreadId tid) const;
+  const telemetry::CounterArray& Snapshot(kernelsim::ThreadId tid) const;
 
-  double Value(kernelsim::ThreadId tid, PerfEventType event) const;
+  double Value(kernelsim::ThreadId tid, telemetry::PerfEventType event) const;
 
   // KernelEventSink:
   void OnCpuCharge(const kernelsim::Thread& thread, simkit::SimDuration run,
@@ -57,7 +57,7 @@ class CounterHub : public kernelsim::KernelEventSink {
   static constexpr size_t kJitterRingSize = 256;
 
   struct ThreadState {
-    CounterArray counters{};
+    telemetry::CounterArray counters{};
     // LogNormal(0, noise_sigma) multipliers for hardware-event derivation.
     std::vector<double> noise_ring;
     // Uniform(0.9995, 1.0005) factors modelling cpu-clock hrtimer drift.

@@ -14,14 +14,14 @@ void PerfSession::AddThread(kernelsim::ThreadId tid) {
   }
 }
 
-void PerfSession::AddEvent(PerfEventType event) {
+void PerfSession::AddEvent(telemetry::PerfEventType event) {
   if (std::find(events_.begin(), events_.end(), event) == events_.end()) {
     events_.push_back(event);
   }
 }
 
 void PerfSession::AddAllEvents() {
-  for (PerfEventType event : AllPerfEvents()) {
+  for (telemetry::PerfEventType event : telemetry::AllPerfEvents()) {
     AddEvent(event);
   }
 }
@@ -49,8 +49,8 @@ void PerfSession::Stop() {
 
 double PerfSession::EnabledFraction() const {
   int32_t hardware_events = 0;
-  for (PerfEventType event : events_) {
-    if (!IsSoftwareEvent(event)) {
+  for (telemetry::PerfEventType event : events_) {
+    if (!telemetry::IsSoftwareEvent(event)) {
       ++hardware_events;
     }
   }
@@ -60,15 +60,15 @@ double PerfSession::EnabledFraction() const {
   return static_cast<double>(pmu_.hardware_registers) / static_cast<double>(hardware_events);
 }
 
-double PerfSession::Read(kernelsim::ThreadId tid, PerfEventType event) const {
+double PerfSession::Read(kernelsim::ThreadId tid, telemetry::PerfEventType event) const {
   auto start_it = start_snapshot_.find(tid);
   if (start_it == start_snapshot_.end()) {
     return 0.0;
   }
-  CounterArray now = stopped_ ? stop_snapshot_.at(tid) : hub_->Snapshot(tid);
+  telemetry::CounterArray now = stopped_ ? stop_snapshot_.at(tid) : hub_->Snapshot(tid);
   auto idx = static_cast<size_t>(event);
   double truth = now[idx] - start_it->second[idx];
-  if (IsSoftwareEvent(event)) {
+  if (telemetry::IsSoftwareEvent(event)) {
     return truth;
   }
   double fraction = EnabledFraction();
@@ -83,7 +83,7 @@ double PerfSession::Read(kernelsim::ThreadId tid, PerfEventType event) const {
 }
 
 double PerfSession::ReadDifference(kernelsim::ThreadId a, kernelsim::ThreadId b,
-                                   PerfEventType event) const {
+                                   telemetry::PerfEventType event) const {
   return Read(a, event) - Read(b, event);
 }
 

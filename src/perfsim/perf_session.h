@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "src/perfsim/counter_hub.h"
-#include "src/perfsim/events.h"
+#include "src/telemetry/counters.h"
 
 namespace perfsim {
 
@@ -33,7 +33,7 @@ class PerfSession {
 
   // Configuration; must happen before Start().
   void AddThread(kernelsim::ThreadId tid);
-  void AddEvent(PerfEventType event);
+  void AddEvent(telemetry::PerfEventType event);
   void AddAllEvents();
 
   void Start();
@@ -42,12 +42,12 @@ class PerfSession {
 
   // Observed count of `event` on `tid` over the Start..Stop window (or Start..now while
   // running). Hardware events reflect multiplexing extrapolation error.
-  double Read(kernelsim::ThreadId tid, PerfEventType event) const;
+  double Read(kernelsim::ThreadId tid, telemetry::PerfEventType event) const;
 
   // Convenience for S-Checker: Read(a) - Read(b), the paper's main−render difference.
-  double ReadDifference(kernelsim::ThreadId a, kernelsim::ThreadId b, PerfEventType event) const;
+  double ReadDifference(kernelsim::ThreadId a, kernelsim::ThreadId b, telemetry::PerfEventType event) const;
 
-  const std::vector<PerfEventType>& events() const { return events_; }
+  const std::vector<telemetry::PerfEventType>& events() const { return events_; }
   const std::vector<kernelsim::ThreadId>& threads() const { return threads_; }
 
   // Fraction of time each hardware event was actually enabled under this configuration.
@@ -58,9 +58,9 @@ class PerfSession {
   PmuSpec pmu_;
   mutable simkit::Rng rng_;
   std::vector<kernelsim::ThreadId> threads_;
-  std::vector<PerfEventType> events_;
-  std::map<kernelsim::ThreadId, CounterArray> start_snapshot_;
-  std::map<kernelsim::ThreadId, CounterArray> stop_snapshot_;
+  std::vector<telemetry::PerfEventType> events_;
+  std::map<kernelsim::ThreadId, telemetry::CounterArray> start_snapshot_;
+  std::map<kernelsim::ThreadId, telemetry::CounterArray> stop_snapshot_;
   bool running_ = false;
   bool stopped_ = false;
 };

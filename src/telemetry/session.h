@@ -1,0 +1,61 @@
+// The session vocabulary for multiplexed telemetry: when one detector process serves many
+// live sessions (the DetectorService in src/hangdoctor/detector_service.h, the HDSL v3
+// multiplexed logs in src/hosts/mux_log.h), every record that crosses the Telemetry Host SPI
+// gains a SessionId tag naming the session it belongs to.
+//
+// Determinism contract: a SessionId is assigned by the client (the fleet runner uses the job
+// index; a real ingestion frontend would use a device/session key) and everything derived
+// from it is a pure function of the id — ShardOf() hashes the id with a fixed mixer, so the
+// same session lands on the same shard at any shard count, and merged results are folded in
+// ascending-id order regardless of which shard or worker finished first.
+#ifndef SRC_TELEMETRY_SESSION_H_
+#define SRC_TELEMETRY_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace telemetry {
+
+// Identifies one telemetry session (one app run on one device) within an interleaved
+// multi-session stream. A strong type so a session id can never be confused with an
+// execution id or a device id in an SPI signature.
+struct SessionId {
+  uint64_t value = 0;
+
+  friend bool operator==(SessionId a, SessionId b) { return a.value == b.value; }
+  friend bool operator!=(SessionId a, SessionId b) { return a.value != b.value; }
+  friend bool operator<(SessionId a, SessionId b) { return a.value < b.value; }
+};
+
+// splitmix64 finalizer: a fixed, platform-independent mixer so shard assignment is identical
+// on every host (std::hash is not specified and must not leak into results).
+inline uint64_t SessionHash(SessionId id) {
+  uint64_t x = id.value + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Deterministic shard assignment: shard = hash(session_id) % shards. Every record of a
+// session routes to the same shard; different sessions spread uniformly.
+inline size_t ShardOf(SessionId id, size_t shards) {
+  return shards <= 1 ? 0 : static_cast<size_t>(SessionHash(id) % shards);
+}
+
+struct SessionIdHasher {
+  size_t operator()(SessionId id) const { return static_cast<size_t>(SessionHash(id)); }
+};
+
+// One element of an interleaved multi-session stream: a record stamped with its session.
+// The concrete Record is layer-specific (the detector service instantiates it with its SPI
+// payload union); this template is the substrate-free vocabulary for "a tagged record".
+template <typename Record>
+struct SessionStamped {
+  SessionId session;
+  Record record;
+};
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_SESSION_H_

@@ -24,40 +24,76 @@ uint64_t FleetSeed(uint64_t fleet_seed, uint64_t job_index) {
   return master.Fork(job_index).NextU64();
 }
 
+namespace {
+
+// Shared per-job setup: identity echo, recorder, fault plan. Recording is a passive tap on
+// the Telemetry Host SPI — it never feeds anything back, so a recorded job's results are
+// bit-identical to an unrecorded one.
+void StampIdentity(const FleetJob& job, FleetJobResult* result) {
+  result->app_package = job.spec->package;
+  result->device_id = job.device_id;
+  result->seed = job.seed;
+}
+
+std::unique_ptr<hangdoctor::SessionLogWriter> MakeRecorder(const FleetJob& job) {
+  if (job.record_path.empty()) {
+    return nullptr;
+  }
+  auto recorder = std::make_unique<hangdoctor::SessionLogWriter>(job.record_path, job.doctor);
+  if (!recorder->ok()) {
+    throw std::runtime_error("cannot open session log for writing: " + job.record_path);
+  }
+  if (job.faults.hdsl_fail_after >= 0) {
+    recorder->SetFailAfter(job.faults.hdsl_fail_after);
+  }
+  return recorder;
+}
+
+// The fault plan splits off the same job seed the harness uses; FaultPlan forks its own
+// tagged streams internally, so the app/user randomness is untouched and the fault
+// sequence is identical at any --jobs=N.
+faultsim::FaultPlan MakePlan(const FleetJob& job) {
+  if (job.faults.enabled()) {
+    return faultsim::FaultPlan(job.faults, job.seed);
+  }
+  return {};
+}
+
+void FinishRecorder(hangdoctor::SessionLogWriter* recorder, const FleetJob& job,
+                    FleetJobResult* result) {
+  if (recorder == nullptr) {
+    return;
+  }
+  recorder->WriteTraceUsage(result->usage.cpu, result->usage.bytes);
+  recorder->Finish();
+  if (!recorder->ok()) {
+    // An injected torn write (or a genuinely full disk): the run itself is fine, the
+    // recording is not. Surface it instead of throwing so the fleet's other results and
+    // this job's detections survive.
+    result->record_ok = false;
+    result->record_error = "session log short write: " + job.record_path;
+  }
+}
+
+}  // namespace
+
 FleetJobResult RunFleetJob(const FleetJob& job) {
   FleetJobResult result;
   if (job.spec == nullptr) {
     throw std::invalid_argument("FleetJob.spec is null");
   }
+  StampIdentity(job, &result);
   // Private database copy: jobs never share mutable state, so a job's discoveries (and any
   // behaviour conditioned on them) cannot depend on which other job finished first.
   hangdoctor::BlockingApiDatabase database;
   if (job.known_db != nullptr) {
     database = *job.known_db;
   }
-  // Recording is a passive tap on the Telemetry Host SPI — it never feeds anything back, so
-  // a recorded job's results are bit-identical to an unrecorded one.
-  std::unique_ptr<hangdoctor::SessionLogWriter> recorder;
-  if (!job.record_path.empty()) {
-    recorder = std::make_unique<hangdoctor::SessionLogWriter>(job.record_path, job.doctor);
-    if (!recorder->ok()) {
-      throw std::runtime_error("cannot open session log for writing: " + job.record_path);
-    }
-    if (job.faults.hdsl_fail_after >= 0) {
-      recorder->SetFailAfter(job.faults.hdsl_fail_after);
-    }
-  }
-  // The fault plan splits off the same job seed the harness uses; FaultPlan forks its own
-  // tagged streams internally, so the app/user randomness is untouched and the fault
-  // sequence is identical at any --jobs=N.
-  faultsim::FaultPlan plan;
-  if (job.faults.enabled()) {
-    plan = faultsim::FaultPlan(job.faults, job.seed);
-  }
+  std::unique_ptr<hangdoctor::SessionLogWriter> recorder = MakeRecorder(job);
   SingleAppHarness harness(job.profile, job.spec, job.seed);
   hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), job.doctor, &database,
                                 /*fleet_report=*/nullptr, job.device_id, recorder.get(),
-                                std::move(plan));
+                                MakePlan(job));
   harness.RunUserSession(job.session, job.user);
 
   result.stats = ScoreHangDoctor(harness.truth(), doctor.log());
@@ -72,19 +108,57 @@ FleetJobResult RunFleetJob(const FleetJob& job) {
   result.stream_ok = doctor.core().stream().ok();
   result.stream_error = doctor.core().stream().error();
   result.ok = true;
-  if (recorder != nullptr) {
-    recorder->WriteTraceUsage(result.usage.cpu, result.usage.bytes);
-    recorder->Finish();
-    if (!recorder->ok()) {
-      // An injected torn write (or a genuinely full disk): the run itself is fine, the
-      // recording is not. Surface it instead of throwing so the fleet's other results and
-      // this job's detections survive.
-      result.record_ok = false;
-      result.record_error = "session log short write: " + job.record_path;
-    }
-  }
+  FinishRecorder(recorder.get(), job, &result);
   return result;
 }
+
+namespace {
+
+// The service-mode worker body: same job, but its detector lives inside the shared
+// DetectorService as session `id` — the per-session arena replaces the private core — and
+// the result is harvested through Close. Bit-identical to RunFleetJob because detection is
+// per-session pure and the session id is the job index (so merges fold in the same order).
+FleetJobResult RunServiceFleetJob(const FleetJob& job, hangdoctor::DetectorService* service,
+                                  uint64_t id) {
+  FleetJobResult result;
+  if (job.spec == nullptr) {
+    throw std::invalid_argument("FleetJob.spec is null");
+  }
+  StampIdentity(job, &result);
+  std::unique_ptr<hangdoctor::SessionLogWriter> recorder = MakeRecorder(job);
+  SingleAppHarness harness(job.profile, job.spec, job.seed);
+  telemetry::SessionId session_id{id};
+  try {
+    hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), job.doctor, service,
+                                  session_id, job.known_db, job.device_id, recorder.get(),
+                                  MakePlan(job));
+    harness.RunUserSession(job.session, job.user);
+
+    hangdoctor::SessionResult session = service->Close(session_id);
+    result.stats = ScoreHangDoctor(harness.truth(), session.log);
+    result.usage = harness.Usage();
+    result.overhead_pct =
+        session.overhead.OverheadPercent(result.usage.cpu, result.usage.bytes);
+    result.stats.overhead_pct = result.overhead_pct;
+    result.report = std::move(session.report);
+    result.discovered = std::move(session.discovered);
+    result.stack_samples = session.stack_samples;
+    result.degradation = session.degradation;
+    result.stream_ok = session.stream_ok;
+    result.stream_error = std::move(session.stream_error);
+    result.ok = true;
+  } catch (...) {
+    // The session may still be live (the harness threw mid-run); free its arena so one bad
+    // job cannot leak service memory. Discard is idempotent, so a Close that already
+    // happened — or an Open that never did — is fine.
+    service->Discard(session_id);
+    throw;
+  }
+  FinishRecorder(recorder.get(), job, &result);
+  return result;
+}
+
+}  // namespace
 
 FleetJobResult ReplayFleetJob(const std::string& path,
                               const hangdoctor::BlockingApiDatabase* known_db) {
@@ -100,6 +174,9 @@ FleetJobResult ReplayFleetJob(const std::string& path,
     throw std::runtime_error("replay of " + path + " failed: " + error);
   }
   const hangdoctor::DetectorCore& core = session->core();
+  // Identity as far as the log carries it (the harness seed is not recorded).
+  result.app_package = session->log().info.app_package;
+  result.device_id = session->log().info.device_id;
   // Ground truth is not recorded, so TP/FP/FN scoring is unavailable offline; only the
   // overhead percentage (recorded usage footer) is reproduced.
   result.usage.cpu = session->log().usage_cpu;
@@ -164,8 +241,19 @@ FleetSummary RunFleetWith(size_t count, const FleetOptions& options, RunJob run)
 }  // namespace
 
 FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& options) {
-  return RunFleetWith(jobs.size(), options,
-                      [&jobs](size_t i) { return RunFleetJob(jobs[i]); });
+  if (!options.service) {
+    // The per-job oracle: one private DetectorCore per job. Kept for the equivalence tests
+    // that pin service mode against it.
+    return RunFleetWith(jobs.size(), options,
+                        [&jobs](size_t i) { return RunFleetJob(jobs[i]); });
+  }
+  int32_t shards = options.shards > 0
+                       ? options.shards
+                       : (options.jobs > 0 ? options.jobs : simkit::ThreadPool::DefaultJobCount());
+  hangdoctor::DetectorService service(hangdoctor::ServiceOptions{shards});
+  return RunFleetWith(jobs.size(), options, [&jobs, &service](size_t i) {
+    return RunServiceFleetJob(jobs[i], &service, static_cast<uint64_t>(i));
+  });
 }
 
 FleetSummary ReplayFleet(std::span<const std::string> paths, const FleetOptions& options,
@@ -173,6 +261,33 @@ FleetSummary ReplayFleet(std::span<const std::string> paths, const FleetOptions&
   return RunFleetWith(paths.size(), options, [&paths, known_db](size_t i) {
     return ReplayFleetJob(paths[i], known_db);
   });
+}
+
+std::string FleetJobResult::Describe() const {
+  std::string line =
+      app_package + " device " + std::to_string(device_id) + " seed " + std::to_string(seed) + ":";
+  if (!ok) {
+    return line + " FAILED (" + error + ")";
+  }
+  std::string notes;
+  if (degradation.Degraded()) {
+    notes += " degraded(opens_failed=" + std::to_string(degradation.counter_open_failures) +
+             " retries=" + std::to_string(degradation.counter_retries) +
+             " invalid_windows=" + std::to_string(degradation.invalid_counter_windows) +
+             " degraded_checks=" + std::to_string(degradation.degraded_checks) +
+             " empty_traces=" + std::to_string(degradation.empty_trace_windows) +
+             " dropped=" + std::to_string(degradation.dropped_records) + ")";
+  }
+  if (!stream_ok) {
+    notes += " stream_error(" + stream_error + ")";
+  }
+  if (!record_ok) {
+    notes += " torn_recording";
+  }
+  if (notes.empty()) {
+    notes = " ok";
+  }
+  return line + notes;
 }
 
 hangdoctor::HangBugReport FleetSummary::MergeReports(size_t begin, size_t end) const {
@@ -208,6 +323,26 @@ int32_t ResolveJobs(int argc, char** argv) {
     }
   }
   return simkit::ThreadPool::DefaultJobCount();
+}
+
+int32_t ResolveShards(int argc, char** argv) {
+  std::string value = FlagValue(argc, argv, "--shards=");
+  if (!value.empty()) {
+    int shards = std::atoi(value.c_str());
+    if (shards > 0) {
+      return shards;
+    }
+  }
+  return 0;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string ResolveRecordDir(int argc, char** argv) {

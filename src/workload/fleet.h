@@ -59,6 +59,12 @@ uint64_t FleetSeed(uint64_t fleet_seed, uint64_t job_index);
 struct FleetJobResult {
   bool ok = false;
   std::string error;  // exception message when !ok; the pool itself is never poisoned
+  // Identity of the job that produced this result, echoed from the FleetJob so a result is
+  // self-describing (a degraded job can be named — and re-run — without re-deriving its
+  // index into the input span).
+  std::string app_package;
+  int32_t device_id = 0;
+  uint64_t seed = 0;
   DetectionStats stats;              // ScoreHangDoctor against the job's own ground truth
   hangdoctor::HangBugReport report;  // this device's local Hang Bug Report
   std::vector<std::string> discovered;  // blocking APIs this job newly learned
@@ -76,6 +82,11 @@ struct FleetJobResult {
   // job itself still succeeds; only the recording is unusable.
   bool record_ok = true;
   std::string record_error;
+
+  // One line naming the job and its health — app, device, seed, then whatever went wrong
+  // (degradation counters, stream violation, torn recording). Used by table5's degradation
+  // section; a clean job reads "... ok".
+  std::string Describe() const;
 };
 
 struct FleetSummary {
@@ -94,6 +105,13 @@ struct FleetOptions {
   // Worker threads; <= 0 resolves via ThreadPool::DefaultJobCount() (HANGDOCTOR_JOBS env,
   // else hardware_concurrency).
   int32_t jobs = 0;
+  // Detection backend. Service mode (default) runs every job's detector inside one shared
+  // DetectorService — the session-multiplexed shape — with `shards` shards (<= 0 resolves to
+  // the worker count). Results are bit-identical to the per-job path at any value of either
+  // knob; `service = false` keeps the old one-private-core-per-job path, retained as the
+  // equivalence oracle for tests.
+  bool service = true;
+  int32_t shards = 0;
 };
 
 // Runs one job synchronously on the calling thread (also the per-worker body of RunFleet).
@@ -117,6 +135,12 @@ FleetSummary ReplayFleet(std::span<const std::string> paths, const FleetOptions&
 // Resolves the worker count for a CLI consumer: `--jobs=N` argv flag wins, then the
 // HANGDOCTOR_JOBS environment variable, then hardware_concurrency.
 int32_t ResolveJobs(int argc, char** argv);
+
+// `--shards=N` flag helper for service-mode consumers; 0 when absent (resolve to workers).
+int32_t ResolveShards(int argc, char** argv);
+
+// True when the bare `--flag` is present in argv (e.g. "--service").
+bool HasFlag(int argc, char** argv, const char* flag);
 
 // CLI flag helpers for record/replay: `--record=DIR` / `--replay=DIR`; empty when absent.
 std::string ResolveRecordDir(int argc, char** argv);

@@ -40,8 +40,8 @@ class QuiesceWaiter : public droidsim::AppObserver {
 // Executes action `uid` once under an all-events PerfSession; returns true and fills the
 // readings if the action quiesced with a soft hang (> 100 ms).
 bool MeasureOneExecution(droidsim::Phone* phone, droidsim::App* app, int32_t uid,
-                         uint64_t session_seed, perfsim::CounterArray* diff,
-                         perfsim::CounterArray* main_only, simkit::SimDuration* response) {
+                         uint64_t session_seed, telemetry::CounterArray* diff,
+                         telemetry::CounterArray* main_only, simkit::SimDuration* response) {
   perfsim::PerfSession session(&phone->counter_hub(), phone->profile().pmu, session_seed);
   session.AddThread(app->main_tid());
   session.AddThread(app->render_tid());
@@ -56,7 +56,7 @@ bool MeasureOneExecution(droidsim::Phone* phone, droidsim::App* app, int32_t uid
   if (waiter.response() <= simkit::kPerceivableDelay) {
     return false;
   }
-  for (perfsim::PerfEventType event : perfsim::AllPerfEvents()) {
+  for (telemetry::PerfEventType event : telemetry::AllPerfEvents()) {
     auto idx = static_cast<size_t>(event);
     (*diff)[idx] = session.ReadDifference(app->main_tid(), app->render_tid(), event);
     (*main_only)[idx] = session.Read(app->main_tid(), event);
@@ -142,8 +142,8 @@ TrainingData CollectTrainingSamples(const Catalog& catalog, const TrainingConfig
   for (int32_t uid = 0; uid < app->num_actions(); ++uid) {
     const TrainingOp& op = kOps[uid];
     for (int32_t k = 0; k < config.executions_per_op; ++k) {
-      perfsim::CounterArray diff{};
-      perfsim::CounterArray main_only{};
+      telemetry::CounterArray diff{};
+      telemetry::CounterArray main_only{};
       simkit::SimDuration response = 0;
       if (!MeasureOneExecution(&phone, app, uid, rng.NextU64(), &diff, &main_only,
                                &response)) {
@@ -174,8 +174,8 @@ TrainingData CollectValidationSamples(const Catalog& catalog, const TrainingConf
     GroundTruthRecorder truth(&phone, app);
     for (int32_t uid = 0; uid < app->num_actions(); ++uid) {
       for (int32_t k = 0; k < config.executions_per_op; ++k) {
-        perfsim::CounterArray diff{};
-        perfsim::CounterArray main_only{};
+        telemetry::CounterArray diff{};
+        telemetry::CounterArray main_only{};
         simkit::SimDuration response = 0;
         if (!MeasureOneExecution(&phone, app, uid, rng.NextU64(), &diff, &main_only,
                                  &response)) {

@@ -255,7 +255,7 @@ TEST_F(DroidsimTest, MainStackShowsExecutingFrames) {
   app->PerformAction(0);
   // 300 ms in, the main thread is inside clean().
   phone_.RunFor(simkit::Milliseconds(300));
-  const std::vector<droidsim::FrameId>& stack = app->MainStack();
+  const std::vector<telemetry::FrameId>& stack = app->MainStack();
   ASSERT_GE(stack.size(), 2u);
   const droidsim::SymbolTable& symbols = app->symbols();
   EXPECT_EQ(symbols.Frame(stack.front()).function, "onClick");
@@ -275,11 +275,11 @@ TEST_F(DroidsimTest, StackSamplerCollectsDuringHang) {
   phone_.RunFor(simkit::Milliseconds(150));
   sampler.StartCollection();
   phone_.RunFor(simkit::Milliseconds(400));
-  std::span<const droidsim::StackTrace> traces = sampler.StopCollection();
+  std::span<const telemetry::StackTrace> traces = sampler.StopCollection();
   EXPECT_FALSE(sampler.active());
   ASSERT_GE(traces.size(), 10u);
   int with_clean = 0;
-  for (const droidsim::StackTrace& trace : traces) {
+  for (const telemetry::StackTrace& trace : traces) {
     with_clean +=
         app->symbols().TraceContains(trace, "org.htmlcleaner.HtmlCleaner", "clean") ? 1 : 0;
   }
@@ -335,16 +335,16 @@ TEST(DeviceProfileTest, ProfilesDiffer) {
 }
 
 TEST(StackTraceTest, FormatAndContains) {
-  droidsim::StackFrame frame{"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25,
+  telemetry::StackFrame frame{"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25,
                              true};
-  EXPECT_EQ(droidsim::FormatFrame(frame), "clean(HtmlSanitizer.java:25)");
+  EXPECT_EQ(telemetry::FormatFrame(frame), "clean(HtmlSanitizer.java:25)");
   droidsim::SymbolTable symbols;
-  droidsim::FrameId id = symbols.Intern(frame);
+  telemetry::FrameId id = symbols.Intern(frame);
   // Re-interning the same identity returns the same id.
   EXPECT_EQ(symbols.Intern(frame), id);
   EXPECT_EQ(symbols.Frame(id), frame);
   EXPECT_FALSE(symbols.IsUi(id));
-  droidsim::StackTrace trace;
+  telemetry::StackTrace trace;
   trace.frames.push_back(id);
   EXPECT_TRUE(trace.Contains(id));
   EXPECT_TRUE(symbols.TraceContains(trace, "org.htmlcleaner.HtmlCleaner", "clean"));

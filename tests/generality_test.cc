@@ -39,7 +39,7 @@ TEST_P(DeviceGeneralityTest, ContextSwitchesLeadTheRankingOnEveryDevice) {
   std::vector<hangdoctor::RankedEvent> ranking = hangdoctor::RankEvents(data.diff_samples);
   // The paper's core generality observation: the top events are kernel software events, and
   // context-switches leads on every platform tested.
-  EXPECT_EQ(ranking[0].event, perfsim::PerfEventType::kContextSwitches) << GetParam();
+  EXPECT_EQ(ranking[0].event, telemetry::PerfEventType::kContextSwitches) << GetParam();
   EXPECT_GT(ranking[0].correlation, 0.5);
 }
 

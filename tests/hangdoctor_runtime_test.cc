@@ -207,8 +207,8 @@ TEST_F(RuntimeTest, MainOnlyModeStillCatchesCpuBugs) {
   // Main-only mode needs main-thread thresholds (no render-side subtraction): a long task
   // clock or many faults on the main thread alone.
   config.filter = hangdoctor::SoftHangFilter({
-      {perfsim::PerfEventType::kTaskClock, 1.7e8},
-      {perfsim::PerfEventType::kPageFaults, 500.0},
+      {telemetry::PerfEventType::kTaskClock, 1.7e8},
+      {telemetry::PerfEventType::kPageFaults, 500.0},
   });
   HangDoctor doctor(&phone, app, config);
   Drive(&phone, app, 0, 3);

@@ -106,20 +106,20 @@ TEST(ActionTableTest, CountNormalIgnoresOtherStates) {
   EXPECT_EQ(table.Lookup(2).state, ActionState::kHangBug);
 }
 
-const droidsim::StackFrame kHandler{"onClick", "com.app.Main", "Main.java", 10, false};
-const droidsim::StackFrame kClean{"clean", "org.htmlcleaner.HtmlCleaner", "Sanitizer.java", 25,
+const telemetry::StackFrame kHandler{"onClick", "com.app.Main", "Main.java", 10, false};
+const telemetry::StackFrame kClean{"clean", "org.htmlcleaner.HtmlCleaner", "Sanitizer.java", 25,
                                   true};
-const droidsim::StackFrame kInflate{"inflate", "android.view.LayoutInflater", "Main.java", 30,
+const telemetry::StackFrame kInflate{"inflate", "android.view.LayoutInflater", "Main.java", 30,
                                     false};
-const droidsim::StackFrame kLoop{"processAll", "com.app.Loader", "Loader.java", 50, false};
+const telemetry::StackFrame kLoop{"processAll", "com.app.Loader", "Loader.java", 50, false};
 
 // Interns test frames into its own SymbolTable, the way an App would at construction.
 struct AnalyzerFixture {
   droidsim::SymbolTable symbols;
 
-  droidsim::StackTrace Trace(std::initializer_list<droidsim::StackFrame> frames) {
-    droidsim::StackTrace trace;
-    for (const droidsim::StackFrame& frame : frames) {
+  telemetry::StackTrace Trace(std::initializer_list<telemetry::StackFrame> frames) {
+    telemetry::StackTrace trace;
+    for (const telemetry::StackFrame& frame : frames) {
       trace.frames.push_back(symbols.Intern(frame));
     }
     return trace;
@@ -129,7 +129,7 @@ struct AnalyzerFixture {
 TEST(TraceAnalyzerTest, DominantApiIsCulprit) {
   TraceAnalyzer analyzer;
   AnalyzerFixture fix;
-  std::vector<droidsim::StackTrace> traces;
+  std::vector<telemetry::StackTrace> traces;
   for (int i = 0; i < 9; ++i) {
     traces.push_back(fix.Trace({kHandler, kClean}));
   }
@@ -145,7 +145,7 @@ TEST(TraceAnalyzerTest, DominantApiIsCulprit) {
 TEST(TraceAnalyzerTest, UiMajorityIsBenign) {
   TraceAnalyzer analyzer;
   AnalyzerFixture fix;
-  std::vector<droidsim::StackTrace> traces;
+  std::vector<telemetry::StackTrace> traces;
   for (int i = 0; i < 8; ++i) {
     traces.push_back(fix.Trace({kHandler, kInflate}));
   }
@@ -159,10 +159,10 @@ TEST(TraceAnalyzerTest, UiMajorityIsBenign) {
 TEST(TraceAnalyzerTest, SelfDevelopedCallerWhenNoApiDominates) {
   TraceAnalyzer analyzer;
   AnalyzerFixture fix;
-  std::vector<droidsim::StackTrace> traces;
+  std::vector<telemetry::StackTrace> traces;
   // Many different light callees below a common self-developed loop frame.
   for (int i = 0; i < 12; ++i) {
-    droidsim::StackFrame leaf{"op" + std::to_string(i), "java.util.Helper", "Helper.java",
+    telemetry::StackFrame leaf{"op" + std::to_string(i), "java.util.Helper", "Helper.java",
                               i + 1, false};
     traces.push_back(fix.Trace({kHandler, kLoop, leaf}));
   }
@@ -178,14 +178,14 @@ TEST(TraceAnalyzerTest, EmptyAndIdleTracesInvalid) {
   TraceAnalyzer analyzer;
   AnalyzerFixture fix;
   EXPECT_FALSE(analyzer.Analyze({}, fix.symbols).valid);
-  std::vector<droidsim::StackTrace> idle(3);
+  std::vector<telemetry::StackTrace> idle(3);
   EXPECT_FALSE(analyzer.Analyze(idle, fix.symbols).valid);
 }
 
 TEST(TraceAnalyzerTest, IdleSamplesAreIgnoredNotCounted) {
   TraceAnalyzer analyzer;
   AnalyzerFixture fix;
-  std::vector<droidsim::StackTrace> traces(5);  // idle
+  std::vector<telemetry::StackTrace> traces(5);  // idle
   for (int i = 0; i < 5; ++i) {
     traces.push_back(fix.Trace({kHandler, kClean}));
   }

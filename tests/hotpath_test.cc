@@ -234,9 +234,9 @@ TEST(SymbolTableDeterminismTest, SameSpecYieldsSameIdsAcrossPhones) {
     const droidsim::SymbolTable& sym_b = app_b->symbols();
     ASSERT_GT(sym_a.size(), 0u) << spec->package;
     ASSERT_EQ(sym_a.size(), sym_b.size()) << spec->package;
-    for (droidsim::FrameId id = 0; id < sym_a.size(); ++id) {
-      const droidsim::StackFrame& fa = sym_a.Frame(id);
-      const droidsim::StackFrame& fb = sym_b.Frame(id);
+    for (telemetry::FrameId id = 0; id < sym_a.size(); ++id) {
+      const telemetry::StackFrame& fa = sym_a.Frame(id);
+      const telemetry::StackFrame& fb = sym_b.Frame(id);
       ASSERT_EQ(fa.function, fb.function) << spec->package << " id " << id;
       ASSERT_EQ(fa.clazz, fb.clazz) << spec->package << " id " << id;
       ASSERT_EQ(fa.file, fb.file) << spec->package << " id " << id;
@@ -248,10 +248,10 @@ TEST(SymbolTableDeterminismTest, SameSpecYieldsSameIdsAcrossPhones) {
 
 TEST(SymbolTableDeterminismTest, InternDeduplicatesByContent) {
   droidsim::SymbolTable symbols;
-  droidsim::StackFrame frame{"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25};
-  droidsim::FrameId id = symbols.Intern(frame);
+  telemetry::StackFrame frame{"clean", "org.htmlcleaner.HtmlCleaner", "HtmlSanitizer.java", 25};
+  telemetry::FrameId id = symbols.Intern(frame);
   EXPECT_EQ(symbols.Intern(frame), id);
-  droidsim::StackFrame other = frame;
+  telemetry::StackFrame other = frame;
   other.line = 26;
   EXPECT_NE(symbols.Intern(other), id);
   EXPECT_EQ(symbols.size(), 2u);
@@ -288,7 +288,7 @@ TEST_F(ZeroAllocationTest, WarmSamplerCollectionCycleDoesNotAllocate) {
 
   int64_t before = AllocationCount();
   sampler.StartCollection();  // one TakeSample + one slab ScheduleAfter
-  std::span<const droidsim::StackTrace> traces = sampler.StopCollection();  // O(1) Cancel
+  std::span<const telemetry::StackTrace> traces = sampler.StopCollection();  // O(1) Cancel
   int64_t after = AllocationCount();
   EXPECT_EQ(after - before, 0) << "steady-state sampler cycle must not allocate";
   EXPECT_EQ(traces.size(), 1u);

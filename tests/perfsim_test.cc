@@ -6,14 +6,14 @@
 
 #include "src/kernelsim/kernel.h"
 #include "src/perfsim/counter_hub.h"
-#include "src/perfsim/events.h"
+#include "src/telemetry/counters.h"
 #include "src/perfsim/perf_session.h"
 #include "src/simkit/simulation.h"
 
 namespace {
 
 using perfsim::CounterHub;
-using perfsim::PerfEventType;
+using telemetry::PerfEventType;
 using perfsim::PerfSession;
 using perfsim::PmuSpec;
 
@@ -51,33 +51,33 @@ struct World {
 };
 
 TEST(EventsTest, NamesRoundTrip) {
-  for (PerfEventType event : perfsim::AllPerfEvents()) {
-    const std::string& name = perfsim::PerfEventName(event);
+  for (PerfEventType event : telemetry::AllPerfEvents()) {
+    const std::string& name = telemetry::PerfEventName(event);
     EXPECT_FALSE(name.empty());
-    auto back = perfsim::PerfEventFromName(name);
+    auto back = telemetry::PerfEventFromName(name);
     ASSERT_TRUE(back.has_value()) << name;
     EXPECT_EQ(*back, event);
   }
-  EXPECT_FALSE(perfsim::PerfEventFromName("not-an-event").has_value());
+  EXPECT_FALSE(telemetry::PerfEventFromName("not-an-event").has_value());
 }
 
 TEST(EventsTest, SoftwareClassificationMatchesPaper) {
-  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kContextSwitches));
-  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kTaskClock));
-  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kCpuClock));
-  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kPageFaults));
-  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kMinorFaults));
-  EXPECT_TRUE(perfsim::IsSoftwareEvent(PerfEventType::kCpuMigrations));
-  EXPECT_FALSE(perfsim::IsSoftwareEvent(PerfEventType::kInstructions));
-  EXPECT_FALSE(perfsim::IsSoftwareEvent(PerfEventType::kCacheMisses));
-  EXPECT_FALSE(perfsim::IsSoftwareEvent(PerfEventType::kL1DcacheLoads));
+  EXPECT_TRUE(telemetry::IsSoftwareEvent(PerfEventType::kContextSwitches));
+  EXPECT_TRUE(telemetry::IsSoftwareEvent(PerfEventType::kTaskClock));
+  EXPECT_TRUE(telemetry::IsSoftwareEvent(PerfEventType::kCpuClock));
+  EXPECT_TRUE(telemetry::IsSoftwareEvent(PerfEventType::kPageFaults));
+  EXPECT_TRUE(telemetry::IsSoftwareEvent(PerfEventType::kMinorFaults));
+  EXPECT_TRUE(telemetry::IsSoftwareEvent(PerfEventType::kCpuMigrations));
+  EXPECT_FALSE(telemetry::IsSoftwareEvent(PerfEventType::kInstructions));
+  EXPECT_FALSE(telemetry::IsSoftwareEvent(PerfEventType::kCacheMisses));
+  EXPECT_FALSE(telemetry::IsSoftwareEvent(PerfEventType::kL1DcacheLoads));
 }
 
 TEST(EventsTest, ModeledEventCount) {
-  EXPECT_EQ(perfsim::kNumPerfEvents, 24u);
+  EXPECT_EQ(telemetry::kNumPerfEvents, 24u);
   int hardware = 0;
-  for (PerfEventType event : perfsim::AllPerfEvents()) {
-    hardware += perfsim::IsSoftwareEvent(event) ? 0 : 1;
+  for (PerfEventType event : telemetry::AllPerfEvents()) {
+    hardware += telemetry::IsSoftwareEvent(event) ? 0 : 1;
   }
   // More hardware events than the LG V10's 6 registers: multiplexing is reachable.
   EXPECT_GT(hardware, 6);
@@ -113,7 +113,7 @@ TEST(CounterHubTest, InstructionsScaleWithCpuTime) {
 TEST(CounterHubTest, UnknownThreadReadsZero) {
   World world;
   EXPECT_DOUBLE_EQ(world.hub->Value(1234, PerfEventType::kInstructions), 0.0);
-  perfsim::CounterArray snapshot = world.hub->Snapshot(1234);
+  telemetry::CounterArray snapshot = world.hub->Snapshot(1234);
   for (double value : snapshot) {
     EXPECT_DOUBLE_EQ(value, 0.0);
   }
