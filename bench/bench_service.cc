@@ -8,7 +8,14 @@
 // blocking-API database), not one thread — so the sustained concurrent-session count
 // exceeds the machine's thread count by orders of magnitude, and memory tracks *live*
 // sessions (each level closes its sessions and the next level's RSS does not accumulate
-// the total ever processed). Emits machine-readable BENCH_service.json.
+// the total ever processed).
+//
+// Second axis (the pipelined-ingest sweep): the same donor stream fans into the service
+// through per-shard MPMC rings at threads ∈ {1, 2, 4} — `threads` producers feeding
+// `threads` shard workers — measuring how ingest throughput scales with cores. Sessions are
+// streamed as 16-byte record refs into one shared donor payload set, so the sweep measures
+// routing + detection, not payload copying. Emits machine-readable BENCH_service.json with
+// both the capacity levels and the threads axis.
 #include <sys/resource.h>
 #include <unistd.h>
 
@@ -54,44 +61,6 @@ double PeakRssMb() {
   getrusage(RUSAGE_SELF, &usage);
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
-
-// In-memory TelemetrySink: captures the donor session's SPI stream as owned payloads.
-class StreamRecorder : public hangdoctor::TelemetrySink {
- public:
-  void OnSessionStart(const hangdoctor::SessionInfo& info) override { info_ = info; }
-  void OnDispatchStart(const hangdoctor::DispatchStart& start) override {
-    hangdoctor::SpiPayload payload;
-    payload.kind = hangdoctor::SpiPayload::Kind::kDispatchStart;
-    payload.start = start;
-    records_.push_back(std::move(payload));
-  }
-  void OnDispatchEnd(const hangdoctor::DispatchEnd& end) override {
-    hangdoctor::SpiPayload payload;
-    payload.kind = hangdoctor::SpiPayload::Kind::kDispatchEnd;
-    payload.end = end;
-    payload.samples.assign(end.samples.begin(), end.samples.end());
-    records_.push_back(std::move(payload));
-  }
-  void OnActionQuiesce(const hangdoctor::ActionQuiesce& quiesce) override {
-    hangdoctor::SpiPayload payload;
-    payload.kind = hangdoctor::SpiPayload::Kind::kActionQuiesce;
-    payload.quiesce = quiesce;
-    records_.push_back(std::move(payload));
-  }
-  void OnCounterFault(const hangdoctor::CounterFault& fault) override {
-    hangdoctor::SpiPayload payload;
-    payload.kind = hangdoctor::SpiPayload::Kind::kCounterFault;
-    payload.fault = fault;
-    records_.push_back(std::move(payload));
-  }
-
-  const hangdoctor::SessionInfo& info() const { return info_; }
-  const std::vector<hangdoctor::SpiPayload>& records() const { return records_; }
-
- private:
-  hangdoctor::SessionInfo info_;
-  std::vector<hangdoctor::SpiPayload> records_;
-};
 
 struct LevelResult {
   size_t concurrent = 0;
@@ -151,6 +120,66 @@ LevelResult RunLevel(size_t concurrent, const hangdoctor::SessionInfo& info,
   return result;
 }
 
+struct SweepResult {
+  int32_t threads = 0;
+  int32_t shards = 0;
+  size_t sessions = 0;
+  double seconds = 0.0;
+  double sessions_per_sec = 0.0;
+  double records_per_sec = 0.0;
+  double speedup = 1.0;  // vs the sweep's first (threads=1) entry
+};
+
+// Pipelined ingest at `threads` workers: `threads` producer threads each own an Ingestor and
+// stream their share of `sessions` complete sessions (open, donor records, close) as refs
+// into one shared payload set. All sessions drain at the barrier; throughput is wall-clock
+// from first push to the drained harvest.
+SweepResult RunSweep(int32_t threads, int32_t shards, size_t sessions,
+                     const hangdoctor::SpiPayload& open_payload,
+                     const hangdoctor::SpiPayload& close_payload,
+                     const std::vector<hangdoctor::SpiPayload>& records) {
+  hangdoctor::ServiceOptions options;
+  options.shards = shards;
+  options.threads = threads;
+  hangdoctor::DetectorService service(options);
+  size_t producers = std::min<size_t>(static_cast<size_t>(threads), sessions);
+  producers = std::max<size_t>(producers, 1);
+
+  auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> pushers;
+    pushers.reserve(producers);
+    for (size_t p = 0; p < producers; ++p) {
+      pushers.emplace_back([p, producers, sessions, &service, &open_payload, &close_payload,
+                            &records]() {
+        hangdoctor::DetectorService::Ingestor ingestor(&service);
+        for (size_t s = p; s < sessions; s += producers) {
+          telemetry::SessionId id{s};
+          ingestor.Push({id, &open_payload});
+          for (const hangdoctor::SpiPayload& payload : records) {
+            ingestor.Push({id, &payload});
+          }
+          ingestor.Push({id, &close_payload});
+        }
+      });  // the ingestor's destructor flushes its partial batches
+    }
+    for (std::thread& pusher : pushers) {
+      pusher.join();
+    }
+  }
+  std::vector<hangdoctor::SessionResult> results = service.DrainClosed();
+
+  SweepResult result;
+  result.threads = threads;
+  result.shards = shards;
+  result.sessions = results.size();
+  result.seconds = Seconds(start);
+  result.sessions_per_sec = static_cast<double>(results.size()) / result.seconds;
+  result.records_per_sec =
+      static_cast<double>(results.size() * (records.size() + 2)) / result.seconds;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -164,7 +193,7 @@ int main() {
   // fed this stream behaves bit-identically, so N sessions fed the same stream model N
   // concurrent devices exactly.
   workload::Catalog catalog;
-  StreamRecorder recorder;
+  hangdoctor::SpiStreamRecorder recorder;
   hangdoctor::HangDoctorConfig config;
   workload::SingleAppHarness harness(droidsim::LgV10(), catalog.FindApp("K9-Mail"),
                                      /*seed=*/0x5E55);
@@ -199,6 +228,33 @@ int main() {
               "machine's %u threads\n",
               top.concurrent, sessions_per_thread, threads);
 
+  // Threads axis: same donor stream through the pipelined ingest at 1/2/4 shard workers.
+  // Fixed shard count (8, comfortably above the largest thread count) so the sweep varies
+  // exactly one knob; session count is sized to run a few seconds per point.
+  const std::vector<int32_t> threads_axis = {1, 2, 4};
+  const int32_t sweep_shards = 8;
+  const size_t sweep_sessions = smoke ? 200 : 10000;
+  hangdoctor::SpiPayload open_payload;
+  open_payload.kind = hangdoctor::SpiPayload::Kind::kSessionOpen;
+  open_payload.info = recorder.info();
+  open_payload.config = config;
+  hangdoctor::SpiPayload close_payload;
+  close_payload.kind = hangdoctor::SpiPayload::Kind::kSessionClose;
+
+  std::printf("\npipelined ingest sweep: %zu sessions, %d shards, per-shard MPMC rings\n",
+              sweep_sessions, sweep_shards);
+  std::vector<SweepResult> sweep;
+  for (int32_t t : threads_axis) {
+    SweepResult result = RunSweep(t, sweep_shards, sweep_sessions, open_payload,
+                                  close_payload, recorder.records());
+    result.speedup = sweep.empty() ? 1.0
+                                   : result.sessions_per_sec / sweep.front().sessions_per_sec;
+    std::printf("threads=%-2d  %8.3f s  %10.1f sessions/s  %12.0f records/s  %.2fx\n",
+                result.threads, result.seconds, result.sessions_per_sec,
+                result.records_per_sec, result.speedup);
+    sweep.push_back(result);
+  }
+
   std::FILE* json = std::fopen("BENCH_service.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_service.json\n");
@@ -219,6 +275,22 @@ int main() {
                  "\"live_rss_mb\": %.1f, \"closed_rss_mb\": %.1f}%s\n",
                  r.concurrent, r.seconds, r.sessions_per_sec, r.records_per_sec,
                  r.live_rss_mb, r.closed_rss_mb, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"threads_axis\": [");
+  for (size_t i = 0; i < threads_axis.size(); ++i) {
+    std::fprintf(json, "%d%s", threads_axis[i], i + 1 < threads_axis.size() ? ", " : "");
+  }
+  std::fprintf(json, "],\n");
+  std::fprintf(json, "  \"threads_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepResult& r = sweep[i];
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"shards\": %d, \"sessions\": %zu, "
+                 "\"seconds\": %.3f, \"sessions_per_sec\": %.2f, "
+                 "\"records_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                 r.threads, r.shards, r.sessions, r.seconds, r.sessions_per_sec,
+                 r.records_per_sec, r.speedup, i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n");
   std::fprintf(json, "  \"max_concurrent_sessions\": %zu,\n", top.concurrent);

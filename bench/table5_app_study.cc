@@ -111,6 +111,16 @@ int main(int argc, char** argv) {
   workload::FleetOptions options;
   options.jobs = workload::ResolveJobs(argc, argv);
   options.shards = workload::ResolveShards(argc, argv);
+  // --threads=N switches service ingest to the pipelined two-phase path (simulate + capture
+  // device-side, then stream every session through per-shard rings into N shard workers).
+  // Results — and the output below — stay bit-identical; only an extra topology line is
+  // printed, so the default output remains byte-identical to the goldens.
+  try {
+    options.threads = workload::ResolveThreads(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   const bool service_flag = workload::HasFlag(argc, argv, "--service");
   auto fleet_start = std::chrono::steady_clock::now();
   workload::FleetSummary summary;
@@ -134,6 +144,11 @@ int main(int argc, char** argv) {
   if (service_flag) {
     std::printf("service mode: one DetectorService, %d shard(s), %zu multiplexed sessions\n",
                 options.shards > 0 ? options.shards : options.jobs, jobs.size());
+  }
+  if (options.threads > 0) {
+    std::printf("pipelined ingest: %d shard worker(s), per-shard MPMC rings, two-phase "
+                "capture+ingest\n",
+                options.threads);
   }
   std::printf("\n");
   std::printf("%-16s %-12s %-16s %-7s %-9s %-9s\n", "App (downloads)", "Commit", "Category",

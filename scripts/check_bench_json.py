@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Schema and sanity gate for BENCH_service.json (CI perf-smoke leg).
+
+The bench uploads its JSON as a per-PR perf data point; this gate makes sure a silently
+broken bench cannot upload garbage that later reads as a regression — or hides one. Checks:
+
+  - required top-level fields and types, bench == "service";
+  - capacity levels: non-empty, strictly increasing concurrent_sessions, positive rates;
+  - threads axis: present, sorted, unique, aligned one-to-one with threads_sweep;
+  - every sweep entry: positive seconds/sessions, rates positive and non-absurd, speedup in
+    a generous-but-finite band (hard scaling claims are the release bench's job; this gate
+    only rejects numbers no real machine produces).
+
+Exits non-zero with a one-line reason on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(reason: str) -> None:
+    print(f"check_bench_json: FAIL: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(condition: bool, reason: str) -> None:
+    if not condition:
+        fail(reason)
+
+
+def is_num(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py BENCH_service.json")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {path}: {error}")
+
+    require(data.get("bench") == "service", f'bench != "service": {data.get("bench")!r}')
+    require(isinstance(data.get("smoke"), bool), "smoke missing or not a bool")
+    require(is_num(data.get("donor_records")) and data["donor_records"] > 0,
+            "donor_records missing or not positive")
+    require(is_num(data.get("peak_rss_mb")) and data["peak_rss_mb"] > 0,
+            "peak_rss_mb missing or not positive")
+
+    levels = data.get("levels")
+    require(isinstance(levels, list) and levels, "levels missing or empty")
+    previous_sessions = 0
+    for i, level in enumerate(levels):
+        require(isinstance(level, dict), f"levels[{i}] is not an object")
+        sessions = level.get("concurrent_sessions")
+        require(is_num(sessions) and sessions > previous_sessions,
+                f"levels[{i}].concurrent_sessions not strictly increasing")
+        previous_sessions = sessions
+        for field in ("sessions_per_sec", "records_per_sec"):
+            rate = level.get(field)
+            require(is_num(rate) and 0 < rate < 1e9,
+                    f"levels[{i}].{field} missing, non-positive, or absurd: {rate!r}")
+        require(is_num(level.get("seconds")) and level["seconds"] >= 0,
+                f"levels[{i}].seconds missing or negative")
+
+    axis = data.get("threads_axis")
+    require(isinstance(axis, list) and axis, "threads_axis missing or empty")
+    require(all(isinstance(t, int) and t >= 1 for t in axis),
+            f"threads_axis entries must be ints >= 1: {axis!r}")
+    require(axis == sorted(set(axis)), f"threads_axis must be sorted and unique: {axis!r}")
+
+    sweep = data.get("threads_sweep")
+    require(isinstance(sweep, list) and sweep, "threads_sweep missing or empty")
+    require(len(sweep) == len(axis),
+            f"threads_sweep has {len(sweep)} entries for a {len(axis)}-point threads_axis")
+    for i, entry in enumerate(sweep):
+        require(isinstance(entry, dict), f"threads_sweep[{i}] is not an object")
+        require(entry.get("threads") == axis[i],
+                f"threads_sweep[{i}].threads = {entry.get('threads')!r}, axis says {axis[i]}")
+        require(is_num(entry.get("shards")) and entry["shards"] >= 1,
+                f"threads_sweep[{i}].shards missing or < 1")
+        require(is_num(entry.get("sessions")) and entry["sessions"] > 0,
+                f"threads_sweep[{i}].sessions missing or not positive")
+        require(is_num(entry.get("seconds")) and entry["seconds"] > 0,
+                f"threads_sweep[{i}].seconds missing or not positive")
+        for field in ("sessions_per_sec", "records_per_sec"):
+            rate = entry.get(field)
+            require(is_num(rate) and 0 < rate < 1e9,
+                    f"threads_sweep[{i}].{field} missing, non-positive, or absurd: {rate!r}")
+        require(entry["records_per_sec"] >= entry["sessions_per_sec"],
+                f"threads_sweep[{i}]: records_per_sec < sessions_per_sec "
+                "(every session carries at least one record)")
+        speedup = entry.get("speedup")
+        require(is_num(speedup) and 0.02 < speedup < 1000,
+                f"threads_sweep[{i}].speedup missing or absurd: {speedup!r}")
+    require(abs(sweep[0]["speedup"] - 1.0) < 1e-9,
+            f"threads_sweep[0].speedup must be 1.0 (its own baseline): {sweep[0]['speedup']!r}")
+
+    print(f"check_bench_json: OK ({path}: {len(levels)} levels, "
+          f"threads axis {axis}, speedups "
+          f"{[round(e['speedup'], 2) for e in sweep]})")
+
+
+if __name__ == "__main__":
+    main()

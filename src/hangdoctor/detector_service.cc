@@ -1,93 +1,138 @@
 #include "src/hangdoctor/detector_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
-namespace hangdoctor {
+#include "src/simkit/affinity.h"
 
-DetectorService::DetectorService(const ServiceOptions& options) {
-  int32_t shards = std::max<int32_t>(1, options.shards);
-  shards_.reserve(static_cast<size_t>(shards));
-  for (int32_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+namespace hangdoctor {
+namespace {
+
+void ValidateOptions(const ServiceOptions& options) {
+  if (options.shards < 1) {
+    throw std::invalid_argument("ServiceOptions: shards must be >= 1, got " +
+                                std::to_string(options.shards));
+  }
+  if (options.threads < 0) {
+    throw std::invalid_argument("ServiceOptions: threads must be >= 0, got " +
+                                std::to_string(options.threads));
+  }
+  if (options.ring_capacity < 1) {
+    throw std::invalid_argument("ServiceOptions: ring_capacity must be >= 1, got " +
+                                std::to_string(options.ring_capacity));
+  }
+  if (options.batch_size < 1) {
+    throw std::invalid_argument("ServiceOptions: batch_size must be >= 1, got " +
+                                std::to_string(options.batch_size));
   }
 }
 
-void DetectorService::Open(telemetry::SessionId id, const SessionInfo& info,
-                           const HangDoctorConfig& config,
-                           const BlockingApiDatabase* known_db) {
-  // Build the arena outside the shard lock: core construction validates info and copies the
-  // database, and neither needs the shard.
+void SortById(std::vector<SessionResult>& results) {
+  std::sort(results.begin(), results.end(),
+            [](const SessionResult& a, const SessionResult& b) { return a.id < b.id; });
+}
+
+}  // namespace
+
+DetectorService::DetectorService(const ServiceOptions& options) : options_(options) {
+  ValidateOptions(options);
+  shards_.reserve(static_cast<size_t>(options.shards));
+  for (int32_t i = 0; i < options.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (options.threads > 0) {
+      shard->ring = std::make_unique<simkit::MpmcRing<IngestBatch>>(
+          static_cast<size_t>(options.ring_capacity));
+    }
+    shards_.push_back(std::move(shard));
+  }
+  if (options.threads > 0) {
+    workers_.reserve(static_cast<size_t>(options.threads));
+    for (int32_t w = 0; w < options.threads; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(static_cast<size_t>(w)); });
+    }
+  }
+}
+
+DetectorService::~DetectorService() {
+  if (!workers_.empty()) {
+    // Graceful drain: workers observe stop_ only after emptying their rings and catching
+    // processed up to enqueued, so every batch routed before destruction is applied. Any
+    // results or errors not drained by the caller die with the shards — harvesting them
+    // here would hand them to nobody.
+    stop_.store(true, std::memory_order_release);
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena lifecycle (shared by the synchronous path and the shard workers).
+
+std::unique_ptr<DetectorService::SessionSlot> DetectorService::BuildSlot(
+    const SessionInfo& info, const HangDoctorConfig& config,
+    const BlockingApiDatabase* known_db) {
   auto slot = std::make_unique<SessionSlot>();
   if (known_db != nullptr) {
     slot->database = *known_db;
   }
   slot->core = std::make_unique<DetectorCore>(info, config, &slot->database,
                                               /*fleet_report=*/nullptr);
-  Shard& shard = ShardFor(id);
+  return slot;
+}
+
+void DetectorService::InsertSlot(Shard& shard, telemetry::SessionId id,
+                                 std::unique_ptr<SessionSlot> slot) {
+  bool inserted = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto [it, inserted] = shard.live.try_emplace(id, std::move(slot));
-    if (!inserted) {
-      throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
-                                  " is already open");
-    }
+    std::lock_guard<simkit::SpinLock> lock(shard.lock);
+    inserted = shard.live.Insert(id, std::move(slot)).second;
+  }
+  if (!inserted) {
+    throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
+                                " is already open");
   }
   opened_.fetch_add(1, std::memory_order_relaxed);
   live_.fetch_add(1, std::memory_order_relaxed);
 }
 
-DetectorService::SessionSlot& DetectorService::Slot(Shard& shard, telemetry::SessionId id) {
-  auto it = shard.live.find(id);
-  if (it == shard.live.end()) {
+DetectorService::SessionSlot* DetectorService::FindSlot(Shard& shard, telemetry::SessionId id) {
+  SessionSlot* slot = nullptr;
+  {
+    std::lock_guard<simkit::SpinLock> lock(shard.lock);
+    // Copy the arena pointer out under the lock: the map slot itself may move on rehash, the
+    // SessionSlot never does. Safe to use unlocked because a session has one producer — no
+    // other thread can close it while its producer is still pushing.
+    if (std::unique_ptr<SessionSlot>* found = shard.live.Find(id)) {
+      slot = found->get();
+    }
+  }
+  if (slot == nullptr) {
     throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
                                 " is not open");
   }
-  return *it->second;
+  return slot;
 }
 
-MonitorDirectives DetectorService::OnDispatchStart(telemetry::SessionId id,
-                                                   const DispatchStart& start) {
-  Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return Slot(shard, id).core->OnDispatchStart(start);
-}
-
-void DetectorService::OnDispatchEnd(telemetry::SessionId id, const DispatchEnd& end) {
-  Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  Slot(shard, id).core->OnDispatchEnd(end);
-}
-
-void DetectorService::OnActionQuiesced(telemetry::SessionId id, const ActionQuiesce& quiesce) {
-  Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  Slot(shard, id).core->OnActionQuiesced(quiesce);
-}
-
-void DetectorService::OnCounterFault(telemetry::SessionId id, const CounterFault& fault) {
-  Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  Slot(shard, id).core->OnCounterFault(fault);
-}
-
-SessionResult DetectorService::Close(telemetry::SessionId id) {
-  Shard& shard = ShardFor(id);
+std::unique_ptr<DetectorService::SessionSlot> DetectorService::RemoveSlot(
+    Shard& shard, telemetry::SessionId id) {
   std::unique_ptr<SessionSlot> slot;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.live.find(id);
-    if (it == shard.live.end()) {
-      throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
-                                  " is not open");
-    }
-    slot = std::move(it->second);
-    shard.live.erase(it);
+    std::lock_guard<simkit::SpinLock> lock(shard.lock);
+    shard.live.Erase(id, &slot);
+  }
+  if (slot == nullptr) {
+    throw std::invalid_argument("DetectorService: session " + std::to_string(id.value) +
+                                " is not open");
   }
   live_.fetch_sub(1, std::memory_order_relaxed);
+  return slot;
+}
 
-  // Harvest outside the lock; the slot is exclusively ours now.
+SessionResult DetectorService::Harvest(telemetry::SessionId id,
+                                       std::unique_ptr<SessionSlot> slot) {
   DetectorCore& core = *slot->core;
   SessionResult result;
   result.id = id;
@@ -104,23 +149,239 @@ SessionResult DetectorService::Close(telemetry::SessionId id) {
   return result;  // `slot` dies here: the session's arena is gone, only the result remains
 }
 
+// ---------------------------------------------------------------------------
+// Synchronous per-record path. The spin lock covers only the map probe; the core call runs
+// unlocked (one producer per session), so producers on disjoint sessions never serialize on
+// detection work — only on the few-nanosecond probe.
+
+void DetectorService::Open(telemetry::SessionId id, const SessionInfo& info,
+                           const HangDoctorConfig& config,
+                           const BlockingApiDatabase* known_db) {
+  // Build the arena outside the shard lock: core construction validates info and copies the
+  // database, and neither needs the shard.
+  InsertSlot(ShardFor(id), id, BuildSlot(info, config, known_db));
+}
+
+MonitorDirectives DetectorService::OnDispatchStart(telemetry::SessionId id,
+                                                   const DispatchStart& start) {
+  return FindSlot(ShardFor(id), id)->core->OnDispatchStart(start);
+}
+
+void DetectorService::OnDispatchEnd(telemetry::SessionId id, const DispatchEnd& end) {
+  FindSlot(ShardFor(id), id)->core->OnDispatchEnd(end);
+}
+
+void DetectorService::OnActionQuiesced(telemetry::SessionId id, const ActionQuiesce& quiesce) {
+  FindSlot(ShardFor(id), id)->core->OnActionQuiesced(quiesce);
+}
+
+void DetectorService::OnCounterFault(telemetry::SessionId id, const CounterFault& fault) {
+  FindSlot(ShardFor(id), id)->core->OnCounterFault(fault);
+}
+
+SessionResult DetectorService::Close(telemetry::SessionId id) {
+  Shard& shard = ShardFor(id);
+  return Harvest(id, RemoveSlot(shard, id));
+}
+
 void DetectorService::Discard(telemetry::SessionId id) {
   Shard& shard = ShardFor(id);
   std::unique_ptr<SessionSlot> slot;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.live.find(id);
-    if (it == shard.live.end()) {
-      return;  // already closed or never opened: discarding is idempotent
-    }
-    slot = std::move(it->second);
-    shard.live.erase(it);
+    std::lock_guard<simkit::SpinLock> lock(shard.lock);
+    shard.live.Erase(id, &slot);
   }
-  live_.fetch_sub(1, std::memory_order_relaxed);
+  if (slot != nullptr) {
+    live_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // Absent is fine: discarding is idempotent.
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined ingest.
+
+DetectorService::Ingestor::Ingestor(DetectorService* service,
+                                    const BlockingApiDatabase* known_db)
+    : router_(
+          static_cast<size_t>(service->shards()),
+          static_cast<size_t>(service->options_.batch_size),
+          [shards = service->shards_.size()](const ServiceRecordRef& ref) {
+            return telemetry::ShardOf(ref.session, shards);
+          },
+          [service, known_db](size_t shard_index,
+                              std::vector<ServiceRecordRef>&& refs) {
+            service->EnqueueBatch(shard_index, IngestBatch{std::move(refs), known_db});
+          }) {
+  service->RequirePipeline("Ingestor");
+}
+
+void DetectorService::RequirePipeline(const char* what) const {
+  if (workers_.empty()) {
+    throw std::logic_error(std::string("DetectorService::") + what +
+                           " requires ServiceOptions.threads >= 1");
+  }
+}
+
+void DetectorService::EnqueueBatch(size_t shard_index, IngestBatch&& batch) {
+  Shard& shard = *shards_[shard_index];
+  // Count before pushing: the barrier must never observe processed == enqueued while a
+  // counted batch is still outside the ring, and a pushed-but-uncounted batch would let the
+  // barrier pass with work in flight.
+  shard.enqueued.fetch_add(1, std::memory_order_relaxed);
+  shard.ring->Push(std::move(batch));  // blocks on a full ring: bounded backpressure
+}
+
+void DetectorService::ApplyRecord(Shard& shard, const BlockingApiDatabase* known_db,
+                                  ServiceRecordRef ref) {
+  try {
+    const SpiPayload& payload = *ref.record;
+    switch (payload.kind) {
+      case SpiPayload::Kind::kSessionOpen:
+        InsertSlot(shard, ref.session, BuildSlot(payload.info, payload.config, known_db));
+        break;
+      case SpiPayload::Kind::kDispatchStart:
+        FindSlot(shard, ref.session)->core->OnDispatchStart(payload.start);
+        break;
+      case SpiPayload::Kind::kDispatchEnd: {
+        // The stored record owns its samples; repoint the span for the push.
+        DispatchEnd end = payload.end;
+        end.samples = payload.samples;
+        FindSlot(shard, ref.session)->core->OnDispatchEnd(end);
+        break;
+      }
+      case SpiPayload::Kind::kActionQuiesce:
+        FindSlot(shard, ref.session)->core->OnActionQuiesced(payload.quiesce);
+        break;
+      case SpiPayload::Kind::kCounterFault:
+        FindSlot(shard, ref.session)->core->OnCounterFault(payload.fault);
+        break;
+      case SpiPayload::Kind::kSessionClose:
+        shard.closed.push_back(Harvest(ref.session, RemoveSlot(shard, ref.session)));
+        break;
+    }
+  } catch (const std::exception& e) {
+    // The pipeline cannot throw into its producer; collect and keep applying. One bad
+    // session must not poison the other sessions sharing its shard.
+    shard.errors.push_back(IngestError{ref.session, e.what()});
+  }
+}
+
+void DetectorService::WorkerLoop(size_t worker_index) {
+  if (options_.pin_workers) {
+    simkit::PinCurrentThreadToCore(static_cast<int>(worker_index));
+  }
+  // options_.threads, not workers_.size(): the first workers start while the constructor is
+  // still appending to workers_.
+  const size_t stride = static_cast<size_t>(options_.threads);
+  int idle_rounds = 0;
+  for (;;) {
+    bool did_work = false;
+    // Shard s is owned by worker s % threads: every shard has exactly one consumer, so
+    // per-shard session state needs no locking beyond the map-probe spin lock it already
+    // shares with the synchronous path.
+    for (size_t s = worker_index; s < shards_.size(); s += stride) {
+      Shard& shard = *shards_[s];
+      IngestBatch batch;
+      while (shard.ring->TryPop(batch)) {
+        did_work = true;
+        for (const ServiceRecordRef& ref : batch.refs) {
+          ApplyRecord(shard, batch.known_db, ref);
+        }
+        // Release pairs with the barrier's acquire: it publishes `closed` and `errors`
+        // along with the count.
+        shard.processed.fetch_add(1, std::memory_order_release);
+      }
+    }
+    if (did_work) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Drain before exiting: recheck the rings once stop is visible so batches enqueued
+      // before the destructor's store are never stranded.
+      bool drained = true;
+      for (size_t s = worker_index; s < shards_.size(); s += stride) {
+        Shard& shard = *shards_[s];
+        if (shard.processed.load(std::memory_order_relaxed) <
+            shard.enqueued.load(std::memory_order_acquire)) {
+          drained = false;
+          break;
+        }
+      }
+      if (drained) {
+        return;
+      }
+      continue;
+    }
+    // Idle backoff: spin briefly (a producer is probably mid-batch), then yield, then nap —
+    // a parked pipeline must not burn a core.
+    ++idle_rounds;
+    if (idle_rounds < 64) {
+      simkit::CpuRelax();
+    } else if (idle_rounds < 256) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+void DetectorService::WaitIngestIdle() {
+  if (workers_.empty()) {
+    return;
+  }
+  for (const auto& shard : shards_) {
+    // enqueued is monotone and the caller has quiesced all producers, so one converged read
+    // per shard suffices. The acquire on processed publishes the worker's writes (closed,
+    // errors, session arenas) to this thread.
+    int64_t target = shard->enqueued.load(std::memory_order_relaxed);
+    while (shard->processed.load(std::memory_order_acquire) < target) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+std::vector<SessionResult> DetectorService::DrainClosed() {
+  WaitIngestIdle();
+  std::vector<SessionResult> results;
+  for (const auto& shard : shards_) {
+    for (SessionResult& result : shard->closed) {
+      results.push_back(std::move(result));
+    }
+    shard->closed.clear();
+  }
+  SortById(results);
+  return results;
+}
+
+std::vector<IngestError> DetectorService::TakeIngestErrors() {
+  WaitIngestIdle();
+  std::vector<IngestError> errors;
+  for (const auto& shard : shards_) {
+    for (IngestError& error : shard->errors) {
+      errors.push_back(std::move(error));
+    }
+    shard->errors.clear();
+  }
+  return errors;
 }
 
 std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecord> stream,
                                                     const BlockingApiDatabase* known_db) {
+  if (!workers_.empty()) {
+    {
+      Ingestor ingestor(this, known_db);
+      for (const ServiceRecord& record : stream) {
+        ingestor.Push(record);
+      }
+    }  // flushes
+    std::vector<SessionResult> results = DrainClosed();
+    std::vector<IngestError> errors = TakeIngestErrors();
+    if (!errors.empty()) {
+      throw std::invalid_argument(errors.front().message);
+    }
+    return results;
+  }
   std::vector<SessionResult> results;
   for (const ServiceRecord& record : stream) {
     const SpiPayload& payload = record.record;
@@ -149,8 +410,7 @@ std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecor
         break;
     }
   }
-  std::sort(results.begin(), results.end(),
-            [](const SessionResult& a, const SessionResult& b) { return a.id < b.id; });
+  SortById(results);
   return results;
 }
 

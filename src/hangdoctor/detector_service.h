@@ -1,25 +1,49 @@
-// The session-multiplexed detector service: one process, thousands of concurrent sessions.
+// The session-multiplexed detector service: one process, thousands of concurrent sessions,
+// ingesting from as many threads as the machine has cores.
 //
 // The paper's deployment is fleet-scale — many users' devices each streaming S-Checker /
 // Diagnoser telemetry that merges into one Hang Bug Report. A DetectorService is the backend
-// end of that pipe: it owns many live DetectorCores keyed by telemetry::SessionId, consumes a
-// single interleaved record stream (every SPI record carries a session tag — see
-// session_stream.h), and routes each record to the per-session core via deterministic shard
-// assignment (shard = ShardOf(session_id, shards) = hash(id) % shards).
+// end of that pipe: it owns many live DetectorCores keyed by telemetry::SessionId, consumes
+// interleaved record streams (every SPI record carries a session tag — see session_stream.h),
+// and routes each record to the per-session core via deterministic shard assignment
+// (shard = ShardOf(session_id, shards) = hash(id) % shards).
+//
+// Two ingestion surfaces share one shard table:
+//
+//  - Synchronous push (SessionHandle / the per-record entry points): a live host drives its
+//    session record-by-record and receives MonitorDirectives back inline. Many producer
+//    threads may push disjoint sessions concurrently; the only shared state is the shard's
+//    session map, guarded by a spin lock held for the probe alone — the core call itself runs
+//    lock-free, because a session has exactly one producer.
+//
+//  - Pipelined ingest (threads >= 1 in ServiceOptions): per-shard bounded MPMC ring buffers
+//    feed dedicated shard-worker threads. Producers own a DetectorService::Ingestor each,
+//    which batches record refs by shard (one ring push per batch, not per record — see
+//    simkit::BatchRouter) and blocks on a full ring (bounded backpressure, never unbounded
+//    queuing). Every shard is drained by exactly one worker, so the worker applies records —
+//    including session open/close — to its shards' arenas with no per-session locking at all.
+//    Directives cannot flow back through a ring, so the pipeline is for telemetry that is
+//    already recorded or streamed (mux-log replay, the fleet runner's capture-then-ingest
+//    mode, the capacity bench); a live co-simulated host keeps using synchronous push.
 //
 // Concurrency and determinism contract:
-//  - Each session's records must be pushed in session order (one producer per session — the
-//    natural shape: a device's telemetry arrives in order). Different sessions may be pushed
-//    from different threads concurrently; a shard-level mutex serializes only the sessions
-//    that hash to the same shard.
+//  - Each session's records are pushed in session order by one producer (the natural shape:
+//    a device's telemetry arrives in order). A session is driven either synchronously or
+//    through the pipeline, never both.
 //  - Detection is per-session pure: a session's result depends only on its own (info, config,
-//    stream), never on shard placement, worker interleaving, or which other sessions are
-//    live. Merged outputs are folded in ascending-SessionId order (MergeSessionReports), so
-//    merged DetectionStats / HangBugReport are bit-identical at any shard or worker count.
-//  - Memory is bounded by *live* sessions, not total sessions: Close() harvests a compact
+//    stream), never on shard placement, worker interleaving, ring batch boundaries, or which
+//    other sessions are live. All records of a session land on one shard's ring in push
+//    order (MPMC rings preserve per-producer FIFO) and are applied by that shard's single
+//    worker in that order — so per-session results are bit-identical at any {threads, shards}
+//    pair, and merged outputs folded in ascending-SessionId order (MergeSessionReports,
+//    DrainClosed) are too.
+//  - Memory is bounded by *live* sessions plus the bounded rings: Close() harvests a compact
 //    SessionResult and destroys the per-session arena (core, action table, private
-//    blocking-API database) immediately. The fleet bench (bench/bench_service.cc) pins this:
-//    10k sequentially-windowed sessions peak at the working set of the window, not the total.
+//    blocking-API database) immediately; rings reject/block when full instead of queuing
+//    without bound.
+//  - Destruction drains gracefully: in-flight batches are flushed (applied) deterministically
+//    before the workers join; producers must be quiesced first (no Ingestor may outlive the
+//    service).
 //
 // Hosts attach through a SessionHandle, which implements SpiBackend — so the droidsim
 // adapter and the fault injector drive a service session with exactly the code that drives a
@@ -31,10 +55,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <thread>
 #include <vector>
 
 #include "src/hangdoctor/blocking_api_db.h"
@@ -43,14 +66,32 @@
 #include "src/hangdoctor/report.h"
 #include "src/hangdoctor/session_stream.h"
 #include "src/hangdoctor/stream_guard.h"
+#include "src/simkit/batch_router.h"
+#include "src/simkit/mpmc_ring.h"
+#include "src/simkit/shard_map.h"
+#include "src/simkit/spinlock.h"
 #include "src/telemetry/session.h"
 
 namespace hangdoctor {
 
 struct ServiceOptions {
-  // Shard count; <= 0 resolves to 1. More shards reduce lock contention when many producer
-  // threads feed disjoint sessions; results are bit-identical at any value.
+  // Shard count; must be >= 1 (std::invalid_argument otherwise). More shards reduce
+  // contention when many producers feed disjoint sessions and set the pipeline's parallelism
+  // ceiling; results are bit-identical at any value.
   int32_t shards = 1;
+  // Dedicated shard-worker threads for pipelined ingest. 0 (the default) spawns none —
+  // synchronous push only. >= 1 spawns workers (shard s is owned by worker s % threads) and
+  // enables Ingestor/Ingest/DrainClosed. Negative throws std::invalid_argument.
+  int32_t threads = 0;
+  // Per-shard ring capacity in *batches* (rounded up to a power of two). With the default
+  // batch size this bounds queued-but-unapplied telemetry per shard; producers block when a
+  // ring is full.
+  int32_t ring_capacity = 256;
+  // Records per routed batch: the amortization factor for the hash + ring-dispatch cost.
+  int32_t batch_size = 256;
+  // Best-effort core affinity: pin worker w to core w. Off by default — pinning helps on
+  // dedicated many-core hosts and hurts on small shared runners.
+  bool pin_workers = false;
 };
 
 // Everything a closed session leaves behind. Compact: the heavy live state (core, action
@@ -69,9 +110,18 @@ struct SessionResult {
   std::vector<std::string> discovered;  // blocking APIs this session newly learned
 };
 
+// A record the pipeline could not apply (open of a duplicate id, record for a session that
+// was never opened, malformed info). The pipeline cannot throw into its producer, so errors
+// are collected per shard and surfaced at the barrier.
+struct IngestError {
+  telemetry::SessionId session;
+  std::string message;
+};
+
 class DetectorService {
  public:
   explicit DetectorService(const ServiceOptions& options = {});
+  ~DetectorService();
   DetectorService(const DetectorService&) = delete;
   DetectorService& operator=(const DetectorService&) = delete;
 
@@ -96,6 +146,27 @@ class DetectorService {
    private:
     DetectorService* service_;
     telemetry::SessionId id_;
+  };
+
+  // One producer thread's batching front-end to the pipeline (threads >= 1 only; the
+  // constructor throws std::logic_error on a service without workers). Push order per
+  // session is preserved end-to-end. The payloads behind pushed refs must stay alive until
+  // WaitIngestIdle()/DrainClosed() returns; an Ingestor must be flushed (or destroyed)
+  // before the barrier and must not outlive the service.
+  class Ingestor {
+   public:
+    explicit Ingestor(DetectorService* service, const BlockingApiDatabase* known_db = nullptr);
+    Ingestor(const Ingestor&) = delete;
+    Ingestor& operator=(const Ingestor&) = delete;
+    ~Ingestor() { router_.Flush(); }
+
+    void Push(ServiceRecordRef ref) { router_.Push(ref); }
+    void Push(const ServiceRecord& record) { router_.Push({record.session, &record.record}); }
+    // Hands every partial batch to the rings (blocking on full rings).
+    void Flush() { router_.Flush(); }
+
+   private:
+    simkit::BatchRouter<ServiceRecordRef> router_;
   };
 
   // Opens a session: allocates its arena (private database copy seeded from `known_db` when
@@ -125,12 +196,29 @@ class DetectorService {
   // Batch entry: consumes one interleaved stream in order — open/record/close framing per
   // session_stream.h — and returns the results of every session closed by the stream, in
   // ascending-SessionId order. `known_db` seeds each opened session's private database.
+  // Without workers this applies records synchronously on the calling thread; with workers
+  // it routes the stream through the pipeline and throws the first IngestError (if any)
+  // after the barrier.
   std::vector<SessionResult> Consume(std::span<const ServiceRecord> stream,
                                      const BlockingApiDatabase* known_db = nullptr);
+
+  // Pipeline barrier: blocks until every batch routed so far has been applied by the shard
+  // workers. Callers must have flushed (and stopped) their Ingestors first. No-op without
+  // workers.
+  void WaitIngestIdle();
+
+  // Barrier + harvest: the results of every session closed through the pipeline since the
+  // last drain, in ascending-SessionId order.
+  std::vector<SessionResult> DrainClosed();
+
+  // Barrier + the records the pipeline could not apply since the last take (stream order
+  // within a shard; shards concatenated in index order).
+  std::vector<IngestError> TakeIngestErrors();
 
   size_t live_sessions() const;
   int64_t sessions_opened() const { return opened_.load(std::memory_order_relaxed); }
   int32_t shards() const { return static_cast<int32_t>(shards_.size()); }
+  int32_t ingest_threads() const { return static_cast<int32_t>(workers_.size()); }
 
  private:
   // One session's arena: everything that exists only while the session is live.
@@ -139,20 +227,54 @@ class DetectorService {
     std::unique_ptr<DetectorCore> core;
   };
 
+  // One routed unit: up to batch_size record refs plus the database that seeds any session
+  // the batch opens.
+  struct IngestBatch {
+    std::vector<ServiceRecordRef> refs;
+    const BlockingApiDatabase* known_db = nullptr;
+  };
+
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<telemetry::SessionId, std::unique_ptr<SessionSlot>,
-                       telemetry::SessionIdHasher>
+    // Guards `live` probes (and only the probes) on the synchronous path; a pipeline worker
+    // takes it too, so synchronous sessions and pipelined sessions can share a shard.
+    simkit::SpinLock lock;
+    simkit::OpenHashMap<telemetry::SessionId, std::unique_ptr<SessionSlot>,
+                        telemetry::SessionIdHasher>
         live;
+    // Pipeline state. `enqueued` is bumped by producers as they push to the ring;
+    // `processed` by the owning worker after applying a batch (release) — the barrier
+    // acquires it, which also publishes `closed`/`errors` to the draining thread.
+    std::unique_ptr<simkit::MpmcRing<IngestBatch>> ring;
+    std::atomic<int64_t> enqueued{0};
+    std::atomic<int64_t> processed{0};
+    std::vector<SessionResult> closed;  // worker-written; read only after the barrier
+    std::vector<IngestError> errors;    // worker-written; read only after the barrier
   };
 
   Shard& ShardFor(telemetry::SessionId id) {
     return *shards_[telemetry::ShardOf(id, shards_.size())];
   }
-  // Locks the owning shard and returns the slot; throws if the session is not live.
-  SessionSlot& Slot(Shard& shard, telemetry::SessionId id);
 
+  // Arena lifecycle shared by both ingestion surfaces. Find/Remove throw
+  // std::invalid_argument for a session that is not live; Insert throws on a duplicate.
+  std::unique_ptr<SessionSlot> BuildSlot(const SessionInfo& info,
+                                         const HangDoctorConfig& config,
+                                         const BlockingApiDatabase* known_db);
+  void InsertSlot(Shard& shard, telemetry::SessionId id, std::unique_ptr<SessionSlot> slot);
+  SessionSlot* FindSlot(Shard& shard, telemetry::SessionId id);
+  std::unique_ptr<SessionSlot> RemoveSlot(Shard& shard, telemetry::SessionId id);
+  SessionResult Harvest(telemetry::SessionId id, std::unique_ptr<SessionSlot> slot);
+
+  // Pipeline internals.
+  void EnqueueBatch(size_t shard_index, IngestBatch&& batch);
+  void ApplyRecord(Shard& shard, const BlockingApiDatabase* known_db, ServiceRecordRef ref);
+  void WorkerLoop(size_t worker_index);
+  void RequirePipeline(const char* what) const;
+
+  ServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
   std::atomic<int64_t> opened_{0};
   std::atomic<int64_t> live_{0};
 };

@@ -1,0 +1,63 @@
+#include "src/hangdoctor/session_stream.h"
+
+namespace hangdoctor {
+
+void SpiStreamRecorder::OnSessionStart(const SessionInfo& info) { info_ = info; }
+
+void SpiStreamRecorder::OnDispatchStart(const DispatchStart& start) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kDispatchStart;
+  payload.start = start;
+  records_.push_back(std::move(payload));
+}
+
+void SpiStreamRecorder::OnDispatchEnd(const DispatchEnd& end) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kDispatchEnd;
+  payload.end = end;
+  // The span in `end` points at the host's sample buffer, which is reused; own a copy and
+  // repoint at push time (Consume/ApplyRecord re-derive end.samples from payload.samples).
+  payload.samples.assign(end.samples.begin(), end.samples.end());
+  records_.push_back(std::move(payload));
+}
+
+void SpiStreamRecorder::OnActionQuiesce(const ActionQuiesce& quiesce) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kActionQuiesce;
+  payload.quiesce = quiesce;
+  records_.push_back(std::move(payload));
+}
+
+void SpiStreamRecorder::OnCounterFault(const CounterFault& fault) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kCounterFault;
+  payload.fault = fault;
+  records_.push_back(std::move(payload));
+}
+
+void TeeSink::OnSessionStart(const SessionInfo& info) {
+  if (first_ != nullptr) first_->OnSessionStart(info);
+  if (second_ != nullptr) second_->OnSessionStart(info);
+}
+
+void TeeSink::OnDispatchStart(const DispatchStart& start) {
+  if (first_ != nullptr) first_->OnDispatchStart(start);
+  if (second_ != nullptr) second_->OnDispatchStart(start);
+}
+
+void TeeSink::OnDispatchEnd(const DispatchEnd& end) {
+  if (first_ != nullptr) first_->OnDispatchEnd(end);
+  if (second_ != nullptr) second_->OnDispatchEnd(end);
+}
+
+void TeeSink::OnActionQuiesce(const ActionQuiesce& quiesce) {
+  if (first_ != nullptr) first_->OnActionQuiesce(quiesce);
+  if (second_ != nullptr) second_->OnActionQuiesce(quiesce);
+}
+
+void TeeSink::OnCounterFault(const CounterFault& fault) {
+  if (first_ != nullptr) first_->OnCounterFault(fault);
+  if (second_ != nullptr) second_->OnCounterFault(fault);
+}
+
+}  // namespace hangdoctor

@@ -45,6 +45,53 @@ struct SpiPayload {
 // One element of the interleaved stream: an SPI payload stamped with its session.
 using ServiceRecord = telemetry::SessionStamped<SpiPayload>;
 
+// A non-owning view of one stream element — what actually travels through the ingest
+// pipeline's rings. 16 bytes instead of a full SpiPayload copy, so N sessions replaying one
+// shared donor stream (the bench shape) cost N×16B of refs, not N copies of the payloads.
+// The referenced payload must stay alive until the record has been applied, i.e. until the
+// service's ingest barrier (WaitIngestIdle / DrainClosed) has returned.
+struct ServiceRecordRef {
+  telemetry::SessionId session;
+  const SpiPayload* record = nullptr;
+};
+
+// In-memory TelemetrySink: captures a session's post-injection SPI stream as owned
+// SpiPayloads, ready to be stamped with a SessionId and fed to a DetectorService. Because a
+// sink tap is passive and sits downstream of the fault injector, a core fed the captured
+// stream behaves bit-identically to the core that ran live — faults included — which is what
+// lets the fleet runner generate telemetry device-side and detect backend-side.
+class SpiStreamRecorder final : public TelemetrySink {
+ public:
+  void OnSessionStart(const SessionInfo& info) override;
+  void OnDispatchStart(const DispatchStart& start) override;
+  void OnDispatchEnd(const DispatchEnd& end) override;
+  void OnActionQuiesce(const ActionQuiesce& quiesce) override;
+  void OnCounterFault(const CounterFault& fault) override;
+
+  const SessionInfo& info() const { return info_; }
+  const std::vector<SpiPayload>& records() const { return records_; }
+
+ private:
+  SessionInfo info_;
+  std::vector<SpiPayload> records_;
+};
+
+// Fans one telemetry stream out to two sinks (first, then second) — e.g. an HDSL session-log
+// writer and an SpiStreamRecorder tapping the same run. Either may be null.
+class TeeSink final : public TelemetrySink {
+ public:
+  TeeSink(TelemetrySink* first, TelemetrySink* second) : first_(first), second_(second) {}
+  void OnSessionStart(const SessionInfo& info) override;
+  void OnDispatchStart(const DispatchStart& start) override;
+  void OnDispatchEnd(const DispatchEnd& end) override;
+  void OnActionQuiesce(const ActionQuiesce& quiesce) override;
+  void OnCounterFault(const CounterFault& fault) override;
+
+ private:
+  TelemetrySink* first_;
+  TelemetrySink* second_;
+};
+
 }  // namespace hangdoctor
 
 #endif  // SRC_HANGDOCTOR_SESSION_STREAM_H_

@@ -1,0 +1,32 @@
+#include "src/simkit/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace simkit {
+
+int OnlineCoreCount() {
+  unsigned count = std::thread::hardware_concurrency();
+  return count == 0 ? 1 : static_cast<int>(count);
+}
+
+bool PinCurrentThreadToCore(int core) {
+#if defined(__linux__)
+  if (core < 0) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core % OnlineCoreCount()), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace simkit

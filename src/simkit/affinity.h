@@ -1,0 +1,20 @@
+// Best-effort core affinity for pinned shard workers. Pinning a worker to one core keeps its
+// shards' session arenas hot in that core's private cache and stops the scheduler migrating
+// the thread mid-drain; on machines (or CI runners) without an affinity API — or with fewer
+// cores than workers — everything degrades gracefully to "not pinned".
+#ifndef SRC_SIMKIT_AFFINITY_H_
+#define SRC_SIMKIT_AFFINITY_H_
+
+namespace simkit {
+
+// Number of cores the calling thread may run on (hardware_concurrency, floored at 1).
+int OnlineCoreCount();
+
+// Pins the calling thread to `core` (taken modulo OnlineCoreCount()). Returns true when the
+// pin took effect; false when the platform has no affinity API or the call failed. Callers
+// must treat pinning as an optimization, never a correctness requirement.
+bool PinCurrentThreadToCore(int core);
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_AFFINITY_H_

@@ -1,0 +1,77 @@
+// Batched shard routing: the producer-side half of a sharded ingest pipeline. A producer
+// pushes items one at a time; the router buckets them by shard and hands the downstream sink
+// whole batches, so the per-item cost is one hash + one append, and the expensive dispatch —
+// a ring-buffer push, an atomic ticket, a wakeup — is paid once per `batch_size` items
+// instead of once per item.
+//
+// A router is owned by exactly one producer thread (it does not synchronize); many producers
+// each own a router feeding the same sinks. Per-shard item order is preserved: items of one
+// shard leave in the order they were pushed, batch boundaries notwithstanding. Flush() hands
+// off every partial batch (in shard-index order) and must be called before the producer
+// hands control to whoever waits on the sink.
+#ifndef SRC_SIMKIT_BATCH_ROUTER_H_
+#define SRC_SIMKIT_BATCH_ROUTER_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace simkit {
+
+template <typename Item>
+class BatchRouter {
+ public:
+  using Batch = std::vector<Item>;
+  // shard_of(item) -> shard index in [0, shards); sink(shard, batch) takes ownership of the
+  // batch. The sink runs on the producer's thread (typically a bounded-ring push that may
+  // block for backpressure).
+  BatchRouter(size_t shards, size_t batch_size, std::function<size_t(const Item&)> shard_of,
+              std::function<void(size_t, Batch&&)> sink)
+      : batch_size_(batch_size == 0 ? 1 : batch_size),
+        shard_of_(std::move(shard_of)),
+        sink_(std::move(sink)),
+        pending_(shards) {
+    for (Batch& batch : pending_) {
+      batch.reserve(batch_size_);
+    }
+  }
+  BatchRouter(const BatchRouter&) = delete;
+  BatchRouter& operator=(const BatchRouter&) = delete;
+  ~BatchRouter() { Flush(); }
+
+  void Push(Item item) {
+    size_t shard = shard_of_(item);
+    Batch& batch = pending_[shard];
+    batch.push_back(std::move(item));
+    if (batch.size() >= batch_size_) {
+      Dispatch(shard);
+    }
+  }
+
+  // Hands every partial batch to the sink, in shard-index order.
+  void Flush() {
+    for (size_t shard = 0; shard < pending_.size(); ++shard) {
+      if (!pending_[shard].empty()) {
+        Dispatch(shard);
+      }
+    }
+  }
+
+ private:
+  void Dispatch(size_t shard) {
+    Batch full = std::move(pending_[shard]);
+    pending_[shard] = Batch();
+    pending_[shard].reserve(batch_size_);
+    sink_(shard, std::move(full));
+  }
+
+  size_t batch_size_;
+  std::function<size_t(const Item&)> shard_of_;
+  std::function<void(size_t, Batch&&)> sink_;
+  std::vector<Batch> pending_;
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_BATCH_ROUTER_H_

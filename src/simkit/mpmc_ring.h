@@ -1,0 +1,127 @@
+// A bounded multi-producer multi-consumer ring buffer (Dmitry Vyukov's array-based MPMC
+// queue): each cell carries a sequence number that encodes, relative to the head/tail
+// tickets, whether the cell is free to write or ready to read. Producers and consumers claim
+// tickets with one CAS each and never touch a lock; the only waiting is the bounded-capacity
+// backpressure of Push on a full ring.
+//
+// Ordering guarantees (what the detector service's determinism argument leans on):
+//  - Per-producer FIFO: two pushes by the same thread are assigned increasing tickets, so
+//    every consumer that sees both sees them in push order.
+//  - Global ticket order: items are popped in ticket order, so with a single consumer the
+//    interleaving of all producers is a total order consistent with each producer's FIFO.
+// There is no cross-producer ordering promise beyond that — which is exactly the freedom a
+// shard worker exploits: sessions are single-producer, so per-session record order survives
+// any interleaving of other sessions' producers.
+//
+// Capacity is rounded up to a power of two (minimum 2). T must be default-constructible and
+// move-assignable; cells hold T by value.
+#ifndef SRC_SIMKIT_MPMC_RING_H_
+#define SRC_SIMKIT_MPMC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "src/simkit/spinlock.h"
+
+namespace simkit {
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Attempts to enqueue; false when the ring is full. The value is moved from only on
+  // success.
+  bool TryPush(T& value) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is free for ticket `pos`; claim the ticket.
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unconsumed item from a lap ago: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost the race; reload
+      }
+    }
+  }
+
+  // Enqueues, waiting out a full ring (bounded-queue backpressure). Spins briefly, then
+  // yields — the consumers own the CPU it is waiting for.
+  void Push(T value) {
+    int spins = 0;
+    while (!TryPush(value)) {
+      if (++spins < 64) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  // Attempts to dequeue into `out`; false when the ring is empty.
+  bool TryPop(T& out) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      size_t seq = cell.seq.load(std::memory_order_acquire);
+      intptr_t dif = static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          // Mark the cell free for the producer one lap ahead.
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty (or the producer that claimed this ticket hasn't published)
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  // Sequence and value share a cell; cells are padded apart by the array stride of T. The
+  // hot head/tail tickets get their own cache lines so producers and consumers do not
+  // false-share.
+  struct Cell {
+    std::atomic<size_t> seq;
+    T value;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> tail_{0};  // next push ticket
+  alignas(64) std::atomic<size_t> head_{0};  // next pop ticket
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_MPMC_RING_H_

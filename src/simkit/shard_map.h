@@ -1,0 +1,177 @@
+// An open-addressed hash map built for the sharded session-routing path: flat storage,
+// linear probing, tombstone deletion, and no per-node allocation — a probe touches one
+// contiguous array instead of chasing unordered_map buckets. The map itself is
+// single-writer-at-a-time (it does NOT synchronize); concurrency comes from how it is used:
+//
+//  - sharded: each shard owns one OpenHashMap, so contention splits `shards` ways;
+//  - fine-grained: a shard's map is guarded by a SpinLock held only for the probe
+//    (find/insert/erase), never while the found value is being *used* — values with stable
+//    pointees (e.g. std::unique_ptr<Arena>) let callers release the lock and keep working,
+//    because rehashing moves the handle, not the pointee;
+//  - single-owner: a shard drained by exactly one worker thread needs no lock at all.
+//
+// K and V must be default-constructible and move-assignable; erased V slots are reset to a
+// default-constructed value (releasing whatever the old value owned).
+#ifndef SRC_SIMKIT_SHARD_MAP_H_
+#define SRC_SIMKIT_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace simkit {
+
+template <typename K, typename V, typename Hash>
+class OpenHashMap {
+ public:
+  OpenHashMap() { Rehash(kInitialSlots); }
+  OpenHashMap(const OpenHashMap&) = delete;
+  OpenHashMap& operator=(const OpenHashMap&) = delete;
+  OpenHashMap(OpenHashMap&&) = default;
+  OpenHashMap& operator=(OpenHashMap&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Pointer to the mapped value, or nullptr. Invalidated by any Insert/Erase (rehash or
+  // tombstone reuse moves slots); copy what you need out before the next mutation.
+  V* Find(const K& key) {
+    size_t index = hash_(key) & mask_;
+    for (;;) {
+      switch (state_[index]) {
+        case kEmpty:
+          return nullptr;
+        case kFull:
+          if (slots_[index].key == key) {
+            return &slots_[index].value;
+          }
+          break;
+        case kTombstone:
+          break;
+      }
+      index = (index + 1) & mask_;
+    }
+  }
+
+  // Inserts (moving `value`) unless the key is already present. Returns {pointer to the
+  // mapped value, inserted?} — on a duplicate, the pointer names the existing value and
+  // `value` is left untouched.
+  std::pair<V*, bool> Insert(const K& key, V&& value) {
+    MaybeGrow();
+    size_t index = hash_(key) & mask_;
+    size_t target = kNoSlot;  // first tombstone seen: reuse it if the key is absent
+    for (;;) {
+      switch (state_[index]) {
+        case kEmpty: {
+          size_t slot = target != kNoSlot ? target : index;
+          if (target == kNoSlot) {
+            ++used_;  // consumed a genuinely empty slot (tombstone reuse keeps `used_`)
+          }
+          state_[slot] = kFull;
+          slots_[slot].key = key;
+          slots_[slot].value = std::move(value);
+          ++size_;
+          return {&slots_[slot].value, true};
+        }
+        case kFull:
+          if (slots_[index].key == key) {
+            return {&slots_[index].value, false};
+          }
+          break;
+        case kTombstone:
+          if (target == kNoSlot) {
+            target = index;
+          }
+          break;
+      }
+      index = (index + 1) & mask_;
+    }
+  }
+
+  // Removes the key, moving its value into `out` when given. False if absent.
+  bool Erase(const K& key, V* out = nullptr) {
+    size_t index = hash_(key) & mask_;
+    for (;;) {
+      switch (state_[index]) {
+        case kEmpty:
+          return false;
+        case kFull:
+          if (slots_[index].key == key) {
+            if (out != nullptr) {
+              *out = std::move(slots_[index].value);
+            }
+            slots_[index].value = V();  // release what the value owned
+            state_[index] = kTombstone;
+            --size_;
+            return true;
+          }
+          break;
+        case kTombstone:
+          break;
+      }
+      index = (index + 1) & mask_;
+    }
+  }
+
+  // Visits every (key, value) pair; fn(const K&, V&). Mutating the map during the walk is
+  // undefined.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i <= mask_; ++i) {
+      if (state_[i] == kFull) {
+        fn(static_cast<const K&>(slots_[i].key), slots_[i].value);
+      }
+    }
+  }
+
+ private:
+  enum State : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  static constexpr size_t kInitialSlots = 16;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  struct Slot {
+    K key{};
+    V value{};
+  };
+
+  // Grow when live + tombstoned slots pass 70%; rehashing drops tombstones, so a
+  // churn-heavy shard (sessions opening and closing forever) stays bounded.
+  void MaybeGrow() {
+    if ((used_ + 1) * 10 >= (mask_ + 1) * 7) {
+      Rehash(size_ * 10 >= (mask_ + 1) * 5 ? (mask_ + 1) * 2 : mask_ + 1);
+    }
+  }
+
+  void Rehash(size_t new_slots) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_state = std::move(state_);
+    slots_ = std::vector<Slot>(new_slots);  // not assign(): Slot is move-only when V is
+    state_.assign(new_slots, kEmpty);
+    mask_ = new_slots - 1;
+    used_ = size_;
+    for (size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i] != kFull) {
+        continue;
+      }
+      size_t index = hash_(old_slots[i].key) & mask_;
+      while (state_[index] == kFull) {
+        index = (index + 1) & mask_;
+      }
+      state_[index] = kFull;
+      slots_[index].key = std::move(old_slots[i].key);
+      slots_[index].value = std::move(old_slots[i].value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> state_;
+  size_t mask_ = 0;
+  size_t size_ = 0;  // live keys
+  size_t used_ = 0;  // live + tombstoned slots (probe-chain length driver)
+  Hash hash_;
+};
+
+}  // namespace simkit
+
+#endif  // SRC_SIMKIT_SHARD_MAP_H_

@@ -8,8 +8,10 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "src/hangdoctor/session_stream.h"
 #include "src/hosts/replay_host.h"
 #include "src/hosts/session_log.h"
 #include "src/simkit/rng.h"
@@ -75,9 +77,21 @@ void FinishRecorder(hangdoctor::SessionLogWriter* recorder, const FleetJob& job,
   }
 }
 
-}  // namespace
+// Everything the two-phase fleet must keep alive between device-side simulation (phase A)
+// and backend ingest (phase B): the harness (its SymbolTable is referenced, not copied, by
+// every captured record) plus the captured post-injection stream and its open/close framing.
+struct CapturedJob {
+  std::unique_ptr<SingleAppHarness> harness;
+  hangdoctor::SpiStreamRecorder stream;
+  hangdoctor::SpiPayload open_payload;
+  hangdoctor::SpiPayload close_payload;
+};
 
-FleetJobResult RunFleetJob(const FleetJob& job) {
+// RunFleetJob's body, optionally tapping the SPI stream into `capture` (the two-phase
+// fleet's phase A). The tap is passive and sits downstream of the fault injector, so a
+// captured run's own results — and its recording, when any — are bit-identical to an
+// untapped one.
+FleetJobResult RunFleetJobImpl(const FleetJob& job, CapturedJob* capture) {
   FleetJobResult result;
   if (job.spec == nullptr) {
     throw std::invalid_argument("FleetJob.spec is null");
@@ -90,10 +104,21 @@ FleetJobResult RunFleetJob(const FleetJob& job) {
     database = *job.known_db;
   }
   std::unique_ptr<hangdoctor::SessionLogWriter> recorder = MakeRecorder(job);
-  SingleAppHarness harness(job.profile, job.spec, job.seed);
+  std::unique_ptr<SingleAppHarness> owned;
+  if (capture != nullptr) {
+    capture->harness = std::make_unique<SingleAppHarness>(job.profile, job.spec, job.seed);
+  } else {
+    owned = std::make_unique<SingleAppHarness>(job.profile, job.spec, job.seed);
+  }
+  SingleAppHarness& harness = capture != nullptr ? *capture->harness : *owned;
+  hangdoctor::TelemetrySink* sink = recorder.get();
+  std::unique_ptr<hangdoctor::TeeSink> tee;
+  if (capture != nullptr) {
+    tee = std::make_unique<hangdoctor::TeeSink>(recorder.get(), &capture->stream);
+    sink = tee.get();
+  }
   hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), job.doctor, &database,
-                                /*fleet_report=*/nullptr, job.device_id, recorder.get(),
-                                MakePlan(job));
+                                /*fleet_report=*/nullptr, job.device_id, sink, MakePlan(job));
   harness.RunUserSession(job.session, job.user);
 
   result.stats = ScoreHangDoctor(harness.truth(), doctor.log());
@@ -109,7 +134,21 @@ FleetJobResult RunFleetJob(const FleetJob& job) {
   result.stream_error = doctor.core().stream().error();
   result.ok = true;
   FinishRecorder(recorder.get(), job, &result);
+  if (capture != nullptr) {
+    // Frame the captured stream for service ingest. The info (and its symbols pointer) come
+    // from the recorder's OnSessionStart; the harness above keeps the pointee alive.
+    capture->open_payload.kind = hangdoctor::SpiPayload::Kind::kSessionOpen;
+    capture->open_payload.info = capture->stream.info();
+    capture->open_payload.config = job.doctor;
+    capture->close_payload.kind = hangdoctor::SpiPayload::Kind::kSessionClose;
+  }
   return result;
+}
+
+}  // namespace
+
+FleetJobResult RunFleetJob(const FleetJob& job) {
+  return RunFleetJobImpl(job, /*capture=*/nullptr);
 }
 
 namespace {
@@ -195,62 +234,160 @@ FleetJobResult ReplayFleetJob(const std::string& path,
 
 namespace {
 
-// Shared fan-out/merge body of RunFleet and ReplayFleet: `run(i)` produces job i's result.
+// Fan-out half of RunFleet/ReplayFleet: `run(i)` fills job i's slot across the pool.
+template <typename RunJob>
+void RunFleetJobs(FleetSummary* summary, size_t count, const FleetOptions& options,
+                  RunJob run) {
+  summary->jobs.resize(count);
+  simkit::ThreadPool pool(options.jobs);
+  for (size_t i = 0; i < count; ++i) {
+    FleetJobResult* slot = &summary->jobs[i];
+    pool.Submit([i, slot, &run]() {
+      // A throwing job fails only its own slot; the worker (and the other jobs) carry on.
+      try {
+        *slot = run(i);
+      } catch (const std::exception& e) {
+        slot->ok = false;
+        slot->error = e.what();
+      } catch (...) {
+        slot->ok = false;
+        slot->error = "unknown exception";
+      }
+    });
+  }
+  pool.Wait();
+}
+
+// Merge half: fold in job-index order. DetectionStats addition is commutative and
+// HangBugReport::Merge is keyed, but fixing the order makes bit-identical output trivially
+// true rather than a property to re-audit every time a field is added.
+void FoldFleetSummary(FleetSummary* summary) {
+  std::set<std::string> discovered;
+  for (const FleetJobResult& result : summary->jobs) {
+    if (!result.ok) {
+      ++summary->failed;
+      continue;
+    }
+    summary->merged_stats += result.stats;
+    summary->merged_report.Merge(result.report);
+    discovered.insert(result.discovered.begin(), result.discovered.end());
+  }
+  summary->discovered.assign(discovered.begin(), discovered.end());
+}
+
 template <typename RunJob>
 FleetSummary RunFleetWith(size_t count, const FleetOptions& options, RunJob run) {
   FleetSummary summary;
-  summary.jobs.resize(count);
+  RunFleetJobs(&summary, count, options, run);
+  FoldFleetSummary(&summary);
+  return summary;
+}
 
+int32_t ResolveServiceShards(const FleetOptions& options) {
+  return options.shards > 0
+             ? options.shards
+             : (options.jobs > 0 ? options.jobs : simkit::ThreadPool::DefaultJobCount());
+}
+
+// The two-phase fleet (FleetOptions::threads >= 1): simulate device-side while capturing
+// each session's post-injection SPI stream, then push every captured session through the
+// service's pipelined ingest and let the service-harvested results replace the per-job ones.
+// Per-session purity makes the replacement invisible — phase B recomputes exactly what phase
+// A's private cores concluded — which is the point: the *pipeline* is on the fleet path, and
+// any divergence is a determinism bug the equivalence tests catch.
+FleetSummary RunPipelinedFleet(std::span<const FleetJob> jobs, const FleetOptions& options) {
+  FleetSummary summary;
+  std::vector<std::unique_ptr<CapturedJob>> captures(jobs.size());
+
+  // Phase A: device-side simulation with a passive stream tap per job.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    captures[i] = std::make_unique<CapturedJob>();
+  }
+  RunFleetJobs(&summary, jobs.size(), options, [&jobs, &captures](size_t i) {
+    return RunFleetJobImpl(jobs[i], captures[i].get());
+  });
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!summary.jobs[i].ok) {
+      captures[i].reset();  // a failed job captured nothing worth ingesting
+    }
+  }
+
+  // Phase B: backend ingest. One producer per ingest thread (capped by the job count); job i
+  // belongs to producer i % producers, and every session's records are pushed in order by
+  // exactly one producer — the service's determinism contract.
+  hangdoctor::ServiceOptions service_options;
+  service_options.shards = ResolveServiceShards(options);
+  service_options.threads = options.threads;
+  hangdoctor::DetectorService service(service_options);
+  size_t producers = std::min<size_t>(static_cast<size_t>(options.threads), jobs.size());
+  producers = std::max<size_t>(producers, 1);
   {
-    simkit::ThreadPool pool(options.jobs);
-    for (size_t i = 0; i < count; ++i) {
-      FleetJobResult* slot = &summary.jobs[i];
-      pool.Submit([i, slot, &run]() {
-        // A throwing job fails only its own slot; the worker (and the other jobs) carry on.
-        try {
-          *slot = run(i);
-        } catch (const std::exception& e) {
-          slot->ok = false;
-          slot->error = e.what();
-        } catch (...) {
-          slot->ok = false;
-          slot->error = "unknown exception";
-        }
+    std::vector<std::thread> pushers;
+    pushers.reserve(producers);
+    for (size_t p = 0; p < producers; ++p) {
+      pushers.emplace_back([p, producers, &jobs, &captures, &service]() {
+        for (size_t i = p; i < jobs.size(); i += producers) {
+          CapturedJob* capture = captures[i].get();
+          if (capture == nullptr) {
+            continue;
+          }
+          hangdoctor::DetectorService::Ingestor ingestor(&service, jobs[i].known_db);
+          telemetry::SessionId id{static_cast<uint64_t>(i)};
+          ingestor.Push({id, &capture->open_payload});
+          for (const hangdoctor::SpiPayload& payload : capture->stream.records()) {
+            ingestor.Push({id, &payload});
+          }
+          ingestor.Push({id, &capture->close_payload});
+        }  // the ingestor's destructor flushes its partial batches
       });
     }
-    pool.Wait();
+    for (std::thread& pusher : pushers) {
+      pusher.join();
+    }
   }
 
-  // Fold in job-index order. DetectionStats addition is commutative and HangBugReport::Merge
-  // is keyed, but fixing the order makes bit-identical output trivially true rather than a
-  // property to re-audit every time a field is added.
-  std::set<std::string> discovered;
-  for (const FleetJobResult& result : summary.jobs) {
-    if (!result.ok) {
-      ++summary.failed;
-      continue;
-    }
-    summary.merged_stats += result.stats;
-    summary.merged_report.Merge(result.report);
-    discovered.insert(result.discovered.begin(), result.discovered.end());
+  // Harvest at the barrier; session id == job index, so results land back on their jobs.
+  for (hangdoctor::SessionResult& session : service.DrainClosed()) {
+    size_t i = static_cast<size_t>(session.id.value);
+    FleetJobResult& result = summary.jobs[i];
+    result.stats = ScoreHangDoctor(captures[i]->harness->truth(), session.log);
+    result.overhead_pct =
+        session.overhead.OverheadPercent(result.usage.cpu, result.usage.bytes);
+    result.stats.overhead_pct = result.overhead_pct;
+    result.report = std::move(session.report);
+    result.discovered = std::move(session.discovered);
+    result.stack_samples = session.stack_samples;
+    result.degradation = session.degradation;
+    result.stream_ok = session.stream_ok;
+    result.stream_error = std::move(session.stream_error);
   }
-  summary.discovered.assign(discovered.begin(), discovered.end());
+  for (hangdoctor::IngestError& error : service.TakeIngestErrors()) {
+    FleetJobResult& result = summary.jobs[static_cast<size_t>(error.session.value)];
+    result.ok = false;
+    result.error = "service ingest: " + error.message;
+  }
+  FoldFleetSummary(&summary);
   return summary;
 }
 
 }  // namespace
 
 FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& options) {
+  if (options.threads < 0) {
+    throw std::invalid_argument("FleetOptions.threads must be >= 0, got " +
+                                std::to_string(options.threads));
+  }
   if (!options.service) {
     // The per-job oracle: one private DetectorCore per job. Kept for the equivalence tests
     // that pin service mode against it.
     return RunFleetWith(jobs.size(), options,
                         [&jobs](size_t i) { return RunFleetJob(jobs[i]); });
   }
-  int32_t shards = options.shards > 0
-                       ? options.shards
-                       : (options.jobs > 0 ? options.jobs : simkit::ThreadPool::DefaultJobCount());
-  hangdoctor::DetectorService service(hangdoctor::ServiceOptions{shards});
+  if (options.threads > 0) {
+    return RunPipelinedFleet(jobs, options);
+  }
+  hangdoctor::DetectorService service(
+      hangdoctor::ServiceOptions{ResolveServiceShards(options)});
   return RunFleetWith(jobs.size(), options, [&jobs, &service](size_t i) {
     return RunServiceFleetJob(jobs[i], &service, static_cast<uint64_t>(i));
   });
@@ -334,6 +471,18 @@ int32_t ResolveShards(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+int32_t ResolveThreads(int argc, char** argv) {
+  std::string value = FlagValue(argc, argv, "--threads=");
+  if (value.empty()) {
+    return 0;
+  }
+  int threads = std::atoi(value.c_str());
+  if (threads < 1) {
+    throw std::invalid_argument("--threads must be >= 1, got " + value);
+  }
+  return threads;
 }
 
 bool HasFlag(int argc, char** argv, const char* flag) {

@@ -112,6 +112,16 @@ struct FleetOptions {
   // equivalence oracle for tests.
   bool service = true;
   int32_t shards = 0;
+  // Service ingest threads. 0 (the default) drives each session synchronously into the
+  // shared service from its pool worker. >= 1 switches service mode to the two-phase
+  // deployment shape the paper's backend actually has: phase A simulates every job
+  // device-side with a passive SPI stream tap (post-fault-injection, so faulty sessions
+  // capture bit-identically), phase B streams the captured sessions through the service's
+  // pipelined ingest — per-shard MPMC rings feeding `threads` dedicated shard workers — and
+  // the service-harvested results replace the per-job ones. Bit-identical to both other
+  // paths at any {threads, shards}. Negative throws std::invalid_argument. Ignored when
+  // `service` is false.
+  int32_t threads = 0;
 };
 
 // Runs one job synchronously on the calling thread (also the per-worker body of RunFleet).
@@ -138,6 +148,10 @@ int32_t ResolveJobs(int argc, char** argv);
 
 // `--shards=N` flag helper for service-mode consumers; 0 when absent (resolve to workers).
 int32_t ResolveShards(int argc, char** argv);
+
+// `--threads=N` flag helper for the service's pipelined-ingest axis: 0 when absent
+// (synchronous service ingest); throws std::invalid_argument for an explicit N < 1.
+int32_t ResolveThreads(int argc, char** argv);
 
 // True when the bare `--flag` is present in argv (e.g. "--service").
 bool HasFlag(int argc, char** argv, const char* flag);

@@ -1,0 +1,564 @@
+// The lock-free ingest pipeline, attacked from below and from above. From below: the simkit
+// concurrency primitives (MPMC ring, batch router, open-addressed map, affinity) against
+// reference models and multi-threaded stress — these run on the TSan CI leg, so every
+// atomic's ordering is machine-checked, not argued. From above: the DetectorService
+// determinism contract — pipelined ingest at any {threads, shards} produces results
+// bit-identical to the synchronous path and to the per-job fleet oracle, fault-injected
+// sessions included.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/faultsim/fault_plan.h"
+#include "src/hangdoctor/detector_service.h"
+#include "src/hangdoctor/session_stream.h"
+#include "src/hosts/hang_doctor.h"
+#include "src/simkit/affinity.h"
+#include "src/simkit/batch_router.h"
+#include "src/simkit/mpmc_ring.h"
+#include "src/simkit/shard_map.h"
+#include "src/workload/catalog.h"
+#include "src/workload/experiment.h"
+#include "src/workload/fleet.h"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// MpmcRing: single-threaded semantics against a deque model.
+
+TEST(MpmcRingTest, SingleThreadMatchesDequeModel) {
+  simkit::MpmcRing<int> ring(8);
+  std::deque<int> model;
+  // Deterministic push/pop pattern exercising wraparound several times over.
+  uint64_t state = 0x9E3779B97F4A7C15ULL;
+  for (int step = 0; step < 10000; ++step) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    if ((state >> 33) % 3 != 0) {  // push-biased so the ring fills and wraps
+      int value = step;
+      if (ring.TryPush(value)) {
+        model.push_back(step);
+      } else {
+        EXPECT_EQ(model.size(), ring.capacity());  // rejects exactly when full
+      }
+    } else {
+      int out = -1;
+      if (ring.TryPop(out)) {
+        ASSERT_FALSE(model.empty());
+        EXPECT_EQ(out, model.front());
+        model.pop_front();
+      } else {
+        EXPECT_TRUE(model.empty());  // rejects exactly when empty
+      }
+    }
+  }
+  int out = -1;
+  while (ring.TryPop(out)) {
+    ASSERT_FALSE(model.empty());
+    EXPECT_EQ(out, model.front());
+    model.pop_front();
+  }
+  EXPECT_TRUE(model.empty());
+}
+
+TEST(MpmcRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(simkit::MpmcRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(simkit::MpmcRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(simkit::MpmcRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(simkit::MpmcRing<int>(100).capacity(), 128u);
+  EXPECT_EQ(simkit::MpmcRing<int>(1024).capacity(), 1024u);
+}
+
+// MPMC stress: 4 producers push tagged items, 2 consumers drain. Every item arrives exactly
+// once, and within each consumer's observed stream, any one producer's items appear in
+// push order (the per-producer FIFO guarantee the service's determinism contract rests on).
+TEST(MpmcRingTest, ConcurrentProducersAndConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr uint64_t kPerProducer = 5000;
+  simkit::MpmcRing<uint64_t> ring(64);
+  std::atomic<int> producers_left{kProducers};
+  std::vector<std::vector<uint64_t>> consumed(kConsumers);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([p, &ring]() {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        ring.Push((static_cast<uint64_t>(p) << 32) | i);  // tag: producer in the high half
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([c, &ring, &producers_left, &consumed]() {
+      uint64_t value = 0;
+      for (;;) {
+        if (ring.TryPop(value)) {
+          consumed[c].push_back(value);
+        } else if (producers_left.load(std::memory_order_acquire) == 0) {
+          if (!ring.TryPop(value)) {
+            return;  // producers done and the ring drained twice: nothing left
+          }
+          consumed[c].push_back(value);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<size_t>(p)].join();
+    producers_left.fetch_sub(1, std::memory_order_release);
+  }
+  for (size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  // Exactly-once delivery: the union of both consumers is every tagged item, no dups.
+  std::map<uint64_t, int> seen;
+  for (const std::vector<uint64_t>& stream : consumed) {
+    for (uint64_t value : stream) {
+      ++seen[value];
+    }
+  }
+  ASSERT_EQ(seen.size(), kProducers * kPerProducer);
+  for (const auto& [value, count] : seen) {
+    ASSERT_EQ(count, 1) << "item " << value << " delivered " << count << " times";
+  }
+  // Per-producer FIFO within each consumer's stream.
+  for (int c = 0; c < kConsumers; ++c) {
+    std::vector<uint64_t> last(kProducers, 0);
+    std::vector<bool> any(kProducers, false);
+    for (uint64_t value : consumed[c]) {
+      int p = static_cast<int>(value >> 32);
+      uint64_t i = value & 0xFFFFFFFFULL;
+      if (any[p]) {
+        ASSERT_GT(i, last[p]) << "producer " << p << " reordered at consumer " << c;
+      }
+      last[p] = i;
+      any[p] = true;
+    }
+  }
+}
+
+// Blocking Push provides backpressure, not loss: a tiny ring forces the producer to wait for
+// the consumer, and everything still arrives in order (SPSC => total order).
+TEST(MpmcRingTest, BlockingPushBackpressuresOnTinyRing) {
+  simkit::MpmcRing<int> ring(4);
+  constexpr int kItems = 20000;
+  std::thread producer([&ring]() {
+    for (int i = 0; i < kItems; ++i) {
+      ring.Push(i);
+    }
+  });
+  std::vector<int> received;
+  received.reserve(kItems);
+  while (received.size() < kItems) {
+    int value = -1;
+    if (ring.TryPop(value)) {
+      received.push_back(value);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[static_cast<size_t>(i)], i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BatchRouter: batching amortization without reordering.
+
+TEST(BatchRouterTest, RoutesInOrderAndDispatchesFullBatches) {
+  std::vector<std::vector<std::vector<int>>> sunk(3);  // [shard][batch][item]
+  simkit::BatchRouter<int> router(
+      3, 4, [](const int& item) { return static_cast<size_t>(item % 3); },
+      [&sunk](size_t shard, std::vector<int>&& batch) {
+        EXPECT_LE(batch.size(), 4u);
+        sunk[shard].push_back(std::move(batch));
+      });
+  for (int i = 0; i < 50; ++i) {
+    router.Push(i);
+  }
+  // 17 items hit shards 0 and 1 (4 full batches dispatched, 1 item pending each); shard 2
+  // has 16 (all dispatched, nothing pending).
+  EXPECT_EQ(sunk[0].size(), 4u);
+  EXPECT_EQ(sunk[1].size(), 4u);
+  EXPECT_EQ(sunk[2].size(), 4u);
+  router.Flush();
+  EXPECT_EQ(sunk[0].size(), 5u);
+  EXPECT_EQ(sunk[1].size(), 5u);
+  EXPECT_EQ(sunk[2].size(), 4u);
+  // Per-shard order: concatenated batches replay the push order of that shard's items.
+  for (int shard = 0; shard < 3; ++shard) {
+    std::vector<int> flat;
+    for (const std::vector<int>& batch : sunk[static_cast<size_t>(shard)]) {
+      flat.insert(flat.end(), batch.begin(), batch.end());
+    }
+    int expected = shard;
+    for (int item : flat) {
+      EXPECT_EQ(item, expected);
+      expected += 3;
+    }
+  }
+  router.Flush();  // nothing pending: no empty batches are sunk
+  EXPECT_EQ(sunk[0].size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// OpenHashMap: insert/find/erase churn against the standard map.
+
+TEST(OpenHashMapTest, ChurnMatchesUnorderedMapModel) {
+  struct Hasher {
+    size_t operator()(uint64_t key) const { return static_cast<size_t>(key * 0x9E3779B9ULL); }
+  };
+  simkit::OpenHashMap<uint64_t, int, Hasher> map;
+  std::unordered_map<uint64_t, int> model;
+  uint64_t state = 12345;
+  for (int step = 0; step < 20000; ++step) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint64_t key = (state >> 40) % 512;  // small key space => heavy churn + tombstone reuse
+    switch ((state >> 20) % 3) {
+      case 0: {  // insert
+        auto [slot, inserted] = map.Insert(key, static_cast<int>(step));
+        auto [it, model_inserted] = model.try_emplace(key, static_cast<int>(step));
+        ASSERT_EQ(inserted, model_inserted);
+        ASSERT_EQ(*slot, it->second);
+        break;
+      }
+      case 1: {  // find
+        int* found = map.Find(key);
+        auto it = model.find(key);
+        ASSERT_EQ(found != nullptr, it != model.end());
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second);
+        }
+        break;
+      }
+      case 2: {  // erase
+        int out = -1;
+        bool erased = map.Erase(key, &out);
+        auto it = model.find(key);
+        ASSERT_EQ(erased, it != model.end());
+        if (erased) {
+          ASSERT_EQ(out, it->second);
+          model.erase(it);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), model.size());
+  }
+  // Full-content check via ForEach.
+  size_t visited = 0;
+  map.ForEach([&model, &visited](const uint64_t& key, int& value) {
+    ++visited;
+    auto it = model.find(key);
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(value, it->second);
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+// ---------------------------------------------------------------------------
+// Affinity: best-effort pinning never fails hard.
+
+TEST(AffinityTest, PinCurrentThreadSmoke) {
+  EXPECT_GE(simkit::OnlineCoreCount(), 1);
+#if defined(__linux__)
+  EXPECT_TRUE(simkit::PinCurrentThreadToCore(0));
+  EXPECT_TRUE(simkit::PinCurrentThreadToCore(simkit::OnlineCoreCount() + 3));  // wraps
+  EXPECT_FALSE(simkit::PinCurrentThreadToCore(-1));
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// DetectorService pipeline: options validation, error surfacing, graceful drain.
+
+TEST(IngestPipelineTest, OptionValidationThrows) {
+  EXPECT_THROW(hangdoctor::DetectorService(hangdoctor::ServiceOptions{0}),
+               std::invalid_argument);
+  EXPECT_THROW(hangdoctor::DetectorService(hangdoctor::ServiceOptions{-3}),
+               std::invalid_argument);
+  EXPECT_THROW(hangdoctor::DetectorService(hangdoctor::ServiceOptions{1, -1}),
+               std::invalid_argument);
+  EXPECT_THROW(hangdoctor::DetectorService(
+                   hangdoctor::ServiceOptions{.shards = 1, .ring_capacity = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      hangdoctor::DetectorService(hangdoctor::ServiceOptions{.shards = 1, .batch_size = 0}),
+      std::invalid_argument);
+
+  workload::FleetOptions bad_fleet;
+  bad_fleet.threads = -1;
+  EXPECT_THROW(workload::RunFleet({}, bad_fleet), std::invalid_argument);
+
+  // An Ingestor needs a pipeline to feed.
+  hangdoctor::DetectorService sync_only(hangdoctor::ServiceOptions{2});
+  EXPECT_EQ(sync_only.ingest_threads(), 0);
+  EXPECT_THROW(hangdoctor::DetectorService::Ingestor{&sync_only}, std::logic_error);
+}
+
+TEST(IngestPipelineTest, UnroutableRecordSurfacesAsIngestError) {
+  hangdoctor::ServiceOptions options;
+  options.shards = 3;
+  options.threads = 2;
+  hangdoctor::DetectorService service(options);
+  EXPECT_EQ(service.ingest_threads(), 2);
+
+  hangdoctor::SpiPayload orphan;
+  orphan.kind = hangdoctor::SpiPayload::Kind::kDispatchStart;
+  orphan.start.execution_id = 1;
+  {
+    hangdoctor::DetectorService::Ingestor ingestor(&service);
+    ingestor.Push({telemetry::SessionId{77}, &orphan});
+  }
+  std::vector<hangdoctor::IngestError> errors = service.TakeIngestErrors();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].session.value, 77u);
+  EXPECT_NE(errors[0].message.find("not open"), std::string::npos) << errors[0].message;
+  // The error was consumed; the pipeline is clean again.
+  EXPECT_TRUE(service.TakeIngestErrors().empty());
+  EXPECT_EQ(service.live_sessions(), 0u);
+}
+
+TEST(IngestPipelineTest, DestructionDrainsInFlightBatches) {
+  telemetry::SymbolTable symbols;
+  hangdoctor::SessionInfo info;
+  info.app_package = "com.example.drain";
+  info.num_actions = 2;
+  info.symbols = &symbols;
+  hangdoctor::SpiPayload open_payload;
+  open_payload.kind = hangdoctor::SpiPayload::Kind::kSessionOpen;
+  open_payload.info = info;
+
+  hangdoctor::ServiceOptions options;
+  options.shards = 5;
+  options.threads = 2;
+  options.batch_size = 8;
+  hangdoctor::DetectorService service(options);
+  {
+    hangdoctor::DetectorService::Ingestor ingestor(&service);
+    for (uint64_t s = 0; s < 200; ++s) {
+      ingestor.Push({telemetry::SessionId{s}, &open_payload});
+    }
+  }
+  // No barrier: the service is destroyed with batches potentially still in its rings. The
+  // destructor's drain must apply them all before the workers join (sanitizer-checked), and
+  // since every record is an open, a full drain is observable right before destruction.
+  service.WaitIngestIdle();
+  EXPECT_EQ(service.sessions_opened(), 200);
+  EXPECT_EQ(service.live_sessions(), 200u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism from above: pipelined ingest ≡ synchronous ingest ≡ per-job oracle.
+
+const workload::Catalog& SharedCatalog() {
+  static const workload::Catalog* catalog = new workload::Catalog();
+  return *catalog;
+}
+
+// A donor SPI stream from one recorded droidsim session.
+struct DonorStream {
+  // The harness owns the symbol table the captured stream references, so it must live as
+  // long as the donor payloads. The DonorStream itself is immortal (function-local static
+  // pointer in Donor()), which also keeps this reachable for LeakSanitizer.
+  workload::SingleAppHarness* harness;
+  hangdoctor::SessionInfo info;
+  hangdoctor::HangDoctorConfig config;
+  std::vector<hangdoctor::SpiPayload> records;
+};
+
+const DonorStream& Donor() {
+  static const DonorStream* donor = []() {
+    auto* made = new DonorStream();
+    hangdoctor::SpiStreamRecorder recorder;
+    auto* harness = new workload::SingleAppHarness(
+        droidsim::LgV10(), SharedCatalog().FindApp("K9-Mail"), /*seed=*/0x5E55);
+    made->harness = harness;
+    {
+      hangdoctor::HangDoctor doctor(&harness->phone(), &harness->app(), made->config,
+                                    /*database=*/nullptr, /*fleet_report=*/nullptr,
+                                    /*device_id=*/0, &recorder);
+      harness->RunUserSession(simkit::Seconds(20), {});
+    }
+    made->info = recorder.info();
+    made->records = recorder.records();
+    return made;
+  }();
+  return *donor;
+}
+
+// Builds an interleaved multi-session stream: `sessions` copies of the donor session with
+// records round-robined (record r of every session lands before record r+1 of any).
+std::vector<hangdoctor::ServiceRecord> InterleavedStream(size_t sessions) {
+  const DonorStream& donor = Donor();
+  std::vector<hangdoctor::ServiceRecord> stream;
+  stream.reserve(sessions * (donor.records.size() + 2));
+  for (uint64_t s = 0; s < sessions; ++s) {
+    hangdoctor::SpiPayload open_payload;
+    open_payload.kind = hangdoctor::SpiPayload::Kind::kSessionOpen;
+    open_payload.info = donor.info;
+    open_payload.config = donor.config;
+    stream.push_back({telemetry::SessionId{s}, std::move(open_payload)});
+  }
+  for (const hangdoctor::SpiPayload& payload : donor.records) {
+    for (uint64_t s = 0; s < sessions; ++s) {
+      stream.push_back({telemetry::SessionId{s}, payload});
+    }
+  }
+  for (uint64_t s = 0; s < sessions; ++s) {
+    hangdoctor::SpiPayload close_payload;
+    close_payload.kind = hangdoctor::SpiPayload::Kind::kSessionClose;
+    stream.push_back({telemetry::SessionId{s}, std::move(close_payload)});
+  }
+  return stream;
+}
+
+void ExpectSessionResultsEqual(const std::vector<hangdoctor::SessionResult>& a,
+                               const std::vector<hangdoctor::SessionResult>& b,
+                               const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const std::string session_label = label + " session " + std::to_string(i);
+    EXPECT_EQ(a[i].id.value, b[i].id.value) << session_label;
+    EXPECT_EQ(a[i].app_package, b[i].app_package) << session_label;
+    EXPECT_EQ(a[i].log.size(), b[i].log.size()) << session_label;
+    EXPECT_EQ(a[i].report.Render(1), b[i].report.Render(1)) << session_label;
+    EXPECT_EQ(a[i].stack_samples, b[i].stack_samples) << session_label;
+    EXPECT_EQ(a[i].stream_ok, b[i].stream_ok) << session_label;
+    EXPECT_EQ(a[i].discovered, b[i].discovered) << session_label;
+    EXPECT_DOUBLE_EQ(a[i].overhead.OverheadPercent(1e9, 1e9),
+                     b[i].overhead.OverheadPercent(1e9, 1e9))
+        << session_label;
+  }
+}
+
+TEST(IngestPipelineTest, PipelinedConsumeMatchesSynchronousAtEveryTopology) {
+  constexpr size_t kSessions = 12;
+  std::vector<hangdoctor::ServiceRecord> stream = InterleavedStream(kSessions);
+
+  hangdoctor::DetectorService reference(hangdoctor::ServiceOptions{3});
+  std::vector<hangdoctor::SessionResult> expected = reference.Consume(stream);
+  ASSERT_EQ(expected.size(), kSessions);
+
+  for (int32_t threads : {1, 4, 8}) {
+    for (int32_t shards : {1, 4, 7}) {
+      hangdoctor::ServiceOptions options;
+      options.shards = shards;
+      options.threads = threads;
+      options.ring_capacity = 4;  // tiny rings so backpressure is exercised, not just possible
+      options.batch_size = 16;
+      hangdoctor::DetectorService service(options);
+      std::vector<hangdoctor::SessionResult> got = service.Consume(stream);
+      ExpectSessionResultsEqual(
+          expected, got,
+          "threads=" + std::to_string(threads) + " shards=" + std::to_string(shards));
+      hangdoctor::HangBugReport merged = hangdoctor::MergeSessionReports(got);
+      EXPECT_EQ(merged.Render(1), hangdoctor::MergeSessionReports(expected).Render(1));
+    }
+  }
+}
+
+// The fleet-level contract, ISSUE acceptance shape: two-phase pipelined fleets are
+// bit-identical to the per-job oracle at every {threads, shards} pair.
+std::vector<workload::FleetJob> SmallStudyFleet(
+    const hangdoctor::BlockingApiDatabase* known_db, const faultsim::FaultProfile& faults) {
+  const workload::Catalog& catalog = SharedCatalog();
+  std::vector<workload::FleetJob> jobs;
+  for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+    if (jobs.size() == 8) {
+      break;
+    }
+    workload::FleetJob job;
+    job.spec = spec;
+    job.profile = droidsim::LgV10();
+    job.seed = workload::FleetSeed(777, jobs.size());
+    job.session = simkit::Seconds(20);
+    job.device_id = static_cast<int32_t>(jobs.size() % 4);
+    job.known_db = known_db;
+    job.faults = faults;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+void ExpectFleetsEqual(const workload::FleetSummary& oracle,
+                       const workload::FleetSummary& pipelined, const std::string& label) {
+  ASSERT_EQ(oracle.jobs.size(), pipelined.jobs.size()) << label;
+  EXPECT_EQ(oracle.failed, pipelined.failed) << label;
+  EXPECT_EQ(oracle.merged_report.Render(4), pipelined.merged_report.Render(4)) << label;
+  EXPECT_EQ(oracle.discovered, pipelined.discovered) << label;
+  EXPECT_EQ(oracle.merged_stats.true_positives, pipelined.merged_stats.true_positives)
+      << label;
+  EXPECT_EQ(oracle.merged_stats.false_positives, pipelined.merged_stats.false_positives)
+      << label;
+  EXPECT_EQ(oracle.merged_stats.false_negatives, pipelined.merged_stats.false_negatives)
+      << label;
+  for (size_t i = 0; i < oracle.jobs.size(); ++i) {
+    const std::string job_label = label + " job " + std::to_string(i);
+    EXPECT_EQ(oracle.jobs[i].Describe(), pipelined.jobs[i].Describe()) << job_label;
+    EXPECT_EQ(oracle.jobs[i].report.Render(4), pipelined.jobs[i].report.Render(4))
+        << job_label;
+    EXPECT_EQ(oracle.jobs[i].stack_samples, pipelined.jobs[i].stack_samples) << job_label;
+    EXPECT_DOUBLE_EQ(oracle.jobs[i].overhead_pct, pipelined.jobs[i].overhead_pct)
+        << job_label;
+  }
+}
+
+TEST(IngestPipelineTest, PipelinedFleetMatchesOracleAcrossTopologies) {
+  hangdoctor::BlockingApiDatabase known_db = SharedCatalog().MakeKnownDatabase();
+  std::vector<workload::FleetJob> jobs = SmallStudyFleet(&known_db, {});
+
+  workload::FleetOptions oracle_options;
+  oracle_options.jobs = 2;
+  oracle_options.service = false;
+  workload::FleetSummary oracle = workload::RunFleet(jobs, oracle_options);
+  ASSERT_EQ(oracle.failed, 0u);
+
+  for (int32_t threads : {1, 4, 8}) {
+    for (int32_t shards : {1, 4, 7}) {
+      workload::FleetOptions options;
+      options.jobs = 2;
+      options.shards = shards;
+      options.threads = threads;
+      workload::FleetSummary pipelined = workload::RunFleet(jobs, options);
+      ExpectFleetsEqual(oracle, pipelined,
+                        "threads=" + std::to_string(threads) +
+                            " shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(IngestPipelineTest, PipelinedFleetMatchesOracleUnderFaultInjection) {
+  hangdoctor::BlockingApiDatabase known_db = SharedCatalog().MakeKnownDatabase();
+  std::vector<workload::FleetJob> jobs =
+      SmallStudyFleet(&known_db, faultsim::FaultProfile::Named("chaos"));
+
+  workload::FleetOptions oracle_options;
+  oracle_options.jobs = 2;
+  oracle_options.service = false;
+  workload::FleetSummary oracle = workload::RunFleet(jobs, oracle_options);
+
+  // The capture tap sits downstream of the fault injector, so the pipeline must reproduce
+  // the *faulty* sessions bit-identically — degradation counters and all.
+  for (int32_t threads : {1, 4}) {
+    workload::FleetOptions options;
+    options.jobs = 2;
+    options.shards = 7;
+    options.threads = threads;
+    workload::FleetSummary pipelined = workload::RunFleet(jobs, options);
+    ExpectFleetsEqual(oracle, pipelined, "chaos threads=" + std::to_string(threads));
+  }
+}
+
+}  // namespace

@@ -187,8 +187,9 @@ TEST(DetectorServiceTest, DiscardIsIdempotentAndFreesTheSession) {
 
 TEST(DetectorServiceTest, ShardCountResolvesAndRoutesAllIds) {
   telemetry::SymbolTable symbols;
-  hangdoctor::DetectorService service(hangdoctor::ServiceOptions{0});  // <= 0 -> 1 shard
-  EXPECT_EQ(service.shards(), 1);
+  // shards < 1 is a construction error, not a silent clamp (it would mask a bad topology).
+  EXPECT_THROW(hangdoctor::DetectorService(hangdoctor::ServiceOptions{0}),
+               std::invalid_argument);
 
   hangdoctor::DetectorService sharded(hangdoctor::ServiceOptions{7});
   EXPECT_EQ(sharded.shards(), 7);
