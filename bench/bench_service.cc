@@ -28,6 +28,7 @@
 
 #include "bench/smoke.h"
 #include "src/hangdoctor/detector_service.h"
+#include "src/hangdoctor/knowledge_base.h"
 #include "src/hangdoctor/session_stream.h"
 #include "src/hosts/hang_doctor.h"
 #include "src/workload/catalog.h"
@@ -180,6 +181,77 @@ SweepResult RunSweep(int32_t threads, int32_t shards, size_t sessions,
   return result;
 }
 
+// One record push, shared by the capacity levels and the knowledge-base axis.
+void PushRecord(hangdoctor::DetectorService* service, telemetry::SessionId id,
+                const hangdoctor::SpiPayload& payload) {
+  switch (payload.kind) {
+    case hangdoctor::SpiPayload::Kind::kDispatchStart:
+      service->OnDispatchStart(id, payload.start);
+      break;
+    case hangdoctor::SpiPayload::Kind::kDispatchEnd: {
+      hangdoctor::DispatchEnd end = payload.end;
+      end.samples = payload.samples;
+      service->OnDispatchEnd(id, end);
+      break;
+    }
+    case hangdoctor::SpiPayload::Kind::kActionQuiesce:
+      service->OnActionQuiesced(id, payload.quiesce);
+      break;
+    case hangdoctor::SpiPayload::Kind::kCounterFault:
+      service->OnCounterFault(id, payload.fault);
+      break;
+    default:
+      break;
+  }
+}
+
+struct KbArmResult {
+  size_t sessions = 0;
+  double seconds = 0.0;
+  double sessions_per_sec = 0.0;
+  int64_t memo_hits = 0;    // diagnoser runs skipped via a published memo
+  int64_t memo_misses = 0;  // diagnoser runs that had to execute
+  double hit_rate = 0.0;    // memo_hits / (memo_hits + memo_misses)
+  double rss_mb = 0.0;
+};
+
+// Third axis (fleet scale): `sessions` complete sessions of the same donor app, one live at
+// a time — the steady-state shape of a backend draining a fleet's queue — with and without
+// the shared KnowledgeBase. With the KB, every session past the first publish resolves its
+// hang diagnoses from epoch-published memos instead of re-running the Trace Analyzer, so
+// the axis measures exactly the work the KB deletes.
+KbArmResult RunKbArm(size_t sessions, const hangdoctor::SessionInfo& info,
+                     const hangdoctor::HangDoctorConfig& config,
+                     const std::vector<hangdoctor::SpiPayload>& records, int32_t shards,
+                     hangdoctor::KnowledgeBase* kb, int64_t epoch_sessions) {
+  hangdoctor::ServiceOptions options;
+  options.shards = shards;
+  options.knowledge_base = kb;
+  options.kb_epoch_sessions = kb != nullptr ? epoch_sessions : 0;
+  hangdoctor::DetectorService service(options);
+  KbArmResult result;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < sessions; ++s) {
+    telemetry::SessionId id{s};
+    service.Open(id, info, config);
+    for (const hangdoctor::SpiPayload& payload : records) {
+      PushRecord(&service, id, payload);
+    }
+    hangdoctor::SessionResult session = service.Close(id);
+    result.memo_hits += session.kb.memo_hits;
+    result.memo_misses += session.kb.memo_misses;
+  }
+  result.sessions = sessions;
+  result.seconds = Seconds(start);
+  result.sessions_per_sec = static_cast<double>(sessions) / result.seconds;
+  int64_t diagnoses = result.memo_hits + result.memo_misses;
+  result.hit_rate =
+      diagnoses > 0 ? static_cast<double>(result.memo_hits) / static_cast<double>(diagnoses)
+                    : 0.0;
+  result.rss_mb = ResidentMb();
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -255,6 +327,93 @@ int main() {
     sweep.push_back(result);
   }
 
+  // Knowledge-base axis: fleet-scale session count, one live session at a time, the same
+  // app build throughout — so diagnosis memos repeat across sessions exactly as they do for
+  // a fleet of devices. droidsim's synthetic stacks are far shallower than production
+  // Android ones (depth ~2 over a dozen interned methods), which makes a Trace Analyzer run
+  // nearly free and would understate the work a shared KB deletes; this axis therefore
+  // synthesizes a production-shaped donor — a 6000-method symbol table, 8 hang diagnoses per
+  // session, each carrying 25 stack samples of depth 35 — replayed second-phase-only so
+  // every hang runs the Diagnoser.
+  constexpr uint32_t kKbTable = 6000;
+  telemetry::SymbolTable kb_symbols;
+  for (uint32_t i = 0; i < kKbTable; ++i) {
+    telemetry::StackFrame frame;
+    frame.function = "method" + std::to_string(i);
+    frame.clazz = "com.example.fleet.Class" + std::to_string(i / 20);
+    frame.file = "Class" + std::to_string(i / 20) + ".java";
+    frame.line = static_cast<int32_t>(i % 400);
+    kb_symbols.Intern(frame, /*is_ui=*/false);
+  }
+  hangdoctor::SessionInfo kb_info;
+  kb_info.app_package = "com.example.fleetapp";
+  kb_info.num_actions = 8;
+  kb_info.symbols = &kb_symbols;
+  hangdoctor::HangDoctorConfig kb_config = config;
+  kb_config.second_phase_only = true;
+  constexpr uint32_t kKbHangs = 8;
+  std::vector<hangdoctor::SpiPayload> kb_records;
+  for (uint32_t hang = 0; hang < kKbHangs; ++hang) {
+    const simkit::SimTime at = simkit::Seconds(10 * hang + 1);
+    hangdoctor::SpiPayload start;
+    start.kind = hangdoctor::SpiPayload::Kind::kDispatchStart;
+    start.start.now = at;
+    start.start.execution_id = hang + 1;
+    start.start.action_uid = static_cast<int32_t>(hang % kb_info.num_actions);
+    start.start.events_total = 1;
+    kb_records.push_back(std::move(start));
+
+    hangdoctor::SpiPayload end;
+    end.kind = hangdoctor::SpiPayload::Kind::kDispatchEnd;
+    end.end.now = at + simkit::Seconds(6);
+    end.end.execution_id = hang + 1;
+    end.end.response = simkit::Seconds(6);
+    end.end.trace_stopped = true;
+    for (uint32_t sample = 0; sample < 25; ++sample) {
+      telemetry::StackTrace trace;
+      trace.frames.reserve(35);
+      for (uint32_t depth = 0; depth + 1 < 35; ++depth) {
+        trace.frames.push_back((hang * 131 + depth * 7 + sample % 5) % kKbTable);
+      }
+      // 80% of the samples bottom out in this hang's culprit API — comfortably past the 50%
+      // occurrence threshold — the rest in per-sample noise leaves.
+      trace.frames.push_back(sample < 20 ? (hang * 37) % kKbTable
+                                         : (hang * 37 + sample) % kKbTable);
+      end.samples.push_back(std::move(trace));
+    }
+    kb_records.push_back(std::move(end));
+
+    hangdoctor::SpiPayload quiesce;
+    quiesce.kind = hangdoctor::SpiPayload::Kind::kActionQuiesce;
+    quiesce.quiesce.now = at + simkit::Seconds(7);
+    quiesce.quiesce.execution_id = hang + 1;
+    quiesce.quiesce.action_uid = static_cast<int32_t>(hang % kb_info.num_actions);
+    quiesce.quiesce.max_response = simkit::Seconds(6);
+    kb_records.push_back(std::move(quiesce));
+  }
+  const size_t kb_sessions = smoke ? 2000 : 100000;
+  const int64_t kb_epoch_sessions = 256;
+  std::printf("\nknowledge-base axis: %zu sessions, %zu-record donor (%u diagnoses/session, "
+              "%u-method table), epoch every %lld sessions\n",
+              kb_sessions, kb_records.size(), kKbHangs, kKbTable,
+              static_cast<long long>(kb_epoch_sessions));
+  KbArmResult kb_off =
+      RunKbArm(kb_sessions, kb_info, kb_config, kb_records, shards, nullptr, 0);
+  hangdoctor::KnowledgeBase knowledge_base;
+  KbArmResult kb_on = RunKbArm(kb_sessions, kb_info, kb_config, kb_records, shards,
+                               &knowledge_base, kb_epoch_sessions);
+  double kb_speedup = kb_on.sessions_per_sec / kb_off.sessions_per_sec;
+  std::printf("kb off      %8.3f s  %10.1f sessions/s  %lld diagnoser runs  rss %.1f MB\n",
+              kb_off.seconds, kb_off.sessions_per_sec,
+              static_cast<long long>(kb_off.memo_misses), kb_off.rss_mb);
+  std::printf("kb on       %8.3f s  %10.1f sessions/s  %lld diagnoser runs  rss %.1f MB\n",
+              kb_on.seconds, kb_on.sessions_per_sec,
+              static_cast<long long>(kb_on.memo_misses), kb_on.rss_mb);
+  std::printf("kb hit rate %.1f%%  (%lld of %lld diagnoses from published memos)  "
+              "speedup %.2fx\n",
+              100.0 * kb_on.hit_rate, static_cast<long long>(kb_on.memo_hits),
+              static_cast<long long>(kb_on.memo_hits + kb_on.memo_misses), kb_speedup);
+
   std::FILE* json = std::fopen("BENCH_service.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_service.json\n");
@@ -293,6 +452,25 @@ int main() {
                  r.records_per_sec, r.speedup, i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"kb_axis\": {\n");
+  std::fprintf(json, "    \"sessions\": %zu,\n", kb_sessions);
+  std::fprintf(json, "    \"donor_records\": %zu,\n", kb_records.size());
+  std::fprintf(json, "    \"epoch_sessions\": %lld,\n",
+               static_cast<long long>(kb_epoch_sessions));
+  std::fprintf(json,
+               "    \"off\": {\"seconds\": %.3f, \"sessions_per_sec\": %.2f, "
+               "\"diagnoser_runs\": %lld, \"rss_mb\": %.1f},\n",
+               kb_off.seconds, kb_off.sessions_per_sec,
+               static_cast<long long>(kb_off.memo_misses), kb_off.rss_mb);
+  std::fprintf(json,
+               "    \"on\": {\"seconds\": %.3f, \"sessions_per_sec\": %.2f, "
+               "\"diagnoser_runs\": %lld, \"rss_mb\": %.1f},\n",
+               kb_on.seconds, kb_on.sessions_per_sec,
+               static_cast<long long>(kb_on.memo_misses), kb_on.rss_mb);
+  std::fprintf(json, "    \"memo_hits\": %lld,\n", static_cast<long long>(kb_on.memo_hits));
+  std::fprintf(json, "    \"hit_rate\": %.4f,\n", kb_on.hit_rate);
+  std::fprintf(json, "    \"speedup\": %.3f\n", kb_speedup);
+  std::fprintf(json, "  },\n");
   std::fprintf(json, "  \"max_concurrent_sessions\": %zu,\n", top.concurrent);
   std::fprintf(json, "  \"sessions_per_thread\": %.1f,\n", sessions_per_thread);
   std::fprintf(json, "  \"peak_rss_mb\": %.1f\n", PeakRssMb());

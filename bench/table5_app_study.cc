@@ -13,6 +13,8 @@
 // 62% in the paper — require real issue trackers and are out of scope here.)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <set>
 #include <stdexcept>
@@ -50,7 +52,20 @@ std::string Downloads(int64_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int32_t devices_per_app = bench::SmokeScaled(4, 1);
+  // --fleet-scale=N multiplies the devices per study app: the same study at N× fleet size,
+  // e.g. to exercise --shared-kb epoch churn at scale. Table counts scale with it, so the
+  // default (1) is what the goldens pin.
+  int32_t fleet_scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fleet-scale=", 14) == 0) {
+      fleet_scale = std::atoi(argv[i] + 14);
+      if (fleet_scale < 1) {
+        std::fprintf(stderr, "--fleet-scale must be >= 1, got %s\n", argv[i] + 14);
+        return 2;
+      }
+    }
+  }
+  const int32_t devices_per_app = bench::SmokeScaled(4, 1) * fleet_scale;
   const simkit::SimDuration session_length =
       bench::SmokeScaled(simkit::Seconds(420), simkit::Seconds(60));
 
@@ -121,6 +136,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  // --shared-kb pools every job's discoveries and diagnosis memos through one
+  // epoch-published KnowledgeBase (--kb-epoch=N picks the publish cadence). The table below
+  // is bit-identical either way — the KB is advisory — so only the summary block at the end
+  // is new output, keeping the default byte-identical to the goldens.
+  const bool shared_kb = workload::HasFlag(argc, argv, "--shared-kb");
+  if (shared_kb) {
+    options.shared_kb = true;
+    try {
+      options.kb_epoch_sessions = workload::ResolveKbEpoch(argc, argv);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
   const bool service_flag = workload::HasFlag(argc, argv, "--service");
   auto fleet_start = std::chrono::steady_clock::now();
   workload::FleetSummary summary;
@@ -149,6 +178,10 @@ int main(int argc, char** argv) {
     std::printf("pipelined ingest: %d shard worker(s), per-shard MPMC rings, two-phase "
                 "capture+ingest\n",
                 options.threads);
+  }
+  if (fleet_scale > 1) {
+    std::printf("fleet scale: %dx (%d devices per study app)\n", fleet_scale,
+                devices_per_app);
   }
   std::printf("\n");
   std::printf("%-16s %-12s %-16s %-7s %-9s %-9s\n", "App (downloads)", "Commit", "Category",
@@ -218,6 +251,23 @@ int main(int argc, char** argv) {
   std::printf("new blocking APIs discovered by the fleet at runtime: %zu\n\n",
               summary.discovered.size());
   std::printf("%s\n", summary.merged_report.Render(devices_per_app).c_str());
+
+  if (shared_kb) {
+    const hangdoctor::KnowledgeBase::Stats& kb = summary.kb;
+    const int64_t probes = kb.memo_hits + kb.memo_misses;
+    std::printf("=== Shared knowledge base (--shared-kb) ===\n");
+    std::printf("epoch %llu after %ld publish(es): %zu discovered APIs, %zu memo entries\n",
+                static_cast<unsigned long long>(kb.epoch),
+                static_cast<long>(kb.publishes), kb.discovered, kb.memo_entries);
+    std::printf("memo hits %ld / misses %ld (hit rate %.1f%%), known-API hits %ld, "
+                "%ld sessions absorbed\n",
+                static_cast<long>(kb.memo_hits), static_cast<long>(kb.memo_misses),
+                probes > 0 ? 100.0 * static_cast<double>(kb.memo_hits) /
+                                 static_cast<double>(probes)
+                           : 0.0,
+                static_cast<long>(kb.known_hits), static_cast<long>(kb.sessions_absorbed));
+    std::printf("\n");
+  }
 
   // Degradation accounting — printed only under --faults so the fault-free output stays
   // byte-identical to the pinned goldens.

@@ -9,7 +9,9 @@ broken bench cannot upload garbage that later reads as a regression — or hides
   - threads axis: present, sorted, unique, aligned one-to-one with threads_sweep;
   - every sweep entry: positive seconds/sessions, rates positive and non-absurd, speedup in
     a generous-but-finite band (hard scaling claims are the release bench's job; this gate
-    only rejects numbers no real machine produces).
+    only rejects numbers no real machine produces);
+  - kb axis: off/on arms internally consistent (runs + hits == total diagnoses, hit_rate in
+    [0, 1], the on arm never runs the diagnoser more often than the off arm).
 
 Exits non-zero with a one-line reason on the first violation.
 """
@@ -98,9 +100,41 @@ def main() -> None:
     require(abs(sweep[0]["speedup"] - 1.0) < 1e-9,
             f"threads_sweep[0].speedup must be 1.0 (its own baseline): {sweep[0]['speedup']!r}")
 
+    kb = data.get("kb_axis")
+    require(isinstance(kb, dict), "kb_axis missing or not an object")
+    for field in ("sessions", "donor_records", "epoch_sessions"):
+        require(is_num(kb.get(field)) and kb[field] > 0,
+                f"kb_axis.{field} missing or not positive")
+    for arm in ("off", "on"):
+        entry = kb.get(arm)
+        require(isinstance(entry, dict), f"kb_axis.{arm} missing or not an object")
+        require(is_num(entry.get("seconds")) and entry["seconds"] > 0,
+                f"kb_axis.{arm}.seconds missing or not positive")
+        rate = entry.get("sessions_per_sec")
+        require(is_num(rate) and 0 < rate < 1e9,
+                f"kb_axis.{arm}.sessions_per_sec missing, non-positive, or absurd: {rate!r}")
+        require(is_num(entry.get("diagnoser_runs")) and entry["diagnoser_runs"] >= 0,
+                f"kb_axis.{arm}.diagnoser_runs missing or negative")
+        require(is_num(entry.get("rss_mb")) and entry["rss_mb"] > 0,
+                f"kb_axis.{arm}.rss_mb missing or not positive")
+    require(is_num(kb.get("memo_hits")) and kb["memo_hits"] >= 0,
+            "kb_axis.memo_hits missing or negative")
+    require(is_num(kb.get("hit_rate")) and 0 <= kb["hit_rate"] <= 1,
+            f"kb_axis.hit_rate not in [0, 1]: {kb.get('hit_rate')!r}")
+    # Both arms replay the same donor into the same session count, so total diagnoses agree:
+    # every diagnosis the on arm did not run came from a memo.
+    require(kb["on"]["diagnoser_runs"] + kb["memo_hits"] == kb["off"]["diagnoser_runs"],
+            "kb_axis: on.diagnoser_runs + memo_hits != off.diagnoser_runs")
+    require(kb["on"]["diagnoser_runs"] <= kb["off"]["diagnoser_runs"],
+            "kb_axis: the KB arm ran the diagnoser more often than the baseline")
+    speedup = kb.get("speedup")
+    require(is_num(speedup) and 0.02 < speedup < 1000,
+            f"kb_axis.speedup missing or absurd: {speedup!r}")
+
     print(f"check_bench_json: OK ({path}: {len(levels)} levels, "
           f"threads axis {axis}, speedups "
-          f"{[round(e['speedup'], 2) for e in sweep]})")
+          f"{[round(e['speedup'], 2) for e in sweep]}, "
+          f"kb hit rate {kb['hit_rate']:.1%} speedup {kb['speedup']:.2f}x)")
 
 
 if __name__ == "__main__":

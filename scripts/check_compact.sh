@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Round-trip smoke for the HDSC compaction tool: compact the committed corpus into one
+# archive, extract it back, and byte-compare every log against the original. The archive
+# format's whole contract is "extract reproduces the inputs bit-for-bit" — this gate keeps
+# that true for real logs, not just the unit tests' synthetic ones. Also checks that the
+# rollup CSVs derived from the archive carry header + data rows, so a schema change that
+# silently empties the fleet rollups fails here instead of in a dashboard.
+#
+# usage: check_compact.sh <hdsl_compact-binary> <log-dir>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: check_compact.sh <hdsl_compact-binary> <log-dir>" >&2
+  exit 2
+fi
+compact_bin=$1
+log_dir=$2
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$compact_bin" compact "$log_dir" "$work/corpus.hdsc"
+"$compact_bin" extract "$work/corpus.hdsc" "$work/extracted"
+
+count=0
+for log in "$log_dir"/*.hdsl; do
+  name=$(basename "$log")
+  cmp -- "$log" "$work/extracted/$name" || {
+    echo "check_compact: FAIL: $name differs after compact+extract" >&2
+    exit 1
+  }
+  count=$((count + 1))
+done
+if [[ $count -eq 0 ]]; then
+  echo "check_compact: FAIL: no .hdsl logs in $log_dir" >&2
+  exit 1
+fi
+
+"$compact_bin" rollup "$work/corpus.hdsc" "$work/rollup"
+for csv in apps.csv apis.csv; do
+  lines=$(wc -l < "$work/rollup/$csv")
+  if [[ $lines -lt 2 ]]; then
+    echo "check_compact: FAIL: $csv has $lines line(s) (want header + data)" >&2
+    exit 1
+  fi
+done
+
+echo "check_compact: OK ($count logs round-tripped byte-identical, rollups non-empty)"

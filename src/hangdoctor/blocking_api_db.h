@@ -16,16 +16,30 @@ class BlockingApiDatabase {
  public:
   BlockingApiDatabase() = default;
 
+  // Overlay mode: membership becomes base ∪ own while discoveries keep accumulating locally.
+  // A fleet of sessions sharing one seed catalog overlays it instead of copying the whole
+  // std::set per session — bit-equivalent to a private copy (a name is a discovery iff it is
+  // in neither the base nor the prior local adds), at O(1) setup cost. `base` may be null
+  // (plain mode) and must outlive this object; own entries stay disjoint from the base as
+  // long as they arrive through AddDiscovered.
+  void SetBase(const BlockingApiDatabase* base) { base_ = base; }
+  const BlockingApiDatabase* base() const { return base_; }
+
   // Seeds the database with an API already known as blocking (catalog construction).
   void SeedKnown(std::string full_name) { known_.insert(std::move(full_name)); }
 
   // Heterogeneous probe (std::less<> set): a string_view never allocates a key copy, so the
   // offline scanner's per-node membership test stays allocation-free.
-  bool IsKnown(std::string_view full_name) const { return known_.count(full_name) > 0; }
+  bool IsKnown(std::string_view full_name) const {
+    return known_.count(full_name) > 0 || (base_ != nullptr && base_->IsKnown(full_name));
+  }
 
   // Records an API Hang Doctor diagnosed at runtime; returns true if it was previously
   // unknown (a new discovery for the offline database).
   bool AddDiscovered(const std::string& full_name) {
+    if (base_ != nullptr && base_->IsKnown(full_name)) {
+      return false;
+    }
     bool inserted = known_.insert(full_name).second;
     if (inserted) {
       discovered_.push_back(full_name);
@@ -34,9 +48,10 @@ class BlockingApiDatabase {
   }
 
   const std::vector<std::string>& discovered() const { return discovered_; }
-  size_t size() const { return known_.size(); }
+  size_t size() const { return known_.size() + (base_ != nullptr ? base_->size() : 0); }
 
  private:
+  const BlockingApiDatabase* base_ = nullptr;
   std::set<std::string, std::less<>> known_;
   std::vector<std::string> discovered_;
 };

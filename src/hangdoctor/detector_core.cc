@@ -30,13 +30,15 @@ const char* VerdictName(Verdict verdict) {
 }
 
 DetectorCore::DetectorCore(const SessionInfo& info, HangDoctorConfig config,
-                           BlockingApiDatabase* database, HangBugReport* fleet_report)
+                           BlockingApiDatabase* database, HangBugReport* fleet_report,
+                           KnowledgeBase::Snapshot kb)
     : info_(info),
       config_(std::move(config)),
       table_(config_.reset_after_normal),
       analyzer_(config_.analyzer),
       database_(database != nullptr ? database : &own_database_),
-      fleet_report_(fleet_report) {
+      fleet_report_(fleet_report),
+      kb_(kb) {
   if (info_.symbols == nullptr) {
     throw std::invalid_argument("DetectorCore: SessionInfo.symbols must be non-null");
   }
@@ -232,7 +234,37 @@ void DetectorCore::RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& liv
     return;
   }
   record.traced = true;
-  Diagnosis diagnosis = analyzer_.Analyze(live.traces, *info_.symbols, info_.app_package);
+  Diagnosis diagnosis;
+  if (kb_.valid()) {
+    // Knowledge-base fast path: Analyze is pure in (traces, symbols, thresholds), so an
+    // exact-key memo hit IS the diagnosis — same bytes, none of the census work. Probe the
+    // published snapshot first, then this session's own pending memos (so repeat hangs skip
+    // re-analysis even before any epoch publishes).
+    FillDiagnosisMemoKey(live.traces, *info_.symbols, info_.app_package, config_.analyzer,
+                         &kb_key_scratch_);
+    const Diagnosis* memo = kb_.FindMemo(kb_key_scratch_);
+    if (memo == nullptr) {
+      for (const DiagnosisMemoEntry& pending : kb_memos_) {
+        if (pending.key == kb_key_scratch_) {
+          memo = &pending.diagnosis;
+          break;
+        }
+      }
+    }
+    if (memo != nullptr) {
+      ++kb_stats_.memo_hits;
+      diagnosis = *memo;
+    } else {
+      ++kb_stats_.memo_misses;
+      diagnosis = analyzer_.Analyze(live.traces, *info_.symbols, info_.app_package);
+      // Copied, not moved: the scratch key keeps its buffers warm for the next diagnosis.
+      kb_memos_.push_back({kb_key_scratch_, diagnosis});
+    }
+  } else {
+    // Counted with the KB off too, so a KB-off arm reports the diagnoser work a KB targets.
+    ++kb_stats_.memo_misses;
+    diagnosis = analyzer_.Analyze(live.traces, *info_.symbols, info_.app_package);
+  }
   record.diagnosis = diagnosis;
   if (config_.keep_traces) {
     record.traces = live.traces;
@@ -263,7 +295,13 @@ void DetectorCore::RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& liv
   if (!diagnosis.is_self_developed) {
     // Self-developed lengthy operations are reported only to the developer; real APIs feed
     // the offline detectors' database.
-    database_->AddDiscovered(diagnosis.culprit.clazz + "." + diagnosis.culprit.function);
+    std::string api = diagnosis.culprit.clazz + "." + diagnosis.culprit.function;
+    if (kb_.IsKnown(api)) {
+      // The fleet already knew this API when the session opened: a re-confirmation the
+      // shared knowledge base turns into zero new offline-scanner work.
+      ++kb_stats_.known_hits;
+    }
+    database_->AddDiscovered(api);
   }
 }
 

@@ -33,6 +33,7 @@
 #include "src/hangdoctor/blocking_api_db.h"
 #include "src/hangdoctor/filter.h"
 #include "src/hangdoctor/host_spi.h"
+#include "src/hangdoctor/knowledge_base.h"
 #include "src/hangdoctor/overhead.h"
 #include "src/hangdoctor/report.h"
 #include "src/hangdoctor/stream_guard.h"
@@ -101,8 +102,16 @@ class DetectorCore : public SpiBackend {
   // this object. Throws std::invalid_argument when `info` is malformed (null symbol table or
   // a non-positive action count) — a session that cannot be monitored is refused up front
   // rather than left to fault on the first telemetry push.
+  //
+  // `kb` is an optional knowledge-base snapshot (knowledge_base.h): when valid, the
+  // Diagnoser consults the shared diagnosis memo before running the trace analyzer — a hit
+  // returns the identical Diagnosis with the Analyze work skipped — and diagnoses computed
+  // locally queue in TakeKbMemos() for publication at session close. Verdicts, logs, and
+  // reports are bit-identical with any snapshot (including none): the memo caches a pure
+  // function and the database is write-only on the detection path.
   DetectorCore(const SessionInfo& info, HangDoctorConfig config,
-               BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr);
+               BlockingApiDatabase* database = nullptr, HangBugReport* fleet_report = nullptr,
+               KnowledgeBase::Snapshot kb = {});
   DetectorCore(const DetectorCore&) = delete;
   DetectorCore& operator=(const DetectorCore&) = delete;
 
@@ -124,6 +133,11 @@ class DetectorCore : public SpiBackend {
   const SessionInfo& session() const { return info_; }
   int64_t stack_samples_taken() const { return samples_taken_; }
   const DegradationStats& degradation() const { return degradation_; }
+  // What the knowledge base saved this session (zeros when no snapshot was supplied).
+  const KbSessionStats& kb_stats() const { return kb_stats_; }
+  // Moves out the diagnoses this session computed itself (memo misses), for publication into
+  // the shared memo. Harvested once at session close, like TakeLog().
+  std::vector<DiagnosisMemoEntry> TakeKbMemos() { return std::move(kb_memos_); }
   // SPI-stream validator; stream().ok() goes false (sticky) on an impossible stream.
   const StreamGuard& stream() const { return guard_; }
 
@@ -155,6 +169,12 @@ class DetectorCore : public SpiBackend {
   OverheadMeter overhead_;
   StreamGuard guard_;
   DegradationStats degradation_;
+  KnowledgeBase::Snapshot kb_;
+  KbSessionStats kb_stats_;
+  std::vector<DiagnosisMemoEntry> kb_memos_;
+  // Reused buffer for FillDiagnosisMemoKey: repeat diagnoses build their probe key with
+  // zero allocations.
+  DiagnosisMemoKey kb_key_scratch_;
   std::unordered_map<int64_t, LiveExecution> live_;
   std::vector<ExecutionRecord> log_;
   int64_t samples_taken_ = 0;

@@ -27,6 +27,15 @@ void ValidateOptions(const ServiceOptions& options) {
     throw std::invalid_argument("ServiceOptions: batch_size must be >= 1, got " +
                                 std::to_string(options.batch_size));
   }
+  if (options.kb_epoch_sessions < 0) {
+    throw std::invalid_argument("ServiceOptions: kb_epoch_sessions must be >= 0, got " +
+                                std::to_string(options.kb_epoch_sessions));
+  }
+  if (options.knowledge_base != nullptr && options.seed_db != nullptr) {
+    throw std::invalid_argument(
+        "ServiceOptions: seed_db and knowledge_base are mutually exclusive (the knowledge "
+        "base carries its own seed)");
+  }
 }
 
 void SortById(std::vector<SessionResult>& results) {
@@ -38,6 +47,14 @@ void SortById(std::vector<SessionResult>& results) {
 
 DetectorService::DetectorService(const ServiceOptions& options) : options_(options) {
   ValidateOptions(options);
+  if (options.knowledge_base != nullptr) {
+    seed_view_ = &options.knowledge_base->seed();
+  } else if (options.seed_db != nullptr) {
+    // Copy once: the service owns its seed, so the caller's catalog may die the moment the
+    // constructor returns — no dangling-pointer lifetime to document away.
+    own_seed_ = *options.seed_db;
+    seed_view_ = &own_seed_;
+  }
   shards_.reserve(static_cast<size_t>(options.shards));
   for (int32_t i = 0; i < options.shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -72,14 +89,15 @@ DetectorService::~DetectorService() {
 // Arena lifecycle (shared by the synchronous path and the shard workers).
 
 std::unique_ptr<DetectorService::SessionSlot> DetectorService::BuildSlot(
-    const SessionInfo& info, const HangDoctorConfig& config,
-    const BlockingApiDatabase* known_db) {
+    const SessionInfo& info, const HangDoctorConfig& config) {
   auto slot = std::make_unique<SessionSlot>();
-  if (known_db != nullptr) {
-    slot->database = *known_db;
+  slot->database.SetBase(seed_view_);
+  KnowledgeBase::Snapshot snapshot;
+  if (options_.knowledge_base != nullptr) {
+    snapshot = options_.knowledge_base->Acquire();
   }
   slot->core = std::make_unique<DetectorCore>(info, config, &slot->database,
-                                              /*fleet_report=*/nullptr);
+                                              /*fleet_report=*/nullptr, snapshot);
   return slot;
 }
 
@@ -145,8 +163,50 @@ SessionResult DetectorService::Harvest(telemetry::SessionId id,
   result.stream_error = core.stream().error();
   result.stack_samples = core.stack_samples_taken();
   result.discovered = slot->database.discovered();
+  result.kb = core.kb_stats();
+  if (options_.knowledge_base != nullptr) {
+    AbsorbIntoKb(id, result, core);
+  }
   result.log = core.TakeLog();
   return result;  // `slot` dies here: the session's arena is gone, only the result remains
+}
+
+void DetectorService::AbsorbIntoKb(telemetry::SessionId id, SessionResult& result,
+                                   DetectorCore& core) {
+  // The session's overlay holds exactly its own confirmations (base-known APIs never enter
+  // discovered()), in local discovery order — the (session id, order) merge key the KB's
+  // deterministic publish sorts by. Confirmations and memos the *currently published*
+  // snapshot already carries are dropped before they reach the pending stripes: the epoch
+  // fold would deduplicate them anyway (AddDiscovered is idempotent, memo merge is
+  // first-wins over a pure function), so the published state is bit-identical whichever
+  // snapshot this races with — and the steady-state session, everything it saw already
+  // fleet-known, absorbs nothing but its counters.
+  KnowledgeBase::Snapshot snapshot = options_.knowledge_base->Acquire();
+  const std::vector<std::string>* discovered = &result.discovered;
+  std::vector<std::string> fresh;
+  if (snapshot.discovered_size() > 0 &&
+      std::any_of(result.discovered.begin(), result.discovered.end(),
+                  [&](const std::string& api) { return snapshot.IsKnown(api); })) {
+    for (const std::string& api : result.discovered) {
+      if (!snapshot.IsKnown(api)) {
+        fresh.push_back(api);
+      }
+    }
+    discovered = &fresh;
+  }
+  std::vector<DiagnosisMemoEntry> memos = core.TakeKbMemos();
+  if (snapshot.memo_size() > 0) {
+    std::erase_if(memos, [&](const DiagnosisMemoEntry& entry) {
+      return snapshot.FindMemo(entry.key) != nullptr;
+    });
+  }
+  options_.knowledge_base->AbsorbSession(id, *discovered, std::move(memos), result.kb);
+  if (options_.kb_epoch_sessions > 0) {
+    int64_t closed = kb_closed_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (closed % options_.kb_epoch_sessions == 0) {
+      options_.knowledge_base->Publish();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -155,11 +215,10 @@ SessionResult DetectorService::Harvest(telemetry::SessionId id,
 // detection work — only on the few-nanosecond probe.
 
 void DetectorService::Open(telemetry::SessionId id, const SessionInfo& info,
-                           const HangDoctorConfig& config,
-                           const BlockingApiDatabase* known_db) {
-  // Build the arena outside the shard lock: core construction validates info and copies the
-  // database, and neither needs the shard.
-  InsertSlot(ShardFor(id), id, BuildSlot(info, config, known_db));
+                           const HangDoctorConfig& config) {
+  // Build the arena outside the shard lock: core construction validates info and grabs the
+  // knowledge-base snapshot, and neither needs the shard.
+  InsertSlot(ShardFor(id), id, BuildSlot(info, config));
 }
 
 MonitorDirectives DetectorService::OnDispatchStart(telemetry::SessionId id,
@@ -200,17 +259,15 @@ void DetectorService::Discard(telemetry::SessionId id) {
 // ---------------------------------------------------------------------------
 // Pipelined ingest.
 
-DetectorService::Ingestor::Ingestor(DetectorService* service,
-                                    const BlockingApiDatabase* known_db)
+DetectorService::Ingestor::Ingestor(DetectorService* service)
     : router_(
           static_cast<size_t>(service->shards()),
           static_cast<size_t>(service->options_.batch_size),
           [shards = service->shards_.size()](const ServiceRecordRef& ref) {
             return telemetry::ShardOf(ref.session, shards);
           },
-          [service, known_db](size_t shard_index,
-                              std::vector<ServiceRecordRef>&& refs) {
-            service->EnqueueBatch(shard_index, IngestBatch{std::move(refs), known_db});
+          [service](size_t shard_index, std::vector<ServiceRecordRef>&& refs) {
+            service->EnqueueBatch(shard_index, IngestBatch{std::move(refs)});
           }) {
   service->RequirePipeline("Ingestor");
 }
@@ -231,13 +288,12 @@ void DetectorService::EnqueueBatch(size_t shard_index, IngestBatch&& batch) {
   shard.ring->Push(std::move(batch));  // blocks on a full ring: bounded backpressure
 }
 
-void DetectorService::ApplyRecord(Shard& shard, const BlockingApiDatabase* known_db,
-                                  ServiceRecordRef ref) {
+void DetectorService::ApplyRecord(Shard& shard, ServiceRecordRef ref) {
   try {
     const SpiPayload& payload = *ref.record;
     switch (payload.kind) {
       case SpiPayload::Kind::kSessionOpen:
-        InsertSlot(shard, ref.session, BuildSlot(payload.info, payload.config, known_db));
+        InsertSlot(shard, ref.session, BuildSlot(payload.info, payload.config));
         break;
       case SpiPayload::Kind::kDispatchStart:
         FindSlot(shard, ref.session)->core->OnDispatchStart(payload.start);
@@ -257,6 +313,14 @@ void DetectorService::ApplyRecord(Shard& shard, const BlockingApiDatabase* known
         break;
       case SpiPayload::Kind::kSessionClose:
         shard.closed.push_back(Harvest(ref.session, RemoveSlot(shard, ref.session)));
+        break;
+      case SpiPayload::Kind::kKbPublish:
+        // A replayed epoch boundary. Publish() is internally serialized, so concurrent
+        // workers replaying interleaved schedules stay safe (the exact snapshot sequence is
+        // reproduced when the stream is consumed synchronously, as the replayer documents).
+        if (options_.knowledge_base != nullptr) {
+          options_.knowledge_base->Publish();
+        }
         break;
     }
   } catch (const std::exception& e) {
@@ -285,7 +349,7 @@ void DetectorService::WorkerLoop(size_t worker_index) {
       while (shard.ring->TryPop(batch)) {
         did_work = true;
         for (const ServiceRecordRef& ref : batch.refs) {
-          ApplyRecord(shard, batch.known_db, ref);
+          ApplyRecord(shard, ref);
         }
         // Release pairs with the barrier's acquire: it publishes `closed` and `errors`
         // along with the count.
@@ -339,6 +403,11 @@ void DetectorService::WaitIngestIdle() {
       std::this_thread::yield();
     }
   }
+  // The barrier is an epoch boundary: everything absorbed by the drained sessions becomes
+  // visible to sessions opened after it. A no-op when nothing is pending.
+  if (options_.knowledge_base != nullptr) {
+    options_.knowledge_base->Publish();
+  }
 }
 
 std::vector<SessionResult> DetectorService::DrainClosed() {
@@ -366,11 +435,10 @@ std::vector<IngestError> DetectorService::TakeIngestErrors() {
   return errors;
 }
 
-std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecord> stream,
-                                                    const BlockingApiDatabase* known_db) {
+std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecord> stream) {
   if (!workers_.empty()) {
     {
-      Ingestor ingestor(this, known_db);
+      Ingestor ingestor(this);
       for (const ServiceRecord& record : stream) {
         ingestor.Push(record);
       }
@@ -387,7 +455,7 @@ std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecor
     const SpiPayload& payload = record.record;
     switch (payload.kind) {
       case SpiPayload::Kind::kSessionOpen:
-        Open(record.session, payload.info, payload.config, known_db);
+        Open(record.session, payload.info, payload.config);
         break;
       case SpiPayload::Kind::kDispatchStart:
         OnDispatchStart(record.session, payload.start);
@@ -407,6 +475,13 @@ std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecor
         break;
       case SpiPayload::Kind::kSessionClose:
         results.push_back(Close(record.session));
+        break;
+      case SpiPayload::Kind::kKbPublish:
+        // Synchronous consumption replays a recorded epoch schedule exactly: sessions opened
+        // after this record see precisely the snapshots they saw when it was recorded.
+        if (options_.knowledge_base != nullptr) {
+          options_.knowledge_base->Publish();
+        }
         break;
     }
   }

@@ -63,6 +63,7 @@
 #include "src/hangdoctor/blocking_api_db.h"
 #include "src/hangdoctor/detector_core.h"
 #include "src/hangdoctor/host_spi.h"
+#include "src/hangdoctor/knowledge_base.h"
 #include "src/hangdoctor/report.h"
 #include "src/hangdoctor/session_stream.h"
 #include "src/hangdoctor/stream_guard.h"
@@ -92,6 +93,20 @@ struct ServiceOptions {
   // Best-effort core affinity: pin worker w to core w. Off by default — pinning helps on
   // dedicated many-core hosts and hurts on small shared runners.
   bool pin_workers = false;
+  // Seed blocking-API catalog shared by every session. Copied once at construction (no
+  // caller-lifetime footgun); per-session databases overlay the copy instead of duplicating
+  // the std::set per session — bit-equivalent, O(1) per open. Mutually exclusive with
+  // `knowledge_base` (whose own seed wins). May be null: sessions start empty.
+  const BlockingApiDatabase* seed_db = nullptr;
+  // Fleet-shared knowledge base (knowledge_base.h). When set, every session opens with the
+  // current published snapshot (one atomic load), overlays the KB's seed, and feeds its
+  // confirmations/diagnosis memos back at close; WaitIngestIdle() publishes as an epoch
+  // boundary. Must outlive the service. Verdicts and results stay bit-identical to running
+  // without it.
+  KnowledgeBase* knowledge_base = nullptr;
+  // Automatic epoch length: publish the knowledge base every N closed sessions (0 = only at
+  // barriers and explicit kKbPublish records). Ignored without `knowledge_base`.
+  int64_t kb_epoch_sessions = 0;
 };
 
 // Everything a closed session leaves behind. Compact: the heavy live state (core, action
@@ -108,6 +123,7 @@ struct SessionResult {
   std::string stream_error;
   int64_t stack_samples = 0;
   std::vector<std::string> discovered;  // blocking APIs this session newly learned
+  KbSessionStats kb;                    // knowledge-base savings (zeros without a KB)
 };
 
 // A record the pipeline could not apply (open of a duplicate id, record for a session that
@@ -155,7 +171,7 @@ class DetectorService {
   // before the barrier and must not outlive the service.
   class Ingestor {
    public:
-    explicit Ingestor(DetectorService* service, const BlockingApiDatabase* known_db = nullptr);
+    explicit Ingestor(DetectorService* service);
     Ingestor(const Ingestor&) = delete;
     Ingestor& operator=(const Ingestor&) = delete;
     ~Ingestor() { router_.Flush(); }
@@ -169,12 +185,12 @@ class DetectorService {
     simkit::BatchRouter<ServiceRecordRef> router_;
   };
 
-  // Opens a session: allocates its arena (private database copy seeded from `known_db` when
-  // given, plus the DetectorCore) on the shard the id hashes to. `info.symbols` must outlive
-  // the session. Throws std::invalid_argument on a duplicate id or malformed info (the core
-  // constructor's validation).
-  void Open(telemetry::SessionId id, const SessionInfo& info, const HangDoctorConfig& config,
-            const BlockingApiDatabase* known_db = nullptr);
+  // Opens a session: allocates its arena (an overlay database over the service seed — or
+  // the knowledge base's seed — plus the DetectorCore holding the current KB snapshot) on
+  // the shard the id hashes to. `info.symbols` must outlive the session. Throws
+  // std::invalid_argument on a duplicate id or malformed info (the core constructor's
+  // validation).
+  void Open(telemetry::SessionId id, const SessionInfo& info, const HangDoctorConfig& config);
 
   // Per-record entry points; route to the owning shard. Throw std::invalid_argument for a
   // session that was never opened (or already closed) — an unroutable record is a client
@@ -195,16 +211,16 @@ class DetectorService {
 
   // Batch entry: consumes one interleaved stream in order — open/record/close framing per
   // session_stream.h — and returns the results of every session closed by the stream, in
-  // ascending-SessionId order. `known_db` seeds each opened session's private database.
-  // Without workers this applies records synchronously on the calling thread; with workers
-  // it routes the stream through the pipeline and throws the first IngestError (if any)
-  // after the barrier.
-  std::vector<SessionResult> Consume(std::span<const ServiceRecord> stream,
-                                     const BlockingApiDatabase* known_db = nullptr);
+  // ascending-SessionId order. Opened sessions seed from the service-wide seed_db /
+  // knowledge base, like Open(). Without workers this applies records synchronously on the
+  // calling thread; with workers it routes the stream through the pipeline and throws the
+  // first IngestError (if any) after the barrier.
+  std::vector<SessionResult> Consume(std::span<const ServiceRecord> stream);
 
   // Pipeline barrier: blocks until every batch routed so far has been applied by the shard
   // workers. Callers must have flushed (and stopped) their Ingestors first. No-op without
-  // workers.
+  // workers. When a knowledge base is attached, the barrier is an epoch boundary: pending
+  // discoveries publish before it returns.
   void WaitIngestIdle();
 
   // Barrier + harvest: the results of every session closed through the pipeline since the
@@ -221,17 +237,16 @@ class DetectorService {
   int32_t ingest_threads() const { return static_cast<int32_t>(workers_.size()); }
 
  private:
-  // One session's arena: everything that exists only while the session is live.
+  // One session's arena: everything that exists only while the session is live. `database`
+  // overlays the service seed (seed_view_), so a slot holds only what this session learned.
   struct SessionSlot {
     BlockingApiDatabase database;
     std::unique_ptr<DetectorCore> core;
   };
 
-  // One routed unit: up to batch_size record refs plus the database that seeds any session
-  // the batch opens.
+  // One routed unit: up to batch_size record refs.
   struct IngestBatch {
     std::vector<ServiceRecordRef> refs;
-    const BlockingApiDatabase* known_db = nullptr;
   };
 
   struct Shard {
@@ -258,8 +273,7 @@ class DetectorService {
   // Arena lifecycle shared by both ingestion surfaces. Find/Remove throw
   // std::invalid_argument for a session that is not live; Insert throws on a duplicate.
   std::unique_ptr<SessionSlot> BuildSlot(const SessionInfo& info,
-                                         const HangDoctorConfig& config,
-                                         const BlockingApiDatabase* known_db);
+                                         const HangDoctorConfig& config);
   void InsertSlot(Shard& shard, telemetry::SessionId id, std::unique_ptr<SessionSlot> slot);
   SessionSlot* FindSlot(Shard& shard, telemetry::SessionId id);
   std::unique_ptr<SessionSlot> RemoveSlot(Shard& shard, telemetry::SessionId id);
@@ -267,16 +281,22 @@ class DetectorService {
 
   // Pipeline internals.
   void EnqueueBatch(size_t shard_index, IngestBatch&& batch);
-  void ApplyRecord(Shard& shard, const BlockingApiDatabase* known_db, ServiceRecordRef ref);
+  void ApplyRecord(Shard& shard, ServiceRecordRef ref);
   void WorkerLoop(size_t worker_index);
   void RequirePipeline(const char* what) const;
+  // Session-close side of the KB protocol: absorb + count toward the automatic epoch.
+  void AbsorbIntoKb(telemetry::SessionId id, SessionResult& result, DetectorCore& core);
 
   ServiceOptions options_;
+  // The one seed every session overlays: the KB's seed, the copied options.seed_db, or null.
+  BlockingApiDatabase own_seed_;
+  const BlockingApiDatabase* seed_view_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> opened_{0};
   std::atomic<int64_t> live_{0};
+  std::atomic<int64_t> kb_closed_{0};
 };
 
 // Folds session-local Hang Bug Reports into one fleet report in ascending-SessionId order —

@@ -1,0 +1,209 @@
+#include "src/hangdoctor/knowledge_base.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace hangdoctor {
+
+namespace {
+
+// FNV-1a 64: fixed, platform-independent, and cheap. Not cryptographic — it does not need to
+// be: the fingerprint only separates *accidentally* colliding symbol tables, and the memo
+// map compares full keys on every probe anyway.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvBytes(uint64_t hash, const void* data, size_t size) {
+  // Word-at-a-time variant of FNV-1a: one xor-multiply per 8-byte chunk instead of per byte.
+  // Not the canonical FNV stream — which is fine: no stored artifact pins these values, they
+  // only bucket memo probes and separate colliding inputs, and key construction sits on the
+  // per-diagnosis hot path.
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    hash = (hash ^ word) * kFnvPrime;
+    bytes += 8;
+    size -= 8;
+  }
+  for (size_t i = 0; i < size; ++i) {
+    hash = (hash ^ bytes[i]) * kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvString(uint64_t hash, std::string_view s) {
+  // Length prefix keeps concatenated fields injective ("a","bc" vs "ab","c").
+  uint64_t size = s.size();
+  hash = FnvBytes(hash, &size, sizeof(size));
+  return FnvBytes(hash, s.data(), s.size());
+}
+
+uint64_t FnvU64(uint64_t hash, uint64_t value) { return FnvBytes(hash, &value, sizeof(value)); }
+
+uint64_t FnvDouble(uint64_t hash, double value) {
+  // Hash the bit pattern: config doubles are copied around verbatim, never recomputed, so
+  // bit equality is the right equivalence (and ==-compared keys use the same relation).
+  return FnvU64(hash, std::bit_cast<uint64_t>(value));
+}
+
+}  // namespace
+
+bool DiagnosisMemoKey::operator==(const DiagnosisMemoKey& other) const {
+  return symbols_fingerprint == other.symbols_fingerprint && shape == other.shape &&
+         app_package == other.app_package &&
+         analyzer.api_occurrence_threshold == other.analyzer.api_occurrence_threshold &&
+         analyzer.caller_occurrence_threshold == other.analyzer.caller_occurrence_threshold &&
+         analyzer.ui_majority == other.analyzer.ui_majority;
+}
+
+uint64_t DiagnosisMemoKey::Hash() const {
+  uint64_t hash = kFnvOffset;
+  hash = FnvString(hash, app_package);
+  hash = FnvU64(hash, symbols_fingerprint);
+  hash = FnvDouble(hash, analyzer.api_occurrence_threshold);
+  hash = FnvDouble(hash, analyzer.caller_occurrence_threshold);
+  hash = FnvDouble(hash, analyzer.ui_majority);
+  hash = FnvU64(hash, shape.size());
+  hash = FnvBytes(hash, shape.data(), shape.size() * sizeof(uint32_t));
+  return hash;
+}
+
+void FillDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
+                          const telemetry::SymbolTable& symbols,
+                          const std::string& app_package,
+                          const TraceAnalyzerConfig& analyzer, DiagnosisMemoKey* key) {
+  key->app_package = app_package;
+  key->analyzer = analyzer;
+  key->shape.clear();
+  size_t total = 0;
+  for (const telemetry::StackTrace& trace : traces) {
+    total += 1 + trace.frames.size();
+  }
+  key->shape.reserve(total);
+  for (const telemetry::StackTrace& trace : traces) {
+    key->shape.push_back(static_cast<uint32_t>(trace.frames.size()));
+    key->shape.insert(key->shape.end(), trace.frames.begin(), trace.frames.end());
+  }
+  // Whole-table fingerprint at O(1): the table size (which decides out-of-range-id
+  // discards) folded with the content hash the SymbolTable maintains as frames intern.
+  // Stronger than Analyze strictly needs — it pins frames the traces never name — so equal
+  // keys still imply equal Analyze output, and the conservatism only costs an occasional
+  // extra miss, never a wrong hit.
+  uint64_t hash = kFnvOffset;
+  hash = FnvU64(hash, symbols.size());
+  hash = FnvU64(hash, symbols.content_hash());
+  key->symbols_fingerprint = hash;
+}
+
+DiagnosisMemoKey MakeDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
+                                      const telemetry::SymbolTable& symbols,
+                                      const std::string& app_package,
+                                      const TraceAnalyzerConfig& analyzer) {
+  DiagnosisMemoKey key;
+  FillDiagnosisMemoKey(traces, symbols, app_package, analyzer, &key);
+  return key;
+}
+
+const Diagnosis* KnowledgeBase::Snapshot::FindMemo(const DiagnosisMemoKey& key) const {
+  if (version_ == nullptr) {
+    return nullptr;
+  }
+  auto it = version_->memos.find(key);
+  return it != version_->memos.end() ? &it->second : nullptr;
+}
+
+KnowledgeBase::KnowledgeBase(BlockingApiDatabase seed, int32_t stripes)
+    : seed_(std::move(seed)) {
+  stripes_.reserve(stripes > 0 ? static_cast<size_t>(stripes) : 1);
+  for (int32_t i = 0; i < std::max(stripes, 1); ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  // Epoch 0: the seed alone. Published before any reader can exist, so a plain store is
+  // enough — but release keeps the invariant "current_ is only ever release-stored" simple.
+  auto initial = std::make_unique<Version>();
+  initial->db.SetBase(&seed_);
+  current_.store(initial.get(), std::memory_order_release);
+  history_.push_back(std::move(initial));
+}
+
+void KnowledgeBase::AbsorbSession(telemetry::SessionId session,
+                                  const std::vector<std::string>& discovered,
+                                  std::vector<DiagnosisMemoEntry> memos,
+                                  const KbSessionStats& stats) {
+  memo_hits_.fetch_add(stats.memo_hits, std::memory_order_relaxed);
+  memo_misses_.fetch_add(stats.memo_misses, std::memory_order_relaxed);
+  known_hits_.fetch_add(stats.known_hits, std::memory_order_relaxed);
+  sessions_absorbed_.fetch_add(1, std::memory_order_relaxed);
+  if (discovered.empty() && memos.empty()) {
+    return;
+  }
+  Stripe& stripe = *stripes_[session.value % stripes_.size()];
+  std::lock_guard<simkit::SpinLock> lock(stripe.lock);
+  for (size_t i = 0; i < discovered.size(); ++i) {
+    stripe.discoveries.push_back({session.value, static_cast<uint32_t>(i), discovered[i]});
+  }
+  for (size_t i = 0; i < memos.size(); ++i) {
+    stripe.memos.push_back({session.value, static_cast<uint32_t>(i), std::move(memos[i])});
+  }
+}
+
+bool KnowledgeBase::Publish() {
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  std::vector<PendingDiscovery> discoveries;
+  std::vector<PendingMemo> memos;
+  for (auto& stripe : stripes_) {
+    std::lock_guard<simkit::SpinLock> lock(stripe->lock);
+    std::move(stripe->discoveries.begin(), stripe->discoveries.end(),
+              std::back_inserter(discoveries));
+    std::move(stripe->memos.begin(), stripe->memos.end(), std::back_inserter(memos));
+    stripe->discoveries.clear();
+    stripe->memos.clear();
+  }
+  if (discoveries.empty() && memos.empty()) {
+    return false;
+  }
+  // Deterministic merge order: (session id, discovery order) is unique per item, so the sort
+  // is a total order and the folded result is independent of stripe count, arrival order,
+  // and thread interleaving.
+  auto by_session_then_order = [](const auto& a, const auto& b) {
+    return a.session != b.session ? a.session < b.session : a.order < b.order;
+  };
+  std::sort(discoveries.begin(), discoveries.end(), by_session_then_order);
+  std::sort(memos.begin(), memos.end(), by_session_then_order);
+
+  const Version& prev = *history_.back();
+  auto next = std::make_unique<Version>();
+  next->epoch = prev.epoch + 1;
+  next->db = prev.db;  // overlay copy: the seed stays a base pointer, never duplicated
+  next->memos = prev.memos;
+  for (const PendingDiscovery& discovery : discoveries) {
+    next->db.AddDiscovered(discovery.api);
+  }
+  for (PendingMemo& memo : memos) {
+    // First writer wins; any writer would do — Analyze is pure in the key, so every entry
+    // for a key carries the same Diagnosis.
+    next->memos.try_emplace(std::move(memo.entry.key), memo.entry.diagnosis);
+  }
+  current_.store(next.get(), std::memory_order_release);
+  history_.push_back(std::move(next));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+KnowledgeBase::Stats KnowledgeBase::TotalStats() const {
+  Stats stats;
+  stats.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  stats.memo_misses = memo_misses_.load(std::memory_order_relaxed);
+  stats.known_hits = known_hits_.load(std::memory_order_relaxed);
+  stats.sessions_absorbed = sessions_absorbed_.load(std::memory_order_relaxed);
+  stats.publishes = publishes_.load(std::memory_order_relaxed);
+  Snapshot snapshot = Acquire();
+  stats.epoch = snapshot.epoch();
+  stats.discovered = snapshot.discovered_size();
+  stats.memo_entries = snapshot.memo_size();
+  return stats;
+}
+
+}  // namespace hangdoctor

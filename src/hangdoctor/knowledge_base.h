@@ -1,0 +1,228 @@
+// The fleet-shared blocking-API knowledge base: what turns N private per-session
+// BlockingApiDatabase copies into one epoch-published structure (ROADMAP: "fleet-scale
+// knowledge base and analytics"). The paper's overhead argument rests on reuse — once an API
+// is Diagnoser-confirmed as blocking, later sessions should skip straight to the verdict
+// instead of re-running the diagnosis — and at fleet scale that reuse has to happen *across*
+// sessions without putting a lock on the telemetry hot path.
+//
+// Design (RCU-style epochs):
+//  - Readers call Acquire(): one atomic acquire-load of the current Version pointer. The
+//    returned Snapshot is an immutable view — membership probes and diagnosis-memo lookups
+//    run lock-free and contention-free for the session's whole life. Every Version ever
+//    published is kept alive in the history until the KnowledgeBase dies, so a Snapshot can
+//    never dangle (no per-reader refcount needed, which keeps Acquire to a single load).
+//  - Writers (sessions closing) call AbsorbSession(): confirmations and memo entries land in
+//    a striped pending buffer under a nanosecond-scale spinlock — off the hot path, once per
+//    session.
+//  - Publish() folds everything pending into a copy of the current Version and atomically
+//    installs it. The fold is deterministic: pending items are sorted by (session id,
+//    discovery order) before merging, so the merged database is bit-identical at any
+//    {threads, shards, stripe} configuration given the same set of closed sessions.
+//
+// Determinism contract (why a shared KB cannot perturb verdicts): the detector core never
+// reads database contents to decide a verdict — the database is write-only on the detection
+// path — and the diagnosis memo caches a pure function (TraceAnalyzer::Analyze depends only
+// on the trace frame ids, the symbol table contents, and the analyzer thresholds, all of
+// which are part of the memo key). A memo hit therefore returns byte-for-byte the Diagnosis
+// that Analyze would have computed; only the work is skipped, never changed.
+#ifndef SRC_HANGDOCTOR_KNOWLEDGE_BASE_H_
+#define SRC_HANGDOCTOR_KNOWLEDGE_BASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hangdoctor/blocking_api_db.h"
+#include "src/hangdoctor/trace_analyzer.h"
+#include "src/simkit/spinlock.h"
+#include "src/telemetry/session.h"
+#include "src/telemetry/stack.h"
+#include "src/telemetry/symbols.h"
+
+namespace hangdoctor {
+
+// The exact input signature of one TraceAnalyzer::Analyze call. Equal keys imply equal
+// Diagnosis output (Analyze is pure in these inputs — timestamps are never read).
+struct DiagnosisMemoKey {
+  std::string app_package;
+  // Symbol-table identity: the table size folded with its incremental content hash
+  // (telemetry::SymbolTable::content_hash — every interned frame's strings, line,
+  // closed-library and UI bits, maintained at Intern time). Equal fingerprints mean the
+  // tables resolve every frame id identically, so together with `shape` the key fully
+  // determines the Analyze output — at O(1) query cost, since the hash is prepaid by the
+  // interning the session does anyway. Conservative on purpose: sessions whose tables
+  // differ anywhere (even in frames the traces never name) miss the memo and just re-run
+  // Analyze; they can never alias each other's cached diagnoses.
+  uint64_t symbols_fingerprint = 0;
+  TraceAnalyzerConfig analyzer;
+  // Injective flattening of the traces: for each trace its depth, then its frame ids. The
+  // per-trace length prefix makes the encoding self-delimiting, so distinct trace shapes can
+  // never flatten to the same sequence.
+  std::vector<uint32_t> shape;
+
+  bool operator==(const DiagnosisMemoKey& other) const;
+  uint64_t Hash() const;
+};
+
+DiagnosisMemoKey MakeDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
+                                      const telemetry::SymbolTable& symbols,
+                                      const std::string& app_package,
+                                      const TraceAnalyzerConfig& analyzer);
+
+// In-place variant for the per-diagnosis hot path: refills `key` reusing its string/vector
+// capacity, so a session's repeated diagnoses construct keys without allocating.
+// Semantically identical to MakeDiagnosisMemoKey.
+void FillDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
+                          const telemetry::SymbolTable& symbols,
+                          const std::string& app_package,
+                          const TraceAnalyzerConfig& analyzer, DiagnosisMemoKey* key);
+
+// A diagnosis the core computed this session, pending publication into the shared memo.
+struct DiagnosisMemoEntry {
+  DiagnosisMemoKey key;
+  Diagnosis diagnosis;
+};
+
+// Per-session counters of what the KB saved (or would have): filled by the core, folded into
+// fleet totals at harvest. memo_misses counts Trace Analyzer executions (maintained with the
+// KB off too, so a KB-off run reports the diagnoser work a KB would target); memo_hits
+// counts executions skipped via a published memo; known_hits counts confirmed culprits the
+// session's snapshot already knew fleet-wide.
+struct KbSessionStats {
+  int64_t memo_hits = 0;
+  int64_t memo_misses = 0;
+  int64_t known_hits = 0;
+};
+
+class KnowledgeBase {
+ private:
+  struct MemoKeyHash {
+    size_t operator()(const DiagnosisMemoKey& key) const {
+      return static_cast<size_t>(key.Hash());
+    }
+  };
+
+  // One published epoch: immutable once installed (the atomic release-store in Publish is
+  // the only synchronization readers need). `db` overlays the KnowledgeBase's seed, so a
+  // Version holds only the fleet's discoveries, not a copy of the seed catalog.
+  struct Version {
+    uint64_t epoch = 0;
+    BlockingApiDatabase db;
+    std::unordered_map<DiagnosisMemoKey, Diagnosis, MemoKeyHash> memos;
+  };
+
+ public:
+  explicit KnowledgeBase(BlockingApiDatabase seed = {}, int32_t stripes = kDefaultStripes);
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  // An immutable view of one published epoch. Trivially copyable; valid for the life of the
+  // KnowledgeBase it came from. A default-constructed Snapshot is the "no KB" mode: invalid,
+  // every probe misses.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+
+    bool valid() const { return version_ != nullptr; }
+    uint64_t epoch() const { return version_ != nullptr ? version_->epoch : 0; }
+
+    // Membership across seed ∪ published discoveries (invalid snapshots know nothing).
+    bool IsKnown(std::string_view api) const {
+      return version_ != nullptr && version_->db.IsKnown(api);
+    }
+
+    // Cached diagnosis for an exact Analyze input, or null. The pointer lives as long as the
+    // KnowledgeBase (Versions are never destroyed before it).
+    const Diagnosis* FindMemo(const DiagnosisMemoKey& key) const;
+
+    size_t discovered_size() const {
+      return version_ != nullptr ? version_->db.discovered().size() : 0;
+    }
+    size_t memo_size() const { return version_ != nullptr ? version_->memos.size() : 0; }
+
+   private:
+    friend class KnowledgeBase;
+    explicit Snapshot(const Version* version) : version_(version) {}
+
+    const Version* version_ = nullptr;
+  };
+
+  // The reader hot path: one atomic acquire-load, no locks, no refcounts.
+  Snapshot Acquire() const {
+    return Snapshot(current_.load(std::memory_order_acquire));
+  }
+
+  // The immutable seed catalog every Version overlays. Stable for the KB's life, so
+  // per-session databases may overlay it directly.
+  const BlockingApiDatabase& seed() const { return seed_; }
+
+  // Feeds one closed session's confirmations and memo entries into the pending stripes
+  // (callable from any thread; a session id must be absorbed at most once). `discovered`
+  // must be the session's discoveries in their local discovery order — the order half of the
+  // deterministic (session id, discovery order) merge key.
+  void AbsorbSession(telemetry::SessionId session, const std::vector<std::string>& discovered,
+                     std::vector<DiagnosisMemoEntry> memos, const KbSessionStats& stats);
+
+  // Epoch boundary: folds everything pending into a new Version and atomically publishes
+  // it. Deterministic merge order (ascending session id, then discovery order); serialized
+  // internally; a no-op returning false when nothing is pending.
+  bool Publish();
+
+  struct Stats {
+    int64_t memo_hits = 0;
+    int64_t memo_misses = 0;
+    int64_t known_hits = 0;
+    int64_t sessions_absorbed = 0;
+    int64_t publishes = 0;
+    uint64_t epoch = 0;          // of the current snapshot
+    size_t discovered = 0;       // published discoveries beyond the seed
+    size_t memo_entries = 0;
+  };
+  Stats TotalStats() const;
+
+  static constexpr int32_t kDefaultStripes = 16;
+
+ private:
+  struct PendingDiscovery {
+    uint64_t session = 0;
+    uint32_t order = 0;
+    std::string api;
+  };
+  struct PendingMemo {
+    uint64_t session = 0;
+    uint32_t order = 0;
+    DiagnosisMemoEntry entry;
+  };
+  // A pending stripe: contended only by sessions hashing to it, for the microseconds it
+  // takes to append a close's worth of strings.
+  struct Stripe {
+    simkit::SpinLock lock;
+    std::vector<PendingDiscovery> discoveries;
+    std::vector<PendingMemo> memos;
+  };
+
+  const BlockingApiDatabase seed_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  // Publish-side state: every Version ever published, newest last; `current_` always points
+  // into `history_`. The mutex serializes publishers only — readers never touch it.
+  mutable std::mutex publish_mutex_;
+  std::vector<std::unique_ptr<Version>> history_;
+  std::atomic<const Version*> current_{nullptr};
+
+  mutable std::atomic<int64_t> memo_hits_{0};
+  mutable std::atomic<int64_t> memo_misses_{0};
+  mutable std::atomic<int64_t> known_hits_{0};
+  mutable std::atomic<int64_t> sessions_absorbed_{0};
+  mutable std::atomic<int64_t> publishes_{0};
+};
+
+}  // namespace hangdoctor
+
+#endif  // SRC_HANGDOCTOR_KNOWLEDGE_BASE_H_

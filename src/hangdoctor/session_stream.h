@@ -30,6 +30,10 @@ struct SpiPayload {
     kActionQuiesce = 3,  // quiesce
     kCounterFault = 4,   // fault
     kSessionClose = 5,   // finalize the session and harvest its result
+    // Knowledge-base epoch boundary: publish pending discoveries/memos (no-op without a KB).
+    // Not tied to any session — carries no payload fields; the HDSL v3 replayer synthesizes
+    // these from recorded kEpochPublish frames so replay reproduces the snapshot schedule.
+    kKbPublish = 6,
   };
 
   Kind kind = Kind::kSessionClose;

@@ -35,8 +35,7 @@ HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, HangDoctorCon
 }
 
 HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, const HangDoctorConfig& config,
-                       DetectorService* service, telemetry::SessionId id,
-                       const BlockingApiDatabase* known_db, int32_t device_id,
+                       DetectorService* service, telemetry::SessionId id, int32_t device_id,
                        TelemetrySink* sink, faultsim::FaultPlan plan)
     : phone_(phone),
       app_(app),
@@ -46,7 +45,7 @@ HangDoctor::HangDoctor(droidsim::Phone* phone, droidsim::App* app, const HangDoc
       config_(config),
       sampler_(&phone->sim(), &app->main_looper(), config_.sample_interval) {
   SessionInfo info = MakeSessionInfo(*app, device_id);
-  service->Open(id, info, config_, known_db);
+  service->Open(id, info, config_);
   handle_ = std::make_unique<DetectorService::SessionHandle>(service->Handle(id));
   backend_ = handle_.get();
   FinishSetup(std::move(plan), info);

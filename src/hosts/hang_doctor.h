@@ -52,12 +52,13 @@ class HangDoctor : public droidsim::AppObserver {
              int32_t device_id = 0, TelemetrySink* sink = nullptr,
              faultsim::FaultPlan plan = {});
   // Service mode: opens session `id` on `service` (throws std::invalid_argument if the id is
-  // already open) and streams this app's telemetry into it. The service must outlive this
-  // object; the caller owns the session's lifecycle end — harvest with service->Close(id)
-  // (or Discard) after the run. The core-state accessors below must not be used in this mode.
+  // already open) and streams this app's telemetry into it. The session's seed catalog and
+  // knowledge base come from the service (ServiceOptions.seed_db / knowledge_base — one
+  // source of truth, not a per-session pointer). The service must outlive this object; the
+  // caller owns the session's lifecycle end — harvest with service->Close(id) (or Discard)
+  // after the run. The core-state accessors below must not be used in this mode.
   HangDoctor(droidsim::Phone* phone, droidsim::App* app, const HangDoctorConfig& config,
-             DetectorService* service, telemetry::SessionId id,
-             const BlockingApiDatabase* known_db = nullptr, int32_t device_id = 0,
+             DetectorService* service, telemetry::SessionId id, int32_t device_id = 0,
              TelemetrySink* sink = nullptr, faultsim::FaultPlan plan = {});
   ~HangDoctor() override;
   HangDoctor(const HangDoctor&) = delete;

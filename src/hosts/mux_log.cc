@@ -49,7 +49,8 @@ bool ScanForMux(const std::string& bytes, SessionLogLayout* layout, std::string*
 
 struct Frame {
   MuxFrameTag tag = MuxFrameTag::kEnd;
-  telemetry::SessionId id{0};
+  telemetry::SessionId id{0};  // publish ordinal for kEpochPublish frames
+  size_t frame_offset = 0;     // offset of the tag byte in the stream
   size_t payload_offset = 0;
   size_t payload_size = 0;
 };
@@ -72,6 +73,7 @@ bool ParseMuxFrames(const std::string& data, std::vector<Frame>* frames, std::st
   }
   while (pos < data.size()) {
     Frame frame;
+    frame.frame_offset = pos;
     frame.tag = static_cast<MuxFrameTag>(static_cast<uint8_t>(data[pos++]));
     if (frame.tag == MuxFrameTag::kEnd) {
       if (pos != data.size()) {
@@ -107,6 +109,7 @@ bool ParseMuxFrames(const std::string& data, std::vector<Frame>* frames, std::st
         break;
       }
       case MuxFrameTag::kCloseSession:
+      case MuxFrameTag::kEpochPublish:  // the varint read above is the publish ordinal
         break;
       default:
         *error = "unknown frame tag " + std::to_string(static_cast<int>(frame.tag));
@@ -164,6 +167,8 @@ bool AssembleSessions(const std::string& data, const std::vector<Frame>& frames,
             static_cast<char>(SessionRecordTag::kEnd));
         break;
       }
+      case MuxFrameTag::kEpochPublish:
+        break;  // no session bytes: a knowledge-base epoch boundary, replay-only
       case MuxFrameTag::kEnd:
         for (const auto& [id, state] : states) {
           if (!state.closed) {
@@ -231,7 +236,13 @@ bool MuxSessionLogs(std::span<const SessionLogSlice> sessions, std::span<const s
   out->clear();
   out->append(kSessionLogMagic, sizeof(kSessionLogMagic));
   PutVarint(out, kMuxLogVersion);
+  uint64_t publish_seq = 0;
   for (size_t index : schedule) {
+    if (index == kMuxEpochPublish) {
+      out->push_back(static_cast<char>(MuxFrameTag::kEpochPublish));
+      PutVarint(out, ++publish_seq);
+      continue;
+    }
     if (index >= sessions.size()) {
       *error = "schedule entry " + std::to_string(index) + " out of range";
       return false;
@@ -267,6 +278,23 @@ bool MuxSessionLogs(std::span<const SessionLogSlice> sessions, std::span<const s
     }
   }
   out->push_back(static_cast<char>(MuxFrameTag::kEnd));
+  return true;
+}
+
+bool ScanMuxLog(const std::string& bytes, SessionLogLayout* layout, std::string* error) {
+  std::vector<Frame> frames;
+  if (!ParseMuxFrames(bytes, &frames, error)) {
+    return false;
+  }
+  *layout = SessionLogLayout{};
+  // ParseMuxFrames guarantees at least the kEnd frame, so record_offsets is never empty and
+  // — matching ScanSessionLog's contract — its back() is the end marker's offset.
+  layout->header_end = frames.front().frame_offset;
+  layout->symtab_begin = layout->header_end;
+  layout->record_offsets.reserve(frames.size());
+  for (const Frame& frame : frames) {
+    layout->record_offsets.push_back(frame.frame_offset);
+  }
   return true;
 }
 
@@ -322,6 +350,15 @@ bool ReplayMultiplexedLog(const std::string& bytes, const ServiceOptions& option
     if (frame.tag == MuxFrameTag::kEnd) {
       break;
     }
+    if (frame.tag == MuxFrameTag::kEpochPublish) {
+      // Recorded epoch boundary: replay it as the service-wide publish record so the
+      // replayed run sees the exact snapshot schedule the live run did.
+      ServiceRecord publish;
+      publish.session = telemetry::SessionId{0};
+      publish.record.kind = SpiPayload::Kind::kKbPublish;
+      stream.push_back(std::move(publish));
+      continue;
+    }
     size_t index = index_of.at(frame.id.value);
     ServiceRecord out;
     out.session = frame.id;
@@ -366,6 +403,7 @@ bool ReplayMultiplexedLog(const std::string& bytes, const ServiceOptions& option
         break;
       }
       case MuxFrameTag::kEnd:
+      case MuxFrameTag::kEpochPublish:  // both handled before the switch
         break;
     }
     stream.push_back(std::move(out));

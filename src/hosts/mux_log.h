@@ -13,6 +13,12 @@
 //                       which is why mux refuses a log whose end marker is not its final
 //                       byte — the reconstruction must be able to regenerate it exactly.
 //   kEnd          = 4 : last byte of the stream; every opened session must be closed.
+//   kEpochPublish = 5 : varint seq (1-based publish ordinal). Not tied to any session: it
+//                       records that the ingesting service published a knowledge-base epoch
+//                       here (ServiceOptions.knowledge_base), so replay reproduces the exact
+//                       snapshot schedule the live run saw. Demux ignores these frames (the
+//                       per-session v2 bytes are unchanged); replay turns each one into a
+//                       SpiPayload::Kind::kKbPublish service record.
 //
 // A session's frames appear in its v2 order; frames of different sessions interleave freely.
 // ReplayMultiplexedLog turns the frame sequence into the equivalent interleaved SPI stream
@@ -41,7 +47,12 @@ enum class MuxFrameTag : uint8_t {
   kRecord = 2,
   kCloseSession = 3,
   kEnd = 4,
+  kEpochPublish = 5,
 };
+
+// Schedule sentinel for MuxSessionLogs: an entry equal to this emits a kEpochPublish frame
+// (sequence numbers assigned 1, 2, ... in schedule order) instead of a session frame.
+inline constexpr size_t kMuxEpochPublish = static_cast<size_t>(-1);
 
 // One v2 session log traveling under a stream id.
 struct SessionLogSlice {
@@ -64,10 +75,17 @@ bool MuxSessionLogs(std::span<const SessionLogSlice> sessions, std::span<const s
                     std::string* out, std::string* error);
 
 // Demultiplexes a v3 stream back into the per-session v2 logs, byte-identical to what was
-// muxed, ordered by each session's open frame. Each reconstructed log is re-validated, so a
-// corrupt container fails here rather than downstream.
+// muxed, ordered by each session's open frame. Epoch-publish frames are ignored (they carry
+// no session bytes). Each reconstructed log is re-validated, so a corrupt container fails
+// here rather than downstream.
 bool DemuxSessionLog(const std::string& bytes, std::vector<SessionLogSlice>* sessions,
                      std::string* error);
+
+// Structural scan of a v3 stream, the mux analogue of ScanSessionLog: `header_end` is the
+// offset just past the version varint, `record_offsets` holds the byte offset of every
+// frame's tag byte (the final kEnd frame included). Lets offset-based tooling — notably the
+// fuzzer's record-level mutations — treat v3 containers like v2 logs.
+bool ScanMuxLog(const std::string& bytes, SessionLogLayout* layout, std::string* error);
 
 // Replays a v3 stream through a DetectorService: each open frame opens a session, each
 // record frame pushes the decoded SPI record (usage footers carry no SPI traffic and are

@@ -166,6 +166,9 @@ bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout*
   log->config.keep_traces = parser.GetByte() != 0;
 
   log->symbols = std::make_unique<telemetry::SymbolTable>();
+  if (layout != nullptr) {
+    layout->symtab_begin = parser.pos();
+  }
   uint64_t num_frames = parser.GetVarint();
   for (uint64_t i = 0; parser.ok() && i < num_frames; ++i) {
     telemetry::StackFrame frame;
@@ -504,6 +507,7 @@ bool LoadSessionLogBytes(const std::string& bytes, SessionLog* log, std::string*
 bool ScanSessionLog(const std::string& bytes, SessionLogLayout* layout, std::string* error) {
   SessionLog scratch;
   layout->header_end = 0;
+  layout->symtab_begin = 0;
   layout->record_offsets.clear();
   return ParseSessionLog(bytes, &scratch, layout, error);
 }

@@ -128,6 +128,10 @@ struct SessionLog {
 struct SessionLogLayout {
   // Offset one past the header (= offset of the first record's tag byte).
   size_t header_end = 0;
+  // Offset of the symbol table's count varint inside the header; the table's encoding runs
+  // [symtab_begin, header_end). Lets the compactor (src/hosts/compact_log.h) swap the symbol
+  // section for pool references while copying every other header byte verbatim.
+  size_t symtab_begin = 0;
   // Offset of every record's tag byte, in stream order, including kTraceUsage and the
   // trailing kEnd marker.
   std::vector<size_t> record_offsets;

@@ -1,10 +1,39 @@
 #include "src/telemetry/symbols.h"
 
+#include <cstring>
+#include <string_view>
 #include <utility>
 
 namespace telemetry {
 
 namespace {
+
+// Word-at-a-time FNV-1a fold for the incremental content hash: one xor-multiply per 8-byte
+// chunk. Not the canonical byte stream — fine: nothing stored pins these values, they only
+// give two content-identical tables the same fingerprint.
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FoldBytes(uint64_t hash, const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    hash = (hash ^ word) * kFnvPrime;
+    bytes += 8;
+    size -= 8;
+  }
+  for (size_t i = 0; i < size; ++i) {
+    hash = (hash ^ bytes[i]) * kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FoldString(uint64_t hash, std::string_view s) {
+  // Length prefix keeps concatenated fields injective ("a","bc" vs "ab","c").
+  uint64_t size = s.size();
+  hash = FoldBytes(hash, &size, sizeof(size));
+  return FoldBytes(hash, s.data(), s.size());
+}
 
 // Dedup key over the census identity (function, clazz, file, line). '\0' separators keep
 // distinct tuples from colliding.
@@ -33,6 +62,15 @@ FrameId SymbolTable::Intern(StackFrame frame, bool is_ui) {
   is_ui_.push_back(is_ui ? 1 : 0);
   frames_.push_back(std::move(frame));
   by_key_.emplace(std::move(key), id);
+  const StackFrame& stored = frames_.back();
+  uint64_t hash = content_hash_;
+  hash = FoldString(hash, stored.function);
+  hash = FoldString(hash, stored.clazz);
+  hash = FoldString(hash, stored.file);
+  uint64_t line_flags = static_cast<uint64_t>(static_cast<uint32_t>(stored.line)) |
+                        (uint64_t{stored.in_closed_library ? 1u : 0u} << 32) |
+                        (uint64_t{is_ui ? 1u : 0u} << 33);
+  content_hash_ = FoldBytes(hash, &line_flags, sizeof(line_flags));
   return id;
 }
 

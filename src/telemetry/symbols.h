@@ -38,6 +38,13 @@ class SymbolTable {
   bool IsUi(FrameId id) const { return is_ui_[id] != 0; }
   size_t size() const { return frames_.size(); }
 
+  // Incremental content hash over every interned frame (strings, line, closed-library and
+  // UI bits), folded at Intern time — O(1) to query. Two tables with equal (size,
+  // content_hash) resolve every FrameId to identical content, which lets the knowledge
+  // base's diagnosis memos use the pair as the symbol half of an Analyze input signature
+  // without rehashing any symbols per diagnosis.
+  uint64_t content_hash() const { return content_hash_; }
+
   // True when any frame of `trace` matches (clazz, function) — the symbolic containment
   // query tests and walkthroughs use.
   bool TraceContains(const StackTrace& trace, std::string_view clazz,
@@ -55,6 +62,7 @@ class SymbolTable {
   std::vector<StackFrame> frames_;           // indexed by FrameId
   std::vector<uint8_t> is_ui_;               // indexed by FrameId
   std::unordered_map<std::string, FrameId> by_key_;  // content dedup
+  uint64_t content_hash_ = 0xcbf29ce484222325ULL;    // FNV-1a offset basis
 };
 
 }  // namespace telemetry

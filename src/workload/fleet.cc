@@ -97,12 +97,11 @@ FleetJobResult RunFleetJobImpl(const FleetJob& job, CapturedJob* capture) {
     throw std::invalid_argument("FleetJob.spec is null");
   }
   StampIdentity(job, &result);
-  // Private database copy: jobs never share mutable state, so a job's discoveries (and any
-  // behaviour conditioned on them) cannot depend on which other job finished first.
+  // Private overlay over the shared (immutable) seed: jobs never share *mutable* state, so a
+  // job's discoveries (and any behaviour conditioned on them) cannot depend on which other
+  // job finished first — and nobody pays a per-job copy of the catalog.
   hangdoctor::BlockingApiDatabase database;
-  if (job.known_db != nullptr) {
-    database = *job.known_db;
-  }
+  database.SetBase(job.known_db);
   std::unique_ptr<hangdoctor::SessionLogWriter> recorder = MakeRecorder(job);
   std::unique_ptr<SingleAppHarness> owned;
   if (capture != nullptr) {
@@ -169,8 +168,7 @@ FleetJobResult RunServiceFleetJob(const FleetJob& job, hangdoctor::DetectorServi
   telemetry::SessionId session_id{id};
   try {
     hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(), job.doctor, service,
-                                  session_id, job.known_db, job.device_id, recorder.get(),
-                                  MakePlan(job));
+                                  session_id, job.device_id, recorder.get(), MakePlan(job));
     harness.RunUserSession(job.session, job.user);
 
     hangdoctor::SessionResult session = service->Close(session_id);
@@ -185,6 +183,7 @@ FleetJobResult RunServiceFleetJob(const FleetJob& job, hangdoctor::DetectorServi
     result.degradation = session.degradation;
     result.stream_ok = session.stream_ok;
     result.stream_error = std::move(session.stream_error);
+    result.kb = session.kb;
     result.ok = true;
   } catch (...) {
     // The session may still be live (the harness threw mid-run); free its arena so one bad
@@ -203,9 +202,7 @@ FleetJobResult ReplayFleetJob(const std::string& path,
                               const hangdoctor::BlockingApiDatabase* known_db) {
   FleetJobResult result;
   hangdoctor::BlockingApiDatabase database;
-  if (known_db != nullptr) {
-    database = *known_db;
-  }
+  database.SetBase(known_db);
   std::string error;
   std::unique_ptr<hangdoctor::ReplaySession> session =
       hangdoctor::ReplaySessionLog(path, &error, &database);
@@ -289,13 +286,45 @@ int32_t ResolveServiceShards(const FleetOptions& options) {
              : (options.jobs > 0 ? options.jobs : simkit::ThreadPool::DefaultJobCount());
 }
 
+// Service mode holds ONE seed catalog (ServiceOptions.seed_db / the knowledge base's seed),
+// so every job of the call must agree on its known_db pointer — including agreeing on null.
+const hangdoctor::BlockingApiDatabase* UniformKnownDb(std::span<const FleetJob> jobs) {
+  const hangdoctor::BlockingApiDatabase* known_db =
+      jobs.empty() ? nullptr : jobs.front().known_db;
+  for (const FleetJob& job : jobs) {
+    if (job.known_db != known_db) {
+      throw std::invalid_argument(
+          "service-mode RunFleet requires every FleetJob to share one known_db (use "
+          "FleetOptions.service = false for per-job catalogs)");
+    }
+  }
+  return known_db;
+}
+
+// Common service configuration for both service paths: one seed, or one knowledge base
+// carrying the seed plus the epoch schedule.
+hangdoctor::ServiceOptions MakeServiceOptions(std::span<const FleetJob> jobs,
+                                              const FleetOptions& options,
+                                              hangdoctor::KnowledgeBase* kb) {
+  hangdoctor::ServiceOptions service_options;
+  service_options.shards = ResolveServiceShards(options);
+  if (kb != nullptr) {
+    service_options.knowledge_base = kb;
+    service_options.kb_epoch_sessions = options.kb_epoch_sessions;
+  } else {
+    service_options.seed_db = UniformKnownDb(jobs);
+  }
+  return service_options;
+}
+
 // The two-phase fleet (FleetOptions::threads >= 1): simulate device-side while capturing
 // each session's post-injection SPI stream, then push every captured session through the
 // service's pipelined ingest and let the service-harvested results replace the per-job ones.
 // Per-session purity makes the replacement invisible — phase B recomputes exactly what phase
 // A's private cores concluded — which is the point: the *pipeline* is on the fleet path, and
 // any divergence is a determinism bug the equivalence tests catch.
-FleetSummary RunPipelinedFleet(std::span<const FleetJob> jobs, const FleetOptions& options) {
+FleetSummary RunPipelinedFleet(std::span<const FleetJob> jobs, const FleetOptions& options,
+                               hangdoctor::KnowledgeBase* kb) {
   FleetSummary summary;
   std::vector<std::unique_ptr<CapturedJob>> captures(jobs.size());
 
@@ -315,8 +344,7 @@ FleetSummary RunPipelinedFleet(std::span<const FleetJob> jobs, const FleetOption
   // Phase B: backend ingest. One producer per ingest thread (capped by the job count); job i
   // belongs to producer i % producers, and every session's records are pushed in order by
   // exactly one producer — the service's determinism contract.
-  hangdoctor::ServiceOptions service_options;
-  service_options.shards = ResolveServiceShards(options);
+  hangdoctor::ServiceOptions service_options = MakeServiceOptions(jobs, options, kb);
   service_options.threads = options.threads;
   hangdoctor::DetectorService service(service_options);
   size_t producers = std::min<size_t>(static_cast<size_t>(options.threads), jobs.size());
@@ -331,7 +359,7 @@ FleetSummary RunPipelinedFleet(std::span<const FleetJob> jobs, const FleetOption
           if (capture == nullptr) {
             continue;
           }
-          hangdoctor::DetectorService::Ingestor ingestor(&service, jobs[i].known_db);
+          hangdoctor::DetectorService::Ingestor ingestor(&service);
           telemetry::SessionId id{static_cast<uint64_t>(i)};
           ingestor.Push({id, &capture->open_payload});
           for (const hangdoctor::SpiPayload& payload : capture->stream.records()) {
@@ -360,6 +388,7 @@ FleetSummary RunPipelinedFleet(std::span<const FleetJob> jobs, const FleetOption
     result.degradation = session.degradation;
     result.stream_ok = session.stream_ok;
     result.stream_error = std::move(session.stream_error);
+    result.kb = session.kb;
   }
   for (hangdoctor::IngestError& error : service.TakeIngestErrors()) {
     FleetJobResult& result = summary.jobs[static_cast<size_t>(error.session.value)];
@@ -377,20 +406,38 @@ FleetSummary RunFleet(std::span<const FleetJob> jobs, const FleetOptions& option
     throw std::invalid_argument("FleetOptions.threads must be >= 0, got " +
                                 std::to_string(options.threads));
   }
+  if (options.kb_epoch_sessions < 0) {
+    throw std::invalid_argument("FleetOptions.kb_epoch_sessions must be >= 0, got " +
+                                std::to_string(options.kb_epoch_sessions));
+  }
   if (!options.service) {
     // The per-job oracle: one private DetectorCore per job. Kept for the equivalence tests
-    // that pin service mode against it.
+    // that pin service mode (and the shared knowledge base) against it.
     return RunFleetWith(jobs.size(), options,
                         [&jobs](size_t i) { return RunFleetJob(jobs[i]); });
   }
-  if (options.threads > 0) {
-    return RunPipelinedFleet(jobs, options);
+  std::unique_ptr<hangdoctor::KnowledgeBase> kb;
+  if (options.shared_kb) {
+    const hangdoctor::BlockingApiDatabase* seed = UniformKnownDb(jobs);
+    kb = std::make_unique<hangdoctor::KnowledgeBase>(
+        seed != nullptr ? *seed : hangdoctor::BlockingApiDatabase{});
   }
-  hangdoctor::DetectorService service(
-      hangdoctor::ServiceOptions{ResolveServiceShards(options)});
-  return RunFleetWith(jobs.size(), options, [&jobs, &service](size_t i) {
-    return RunServiceFleetJob(jobs[i], &service, static_cast<uint64_t>(i));
-  });
+  FleetSummary summary;
+  if (options.threads > 0) {
+    summary = RunPipelinedFleet(jobs, options, kb.get());
+  } else {
+    hangdoctor::DetectorService service(MakeServiceOptions(jobs, options, kb.get()));
+    summary = RunFleetWith(jobs.size(), options, [&jobs, &service](size_t i) {
+      return RunServiceFleetJob(jobs[i], &service, static_cast<uint64_t>(i));
+    });
+  }
+  if (kb != nullptr) {
+    // Final epoch: everything the last sessions confirmed becomes part of the published
+    // state before the totals are read.
+    kb->Publish();
+    summary.kb = kb->TotalStats();
+  }
+  return summary;
 }
 
 FleetSummary ReplayFleet(std::span<const std::string> paths, const FleetOptions& options,
@@ -483,6 +530,18 @@ int32_t ResolveThreads(int argc, char** argv) {
     throw std::invalid_argument("--threads must be >= 1, got " + value);
   }
   return threads;
+}
+
+int64_t ResolveKbEpoch(int argc, char** argv) {
+  std::string value = FlagValue(argc, argv, "--kb-epoch=");
+  if (value.empty()) {
+    return FleetOptions{}.kb_epoch_sessions;
+  }
+  int64_t epoch = std::atoll(value.c_str());
+  if (epoch < 0 || (epoch == 0 && value != "0")) {
+    throw std::invalid_argument("--kb-epoch must be >= 0, got " + value);
+  }
+  return epoch;
 }
 
 bool HasFlag(int argc, char** argv, const char* flag) {

@@ -38,9 +38,12 @@ struct FleetJob {
   UserSessionConfig user;
   hangdoctor::HangDoctorConfig doctor;
   int32_t device_id = 0;  // stamped on bug-report entries (device-coverage ordering)
-  // Known blocking APIs to seed the job's *private* database copy with; null = empty. Each
-  // job copies it so no mutable state is shared across workers and discoveries stay
-  // deterministic regardless of which job finishes first.
+  // Known blocking APIs seeding the job's database; null = empty. Each job *overlays* it
+  // (src/hangdoctor/blocking_api_db.h) so no mutable state is shared across workers and
+  // discoveries stay deterministic regardless of which job finishes first — bit-equivalent
+  // to the old per-job copy, without N copies of the catalog. Must outlive the fleet run.
+  // Service mode requires every job of one RunFleet call to carry the same pointer (the
+  // service holds one seed); per-job catalogs remain available via service = false.
   const hangdoctor::BlockingApiDatabase* known_db = nullptr;
   // When non-empty, write an HDSL session log of this job's telemetry stream here.
   std::string record_path;
@@ -82,6 +85,10 @@ struct FleetJobResult {
   // job itself still succeeds; only the recording is unusable.
   bool record_ok = true;
   std::string record_error;
+  // Shared-knowledge-base savings for this job's session (zeros without --shared-kb).
+  // Advisory, not part of the bit-identity contract: hit counts depend on which epoch the
+  // session's snapshot came from, which depends on scheduling — the verdicts never do.
+  hangdoctor::KbSessionStats kb;
 
   // One line naming the job and its health — app, device, seed, then whatever went wrong
   // (degradation counters, stream violation, torn recording). Used by table5's degradation
@@ -95,6 +102,8 @@ struct FleetSummary {
   hangdoctor::HangBugReport merged_report;
   std::vector<std::string> discovered;  // union over ok jobs, deduplicated, sorted
   size_t failed = 0;                    // jobs that threw
+  // Knowledge-base totals after the run's final publish (all-zero without shared_kb).
+  hangdoctor::KnowledgeBase::Stats kb;
 
   // Folds the results of jobs [begin, end) — e.g. one app's slice of a fleet — into a
   // fresh report, in index order.
@@ -122,6 +131,16 @@ struct FleetOptions {
   // paths at any {threads, shards}. Negative throws std::invalid_argument. Ignored when
   // `service` is false.
   int32_t threads = 0;
+  // Shared knowledge base (service mode only): every session reads epoch-published
+  // snapshots of one hangdoctor::KnowledgeBase seeded from the jobs' common known_db and
+  // publishes its confirmations back at epoch boundaries — the paper's reuse loop, fleet-
+  // wide. Fleet output stays bit-identical to shared_kb = false (and to the per-job oracle)
+  // at any {threads, shards, kb_epoch_sessions}; only FleetSummary::kb / per-job kb stats
+  // change. Ignored when `service` is false.
+  bool shared_kb = false;
+  // Epoch length for shared_kb: publish every N closed sessions (0 = only at ingest
+  // barriers and the end-of-run publish).
+  int64_t kb_epoch_sessions = 16;
 };
 
 // Runs one job synchronously on the calling thread (also the per-worker body of RunFleet).
@@ -152,6 +171,10 @@ int32_t ResolveShards(int argc, char** argv);
 // `--threads=N` flag helper for the service's pipelined-ingest axis: 0 when absent
 // (synchronous service ingest); throws std::invalid_argument for an explicit N < 1.
 int32_t ResolveThreads(int argc, char** argv);
+
+// `--kb-epoch=N` flag helper for --shared-kb consumers: the FleetOptions default (16) when
+// absent; throws std::invalid_argument for an explicit N < 0.
+int64_t ResolveKbEpoch(int argc, char** argv);
 
 // True when the bare `--flag` is present in argv (e.g. "--service").
 bool HasFlag(int argc, char** argv, const char* flag);

@@ -32,6 +32,8 @@
 #include "src/faultsim/hdsl_mutator.h"
 #include "src/faultsim/stream_gen.h"
 #include "src/hangdoctor/detector_core.h"
+#include "src/hangdoctor/knowledge_base.h"
+#include "src/hosts/mux_log.h"
 #include "src/hosts/replay_host.h"
 #include "src/hosts/session_log.h"
 #include "src/simkit/rng.h"
@@ -171,6 +173,86 @@ TEST(HdslFuzzTest, TruncationAtEveryRecordBoundaryIsRejected) {
       EXPECT_FALSE(error.empty()) << path << " cut at " << cut;
     }
   }
+}
+
+std::string MuxCorpusPath() { return std::string(HD_CORPUS_DIR) + "/fleet_kb.hdsl3"; }
+
+TEST(HdslMuxCorpusTest, MuxEntryDemuxesToTheV2CorpusAndReplaysWithAndWithoutKb) {
+  std::string bytes = FileBytes(MuxCorpusPath());
+  ASSERT_FALSE(bytes.empty()) << "corpus drifted from tools/make_corpus";
+
+  // The container is framing only: demux reproduces each committed v2 log byte-identically.
+  std::vector<hangdoctor::SessionLogSlice> slices;
+  std::string error;
+  ASSERT_TRUE(hangdoctor::DemuxSessionLog(bytes, &slices, &error)) << error;
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_EQ(slices.size(), files.size());
+  std::multiset<std::string> originals;
+  for (const std::string& path : files) {
+    originals.insert(FileBytes(path));
+  }
+  for (const hangdoctor::SessionLogSlice& slice : slices) {
+    auto it = originals.find(slice.bytes);
+    ASSERT_NE(it, originals.end())
+        << "session " << slice.id.value << " demuxed to bytes not in the v2 corpus";
+    originals.erase(it);
+  }
+
+  // The embedded epoch-publish frames drive a shared KB when one is attached; either way
+  // the replayed results are bit-identical, because published snapshots are advisory.
+  std::vector<hangdoctor::SessionResult> without;
+  ASSERT_TRUE(hangdoctor::ReplayMultiplexedLog(bytes, {}, &without, &error)) << error;
+  hangdoctor::KnowledgeBase kb;
+  hangdoctor::ServiceOptions with_kb;
+  with_kb.knowledge_base = &kb;
+  std::vector<hangdoctor::SessionResult> with;
+  ASSERT_TRUE(hangdoctor::ReplayMultiplexedLog(bytes, with_kb, &with, &error)) << error;
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].id.value, without[i].id.value);
+    EXPECT_EQ(with[i].app_package, without[i].app_package);
+    EXPECT_EQ(with[i].report.Render(1), without[i].report.Render(1)) << "session " << i;
+    EXPECT_EQ(with[i].discovered, without[i].discovered) << "session " << i;
+    EXPECT_EQ(with[i].stack_samples, without[i].stack_samples) << "session " << i;
+    EXPECT_EQ(with[i].stream_ok, without[i].stream_ok) << "session " << i;
+  }
+  EXPECT_EQ(kb.TotalStats().sessions_absorbed, static_cast<int64_t>(with.size()));
+}
+
+TEST(HdslMuxFuzzTest, SeededMuxMutantsNeverCrashAndFailuresAreSticky) {
+  std::string bytes = FileBytes(MuxCorpusPath());
+  ASSERT_FALSE(bytes.empty());
+  hangdoctor::SessionLogLayout layout;
+  std::string error;
+  ASSERT_TRUE(hangdoctor::ScanMuxLog(bytes, &layout, &error)) << error;
+  EXPECT_GT(layout.record_offsets.size(), 8u);
+
+  // ScanMuxLog presents frame offsets exactly like v2 record offsets, so the structure-aware
+  // mutator applies unchanged; every mutant must demux + replay, or be rejected with a
+  // non-empty error — never crash (the CI fuzz-smoke leg runs this under ASan/UBSan).
+  const int64_t iters = std::max<int64_t>(FuzzIters() / 4, 200);
+  simkit::Rng rng(FuzzSeed(), /*stream=*/0x6d75786dULL);
+  int64_t parsed = 0;
+  int64_t rejected = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    faultsim::HdslMutation applied;
+    std::string mutant = faultsim::MutateSessionLog(bytes, layout.header_end,
+                                                    layout.record_offsets, rng, &applied);
+    std::vector<hangdoctor::SessionLogSlice> slices;
+    error.clear();
+    if (hangdoctor::DemuxSessionLog(mutant, &slices, &error)) {
+      ++parsed;
+      std::vector<hangdoctor::SessionResult> results;
+      std::string replay_error;
+      hangdoctor::ReplayMultiplexedLog(mutant, {}, &results, &replay_error);
+    } else {
+      ++rejected;
+      EXPECT_FALSE(error.empty()) << "iter " << i << " family "
+                                  << faultsim::HdslMutationName(applied);
+    }
+  }
+  EXPECT_EQ(parsed + rejected, iters);
+  EXPECT_GT(rejected, 0) << "mutations are too gentle to test the demuxer";
 }
 
 // Legal Figure 3 transitions under the default two-phase config (plus the degraded

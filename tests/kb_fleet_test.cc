@@ -1,0 +1,155 @@
+// Shared-knowledge-base fleet equivalence: RunFleet with shared_kb must produce output
+// bit-identical to KB-off service mode AND to the per-job oracle, for all 16 study apps, at
+// every epoch length — the KB may only ever save work (skipped diagnoser runs), never change
+// a verdict, a report, or a discovery list.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hangdoctor/blocking_api_db.h"
+#include "src/workload/catalog.h"
+#include "src/workload/experiment.h"
+#include "src/workload/fleet.h"
+
+namespace {
+
+const workload::Catalog& SharedCatalog() {
+  static const workload::Catalog* catalog = new workload::Catalog();
+  return *catalog;
+}
+
+// One job per study app — all 16 — on one device each, sharing one seed catalog.
+std::vector<workload::FleetJob> StudyFleet(const hangdoctor::BlockingApiDatabase* known_db) {
+  const workload::Catalog& catalog = SharedCatalog();
+  std::vector<workload::FleetJob> jobs;
+  for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+    workload::FleetJob job;
+    job.spec = spec;
+    job.profile = droidsim::LgV10();
+    job.seed = workload::FleetSeed(4242, jobs.size());
+    job.session = simkit::Seconds(30);
+    job.device_id = static_cast<int32_t>(jobs.size() % 4);
+    job.known_db = known_db;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+void ExpectStatsEqual(const workload::DetectionStats& a, const workload::DetectionStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.true_positives, b.true_positives) << label;
+  EXPECT_EQ(a.false_positives, b.false_positives) << label;
+  EXPECT_EQ(a.false_negatives, b.false_negatives) << label;
+  EXPECT_EQ(a.bug_hangs, b.bug_hangs) << label;
+  EXPECT_EQ(a.ui_hangs, b.ui_hangs) << label;
+  EXPECT_DOUBLE_EQ(a.overhead_pct, b.overhead_pct) << label;
+}
+
+// Full bit-for-bit comparison of every output that is part of the determinism contract.
+// FleetJobResult::kb and FleetSummary::kb are deliberately NOT compared: hit counts depend
+// on which epoch a session's snapshot came from (scheduling), the verdicts never do.
+void ExpectSummariesEqual(const workload::FleetSummary& oracle,
+                          const workload::FleetSummary& kb_run, const std::string& label) {
+  ASSERT_EQ(oracle.jobs.size(), kb_run.jobs.size()) << label;
+  EXPECT_EQ(oracle.failed, kb_run.failed) << label;
+  ExpectStatsEqual(oracle.merged_stats, kb_run.merged_stats, label + " merged_stats");
+  EXPECT_EQ(oracle.merged_report.Render(4), kb_run.merged_report.Render(4)) << label;
+  EXPECT_EQ(oracle.discovered, kb_run.discovered) << label;
+  for (size_t i = 0; i < oracle.jobs.size(); ++i) {
+    const workload::FleetJobResult& a = oracle.jobs[i];
+    const workload::FleetJobResult& b = kb_run.jobs[i];
+    const std::string job_label = label + " job " + std::to_string(i);
+    EXPECT_EQ(a.ok, b.ok) << job_label;
+    EXPECT_EQ(a.app_package, b.app_package) << job_label;
+    ExpectStatsEqual(a.stats, b.stats, job_label + " stats");
+    EXPECT_EQ(a.report.Render(4), b.report.Render(4)) << job_label;
+    EXPECT_EQ(a.discovered, b.discovered) << job_label;
+    EXPECT_DOUBLE_EQ(a.overhead_pct, b.overhead_pct) << job_label;
+    EXPECT_EQ(a.stack_samples, b.stack_samples) << job_label;
+    EXPECT_EQ(a.stream_ok, b.stream_ok) << job_label;
+    EXPECT_EQ(a.Describe(), b.Describe()) << job_label;
+  }
+}
+
+TEST(KbFleetTest, SharedKbMatchesOracleAndKbOffAtEveryEpochLength) {
+  const workload::Catalog& catalog = SharedCatalog();
+  hangdoctor::BlockingApiDatabase known_db = catalog.MakeKnownDatabase();
+  ASSERT_EQ(catalog.study_apps().size(), 16u);
+  std::vector<workload::FleetJob> jobs = StudyFleet(&known_db);
+
+  workload::FleetOptions oracle_options;
+  oracle_options.jobs = 2;
+  oracle_options.service = false;
+  workload::FleetSummary oracle = workload::RunFleet(jobs, oracle_options);
+  ASSERT_EQ(oracle.failed, 0u);
+
+  workload::FleetOptions off_options;
+  off_options.jobs = 2;
+  workload::FleetSummary kb_off = workload::RunFleet(jobs, off_options);
+  ExpectSummariesEqual(oracle, kb_off, "kb-off vs oracle");
+  EXPECT_EQ(kb_off.kb.publishes, 0);  // no KB, no stats
+
+  for (int64_t epoch : {int64_t{1}, int64_t{16}, int64_t{0}}) {
+    workload::FleetOptions options;
+    options.jobs = 2;
+    options.shared_kb = true;
+    options.kb_epoch_sessions = epoch;
+    workload::FleetSummary kb_on = workload::RunFleet(jobs, options);
+    ExpectSummariesEqual(oracle, kb_on, "kb-on epoch=" + std::to_string(epoch));
+    // The KB really ran: every session was absorbed and the final publish happened.
+    EXPECT_EQ(kb_on.kb.sessions_absorbed, 16) << epoch;
+    EXPECT_GE(kb_on.kb.publishes, 1) << epoch;
+    EXPECT_GE(kb_on.kb.epoch, 1u) << epoch;
+    EXPECT_EQ(kb_on.kb.discovered, oracle.discovered.size()) << epoch;
+  }
+}
+
+TEST(KbFleetTest, SharedKbWorksWithoutASeedCatalog) {
+  // Null known_db on every job: the KB seeds empty; equivalence must still hold.
+  std::vector<workload::FleetJob> jobs = StudyFleet(nullptr);
+  jobs.resize(4);
+
+  workload::FleetOptions oracle_options;
+  oracle_options.jobs = 2;
+  oracle_options.service = false;
+  workload::FleetSummary oracle = workload::RunFleet(jobs, oracle_options);
+
+  workload::FleetOptions options;
+  options.jobs = 2;
+  options.shared_kb = true;
+  options.kb_epoch_sessions = 1;
+  workload::FleetSummary kb_on = workload::RunFleet(jobs, options);
+  ExpectSummariesEqual(oracle, kb_on, "kb-on no-seed");
+}
+
+TEST(KbFleetTest, ServiceModeRejectsMixedSeedCatalogs) {
+  const workload::Catalog& catalog = SharedCatalog();
+  hangdoctor::BlockingApiDatabase known_db = catalog.MakeKnownDatabase();
+  std::vector<workload::FleetJob> jobs = StudyFleet(&known_db);
+  jobs.resize(2);
+  jobs[1].known_db = nullptr;  // one service, two seeds: no single source of truth
+
+  workload::FleetOptions options;
+  options.jobs = 1;
+  EXPECT_THROW(workload::RunFleet(jobs, options), std::invalid_argument);
+  // The per-job oracle path still supports heterogeneous catalogs.
+  options.service = false;
+  workload::FleetSummary summary = workload::RunFleet(jobs, options);
+  EXPECT_EQ(summary.failed, 0u);
+}
+
+TEST(KbFleetTest, KbEpochFlagParses) {
+  const char* argv_default[] = {"t"};
+  EXPECT_EQ(workload::ResolveKbEpoch(1, const_cast<char**>(argv_default)), 16);
+  const char* argv_set[] = {"t", "--kb-epoch=64"};
+  EXPECT_EQ(workload::ResolveKbEpoch(2, const_cast<char**>(argv_set)), 64);
+  const char* argv_zero[] = {"t", "--kb-epoch=0"};
+  EXPECT_EQ(workload::ResolveKbEpoch(2, const_cast<char**>(argv_zero)), 0);
+  const char* argv_bad[] = {"t", "--kb-epoch=-3"};
+  EXPECT_THROW(workload::ResolveKbEpoch(2, const_cast<char**>(argv_bad)),
+               std::invalid_argument);
+}
+
+}  // namespace

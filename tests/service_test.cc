@@ -215,10 +215,13 @@ TEST(DetectorServiceTest, MergeSessionReportsFoldsInAscendingIdOrder) {
   for (uint64_t id : {42, 7, 19}) {
     workload::SingleAppHarness harness(droidsim::LgV10(),
                                        catalog.study_apps()[id % 3], 8800 + id);
-    hangdoctor::DetectorService service(hangdoctor::ServiceOptions{1});
+    hangdoctor::ServiceOptions options;
+    options.shards = 1;
+    options.seed_db = &known_db;  // the seed lives in the service now, not per session
+    hangdoctor::DetectorService service(options);
     hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
                                   hangdoctor::HangDoctorConfig{}, &service,
-                                  telemetry::SessionId{id}, &known_db);
+                                  telemetry::SessionId{id});
     (void)doctor;
     harness.RunUserSession(simkit::Seconds(20));
     results.push_back(service.Close(telemetry::SessionId{id}));

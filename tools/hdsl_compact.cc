@@ -1,0 +1,163 @@
+// hdsl_compact: fleet-log compaction and rollups over HDSL session logs.
+//
+//   hdsl_compact compact <log-dir> <archive>   # every *.hdsl in <log-dir> -> one HDSC file
+//   hdsl_compact extract <archive> <out-dir>   # archive -> the original logs, byte-identical
+//   hdsl_compact rollup  <archive> [out-dir]   # per-app + per-API CSV (stdout, or two files)
+//
+// Logs are taken in sorted file-name order, so the archive — and every rollup derived from
+// it — is a deterministic function of the directory's contents.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "src/hosts/compact_log.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hdsl_compact compact <log-dir> <archive>\n"
+               "       hdsl_compact extract <archive> <out-dir>\n"
+               "       hdsl_compact rollup  <archive> [out-dir]\n");
+  return 2;
+}
+
+bool ReadFile(const std::filesystem::path& path, std::string* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path.string();
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool WriteFile(const std::filesystem::path& path, const std::string& bytes,
+               std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    *error = "cannot write " + path.string();
+    return false;
+  }
+  return true;
+}
+
+int Compact(const std::string& dir, const std::string& archive_path) {
+  std::string error;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".hdsl") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<hangdoctor::CompactInput> logs(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    logs[i].name = paths[i].filename().string();
+    if (!ReadFile(paths[i], &logs[i].bytes, &error)) {
+      std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::string archive;
+  hangdoctor::CompactStats stats;
+  if (!hangdoctor::CompactSessionLogs(logs, &archive, &stats, &error)) {
+    std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+    return 1;
+  }
+  if (!WriteFile(archive_path, archive, &error)) {
+    std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("compacted %zu logs: %zu -> %zu bytes (%.1f%%), pool %zu strings / %zu bytes\n",
+              stats.logs, stats.input_bytes, stats.output_bytes,
+              stats.input_bytes > 0
+                  ? 100.0 * static_cast<double>(stats.output_bytes) /
+                        static_cast<double>(stats.input_bytes)
+                  : 0.0,
+              stats.pool_strings, stats.pool_bytes);
+  return 0;
+}
+
+int Extract(const std::string& archive_path, const std::string& out_dir) {
+  std::string error;
+  std::string archive;
+  if (!ReadFile(archive_path, &archive, &error)) {
+    std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<hangdoctor::CompactInput> logs;
+  if (!hangdoctor::ExtractCompactLog(archive, &logs, &error)) {
+    std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+    return 1;
+  }
+  std::filesystem::create_directories(out_dir);
+  for (const hangdoctor::CompactInput& log : logs) {
+    // Names came from filename() at compact time, but an archive is attacker-suppliable:
+    // never let one escape the output directory.
+    std::filesystem::path name(log.name);
+    if (name.filename() != name || log.name.empty()) {
+      std::fprintf(stderr, "hdsl_compact: refusing log name '%s'\n", log.name.c_str());
+      return 1;
+    }
+    if (!WriteFile(std::filesystem::path(out_dir) / name, log.bytes, &error)) {
+      std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  std::printf("extracted %zu logs to %s\n", logs.size(), out_dir.c_str());
+  return 0;
+}
+
+int Rollup(const std::string& archive_path, const std::string& out_dir) {
+  std::string error;
+  std::string archive;
+  if (!ReadFile(archive_path, &archive, &error)) {
+    std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+    return 1;
+  }
+  std::vector<hangdoctor::AppRollupRow> apps;
+  std::vector<hangdoctor::ApiRollupRow> apis;
+  if (!hangdoctor::RollupCompactLog(archive, &apps, &apis, &error)) {
+    std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+    return 1;
+  }
+  std::string app_csv = hangdoctor::RenderAppRollupCsv(apps);
+  std::string api_csv = hangdoctor::RenderApiRollupCsv(apis);
+  if (out_dir.empty()) {
+    std::fputs(app_csv.c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(api_csv.c_str(), stdout);
+    return 0;
+  }
+  std::filesystem::create_directories(out_dir);
+  if (!WriteFile(std::filesystem::path(out_dir) / "apps.csv", app_csv, &error) ||
+      !WriteFile(std::filesystem::path(out_dir) / "apis.csv", api_csv, &error)) {
+    std::fprintf(stderr, "hdsl_compact: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("wrote %s/apps.csv (%zu rows) and %s/apis.csv (%zu rows)\n", out_dir.c_str(),
+              apps.size(), out_dir.c_str(), apis.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command = argc > 1 ? argv[1] : "";
+  if (command == "compact" && argc == 4) {
+    return Compact(argv[2], argv[3]);
+  }
+  if (command == "extract" && argc == 4) {
+    return Extract(argv[2], argv[3]);
+  }
+  if (command == "rollup" && (argc == 3 || argc == 4)) {
+    return Rollup(argv[2], argc == 4 ? argv[3] : "");
+  }
+  return Usage();
+}

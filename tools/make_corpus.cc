@@ -1,16 +1,23 @@
 // Regenerates the committed HDSL fuzz corpus (tests/corpus/). Each corpus file is one small
 // recorded session chosen to cover a distinct slice of the log grammar: the default config,
 // main_only (single-thread counter windows), second_phase_only + keep_traces (trace-heavy
-// records), and a fault-injected session (kCounterFault records, NaN counter diffs). All
-// seeds are fixed, so the corpus is reproducible byte-for-byte; after regenerating, refresh
-// tests/corpus/MANIFEST.sha256 (see scripts/check_corpus.sh).
+// records), and a fault-injected session (kCounterFault records, NaN counter diffs). A fifth
+// entry, fleet_kb.hdsl3, interleaves the four v2 logs into one HDSL v3 container with
+// epoch-publish frames — the on-disk shape of a --shared-kb service run — so the fuzzer
+// exercises the mux grammar too. All seeds are fixed, so the corpus is reproducible
+// byte-for-byte; after regenerating, refresh tests/corpus/MANIFEST.sha256 (see
+// scripts/check_corpus.sh).
 //
 // Usage: make_corpus <output-dir>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/faultsim/fault_plan.h"
+#include "src/hosts/mux_log.h"
 #include "src/workload/catalog.h"
 #include "src/workload/fleet.h"
 
@@ -32,6 +39,13 @@ constexpr CorpusEntry kCorpus[] = {
     {"second_phase.hdsl", 2, 103, false, /*second_phase_only=*/true, /*keep_traces=*/true},
     {"faulty.hdsl", 3, 104, false, false, false, /*fault_profile=*/"flaky-counters"},
 };
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 }  // namespace
 
@@ -68,5 +82,56 @@ int main(int argc, char** argv) {
     std::printf("%s: %s, %ju bytes\n", entry.file, job.spec->name.c_str(),
                 static_cast<uintmax_t>(std::filesystem::file_size(job.record_path)));
   }
+
+  // Fifth entry: the four v2 logs above, interleaved round-robin into one HDSL v3 container
+  // with a kEpochPublish frame after every 7th session frame — the on-disk shape of a
+  // --shared-kb DetectorService run. Deterministic because the inputs and the schedule are.
+  std::vector<hangdoctor::SessionLogSlice> slices;
+  std::vector<size_t> remaining;
+  for (size_t i = 0; i < std::size(kCorpus); ++i) {
+    hangdoctor::SessionLogSlice slice;
+    slice.id = telemetry::SessionId{static_cast<uint64_t>(i + 1)};
+    slice.bytes = ReadFile(dir + "/" + kCorpus[i].file);
+    size_t frames = 0;
+    std::string error;
+    if (!hangdoctor::MuxFrameCount(slice.bytes, &frames, &error)) {
+      std::fprintf(stderr, "framing %s failed: %s\n", kCorpus[i].file, error.c_str());
+      return 1;
+    }
+    slices.push_back(std::move(slice));
+    remaining.push_back(frames);
+  }
+  std::vector<size_t> schedule;
+  size_t emitted = 0;
+  for (bool pending = true; pending;) {
+    pending = false;
+    for (size_t s = 0; s < remaining.size(); ++s) {
+      if (remaining[s] == 0) {
+        continue;
+      }
+      --remaining[s];
+      pending = pending || remaining[s] > 0;
+      schedule.push_back(s);
+      if (++emitted % 7 == 0) {
+        schedule.push_back(hangdoctor::kMuxEpochPublish);
+      }
+    }
+  }
+  std::string mux;
+  std::string error;
+  if (!hangdoctor::MuxSessionLogs(slices, schedule, &mux, &error)) {
+    std::fprintf(stderr, "muxing fleet_kb.hdsl3 failed: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string mux_path = dir + "/fleet_kb.hdsl3";
+  std::ofstream out(mux_path, std::ios::binary | std::ios::trunc);
+  out.write(mux.data(), static_cast<std::streamsize>(mux.size()));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "writing %s failed\n", mux_path.c_str());
+    return 1;
+  }
+  std::printf("fleet_kb.hdsl3: %zu sessions multiplexed, %zu bytes\n", slices.size(),
+              mux.size());
   return 0;
 }
