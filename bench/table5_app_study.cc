@@ -52,6 +52,44 @@ std::string Downloads(int64_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Every argument is validated up front: an unknown flag or a typo'd --app= name fails
+  // loudly with the valid spellings instead of silently running the default study.
+  static const char* const kValueFlags[] = {"--fleet-scale=", "--faults=", "--record=",
+                                            "--replay=",      "--jobs=",   "--shards=",
+                                            "--threads=",     "--kb-epoch=", "--app="};
+  static const char* const kBareFlags[] = {"--shared-kb", "--service", "--async"};
+  std::vector<std::string> app_filter;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    bool known = false;
+    for (const char* flag : kBareFlags) {
+      if (std::strcmp(arg, flag) == 0) {
+        known = true;
+        break;
+      }
+    }
+    for (const char* flag : kValueFlags) {
+      if (std::strncmp(arg, flag, std::strlen(flag)) == 0) {
+        known = true;
+        if (std::strcmp(flag, "--app=") == 0) {
+          app_filter.emplace_back(arg + std::strlen(flag));
+        }
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag %s; valid flags:", arg);
+      for (const char* flag : kBareFlags) {
+        std::fprintf(stderr, " %s", flag);
+      }
+      for (const char* flag : kValueFlags) {
+        std::fprintf(stderr, " %sN", flag);
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  }
+
   // --fleet-scale=N multiplies the devices per study app: the same study at N× fleet size,
   // e.g. to exercise --shared-kb epoch churn at scale. Table counts scale with it, so the
   // default (1) is what the goldens pin.
@@ -72,10 +110,57 @@ int main(int argc, char** argv) {
   workload::Catalog catalog;
   hangdoctor::BlockingApiDatabase known_db = catalog.MakeKnownDatabase();
   baselines::OfflineScanner scanner(&known_db);
+  const bool async_section = workload::HasFlag(argc, argv, "--async");
+
+  // Resolve --app= names against the catalog before anything runs. An async study app is a
+  // valid spelling only under --async (it never appears in the Table 5 rows).
+  std::vector<const droidsim::AppSpec*> study_specs = catalog.study_apps();
+  std::vector<const droidsim::AppSpec*> async_specs =
+      async_section ? catalog.async_apps() : std::vector<const droidsim::AppSpec*>{};
+  if (!app_filter.empty()) {
+    auto named = [&](const std::vector<const droidsim::AppSpec*>& specs,
+                     const std::string& name) {
+      for (const droidsim::AppSpec* spec : specs) {
+        if (spec->name == name) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (const std::string& name : app_filter) {
+      if (named(catalog.study_apps(), name) || named(async_specs, name)) {
+        continue;
+      }
+      if (named(catalog.async_apps(), name)) {
+        std::fprintf(stderr, "--app=%s names an async study app; pass --async to run it\n",
+                     name.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "unknown app '%s' for --app=; valid apps:", name.c_str());
+      for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+        std::fprintf(stderr, " '%s'", spec->name.c_str());
+      }
+      for (const droidsim::AppSpec* spec : catalog.async_apps()) {
+        std::fprintf(stderr, " '%s' (--async)", spec->name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    auto keep = [&](const droidsim::AppSpec* spec) {
+      for (const std::string& name : app_filter) {
+        if (spec->name == name) {
+          return true;
+        }
+      }
+      return false;
+    };
+    std::erase_if(study_specs, [&](const droidsim::AppSpec* s) { return !keep(s); });
+    std::erase_if(async_specs, [&](const droidsim::AppSpec* s) { return !keep(s); });
+  }
 
   // One fleet job per (study app, device); app i owns indices [i*devices, (i+1)*devices).
   std::vector<workload::FleetJob> jobs;
-  for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+  for (const droidsim::AppSpec* spec : study_specs) {
     for (int32_t device = 0; device < devices_per_app; ++device) {
       workload::FleetJob job;
       job.spec = spec;
@@ -192,8 +277,8 @@ int main(int argc, char** argv) {
   int64_t total_expected = 0;
   int64_t buggy_apps = 0;
 
-  for (size_t app_index = 0; app_index < catalog.study_apps().size(); ++app_index) {
-    const droidsim::AppSpec* spec = catalog.study_apps()[app_index];
+  for (size_t app_index = 0; app_index < study_specs.size(); ++app_index) {
+    const droidsim::AppSpec* spec = study_specs[app_index];
     std::vector<workload::BugSpec> expected = catalog.BugsOf(spec->name);
     total_expected += static_cast<int64_t>(expected.size());
 
@@ -247,7 +332,7 @@ int main(int argc, char** argv) {
                                  : 0.0);
   std::printf("paper: 34 bugs detected (23 missed offline, 68%%); %ld/%zu study apps showed "
               "bugs\n",
-              static_cast<long>(buggy_apps), catalog.study_apps().size());
+              static_cast<long>(buggy_apps), study_specs.size());
   std::printf("new blocking APIs discovered by the fleet at runtime: %zu\n\n",
               summary.discovered.size());
   std::printf("%s\n", summary.merged_report.Render(devices_per_app).c_str());
@@ -315,6 +400,94 @@ int main(int argc, char** argv) {
         std::printf("  %s\n", result.Describe().c_str());
       }
     }
+  }
+
+  // --async: the waiting-chain study (DESIGN.md section 3.8). A separate fleet over the
+  // async study apps — soft hangs that happen on worker threads behind a future — verifying
+  // that every diagnosis names the async culprit frame, never the Future.get frame the
+  // main-thread traces show, with the wait site kept as provenance. Opt-in, so the default
+  // output above stays byte-identical to the goldens.
+  if (async_section) {
+    std::vector<workload::FleetJob> async_jobs;
+    for (const droidsim::AppSpec* spec : async_specs) {
+      for (int32_t device = 0; device < devices_per_app; ++device) {
+        workload::FleetJob job;
+        job.spec = spec;
+        job.profile = droidsim::LgV10();
+        job.seed = 5000 + static_cast<uint64_t>(device) * 77 +
+                   static_cast<uint64_t>(spec->downloads % 97);
+        job.session = session_length;
+        job.device_id = device;
+        job.known_db = &known_db;
+        if (faults.enabled()) {
+          job.faults = faults;
+        }
+        if (!record_dir.empty()) {
+          job.record_path = record_dir + "/async_job_" + std::to_string(async_jobs.size()) +
+                            ".hdsl";
+        }
+        async_jobs.push_back(job);
+      }
+    }
+    workload::FleetSummary async_summary;
+    if (!replay_dir.empty()) {
+      std::vector<std::string> paths;
+      paths.reserve(async_jobs.size());
+      for (size_t i = 0; i < async_jobs.size(); ++i) {
+        paths.push_back(replay_dir + "/async_job_" + std::to_string(i) + ".hdsl");
+      }
+      async_summary = workload::ReplayFleet(paths, options, &known_db);
+    } else {
+      async_summary = workload::RunFleet(async_jobs, options);
+    }
+
+    std::printf("=== Async study (--async): waiting-chain diagnosis over %zu apps ===\n",
+                async_specs.size());
+    int64_t async_detected = 0;
+    int64_t async_expected = 0;
+    int64_t wait_frame_bugs = 0;
+    const std::string wait_api = catalog.std_apis().future_get->FullName();
+    for (size_t app_index = 0; app_index < async_specs.size(); ++app_index) {
+      const droidsim::AppSpec* spec = async_specs[app_index];
+      std::vector<workload::BugSpec> expected = catalog.BugsOf(spec->name);
+      async_expected += static_cast<int64_t>(expected.size());
+      hangdoctor::HangBugReport app_report = async_summary.MergeReports(
+          app_index * static_cast<size_t>(devices_per_app),
+          (app_index + 1) * static_cast<size_t>(devices_per_app));
+      const std::vector<hangdoctor::BugReportEntry> entries = app_report.SortedEntries();
+      for (const hangdoctor::BugReportEntry& entry : entries) {
+        if (entry.api == wait_api) {
+          // A diagnosis pinned on the wait frame means the causal walk failed.
+          ++wait_frame_bugs;
+          std::printf("  !! %s: wait frame misattributed as culprit: %s@%s:%d\n",
+                      spec->name.c_str(), entry.api.c_str(), entry.file.c_str(), entry.line);
+        }
+      }
+      for (const workload::BugSpec& bug : expected) {
+        const hangdoctor::BugReportEntry* match = nullptr;
+        for (const hangdoctor::BugReportEntry& entry : entries) {
+          if (BugKey(entry.api, entry.file, entry.line) == BugKey(bug.api, bug.file, bug.line)) {
+            match = &entry;
+            break;
+          }
+        }
+        if (match == nullptr) {
+          std::printf("  !! %s: expected async bug not diagnosed: %s@%s:%d\n",
+                      spec->name.c_str(), bug.api.c_str(), bug.file.c_str(), bug.line);
+          continue;
+        }
+        ++async_detected;
+        std::printf("%-12s %s@%s:%d%s\n", spec->name.c_str(), match->api.c_str(),
+                    match->file.c_str(), match->line,
+                    match->self_developed ? " [self-developed]" : "");
+        std::printf("%-12s   via wait %s (hangs: %ld, mean %.0f ms)\n", "",
+                    match->wait_site.empty() ? "<missing>" : match->wait_site.c_str(),
+                    static_cast<long>(match->occurrences), match->MeanHangMs());
+      }
+    }
+    std::printf("async bugs diagnosed: %ld/%ld, wait-frame misattributions: %ld\n\n",
+                static_cast<long>(async_detected), static_cast<long>(async_expected),
+                static_cast<long>(wait_frame_bugs));
   }
   return 0;
 }

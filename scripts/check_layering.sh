@@ -48,5 +48,21 @@ if [ -n "$shim_includes$alias_uses" ]; then
   exit 1
 fi
 
+# The async-execution substrate (DESIGN.md section 3.8) lives entirely in droidsim; only the
+# telemetry:: causal vocabulary (CausalEdgeId, ThreadId, the Async* SPI records) crosses the
+# SPI. A droidsim async type or hook name appearing in the core would tie waiting-chain
+# diagnosis to one substrate's threading model and break session-log replay.
+async_uses=$(grep -rnE \
+  'droidsim::(AsyncOp|AsyncTask|App|AppObserver)\b|MakeAsyncSubmit|MakeFutureWait|PostAsync|AsyncReady|BeginAsyncWait|EndAsyncWait' \
+  --include='*.h' --include='*.cc' "$core_dir" 2>/dev/null || true)
+
+if [ -n "$async_uses" ]; then
+  echo "layering violation: src/hangdoctor must not name droidsim async substrate types;" >&2
+  echo "only the telemetry:: causal vocabulary crosses the SPI:" >&2
+  echo "$async_uses" >&2
+  exit 1
+fi
+
 echo "layering ok: src/hangdoctor depends only on src/telemetry and src/simkit"
 echo "layering ok: no perfsim/droidsim alias-shim usage"
+echo "layering ok: no droidsim async substrate types in the core"

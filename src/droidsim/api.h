@@ -66,6 +66,10 @@ struct ApiSpec {
   // Listed in the community's known-blocking-API database (what PerfChecker-style offline
   // scanners search for). APIs that block but are *not* known are the paper's main quarry.
   bool known_blocking = false;
+  // The app's own function rather than a platform/library API. Provenance, not behaviour:
+  // self-developed lengthy operations are reported to the developer only, never fed to the
+  // blocking-API database (Section 3.4.1 case 4).
+  bool self_developed = false;
   ApiCostModel cost;
   // "clazz.name", cached by ApiRegistry::Register so hot consumers (offline scans, database
   // probes) never re-concatenate. Empty on specs that were never registered.

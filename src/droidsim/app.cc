@@ -21,6 +21,21 @@ App::App(kernelsim::Kernel* kernel, const AppSpec* spec, const int32_t* device_i
   render_thread_ = std::make_unique<RenderThread>(kernel_, pid_, rng.Fork(2));
   worker_looper_ = std::make_unique<Looper>(kernel_, pid_, spec_->name + ":worker", rng.Fork(3),
                                             this, device_ids, &symbols_);
+  // Async threads come after the fixed trio so apps without them keep their exact thread
+  // set and RNG fork order (determinism of every pre-async golden depends on this).
+  const int32_t handlers = std::max<int32_t>(spec_->handler_threads, 0);
+  const int32_t pool = std::max<int32_t>(spec_->executor_threads, 0);
+  for (int32_t i = 0; i < handlers + pool; ++i) {
+    std::string name = i < handlers ? spec_->name + ":handler" + std::to_string(i)
+                                    : spec_->name + ":exec" + std::to_string(i - handlers);
+    async_loopers_.push_back(std::make_unique<Looper>(
+        kernel_, pid_, name, rng.Fork(4 + static_cast<uint64_t>(i)), this, device_ids,
+        &symbols_));
+    async_loopers_.back()->AddMessageLogger(
+        [this, index = static_cast<size_t>(i)](bool begin, const Message& message) {
+          OnAsyncLog(index, begin, message);
+        });
+  }
   main_looper_->AddMessageLogger(
       [this](bool begin, const Message& message) { OnMainLog(begin, message); });
   main_looper_->SetDoneCallback(
@@ -76,6 +91,104 @@ void App::PostToWorker(const OpNode* node) {
   message.subtree = node;
   message.execution_id = current_dispatch_execution_;
   worker_looper_->Post(message);
+}
+
+uint64_t App::PostAsync(const OpNode* node) {
+  if (async_loopers_.empty()) {
+    return 0;  // the spec declared no async threads; the task is dropped
+  }
+  const auto handlers = static_cast<size_t>(std::max<int32_t>(spec_->handler_threads, 0));
+  size_t thread_index;
+  if (node->async_target >= 0 && static_cast<size_t>(node->async_target) < handlers) {
+    thread_index = static_cast<size_t>(node->async_target);
+  } else if (async_loopers_.size() > handlers) {
+    // Bounded executor pool: deterministic round-robin over the pool threads.
+    thread_index = handlers + executor_rr_++ % (async_loopers_.size() - handlers);
+  } else {
+    thread_index = executor_rr_++ % async_loopers_.size();
+  }
+  const uint64_t edge = next_async_edge_++;
+  const int64_t execution_id = current_dispatch_execution_;
+  async_tasks_[edge] = AsyncTask{thread_index, execution_id, false};
+  if (node->future_slot >= 0) {
+    future_slots_[execution_id][node->future_slot] = edge;
+  }
+  for (AppObserver* observer : observers_) {
+    observer->OnAsyncPost(*this, execution_id, edge,
+                          static_cast<telemetry::ThreadId>(thread_index + 1),
+                          symbols_.IdFor(node), node->post_delay);
+  }
+  Message message;
+  message.async_task = node;
+  message.async_edge = edge;
+  message.execution_id = execution_id;
+  Looper* target = async_loopers_[thread_index].get();
+  if (node->post_delay > 0) {
+    kernel_->sim()->ScheduleAfter(node->post_delay, [target, message]() { target->Post(message); });
+  } else {
+    target->Post(message);
+  }
+  return edge;
+}
+
+uint64_t App::BeginAsyncWait(int32_t slot, telemetry::FrameId wait_frame) {
+  // Wait nodes only make sense on the main thread (the one dispatching input events); the
+  // current dispatch execution scopes the future slot.
+  const int64_t execution_id = current_dispatch_execution_;
+  auto exec_it = future_slots_.find(execution_id);
+  if (exec_it == future_slots_.end()) {
+    return 0;
+  }
+  auto slot_it = exec_it->second.find(slot);
+  if (slot_it == exec_it->second.end()) {
+    return 0;
+  }
+  const uint64_t edge = slot_it->second;
+  auto task_it = async_tasks_.find(edge);
+  if (task_it == async_tasks_.end() || task_it->second.completed) {
+    return 0;  // get() on a finished future returns immediately; no wait telemetry
+  }
+  blocked_edge_ = edge;
+  wait_started_ = kernel_->Now();
+  for (AppObserver* observer : observers_) {
+    observer->OnAsyncWaitStart(*this, execution_id, edge, wait_frame);
+  }
+  return edge;
+}
+
+bool App::AsyncReady(uint64_t edge) {
+  auto it = async_tasks_.find(edge);
+  return it == async_tasks_.end() || it->second.completed;
+}
+
+void App::EndAsyncWait(uint64_t edge) {
+  blocked_edge_ = 0;
+  for (AppObserver* observer : observers_) {
+    observer->OnAsyncWaitEnd(*this, current_dispatch_execution_, edge,
+                             kernel_->Now() - wait_started_);
+  }
+}
+
+void App::OnAsyncLog(size_t thread_index, bool begin, const Message& message) {
+  if (message.async_edge == 0) {
+    return;
+  }
+  auto it = async_tasks_.find(message.async_edge);
+  if (it == async_tasks_.end()) {
+    return;
+  }
+  const int64_t execution_id = it->second.execution_id;
+  for (AppObserver* observer : observers_) {
+    observer->OnAsyncRun(*this, execution_id, message.async_edge,
+                         static_cast<telemetry::ThreadId>(thread_index + 1), begin);
+  }
+  if (!begin) {
+    it->second.completed = true;
+    async_tasks_.erase(it);
+    if (blocked_edge_ == message.async_edge) {
+      kernel_->Wake(main_looper_->tid());  // the future's waiter can resume
+    }
+  }
 }
 
 void App::OnMainLog(bool begin, const Message& message) {
@@ -140,6 +253,7 @@ void App::Quiesce(ActionExecution& execution) {
   for (AppObserver* observer : observers_) {
     observer->OnActionQuiesced(*this, execution);
   }
+  future_slots_.erase(execution_id);
   executions_.erase(execution_id);
 }
 

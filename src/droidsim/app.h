@@ -24,6 +24,11 @@ struct AppSpec {
   std::string category;
   std::string commit;
   int64_t downloads = 0;
+  // Async substrate: named HandlerThreads plus a bounded executor pool, created only when
+  // nonzero so pre-async apps keep their exact thread set (and RNG fork order). Async
+  // threads carry telemetry thread ids 1..N in this order: handlers first, then the pool.
+  int32_t handler_threads = 0;
+  int32_t executor_threads = 0;
   std::vector<ActionSpec> actions;
 };
 
@@ -67,6 +72,29 @@ class AppObserver {
     (void)app;
     (void)execution;
   }
+
+  // -- Cross-thread causal events (async substrate; vocabulary in telemetry/causal.h) --
+  // `thread` is the async thread's telemetry id (1-based; 0 is main). A post announces a
+  // new causal edge; run begin/end bracket the task on its thread; wait start/end bracket
+  // the main thread blocking on the edge's future (wait events fire only when the task was
+  // still incomplete at get() time).
+  virtual void OnAsyncPost(App& app, int64_t execution_id, uint64_t edge,
+                           telemetry::ThreadId thread, telemetry::FrameId post_frame,
+                           simkit::SimDuration delay) {
+    (void)app, (void)execution_id, (void)edge, (void)thread, (void)post_frame, (void)delay;
+  }
+  virtual void OnAsyncRun(App& app, int64_t execution_id, uint64_t edge,
+                          telemetry::ThreadId thread, bool begin) {
+    (void)app, (void)execution_id, (void)edge, (void)thread, (void)begin;
+  }
+  virtual void OnAsyncWaitStart(App& app, int64_t execution_id, uint64_t edge,
+                                telemetry::FrameId wait_frame) {
+    (void)app, (void)execution_id, (void)edge, (void)wait_frame;
+  }
+  virtual void OnAsyncWaitEnd(App& app, int64_t execution_id, uint64_t edge,
+                              simkit::SimDuration waited) {
+    (void)app, (void)execution_id, (void)edge, (void)waited;
+  }
 };
 
 class App : public OpExecutorHooks {
@@ -90,6 +118,9 @@ class App : public OpExecutorHooks {
   Looper& worker_looper() { return *worker_looper_; }
   kernelsim::ThreadId main_tid() const { return main_looper_->tid(); }
   kernelsim::ThreadId render_tid() const { return render_thread_->tid(); }
+  // Async threads (handlers then executor pool); telemetry thread id = index + 1.
+  size_t num_async_threads() const { return async_loopers_.size(); }
+  const Looper& async_looper(size_t index) const { return *async_loopers_[index]; }
 
   void AddObserver(AppObserver* observer) { observers_.push_back(observer); }
   void RemoveObserver(AppObserver* observer);
@@ -106,10 +137,22 @@ class App : public OpExecutorHooks {
   // OpExecutorHooks (for the main looper's executor):
   void PostFrames(int32_t frames, simkit::SimDuration frame_cpu_mean) override;
   void PostToWorker(const OpNode* node) override;
+  uint64_t PostAsync(const OpNode* node) override;
+  uint64_t BeginAsyncWait(int32_t slot, telemetry::FrameId wait_frame) override;
+  bool AsyncReady(uint64_t edge) override;
+  void EndAsyncWait(uint64_t edge) override;
 
  private:
+  // One posted-but-not-yet-completed async task, keyed by its causal edge id.
+  struct AsyncTask {
+    size_t thread_index = 0;  // into async_loopers_
+    int64_t execution_id = 0;
+    bool completed = false;
+  };
+
   void OnMainLog(bool begin, const Message& message);
   void OnMainDone(const Message& message, std::vector<OpContribution> contributions);
+  void OnAsyncLog(size_t thread_index, bool begin, const Message& message);
   void OnRenderIdle(int64_t execution_id);
   void Quiesce(ActionExecution& execution);
 
@@ -121,7 +164,17 @@ class App : public OpExecutorHooks {
   std::unique_ptr<RenderThread> render_thread_;
   std::unique_ptr<Looper> worker_looper_;
   std::vector<AppObserver*> observers_;
+  std::vector<std::unique_ptr<Looper>> async_loopers_;
   std::unordered_map<int64_t, ActionExecution> executions_;
+  // Async bookkeeping. Edge ids come from a per-app counter, so the same seed yields the
+  // same edges in every run. future_slots_ maps (execution, slot) -> edge and is pruned at
+  // quiesce; async_tasks_ entries are erased when their task completes.
+  std::unordered_map<uint64_t, AsyncTask> async_tasks_;
+  std::unordered_map<int64_t, std::unordered_map<int32_t, uint64_t>> future_slots_;
+  uint64_t next_async_edge_ = 1;
+  uint64_t blocked_edge_ = 0;  // edge the main thread is blocked on (0 = none)
+  simkit::SimTime wait_started_ = 0;
+  size_t executor_rr_ = 0;  // round-robin cursor over the executor pool
   int64_t next_execution_id_ = 1;
   int64_t current_dispatch_execution_ = 0;
 };

@@ -63,6 +63,10 @@ void Looper::BeginMessage(Message message) {
     executor_.Begin(symbols_->IdFor(message.event), message.event->ops);
   } else if (message.subtree != nullptr) {
     executor_.BeginSubtree(message.subtree);
+  } else if (message.async_task != nullptr) {
+    // The task body runs under the submit node's frame (the Runnable/Callable entry), so
+    // async-thread samples root at the task and descend into its real work.
+    executor_.Begin(symbols_->IdFor(message.async_task), message.async_task->children);
   }
 }
 

@@ -20,9 +20,12 @@ namespace droidsim {
 
 struct Message {
   int64_t id = 0;
-  // Exactly one payload: an input event of an action, or a worker subtree.
+  // Exactly one payload: an input event of an action, a worker subtree, or an async task
+  // (a kSubmit node whose children run under its frame, completing causal edge async_edge).
   const InputEventSpec* event = nullptr;
   const OpNode* subtree = nullptr;
+  const OpNode* async_task = nullptr;
+  uint64_t async_edge = 0;
   int32_t action_uid = -1;
   int32_t event_index = 0;
   int64_t execution_id = 0;

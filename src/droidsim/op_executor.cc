@@ -78,6 +78,37 @@ OpExecutor::Realization OpExecutor::Realize(const OpNode& node) {
 
 void OpExecutor::PushNode(const OpNode& node) {
   assert(node.api != nullptr);
+  if (node.async == AsyncOp::kSubmit) {
+    // The posting thread pays only the submit cost; the children run on the async thread.
+    // The submit frame is visible (briefly) so post sites can show up in sampled stacks.
+    hooks_->PostAsync(&node);
+    NodeState state;
+    state.node = &node;
+    state.phase = 2;  // no children here, no I/O
+    state.entry_time = sim_->Now();
+    state.real.cpu = simkit::Microseconds(40);
+    state.real.uarch = DefaultUarch();
+    state.real.syscalls_per_ms = 2.0;
+    state.has_frame = true;
+    stack_.push_back(state);
+    visible_stack_.push_back(symbols_->IdFor(&node));
+    return;
+  }
+  if (node.async == AsyncOp::kWait) {
+    // Future.get: block in this frame until the edge completes, then burn a small resume
+    // cost. No Realize() — the wait consumes no RNG, keeping pre-async draws unchanged.
+    NodeState state;
+    state.node = &node;
+    state.phase = 4;
+    state.entry_time = sim_->Now();
+    state.real.cpu = simkit::Microseconds(20);
+    state.real.uarch = DefaultUarch();
+    state.real.syscalls_per_ms = 2.0;
+    state.has_frame = true;
+    stack_.push_back(state);
+    visible_stack_.push_back(symbols_->IdFor(&node));
+    return;
+  }
   if (node.on_worker) {
     // The main thread only pays the Handler.post() cost; the subtree runs elsewhere.
     hooks_->PostToWorker(&node);
@@ -171,6 +202,21 @@ std::optional<kernelsim::Segment> OpExecutor::Next() {
           cpu.syscalls_per_ms = top.real.syscalls_per_ms;
           return kernelsim::Segment{cpu};
         }
+        continue;
+      }
+      case 4: {
+        if (!top.wait_entered) {
+          top.wait_entered = true;
+          top.wait_edge = hooks_->BeginAsyncWait(top.node->future_slot, visible_stack_.back());
+        }
+        if (top.wait_edge != 0 && !hooks_->AsyncReady(top.wait_edge)) {
+          return kernelsim::Segment{kernelsim::BlockSegment{}};
+        }
+        if (top.wait_edge != 0) {
+          hooks_->EndAsyncWait(top.wait_edge);
+          top.wait_edge = 0;
+        }
+        top.phase = 2;  // the get() returned: small resume cost, then finish
         continue;
       }
       default: {

@@ -43,6 +43,29 @@ class OpExecutorHooks {
   virtual void PostFrames(int32_t frames, simkit::SimDuration frame_cpu_mean) = 0;
   // An on_worker subtree must be posted to the app's worker thread.
   virtual void PostToWorker(const OpNode* node) = 0;
+
+  // -- Async substrate (defaults are no-ops so pre-async hook implementations stay valid) --
+  // A kSubmit node posts its children to an async thread; returns the causal edge id, or 0
+  // when the host has no async threads and the task is dropped.
+  virtual uint64_t PostAsync(const OpNode* node) {
+    (void)node;
+    return 0;
+  }
+  // A kWait node is about to block on `slot`'s future (its own frame is `wait_frame`).
+  // Returns the edge to wait for, or 0 when the future already completed — a Future.get on a
+  // finished task returns immediately and emits no wait telemetry.
+  virtual uint64_t BeginAsyncWait(int32_t slot, telemetry::FrameId wait_frame) {
+    (void)slot;
+    (void)wait_frame;
+    return 0;
+  }
+  // Polled each time the blocked thread wakes: has `edge`'s task completed?
+  virtual bool AsyncReady(uint64_t edge) {
+    (void)edge;
+    return true;
+  }
+  // The blocked wait for `edge` resolved and the thread resumes.
+  virtual void EndAsyncWait(uint64_t edge) { (void)edge; }
 };
 
 class OpExecutor {
@@ -91,11 +114,15 @@ class OpExecutor {
     const OpNode* node = nullptr;  // null for the synthetic root
     std::span<const OpNode> children;
     size_t next_child = 0;
-    int phase = 0;  // 0 = children, 1 = I/O, 2 = CPU, 3 = finish
+    int phase = 0;  // 0 = children, 1 = I/O, 2 = CPU, 3 = finish, 4 = blocked future wait
     Realization real;
     simkit::SimTime entry_time = 0;
     simkit::SimDuration child_time = 0;  // accumulated wall time of finished children
     bool has_frame = false;
+    // kWait bookkeeping: the edge being waited for (0 = none) and whether the wait was
+    // already announced to the hooks (spurious wakeups must not re-announce it).
+    uint64_t wait_edge = 0;
+    bool wait_entered = false;
   };
 
   void PushRoot(telemetry::FrameId frame, std::span<const OpNode> ops);

@@ -7,12 +7,23 @@
 #ifndef SRC_DROIDSIM_OPERATION_H_
 #define SRC_DROIDSIM_OPERATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/droidsim/api.h"
+#include "src/simkit/simulation.h"
 
 namespace droidsim {
+
+// How a node relates to the app's async substrate (DESIGN.md section 3.8).
+//  - kNone:   the node runs inline on the posting thread (everything before PR 8).
+//  - kSubmit: the node's children are posted to one of the app's async threads; the posting
+//             thread pays only a cheap submit cost while the node's own frame marks the post
+//             site. The resulting causal edge is stored in `future_slot`.
+//  - kWait:   a Future.get-style blocking wait: the node's frame stays on the stack while the
+//             thread blocks until the edge stored in `future_slot` completes.
+enum class AsyncOp : uint8_t { kNone = 0, kSubmit, kWait };
 
 struct OpNode {
   const ApiSpec* api = nullptr;  // interned in an ApiRegistry outliving the app
@@ -30,6 +41,13 @@ struct OpNode {
   // Execute this subtree on a worker thread instead (the "fixed" variant of an app: the
   // AsyncTask rewrite of Figure 1). The main thread only pays a cheap post.
   bool on_worker = false;
+  // Async substrate. `future_slot` names the future a kSubmit fulfils / a kWait resolves,
+  // scoped to one action execution. `async_target` picks a HandlerThread by index, or -1 for
+  // the bounded executor pool (round-robin). `post_delay` makes a kSubmit a PostDelayed.
+  AsyncOp async = AsyncOp::kNone;
+  int32_t future_slot = -1;
+  int32_t async_target = -1;
+  simkit::SimDuration post_delay = 0;
 
   std::vector<OpNode> children;
 };
@@ -46,6 +64,28 @@ inline OpNode MakeOp(const ApiSpec* api, std::string file, int32_t line) {
 inline OpNode MakeLibraryOp(const ApiSpec* api, std::string file, int32_t line) {
   OpNode node = MakeOp(api, std::move(file), line);
   node.in_closed_library = true;
+  return node;
+}
+
+// Submit `task`s (the node's children) to an async thread; `api` names the post site
+// (e.g. ExecutorService.submit). target -1 = executor pool; >= 0 = that HandlerThread.
+inline OpNode MakeAsyncSubmit(const ApiSpec* api, std::string file, int32_t line, int32_t slot,
+                              std::vector<OpNode> task, int32_t target = -1,
+                              simkit::SimDuration delay = 0) {
+  OpNode node = MakeOp(api, std::move(file), line);
+  node.async = AsyncOp::kSubmit;
+  node.future_slot = slot;
+  node.async_target = target;
+  node.post_delay = delay;
+  node.children = std::move(task);
+  return node;
+}
+
+// Block in `api`'s frame (e.g. Future.get) until slot `slot`'s submit completes.
+inline OpNode MakeFutureWait(const ApiSpec* api, std::string file, int32_t line, int32_t slot) {
+  OpNode node = MakeOp(api, std::move(file), line);
+  node.async = AsyncOp::kWait;
+  node.future_slot = slot;
   return node;
 }
 

@@ -3,8 +3,8 @@
 namespace droidsim {
 
 StackSampler::StackSampler(simkit::Simulation* sim, const Looper* looper,
-                           simkit::SimDuration interval)
-    : sim_(sim), looper_(looper), interval_(interval) {}
+                           simkit::SimDuration interval, telemetry::ThreadId thread)
+    : sim_(sim), looper_(looper), interval_(interval), thread_(thread) {}
 
 StackSampler::~StackSampler() {
   if (pending_event_ != 0) {
@@ -49,6 +49,7 @@ void StackSampler::TakeSample() {
   }
   telemetry::StackTrace& trace = samples_[used_++];
   trace.timestamp_ns = sim_->Now();
+  trace.thread = thread_;
   const std::vector<telemetry::FrameId>& stack = looper_->CurrentStack();
   trace.frames.assign(stack.begin(), stack.end());
   ++total_samples_;

@@ -22,8 +22,11 @@ namespace droidsim {
 
 class StackSampler {
  public:
+  // `thread` tags every sample with the telemetry thread id of the sampled looper
+  // (causal.h); the default 0 keeps main-thread samplers unchanged.
   StackSampler(simkit::Simulation* sim, const Looper* looper,
-               simkit::SimDuration interval = simkit::Milliseconds(20));
+               simkit::SimDuration interval = simkit::Milliseconds(20),
+               telemetry::ThreadId thread = telemetry::kMainThread);
   ~StackSampler();
   StackSampler(const StackSampler&) = delete;
   StackSampler& operator=(const StackSampler&) = delete;
@@ -46,6 +49,7 @@ class StackSampler {
   simkit::Simulation* sim_;
   const Looper* looper_;
   simkit::SimDuration interval_;
+  telemetry::ThreadId thread_ = telemetry::kMainThread;
   bool active_ = false;
   simkit::EventId pending_event_ = 0;
   std::vector<telemetry::StackTrace> samples_;  // pooled slots; only the first `used_` are live

@@ -6,9 +6,9 @@
 
 namespace droidsim {
 
-telemetry::FrameId SymbolTable::Intern(telemetry::StackFrame frame) {
+telemetry::FrameId SymbolTable::Intern(telemetry::StackFrame frame, bool self_developed) {
   bool is_ui = IsUiClass(frame.clazz);
-  return telemetry::SymbolTable::Intern(std::move(frame), is_ui);
+  return telemetry::SymbolTable::Intern(std::move(frame), is_ui, self_developed);
 }
 
 void SymbolTable::IndexOp(const OpNode& node) {
@@ -18,7 +18,7 @@ void SymbolTable::IndexOp(const OpNode& node) {
   frame.file = node.file;
   frame.line = node.line;
   frame.in_closed_library = node.in_closed_library;
-  by_ptr_[&node] = Intern(std::move(frame));
+  by_ptr_[&node] = Intern(std::move(frame), node.api->self_developed);
   for (const OpNode& child : node.children) {
     IndexOp(child);
   }

@@ -31,7 +31,8 @@ class SymbolTable : public telemetry::SymbolTable {
   SymbolTable() = default;
 
   // Interns `frame`, classifying frame.clazz against the Android UI-class list.
-  telemetry::FrameId Intern(telemetry::StackFrame frame);
+  // `self_developed` carries the ApiSpec's provenance bit through to the core's table.
+  telemetry::FrameId Intern(telemetry::StackFrame frame, bool self_developed = false);
 
   // Canonical spec walk (see file comment): interns the handler frame of every input event
   // and every op node of `action`, keying the spec objects by pointer for IdFor().

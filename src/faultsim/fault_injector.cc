@@ -92,6 +92,38 @@ void FaultInjector::PushCounterFault(const hangdoctor::CounterFault& fault) {
   ReleaseHeld();
 }
 
+void FaultInjector::PushAsyncPost(const hangdoctor::AsyncPost& post) {
+  if (sink_ != nullptr) {
+    sink_->OnAsyncPost(post);
+  }
+  core_->OnAsyncPost(post);
+  ReleaseHeld();
+}
+
+void FaultInjector::PushAsyncRun(const hangdoctor::AsyncRun& run) {
+  if (sink_ != nullptr) {
+    sink_->OnAsyncRun(run);
+  }
+  core_->OnAsyncRun(run);
+  ReleaseHeld();
+}
+
+void FaultInjector::PushAsyncWaitStart(const hangdoctor::AsyncWaitStart& wait) {
+  if (sink_ != nullptr) {
+    sink_->OnAsyncWaitStart(wait);
+  }
+  core_->OnAsyncWaitStart(wait);
+  ReleaseHeld();
+}
+
+void FaultInjector::PushAsyncWaitEnd(const hangdoctor::AsyncWaitEnd& wait) {
+  if (sink_ != nullptr) {
+    sink_->OnAsyncWaitEnd(wait);
+  }
+  core_->OnAsyncWaitEnd(wait);
+  ReleaseHeld();
+}
+
 std::vector<telemetry::StackTrace> FaultInjector::FilterSamples(
     std::span<const telemetry::StackTrace> samples) {
   std::vector<telemetry::StackTrace> kept;

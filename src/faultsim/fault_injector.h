@@ -13,6 +13,9 @@
 //                        or delay (held until after the next pushed record, keeping its
 //                        original timestamp — the core's StreamGuard sees time regress).
 //   PushCounterFault   — passthrough; emitted by the host when NextCounterOpen() refuses.
+//   PushAsync*         — passthrough: the causal stream (post / run / wait) mirrors scheduler
+//                        state the host observed directly, so perturbing it would desynchronize
+//                        the recorded session from the simulation rather than model a fault.
 //   FilterSamples      — applies the sampler faults (lost window, timeout prefix, per-sample
 //                        drops) to a collection window before the host attaches it to a
 //                        DispatchEnd.
@@ -39,6 +42,10 @@ class FaultInjector {
   void PushEnd(const hangdoctor::DispatchEnd& end);
   void PushQuiesce(const hangdoctor::ActionQuiesce& quiesce);
   void PushCounterFault(const hangdoctor::CounterFault& fault);
+  void PushAsyncPost(const hangdoctor::AsyncPost& post);
+  void PushAsyncRun(const hangdoctor::AsyncRun& run);
+  void PushAsyncWaitStart(const hangdoctor::AsyncWaitStart& wait);
+  void PushAsyncWaitEnd(const hangdoctor::AsyncWaitEnd& wait);
 
   // Decision taps the host consults while honoring directives.
   FaultPlan::CounterOpen NextCounterOpen() { return plan_.NextCounterOpen(); }

@@ -1,7 +1,9 @@
 #include "src/faultsim/hdsl_mutator.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 namespace faultsim {
 
@@ -37,6 +39,10 @@ const char* HdslMutationName(HdslMutation mutation) {
       return "swap-records";
     case HdslMutation::kDeleteRecord:
       return "delete-record";
+    case HdslMutation::kRetagAsync:
+      return "retag-async";
+    case HdslMutation::kCorruptAsyncBody:
+      return "corrupt-async-body";
   }
   return "?";
 }
@@ -134,6 +140,53 @@ std::string MutateSessionLog(const std::string& bytes, size_t header_end,
           rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 1));
       auto [begin, end] = RecordSpan(bytes, record_offsets, index);
       out.erase(begin, end - begin);
+      break;
+    }
+    case HdslMutation::kRetagAsync: {
+      // Forces the parser to reinterpret an arbitrary record body as an async record, so
+      // its field bounds (edge ids, thread varints, the wait-frame range check) must hold
+      // against garbage rather than only against writer-produced bytes.
+      if (!have_records) {
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 1));
+      out[record_offsets[index]] = static_cast<char>(
+          static_cast<uint8_t>(rng.UniformInt(kFirstAsyncTag, kLastAsyncTag)));
+      break;
+    }
+    case HdslMutation::kCorruptAsyncBody: {
+      // Scrambles bytes inside an async record's body — edge ids that no longer pair up,
+      // thread ids pointing at unsampled threads, out-of-range wait frames. Pre-async logs
+      // have no such records; fall back to corrupting a random record body so the family
+      // still exercises the parser on every corpus entry.
+      if (!have_records) {
+        break;
+      }
+      std::vector<size_t> async_records;
+      for (size_t i = 0; i < record_offsets.size(); ++i) {
+        auto tag = static_cast<uint8_t>(bytes[record_offsets[i]]);
+        if (tag >= kFirstAsyncTag && tag <= kLastAsyncTag) {
+          async_records.push_back(i);
+        }
+      }
+      size_t index =
+          async_records.empty()
+              ? static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(record_offsets.size()) - 1))
+              : async_records[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(async_records.size()) - 1))];
+      auto [begin, end] = RecordSpan(bytes, record_offsets, index);
+      if (end - begin <= 1) {
+        break;
+      }
+      int touches = static_cast<int>(rng.UniformInt(1, 4));
+      for (int i = 0; i < touches; ++i) {
+        size_t pos = begin + 1 +
+                     static_cast<size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(end - begin) - 2));
+        out[pos] = static_cast<char>(static_cast<uint8_t>(rng.UniformInt(0, 255)));
+      }
       break;
     }
   }

@@ -28,8 +28,15 @@ enum class HdslMutation {
   kDuplicateRecord,   // re-insert a whole record after itself
   kSwapRecords,       // exchange two adjacent records
   kDeleteRecord,      // remove a whole record
+  kRetagAsync,        // overwrite a record's tag with a random HDSL v4 async tag
+  kCorruptAsyncBody,  // scramble an async record's body (edge / thread / frame ids)
 };
-inline constexpr int kNumHdslMutations = 9;
+inline constexpr int kNumHdslMutations = 11;
+
+// HDSL v4 async record tags (kAsyncPost..kAsyncWaitEnd). Plain integers mirrored from
+// hosts/session_log.h so this layer stays hosts-free; the fuzz test pins the equivalence.
+inline constexpr int kFirstAsyncTag = 7;
+inline constexpr int kLastAsyncTag = 10;
 
 const char* HdslMutationName(HdslMutation mutation);
 

@@ -186,6 +186,54 @@ void DetectorCore::OnCounterFault(const CounterFault& fault) {
   }
 }
 
+void DetectorCore::OnAsyncPost(const AsyncPost& post) {
+  if (!guard_.AdmitTime(post.now)) {
+    return;
+  }
+  if (post.post_frame >= info_.symbols->size()) {
+    ++degradation_.dropped_records;
+    return;
+  }
+  overhead_.AddCpu(config_.costs.async_record);
+  overhead_.CountAsyncRecord();
+}
+
+void DetectorCore::OnAsyncRun(const AsyncRun& run) {
+  if (!guard_.AdmitTime(run.now)) {
+    return;
+  }
+  overhead_.AddCpu(config_.costs.async_record);
+  overhead_.CountAsyncRecord();
+}
+
+void DetectorCore::OnAsyncWaitStart(const AsyncWaitStart& wait) {
+  if (!guard_.AdmitTime(wait.now)) {
+    return;
+  }
+  if (wait.wait_frame >= info_.symbols->size()) {
+    ++degradation_.dropped_records;
+    return;
+  }
+  overhead_.AddCpu(config_.costs.async_record);
+  overhead_.CountAsyncRecord();
+  auto it = live_.find(wait.execution_id);
+  if (it == live_.end()) {
+    // A wait for an execution the core never saw dispatch (re-delivery after quiesce, or a
+    // truncated stream): nothing to attach the wait site to.
+    ++degradation_.dropped_records;
+    return;
+  }
+  it->second.wait_frames.push_back(wait.wait_frame);
+}
+
+void DetectorCore::OnAsyncWaitEnd(const AsyncWaitEnd& wait) {
+  if (!guard_.AdmitTime(wait.now)) {
+    return;
+  }
+  overhead_.AddCpu(config_.costs.async_record);
+  overhead_.CountAsyncRecord();
+}
+
 void DetectorCore::RunSChecker(const ActionQuiesce& quiesce, LiveExecution& live,
                                ExecutionRecord& record) {
   (void)live;
@@ -236,12 +284,12 @@ void DetectorCore::RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& liv
   record.traced = true;
   Diagnosis diagnosis;
   if (kb_.valid()) {
-    // Knowledge-base fast path: Analyze is pure in (traces, symbols, thresholds), so an
-    // exact-key memo hit IS the diagnosis — same bytes, none of the census work. Probe the
-    // published snapshot first, then this session's own pending memos (so repeat hangs skip
-    // re-analysis even before any epoch publishes).
+    // Knowledge-base fast path: AnalyzeCausal is pure in (traces incl. thread tags, wait
+    // frames, symbols, thresholds), so an exact-key memo hit IS the diagnosis — same bytes,
+    // none of the census work. Probe the published snapshot first, then this session's own
+    // pending memos (so repeat hangs skip re-analysis even before any epoch publishes).
     FillDiagnosisMemoKey(live.traces, *info_.symbols, info_.app_package, config_.analyzer,
-                         &kb_key_scratch_);
+                         &kb_key_scratch_, live.wait_frames);
     const Diagnosis* memo = kb_.FindMemo(kb_key_scratch_);
     if (memo == nullptr) {
       for (const DiagnosisMemoEntry& pending : kb_memos_) {
@@ -256,14 +304,16 @@ void DetectorCore::RunDiagnoser(const ActionQuiesce& quiesce, LiveExecution& liv
       diagnosis = *memo;
     } else {
       ++kb_stats_.memo_misses;
-      diagnosis = analyzer_.Analyze(live.traces, *info_.symbols, info_.app_package);
+      diagnosis = analyzer_.AnalyzeCausal(live.traces, *info_.symbols, info_.app_package,
+                                          live.wait_frames);
       // Copied, not moved: the scratch key keeps its buffers warm for the next diagnosis.
       kb_memos_.push_back({kb_key_scratch_, diagnosis});
     }
   } else {
     // Counted with the KB off too, so a KB-off arm reports the diagnoser work a KB targets.
     ++kb_stats_.memo_misses;
-    diagnosis = analyzer_.Analyze(live.traces, *info_.symbols, info_.app_package);
+    diagnosis = analyzer_.AnalyzeCausal(live.traces, *info_.symbols, info_.app_package,
+                                        live.wait_frames);
   }
   record.diagnosis = diagnosis;
   if (config_.keep_traces) {

@@ -120,6 +120,10 @@ class DetectorCore : public SpiBackend {
   void OnDispatchEnd(const DispatchEnd& end) override;
   void OnActionQuiesced(const ActionQuiesce& quiesce) override;
   void OnCounterFault(const CounterFault& fault) override;
+  void OnAsyncPost(const AsyncPost& post) override;
+  void OnAsyncRun(const AsyncRun& run) override;
+  void OnAsyncWaitStart(const AsyncWaitStart& wait) override;
+  void OnAsyncWaitEnd(const AsyncWaitEnd& wait) override;
 
   const std::vector<ExecutionRecord>& log() const { return log_; }
   // Moves the execution log out (the DetectorService harvests it when a session closes and
@@ -145,6 +149,9 @@ class DetectorCore : public SpiBackend {
   struct LiveExecution {
     ActionState state_before = ActionState::kUncategorized;
     std::vector<telemetry::StackTrace> traces;
+    // Wait frames (Future.get sites) this execution blocked in, from AsyncWaitStart records;
+    // the Diagnoser's waiting-chain walk re-attributes a hang whose culprit is one of these.
+    std::vector<telemetry::FrameId> wait_frames;
     int32_t action_uid = -1;
     // event_index of the input event currently dispatching; -1 between events. A second
     // start while an event is open is an impossible stream (sticky StreamError).

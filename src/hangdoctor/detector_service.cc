@@ -238,6 +238,22 @@ void DetectorService::OnCounterFault(telemetry::SessionId id, const CounterFault
   FindSlot(ShardFor(id), id)->core->OnCounterFault(fault);
 }
 
+void DetectorService::OnAsyncPost(telemetry::SessionId id, const AsyncPost& post) {
+  FindSlot(ShardFor(id), id)->core->OnAsyncPost(post);
+}
+
+void DetectorService::OnAsyncRun(telemetry::SessionId id, const AsyncRun& run) {
+  FindSlot(ShardFor(id), id)->core->OnAsyncRun(run);
+}
+
+void DetectorService::OnAsyncWaitStart(telemetry::SessionId id, const AsyncWaitStart& wait) {
+  FindSlot(ShardFor(id), id)->core->OnAsyncWaitStart(wait);
+}
+
+void DetectorService::OnAsyncWaitEnd(telemetry::SessionId id, const AsyncWaitEnd& wait) {
+  FindSlot(ShardFor(id), id)->core->OnAsyncWaitEnd(wait);
+}
+
 SessionResult DetectorService::Close(telemetry::SessionId id) {
   Shard& shard = ShardFor(id);
   return Harvest(id, RemoveSlot(shard, id));
@@ -310,6 +326,18 @@ void DetectorService::ApplyRecord(Shard& shard, ServiceRecordRef ref) {
         break;
       case SpiPayload::Kind::kCounterFault:
         FindSlot(shard, ref.session)->core->OnCounterFault(payload.fault);
+        break;
+      case SpiPayload::Kind::kAsyncPost:
+        FindSlot(shard, ref.session)->core->OnAsyncPost(payload.async_post);
+        break;
+      case SpiPayload::Kind::kAsyncRun:
+        FindSlot(shard, ref.session)->core->OnAsyncRun(payload.async_run);
+        break;
+      case SpiPayload::Kind::kAsyncWaitStart:
+        FindSlot(shard, ref.session)->core->OnAsyncWaitStart(payload.wait_start);
+        break;
+      case SpiPayload::Kind::kAsyncWaitEnd:
+        FindSlot(shard, ref.session)->core->OnAsyncWaitEnd(payload.wait_end);
         break;
       case SpiPayload::Kind::kSessionClose:
         shard.closed.push_back(Harvest(ref.session, RemoveSlot(shard, ref.session)));
@@ -472,6 +500,18 @@ std::vector<SessionResult> DetectorService::Consume(std::span<const ServiceRecor
         break;
       case SpiPayload::Kind::kCounterFault:
         OnCounterFault(record.session, payload.fault);
+        break;
+      case SpiPayload::Kind::kAsyncPost:
+        OnAsyncPost(record.session, payload.async_post);
+        break;
+      case SpiPayload::Kind::kAsyncRun:
+        OnAsyncRun(record.session, payload.async_run);
+        break;
+      case SpiPayload::Kind::kAsyncWaitStart:
+        OnAsyncWaitStart(record.session, payload.wait_start);
+        break;
+      case SpiPayload::Kind::kAsyncWaitEnd:
+        OnAsyncWaitEnd(record.session, payload.wait_end);
         break;
       case SpiPayload::Kind::kSessionClose:
         results.push_back(Close(record.session));

@@ -157,6 +157,14 @@ class DetectorService {
     void OnCounterFault(const CounterFault& fault) override {
       service_->OnCounterFault(id_, fault);
     }
+    void OnAsyncPost(const AsyncPost& post) override { service_->OnAsyncPost(id_, post); }
+    void OnAsyncRun(const AsyncRun& run) override { service_->OnAsyncRun(id_, run); }
+    void OnAsyncWaitStart(const AsyncWaitStart& wait) override {
+      service_->OnAsyncWaitStart(id_, wait);
+    }
+    void OnAsyncWaitEnd(const AsyncWaitEnd& wait) override {
+      service_->OnAsyncWaitEnd(id_, wait);
+    }
     telemetry::SessionId id() const { return id_; }
 
    private:
@@ -199,6 +207,10 @@ class DetectorService {
   void OnDispatchEnd(telemetry::SessionId id, const DispatchEnd& end);
   void OnActionQuiesced(telemetry::SessionId id, const ActionQuiesce& quiesce);
   void OnCounterFault(telemetry::SessionId id, const CounterFault& fault);
+  void OnAsyncPost(telemetry::SessionId id, const AsyncPost& post);
+  void OnAsyncRun(telemetry::SessionId id, const AsyncRun& run);
+  void OnAsyncWaitStart(telemetry::SessionId id, const AsyncWaitStart& wait);
+  void OnAsyncWaitEnd(telemetry::SessionId id, const AsyncWaitEnd& wait);
 
   // Finalizes the session: harvests its result and frees its arena. The returned log is
   // moved, not copied, so closing is O(result), independent of how many sessions ever ran.

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "src/simkit/time.h"
+#include "src/telemetry/causal.h"
 #include "src/telemetry/counters.h"
 #include "src/telemetry/stack.h"
 #include "src/telemetry/symbols.h"
@@ -91,6 +92,49 @@ struct CounterFault {
   bool permanent = false;
 };
 
+// (d) Cross-thread causal telemetry (DESIGN.md section 3.8). The host pushes these when the
+// app posts work to an async thread, when that work runs, and when the main thread blocks on
+// its future. Frame ids use the session symbol table like every trace; thread ids and edge
+// ids use the telemetry::causal vocabulary, so no substrate type crosses the SPI. All four
+// are pure data — they record and replay like any other telemetry.
+
+// A task was posted to async thread `target`, creating causal edge `edge`. `post_frame` is
+// the submit call's frame; `delay` is nonzero for PostDelayed-style posts.
+struct AsyncPost {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  telemetry::CausalEdgeId edge;
+  telemetry::ThreadId target = telemetry::kMainThread;
+  telemetry::FrameId post_frame = 0;
+  simkit::SimDuration delay = 0;
+};
+
+// Edge `edge`'s task started (begin = true) or finished (begin = false) on `thread`.
+struct AsyncRun {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  telemetry::CausalEdgeId edge;
+  telemetry::ThreadId thread = telemetry::kMainThread;
+  bool begin = true;
+};
+
+// The main thread blocked on edge `edge`'s future inside `wait_frame` (Future.get). Only
+// pushed when the task was still incomplete at get() time — a satisfied future emits nothing.
+struct AsyncWaitStart {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  telemetry::CausalEdgeId edge;
+  telemetry::FrameId wait_frame = 0;
+};
+
+// The blocked wait resolved after `waited`.
+struct AsyncWaitEnd {
+  simkit::SimTime now = 0;
+  int64_t execution_id = 0;
+  telemetry::CausalEdgeId edge;
+  simkit::SimDuration waited = 0;
+};
+
 // The core's answer to DispatchStart: which host mechanisms to engage for this execution.
 struct MonitorDirectives {
   // Begin a per-execution counter session over the symptom events (first Uncategorized
@@ -113,6 +157,10 @@ class SpiBackend {
   virtual void OnDispatchEnd(const DispatchEnd& end) = 0;
   virtual void OnActionQuiesced(const ActionQuiesce& quiesce) = 0;
   virtual void OnCounterFault(const CounterFault& fault) = 0;
+  virtual void OnAsyncPost(const AsyncPost& post) = 0;
+  virtual void OnAsyncRun(const AsyncRun& run) = 0;
+  virtual void OnAsyncWaitStart(const AsyncWaitStart& wait) = 0;
+  virtual void OnAsyncWaitEnd(const AsyncWaitEnd& wait) = 0;
 };
 
 // Passive tap on the SPI: everything the host pushes into the core is offered to the sink
@@ -126,6 +174,10 @@ class TelemetrySink {
   virtual void OnDispatchEnd(const DispatchEnd& end) = 0;
   virtual void OnActionQuiesce(const ActionQuiesce& quiesce) = 0;
   virtual void OnCounterFault(const CounterFault& fault) = 0;
+  virtual void OnAsyncPost(const AsyncPost& post) = 0;
+  virtual void OnAsyncRun(const AsyncRun& run) = 0;
+  virtual void OnAsyncWaitStart(const AsyncWaitStart& wait) = 0;
+  virtual void OnAsyncWaitEnd(const AsyncWaitEnd& wait) = 0;
 };
 
 }  // namespace hangdoctor

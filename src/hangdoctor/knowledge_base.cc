@@ -73,19 +73,24 @@ uint64_t DiagnosisMemoKey::Hash() const {
 void FillDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
                           const telemetry::SymbolTable& symbols,
                           const std::string& app_package,
-                          const TraceAnalyzerConfig& analyzer, DiagnosisMemoKey* key) {
+                          const TraceAnalyzerConfig& analyzer, DiagnosisMemoKey* key,
+                          std::span<const telemetry::FrameId> wait_frames) {
   key->app_package = app_package;
   key->analyzer = analyzer;
   key->shape.clear();
-  size_t total = 0;
+  size_t total = 1 + wait_frames.size();
   for (const telemetry::StackTrace& trace : traces) {
-    total += 1 + trace.frames.size();
+    total += 2 + trace.frames.size();
   }
   key->shape.reserve(total);
   for (const telemetry::StackTrace& trace : traces) {
     key->shape.push_back(static_cast<uint32_t>(trace.frames.size()));
+    key->shape.push_back(trace.thread);
     key->shape.insert(key->shape.end(), trace.frames.begin(), trace.frames.end());
   }
+  // AnalyzeCausal's extra input: the execution's wait-frame set (empty pre-async).
+  key->shape.push_back(static_cast<uint32_t>(wait_frames.size()));
+  key->shape.insert(key->shape.end(), wait_frames.begin(), wait_frames.end());
   // Whole-table fingerprint at O(1): the table size (which decides out-of-range-id
   // discards) folded with the content hash the SymbolTable maintains as frames intern.
   // Stronger than Analyze strictly needs — it pins frames the traces never name — so equal
@@ -100,9 +105,10 @@ void FillDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
 DiagnosisMemoKey MakeDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
                                       const telemetry::SymbolTable& symbols,
                                       const std::string& app_package,
-                                      const TraceAnalyzerConfig& analyzer) {
+                                      const TraceAnalyzerConfig& analyzer,
+                                      std::span<const telemetry::FrameId> wait_frames) {
   DiagnosisMemoKey key;
-  FillDiagnosisMemoKey(traces, symbols, app_package, analyzer, &key);
+  FillDiagnosisMemoKey(traces, symbols, app_package, analyzer, &key, wait_frames);
   return key;
 }
 

@@ -61,9 +61,11 @@ struct DiagnosisMemoKey {
   // Analyze; they can never alias each other's cached diagnoses.
   uint64_t symbols_fingerprint = 0;
   TraceAnalyzerConfig analyzer;
-  // Injective flattening of the traces: for each trace its depth, then its frame ids. The
-  // per-trace length prefix makes the encoding self-delimiting, so distinct trace shapes can
-  // never flatten to the same sequence.
+  // Injective flattening of the diagnosis inputs: for each trace its depth, then its thread
+  // tag, then its frame ids; after all traces, the wait-frame count and the wait frame ids
+  // (AnalyzeCausal's extra input — empty for pre-async sessions). The per-trace length
+  // prefix makes the encoding self-delimiting left-to-right, and the trailing wait section
+  // is length-prefixed too, so distinct inputs can never flatten to the same sequence.
   std::vector<uint32_t> shape;
 
   bool operator==(const DiagnosisMemoKey& other) const;
@@ -73,7 +75,8 @@ struct DiagnosisMemoKey {
 DiagnosisMemoKey MakeDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
                                       const telemetry::SymbolTable& symbols,
                                       const std::string& app_package,
-                                      const TraceAnalyzerConfig& analyzer);
+                                      const TraceAnalyzerConfig& analyzer,
+                                      std::span<const telemetry::FrameId> wait_frames = {});
 
 // In-place variant for the per-diagnosis hot path: refills `key` reusing its string/vector
 // capacity, so a session's repeated diagnoses construct keys without allocating.
@@ -81,7 +84,8 @@ DiagnosisMemoKey MakeDiagnosisMemoKey(std::span<const telemetry::StackTrace> tra
 void FillDiagnosisMemoKey(std::span<const telemetry::StackTrace> traces,
                           const telemetry::SymbolTable& symbols,
                           const std::string& app_package,
-                          const TraceAnalyzerConfig& analyzer, DiagnosisMemoKey* key);
+                          const TraceAnalyzerConfig& analyzer, DiagnosisMemoKey* key,
+                          std::span<const telemetry::FrameId> wait_frames = {});
 
 // A diagnosis the core computed this session, pending publication into the shared memo.
 struct DiagnosisMemoEntry {

@@ -37,6 +37,10 @@ struct MonitorCosts {
   int64_t utilization_sample_bytes = 1500;
   // Response-time probe at dispatch begin/end (all runtime detectors pay this).
   simkit::SimDuration response_probe = simkit::Microseconds(3);
+  // Handling one cross-thread causal record (AsyncPost/AsyncRun/AsyncWaitStart/End): a map
+  // update plus edge bookkeeping, comparable to the state lookup. Sessions of pre-async apps
+  // never push such records, so they are charged nothing.
+  simkit::SimDuration async_record = simkit::Microseconds(2);
 };
 
 class OverheadMeter {
@@ -47,10 +51,14 @@ class OverheadMeter {
   // retry's perf_start cost is charged via AddCpu as usual; the count is kept separately so
   // the Section 4.5 accounting can attribute how much overhead degradation retries added.
   void CountCounterRetry() { ++counter_retries_; }
+  // One cross-thread causal record handled (its async_record cost is charged via AddCpu);
+  // counted separately so async sessions' overhead columns can attribute the causal traffic.
+  void CountAsyncRecord() { ++async_records_; }
 
   simkit::SimDuration cpu() const { return cpu_; }
   int64_t memory_bytes() const { return bytes_; }
   int64_t counter_retries() const { return counter_retries_; }
+  int64_t async_records() const { return async_records_; }
 
   // The paper's metric: mean of %CPU and %memory increase over the unmonitored trace.
   double OverheadPercent(simkit::SimDuration trace_cpu, int64_t trace_bytes) const {
@@ -66,12 +74,14 @@ class OverheadMeter {
     cpu_ = 0;
     bytes_ = 0;
     counter_retries_ = 0;
+    async_records_ = 0;
   }
 
  private:
   simkit::SimDuration cpu_ = 0;
   int64_t bytes_ = 0;
   int64_t counter_retries_ = 0;
+  int64_t async_records_ = 0;
 };
 
 }  // namespace hangdoctor

@@ -19,6 +19,11 @@ void HangBugReport::Record(const std::string& app_package, const Diagnosis& diag
     entry.file = diagnosis.culprit.file;
     entry.line = diagnosis.culprit.line;
     entry.self_developed = diagnosis.is_self_developed;
+    if (diagnosis.via_async_wait) {
+      entry.wait_site = diagnosis.wait_frame.clazz + "." + diagnosis.wait_frame.function + "@" +
+                        diagnosis.wait_frame.file + ":" +
+                        std::to_string(diagnosis.wait_frame.line);
+    }
   }
   entry.degraded = entry.degraded || degraded;
   ++entry.occurrences;
@@ -35,6 +40,9 @@ void HangBugReport::Merge(const HangBugReport& other) {
       continue;
     }
     mine.degraded = mine.degraded || entry.degraded;
+    if (mine.wait_site.empty()) {
+      mine.wait_site = entry.wait_site;
+    }
     mine.occurrences += entry.occurrences;
     mine.devices.insert(entry.devices.begin(), entry.devices.end());
     mine.total_hang += entry.total_hang;
@@ -70,9 +78,11 @@ std::string HangBugReport::Render(int32_t total_devices) const {
                                           : 0.0;
     out << "  " << entry.app_package << " | " << entry.api
         << (entry.self_developed ? " [self-developed]" : "")
-        << (entry.degraded ? " [degraded]" : "") << " | " << entry.file << ":"
-        << entry.line << " | " << static_cast<int64_t>(entry.MeanHangMs()) << " | "
-        << entry.occurrences << " | " << static_cast<int64_t>(device_pct) << "%\n";
+        << (entry.degraded ? " [degraded]" : "")
+        << (entry.wait_site.empty() ? "" : " [via-wait " + entry.wait_site + "]") << " | "
+        << entry.file << ":" << entry.line << " | "
+        << static_cast<int64_t>(entry.MeanHangMs()) << " | " << entry.occurrences << " | "
+        << static_cast<int64_t>(device_pct) << "%\n";
   }
   return out.str();
 }

@@ -25,6 +25,10 @@ struct BugReportEntry {
   // At least one occurrence was diagnosed while S-Checker ran degraded (timeout-only, no
   // counter vetting); consumers should weigh such entries accordingly.
   bool degraded = false;
+  // Waiting-chain provenance: when the bug was attributed across an async wait, the
+  // main-thread wait site ("clazz.function@File:line") the diagnosis walked through. Empty
+  // for main-thread bugs, so pre-async reports render unchanged.
+  std::string wait_site;
   int64_t occurrences = 0;  // soft hangs diagnosed to this bug
   std::set<int32_t> devices;
   simkit::SimDuration total_hang = 0;

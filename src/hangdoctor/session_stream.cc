@@ -35,6 +35,34 @@ void SpiStreamRecorder::OnCounterFault(const CounterFault& fault) {
   records_.push_back(std::move(payload));
 }
 
+void SpiStreamRecorder::OnAsyncPost(const AsyncPost& post) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kAsyncPost;
+  payload.async_post = post;
+  records_.push_back(std::move(payload));
+}
+
+void SpiStreamRecorder::OnAsyncRun(const AsyncRun& run) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kAsyncRun;
+  payload.async_run = run;
+  records_.push_back(std::move(payload));
+}
+
+void SpiStreamRecorder::OnAsyncWaitStart(const AsyncWaitStart& wait) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kAsyncWaitStart;
+  payload.wait_start = wait;
+  records_.push_back(std::move(payload));
+}
+
+void SpiStreamRecorder::OnAsyncWaitEnd(const AsyncWaitEnd& wait) {
+  SpiPayload payload;
+  payload.kind = SpiPayload::Kind::kAsyncWaitEnd;
+  payload.wait_end = wait;
+  records_.push_back(std::move(payload));
+}
+
 void TeeSink::OnSessionStart(const SessionInfo& info) {
   if (first_ != nullptr) first_->OnSessionStart(info);
   if (second_ != nullptr) second_->OnSessionStart(info);
@@ -58,6 +86,26 @@ void TeeSink::OnActionQuiesce(const ActionQuiesce& quiesce) {
 void TeeSink::OnCounterFault(const CounterFault& fault) {
   if (first_ != nullptr) first_->OnCounterFault(fault);
   if (second_ != nullptr) second_->OnCounterFault(fault);
+}
+
+void TeeSink::OnAsyncPost(const AsyncPost& post) {
+  if (first_ != nullptr) first_->OnAsyncPost(post);
+  if (second_ != nullptr) second_->OnAsyncPost(post);
+}
+
+void TeeSink::OnAsyncRun(const AsyncRun& run) {
+  if (first_ != nullptr) first_->OnAsyncRun(run);
+  if (second_ != nullptr) second_->OnAsyncRun(run);
+}
+
+void TeeSink::OnAsyncWaitStart(const AsyncWaitStart& wait) {
+  if (first_ != nullptr) first_->OnAsyncWaitStart(wait);
+  if (second_ != nullptr) second_->OnAsyncWaitStart(wait);
+}
+
+void TeeSink::OnAsyncWaitEnd(const AsyncWaitEnd& wait) {
+  if (first_ != nullptr) first_->OnAsyncWaitEnd(wait);
+  if (second_ != nullptr) second_->OnAsyncWaitEnd(wait);
 }
 
 }  // namespace hangdoctor

@@ -34,6 +34,11 @@ struct SpiPayload {
     // Not tied to any session — carries no payload fields; the HDSL v3 replayer synthesizes
     // these from recorded kEpochPublish frames so replay reproduces the snapshot schedule.
     kKbPublish = 6,
+    // Cross-thread causal telemetry (host_spi.h record kind (d)).
+    kAsyncPost = 7,
+    kAsyncRun = 8,
+    kAsyncWaitStart = 9,
+    kAsyncWaitEnd = 10,
   };
 
   Kind kind = Kind::kSessionClose;
@@ -44,6 +49,10 @@ struct SpiPayload {
   std::vector<telemetry::StackTrace> samples;  // owned storage for end.samples
   ActionQuiesce quiesce;     // kActionQuiesce
   CounterFault fault;        // kCounterFault
+  AsyncPost async_post;      // kAsyncPost
+  AsyncRun async_run;        // kAsyncRun
+  AsyncWaitStart wait_start; // kAsyncWaitStart
+  AsyncWaitEnd wait_end;     // kAsyncWaitEnd
 };
 
 // One element of the interleaved stream: an SPI payload stamped with its session.
@@ -71,6 +80,10 @@ class SpiStreamRecorder final : public TelemetrySink {
   void OnDispatchEnd(const DispatchEnd& end) override;
   void OnActionQuiesce(const ActionQuiesce& quiesce) override;
   void OnCounterFault(const CounterFault& fault) override;
+  void OnAsyncPost(const AsyncPost& post) override;
+  void OnAsyncRun(const AsyncRun& run) override;
+  void OnAsyncWaitStart(const AsyncWaitStart& wait) override;
+  void OnAsyncWaitEnd(const AsyncWaitEnd& wait) override;
 
   const SessionInfo& info() const { return info_; }
   const std::vector<SpiPayload>& records() const { return records_; }
@@ -90,6 +103,10 @@ class TeeSink final : public TelemetrySink {
   void OnDispatchEnd(const DispatchEnd& end) override;
   void OnActionQuiesce(const ActionQuiesce& quiesce) override;
   void OnCounterFault(const CounterFault& fault) override;
+  void OnAsyncPost(const AsyncPost& post) override;
+  void OnAsyncRun(const AsyncRun& run) override;
+  void OnAsyncWaitStart(const AsyncWaitStart& wait) override;
+  void OnAsyncWaitEnd(const AsyncWaitEnd& wait) override;
 
  private:
   TelemetrySink* first_;

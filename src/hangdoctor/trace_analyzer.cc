@@ -150,4 +150,54 @@ Diagnosis TraceAnalyzer::Analyze(std::span<const telemetry::StackTrace> traces,
   return diagnosis;
 }
 
+Diagnosis TraceAnalyzer::AnalyzeCausal(std::span<const telemetry::StackTrace> traces,
+                                       const telemetry::SymbolTable& symbols,
+                                       const std::string& app_package,
+                                       std::span<const telemetry::FrameId> wait_frames) const {
+  if (wait_frames.empty()) {
+    return Analyze(traces, symbols, app_package);
+  }
+  // Partition by thread: the main thread's samples carry the symptom (the wait frame); any
+  // async thread's samples carry the cause. Diagnosis runs once per hang, so the copies here
+  // never touch the sampling hot path.
+  std::vector<telemetry::StackTrace> main_traces;
+  std::vector<telemetry::StackTrace> async_traces;
+  for (const telemetry::StackTrace& trace : traces) {
+    (trace.thread == telemetry::kMainThread ? main_traces : async_traces).push_back(trace);
+  }
+  Diagnosis main_diag = Analyze(main_traces, symbols, app_package);
+  if (!main_diag.valid) {
+    return main_diag;
+  }
+  bool culprit_is_wait = false;
+  for (telemetry::FrameId id : wait_frames) {
+    if (id < symbols.size() && symbols.Frame(id) == main_diag.culprit) {
+      culprit_is_wait = true;
+      break;
+    }
+  }
+  if (!culprit_is_wait || async_traces.empty()) {
+    return main_diag;
+  }
+  Diagnosis async_diag = Analyze(async_traces, symbols, app_package);
+  if (!async_diag.valid) {
+    return main_diag;  // async thread was idle/unsampled; the wait-site diagnosis stands
+  }
+  async_diag.via_async_wait = true;
+  async_diag.wait_frame = main_diag.culprit;
+  // Worker stacks are rooted at the submit site, so the caller census (case 4) that marks
+  // self-developed work on the main thread cannot fire here — the async culprit is a
+  // dominant leaf either way. The host's provenance bit on the culprit frame substitutes,
+  // keeping self-developed operations out of the blocking-API database on this path too.
+  if (!async_diag.is_self_developed) {
+    for (telemetry::FrameId id = 0; id < symbols.size(); ++id) {
+      if (symbols.IsSelfDeveloped(id) && symbols.Frame(id) == async_diag.culprit) {
+        async_diag.is_self_developed = true;
+        break;
+      }
+    }
+  }
+  return async_diag;
+}
+
 }  // namespace hangdoctor

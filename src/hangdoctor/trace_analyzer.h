@@ -35,6 +35,11 @@ struct Diagnosis {
   bool is_ui = false;
   bool is_self_developed = false;
   size_t samples_used = 0;
+  // Waiting-chain provenance (DESIGN.md section 3.8): set when the main-thread culprit was a
+  // blocking wait and the hang was re-attributed to the async thread's stack. `culprit` is
+  // then the async culprit; `wait_frame` keeps the main-thread wait site for the report.
+  bool via_async_wait = false;
+  telemetry::StackFrame wait_frame;
 };
 
 struct TraceAnalyzerConfig {
@@ -51,11 +56,21 @@ class TraceAnalyzer {
   explicit TraceAnalyzer(TraceAnalyzerConfig config = {}) : config_(config) {}
 
   // `symbols` must be the table the traces' frame ids were interned in (the app's).
-  // `app_package`, when given, marks culprits whose class lives under the app's own package
-  // as self-developed operations (reported to the developer only, never to the API database).
+  // `app_package` is accepted for interface stability but unused: self-developed culprits
+  // are recognized structurally (case 4) or by the host's provenance bit on the frame.
   Diagnosis Analyze(std::span<const telemetry::StackTrace> traces,
                     const telemetry::SymbolTable& symbols,
                     const std::string& app_package = "") const;
+
+  // The waiting-chain walk. With no wait frames this is exactly Analyze() — bit-identical
+  // for every pre-async session. Otherwise: analyze the main-thread samples as usual; when
+  // the culprit turns out to be one of `wait_frames` (the execution's Future.get sites) and
+  // async-thread samples exist, re-run the analysis over the async samples and attribute the
+  // hang to the thread doing the work, keeping the wait site as provenance. When the async
+  // samples are unusable (idle thread, no samples) the wait-frame diagnosis stands.
+  Diagnosis AnalyzeCausal(std::span<const telemetry::StackTrace> traces,
+                          const telemetry::SymbolTable& symbols, const std::string& app_package,
+                          std::span<const telemetry::FrameId> wait_frames) const;
 
   const TraceAnalyzerConfig& config() const { return config_; }
 

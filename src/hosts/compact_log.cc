@@ -99,6 +99,9 @@ void EncodeSymbols(const telemetry::SymbolTable& symbols, std::string* out) {
     if (symbols.IsUi(id)) {
       flags |= 2;
     }
+    if (symbols.IsSelfDeveloped(id)) {
+      flags |= 4;
+    }
     out->push_back(static_cast<char>(flags));
   }
 }
@@ -150,6 +153,9 @@ bool CompactSessionLogs(std::span<const CompactInput> logs, std::string* out,
       }
       if (symbols.IsUi(id)) {
         flags |= 2;
+      }
+      if (symbols.IsSelfDeveloped(id)) {
+        flags |= 4;
       }
       body->push_back(static_cast<char>(flags));
     }

@@ -1,6 +1,7 @@
 #include "src/hosts/hang_doctor.h"
 
 #include <limits>
+#include <span>
 #include <utility>
 
 namespace hangdoctor {
@@ -55,6 +56,14 @@ void HangDoctor::FinishSetup(faultsim::FaultPlan plan, const SessionInfo& info) 
   if (plan.enabled()) {
     injector_ = std::make_unique<faultsim::FaultInjector>(std::move(plan), backend_, sink_);
   }
+  // One sampler per async thread, tagged with its telemetry thread id; they stay parked
+  // until a future wait overlaps an active main-thread collection.
+  async_samplers_.reserve(app_->num_async_threads());
+  for (size_t i = 0; i < app_->num_async_threads(); ++i) {
+    async_samplers_.push_back(std::make_unique<droidsim::StackSampler>(
+        &phone_->sim(), &app_->async_looper(i), config_.sample_interval,
+        static_cast<telemetry::ThreadId>(i + 1)));
+  }
   if (sink_ != nullptr) {
     sink_->OnSessionStart(info);
   }
@@ -106,6 +115,50 @@ void HangDoctor::PushCounterFault(const CounterFault& fault) {
   backend_->OnCounterFault(fault);
 }
 
+void HangDoctor::PushAsyncPost(const AsyncPost& post) {
+  if (injector_ != nullptr) {
+    injector_->PushAsyncPost(post);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->OnAsyncPost(post);
+  }
+  backend_->OnAsyncPost(post);
+}
+
+void HangDoctor::PushAsyncRun(const AsyncRun& run) {
+  if (injector_ != nullptr) {
+    injector_->PushAsyncRun(run);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->OnAsyncRun(run);
+  }
+  backend_->OnAsyncRun(run);
+}
+
+void HangDoctor::PushAsyncWaitStart(const AsyncWaitStart& wait) {
+  if (injector_ != nullptr) {
+    injector_->PushAsyncWaitStart(wait);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->OnAsyncWaitStart(wait);
+  }
+  backend_->OnAsyncWaitStart(wait);
+}
+
+void HangDoctor::PushAsyncWaitEnd(const AsyncWaitEnd& wait) {
+  if (injector_ != nullptr) {
+    injector_->PushAsyncWaitEnd(wait);
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->OnAsyncWaitEnd(wait);
+  }
+  backend_->OnAsyncWaitEnd(wait);
+}
+
 HangDoctor::HostExecution& HangDoctor::Live(const droidsim::ActionExecution& execution) {
   auto [it, inserted] = live_.try_emplace(execution.execution_id);
   if (inserted) {
@@ -128,7 +181,22 @@ void HangDoctor::ArmHangCheck(int64_t execution_id, int32_t event_index) {
     if (!sampler_.active()) {
       sampler_.StartCollection();
     }
+    // If the main thread is already blocked in a future wait, the hang is (at least partly)
+    // the awaited thread's work: sample it too, so the Diagnoser can walk the chain.
+    if (active_wait_edge_ != 0 && active_wait_execution_ == execution_id) {
+      StartWaitSampler(active_wait_thread_);
+    }
   });
+}
+
+void HangDoctor::StartWaitSampler(telemetry::ThreadId thread) {
+  if (thread == 0 || static_cast<size_t>(thread) > async_samplers_.size()) {
+    return;
+  }
+  droidsim::StackSampler& sampler = *async_samplers_[thread - 1];
+  if (!sampler.active()) {
+    sampler.StartCollection();
+  }
 }
 
 void HangDoctor::StartCounters(HostExecution& live) {
@@ -187,8 +255,9 @@ void HangDoctor::OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecu
   end.execution_id = execution.execution_id;
   end.event_index = event_index;
 
-  // Owned storage for a fault-filtered window; must outlive the push below.
+  // Owned storage for a merged or fault-filtered window; must outlive the push below.
   std::vector<telemetry::StackTrace> filtered;
+  std::vector<telemetry::StackTrace> merged;
   auto it = live_.find(execution.execution_id);
   if (it != live_.end()) {
     auto idx = static_cast<size_t>(event_index);
@@ -201,6 +270,14 @@ void HangDoctor::OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecu
     if (sampler_.active()) {
       end.trace_stopped = true;
       end.samples = sampler_.StopCollection();
+      if (!live.async_samples.empty()) {
+        // Append the waits' worker-thread stacks behind the main window. Owned storage only
+        // in the async case — pre-async sessions keep the sampler's zero-copy span.
+        merged.assign(end.samples.begin(), end.samples.end());
+        merged.insert(merged.end(), live.async_samples.begin(), live.async_samples.end());
+        live.async_samples.clear();
+        end.samples = merged;
+      }
       if (injector_ != nullptr) {
         filtered = injector_->FilterSamples(end.samples);
         end.samples = filtered;
@@ -248,6 +325,86 @@ void HangDoctor::OnActionQuiesced(droidsim::App& app,
   if (it != live_.end()) {
     live_.erase(it);
   }
+}
+
+void HangDoctor::OnAsyncPost(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                             telemetry::ThreadId thread, telemetry::FrameId post_frame,
+                             simkit::SimDuration delay) {
+  (void)app;
+  edge_thread_[edge] = thread;
+  AsyncPost post;
+  post.now = phone_->Now();
+  post.execution_id = execution_id;
+  post.edge = telemetry::CausalEdgeId{edge};
+  post.target = thread;
+  post.post_frame = post_frame;
+  post.delay = delay;
+  PushAsyncPost(post);
+}
+
+void HangDoctor::OnAsyncRun(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                            telemetry::ThreadId thread, bool begin) {
+  (void)app;
+  AsyncRun run;
+  run.now = phone_->Now();
+  run.execution_id = execution_id;
+  run.edge = telemetry::CausalEdgeId{edge};
+  run.thread = thread;
+  run.begin = begin;
+  PushAsyncRun(run);
+  if (!begin) {
+    edge_thread_.erase(edge);  // the task is done; its edge can never be waited on again
+  }
+}
+
+void HangDoctor::OnAsyncWaitStart(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                                  telemetry::FrameId wait_frame) {
+  (void)app;
+  AsyncWaitStart wait;
+  wait.now = phone_->Now();
+  wait.execution_id = execution_id;
+  wait.edge = telemetry::CausalEdgeId{edge};
+  wait.wait_frame = wait_frame;
+  PushAsyncWaitStart(wait);
+  active_wait_edge_ = edge;
+  active_wait_execution_ = execution_id;
+  auto thread_it = edge_thread_.find(edge);
+  active_wait_thread_ = thread_it != edge_thread_.end() ? thread_it->second : 0;
+  // Already hung and sampling? Then the awaited thread's stacks are the interesting ones —
+  // start its sampler now. (If the hang check fires later, it starts the sampler itself.)
+  if (sampler_.active()) {
+    StartWaitSampler(active_wait_thread_);
+  }
+}
+
+void HangDoctor::OnAsyncWaitEnd(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                                simkit::SimDuration waited) {
+  (void)app;
+  AsyncWaitEnd wait;
+  wait.now = phone_->Now();
+  wait.execution_id = execution_id;
+  wait.edge = telemetry::CausalEdgeId{edge};
+  wait.waited = waited;
+  PushAsyncWaitEnd(wait);
+  if (active_wait_edge_ != edge) {
+    return;
+  }
+  if (active_wait_thread_ != 0 &&
+      static_cast<size_t>(active_wait_thread_) <= async_samplers_.size()) {
+    droidsim::StackSampler& sampler = *async_samplers_[active_wait_thread_ - 1];
+    if (sampler.active()) {
+      // Buffer the wait's worker stacks; they ride the DispatchEnd of the event that blocked.
+      std::span<const telemetry::StackTrace> taken = sampler.StopCollection();
+      auto it = live_.find(execution_id);
+      if (it != live_.end()) {
+        it->second.async_samples.insert(it->second.async_samples.end(), taken.begin(),
+                                        taken.end());
+      }
+    }
+  }
+  active_wait_edge_ = 0;
+  active_wait_execution_ = 0;
+  active_wait_thread_ = 0;
 }
 
 }  // namespace hangdoctor

@@ -7,6 +7,10 @@
 //    render threads counting exactly the filter's events,
 //  - the core's arm_hang_check directive schedules the one-timeout-later check that starts
 //    the StackSampler if the event is still dispatching (Trace Collector),
+//  - async posts / task runs / future waits (AppObserver's causal callbacks) become
+//    AsyncPost/AsyncRun/AsyncWaitStart/AsyncWaitEnd telemetry, and while the main thread is
+//    both sampled and blocked in a wait, a per-async-thread StackSampler collects the target
+//    thread's stacks so the Diagnoser can walk the waiting chain,
 //  - at quiesce, the main−render counter differences are read back (only when the core was
 //    counting and the action hung) and pushed in with the quiesce event —
 // while every detection decision stays in the core. An optional TelemetrySink observes the
@@ -70,6 +74,15 @@ class HangDoctor : public droidsim::AppObserver {
   void OnInputEventEnd(droidsim::App& app, const droidsim::ActionExecution& execution,
                        int32_t event_index) override;
   void OnActionQuiesced(droidsim::App& app, const droidsim::ActionExecution& execution) override;
+  void OnAsyncPost(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                   telemetry::ThreadId thread, telemetry::FrameId post_frame,
+                   simkit::SimDuration delay) override;
+  void OnAsyncRun(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                  telemetry::ThreadId thread, bool begin) override;
+  void OnAsyncWaitStart(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                        telemetry::FrameId wait_frame) override;
+  void OnAsyncWaitEnd(droidsim::App& app, int64_t execution_id, uint64_t edge,
+                      simkit::SimDuration waited) override;
 
   // Owned-core accessors; undefined in service mode (state lives in the service — harvest
   // it via DetectorService::Close). config() works in both modes.
@@ -88,11 +101,15 @@ class HangDoctor : public droidsim::AppObserver {
   struct HostExecution {
     std::unique_ptr<perfsim::PerfSession> session;
     std::vector<bool> event_open;
+    // Worker-thread stacks collected during this execution's future waits (copied out of the
+    // per-thread samplers at wait end), merged behind the main-thread window at DispatchEnd.
+    std::vector<telemetry::StackTrace> async_samples;
   };
 
   HostExecution& Live(const droidsim::ActionExecution& execution);
   void ArmHangCheck(int64_t execution_id, int32_t event_index);
   void StartCounters(HostExecution& live);
+  void StartWaitSampler(telemetry::ThreadId thread);
 
   // SPI routing: through the fault injector when a plan is enabled, else straight to
   // (sink, core) — sink first, so recording sees exactly what the core consumes.
@@ -100,6 +117,10 @@ class HangDoctor : public droidsim::AppObserver {
   void PushEnd(const DispatchEnd& end);
   void PushQuiesce(const ActionQuiesce& quiesce);
   void PushCounterFault(const CounterFault& fault);
+  void PushAsyncPost(const AsyncPost& post);
+  void PushAsyncRun(const AsyncRun& run);
+  void PushAsyncWaitStart(const AsyncWaitStart& wait);
+  void PushAsyncWaitEnd(const AsyncWaitEnd& wait);
 
   void FinishSetup(faultsim::FaultPlan plan, const SessionInfo& info);
 
@@ -112,6 +133,17 @@ class HangDoctor : public droidsim::AppObserver {
   std::unique_ptr<DetectorService::SessionHandle> handle_;   // service mode only
   SpiBackend* backend_ = nullptr;  // the core or the handle; faults/sink sit in front of it
   droidsim::StackSampler sampler_;
+  // One sampler per app async thread (handlers then executor pool; telemetry id = index+1).
+  // A wait sampler runs only while the main thread is blocked on that thread's work AND the
+  // main sampler is (or becomes) active — apps without async threads allocate nothing here.
+  std::vector<std::unique_ptr<droidsim::StackSampler>> async_samplers_;
+  // Which async thread each live causal edge's task runs on (from AsyncPost, pruned when the
+  // task finishes) — resolves a wait's edge to the sampler to start.
+  std::unordered_map<uint64_t, telemetry::ThreadId> edge_thread_;
+  // The in-progress future wait (at most one: the main thread is blocked inside it).
+  uint64_t active_wait_edge_ = 0;
+  int64_t active_wait_execution_ = 0;
+  telemetry::ThreadId active_wait_thread_ = 0;
   std::unique_ptr<faultsim::FaultInjector> injector_;
   std::unordered_map<int64_t, HostExecution> live_;
 };

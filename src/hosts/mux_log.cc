@@ -396,6 +396,22 @@ bool ReplayMultiplexedLog(const std::string& bytes, const ServiceOptions& option
             out.record.kind = SpiPayload::Kind::kCounterFault;
             out.record.fault = record.fault;
             break;
+          case SessionRecordTag::kAsyncPost:
+            out.record.kind = SpiPayload::Kind::kAsyncPost;
+            out.record.async_post = record.async_post;
+            break;
+          case SessionRecordTag::kAsyncRun:
+            out.record.kind = SpiPayload::Kind::kAsyncRun;
+            out.record.async_run = record.async_run;
+            break;
+          case SessionRecordTag::kAsyncWaitStart:
+            out.record.kind = SpiPayload::Kind::kAsyncWaitStart;
+            out.record.wait_start = record.wait_start;
+            break;
+          case SessionRecordTag::kAsyncWaitEnd:
+            out.record.kind = SpiPayload::Kind::kAsyncWaitEnd;
+            out.record.wait_end = record.wait_end;
+            break;
           default:
             *error = "unexpected record tag in frame stream";
             return false;

@@ -27,6 +27,18 @@ void ReplaySession::Run() {
       case SessionRecordTag::kCounterFault:
         core_.OnCounterFault(record.fault);
         break;
+      case SessionRecordTag::kAsyncPost:
+        core_.OnAsyncPost(record.async_post);
+        break;
+      case SessionRecordTag::kAsyncRun:
+        core_.OnAsyncRun(record.async_run);
+        break;
+      case SessionRecordTag::kAsyncWaitStart:
+        core_.OnAsyncWaitStart(record.wait_start);
+        break;
+      case SessionRecordTag::kAsyncWaitEnd:
+        core_.OnAsyncWaitEnd(record.wait_end);
+        break;
       default:
         break;
     }

@@ -162,6 +162,7 @@ bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout*
   log->config.costs.utilization_sample = parser.GetSigned();
   log->config.costs.utilization_sample_bytes = parser.GetSigned();
   log->config.costs.response_probe = parser.GetSigned();
+  log->config.costs.async_record = parser.GetSigned();
   log->config.second_phase_only = parser.GetByte() != 0;
   log->config.keep_traces = parser.GetByte() != 0;
 
@@ -181,7 +182,8 @@ bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout*
     if (!parser.ok()) {
       break;
     }
-    telemetry::FrameId id = log->symbols->Intern(std::move(frame), (flags & 2) != 0);
+    telemetry::FrameId id =
+        log->symbols->Intern(std::move(frame), (flags & 2) != 0, (flags & 4) != 0);
     if (id != i) {
       return parser.Fail("symbol table not in id order");
     }
@@ -226,6 +228,7 @@ bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout*
           for (uint64_t s = 0; parser.ok() && s < num_samples; ++s) {
             telemetry::StackTrace sample;
             sample.timestamp_ns = parser.GetSigned();
+            sample.thread = static_cast<telemetry::ThreadId>(parser.GetVarint());
             uint64_t depth = parser.GetVarint();
             for (uint64_t f = 0; parser.ok() && f < depth; ++f) {
               uint64_t frame_id = parser.GetVarint();
@@ -268,6 +271,57 @@ bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout*
         record.fault.now = parser.GetSigned();
         record.fault.execution_id = parser.GetSigned();
         record.fault.permanent = parser.GetByte() != 0;
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kAsyncPost: {
+        SessionRecord record;
+        record.tag = tag;
+        record.async_post.now = parser.GetSigned();
+        record.async_post.execution_id = parser.GetSigned();
+        record.async_post.edge.value = parser.GetVarint();
+        record.async_post.target = static_cast<telemetry::ThreadId>(parser.GetVarint());
+        uint64_t post_frame = parser.GetVarint();
+        if (parser.ok() && post_frame >= log->symbols->size()) {
+          return parser.Fail("post frame id out of range: " + std::to_string(post_frame));
+        }
+        record.async_post.post_frame = static_cast<telemetry::FrameId>(post_frame);
+        record.async_post.delay = parser.GetSigned();
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kAsyncRun: {
+        SessionRecord record;
+        record.tag = tag;
+        record.async_run.now = parser.GetSigned();
+        record.async_run.execution_id = parser.GetSigned();
+        record.async_run.edge.value = parser.GetVarint();
+        record.async_run.thread = static_cast<telemetry::ThreadId>(parser.GetVarint());
+        record.async_run.begin = parser.GetByte() != 0;
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kAsyncWaitStart: {
+        SessionRecord record;
+        record.tag = tag;
+        record.wait_start.now = parser.GetSigned();
+        record.wait_start.execution_id = parser.GetSigned();
+        record.wait_start.edge.value = parser.GetVarint();
+        uint64_t wait_frame = parser.GetVarint();
+        if (parser.ok() && wait_frame >= log->symbols->size()) {
+          return parser.Fail("wait frame id out of range: " + std::to_string(wait_frame));
+        }
+        record.wait_start.wait_frame = static_cast<telemetry::FrameId>(wait_frame);
+        log->records.push_back(std::move(record));
+        break;
+      }
+      case SessionRecordTag::kAsyncWaitEnd: {
+        SessionRecord record;
+        record.tag = tag;
+        record.wait_end.now = parser.GetSigned();
+        record.wait_end.execution_id = parser.GetSigned();
+        record.wait_end.edge.value = parser.GetVarint();
+        record.wait_end.waited = parser.GetSigned();
         log->records.push_back(std::move(record));
         break;
       }
@@ -388,6 +442,7 @@ void SessionLogWriter::OnSessionStart(const SessionInfo& info) {
   PutSigned(config_.costs.utilization_sample);
   PutSigned(config_.costs.utilization_sample_bytes);
   PutSigned(config_.costs.response_probe);
+  PutSigned(config_.costs.async_record);
   PutByte(config_.second_phase_only ? 1 : 0);
   PutByte(config_.keep_traces ? 1 : 0);
 
@@ -407,6 +462,9 @@ void SessionLogWriter::OnSessionStart(const SessionInfo& info) {
     }
     if (symbols.IsUi(id)) {
       flags |= 2;
+    }
+    if (symbols.IsSelfDeveloped(id)) {
+      flags |= 4;
     }
     PutByte(flags);
   }
@@ -432,6 +490,7 @@ void SessionLogWriter::OnDispatchEnd(const DispatchEnd& end) {
     PutVarint(end.samples.size());
     for (const telemetry::StackTrace& sample : end.samples) {
       PutSigned(sample.timestamp_ns);
+      PutVarint(sample.thread);
       PutVarint(sample.frames.size());
       for (telemetry::FrameId frame : sample.frames) {
         PutVarint(frame);
@@ -468,6 +527,41 @@ void SessionLogWriter::OnCounterFault(const CounterFault& fault) {
   PutSigned(fault.now);
   PutSigned(fault.execution_id);
   PutByte(fault.permanent ? 1 : 0);
+}
+
+void SessionLogWriter::OnAsyncPost(const AsyncPost& post) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kAsyncPost));
+  PutSigned(post.now);
+  PutSigned(post.execution_id);
+  PutVarint(post.edge.value);
+  PutVarint(post.target);
+  PutVarint(post.post_frame);
+  PutSigned(post.delay);
+}
+
+void SessionLogWriter::OnAsyncRun(const AsyncRun& run) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kAsyncRun));
+  PutSigned(run.now);
+  PutSigned(run.execution_id);
+  PutVarint(run.edge.value);
+  PutVarint(run.thread);
+  PutByte(run.begin ? 1 : 0);
+}
+
+void SessionLogWriter::OnAsyncWaitStart(const AsyncWaitStart& wait) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kAsyncWaitStart));
+  PutSigned(wait.now);
+  PutSigned(wait.execution_id);
+  PutVarint(wait.edge.value);
+  PutVarint(wait.wait_frame);
+}
+
+void SessionLogWriter::OnAsyncWaitEnd(const AsyncWaitEnd& wait) {
+  PutByte(static_cast<uint8_t>(SessionRecordTag::kAsyncWaitEnd));
+  PutSigned(wait.now);
+  PutSigned(wait.execution_id);
+  PutVarint(wait.edge.value);
+  PutSigned(wait.waited);
 }
 
 void SessionLogWriter::WriteTraceUsage(int64_t cpu, int64_t bytes) {

@@ -5,7 +5,7 @@
 // A log holds, in order:
 //   header  — magic "HDSL", format version, the SessionInfo (app package, action count,
 //             device id), the full HangDoctorConfig, and the session's symbol table (every
-//             frame with its is_ui classification), so the reader can rebuild FrameId
+//             frame with its is_ui / self-developed classification), so the reader can rebuild FrameId
 //             resolution exactly;
 //   records — the SPI stream: one record per DispatchStart / DispatchEnd / ActionQuiesce /
 //             CounterFault, in push order, including stack samples (as interned FrameIds)
@@ -18,8 +18,12 @@
 // DESIGN.md ("Session log format").
 //
 // Version history: v1 had no CounterFault records and no retry-policy config fields; v2
-// (current) adds both, so a session recorded under injected telemetry faults replays the
-// same degradation decisions bit-identically.
+// adds both, so a session recorded under injected telemetry faults replays the same
+// degradation decisions bit-identically; v4 (current) adds the cross-thread causal stream —
+// AsyncPost / AsyncRun / AsyncWaitStart / AsyncWaitEnd records, a per-sample ThreadId on
+// every stack trace, and the async_record cost in the header — so a session of an app with
+// HandlerThreads and executors replays its waiting-chain diagnoses bit-identically. (v3 is
+// the multiplexed container version, mux_log.h; single-session logs skip it.)
 //
 // SessionLogWriter is a TelemetrySink: hand it to the droidsim host (or any host) and it
 // records the exact stream the core consumes, without influencing detection. SessionLog is
@@ -40,7 +44,7 @@
 namespace hangdoctor {
 
 inline constexpr char kSessionLogMagic[4] = {'H', 'D', 'S', 'L'};
-inline constexpr uint32_t kSessionLogVersion = 2;
+inline constexpr uint32_t kSessionLogVersion = 4;
 
 // Record tags (one byte each, in-stream).
 enum class SessionRecordTag : uint8_t {
@@ -50,6 +54,10 @@ enum class SessionRecordTag : uint8_t {
   kTraceUsage = 4,
   kEnd = 5,
   kCounterFault = 6,
+  kAsyncPost = 7,
+  kAsyncRun = 8,
+  kAsyncWaitStart = 9,
+  kAsyncWaitEnd = 10,
 };
 
 class SessionLogWriter : public TelemetrySink {
@@ -77,6 +85,10 @@ class SessionLogWriter : public TelemetrySink {
   void OnDispatchEnd(const DispatchEnd& end) override;
   void OnActionQuiesce(const ActionQuiesce& quiesce) override;
   void OnCounterFault(const CounterFault& fault) override;
+  void OnAsyncPost(const AsyncPost& post) override;
+  void OnAsyncRun(const AsyncRun& run) override;
+  void OnAsyncWaitStart(const AsyncWaitStart& wait) override;
+  void OnAsyncWaitEnd(const AsyncWaitEnd& wait) override;
 
   // Optional footer: the monitored trace's own resource usage (overhead denominator).
   void WriteTraceUsage(int64_t cpu, int64_t bytes);
@@ -109,6 +121,10 @@ struct SessionRecord {
   std::vector<telemetry::StackTrace> samples;
   ActionQuiesce quiesce;
   CounterFault fault;
+  AsyncPost async_post;
+  AsyncRun async_run;
+  AsyncWaitStart wait_start;
+  AsyncWaitEnd wait_end;
 };
 
 // A fully parsed session log.

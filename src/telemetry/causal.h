@@ -1,0 +1,40 @@
+// Cross-thread causal vocabulary (DESIGN.md section 3.8). When an app offloads work — a task
+// posted to a HandlerThread, a callable submitted to an executor — and the main thread later
+// blocks on the result, the hang's *symptom* (a Future.get frame on the main stack) and its
+// *cause* (whatever the async thread is doing) live on different threads. The telemetry layer
+// names the pieces the diagnoser needs to connect them:
+//
+//  - ThreadId tags every sampled stack with the thread it came from. 0 is always the main
+//    (UI) thread, so every pre-async producer — which only ever sampled main — is already
+//    correct by default. Async threads are numbered 1..N in app-construction order.
+//  - CausalEdgeId names one post-site -> run-site -> wait-site chain. The host allocates ids
+//    from a per-session counter, so the same app and seed yield the same edges in every run
+//    and under any fleet sharding (the same determinism contract as FrameId interning).
+//
+// Like FrameId, these are plain integers: the SPI stays value-shaped and substrate-free.
+#ifndef SRC_TELEMETRY_CAUSAL_H_
+#define SRC_TELEMETRY_CAUSAL_H_
+
+#include <cstdint>
+
+namespace telemetry {
+
+// Which thread a stack sample was taken on. 0 = the main (UI) thread.
+using ThreadId = uint32_t;
+
+inline constexpr ThreadId kMainThread = 0;
+
+// Names one asynchronous execution: allocated at the post site, carried through the run
+// site on the async thread, and resolved at the wait site when the main thread blocks on
+// the result. 0 is reserved for "no edge".
+struct CausalEdgeId {
+  uint64_t value = 0;
+
+  bool valid() const { return value != 0; }
+  bool operator==(const CausalEdgeId& other) const { return value == other.value; }
+  bool operator!=(const CausalEdgeId& other) const { return value != other.value; }
+};
+
+}  // namespace telemetry
+
+#endif  // SRC_TELEMETRY_CAUSAL_H_

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "src/telemetry/causal.h"
+
 namespace telemetry {
 
 // Index into a SymbolTable. Hosts must assign ids deterministically (the droidsim host
@@ -37,9 +39,12 @@ struct StackFrame {
 };
 
 // A sampled stack: interned frame ids, outermost first. Resolving an id back to its
-// StackFrame requires the session's SymbolTable (see SymbolTable::Frame).
+// StackFrame requires the session's SymbolTable (see SymbolTable::Frame). `thread` says
+// which thread the sample was taken on (causal.h); 0 — the main thread — is the default, so
+// every producer that predates cross-thread sampling is already tagged correctly.
 struct StackTrace {
   int64_t timestamp_ns = 0;
+  ThreadId thread = kMainThread;
   std::vector<FrameId> frames;  // outermost first
 
   bool Contains(FrameId id) const {

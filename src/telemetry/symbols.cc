@@ -52,7 +52,7 @@ std::string FrameKey(const StackFrame& frame) {
 
 }  // namespace
 
-FrameId SymbolTable::Intern(StackFrame frame, bool is_ui) {
+FrameId SymbolTable::Intern(StackFrame frame, bool is_ui, bool is_self_developed) {
   std::string key = FrameKey(frame);
   auto it = by_key_.find(key);
   if (it != by_key_.end()) {
@@ -60,6 +60,7 @@ FrameId SymbolTable::Intern(StackFrame frame, bool is_ui) {
   }
   auto id = static_cast<FrameId>(frames_.size());
   is_ui_.push_back(is_ui ? 1 : 0);
+  is_self_.push_back(is_self_developed ? 1 : 0);
   frames_.push_back(std::move(frame));
   by_key_.emplace(std::move(key), id);
   const StackFrame& stored = frames_.back();
@@ -69,7 +70,8 @@ FrameId SymbolTable::Intern(StackFrame frame, bool is_ui) {
   hash = FoldString(hash, stored.file);
   uint64_t line_flags = static_cast<uint64_t>(static_cast<uint32_t>(stored.line)) |
                         (uint64_t{stored.in_closed_library ? 1u : 0u} << 32) |
-                        (uint64_t{is_ui ? 1u : 0u} << 33);
+                        (uint64_t{is_ui ? 1u : 0u} << 33) |
+                        (uint64_t{is_self_developed ? 1u : 0u} << 34);
   content_hash_ = FoldBytes(hash, &line_flags, sizeof(line_flags));
   return id;
 }

@@ -30,12 +30,17 @@ class SymbolTable {
 
   // Interns `frame`, deduplicating on (function, clazz, file, line) — the same identity the
   // Trace Analyzer's census keys on. Returns the existing id for a known frame (in which
-  // case `is_ui` must match the original interning and is ignored).
-  FrameId Intern(StackFrame frame, bool is_ui);
+  // case the classification bits must match the original interning and are ignored).
+  // `is_self_developed` marks the app's own functions (vs platform/library APIs) — like
+  // `is_ui` a host provenance judgement, needed by the waiting-chain diagnosis where the
+  // caller-census signal that normally identifies self-developed work cannot fire.
+  FrameId Intern(StackFrame frame, bool is_ui, bool is_self_developed = false);
 
   const StackFrame& Frame(FrameId id) const { return frames_[id]; }
   // Precomputed UI-class bit, so classification never touches strings.
   bool IsUi(FrameId id) const { return is_ui_[id] != 0; }
+  // Precomputed app-code provenance bit (see Intern).
+  bool IsSelfDeveloped(FrameId id) const { return is_self_[id] != 0; }
   size_t size() const { return frames_.size(); }
 
   // Incremental content hash over every interned frame (strings, line, closed-library and
@@ -61,6 +66,7 @@ class SymbolTable {
  private:
   std::vector<StackFrame> frames_;           // indexed by FrameId
   std::vector<uint8_t> is_ui_;               // indexed by FrameId
+  std::vector<uint8_t> is_self_;             // indexed by FrameId
   std::unordered_map<std::string, FrameId> by_key_;  // content dedup
   uint64_t content_hash_ = 0xcbf29ce484222325ULL;    // FNV-1a offset basis
 };

@@ -80,6 +80,7 @@ const droidsim::ApiSpec* MakeSelfDevelopedApi(droidsim::ApiRegistry* registry,
   api.clazz = clazz;
   api.kind = ApiKind::kCompute;
   api.known_blocking = false;
+  api.self_developed = true;
   api.cost.cpu_mean = cpu_mean;
   api.cost.cpu_sigma = 0.30;
   api.cost.uarch = droidsim::DefaultUarch();
@@ -282,6 +283,33 @@ StandardApis BuildStandardApis(droidsim::ApiRegistry* registry) {
   apis.launcher_glide_load = registry->Register(ComputeApi(
       "com.bumptech.glide.IconLoader", "loadSync", 12, 0.3, 128, 0.3, false,
       droidsim::DefaultUarch()));
+
+  // ------------------------- Async substrate APIs -------------------------
+  // Post and wait frames of the async study apps (DESIGN.md section 3.8). Their cost models
+  // are irrelevant — the op executor charges fixed submit/resume costs for async nodes — but
+  // the names are what stack traces and wait-site provenance render. None is known-blocking:
+  // Future.get blocks by design, and the point of the waiting-chain walk is that the *posted
+  // task*, not the wait frame, is the bug.
+  apis.executor_submit = registry->Register(ComputeApi(
+      "java.util.concurrent.ExecutorService", "submit", 0, 0.1, 1, 2.0, false,
+      droidsim::DefaultUarch()));
+  apis.handler_post_delayed = registry->Register(ComputeApi(
+      "android.os.Handler", "postDelayed", 0, 0.1, 1, 2.0, false, droidsim::DefaultUarch()));
+  apis.future_get = registry->Register(ComputeApi("java.util.concurrent.Future", "get", 0, 0.1,
+                                                  1, 2.0, false, droidsim::DefaultUarch()));
+
+  // ------------------------- Async culprit APIs -------------------------
+  apis.vault_decrypt = registry->Register(ComputeApi("com.photovault.crypto.MediaVault",
+                                                     "decryptAlbum", 360, 0.30, 2400, 0.6,
+                                                     false, droidsim::ParserUarch()));
+  {
+    ApiSpec api = ComputeApi("com.tickersync.data.QuoteBackfill", "recomputeAll", 430, 0.30,
+                             1800, 0.7, false, droidsim::DatabaseUarch());
+    api.cost.device = DeviceKind::kDatabase;
+    api.cost.io_rounds = 6;
+    api.cost.io_bytes_mean = 128 * 1024;
+    apis.ticker_backfill = registry->Register(std::move(api));
+  }
 
   return apis;
 }

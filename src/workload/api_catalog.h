@@ -72,6 +72,15 @@ struct StandardApis {
   const droidsim::ApiSpec* git_diff_load = nullptr;    // Git@OSC #89 (ctx-only)
   const droidsim::ApiSpec* video_info_parse = nullptr;  // SkyTube #88
   const droidsim::ApiSpec* launcher_glide_load = nullptr;  // Lens-Launcher #15 (wrapper)
+
+  // --- Async substrate APIs (post sites and waits of the section 3.8 study apps) ---
+  const droidsim::ApiSpec* executor_submit = nullptr;      // ExecutorService.submit
+  const droidsim::ApiSpec* handler_post_delayed = nullptr;  // Handler.postDelayed
+  const droidsim::ApiSpec* future_get = nullptr;           // Future.get (the wait frame)
+
+  // --- Async culprits: blocking work hidden behind a future the main thread waits on ---
+  const droidsim::ApiSpec* vault_decrypt = nullptr;    // PhotoVault (future-blocked main)
+  const droidsim::ApiSpec* ticker_backfill = nullptr;  // TickerSync (serial-executor convoy)
 };
 
 // Registers every standard API into `registry` and returns the handle struct.

@@ -1,0 +1,160 @@
+// The async study apps of DESIGN.md section 3.8: apps whose soft hangs happen *off* the main
+// thread, behind a future the main thread blocks on. Each reproduces one waiting-chain shape
+// the causal diagnosis must resolve — the culprit is always the posted task's blocking frame,
+// never the Future.get frame the main-thread traces actually show:
+//  - PhotoVault:  classic future-blocked main thread (submit heavy work, do a little UI,
+//                 then get() before the task is done);
+//  - TickerSync:  serial-executor convoy (a fire-and-forget long task occupies the single
+//                 executor thread; the task the main thread waits on queues behind it);
+//  - LumaSlides:  delayed-post self-jank (the app defers its own flush with postDelayed,
+//                 then blocks on it — scheduling latency plus the flush exceed the bound).
+// Hang actions avoid frame-posting UI ops on purpose: a wait-blocked main thread shows few
+// context switches, so the S-Checker filter's main−render difference only stays positive when
+// the render thread is idle — which is also the realistic shape (nothing renders while the
+// main thread is parked in get()).
+#include "src/workload/catalog.h"
+
+namespace workload {
+
+namespace {
+
+using droidsim::ActionSpec;
+using droidsim::ApiSpec;
+using droidsim::InputEventSpec;
+using droidsim::OpNode;
+
+OpNode Op(const ApiSpec* api, const std::string& file, int32_t line) {
+  return droidsim::MakeOp(api, file, line);
+}
+
+OpNode Bug(const ApiSpec* api, const std::string& file, int32_t line, double manifest) {
+  OpNode node = droidsim::MakeOp(api, file, line);
+  node.manifest_probability = manifest;
+  return node;
+}
+
+InputEventSpec Ev(const std::string& handler, const std::string& file, int32_t line,
+                  std::vector<OpNode> ops) {
+  InputEventSpec event;
+  event.handler = handler;
+  event.handler_file = file;
+  event.handler_line = line;
+  event.ops = std::move(ops);
+  return event;
+}
+
+ActionSpec Act(const std::string& name, double weight, std::vector<InputEventSpec> events) {
+  ActionSpec action;
+  action.name = name;
+  action.weight = weight;
+  action.events = std::move(events);
+  return action;
+}
+
+void AddBug(CatalogState* state, const std::string& app, const std::string& issue,
+            const ApiSpec* api, const std::string& file, int32_t line, bool known,
+            bool missed_offline, bool self_developed = false) {
+  BugSpec bug;
+  bug.app_name = app;
+  bug.issue_id = issue;
+  bug.api = api->FullName();
+  bug.file = file;
+  bug.line = line;
+  bug.known_blocking = known;
+  bug.missed_offline = missed_offline;
+  bug.self_developed = self_developed;
+  state->async_bugs.push_back(std::move(bug));
+}
+
+}  // namespace
+
+void BuildAsyncApps(CatalogState* state) {
+  const StandardApis& api = state->apis;
+
+  // ------------------- PhotoVault: future-blocked main thread -------------------
+  // onClick submits the album decrypt to the executor pool, binds a trivial label, then
+  // calls get() — when the decrypt manifests (~360 ms) the main thread blocks far past the
+  // 100 ms bound while every main-thread sample shows only Future.get.
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("PhotoVault", "com.photovault.android", "Photography", "a91c2e4", 50000);
+    app->executor_threads = 2;
+    app->actions.push_back(Act(
+        "OpenAlbum", 2.0,
+        {Ev("onClick", "VaultActivity.java", 64,
+            {Op(api.ui_set_text, "VaultActivity.java", 71),
+             droidsim::MakeAsyncSubmit(
+                 api.executor_submit, "AlbumLoader.java", 58, /*slot=*/0,
+                 {Bug(api.vault_decrypt, "MediaVault.java", 131, 0.55)}),
+             Op(api.ui_set_text, "AlbumHeader.java", 27),
+             droidsim::MakeFutureWait(api.future_get, "VaultActivity.java", 92, /*slot=*/0)})}));
+    app->actions.push_back(Act(
+        "BrowseGrid", 5.0, {Ev("onResume", "GridFragment.java", 38,
+                               {Op(api.ui_inflate, "GridFragment.java", 45),
+                                Op(api.ui_list_layout, "GridFragment.java", 53)})}));
+    state->async_study.push_back(app);
+    AddBug(state, "PhotoVault", "async-1", api.vault_decrypt, "MediaVault.java", 131,
+           /*known=*/false, /*missed_offline=*/true);
+  }
+
+  // ------------------- TickerSync: serial-executor convoy -------------------
+  // One executor thread. onRefresh fires a long backfill without waiting, then submits the
+  // quick snapshot it actually needs and blocks on it — the snapshot queues behind the
+  // backfill, so the thread the wait resolves to is running the *other* task's frames. The
+  // diagnosis must attribute the convoy occupant, not the awaited task or the wait frame.
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("TickerSync", "com.tickersync.android", "Finance", "7f03b9d", 100000);
+    app->executor_threads = 1;
+    app->actions.push_back(Act(
+        "RefreshQuotes", 2.0,
+        {Ev("onRefresh", "TickerFragment.java", 88,
+            {droidsim::MakeAsyncSubmit(
+                 api.executor_submit, "QuoteRepository.java", 41, /*slot=*/0,
+                 {Bug(api.ticker_backfill, "QuoteBackfill.java", 117, 0.55)}),
+             Op(api.ui_set_text, "TickerFragment.java", 92),
+             droidsim::MakeAsyncSubmit(api.executor_submit, "QuoteRepository.java", 53,
+                                       /*slot=*/1,
+                                       {Op(api.json_get, "QuoteSnapshot.java", 29)}),
+             droidsim::MakeFutureWait(api.future_get, "TickerFragment.java", 96,
+                                      /*slot=*/1)})}));
+    app->actions.push_back(Act(
+        "OpenWatchlist", 5.0, {Ev("onResume", "WatchlistActivity.java", 41,
+                                  {Op(api.ui_inflate, "WatchlistActivity.java", 49),
+                                   Op(api.ui_recycler_bind, "WatchlistActivity.java", 57)})}));
+    state->async_study.push_back(app);
+    AddBug(state, "TickerSync", "async-2", api.ticker_backfill, "QuoteBackfill.java", 117,
+           /*known=*/false, /*missed_offline=*/true);
+  }
+
+  // ------------------- LumaSlides: delayed-post self-jank -------------------
+  // The deck flush is a self-developed operation the app defers to its HandlerThread with
+  // postDelayed(50 ms), then blocks on. The worker sampler sees nothing until the delay
+  // fires (idle-thread samples are empty and skipped by the analyzer), then the flush frames
+  // dominate. Dormant executions stay under the bound (~70 ms), so the hang is occasional.
+  {
+    droidsim::AppSpec* app =
+        state->NewApp("LumaSlides", "com.lumaslides.android", "Productivity", "3be8d17", 10000);
+    app->handler_threads = 1;
+    const ApiSpec* flush = MakeSelfDevelopedApi(&state->registry,
+                                                "com.lumaslides.deck.SlideCache", "flushDeck",
+                                                simkit::Milliseconds(300), 3200 * 1024, 0.4);
+    app->actions.push_back(Act(
+        "NextSlide", 2.0,
+        {Ev("onClick", "DeckActivity.java", 73,
+            {Op(api.ui_set_text, "DeckActivity.java", 78),
+             droidsim::MakeAsyncSubmit(api.handler_post_delayed, "SlideScheduler.java", 66,
+                                       /*slot=*/0, {Bug(flush, "SlideCache.java", 208, 0.6)},
+                                       /*target=*/0, simkit::Milliseconds(50)),
+             droidsim::MakeFutureWait(api.future_get, "DeckActivity.java", 88, /*slot=*/0)})}));
+    app->actions.push_back(Act(
+        "BrowseDecks", 5.0, {Ev("onResume", "DeckListFragment.java", 33,
+                                {Op(api.ui_inflate, "DeckListFragment.java", 40),
+                                 Op(api.ui_list_layout, "DeckListFragment.java", 48)})}));
+    state->async_study.push_back(app);
+    AddBug(state, "LumaSlides", "async-3", flush, "SlideCache.java", 208, /*known=*/false,
+           /*missed_offline=*/true, /*self_developed=*/true);
+  }
+}
+
+}  // namespace workload

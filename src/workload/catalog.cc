@@ -20,6 +20,7 @@ Catalog::Catalog() {
   BuildStudyApps(&state_);
   BuildMotivationApps(&state_);
   BuildFillerApps(&state_);
+  BuildAsyncApps(&state_);
 }
 
 std::vector<const droidsim::AppSpec*> Catalog::all_apps() const {
@@ -38,6 +39,11 @@ std::vector<BugSpec> Catalog::BugsOf(const std::string& app_name) const {
     }
   }
   for (const BugSpec& bug : state_.motivation_bugs) {
+    if (bug.app_name == app_name) {
+      bugs.push_back(bug);
+    }
+  }
+  for (const BugSpec& bug : state_.async_bugs) {
     if (bug.app_name == app_name) {
       bugs.push_back(bug);
     }

@@ -73,10 +73,18 @@ std::string FileBytes(const std::string& path) {
   return out.str();
 }
 
+// The async mutation families target HDSL v4's async tag range without depending on the
+// hosts library; pin the mirrored integers to the real enum here.
+static_assert(faultsim::kFirstAsyncTag ==
+              static_cast<int>(hangdoctor::SessionRecordTag::kAsyncPost));
+static_assert(faultsim::kLastAsyncTag ==
+              static_cast<int>(hangdoctor::SessionRecordTag::kAsyncWaitEnd));
+
 TEST(HdslCorpusTest, EveryCorpusFileParsesAndReplays) {
   std::vector<std::string> files = CorpusFiles();
-  ASSERT_EQ(files.size(), 4u) << "corpus drifted from tools/make_corpus";
+  ASSERT_EQ(files.size(), 5u) << "corpus drifted from tools/make_corpus";
   bool saw_counter_fault = false;
+  bool saw_async = false;
   for (const std::string& path : files) {
     std::string bytes = FileBytes(path);
     ASSERT_FALSE(bytes.empty()) << path;
@@ -87,6 +95,9 @@ TEST(HdslCorpusTest, EveryCorpusFileParsesAndReplays) {
     for (const hangdoctor::SessionRecord& record : log.records) {
       if (record.tag == hangdoctor::SessionRecordTag::kCounterFault) {
         saw_counter_fault = true;
+      }
+      if (record.tag == hangdoctor::SessionRecordTag::kAsyncPost) {
+        saw_async = true;
       }
     }
     hangdoctor::ReplaySession session(std::move(log));
@@ -100,6 +111,8 @@ TEST(HdslCorpusTest, EveryCorpusFileParsesAndReplays) {
   }
   EXPECT_TRUE(saw_counter_fault)
       << "the corpus must exercise the kCounterFault grammar (see faulty.hdsl)";
+  EXPECT_TRUE(saw_async)
+      << "the corpus must exercise the async-record grammar (see async_session.hdsl)";
 }
 
 TEST(HdslFuzzTest, SeededMutantsNeverCrashAndFailuresAreSticky) {
@@ -177,11 +190,12 @@ TEST(HdslFuzzTest, TruncationAtEveryRecordBoundaryIsRejected) {
 
 std::string MuxCorpusPath() { return std::string(HD_CORPUS_DIR) + "/fleet_kb.hdsl3"; }
 
-TEST(HdslMuxCorpusTest, MuxEntryDemuxesToTheV2CorpusAndReplaysWithAndWithoutKb) {
+TEST(HdslMuxCorpusTest, MuxEntryDemuxesToTheSessionCorpusAndReplaysWithAndWithoutKb) {
   std::string bytes = FileBytes(MuxCorpusPath());
   ASSERT_FALSE(bytes.empty()) << "corpus drifted from tools/make_corpus";
 
-  // The container is framing only: demux reproduces each committed v2 log byte-identically.
+  // The container is framing only: demux reproduces each committed session log
+  // byte-identically.
   std::vector<hangdoctor::SessionLogSlice> slices;
   std::string error;
   ASSERT_TRUE(hangdoctor::DemuxSessionLog(bytes, &slices, &error)) << error;
@@ -194,7 +208,7 @@ TEST(HdslMuxCorpusTest, MuxEntryDemuxesToTheV2CorpusAndReplaysWithAndWithoutKb) 
   for (const hangdoctor::SessionLogSlice& slice : slices) {
     auto it = originals.find(slice.bytes);
     ASSERT_NE(it, originals.end())
-        << "session " << slice.id.value << " demuxed to bytes not in the v2 corpus";
+        << "session " << slice.id.value << " demuxed to bytes not in the corpus";
     originals.erase(it);
   }
 
@@ -227,7 +241,7 @@ TEST(HdslMuxFuzzTest, SeededMuxMutantsNeverCrashAndFailuresAreSticky) {
   ASSERT_TRUE(hangdoctor::ScanMuxLog(bytes, &layout, &error)) << error;
   EXPECT_GT(layout.record_offsets.size(), 8u);
 
-  // ScanMuxLog presents frame offsets exactly like v2 record offsets, so the structure-aware
+  // ScanMuxLog presents frame offsets exactly like session-log record offsets, so the structure-aware
   // mutator applies unchanged; every mutant must demux + replay, or be rejected with a
   // non-empty error — never crash (the CI fuzz-smoke leg runs this under ASan/UBSan).
   const int64_t iters = std::max<int64_t>(FuzzIters() / 4, 200);

@@ -304,4 +304,103 @@ TEST(MuxLogTest, MultiplexedReplayMatchesPerSessionReplayAtAnyShardCount) {
   }
 }
 
+// Records one short live session for async study app `app_index`; the log carries HDSL v4
+// AsyncPost/AsyncRun/AsyncWaitStart/AsyncWaitEnd records and thread-tagged samples.
+std::string RecordAsyncSessionLog(size_t app_index, uint64_t seed) {
+  const workload::Catalog& catalog = SharedCatalog();
+  const droidsim::AppSpec* spec =
+      catalog.async_apps()[app_index % catalog.async_apps().size()];
+  const std::string path =
+      TempPath("async_donor_" + std::to_string(app_index) + "_" + std::to_string(seed) +
+               ".hdsl");
+  workload::SingleAppHarness harness(droidsim::LgV10(), spec, seed);
+  hangdoctor::SessionLogWriter writer(path, hangdoctor::HangDoctorConfig{});
+  EXPECT_TRUE(writer.ok()) << path;
+  {
+    hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
+                                  hangdoctor::HangDoctorConfig{}, /*database=*/nullptr,
+                                  /*fleet_report=*/nullptr,
+                                  /*device_id=*/static_cast<int32_t>(app_index), &writer);
+    (void)doctor;
+    harness.RunUserSession(simkit::Seconds(30));
+  }
+  workload::TraceUsage usage = harness.Usage();
+  writer.WriteTraceUsage(usage.cpu, usage.bytes);
+  writer.Finish();
+  return FileBytes(path);
+}
+
+// HDSL v4 records are opaque payload to the v3 container: async sessions must mux/demux
+// byte-identically under any interleaving, and the multiplexed replay must reproduce the
+// per-session causal diagnoses at shard counts {1, 4, 7}.
+TEST(MuxLogTest, AsyncSessionsMuxAndReplayAtAnyShardCount) {
+  const workload::Catalog& catalog = SharedCatalog();
+  std::vector<hangdoctor::SessionLogSlice> sessions;
+  const uint64_t ids[] = {11, 2, 35};
+  for (size_t i = 0; i < catalog.async_apps().size(); ++i) {
+    sessions.push_back({telemetry::SessionId{ids[i % 3]}, RecordAsyncSessionLog(i, 9400 + i)});
+  }
+
+  // Byte-identical container round trips, round-robin and a seeded random interleaving.
+  std::vector<size_t> counts = FrameCounts(sessions);
+  RoundTrip(sessions, {}, "async_round_robin");
+  std::mt19937 rng(17);
+  RoundTrip(sessions,
+            BuildSchedule(counts,
+                          [&rng](const std::vector<size_t>& p) { return p[rng() % p.size()]; }),
+            "async_random");
+
+  // Per-session oracle replays; each must contain async records and a causal diagnosis.
+  std::vector<std::unique_ptr<hangdoctor::ReplaySession>> oracle(sessions.size());
+  std::string error;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    const std::string path = TempPath("async_oracle_" + std::to_string(i) + ".hdsl");
+    std::ofstream out(path, std::ios::binary);
+    out.write(sessions[i].bytes.data(),
+              static_cast<std::streamsize>(sessions[i].bytes.size()));
+    out.close();
+    oracle[i] = hangdoctor::ReplaySessionLog(path, &error);
+    ASSERT_NE(oracle[i], nullptr) << error;
+    bool has_async = false;
+    for (const hangdoctor::SessionRecord& record : oracle[i]->log().records) {
+      if (record.tag == hangdoctor::SessionRecordTag::kAsyncPost) {
+        has_async = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_async) << "async session " << i << " recorded no AsyncPost";
+  }
+
+  std::string stream;
+  ASSERT_TRUE(hangdoctor::MuxSessionLogs(sessions, {}, &stream, &error)) << error;
+  for (int32_t shards : {1, 4, 7}) {
+    std::vector<hangdoctor::SessionResult> results;
+    ASSERT_TRUE(hangdoctor::ReplayMultiplexedLog(stream, {.shards = shards}, &results, &error))
+        << "shards=" << shards << ": " << error;
+    ASSERT_EQ(results.size(), sessions.size()) << "shards=" << shards;
+    for (const hangdoctor::SessionResult& result : results) {
+      size_t index = sessions.size();
+      for (size_t i = 0; i < sessions.size(); ++i) {
+        if (sessions[i].id == result.id) {
+          index = i;
+        }
+      }
+      ASSERT_LT(index, sessions.size()) << "unknown session id " << result.id.value;
+      const hangdoctor::DetectorCore& core = oracle[index]->core();
+      const std::string label =
+          "async shards=" + std::to_string(shards) + " id=" + std::to_string(result.id.value);
+      EXPECT_EQ(result.report.Render(1), core.local_report().Render(1)) << label;
+      EXPECT_EQ(result.overhead.cpu(), core.overhead().cpu()) << label;
+      EXPECT_EQ(result.overhead.memory_bytes(), core.overhead().memory_bytes()) << label;
+      EXPECT_EQ(result.stack_samples, core.stack_samples_taken()) << label;
+      EXPECT_EQ(result.stream_ok, true) << label;
+      ASSERT_EQ(result.log.size(), core.log().size()) << label;
+      for (size_t i = 0; i < result.log.size(); ++i) {
+        EXPECT_EQ(FormatRecord(result.log[i]), FormatRecord(core.log()[i]))
+            << label << " record " << i;
+      }
+    }
+  }
+}
+
 }  // namespace

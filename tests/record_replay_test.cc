@@ -145,6 +145,66 @@ TEST(RecordReplayTest, EveryStudyAppRoundTripsBitIdentically) {
   }
 }
 
+// HDSL v4: sessions of the async study apps carry AsyncPost/AsyncRun/AsyncWaitStart/
+// AsyncWaitEnd records and thread-tagged samples; the round trip must reproduce the causal
+// diagnosis (async culprit, wait-site provenance) bit-identically.
+TEST(RecordReplayTest, AsyncStudyAppsRoundTripBitIdentically) {
+  const workload::Catalog& catalog = SharedCatalog();
+  ASSERT_FALSE(catalog.async_apps().empty());
+  uint64_t seed = 5000;
+  for (const droidsim::AppSpec* spec : catalog.async_apps()) {
+    RoundTrip(spec, seed++, hangdoctor::HangDoctorConfig{}, "async_" + spec->name);
+  }
+}
+
+// The recorded async logs must actually contain the v4 causal records (a silent fallback to
+// the pre-async encoding would also "round-trip").
+TEST(RecordReplayTest, AsyncSessionLogsContainCausalRecords) {
+  const workload::Catalog& catalog = SharedCatalog();
+  hangdoctor::BlockingApiDatabase db = catalog.MakeKnownDatabase();
+  const std::string path = TempPath("async_records.hdsl");
+  {
+    workload::SingleAppHarness harness(droidsim::LgV10(), catalog.async_apps()[0], 5001);
+    hangdoctor::SessionLogWriter writer(path, hangdoctor::HangDoctorConfig{});
+    ASSERT_TRUE(writer.ok());
+    hangdoctor::HangDoctor doctor(&harness.phone(), &harness.app(),
+                                  hangdoctor::HangDoctorConfig{}, &db,
+                                  /*fleet_report=*/nullptr, /*device_id=*/0, &writer);
+    (void)doctor;
+    harness.RunUserSession(simkit::Seconds(45));
+    writer.Finish();
+  }
+  hangdoctor::SessionLog log;
+  std::string error;
+  ASSERT_TRUE(hangdoctor::LoadSessionLog(path, &log, &error)) << error;
+  int64_t posts = 0;
+  int64_t runs = 0;
+  int64_t wait_starts = 0;
+  int64_t wait_ends = 0;
+  for (const hangdoctor::SessionRecord& record : log.records) {
+    switch (record.tag) {
+      case hangdoctor::SessionRecordTag::kAsyncPost:
+        ++posts;
+        break;
+      case hangdoctor::SessionRecordTag::kAsyncRun:
+        ++runs;
+        break;
+      case hangdoctor::SessionRecordTag::kAsyncWaitStart:
+        ++wait_starts;
+        break;
+      case hangdoctor::SessionRecordTag::kAsyncWaitEnd:
+        ++wait_ends;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(posts, 0);
+  EXPECT_EQ(runs, posts * 2);  // every task logs a begin and an end
+  EXPECT_GT(wait_starts, 0);
+  EXPECT_EQ(wait_starts, wait_ends);
+}
+
 TEST(RecordReplayTest, KeepTracesConfigRoundTrips) {
   const workload::Catalog& catalog = SharedCatalog();
   hangdoctor::HangDoctorConfig config;

@@ -1,12 +1,13 @@
 // Regenerates the committed HDSL fuzz corpus (tests/corpus/). Each corpus file is one small
 // recorded session chosen to cover a distinct slice of the log grammar: the default config,
 // main_only (single-thread counter windows), second_phase_only + keep_traces (trace-heavy
-// records), and a fault-injected session (kCounterFault records, NaN counter diffs). A fifth
-// entry, fleet_kb.hdsl3, interleaves the four v2 logs into one HDSL v3 container with
-// epoch-publish frames — the on-disk shape of a --shared-kb service run — so the fuzzer
-// exercises the mux grammar too. All seeds are fixed, so the corpus is reproducible
-// byte-for-byte; after regenerating, refresh tests/corpus/MANIFEST.sha256 (see
-// scripts/check_corpus.sh).
+// records), a fault-injected session (kCounterFault records, NaN counter diffs), and an
+// async study-app session (the HDSL v4 kAsyncPost/kAsyncRun/kAsyncWaitStart/kAsyncWaitEnd
+// records plus thread-tagged samples). A final entry, fleet_kb.hdsl3, interleaves the
+// single-session logs into one HDSL v3 container with epoch-publish frames — the on-disk
+// shape of a --shared-kb service run — so the fuzzer exercises the mux grammar too. All
+// seeds are fixed, so the corpus is reproducible byte-for-byte; after regenerating, refresh
+// tests/corpus/MANIFEST.sha256 (see scripts/check_corpus.sh).
 //
 // Usage: make_corpus <output-dir>
 #include <cstdio>
@@ -31,6 +32,7 @@ struct CorpusEntry {
   bool second_phase_only = false;
   bool keep_traces = false;
   const char* fault_profile = nullptr;
+  bool async = false;  // app_index picks from async_apps() instead of study_apps()
 };
 
 constexpr CorpusEntry kCorpus[] = {
@@ -38,6 +40,7 @@ constexpr CorpusEntry kCorpus[] = {
     {"main_only.hdsl", 1, 102, /*main_only=*/true},
     {"second_phase.hdsl", 2, 103, false, /*second_phase_only=*/true, /*keep_traces=*/true},
     {"faulty.hdsl", 3, 104, false, false, false, /*fault_profile=*/"flaky-counters"},
+    {"async_session.hdsl", 0, 105, false, false, false, nullptr, /*async=*/true},
 };
 
 std::string ReadFile(const std::string& path) {
@@ -61,7 +64,8 @@ int main(int argc, char** argv) {
   hangdoctor::BlockingApiDatabase known_db = catalog.MakeKnownDatabase();
   for (const CorpusEntry& entry : kCorpus) {
     workload::FleetJob job;
-    job.spec = catalog.study_apps()[entry.app_index];
+    job.spec = entry.async ? catalog.async_apps()[entry.app_index]
+                           : catalog.study_apps()[entry.app_index];
     job.profile = droidsim::LgV10();
     job.seed = entry.seed;
     job.session = simkit::Seconds(10);
@@ -83,7 +87,7 @@ int main(int argc, char** argv) {
                 static_cast<uintmax_t>(std::filesystem::file_size(job.record_path)));
   }
 
-  // Fifth entry: the four v2 logs above, interleaved round-robin into one HDSL v3 container
+  // Final entry: the single-session logs above, interleaved round-robin into one v3 container
   // with a kEpochPublish frame after every 7th session frame — the on-disk shape of a
   // --shared-kb DetectorService run. Deterministic because the inputs and the schedule are.
   std::vector<hangdoctor::SessionLogSlice> slices;
