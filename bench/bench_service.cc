@@ -16,12 +16,22 @@
 // streamed as 16-byte record refs into one shared donor payload set, so the sweep measures
 // routing + detection, not payload copying. Emits machine-readable BENCH_service.json with
 // both the capacity levels and the threads axis.
+//
+// Fourth axis (`--net`, opt-in): the same ingest through the full hangdoctord network
+// stack — an in-process epoll NetServer on a loopback port, driven by the loadgen over a
+// connections sweep (up to 1024 concurrent connections) — measuring wire-ingest
+// sessions/s and resident memory per concurrency level. Emitted as `net_axis` in the JSON
+// and gated by scripts/check_bench_json.py --net.
 #include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,8 +41,12 @@
 #include "src/hangdoctor/knowledge_base.h"
 #include "src/hangdoctor/session_stream.h"
 #include "src/hosts/hang_doctor.h"
+#include "src/hosts/mux_log.h"
+#include "src/netd/loadgen.h"
+#include "src/netd/server.h"
 #include "src/workload/catalog.h"
 #include "src/workload/experiment.h"
+#include "src/workload/fleet.h"
 
 namespace {
 
@@ -252,9 +266,63 @@ KbArmResult RunKbArm(size_t sessions, const hangdoctor::SessionInfo& info,
   return result;
 }
 
+struct NetLevelResult {
+  int32_t connections = 0;
+  size_t sessions = 0;
+  double seconds = 0.0;
+  double sessions_per_sec = 0.0;
+  int64_t sessions_closed = 0;
+  int64_t busy = 0;
+  int64_t errors = 0;
+  double rss_mb = 0.0;
+};
+
+// One point of the `--net` sweep: a fresh NetServer on an ephemeral loopback port, the
+// loadgen replaying `2 * connections` copies of the donor log (two sessions multiplexed per
+// connection, the fleet shape) over `connections` concurrent connections. Wall-clock covers
+// connect through the last kBye; RSS is sampled while the server still holds every
+// harvested result, so the level's memory reflects the full in-flight load.
+NetLevelResult RunNetLevel(int32_t connections, const std::string& donor_log,
+                           int32_t workers, int32_t shards) {
+  netd::ServerOptions options;
+  options.service.shards = shards;
+  options.workers = workers;
+  options.max_connections = connections + 64;
+  netd::NetServer server(options);
+
+  std::vector<hangdoctor::SessionLogSlice> sessions;
+  sessions.reserve(static_cast<size_t>(connections) * 2);
+  for (size_t i = 0; i < static_cast<size_t>(connections) * 2; ++i) {
+    sessions.push_back({telemetry::SessionId{i + 1}, donor_log});
+  }
+
+  netd::LoadGenOptions load;
+  load.connections = connections;
+  auto start = std::chrono::steady_clock::now();
+  netd::LoadGenResult replay = netd::RunLoadGen(server.port(), sessions, load);
+
+  NetLevelResult result;
+  result.connections = connections;
+  result.sessions = sessions.size();
+  result.seconds = Seconds(start);
+  result.sessions_per_sec = static_cast<double>(sessions.size()) / result.seconds;
+  result.sessions_closed = replay.sessions_closed;
+  result.busy = replay.busy;
+  result.errors = replay.errors;
+  result.rss_mb = ResidentMb();
+  server.Stop();
+  return result;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool net = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--net") == 0) {
+      net = true;
+    }
+  }
   const bool smoke = bench::SmokeRun();
   const simkit::SimDuration donor_session =
       bench::SmokeScaled(simkit::Seconds(60), simkit::Seconds(10));
@@ -414,6 +482,49 @@ int main() {
               100.0 * kb_on.hit_rate, static_cast<long long>(kb_on.memo_hits),
               static_cast<long long>(kb_on.memo_hits + kb_on.memo_misses), kb_speedup);
 
+  // Net axis (--net): the same service behind the hangdoctord wire stack, swept over
+  // concurrent loadgen connections. Donor is one short recorded study-app session; every
+  // connection multiplexes two copies under fresh session ids, so the top level holds
+  // 2 * connections live sessions behind `connections` sockets.
+  std::vector<NetLevelResult> net_levels;
+  std::vector<int32_t> net_axis;
+  if (net) {
+    net_axis = smoke ? std::vector<int32_t>{8, 32, 128}
+                     : std::vector<int32_t>{64, 256, 1024};
+    std::filesystem::path net_dir =
+        std::filesystem::temp_directory_path() / "hd_bench_service_net";
+    std::filesystem::create_directories(net_dir);
+    workload::FleetJob donor_job;
+    donor_job.spec = catalog.study_apps()[0];
+    donor_job.profile = droidsim::LgV10();
+    donor_job.seed = workload::FleetSeed(4242, 0);
+    donor_job.session = simkit::Seconds(10);
+    donor_job.record_path = (net_dir / "donor.hdsl").string();
+    workload::FleetJobResult donor_result = workload::RunFleetJob(donor_job);
+    if (!donor_result.ok || !donor_result.record_ok) {
+      std::fprintf(stderr, "net donor recording failed: %s%s\n",
+                   donor_result.error.c_str(), donor_result.record_error.c_str());
+      return 1;
+    }
+    std::ifstream donor_in(donor_job.record_path, std::ios::binary);
+    std::string donor_log{std::istreambuf_iterator<char>(donor_in),
+                          std::istreambuf_iterator<char>()};
+    const int32_t net_workers = static_cast<int32_t>(std::min(4u, threads));
+    std::printf("\nnet axis (--net): loopback hangdoctord ingest, %d epoll workers, "
+                "%zu-byte donor log, 2 sessions per connection\n",
+                net_workers, donor_log.size());
+    for (int32_t connections : net_axis) {
+      NetLevelResult result = RunNetLevel(connections, donor_log, net_workers, shards);
+      std::printf("connections=%-5d  %8.3f s  %10.1f sessions/s  %lld closed  %lld busy  "
+                  "%lld errors  rss %.1f MB\n",
+                  result.connections, result.seconds, result.sessions_per_sec,
+                  static_cast<long long>(result.sessions_closed),
+                  static_cast<long long>(result.busy),
+                  static_cast<long long>(result.errors), result.rss_mb);
+      net_levels.push_back(result);
+    }
+  }
+
   std::FILE* json = std::fopen("BENCH_service.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_service.json\n");
@@ -471,6 +582,21 @@ int main() {
   std::fprintf(json, "    \"hit_rate\": %.4f,\n", kb_on.hit_rate);
   std::fprintf(json, "    \"speedup\": %.3f\n", kb_speedup);
   std::fprintf(json, "  },\n");
+  if (net) {
+    std::fprintf(json, "  \"net_axis\": [\n");
+    for (size_t i = 0; i < net_levels.size(); ++i) {
+      const NetLevelResult& r = net_levels[i];
+      std::fprintf(json,
+                   "    {\"connections\": %d, \"sessions\": %zu, \"seconds\": %.3f, "
+                   "\"sessions_per_sec\": %.2f, \"sessions_closed\": %lld, "
+                   "\"busy\": %lld, \"errors\": %lld, \"rss_mb\": %.1f}%s\n",
+                   r.connections, r.sessions, r.seconds, r.sessions_per_sec,
+                   static_cast<long long>(r.sessions_closed),
+                   static_cast<long long>(r.busy), static_cast<long long>(r.errors),
+                   r.rss_mb, i + 1 < net_levels.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+  }
   std::fprintf(json, "  \"max_concurrent_sessions\": %zu,\n", top.concurrent);
   std::fprintf(json, "  \"sessions_per_thread\": %.1f,\n", sessions_per_thread);
   std::fprintf(json, "  \"peak_rss_mb\": %.1f\n", PeakRssMb());

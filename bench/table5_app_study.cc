@@ -90,6 +90,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Mutually-incompatible combinations fail up front, before any simulation runs. A flag
+  // that the chosen mode would silently ignore is an error, not a no-op: --replay re-runs
+  // detectors from recorded logs on the per-job path, so it cannot record, inject faults,
+  // or use the service-mode topology knobs; --kb-epoch only means something once
+  // --shared-kb exists to publish on that cadence.
+  {
+    auto has_value = [&](const char* prefix) {
+      size_t len = std::strlen(prefix);
+      for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], prefix, len) == 0) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const bool replaying = has_value("--replay=");
+    struct Conflict {
+      bool active;
+      const char* message;
+    };
+    const Conflict conflicts[] = {
+        {replaying && has_value("--record="),
+         "--record and --replay are mutually exclusive: a replayed fleet never runs the "
+         "live simulation, so nothing would be recorded"},
+        {replaying && has_value("--faults="),
+         "--faults does nothing under --replay: faults are injected at simulation time "
+         "and are already baked into (or absent from) the recorded logs"},
+        {replaying && has_value("--threads="),
+         "--threads does nothing under --replay: replay re-runs detectors on the per-job "
+         "path, not the pipelined service ingest"},
+        {replaying && workload::HasFlag(argc, argv, "--shared-kb"),
+         "--shared-kb does nothing under --replay: replay re-runs detectors on the "
+         "per-job path, which has no fleet-wide knowledge base"},
+        {replaying && workload::HasFlag(argc, argv, "--service"),
+         "--service does nothing under --replay: replay re-runs detectors on the per-job "
+         "path, not the session-multiplexed service"},
+        {has_value("--kb-epoch=") && !workload::HasFlag(argc, argv, "--shared-kb"),
+         "--kb-epoch requires --shared-kb: the epoch cadence is the shared knowledge "
+         "base's publish schedule"},
+    };
+    for (const Conflict& conflict : conflicts) {
+      if (conflict.active) {
+        std::fprintf(stderr, "%s\n", conflict.message);
+        return 2;
+      }
+    }
+  }
+
   // --fleet-scale=N multiplies the devices per study app: the same study at N× fleet size,
   // e.g. to exercise --shared-kb epoch churn at scale. Table counts scale with it, so the
   // default (1) is what the goldens pin.

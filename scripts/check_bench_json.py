@@ -11,7 +11,12 @@ broken bench cannot upload garbage that later reads as a regression — or hides
     a generous-but-finite band (hard scaling claims are the release bench's job; this gate
     only rejects numbers no real machine produces);
   - kb axis: off/on arms internally consistent (runs + hits == total diagnoses, hit_rate in
-    [0, 1], the on arm never runs the diagnoser more often than the off arm).
+    [0, 1], the on arm never runs the diagnoser more often than the off arm);
+  - net axis (required under --net, validated whenever present): strictly increasing
+    connection counts, every session closed, zero admission refusals and protocol errors —
+    the wire sweep ran clean at every concurrency level.
+
+Usage: check_bench_json.py BENCH_service.json [--net]
 
 Exits non-zero with a one-line reason on the first violation.
 """
@@ -35,9 +40,12 @@ def is_num(value) -> bool:
 
 
 def main() -> None:
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py BENCH_service.json")
-    path = sys.argv[1]
+    arguments = sys.argv[1:]
+    expect_net = "--net" in arguments
+    positional = [a for a in arguments if a != "--net"]
+    if len(positional) != 1:
+        fail("usage: check_bench_json.py BENCH_service.json [--net]")
+    path = positional[0]
     try:
         with open(path, encoding="utf-8") as handle:
             data = json.load(handle)
@@ -131,10 +139,44 @@ def main() -> None:
     require(is_num(speedup) and 0.02 < speedup < 1000,
             f"kb_axis.speedup missing or absurd: {speedup!r}")
 
+    net = data.get("net_axis")
+    if expect_net:
+        require(net is not None, "net_axis missing (bench_service must run with --net)")
+    net_note = ""
+    if net is not None:
+        require(isinstance(net, list) and net, "net_axis present but not a non-empty list")
+        previous_connections = 0
+        for i, entry in enumerate(net):
+            require(isinstance(entry, dict), f"net_axis[{i}] is not an object")
+            connections = entry.get("connections")
+            require(is_num(connections) and connections > previous_connections,
+                    f"net_axis[{i}].connections not strictly increasing: {connections!r}")
+            previous_connections = connections
+            sessions = entry.get("sessions")
+            require(is_num(sessions) and sessions > 0,
+                    f"net_axis[{i}].sessions missing or not positive")
+            require(is_num(entry.get("seconds")) and entry["seconds"] > 0,
+                    f"net_axis[{i}].seconds missing or not positive")
+            rate = entry.get("sessions_per_sec")
+            require(is_num(rate) and 0 < rate < 1e9,
+                    f"net_axis[{i}].sessions_per_sec missing, non-positive, or absurd: "
+                    f"{rate!r}")
+            require(entry.get("sessions_closed") == sessions,
+                    f"net_axis[{i}]: {entry.get('sessions_closed')!r} of {sessions} "
+                    "sessions closed — the wire sweep lost sessions")
+            require(entry.get("busy") == 0,
+                    f"net_axis[{i}].busy != 0: the sweep hit admission refusals")
+            require(entry.get("errors") == 0,
+                    f"net_axis[{i}].errors != 0: the sweep hit protocol errors")
+            require(is_num(entry.get("rss_mb")) and entry["rss_mb"] > 0,
+                    f"net_axis[{i}].rss_mb missing or not positive")
+        net_note = (f", net axis {[e['connections'] for e in net]} connections "
+                    f"(top rss {net[-1]['rss_mb']:.0f} MB)")
+
     print(f"check_bench_json: OK ({path}: {len(levels)} levels, "
           f"threads axis {axis}, speedups "
           f"{[round(e['speedup'], 2) for e in sweep]}, "
-          f"kb hit rate {kb['hit_rate']:.1%} speedup {kb['speedup']:.2f}x)")
+          f"kb hit rate {kb['hit_rate']:.1%} speedup {kb['speedup']:.2f}x{net_note})")
 
 
 if __name__ == "__main__":

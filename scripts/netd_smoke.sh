@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# End-to-end hangdoctord smoke: boots the daemon on an ephemeral loopback port, records a
+# small fleet of HDSL session logs, replays them through the loadgen over concurrent
+# connections, then SIGTERMs the daemon and asserts a clean graceful drain — every session
+# closed, none aborted. Run from the repo root against a configured build tree:
+#
+#   scripts/netd_smoke.sh [build-dir]     (default: build)
+#
+# The build tree must already contain bench/table5_app_study (records the logs),
+# src/hosts/hangdoctord, and tools/loadgen.
+set -euo pipefail
+
+build=${1:-build}
+for binary in bench/table5_app_study src/netd/hangdoctord tools/loadgen; do
+  if [ ! -x "$build/$binary" ]; then
+    echo "netd_smoke: missing $build/$binary (build the 'table5_app_study'," \
+         "'hangdoctord', and 'loadgen' targets first)" >&2
+    exit 2
+  fi
+done
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -KILL "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# 1. Record donor logs: the smoke-budget app study with --record taps every fleet job's
+#    telemetry into $work/logs/job_<i>.hdsl.
+mkdir -p "$work/logs"
+HANGDOCTOR_SMOKE=1 "$build/bench/table5_app_study" --jobs=2 --record="$work/logs" \
+  > "$work/record.log" 2>&1
+log_count=$(ls "$work/logs"/*.hdsl | wc -l)
+echo "netd_smoke: recorded $log_count session logs"
+
+# 2. Boot the daemon on an ephemeral port; the banner line names the port.
+"$build/src/netd/hangdoctord" --port=0 --workers=2 > "$work/daemon.log" 2>&1 &
+daemon_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^hangdoctord listening on port \([0-9]*\).*/\1/p' "$work/daemon.log")
+  [ -n "$port" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { cat "$work/daemon.log" >&2; exit 1; }
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "netd_smoke: daemon never printed its port" >&2
+  cat "$work/daemon.log" >&2
+  exit 1
+fi
+echo "netd_smoke: daemon up on port $port (pid $daemon_pid)"
+
+# 3. Bounded loadgen run: the recorded logs repeated to 24 sessions over 4 connections.
+"$build/tools/loadgen" --port="$port" --dir="$work/logs" --sessions=24 --connections=4 \
+  | tee "$work/loadgen.log"
+grep -q "24 closed, 0 busy, 0 errors" "$work/loadgen.log" || {
+  echo "netd_smoke: loadgen summary is not a clean 24-session run" >&2
+  exit 1
+}
+
+# 4. Graceful drain: SIGTERM, wait, assert the daemon exited 0 with a clean-drain line
+#    accounting for every session.
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [ "$status" -ne 0 ]; then
+  echo "netd_smoke: daemon exited $status" >&2
+  cat "$work/daemon.log" >&2
+  exit 1
+fi
+grep -q "drained clean: 24 sessions, 0 aborted" "$work/daemon.log" || {
+  echo "netd_smoke: daemon did not drain clean" >&2
+  cat "$work/daemon.log" >&2
+  exit 1
+}
+echo "netd_smoke: OK (24 sessions ingested and drained clean)"

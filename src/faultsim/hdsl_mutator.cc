@@ -193,4 +193,78 @@ std::string MutateSessionLog(const std::string& bytes, size_t header_end,
   return out;
 }
 
+const char* WireMutationName(WireMutation mutation) {
+  switch (mutation) {
+    case WireMutation::kTornFrame:
+      return "torn-frame";
+    case WireMutation::kBadLength:
+      return "bad-length";
+    case WireMutation::kMidFrameDisconnect:
+      return "mid-frame-disconnect";
+  }
+  return "?";
+}
+
+std::string MutateWireStream(const std::string& bytes, std::span<const size_t> frame_offsets,
+                             simkit::Rng& rng, WireMutation* applied) {
+  auto mutation = static_cast<WireMutation>(rng.UniformInt(0, kNumWireMutations - 1));
+  if (applied != nullptr) {
+    *applied = mutation;
+  }
+  std::string out = bytes;
+  if (out.empty()) {
+    return out;
+  }
+  bool have_frames = !frame_offsets.empty();
+  switch (mutation) {
+    case WireMutation::kTornFrame: {
+      // The peer promised a frame, delivered part of it, and vanished: the daemon must see
+      // EOF mid-frame, abort that connection's sessions, and leak nothing.
+      if (!have_frames) {
+        out.resize(out.size() / 2);
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(frame_offsets.size()) - 1));
+      size_t begin = frame_offsets[index];
+      size_t end = index + 1 < frame_offsets.size() ? frame_offsets[index + 1] : out.size();
+      if (end - begin < 2) {
+        out.resize(begin + 1);
+        break;
+      }
+      size_t keep = static_cast<size_t>(
+          rng.UniformInt(1, static_cast<int64_t>(end - begin) - 1));
+      out.resize(begin + keep);
+      break;
+    }
+    case WireMutation::kBadLength: {
+      // A length varint claiming ~2^35 bytes: the splitter must reject on the prefix alone
+      // (sticky error), never attempt the allocation.
+      if (!have_frames) {
+        break;
+      }
+      size_t index = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(frame_offsets.size()) - 1));
+      size_t begin = frame_offsets[index];
+      std::string huge;
+      for (int i = 0; i < 5; ++i) {
+        huge.push_back(static_cast<char>(0x80u | static_cast<uint8_t>(rng.UniformInt(1, 127))));
+      }
+      huge.push_back(static_cast<char>(rng.UniformInt(1, 127)));
+      // Splice in place of whatever prefix bytes were there; the remaining stream becomes
+      // the "payload", which the cap check never reads.
+      out = bytes.substr(0, begin) + huge + bytes.substr(begin);
+      break;
+    }
+    case WireMutation::kMidFrameDisconnect: {
+      // A cut anywhere at all — inside a length varint, on a frame boundary, mid-payload.
+      size_t cut = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+      out.resize(cut);
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace faultsim

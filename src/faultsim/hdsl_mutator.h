@@ -48,6 +48,26 @@ std::string MutateSessionLog(const std::string& bytes, size_t header_end,
                              std::span<const size_t> record_offsets, simkit::Rng& rng,
                              HdslMutation* applied = nullptr);
 
+// Wire-level mutation families for the hangdoctord framing layer (src/netd/wire.h). These
+// corrupt a *framed* stream — varint length prefix + payload per frame — where the session
+// mutations above corrupt the payload grammar. Offsets index the first byte of each frame's
+// length prefix; they come from the builder (the netd fuzz case records them while framing),
+// so this layer stays netd-free.
+enum class WireMutation {
+  kTornFrame,          // keep a frame's prefix plus only part of its payload, drop the rest
+  kBadLength,          // rewrite a frame's length varint to a value far beyond any cap
+  kMidFrameDisconnect, // cut the stream at a uniformly random byte (even mid-varint)
+};
+inline constexpr int kNumWireMutations = 3;
+
+const char* WireMutationName(WireMutation mutation);
+
+// Applies one randomly chosen wire mutation (uniform over the families above) to `bytes`.
+// `frame_offsets` must hold the offset of every frame's length prefix in the *original*
+// bytes. Returns the mutant and reports the family via `applied` (may be null).
+std::string MutateWireStream(const std::string& bytes, std::span<const size_t> frame_offsets,
+                             simkit::Rng& rng, WireMutation* applied = nullptr);
+
 }  // namespace faultsim
 
 #endif  // SRC_FAULTSIM_HDSL_MUTATOR_H_

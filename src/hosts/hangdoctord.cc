@@ -1,0 +1,104 @@
+// hangdoctord: the standalone HDSL collector daemon. Binds a loopback TCP port, accepts
+// hangdoctor wire-protocol connections (src/netd/), streams their telemetry into one shared
+// DetectorService, and on SIGTERM/SIGINT drains gracefully — stop accepting, flush every
+// in-flight session, print the merged fleet Hang Bug Report, exit 0.
+//
+// Usage:
+//   hangdoctord [--port=N] [--workers=N] [--rings=N] [--shards=N] [--budget-mb=N]
+//               [--max-connections=N] [--pin]
+//
+// --port=0 (default) binds an ephemeral port; the banner line "listening on port N" names
+// it, which is how scripts/netd_smoke.sh and the loadgen find the daemon.
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/hangdoctor/detector_service.h"
+#include "src/netd/server.h"
+
+namespace {
+
+int64_t FlagValue(int argc, char** argv, const char* prefix, int64_t fallback) {
+  size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      return std::strtoll(argv[i] + len, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+bool HasBareFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  netd::ServerOptions options;
+  options.port = static_cast<uint16_t>(FlagValue(argc, argv, "--port=", 0));
+  options.workers = static_cast<int32_t>(FlagValue(argc, argv, "--workers=", 2));
+  options.rings = static_cast<int32_t>(FlagValue(argc, argv, "--rings=", 0));
+  options.service.shards =
+      static_cast<int32_t>(FlagValue(argc, argv, "--shards=", options.workers));
+  options.session_budget_bytes = FlagValue(argc, argv, "--budget-mb=", 256) << 20;
+  options.max_connections =
+      static_cast<int32_t>(FlagValue(argc, argv, "--max-connections=", 4096));
+  options.pin_workers = HasBareFlag(argc, argv, "--pin");
+
+  // Block the shutdown signals before any server thread exists, so every thread inherits
+  // the mask and sigwait below is the one consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  try {
+    netd::NetServer server(options);
+    std::printf("hangdoctord listening on port %u (%d workers, %d rings, %d shards)\n",
+                server.port(), options.workers,
+                options.rings == 0 ? options.workers : options.rings,
+                options.service.shards);
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&mask, &sig);
+    std::printf("hangdoctord: signal %d, draining\n", sig);
+    std::fflush(stdout);
+
+    server.Stop();
+    std::vector<netd::NetSessionOutcome> outcomes = server.TakeResults();
+    std::vector<hangdoctor::SessionResult> closed;
+    size_t aborted = 0;
+    for (auto& outcome : outcomes) {
+      if (outcome.aborted) {
+        ++aborted;
+      } else {
+        closed.push_back(std::move(outcome.result));
+      }
+    }
+    // The bit-identity contract merges in ascending-SessionId order.
+    std::sort(closed.begin(), closed.end(),
+              [](const auto& a, const auto& b) { return a.id.value < b.id.value; });
+    hangdoctor::HangBugReport merged = hangdoctor::MergeSessionReports(closed);
+    int32_t devices = static_cast<int32_t>(closed.size());
+    std::printf("%s", merged.Render(devices > 0 ? devices : 1).c_str());
+    std::printf("drained clean: %zu sessions, %zu aborted\n", closed.size(), aborted);
+    std::fflush(stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hangdoctord: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

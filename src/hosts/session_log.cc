@@ -102,10 +102,10 @@ class Parser {
   bool ok_ = true;
 };
 
-bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout* layout,
-                     std::string* error) {
-  Parser parser(data, error);
-
+// Shared prefix grammar — magic, version, SessionInfo, config, symbol table — leaving the
+// parser positioned at the first record's tag byte.
+bool ParsePrefix(Parser& parser, const std::string& data, SessionLog* log,
+                 SessionLogLayout* layout, std::string* error) {
   if (data.size() < sizeof(kSessionLogMagic) ||
       std::memcmp(data.data(), kSessionLogMagic, sizeof(kSessionLogMagic)) != 0) {
     *error = "not a session log (bad magic)";
@@ -192,151 +192,159 @@ bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout*
   if (layout != nullptr) {
     layout->header_end = parser.pos();
   }
+  return parser.ok();
+}
+
+// Shared record grammar: one tag byte + body into `record`. kEnd is tag-only; kTraceUsage
+// lands in the record's usage fields. Every FrameId is range-checked against `symbols`,
+// exactly as the monolithic parse checks against the log's own table.
+bool ParseRecordBody(Parser& parser, const telemetry::SymbolTable& symbols,
+                     SessionRecord* record) {
+  auto tag = static_cast<SessionRecordTag>(parser.GetByte());
+  if (!parser.ok()) {
+    return false;
+  }
+  record->tag = tag;
+  switch (tag) {
+    case SessionRecordTag::kDispatchStart: {
+      record->start.now = parser.GetSigned();
+      record->start.execution_id = parser.GetSigned();
+      record->start.action_uid = static_cast<int32_t>(parser.GetSigned());
+      record->start.event_index = static_cast<int32_t>(parser.GetSigned());
+      record->start.events_total = static_cast<int32_t>(parser.GetSigned());
+      break;
+    }
+    case SessionRecordTag::kDispatchEnd: {
+      record->end.now = parser.GetSigned();
+      record->end.execution_id = parser.GetSigned();
+      record->end.event_index = static_cast<int32_t>(parser.GetSigned());
+      record->end.response = parser.GetSigned();
+      record->end.trace_stopped = parser.GetByte() != 0;
+      if (record->end.trace_stopped) {
+        uint64_t num_samples = parser.GetVarint();
+        for (uint64_t s = 0; parser.ok() && s < num_samples; ++s) {
+          telemetry::StackTrace sample;
+          sample.timestamp_ns = parser.GetSigned();
+          sample.thread = static_cast<telemetry::ThreadId>(parser.GetVarint());
+          uint64_t depth = parser.GetVarint();
+          for (uint64_t f = 0; parser.ok() && f < depth; ++f) {
+            uint64_t frame_id = parser.GetVarint();
+            // Unknown FrameIds must die here: the replayed core indexes the symbol table
+            // by id, and the analyzer's census arrays are sized to it.
+            if (parser.ok() && frame_id >= symbols.size()) {
+              return parser.Fail("frame id out of range: " + std::to_string(frame_id));
+            }
+            sample.frames.push_back(static_cast<telemetry::FrameId>(frame_id));
+          }
+          record->samples.push_back(std::move(sample));
+        }
+      }
+      break;
+    }
+    case SessionRecordTag::kActionQuiesce: {
+      record->quiesce.now = parser.GetSigned();
+      record->quiesce.execution_id = parser.GetSigned();
+      record->quiesce.action_uid = static_cast<int32_t>(parser.GetSigned());
+      record->quiesce.max_response = parser.GetSigned();
+      record->quiesce.counters_valid = parser.GetByte() != 0;
+      uint64_t num_pairs = parser.GetVarint();
+      for (uint64_t p = 0; parser.ok() && p < num_pairs; ++p) {
+        uint64_t index = parser.GetVarint();
+        double value = parser.GetDouble();
+        if (index >= record->quiesce.counter_diffs.size()) {
+          return parser.Fail("counter index out of range");
+        }
+        record->quiesce.counter_diffs[index] = value;
+      }
+      break;
+    }
+    case SessionRecordTag::kCounterFault: {
+      record->fault.now = parser.GetSigned();
+      record->fault.execution_id = parser.GetSigned();
+      record->fault.permanent = parser.GetByte() != 0;
+      break;
+    }
+    case SessionRecordTag::kAsyncPost: {
+      record->async_post.now = parser.GetSigned();
+      record->async_post.execution_id = parser.GetSigned();
+      record->async_post.edge.value = parser.GetVarint();
+      record->async_post.target = static_cast<telemetry::ThreadId>(parser.GetVarint());
+      uint64_t post_frame = parser.GetVarint();
+      if (parser.ok() && post_frame >= symbols.size()) {
+        return parser.Fail("post frame id out of range: " + std::to_string(post_frame));
+      }
+      record->async_post.post_frame = static_cast<telemetry::FrameId>(post_frame);
+      record->async_post.delay = parser.GetSigned();
+      break;
+    }
+    case SessionRecordTag::kAsyncRun: {
+      record->async_run.now = parser.GetSigned();
+      record->async_run.execution_id = parser.GetSigned();
+      record->async_run.edge.value = parser.GetVarint();
+      record->async_run.thread = static_cast<telemetry::ThreadId>(parser.GetVarint());
+      record->async_run.begin = parser.GetByte() != 0;
+      break;
+    }
+    case SessionRecordTag::kAsyncWaitStart: {
+      record->wait_start.now = parser.GetSigned();
+      record->wait_start.execution_id = parser.GetSigned();
+      record->wait_start.edge.value = parser.GetVarint();
+      uint64_t wait_frame = parser.GetVarint();
+      if (parser.ok() && wait_frame >= symbols.size()) {
+        return parser.Fail("wait frame id out of range: " + std::to_string(wait_frame));
+      }
+      record->wait_start.wait_frame = static_cast<telemetry::FrameId>(wait_frame);
+      break;
+    }
+    case SessionRecordTag::kAsyncWaitEnd: {
+      record->wait_end.now = parser.GetSigned();
+      record->wait_end.execution_id = parser.GetSigned();
+      record->wait_end.edge.value = parser.GetVarint();
+      record->wait_end.waited = parser.GetSigned();
+      break;
+    }
+    case SessionRecordTag::kTraceUsage: {
+      record->usage_cpu = parser.GetSigned();
+      record->usage_bytes = parser.GetSigned();
+      break;
+    }
+    case SessionRecordTag::kEnd:
+      break;
+    default:
+      return parser.Fail("unknown record tag " + std::to_string(static_cast<int>(tag)));
+  }
+  return parser.ok();
+}
+
+bool ParseSessionLog(const std::string& data, SessionLog* log, SessionLogLayout* layout,
+                     std::string* error) {
+  Parser parser(data, error);
+  if (!ParsePrefix(parser, data, log, layout, error)) {
+    return false;
+  }
 
   bool saw_end = false;
   while (parser.ok() && !saw_end) {
     size_t record_offset = parser.pos();
-    auto tag = static_cast<SessionRecordTag>(parser.GetByte());
-    if (!parser.ok()) {
+    SessionRecord record;
+    if (!ParseRecordBody(parser, *log->symbols, &record)) {
       break;
     }
     if (layout != nullptr) {
       layout->record_offsets.push_back(record_offset);
     }
-    switch (tag) {
-      case SessionRecordTag::kDispatchStart: {
-        SessionRecord record;
-        record.tag = tag;
-        record.start.now = parser.GetSigned();
-        record.start.execution_id = parser.GetSigned();
-        record.start.action_uid = static_cast<int32_t>(parser.GetSigned());
-        record.start.event_index = static_cast<int32_t>(parser.GetSigned());
-        record.start.events_total = static_cast<int32_t>(parser.GetSigned());
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kDispatchEnd: {
-        SessionRecord record;
-        record.tag = tag;
-        record.end.now = parser.GetSigned();
-        record.end.execution_id = parser.GetSigned();
-        record.end.event_index = static_cast<int32_t>(parser.GetSigned());
-        record.end.response = parser.GetSigned();
-        record.end.trace_stopped = parser.GetByte() != 0;
-        if (record.end.trace_stopped) {
-          uint64_t num_samples = parser.GetVarint();
-          for (uint64_t s = 0; parser.ok() && s < num_samples; ++s) {
-            telemetry::StackTrace sample;
-            sample.timestamp_ns = parser.GetSigned();
-            sample.thread = static_cast<telemetry::ThreadId>(parser.GetVarint());
-            uint64_t depth = parser.GetVarint();
-            for (uint64_t f = 0; parser.ok() && f < depth; ++f) {
-              uint64_t frame_id = parser.GetVarint();
-              // Unknown FrameIds must die here: the replayed core indexes the symbol table
-              // by id, and the analyzer's census arrays are sized to it.
-              if (parser.ok() && frame_id >= log->symbols->size()) {
-                return parser.Fail("frame id out of range: " + std::to_string(frame_id));
-              }
-              sample.frames.push_back(static_cast<telemetry::FrameId>(frame_id));
-            }
-            record.samples.push_back(std::move(sample));
-          }
-        }
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kActionQuiesce: {
-        SessionRecord record;
-        record.tag = tag;
-        record.quiesce.now = parser.GetSigned();
-        record.quiesce.execution_id = parser.GetSigned();
-        record.quiesce.action_uid = static_cast<int32_t>(parser.GetSigned());
-        record.quiesce.max_response = parser.GetSigned();
-        record.quiesce.counters_valid = parser.GetByte() != 0;
-        uint64_t num_pairs = parser.GetVarint();
-        for (uint64_t p = 0; parser.ok() && p < num_pairs; ++p) {
-          uint64_t index = parser.GetVarint();
-          double value = parser.GetDouble();
-          if (index >= record.quiesce.counter_diffs.size()) {
-            return parser.Fail("counter index out of range");
-          }
-          record.quiesce.counter_diffs[index] = value;
-        }
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kCounterFault: {
-        SessionRecord record;
-        record.tag = tag;
-        record.fault.now = parser.GetSigned();
-        record.fault.execution_id = parser.GetSigned();
-        record.fault.permanent = parser.GetByte() != 0;
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kAsyncPost: {
-        SessionRecord record;
-        record.tag = tag;
-        record.async_post.now = parser.GetSigned();
-        record.async_post.execution_id = parser.GetSigned();
-        record.async_post.edge.value = parser.GetVarint();
-        record.async_post.target = static_cast<telemetry::ThreadId>(parser.GetVarint());
-        uint64_t post_frame = parser.GetVarint();
-        if (parser.ok() && post_frame >= log->symbols->size()) {
-          return parser.Fail("post frame id out of range: " + std::to_string(post_frame));
-        }
-        record.async_post.post_frame = static_cast<telemetry::FrameId>(post_frame);
-        record.async_post.delay = parser.GetSigned();
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kAsyncRun: {
-        SessionRecord record;
-        record.tag = tag;
-        record.async_run.now = parser.GetSigned();
-        record.async_run.execution_id = parser.GetSigned();
-        record.async_run.edge.value = parser.GetVarint();
-        record.async_run.thread = static_cast<telemetry::ThreadId>(parser.GetVarint());
-        record.async_run.begin = parser.GetByte() != 0;
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kAsyncWaitStart: {
-        SessionRecord record;
-        record.tag = tag;
-        record.wait_start.now = parser.GetSigned();
-        record.wait_start.execution_id = parser.GetSigned();
-        record.wait_start.edge.value = parser.GetVarint();
-        uint64_t wait_frame = parser.GetVarint();
-        if (parser.ok() && wait_frame >= log->symbols->size()) {
-          return parser.Fail("wait frame id out of range: " + std::to_string(wait_frame));
-        }
-        record.wait_start.wait_frame = static_cast<telemetry::FrameId>(wait_frame);
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kAsyncWaitEnd: {
-        SessionRecord record;
-        record.tag = tag;
-        record.wait_end.now = parser.GetSigned();
-        record.wait_end.execution_id = parser.GetSigned();
-        record.wait_end.edge.value = parser.GetVarint();
-        record.wait_end.waited = parser.GetSigned();
-        log->records.push_back(std::move(record));
-        break;
-      }
-      case SessionRecordTag::kTraceUsage: {
+    switch (record.tag) {
+      case SessionRecordTag::kTraceUsage:
         log->has_usage = true;
-        log->usage_cpu = parser.GetSigned();
-        log->usage_bytes = parser.GetSigned();
+        log->usage_cpu = record.usage_cpu;
+        log->usage_bytes = record.usage_bytes;
         break;
-      }
-      case SessionRecordTag::kEnd: {
+      case SessionRecordTag::kEnd:
         saw_end = true;
         break;
-      }
       default:
-        return parser.Fail("unknown record tag " + std::to_string(static_cast<int>(tag)));
+        log->records.push_back(std::move(record));
+        break;
     }
   }
   if (parser.ok() && !saw_end) {
@@ -604,6 +612,32 @@ bool ScanSessionLog(const std::string& bytes, SessionLogLayout* layout, std::str
   layout->symtab_begin = 0;
   layout->record_offsets.clear();
   return ParseSessionLog(bytes, &scratch, layout, error);
+}
+
+bool ParseSessionLogPrefix(const std::string& bytes, SessionLog* log, std::string* error) {
+  Parser parser(bytes, error);
+  if (!ParsePrefix(parser, bytes, log, nullptr, error)) {
+    return false;
+  }
+  if (!parser.AtEnd()) {
+    return parser.Fail("trailing bytes after session log prefix");
+  }
+  return parser.ok();
+}
+
+bool ParseSessionRecordBytes(const std::string& bytes, const telemetry::SymbolTable& symbols,
+                             SessionRecord* record, std::string* error) {
+  Parser parser(bytes, error);
+  if (!ParseRecordBody(parser, symbols, record)) {
+    return false;
+  }
+  if (record->tag == SessionRecordTag::kEnd) {
+    return parser.Fail("unexpected end marker record");
+  }
+  if (!parser.AtEnd()) {
+    return parser.Fail("trailing bytes after record");
+  }
+  return parser.ok();
 }
 
 }  // namespace hangdoctor

@@ -125,6 +125,8 @@ struct SessionRecord {
   AsyncRun async_run;
   AsyncWaitStart wait_start;
   AsyncWaitEnd wait_end;
+  int64_t usage_cpu = 0;    // kTraceUsage only
+  int64_t usage_bytes = 0;  // kTraceUsage only
 };
 
 // A fully parsed session log.
@@ -162,6 +164,24 @@ bool LoadSessionLogBytes(const std::string& bytes, SessionLog* log, std::string*
 // Parses only as far as needed to map record boundaries. Returns false (with `error`) when
 // `bytes` is not a well-formed log; `layout` is valid only on success.
 bool ScanSessionLog(const std::string& bytes, SessionLogLayout* layout, std::string* error);
+
+// Incremental entry points for streaming consumers (the netd wire decoder): a connection
+// delivers a session's complete prefix first — the mux open-frame payload — and then one
+// record at a time, so the monolithic parse is also exposed piecewise. Both share the
+// byte-level grammar (and every bounds check) with LoadSessionLogBytes.
+//
+// Parses a complete log prefix: magic, version, SessionInfo, config, symbol table — no
+// records, no trailing bytes. On success `log` holds info/config/symbols with `records`
+// empty; `log->info.symbols` points at `log->symbols`, which must outlive every record
+// later parsed against it.
+bool ParseSessionLogPrefix(const std::string& bytes, SessionLog* log, std::string* error);
+
+// Parses exactly one record (tag byte + body; trailing bytes rejected) against `symbols`,
+// with the same FrameId range checks as the full parse. kTraceUsage parses into
+// `record->usage_cpu` / `usage_bytes`; a bare end marker is rejected — mux/wire framing
+// regenerates end markers, they never travel as records.
+bool ParseSessionRecordBytes(const std::string& bytes, const telemetry::SymbolTable& symbols,
+                             SessionRecord* record, std::string* error);
 
 }  // namespace hangdoctor
 

@@ -1,0 +1,186 @@
+#include "src/netd/record_codec.h"
+
+#include <utility>
+
+#include "src/netd/wire.h"
+
+namespace netd {
+
+namespace hd = hangdoctor;
+
+bool MuxStreamDecoder::Fail(const std::string& message) {
+  if (ok_) {
+    ok_ = false;
+    error_ = message;
+  }
+  return false;
+}
+
+bool MuxStreamDecoder::Decode(const std::string& payload, DecodedFrame* out) {
+  if (!ok_) {
+    return false;
+  }
+  if (saw_bye_) {
+    return Fail("frame after container end");
+  }
+  if (payload.empty()) {
+    return Fail("empty container frame");
+  }
+  *out = DecodedFrame{};
+  auto tag = static_cast<hd::MuxFrameTag>(static_cast<uint8_t>(payload[0]));
+  size_t pos = 1;
+  uint64_t id = 0;
+  switch (tag) {
+    case hd::MuxFrameTag::kOpenSession: {
+      uint64_t size = 0;
+      if (!GetVarint(payload, &pos, &id) || !GetVarint(payload, &pos, &size)) {
+        return Fail("malformed open frame");
+      }
+      if (size != payload.size() - pos) {
+        return Fail("open frame size mismatch");
+      }
+      if (live_.count(id) != 0) {
+        return Fail("duplicate open for session " + std::to_string(id));
+      }
+      auto log = std::make_shared<hd::SessionLog>();
+      std::string error;
+      if (!hd::ParseSessionLogPrefix(payload.substr(pos), log.get(), &error)) {
+        return Fail("session " + std::to_string(id) + ": " + error);
+      }
+      live_[id] = log;
+      out->kind = DecodedFrame::Kind::kOpen;
+      out->id = telemetry::SessionId{id};
+      out->open_bytes = payload.size();
+      out->log = log;
+      out->record.session = out->id;
+      out->record.record.kind = hd::SpiPayload::Kind::kSessionOpen;
+      out->record.record.info = log->info;
+      out->record.record.config = log->config;
+      return true;
+    }
+    case hd::MuxFrameTag::kRecord: {
+      uint64_t size = 0;
+      if (!GetVarint(payload, &pos, &id) || !GetVarint(payload, &pos, &size)) {
+        return Fail("malformed record frame");
+      }
+      if (size != payload.size() - pos) {
+        return Fail("record frame size mismatch");
+      }
+      auto it = live_.find(id);
+      if (it == live_.end()) {
+        return Fail("record for unopened session " + std::to_string(id));
+      }
+      hd::SessionRecord record;
+      std::string error;
+      if (!hd::ParseSessionRecordBytes(payload.substr(pos), *it->second->symbols, &record,
+                                       &error)) {
+        return Fail("session " + std::to_string(id) + ": " + error);
+      }
+      out->kind = DecodedFrame::Kind::kRecord;
+      out->id = telemetry::SessionId{id};
+      out->log = it->second;
+      out->record.session = out->id;
+      hd::SpiPayload& payload_out = out->record.record;
+      switch (record.tag) {
+        case hd::SessionRecordTag::kDispatchStart:
+          payload_out.kind = hd::SpiPayload::Kind::kDispatchStart;
+          payload_out.start = record.start;
+          break;
+        case hd::SessionRecordTag::kDispatchEnd:
+          payload_out.kind = hd::SpiPayload::Kind::kDispatchEnd;
+          payload_out.end = record.end;
+          payload_out.samples = std::move(record.samples);
+          break;
+        case hd::SessionRecordTag::kActionQuiesce:
+          payload_out.kind = hd::SpiPayload::Kind::kActionQuiesce;
+          payload_out.quiesce = record.quiesce;
+          break;
+        case hd::SessionRecordTag::kCounterFault:
+          payload_out.kind = hd::SpiPayload::Kind::kCounterFault;
+          payload_out.fault = record.fault;
+          break;
+        case hd::SessionRecordTag::kAsyncPost:
+          payload_out.kind = hd::SpiPayload::Kind::kAsyncPost;
+          payload_out.async_post = record.async_post;
+          break;
+        case hd::SessionRecordTag::kAsyncRun:
+          payload_out.kind = hd::SpiPayload::Kind::kAsyncRun;
+          payload_out.async_run = record.async_run;
+          break;
+        case hd::SessionRecordTag::kAsyncWaitStart:
+          payload_out.kind = hd::SpiPayload::Kind::kAsyncWaitStart;
+          payload_out.wait_start = record.wait_start;
+          break;
+        case hd::SessionRecordTag::kAsyncWaitEnd:
+          payload_out.kind = hd::SpiPayload::Kind::kAsyncWaitEnd;
+          payload_out.wait_end = record.wait_end;
+          break;
+        case hd::SessionRecordTag::kTraceUsage:
+          // Overhead footer: structurally a record, but no SPI traffic to apply.
+          out->skip = true;
+          break;
+        default:
+          return Fail("unexpected record tag in frame");
+      }
+      return true;
+    }
+    case hd::MuxFrameTag::kCloseSession: {
+      if (!GetVarint(payload, &pos, &id) || pos != payload.size()) {
+        return Fail("malformed close frame");
+      }
+      auto it = live_.find(id);
+      if (it == live_.end()) {
+        return Fail("close for unopened session " + std::to_string(id));
+      }
+      out->kind = DecodedFrame::Kind::kClose;
+      out->id = telemetry::SessionId{id};
+      out->log = it->second;
+      out->record.session = out->id;
+      out->record.record.kind = hd::SpiPayload::Kind::kSessionClose;
+      live_.erase(it);
+      return true;
+    }
+    case hd::MuxFrameTag::kEpochPublish: {
+      uint64_t seq = 0;
+      if (!GetVarint(payload, &pos, &seq) || pos != payload.size()) {
+        return Fail("malformed epoch-publish frame");
+      }
+      out->kind = DecodedFrame::Kind::kEpochPublish;
+      return true;
+    }
+    case hd::MuxFrameTag::kEnd: {
+      if (pos != payload.size()) {
+        return Fail("trailing bytes in end frame");
+      }
+      if (!live_.empty()) {
+        return Fail("container end with " + std::to_string(live_.size()) +
+                    " session(s) still open");
+      }
+      saw_bye_ = true;
+      out->kind = DecodedFrame::Kind::kBye;
+      return true;
+    }
+    default:
+      return Fail("unknown container frame tag " +
+                  std::to_string(static_cast<int>(payload[0])));
+  }
+}
+
+bool ContainerToWireFrames(const std::string& container, std::vector<std::string>* frames,
+                           std::string* error) {
+  hd::SessionLogLayout layout;
+  if (!hd::ScanMuxLog(container, &layout, error)) {
+    return false;
+  }
+  frames->clear();
+  frames->reserve(layout.record_offsets.size());
+  for (size_t i = 0; i < layout.record_offsets.size(); ++i) {
+    size_t begin = layout.record_offsets[i];
+    size_t end =
+        i + 1 < layout.record_offsets.size() ? layout.record_offsets[i + 1] : container.size();
+    frames->push_back(container.substr(begin, end - begin));
+  }
+  return true;
+}
+
+}  // namespace netd

@@ -1,0 +1,1008 @@
+#include "src/netd/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <mutex>
+#include <semaphore>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/netd/record_codec.h"
+#include "src/netd/wire.h"
+#include "src/simkit/affinity.h"
+#include "src/simkit/mpmc_ring.h"
+#include "src/simkit/spinlock.h"
+#include "src/telemetry/session.h"
+
+namespace netd {
+
+namespace hd = hangdoctor;
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+void SignalEventFd(int fd) {
+  uint64_t one = 1;
+  ssize_t rc = write(fd, &one, sizeof(one));
+  (void)rc;  // a full eventfd counter still wakes the reader
+}
+
+}  // namespace
+
+// One unit of work traveling a ring: a decoded frame bound to its connection.
+struct Apply;
+struct Connection;
+
+struct Apply {
+  enum class Kind : uint8_t { kOpen, kRecord, kClose, kAbort };
+  Kind kind = Kind::kRecord;
+  telemetry::SessionId id{0};
+  int64_t estimate = 0;  // kOpen/kClose/kAbort: the session's budget charge
+  std::shared_ptr<hd::SessionLog> log;  // keeps the session's symbol table alive
+  hd::ServiceRecord record;
+  std::shared_ptr<Connection> conn;
+  std::string reason;  // kAbort
+};
+
+struct Connection {
+  int fd = -1;
+  int worker = 0;
+  FrameSplitter splitter;
+  MuxStreamDecoder decoder;
+  bool hello_done = false;
+
+  // Worker-thread-only state.
+  std::unordered_map<uint64_t, int64_t> live;  // admitted sessions → budget charge
+  std::unordered_set<uint64_t> refused;        // kBusy'd sessions: records dropped
+  std::string out;                             // write buffer (worker-owned)
+  bool reading = true;
+  bool want_write = false;
+  bool want_bye = false;
+  bool bye_sent = false;
+  bool dead = false;       // sticky protocol error: no further reads/decodes
+  bool peer_gone = false;  // EOF/reset: no further writes either
+  bool closing = false;    // close once out is flushed and applies have landed
+  bool has_parked = false;
+  Apply parked;
+
+  // Cross-thread state (appliers touch these).
+  std::mutex reply_mu;
+  std::string replies;  // applier-encoded reply frames, drained into `out` by the worker
+  std::string applier_error_msg;  // guarded by reply_mu
+  std::atomic<bool> applier_error{false};
+  std::atomic<int64_t> pending{0};  // applies routed but not yet landed
+  std::atomic<uint64_t> closed_count{0};
+  std::atomic<bool> closed{false};  // fd gone: appliers stop enqueueing replies
+
+  explicit Connection(size_t max_frame) : splitter(max_frame) {}
+};
+
+struct WorkerState {
+  int epfd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::mutex inbox_mu;
+  std::vector<int> inbox;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;  // worker-thread only
+  bool drain_started = false;
+};
+
+struct RingSlot {
+  std::unique_ptr<simkit::MpmcRing<Apply>> ring;
+  std::counting_semaphore<> items{0};
+  std::thread thread;
+};
+
+struct NetServer::Impl {
+  ServerOptions opt;
+  NetServer* self = nullptr;
+
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  std::vector<std::unique_ptr<RingSlot>> rings;
+
+  // Backpressure wakeups: workers with a parked record register their wake fd; appliers
+  // signal the set after freeing ring space.
+  std::mutex waiter_mu;
+  std::vector<int> waiter_fds;
+  std::atomic<int> waiters{0};
+
+  std::mutex results_mu;
+  std::vector<NetSessionOutcome> results;
+
+  std::atomic<int64_t> inflight{0};  // records routed but not yet applied
+  std::atomic<bool> draining{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> applier_stop{false};
+  std::atomic<uint32_t> next_worker{0};
+  bool stopped = false;
+
+  int listen_fd = -1;
+  int accept_stop_fd = -1;
+  std::thread acceptor;
+
+  // ---- routing ----
+
+  size_t RingOf(telemetry::SessionId id) const {
+    return telemetry::ShardOf(id, rings.size());
+  }
+
+  void WakeWaiters() {
+    if (waiters.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(waiter_mu);
+    for (int fd : waiter_fds) {
+      SignalEventFd(fd);
+    }
+    waiter_fds.clear();
+    waiters.store(0, std::memory_order_release);
+  }
+
+  void RegisterWaiter(int wake_fd) {
+    std::lock_guard<std::mutex> lock(waiter_mu);
+    waiter_fds.push_back(wake_fd);
+    waiters.store(static_cast<int>(waiter_fds.size()), std::memory_order_release);
+  }
+
+  void RouteBlocking(Apply&& apply) {
+    size_t r = RingOf(apply.id);
+    apply.conn->pending.fetch_add(1, std::memory_order_relaxed);
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    rings[r]->ring->Push(std::move(apply));
+    rings[r]->items.release();
+  }
+
+  // Returns false when the ring was full: the apply is parked on the connection and EPOLLIN
+  // must stay off until ring space frees up.
+  bool Route(std::shared_ptr<Connection>& conn, Apply&& apply) {
+    size_t r = RingOf(apply.id);
+    apply.conn = conn;
+    conn->pending.fetch_add(1, std::memory_order_relaxed);
+    inflight.fetch_add(1, std::memory_order_relaxed);
+    if (rings[r]->ring->TryPush(apply)) {
+      rings[r]->items.release();
+      return true;
+    }
+    self->stats_.backpressure_pauses.fetch_add(1, std::memory_order_relaxed);
+    RegisterWaiter(workers[conn->worker]->wake_fd);
+    // Re-try once after registering, closing the race where the applier freed space and
+    // signaled waiters between our failed push and the registration.
+    if (rings[r]->ring->TryPush(apply)) {
+      rings[r]->items.release();
+      return true;
+    }
+    conn->parked = std::move(apply);
+    conn->has_parked = true;
+    return false;
+  }
+
+  // ---- worker side ----
+
+  void UpdateEvents(WorkerState& wk, const std::shared_ptr<Connection>& conn) {
+    epoll_event ev{};
+    ev.data.fd = conn->fd;
+    ev.events = 0;
+    if (conn->reading && !conn->dead && !conn->has_parked && !conn->closing) {
+      ev.events |= EPOLLIN;
+    }
+    if (conn->want_write) {
+      ev.events |= EPOLLOUT;
+    }
+    epoll_ctl(wk.epfd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  void CloseConn(WorkerState& wk, const std::shared_ptr<Connection>& conn) {
+    if (conn->closed.exchange(true)) {
+      return;
+    }
+    epoll_ctl(wk.epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    close(conn->fd);
+    wk.conns.erase(conn->fd);
+    self->live_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void FlushWrites(WorkerState& wk, const std::shared_ptr<Connection>& conn) {
+    if (conn->closed.load() || conn->peer_gone) {
+      conn->out.clear();
+      return;
+    }
+    size_t off = 0;
+    while (off < conn->out.size()) {
+      // MSG_NOSIGNAL: a peer that reset mid-reply must surface as EPIPE, not kill the
+      // daemon with SIGPIPE.
+      ssize_t n = send(conn->fd, conn->out.data() + off, conn->out.size() - off,
+                       MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      // Peer reset under us: replies are undeliverable, stop producing them.
+      conn->peer_gone = true;
+      conn->out.clear();
+      return;
+    }
+    conn->out.erase(0, off);
+    bool want = !conn->out.empty();
+    if (want != conn->want_write) {
+      conn->want_write = want;
+      UpdateEvents(wk, conn);
+    }
+  }
+
+  void SendReply(WorkerState& wk, const std::shared_ptr<Connection>& conn,
+                 const std::string& payload) {
+    AppendFrame(&conn->out, payload);
+    FlushWrites(wk, conn);
+  }
+
+  void AbortLiveSessions(const std::shared_ptr<Connection>& conn, const std::string& reason) {
+    for (const auto& [id, est] : conn->live) {
+      Apply apply;
+      apply.kind = Apply::Kind::kAbort;
+      apply.id = telemetry::SessionId{id};
+      apply.estimate = est;
+      apply.reason = reason;
+      apply.conn = conn;
+      RouteBlocking(std::move(apply));
+    }
+    conn->live.clear();
+    conn->refused.clear();
+  }
+
+  void ProtocolError(WorkerState& wk, const std::shared_ptr<Connection>& conn,
+                     const std::string& message) {
+    if (conn->dead) {
+      return;
+    }
+    self->stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    conn->dead = true;
+    conn->reading = false;
+    SendReply(wk, conn, BuildError(message));
+    AbortLiveSessions(conn, "protocol error: " + message);
+    conn->closing = true;
+    UpdateEvents(wk, conn);
+    MaybeFinish(wk, conn);
+  }
+
+  void PeerGone(WorkerState& wk, const std::shared_ptr<Connection>& conn) {
+    conn->peer_gone = true;
+    conn->reading = false;
+    conn->out.clear();
+    if (!conn->live.empty()) {
+      AbortLiveSessions(conn, "connection closed mid-session");
+    }
+    conn->closing = true;
+    MaybeFinish(wk, conn);
+  }
+
+  void MaybeFinish(WorkerState& wk, const std::shared_ptr<Connection>& conn) {
+    if (conn->closed.load()) {
+      return;
+    }
+    bool idle = conn->pending.load(std::memory_order_acquire) == 0 && !conn->has_parked;
+    if (!idle) {
+      return;
+    }
+    // pending == 0 guarantees every applier reply for this connection has been enqueued
+    // (appliers enqueue before decrementing). Drain them into the write buffer NOW — the
+    // bye/close decision below must never outrun a kSessionClosed still parked in
+    // `replies`, or the peer loses replies that were already earned.
+    {
+      std::lock_guard<std::mutex> lock(conn->reply_mu);
+      if (!conn->replies.empty()) {
+        conn->out.append(conn->replies);
+        conn->replies.clear();
+      }
+    }
+    if (conn->want_bye && !conn->bye_sent && !conn->peer_gone && !conn->dead) {
+      conn->bye_sent = true;
+      SendReply(wk, conn, BuildBye(conn->closed_count.load()));
+      conn->closing = true;
+    }
+    if (!conn->out.empty()) {
+      FlushWrites(wk, conn);
+    }
+    if (conn->closing && (conn->out.empty() || conn->peer_gone)) {
+      CloseConn(wk, conn);
+    }
+  }
+
+  void HandleFrame(WorkerState& wk, std::shared_ptr<Connection>& conn, DecodedFrame&& dec) {
+    switch (dec.kind) {
+      case DecodedFrame::Kind::kOpen: {
+        int64_t est = static_cast<int64_t>(dec.open_bytes) + opt.session_overhead_bytes;
+        int64_t live_now = self->live_session_bytes_.load(std::memory_order_relaxed);
+        if (live_now + est > opt.session_budget_bytes) {
+          self->stats_.sessions_refused.fetch_add(1, std::memory_order_relaxed);
+          conn->refused.insert(dec.id.value);
+          SendReply(wk, conn,
+                    BuildBusy(dec.id.value, static_cast<uint64_t>(live_now),
+                              static_cast<uint64_t>(opt.session_budget_bytes)));
+          return;
+        }
+        self->live_session_bytes_.fetch_add(est, std::memory_order_relaxed);
+        conn->live[dec.id.value] = est;
+        Apply apply;
+        apply.kind = Apply::Kind::kOpen;
+        apply.id = dec.id;
+        apply.estimate = est;
+        apply.log = std::move(dec.log);
+        apply.record = std::move(dec.record);
+        Route(conn, std::move(apply));
+        return;
+      }
+      case DecodedFrame::Kind::kRecord: {
+        if (dec.skip || conn->refused.count(dec.id.value) != 0) {
+          return;
+        }
+        Apply apply;
+        apply.kind = Apply::Kind::kRecord;
+        apply.id = dec.id;
+        apply.log = std::move(dec.log);
+        apply.record = std::move(dec.record);
+        Route(conn, std::move(apply));
+        return;
+      }
+      case DecodedFrame::Kind::kClose: {
+        if (conn->refused.erase(dec.id.value) != 0) {
+          return;  // the open was kBusy'd; nothing to close
+        }
+        auto it = conn->live.find(dec.id.value);
+        int64_t est = it != conn->live.end() ? it->second : 0;
+        if (it != conn->live.end()) {
+          conn->live.erase(it);
+        }
+        Apply apply;
+        apply.kind = Apply::Kind::kClose;
+        apply.id = dec.id;
+        apply.estimate = est;
+        apply.log = std::move(dec.log);
+        apply.record = std::move(dec.record);
+        Route(conn, std::move(apply));
+        return;
+      }
+      case DecodedFrame::Kind::kEpochPublish:
+        // Recorded KB epoch boundary. The daemon runs without an attached knowledge base,
+        // so the schedule is acknowledged but carries no work.
+        return;
+      case DecodedFrame::Kind::kBye:
+        conn->want_bye = true;
+        conn->reading = false;
+        UpdateEvents(wk, conn);
+        MaybeFinish(wk, conn);
+        return;
+    }
+  }
+
+  // Decodes every complete buffered frame, stopping early on a parked record or a dead
+  // connection.
+  void ProcessFrames(WorkerState& wk, std::shared_ptr<Connection>& conn) {
+    while (!conn->has_parked && !conn->dead && !conn->closing && conn->reading) {
+      std::string payload;
+      if (!conn->splitter.Next(&payload)) {
+        if (!conn->splitter.ok()) {
+          ProtocolError(wk, conn, conn->splitter.error());
+        }
+        return;
+      }
+      self->stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      if (!conn->hello_done) {
+        uint32_t version = 0;
+        std::string error;
+        if (!ParseHello(payload, &version, &error)) {
+          ProtocolError(wk, conn, error);
+          return;
+        }
+        if (version < kWireVersionMin || version > kWireVersionMax) {
+          ProtocolError(wk, conn, "unsupported wire version " + std::to_string(version));
+          return;
+        }
+        conn->hello_done = true;
+        SendReply(wk, conn, BuildHelloOk(version));
+        continue;
+      }
+      DecodedFrame dec;
+      if (!conn->decoder.Decode(payload, &dec)) {
+        ProtocolError(wk, conn, conn->decoder.error());
+        return;
+      }
+      HandleFrame(wk, conn, std::move(dec));
+    }
+    if (conn->has_parked) {
+      UpdateEvents(wk, conn);  // EPOLLIN off until the ring drains
+    }
+  }
+
+  void HandleReadable(WorkerState& wk, std::shared_ptr<Connection>& conn) {
+    if (conn->dead || conn->closing || !conn->reading || conn->has_parked) {
+      return;
+    }
+    char buf[64 * 1024];
+    ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      self->stats_.bytes_in.fetch_add(n, std::memory_order_relaxed);
+      conn->splitter.Feed(buf, static_cast<size_t>(n));
+      ProcessFrames(wk, conn);
+      return;  // level-triggered epoll re-fires if more bytes are queued
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return;
+    }
+    // EOF or reset. A clean BYE already paused reading, so reaching here with live
+    // sessions means the peer died mid-stream.
+    PeerGone(wk, conn);
+  }
+
+  void RetryParked(WorkerState& wk, std::shared_ptr<Connection>& conn) {
+    if (!conn->has_parked) {
+      return;
+    }
+    size_t r = RingOf(conn->parked.id);
+    if (!rings[r]->ring->TryPush(conn->parked)) {
+      RegisterWaiter(wk.wake_fd);
+      if (!rings[r]->ring->TryPush(conn->parked)) {
+        return;  // still full; stay paused
+      }
+    }
+    rings[r]->items.release();
+    conn->has_parked = false;
+    conn->parked = Apply{};
+    if (!conn->dead && !conn->closing) {
+      conn->reading = true;
+    }
+    UpdateEvents(wk, conn);
+    ProcessFrames(wk, conn);  // keep decoding what was already buffered
+  }
+
+  void AdoptIntoWorker(WorkerState& wk, int fd) {
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // no-op for socketpairs
+    auto conn = std::make_shared<Connection>(opt.max_frame_bytes);
+    conn->fd = fd;
+    for (size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].get() == &wk) {
+        conn->worker = static_cast<int>(i);
+        break;
+      }
+    }
+    wk.conns[fd] = conn;
+    epoll_event ev{};
+    ev.data.fd = fd;
+    ev.events = EPOLLIN;
+    epoll_ctl(wk.epfd, EPOLL_CTL_ADD, fd, &ev);
+    if (draining.load()) {
+      StartDrain(wk, conn);
+    }
+  }
+
+  void StartDrain(WorkerState& wk, const std::shared_ptr<Connection>& conn) {
+    if (conn->closed.load() || conn->closing) {
+      return;
+    }
+    conn->reading = false;
+    if (conn->has_parked) {
+      // Order: the parked record precedes the forced closes of its session.
+      Apply parked = std::move(conn->parked);
+      conn->has_parked = false;
+      size_t r = RingOf(parked.id);
+      rings[r]->ring->Push(std::move(parked));
+      rings[r]->items.release();
+    }
+    // Flush in-flight sessions: force a close through the rings so their results are
+    // harvested and reported before the connection goes away.
+    for (const auto& [id, est] : conn->live) {
+      Apply apply;
+      apply.kind = Apply::Kind::kClose;
+      apply.id = telemetry::SessionId{id};
+      apply.estimate = est;
+      apply.record.session = apply.id;
+      apply.record.record.kind = hd::SpiPayload::Kind::kSessionClose;
+      apply.conn = conn;
+      RouteBlocking(std::move(apply));
+    }
+    conn->live.clear();
+    conn->refused.clear();
+    conn->want_bye = true;
+    UpdateEvents(wk, conn);
+    MaybeFinish(wk, conn);
+  }
+
+  void HandleWake(WorkerState& wk) {
+    uint64_t counter = 0;
+    ssize_t rc = read(wk.wake_fd, &counter, sizeof(counter));
+    (void)rc;
+    std::vector<int> adopted;
+    {
+      std::lock_guard<std::mutex> lock(wk.inbox_mu);
+      adopted.swap(wk.inbox);
+    }
+    for (int fd : adopted) {
+      AdoptIntoWorker(wk, fd);
+    }
+    if (draining.load() && !wk.drain_started) {
+      wk.drain_started = true;
+      auto conns = wk.conns;  // StartDrain may close (erase) connections
+      for (auto& [fd, conn] : conns) {
+        StartDrain(wk, conn);
+      }
+    }
+    // Service every connection: applier replies, applier errors, parked retries, pending
+    // byes. O(connections per worker) per wake, which is the event the wake batches anyway.
+    auto conns = wk.conns;
+    for (auto& [fd, conn] : conns) {
+      auto c = conn;
+      if (c->applier_error.load(std::memory_order_acquire) && !c->dead) {
+        std::string message;
+        {
+          std::lock_guard<std::mutex> lock(c->reply_mu);
+          message = c->applier_error_msg;
+        }
+        ProtocolError(wk, c, message);
+      }
+      {
+        std::lock_guard<std::mutex> lock(c->reply_mu);
+        if (!c->replies.empty()) {
+          c->out.append(c->replies);
+          c->replies.clear();
+        }
+      }
+      RetryParked(wk, c);
+      FlushWrites(wk, c);
+      MaybeFinish(wk, c);
+    }
+  }
+
+  void WorkerLoop(size_t index) {
+    if (opt.pin_workers) {
+      simkit::PinCurrentThreadToCore(static_cast<int>(index));
+    }
+    WorkerState& wk = *workers[index];
+    epoll_event events[64];
+    while (true) {
+      int n = epoll_wait(wk.epfd, events, 64, 100);
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == wk.wake_fd) {
+          HandleWake(wk);
+          continue;
+        }
+        auto it = wk.conns.find(fd);
+        if (it == wk.conns.end()) {
+          continue;
+        }
+        auto conn = it->second;
+        uint32_t mask = events[i].events;
+        if ((mask & (EPOLLHUP | EPOLLERR)) != 0 && (mask & EPOLLIN) == 0) {
+          PeerGone(wk, conn);
+          continue;
+        }
+        if ((mask & EPOLLOUT) != 0) {
+          FlushWrites(wk, conn);
+          MaybeFinish(wk, conn);
+        }
+        if ((mask & EPOLLIN) != 0) {
+          HandleReadable(wk, conn);
+          MaybeFinish(wk, conn);
+        }
+      }
+      if (stopping.load()) {
+        // Hard stop: abort what remains and leave.
+        auto conns = wk.conns;
+        for (auto& [fd, conn] : conns) {
+          if (!conn->live.empty()) {
+            AbortLiveSessions(conn, "server stopped");
+          }
+          CloseConn(wk, conn);
+        }
+        if (wk.conns.empty()) {
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- applier side ----
+
+  void SignalConnWorker(const std::shared_ptr<Connection>& conn) {
+    SignalEventFd(workers[conn->worker]->wake_fd);
+  }
+
+  void EnqueueReply(const std::shared_ptr<Connection>& conn, const std::string& payload) {
+    if (conn->closed.load(std::memory_order_acquire)) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conn->reply_mu);
+    AppendFrame(&conn->replies, payload);
+  }
+
+  void MarkApplierError(const std::shared_ptr<Connection>& conn, const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(conn->reply_mu);
+      if (conn->applier_error_msg.empty()) {
+        conn->applier_error_msg = message;
+      }
+    }
+    conn->applier_error.store(true, std::memory_order_release);
+  }
+
+  // `owner` maps session id -> the connection that successfully opened it on this applier
+  // (ids shard to appliers, so the map is authoritative and race-free). It exists for the
+  // cross-connection duplicate-open case: the loser's open threw, but the id is still in
+  // the loser's worker-side bookkeeping, so its later close/abort/records MUST NOT touch —
+  // discard, harvest, or feed — the winner's live session.
+  void ApplyItem(Apply& item,
+                 std::unordered_map<uint64_t, std::shared_ptr<hd::SessionLog>>& retained,
+                 std::unordered_map<uint64_t, const Connection*>& owner) {
+    auto& service = *self->service_;
+    auto conn = item.conn;
+    try {
+      switch (item.kind) {
+        case Apply::Kind::kOpen:
+          service.Open(item.id, item.log->info, item.log->config);
+          retained[item.id.value] = item.log;
+          owner[item.id.value] = conn.get();
+          break;
+        case Apply::Kind::kRecord: {
+          auto ow = owner.find(item.id.value);
+          if (ow == owner.end() || ow->second != conn.get()) {
+            throw std::invalid_argument("record for session not owned by this connection");
+          }
+          hd::SpiPayload& payload = item.record.record;
+          switch (payload.kind) {
+            case hd::SpiPayload::Kind::kDispatchStart:
+              service.OnDispatchStart(item.id, payload.start);
+              break;
+            case hd::SpiPayload::Kind::kDispatchEnd:
+              payload.end.samples = payload.samples;
+              service.OnDispatchEnd(item.id, payload.end);
+              break;
+            case hd::SpiPayload::Kind::kActionQuiesce:
+              service.OnActionQuiesced(item.id, payload.quiesce);
+              break;
+            case hd::SpiPayload::Kind::kCounterFault:
+              service.OnCounterFault(item.id, payload.fault);
+              break;
+            case hd::SpiPayload::Kind::kAsyncPost:
+              service.OnAsyncPost(item.id, payload.async_post);
+              break;
+            case hd::SpiPayload::Kind::kAsyncRun:
+              service.OnAsyncRun(item.id, payload.async_run);
+              break;
+            case hd::SpiPayload::Kind::kAsyncWaitStart:
+              service.OnAsyncWaitStart(item.id, payload.wait_start);
+              break;
+            case hd::SpiPayload::Kind::kAsyncWaitEnd:
+              service.OnAsyncWaitEnd(item.id, payload.wait_end);
+              break;
+            default:
+              throw std::invalid_argument("unexpected payload kind");
+          }
+          break;
+        }
+        case Apply::Kind::kClose: {
+          auto ow = owner.find(item.id.value);
+          if (ow == owner.end() || ow->second != conn.get()) {
+            // This connection's charge was already released when its open failed.
+            item.estimate = 0;
+            throw std::invalid_argument("close for session not owned by this connection");
+          }
+          owner.erase(ow);
+          hd::SessionResult result = service.Close(item.id);
+          self->live_session_bytes_.fetch_sub(item.estimate, std::memory_order_relaxed);
+          self->stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+          retained.erase(item.id.value);
+          EnqueueReply(conn, BuildSessionClosed(item.id.value, result.stream_ok,
+                                                result.report.NumBugs(),
+                                                result.stream_error));
+          conn->closed_count.fetch_add(1, std::memory_order_relaxed);
+          NetSessionOutcome outcome;
+          outcome.id = item.id;
+          outcome.result = std::move(result);
+          std::lock_guard<std::mutex> lock(results_mu);
+          results.push_back(std::move(outcome));
+          break;
+        }
+        case Apply::Kind::kAbort: {
+          auto ow = owner.find(item.id.value);
+          if (ow == owner.end() || ow->second != conn.get()) {
+            break;  // the open failed on this connection; nothing to discard or release
+          }
+          owner.erase(ow);
+          service.Discard(item.id);
+          self->live_session_bytes_.fetch_sub(item.estimate, std::memory_order_relaxed);
+          self->stats_.sessions_aborted.fetch_add(1, std::memory_order_relaxed);
+          retained.erase(item.id.value);
+          NetSessionOutcome outcome;
+          outcome.id = item.id;
+          outcome.aborted = true;
+          outcome.stream_error = item.reason;
+          std::lock_guard<std::mutex> lock(results_mu);
+          results.push_back(std::move(outcome));
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      // Open of a duplicate id (cross-connection), a record the service cannot route, or a
+      // discard of a session whose open already failed. The session is beyond saving; the
+      // connection learns via the sticky error path.
+      if (item.kind != Apply::Kind::kRecord) {
+        self->live_session_bytes_.fetch_sub(item.estimate, std::memory_order_relaxed);
+      }
+      if (item.kind != Apply::Kind::kAbort) {
+        MarkApplierError(conn, std::string("session ") + std::to_string(item.id.value) +
+                                   ": " + e.what());
+        if (item.kind == Apply::Kind::kOpen) {
+          self->stats_.sessions_aborted.fetch_add(1, std::memory_order_relaxed);
+          NetSessionOutcome outcome;
+          outcome.id = item.id;
+          outcome.aborted = true;
+          outcome.stream_error = e.what();
+          std::lock_guard<std::mutex> lock(results_mu);
+          results.push_back(std::move(outcome));
+        }
+      }
+    }
+    item.conn.reset();
+    conn->pending.fetch_sub(1, std::memory_order_release);
+    inflight.fetch_sub(1, std::memory_order_release);
+    SignalConnWorker(conn);
+    WakeWaiters();
+  }
+
+  void ApplierLoop(size_t index) {
+    if (opt.pin_workers) {
+      simkit::PinCurrentThreadToCore(static_cast<int>(workers.size() + index));
+    }
+    RingSlot& slot = *rings[index];
+    // Each session's open keeps its parsed log (symbol-table owner) alive here until the
+    // session closes — every record of a session lands on this one applier.
+    std::unordered_map<uint64_t, std::shared_ptr<hd::SessionLog>> retained;
+    std::unordered_map<uint64_t, const Connection*> owner;
+    while (true) {
+      slot.items.acquire();
+      Apply item;
+      bool popped = false;
+      int spins = 0;
+      // Outside shutdown, an acquired permit proves a published item exists: producers
+      // release only after their TryPush returns. TryPop can still fail here when a
+      // *different* producer holds a claimed-but-unpublished ticket at the head (between
+      // its tail CAS and its seq store) — the ring pops in ticket order, so the published
+      // item behind it is momentarily unreachable. Burning the permit on that transient
+      // would strand the item (and its reply) until the next push, or forever on a quiet
+      // ring, so spin the pop out instead; the claimant's publish is a few stores away.
+      while (!(popped = slot.ring->TryPop(item))) {
+        if (applier_stop.load()) {
+          break;
+        }
+        if (++spins < 64) {
+          simkit::CpuRelax();
+        } else {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+      if (popped) {
+        ApplyItem(item, retained, owner);
+        continue;
+      }
+      // applier_stop with nothing poppable: workers are joined, every claim is published.
+      // Late releases can outnumber items at shutdown; drain whatever remains.
+      while (slot.ring->TryPop(item)) {
+        ApplyItem(item, retained, owner);
+      }
+      break;
+    }
+  }
+
+  // ---- acceptor ----
+
+  void AcceptorLoop() {
+    pollfd fds[2];
+    fds[0] = {listen_fd, POLLIN, 0};
+    fds[1] = {accept_stop_fd, POLLIN, 0};
+    while (true) {
+      int rc = poll(fds, 2, -1);
+      if (rc < 0 && errno == EINTR) {
+        continue;
+      }
+      if ((fds[1].revents & POLLIN) != 0) {
+        return;
+      }
+      if ((fds[0].revents & POLLIN) == 0) {
+        continue;
+      }
+      while (true) {
+        int fd = accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+          break;
+        }
+        if (draining.load() ||
+            self->live_connections_.load() >= opt.max_connections) {
+          self->stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+          std::string frame;
+          AppendFrame(&frame, BuildBusy(0, static_cast<uint64_t>(self->live_connections_.load()),
+                                        static_cast<uint64_t>(opt.max_connections)));
+          ssize_t wrc = write(fd, frame.data(), frame.size());  // best-effort
+          (void)wrc;
+          close(fd);
+          continue;
+        }
+        self->stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        self->AdoptConnection(fd);
+      }
+    }
+  }
+};
+
+NetServer::NetServer(const ServerOptions& options) : impl_(new Impl) {
+  ServerOptions opt = options;
+  if (opt.workers < 1) {
+    throw std::invalid_argument("NetServer: workers must be >= 1");
+  }
+  if (opt.service.threads != 0) {
+    throw std::invalid_argument("NetServer: service.threads must be 0 (appliers ingest)");
+  }
+  if (opt.rings == 0) {
+    opt.rings = opt.workers;
+  }
+  if (opt.rings < 1 || opt.ring_capacity < 1) {
+    throw std::invalid_argument("NetServer: rings and ring_capacity must be >= 1");
+  }
+  impl_->opt = opt;
+  impl_->self = this;
+  service_ = std::make_unique<hd::DetectorService>(opt.service);
+
+  for (int32_t w = 0; w < opt.workers; ++w) {
+    auto wk = std::make_unique<WorkerState>();
+    wk->epfd = epoll_create1(EPOLL_CLOEXEC);
+    wk->wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wk->epfd < 0 || wk->wake_fd < 0) {
+      throw std::runtime_error("NetServer: epoll/eventfd creation failed");
+    }
+    epoll_event ev{};
+    ev.data.fd = wk->wake_fd;
+    ev.events = EPOLLIN;
+    epoll_ctl(wk->epfd, EPOLL_CTL_ADD, wk->wake_fd, &ev);
+    impl_->workers.push_back(std::move(wk));
+  }
+  for (int32_t r = 0; r < opt.rings; ++r) {
+    auto slot = std::make_unique<RingSlot>();
+    slot->ring =
+        std::make_unique<simkit::MpmcRing<Apply>>(static_cast<size_t>(opt.ring_capacity));
+    impl_->rings.push_back(std::move(slot));
+  }
+
+  if (opt.listen) {
+    impl_->listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+    if (impl_->listen_fd < 0) {
+      throw std::runtime_error("NetServer: socket() failed");
+    }
+    int one = 1;
+    setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opt.port);
+    if (bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(impl_->listen_fd, 1024) != 0) {
+      close(impl_->listen_fd);
+      throw std::runtime_error("NetServer: bind/listen failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    impl_->accept_stop_fd = eventfd(0, EFD_CLOEXEC);
+  }
+
+  for (size_t w = 0; w < impl_->workers.size(); ++w) {
+    impl_->workers[w]->thread = std::thread([this, w] { impl_->WorkerLoop(w); });
+  }
+  for (size_t r = 0; r < impl_->rings.size(); ++r) {
+    impl_->rings[r]->thread = std::thread([this, r] { impl_->ApplierLoop(r); });
+  }
+  if (opt.listen) {
+    impl_->acceptor = std::thread([this] { impl_->AcceptorLoop(); });
+  }
+}
+
+NetServer::~NetServer() { Stop(); }
+
+void NetServer::AdoptConnection(int fd) {
+  live_connections_.fetch_add(1, std::memory_order_relaxed);
+  size_t w = impl_->next_worker.fetch_add(1) % impl_->workers.size();
+  {
+    std::lock_guard<std::mutex> lock(impl_->workers[w]->inbox_mu);
+    impl_->workers[w]->inbox.push_back(fd);
+  }
+  SignalEventFd(impl_->workers[w]->wake_fd);
+}
+
+void NetServer::BeginDrain() {
+  bool was = impl_->draining.exchange(true);
+  if (!was && impl_->acceptor.joinable()) {
+    SignalEventFd(impl_->accept_stop_fd);
+    impl_->acceptor.join();
+    close(impl_->listen_fd);
+    close(impl_->accept_stop_fd);
+    impl_->listen_fd = -1;
+  }
+  for (auto& wk : impl_->workers) {
+    SignalEventFd(wk->wake_fd);
+  }
+}
+
+bool NetServer::WaitIdle(int64_t timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (live_connections_.load() > 0 || impl_->inflight.load() > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+void NetServer::Stop() {
+  if (impl_->stopped) {
+    return;
+  }
+  impl_->stopped = true;
+  BeginDrain();
+  WaitIdle(10000);
+  impl_->stopping.store(true);
+  for (auto& wk : impl_->workers) {
+    SignalEventFd(wk->wake_fd);
+  }
+  for (auto& wk : impl_->workers) {
+    if (wk->thread.joinable()) {
+      wk->thread.join();
+    }
+  }
+  // Workers are gone: no further pushes. Let the appliers finish what is routed, then stop.
+  impl_->applier_stop.store(true);
+  for (auto& slot : impl_->rings) {
+    slot->items.release();
+  }
+  for (auto& slot : impl_->rings) {
+    if (slot->thread.joinable()) {
+      slot->thread.join();
+    }
+  }
+  for (auto& wk : impl_->workers) {
+    close(wk->epfd);
+    close(wk->wake_fd);
+  }
+}
+
+std::vector<NetSessionOutcome> NetServer::TakeResults() {
+  std::lock_guard<std::mutex> lock(impl_->results_mu);
+  std::vector<NetSessionOutcome> out;
+  out.swap(impl_->results);
+  return out;
+}
+
+}  // namespace netd

@@ -1,0 +1,143 @@
+// hangdoctord's network core: an epoll server that ingests HDSL wire streams from thousands
+// of connections into one shared DetectorService.
+//
+// Thread split (DESIGN.md section 3.9):
+//   acceptor          one thread on the listen socket; hands accepted fds to workers
+//                     round-robin (closed with a kBusy frame when max_connections is hit).
+//   epoll workers     `workers` threads, each owning an epoll set of whole connections:
+//                     level-triggered non-blocking reads into a FrameSplitter, HELLO
+//                     negotiation, MuxStreamDecoder, and the write side of every reply.
+//                     A connection lives on exactly one worker for its whole life.
+//   appliers          `rings` threads, each draining one bounded simkit::MpmcRing of
+//                     decoded records and applying them synchronously to the shared
+//                     DetectorService (disjoint sessions — the documented safe shape).
+//                     Records route by ShardOf(session, rings), so every session's records
+//                     traverse exactly one ring (pushed by its one worker, in stream order,
+//                     per-producer FIFO) and are applied by exactly one applier — the
+//                     end-to-end ordering that makes wire ingest bit-identical to the
+//                     per-job oracle at any {connections, workers, rings, shards}.
+//
+// Flow control: when a ring rejects a push, the worker parks the record, deletes EPOLLIN
+// for that connection (TCP backpressure — the peer's sends stall against its socket
+// buffer), and registers for a ring-space wakeup; nothing is dropped and read-side memory
+// stays bounded by one frame per connection.
+//
+// Admission: live open-header bytes are budgeted. An open that would exceed
+// `session_budget_bytes` is refused with a structured kBusy reply; the session is never
+// created and its subsequent records are dropped silently until its close frame.
+//
+// Drain: BeginDrain() stops accepting and reading, force-closes every in-flight session
+// through the rings (harvesting their results — "flush in-flight sessions"), flushes
+// replies, and closes. SIGTERM in hangdoctord maps to exactly this.
+#ifndef SRC_NETD_SERVER_H_
+#define SRC_NETD_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hangdoctor/detector_service.h"
+#include "src/telemetry/session.h"
+
+namespace netd {
+
+struct ServerOptions {
+  // Shared detector backend. `service.threads` must stay 0: the appliers are the ingest
+  // threads, driving the synchronous push API; a nonzero value throws.
+  hangdoctor::ServiceOptions service;
+  // Epoll worker threads (>= 1).
+  int32_t workers = 1;
+  // Applier threads / rings (>= 1); 0 resolves to `workers`.
+  int32_t rings = 0;
+  // Per-ring capacity in records (rounded up to a power of two by the ring).
+  int32_t ring_capacity = 1024;
+  // TCP listener. port 0 binds an ephemeral port (read it back via port()); listen = false
+  // skips the listener entirely — connections arrive only via AdoptConnection (the
+  // socketpair test shape).
+  bool listen = true;
+  uint16_t port = 0;
+  // Connection-level admission: accepts beyond this are answered kBusy(session 0) + close.
+  int32_t max_connections = 4096;
+  // Session-level admission: refuse opens once live open-header bytes (+ overhead each)
+  // would exceed this.
+  int64_t session_budget_bytes = 256ll << 20;
+  int64_t session_overhead_bytes = 4096;
+  // Per-frame size cap (wire.h FrameSplitter).
+  size_t max_frame_bytes = 8u << 20;
+  // Best-effort affinity: pin worker w to core w and applier a to core workers + a.
+  bool pin_workers = false;
+};
+
+// What one session left behind after traveling the wire.
+struct NetSessionOutcome {
+  telemetry::SessionId id{0};
+  // True when the session never reached a clean close: its connection disconnected or went
+  // into sticky protocol error mid-session, or the daemon drained first. The session was
+  // discarded, never merged — a torn neighbor cannot perturb anyone else's report.
+  bool aborted = false;
+  std::string stream_error;  // why, when aborted
+  hangdoctor::SessionResult result;  // harvested result; meaningful only when !aborted
+};
+
+struct ServerStats {
+  std::atomic<int64_t> connections_accepted{0};
+  std::atomic<int64_t> connections_rejected{0};
+  std::atomic<int64_t> frames_in{0};
+  std::atomic<int64_t> bytes_in{0};
+  std::atomic<int64_t> sessions_refused{0};
+  std::atomic<int64_t> sessions_aborted{0};
+  std::atomic<int64_t> sessions_closed{0};
+  std::atomic<int64_t> backpressure_pauses{0};
+  std::atomic<int64_t> protocol_errors{0};
+};
+
+class NetServer {
+ public:
+  explicit NetServer(const ServerOptions& options);
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // The bound port (listen = true only; valid after the constructor returns).
+  uint16_t port() const { return port_; }
+
+  // Hands an already-connected fd (e.g. one end of a socketpair) to a worker. The server
+  // owns the fd from here on.
+  void AdoptConnection(int fd);
+
+  // Stops accepting and reading, force-closes in-flight sessions, flushes replies and
+  // closes every connection. Idempotent; does not join threads.
+  void BeginDrain();
+
+  // BeginDrain + join everything. Idempotent; the destructor calls it.
+  void Stop();
+
+  // Outcomes of every session that closed (or aborted) so far. Barrier-free snapshot;
+  // callers quiesce first (WaitIdle or Stop).
+  std::vector<NetSessionOutcome> TakeResults();
+
+  // Blocks until no connection is live and every routed record has been applied, or
+  // `timeout_ms` elapses. Returns true on quiescence.
+  bool WaitIdle(int64_t timeout_ms);
+
+  size_t live_sessions() const { return service_->live_sessions(); }
+  int64_t live_connections() const { return live_connections_.load(); }
+  int64_t live_session_bytes() const { return live_session_bytes_.load(); }
+  const ServerStats& stats() const { return stats_; }
+  hangdoctor::DetectorService& service() { return *service_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<hangdoctor::DetectorService> service_;
+  std::atomic<int64_t> live_connections_{0};
+  std::atomic<int64_t> live_session_bytes_{0};
+  ServerStats stats_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace netd
+
+#endif  // SRC_NETD_SERVER_H_

@@ -1,0 +1,229 @@
+#include "src/netd/wire.h"
+
+#include <cstring>
+
+namespace netd {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'D', 'S', 'L'};
+}  // namespace
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(value) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(static_cast<uint8_t>(value)));
+}
+
+bool GetVarint(const std::string& data, size_t* pos, uint64_t* value) {
+  *value = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    auto byte = static_cast<uint8_t>(data[(*pos)++]);
+    *value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return true;
+    }
+    shift += 7;
+    if (shift >= 64) {
+      return false;
+    }
+  }
+  return false;
+}
+
+void PutString(std::string* out, const std::string& value) {
+  PutVarint(out, value.size());
+  out->append(value);
+}
+
+bool GetString(const std::string& data, size_t* pos, std::string* value) {
+  uint64_t size = 0;
+  if (!GetVarint(data, pos, &size)) {
+    return false;
+  }
+  if (size > data.size() - *pos) {
+    return false;
+  }
+  value->assign(data, *pos, size);
+  *pos += size;
+  return true;
+}
+
+void AppendFrame(std::string* out, const std::string& payload) {
+  PutVarint(out, payload.size());
+  out->append(payload);
+}
+
+std::string BuildHello(uint32_t version) {
+  std::string payload(kMagic, sizeof(kMagic));
+  PutVarint(&payload, version);
+  return payload;
+}
+
+bool ParseHello(const std::string& payload, uint32_t* version, std::string* error) {
+  if (payload.size() < sizeof(kMagic) ||
+      std::memcmp(payload.data(), kMagic, sizeof(kMagic)) != 0) {
+    *error = "hello: bad magic";
+    return false;
+  }
+  size_t pos = sizeof(kMagic);
+  uint64_t value = 0;
+  if (!GetVarint(payload, &pos, &value) || pos != payload.size()) {
+    *error = "hello: malformed version";
+    return false;
+  }
+  *version = static_cast<uint32_t>(value);
+  return true;
+}
+
+std::string BuildHelloOk(uint32_t version) {
+  std::string payload(1, static_cast<char>(ReplyTag::kHelloOk));
+  PutVarint(&payload, version);
+  return payload;
+}
+
+std::string BuildBusy(uint64_t session_id, uint64_t live_bytes, uint64_t budget_bytes) {
+  std::string payload(1, static_cast<char>(ReplyTag::kBusy));
+  PutVarint(&payload, session_id);
+  PutVarint(&payload, live_bytes);
+  PutVarint(&payload, budget_bytes);
+  return payload;
+}
+
+std::string BuildSessionClosed(uint64_t session_id, bool stream_ok, uint64_t report_entries,
+                               const std::string& stream_error) {
+  std::string payload(1, static_cast<char>(ReplyTag::kSessionClosed));
+  PutVarint(&payload, session_id);
+  payload.push_back(stream_ok ? '\1' : '\0');
+  PutVarint(&payload, report_entries);
+  PutString(&payload, stream_error);
+  return payload;
+}
+
+std::string BuildError(const std::string& message) {
+  std::string payload(1, static_cast<char>(ReplyTag::kError));
+  PutString(&payload, message);
+  return payload;
+}
+
+std::string BuildBye(uint64_t sessions_closed) {
+  std::string payload(1, static_cast<char>(ReplyTag::kBye));
+  PutVarint(&payload, sessions_closed);
+  return payload;
+}
+
+bool ParseReply(const std::string& payload, Reply* reply, std::string* error) {
+  if (payload.empty()) {
+    *error = "reply: empty payload";
+    return false;
+  }
+  *reply = Reply{};
+  reply->tag = static_cast<ReplyTag>(static_cast<uint8_t>(payload[0]));
+  size_t pos = 1;
+  uint64_t value = 0;
+  bool ok = true;
+  switch (reply->tag) {
+    case ReplyTag::kHelloOk:
+      ok = GetVarint(payload, &pos, &value);
+      reply->version = static_cast<uint32_t>(value);
+      break;
+    case ReplyTag::kBusy:
+      ok = GetVarint(payload, &pos, &reply->session_id) &&
+           GetVarint(payload, &pos, &reply->live_bytes) &&
+           GetVarint(payload, &pos, &reply->budget_bytes);
+      break;
+    case ReplyTag::kSessionClosed:
+      ok = GetVarint(payload, &pos, &reply->session_id);
+      if (ok && pos < payload.size()) {
+        reply->stream_ok = payload[pos++] != '\0';
+      } else {
+        ok = false;
+      }
+      ok = ok && GetVarint(payload, &pos, &reply->report_entries) &&
+           GetString(payload, &pos, &reply->message);
+      break;
+    case ReplyTag::kError:
+      ok = GetString(payload, &pos, &reply->message);
+      break;
+    case ReplyTag::kBye:
+      ok = GetVarint(payload, &pos, &reply->sessions_closed);
+      break;
+    default:
+      *error = "reply: unknown tag " + std::to_string(static_cast<int>(reply->tag));
+      return false;
+  }
+  if (!ok || pos != payload.size()) {
+    *error = "reply: malformed payload";
+    return false;
+  }
+  return true;
+}
+
+bool FrameSplitter::Fail(const std::string& message) {
+  if (ok_) {
+    ok_ = false;
+    error_ = message;
+  }
+  return false;
+}
+
+bool FrameSplitter::Feed(const char* data, size_t size) {
+  if (!ok_) {
+    return false;
+  }
+  // Reclaim the consumed prefix before it grows without bound (steady state keeps the
+  // buffer under one frame + one read chunk).
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+  return true;
+}
+
+bool FrameSplitter::Next(std::string* payload) {
+  if (!ok_) {
+    return false;
+  }
+  size_t pos = consumed_;
+  uint64_t length = 0;
+  // Decode the length varint by hand so an incomplete prefix is "wait for more bytes" but a
+  // runaway varint or oversized length is a hard (sticky) error.
+  int shift = 0;
+  bool complete = false;
+  while (pos < buffer_.size()) {
+    auto byte = static_cast<uint8_t>(buffer_[pos++]);
+    length |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      complete = true;
+      break;
+    }
+    shift += 7;
+    if (shift >= 64) {
+      return Fail("frame length varint overflow");
+    }
+  }
+  if (!complete) {
+    return false;  // length prefix still arriving
+  }
+  if (length == 0) {
+    return Fail("zero-length frame");
+  }
+  if (length > max_frame_bytes_) {
+    return Fail("frame length " + std::to_string(length) + " exceeds cap " +
+                std::to_string(max_frame_bytes_));
+  }
+  if (length > buffer_.size() - pos) {
+    return false;  // payload still arriving
+  }
+  payload->assign(buffer_, pos, length);
+  consumed_ = pos + static_cast<size_t>(length);
+  return true;
+}
+
+}  // namespace netd

@@ -1,0 +1,118 @@
+// The hangdoctord wire protocol: length-prefixed HDSL framing over a byte stream.
+//
+// Every frame, both directions, is `varint length` followed by exactly `length` payload
+// bytes. A zero length is invalid, and a length above the negotiated cap is rejected before
+// any payload is buffered — a 4-terabyte length varint must not allocate 4 terabytes.
+//
+// Client → server:
+//   frame 0        HELLO: the HDSL magic "HDSL" + varint wire version. The daemon accepts
+//                  versions 3 and 4 (the v3 container grammar is identical; 4 announces the
+//                  async-capable v4 record vocabulary) and echoes the version in kHelloOk.
+//   frames 1..N    each payload is exactly one HDSL v3 mux-container frame (tag byte +
+//                  fields, src/hosts/mux_log.h grammar): kOpenSession / kRecord /
+//                  kCloseSession / kEpochPublish, and finally kEnd — the BYE. Invariant:
+//                  "HDSL" + varint version + the concatenated payloads of frames 1..N is a
+//                  byte-valid v3 container, which is what makes wire ingest replayable by
+//                  the same grammar the on-disk container uses.
+//
+// Server → client: one reply frame per event, payload = tag byte + fields:
+//   kHelloOk       varint version — HELLO accepted.
+//   kBusy          varint session_id (0 = the connection itself was refused), varint
+//                  live_arena_bytes, varint budget_bytes — admission control rejected the
+//                  open; the session does not exist, its later records are dropped.
+//   kSessionClosed varint session_id, byte stream_ok, varint report_entries, string
+//                  stream_error — the session's close was applied and its result harvested.
+//   kError         string message — sticky protocol error; the daemon stops reading,
+//                  discards the connection's live sessions as aborted, flushes, and closes.
+//   kBye           varint sessions_closed — every apply for this connection has landed
+//                  (sent in response to the container kEnd frame, or at drain).
+#ifndef SRC_NETD_WIRE_H_
+#define SRC_NETD_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace netd {
+
+inline constexpr uint32_t kWireVersionMin = 3;
+inline constexpr uint32_t kWireVersionMax = 4;
+inline constexpr size_t kDefaultMaxFrameBytes = 8u << 20;
+
+enum class ReplyTag : uint8_t {
+  kHelloOk = 1,
+  kBusy = 2,
+  kSessionClosed = 3,
+  kError = 4,
+  kBye = 5,
+};
+
+// Low-level encoders, shared by both ends (LEB128, length-prefixed strings — the HDSL
+// encoding, so a wire frame is bytes the container grammar already speaks).
+void PutVarint(std::string* out, uint64_t value);
+bool GetVarint(const std::string& data, size_t* pos, uint64_t* value);
+void PutString(std::string* out, const std::string& value);
+bool GetString(const std::string& data, size_t* pos, std::string* value);
+
+// Appends `varint payload.size()` + payload to `out`.
+void AppendFrame(std::string* out, const std::string& payload);
+
+// HELLO payload ("HDSL" + varint version).
+std::string BuildHello(uint32_t version);
+bool ParseHello(const std::string& payload, uint32_t* version, std::string* error);
+
+// Server reply payloads.
+std::string BuildHelloOk(uint32_t version);
+std::string BuildBusy(uint64_t session_id, uint64_t live_bytes, uint64_t budget_bytes);
+std::string BuildSessionClosed(uint64_t session_id, bool stream_ok, uint64_t report_entries,
+                               const std::string& stream_error);
+std::string BuildError(const std::string& message);
+std::string BuildBye(uint64_t sessions_closed);
+
+// One decoded server reply (client side).
+struct Reply {
+  ReplyTag tag = ReplyTag::kError;
+  uint64_t session_id = 0;      // kBusy, kSessionClosed
+  uint32_t version = 0;         // kHelloOk
+  uint64_t live_bytes = 0;      // kBusy
+  uint64_t budget_bytes = 0;    // kBusy
+  bool stream_ok = true;        // kSessionClosed
+  uint64_t report_entries = 0;  // kSessionClosed
+  uint64_t sessions_closed = 0; // kBye
+  std::string message;          // kError / kSessionClosed.stream_error
+};
+bool ParseReply(const std::string& payload, Reply* reply, std::string* error);
+
+// Incremental frame reassembly: feed arbitrary byte chunks, pop complete payloads. The
+// error state is sticky — after an oversized or malformed length, every further Feed/Next
+// fails, which is the per-connection "sticky reject" the protocol battery pins.
+class FrameSplitter {
+ public:
+  explicit FrameSplitter(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  // Appends raw bytes from the stream. Returns false once the splitter is in error.
+  bool Feed(const char* data, size_t size);
+
+  // Pops the next complete frame payload into `payload`. Returns false when no complete
+  // frame is buffered (or the splitter is in error — check ok() to distinguish).
+  bool Next(std::string* payload);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  // Bytes buffered but not yet returned (bounded by max_frame_bytes + the length prefix).
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  bool Fail(const std::string& message);
+
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already returned
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace netd
+
+#endif  // SRC_NETD_WIRE_H_

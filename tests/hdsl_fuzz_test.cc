@@ -29,6 +29,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include "src/faultsim/hdsl_mutator.h"
 #include "src/faultsim/stream_gen.h"
 #include "src/hangdoctor/detector_core.h"
@@ -36,6 +38,10 @@
 #include "src/hosts/mux_log.h"
 #include "src/hosts/replay_host.h"
 #include "src/hosts/session_log.h"
+#include "src/netd/client.h"
+#include "src/netd/record_codec.h"
+#include "src/netd/server.h"
+#include "src/netd/wire.h"
 #include "src/simkit/rng.h"
 
 namespace {
@@ -267,6 +273,80 @@ TEST(HdslMuxFuzzTest, SeededMuxMutantsNeverCrashAndFailuresAreSticky) {
   }
   EXPECT_EQ(parsed + rejected, iters);
   EXPECT_GT(rejected, 0) << "mutations are too gentle to test the demuxer";
+}
+
+TEST(NetdWireFuzzTest, SeededWireMutantsParseOrStickyRejectNeverCrash) {
+  // Pristine wire stream: HELLO + every frame of a container holding the session corpus —
+  // the same bytes a healthy loadgen would send, with the offset of each frame's length
+  // prefix recorded for the wire mutator.
+  std::vector<std::string> files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  std::vector<std::string> logs;
+  std::vector<hangdoctor::SessionLogSlice> sessions;
+  for (const std::string& path : files) {
+    logs.push_back(FileBytes(path));
+  }
+  for (size_t i = 0; i < logs.size(); ++i) {
+    sessions.push_back({telemetry::SessionId{i + 1}, logs[i]});
+  }
+  std::string container, error;
+  ASSERT_TRUE(hangdoctor::MuxSessionLogs(sessions, {}, &container, &error)) << error;
+  std::vector<std::string> frames;
+  ASSERT_TRUE(netd::ContainerToWireFrames(container, &frames, &error)) << error;
+  std::string stream;
+  std::vector<size_t> frame_offsets;
+  frame_offsets.push_back(stream.size());
+  netd::AppendFrame(&stream, netd::BuildHello(4));
+  for (const std::string& frame : frames) {
+    frame_offsets.push_back(stream.size());
+    netd::AppendFrame(&stream, frame);
+  }
+
+  // One long-lived server ingests every mutant over a fresh socketpair connection. Under
+  // the CI fuzz-smoke leg this whole loop runs with ASan/UBSan watching the daemon side.
+  netd::ServerOptions options;
+  options.listen = false;
+  options.workers = 1;
+  options.rings = 1;
+  options.service.shards = 2;
+  netd::NetServer server(options);
+
+  const int64_t iters = std::max<int64_t>(FuzzIters() / 20, 100);
+  simkit::Rng rng(FuzzSeed(), /*stream=*/0x6e657464ULL);
+  std::map<std::string, int64_t> by_family;
+  int64_t sticky_rejects = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    faultsim::WireMutation applied;
+    std::string mutant = faultsim::MutateWireStream(stream, frame_offsets, rng, &applied);
+    ++by_family[faultsim::WireMutationName(applied)];
+
+    int sv[2] = {-1, -1};
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    server.AdoptConnection(sv[0]);
+    netd::NetClient client;
+    client.Adopt(sv[1]);
+    client.SendRaw(mutant);  // a served sticky reject may close mid-write; that's the point
+    client.ShutdownWrite();
+    netd::Reply reply;
+    while (client.ReadReply(&reply)) {
+      if (reply.tag == netd::ReplyTag::kError) {
+        EXPECT_FALSE(reply.message.empty()) << "iter " << i << " family "
+                                            << faultsim::WireMutationName(applied);
+        ++sticky_rejects;
+      }
+    }
+    client.Close();
+  }
+  // Every connection either drained or aborted; nothing survives, nothing leaks.
+  ASSERT_TRUE(server.WaitIdle(60000));
+  EXPECT_EQ(server.live_sessions(), 0u);
+  EXPECT_EQ(server.live_session_bytes(), 0);
+  server.Stop();
+  EXPECT_GT(sticky_rejects + server.stats().sessions_aborted.load(), 0)
+      << "wire mutations are too gentle to test the daemon";
+  if (iters >= 100) {
+    EXPECT_EQ(by_family.size(), static_cast<size_t>(faultsim::kNumWireMutations));
+  }
 }
 
 // Legal Figure 3 transitions under the default two-phase config (plus the degraded

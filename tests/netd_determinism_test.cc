@@ -1,0 +1,192 @@
+// End-to-end wire determinism (DESIGN.md section 3.9): the 16-app study fleet is recorded
+// once, replayed through a live hangdoctord NetServer by the loadgen over every
+// {connections} x {workers} topology, and each session's harvested report must be
+// bit-identical (Render string equality) to the RunFleet per-job oracle — the same contract
+// service_test enforces in-process, extended across real sockets, framing, epoll workers,
+// rings, and appliers. With chaos on, the plan-chosen disconnected connections abort their
+// in-flight sessions while every session on a calm connection still matches the oracle
+// exactly: a torn neighbor never perturbs anyone else's report.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hangdoctor/detector_service.h"
+#include "src/netd/loadgen.h"
+#include "src/netd/server.h"
+#include "src/workload/catalog.h"
+#include "src/workload/fleet.h"
+
+namespace {
+
+const workload::Catalog& SharedCatalog() {
+  static const workload::Catalog* catalog = new workload::Catalog();
+  return *catalog;
+}
+
+std::string TempDir() {
+  // Per-process: ctest runs each case as its own process, in parallel — a shared directory
+  // would race one case's record against another's read.
+  std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                              ("hd_netd_determinism_" + std::to_string(getpid()));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+struct RecordedFleet {
+  workload::FleetSummary oracle;                       // per-job (service = false) results
+  std::vector<std::string> logs;                       // recorded HDSL bytes, job order
+  std::vector<hangdoctor::SessionLogSlice> sessions;   // id = job index + 1, views into logs
+};
+
+// Records the study fleet once; every topology below replays the same bytes.
+const RecordedFleet& Fleet() {
+  static const RecordedFleet* fleet = [] {
+    auto* f = new RecordedFleet();
+    const workload::Catalog& catalog = SharedCatalog();
+    std::string dir = TempDir();
+    std::vector<workload::FleetJob> jobs;
+    for (const droidsim::AppSpec* spec : catalog.study_apps()) {
+      workload::FleetJob job;
+      job.spec = spec;
+      job.profile = droidsim::LgV10();
+      job.seed = workload::FleetSeed(4242, jobs.size());
+      job.session = simkit::Seconds(30);
+      job.device_id = static_cast<int32_t>(jobs.size() % 4);
+      job.record_path = dir + "/job_" + std::to_string(jobs.size()) + ".hdsl";
+      jobs.push_back(job);
+    }
+    f->oracle = workload::RunFleet(jobs, {.jobs = 2, .service = false});
+    EXPECT_EQ(f->oracle.failed, 0u);
+    for (const auto& job : jobs) {
+      std::ifstream in(job.record_path, std::ios::binary);
+      f->logs.emplace_back(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+      EXPECT_FALSE(f->logs.back().empty()) << job.record_path;
+    }
+    for (size_t i = 0; i < f->logs.size(); ++i) {
+      f->sessions.push_back({telemetry::SessionId{i + 1}, f->logs[i]});
+    }
+    return f;
+  }();
+  return *fleet;
+}
+
+netd::ServerOptions Topology(int32_t workers) {
+  netd::ServerOptions options;
+  options.workers = workers;
+  options.rings = workers;
+  options.service.shards = 4;
+  return options;
+}
+
+// A harvested session must equal its oracle job bit for bit. Render(4) covers entry order,
+// counts, scores, and culprit frames; stream health must be clean too.
+void ExpectMatchesOracle(const netd::NetSessionOutcome& outcome, const std::string& label) {
+  const RecordedFleet& fleet = Fleet();
+  ASSERT_GE(outcome.id.value, 1u) << label;
+  ASSERT_LE(outcome.id.value, fleet.oracle.jobs.size()) << label;
+  const workload::FleetJobResult& oracle = fleet.oracle.jobs[outcome.id.value - 1];
+  EXPECT_TRUE(outcome.result.stream_ok) << label << ": " << outcome.result.stream_error;
+  EXPECT_EQ(outcome.result.report.Render(4), oracle.report.Render(4))
+      << label << " session " << outcome.id.value << " (" << oracle.app_package << ")";
+}
+
+TEST(NetdDeterminismTest, WireIngestMatchesOracleAtEveryTopology) {
+  const RecordedFleet& fleet = Fleet();
+  std::string oracle_merged = fleet.oracle.merged_report.Render(4);
+  for (int32_t connections : {1, 8, 64}) {
+    for (int32_t workers : {1, 4}) {
+      std::string label = "connections=" + std::to_string(connections) +
+                          " workers=" + std::to_string(workers);
+      netd::NetServer server(Topology(workers));
+      netd::LoadGenOptions options;
+      options.connections = connections;
+      netd::LoadGenResult result = netd::RunLoadGen(server.port(), fleet.sessions, options);
+      for (const auto& conn : result.connections) {
+        EXPECT_TRUE(conn.completed) << label << ": " << conn.error;
+      }
+      EXPECT_EQ(result.busy, 0) << label;
+      EXPECT_EQ(result.errors, 0) << label;
+      server.Stop();
+
+      std::vector<netd::NetSessionOutcome> outcomes = server.TakeResults();
+      ASSERT_EQ(outcomes.size(), fleet.sessions.size()) << label;
+      std::vector<hangdoctor::SessionResult> closed;
+      for (auto& outcome : outcomes) {
+        ASSERT_FALSE(outcome.aborted) << label << ": " << outcome.stream_error;
+        ExpectMatchesOracle(outcome, label);
+        closed.push_back(std::move(outcome.result));
+      }
+      std::sort(closed.begin(), closed.end(),
+                [](const auto& a, const auto& b) { return a.id.value < b.id.value; });
+      EXPECT_EQ(hangdoctor::MergeSessionReports(closed).Render(4), oracle_merged) << label;
+      EXPECT_EQ(server.live_sessions(), 0u) << label;
+      EXPECT_EQ(server.live_session_bytes(), 0) << label;
+    }
+  }
+}
+
+TEST(NetdDeterminismTest, ChaosDisconnectsAbortWithoutPerturbingNeighbors) {
+  const RecordedFleet& fleet = Fleet();
+  for (uint64_t seed : {7u, 19u}) {
+    std::string label = "chaos seed=" + std::to_string(seed);
+    netd::NetServer server(Topology(4));
+    netd::LoadGenOptions options;
+    options.connections = 8;
+    options.chaos = true;
+    options.seed = seed;
+    netd::LoadGenResult result = netd::RunLoadGen(server.port(), fleet.sessions, options);
+    server.Stop();
+
+    // Which sessions rode a chaos-dropped connection? Only those may abort.
+    std::unordered_set<uint64_t> on_chaos;
+    size_t chaos_connections = 0;
+    for (const auto& conn : result.connections) {
+      if (conn.chaos_disconnect) {
+        ++chaos_connections;
+        on_chaos.insert(conn.sessions.begin(), conn.sessions.end());
+      } else {
+        EXPECT_TRUE(conn.completed) << label << ": " << conn.error;
+      }
+    }
+
+    std::vector<netd::NetSessionOutcome> outcomes = server.TakeResults();
+    ASSERT_EQ(outcomes.size(), fleet.sessions.size()) << label;
+    size_t aborted = 0;
+    for (const auto& outcome : outcomes) {
+      if (outcome.aborted) {
+        ++aborted;
+        EXPECT_TRUE(on_chaos.count(outcome.id.value))
+            << label << ": calm session " << outcome.id.value << " aborted: "
+            << outcome.stream_error;
+        EXPECT_FALSE(outcome.stream_error.empty()) << label;
+      } else {
+        // Closed cleanly — whether on a calm connection or before its chaos cut — so it
+        // must still match the oracle bit for bit.
+        ExpectMatchesOracle(outcome, label);
+      }
+    }
+    // The seeds are chosen so both populations exist; if a regression made chaos a no-op
+    // (or drop everything), this notices.
+    EXPECT_GT(chaos_connections, 0u) << label;
+    EXPECT_LT(chaos_connections, result.connections.size()) << label;
+    EXPECT_GT(aborted, 0u) << label;
+    EXPECT_LT(aborted, outcomes.size()) << label;
+    // Nothing leaks: every aborted session was discarded, every budget byte released.
+    EXPECT_EQ(server.live_sessions(), 0u) << label;
+    EXPECT_EQ(server.live_session_bytes(), 0) << label;
+    EXPECT_EQ(server.stats().sessions_aborted.load(), static_cast<int64_t>(aborted)) << label;
+  }
+}
+
+}  // namespace

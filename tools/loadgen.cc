@@ -1,0 +1,130 @@
+// loadgen: replays recorded HDSL session logs against a running hangdoctord.
+//
+// Usage:
+//   loadgen --port=N [--dir=PATH | --file=LOG ...] [--connections=N] [--sessions=N]
+//           [--rate=F] [--chunk=N] [--chaos] [--seed=N]
+//
+// --dir collects every *.hdsl file under PATH (sorted by name, session ids 1..N in that
+// order); --file names logs explicitly. --sessions repeats the collected logs round-robin
+// until N sessions exist (fresh ids), which is how a handful of recorded logs load-tests a
+// thousand-session fleet. --chaos enables the seeded disconnect/torn-frame plan.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "src/hosts/mux_log.h"
+#include "src/netd/loadgen.h"
+
+namespace {
+
+int64_t FlagValue(int argc, char** argv, const char* prefix, int64_t fallback) {
+  size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      return std::strtoll(argv[i] + len, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const char* prefix, double fallback) {
+  size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      return std::strtod(argv[i] + len, nullptr);
+    }
+  }
+  return fallback;
+}
+
+bool ReadFile(const std::string& path, std::string* bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  bytes->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto port = static_cast<uint16_t>(FlagValue(argc, argv, "--port=", 0));
+  if (port == 0) {
+    std::fprintf(stderr, "loadgen: --port=N is required\n");
+    return 2;
+  }
+
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--file=", 7) == 0) {
+      paths.emplace_back(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      std::filesystem::path dir(argv[i] + 6);
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".hdsl") {
+          paths.push_back(entry.path().string());
+        }
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "loadgen: no session logs (--dir=PATH or --file=LOG)\n");
+    return 2;
+  }
+
+  std::vector<std::string> logs(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    if (!ReadFile(paths[i], &logs[i])) {
+      std::fprintf(stderr, "loadgen: cannot read %s\n", paths[i].c_str());
+      return 2;
+    }
+  }
+
+  auto want = static_cast<size_t>(
+      FlagValue(argc, argv, "--sessions=", static_cast<int64_t>(logs.size())));
+  std::vector<hangdoctor::SessionLogSlice> sessions;
+  sessions.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    sessions.push_back({telemetry::SessionId{i + 1}, logs[i % logs.size()]});
+  }
+
+  netd::LoadGenOptions options;
+  options.connections = static_cast<int32_t>(FlagValue(argc, argv, "--connections=", 1));
+  options.rate = FlagDouble(argc, argv, "--rate=", 0.0);
+  options.chunk = static_cast<size_t>(FlagValue(argc, argv, "--chunk=", 0));
+  options.seed = static_cast<uint64_t>(FlagValue(argc, argv, "--seed=", 1));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) {
+      options.chaos = true;
+    }
+  }
+
+  netd::LoadGenResult result = netd::RunLoadGen(port, sessions, options);
+  size_t completed = 0, chaos_dropped = 0, failed = 0;
+  for (const auto& conn : result.connections) {
+    if (conn.completed) {
+      ++completed;
+    } else if (conn.chaos_disconnect) {
+      ++chaos_dropped;
+    } else if (!conn.error.empty()) {
+      ++failed;
+      std::fprintf(stderr, "loadgen: connection error: %s\n", conn.error.c_str());
+    }
+  }
+  std::printf(
+      "loadgen: %zu sessions over %zu connections: %zu completed, %zu chaos-dropped, "
+      "%zu failed; %lld closed, %lld busy, %lld errors\n",
+      sessions.size(), result.connections.size(), completed, chaos_dropped, failed,
+      static_cast<long long>(result.sessions_closed), static_cast<long long>(result.busy),
+      static_cast<long long>(result.errors));
+  return failed == 0 ? 0 : 1;
+}
