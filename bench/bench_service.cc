@@ -22,6 +22,13 @@
 // connections sweep (up to 1024 concurrent connections) — measuring wire-ingest
 // sessions/s and resident memory per concurrency level. Emitted as `net_axis` in the JSON
 // and gated by scripts/check_bench_json.py --net.
+//
+// Fifth axis (`--fleet`, opt-in): the same recorded sessions through the distributed
+// coordinator/worker shard group (src/fleetd) at workers ∈ {1, 2, 4} — each worker an
+// embedded NetServer + DetectorService behind a socketpair, the coordinator routing every
+// frame by session-id range — measuring routed throughput as the group widens and
+// asserting the merged report stays byte-identical across worker counts (the distributed
+// determinism contract). Emitted as `fleet_axis`, gated by check_bench_json.py --fleet.
 #include <sys/resource.h>
 #include <unistd.h>
 
@@ -32,6 +39,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +53,7 @@
 #include "src/netd/loadgen.h"
 #include "src/netd/server.h"
 #include "src/workload/catalog.h"
+#include "src/workload/distributed_fleet.h"
 #include "src/workload/experiment.h"
 #include "src/workload/fleet.h"
 
@@ -314,13 +323,56 @@ NetLevelResult RunNetLevel(int32_t connections, const std::string& donor_log,
   return result;
 }
 
+struct FleetLevelResult {
+  int32_t workers = 0;
+  size_t sessions = 0;
+  int64_t frames_routed = 0;
+  double seconds = 0.0;
+  double sessions_per_sec = 0.0;
+  double frames_per_sec = 0.0;
+  size_t aborted = 0;
+  bool report_identical = false;  // merged report matches the workers=1 reference run
+  double rss_mb = 0.0;
+};
+
+// One point of the `--fleet` sweep: the donor log replicated into `sessions` sessions and
+// streamed through a fresh shard group of `workers` in-process worker daemons. The caller
+// compares each run's merged report against the workers=1 reference.
+FleetLevelResult RunFleetLevel(int32_t workers,
+                               std::span<const hangdoctor::SessionLogSlice> slices,
+                               std::string* rendered) {
+  workload::DistributedFleetOptions options;
+  options.workers = workers;
+  auto start = std::chrono::steady_clock::now();
+  workload::DistributedFleetResult run =
+      workload::RunDistributedFleetFromLogs(slices, options);
+
+  FleetLevelResult result;
+  result.workers = workers;
+  result.sessions = slices.size();
+  result.frames_routed = run.frames_routed;
+  result.seconds = Seconds(start);
+  result.sessions_per_sec = static_cast<double>(slices.size()) / result.seconds;
+  result.frames_per_sec = static_cast<double>(run.frames_routed) / result.seconds;
+  for (const netd::NetSessionOutcome& outcome : run.outcomes) {
+    result.aborted += outcome.aborted ? 1 : 0;
+  }
+  *rendered = run.merged.Render(static_cast<int32_t>(slices.size()));
+  result.rss_mb = ResidentMb();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool net = false;
+  bool fleet = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--net") == 0) {
       net = true;
+    }
+    if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet = true;
     }
   }
   const bool smoke = bench::SmokeRun();
@@ -488,9 +540,8 @@ int main(int argc, char** argv) {
   // 2 * connections live sessions behind `connections` sockets.
   std::vector<NetLevelResult> net_levels;
   std::vector<int32_t> net_axis;
-  if (net) {
-    net_axis = smoke ? std::vector<int32_t>{8, 32, 128}
-                     : std::vector<int32_t>{64, 256, 1024};
+  std::string donor_log;  // recorded once, shared by the net and fleet axes
+  if (net || fleet) {
     std::filesystem::path net_dir =
         std::filesystem::temp_directory_path() / "hd_bench_service_net";
     std::filesystem::create_directories(net_dir);
@@ -502,13 +553,17 @@ int main(int argc, char** argv) {
     donor_job.record_path = (net_dir / "donor.hdsl").string();
     workload::FleetJobResult donor_result = workload::RunFleetJob(donor_job);
     if (!donor_result.ok || !donor_result.record_ok) {
-      std::fprintf(stderr, "net donor recording failed: %s%s\n",
+      std::fprintf(stderr, "donor recording failed: %s%s\n",
                    donor_result.error.c_str(), donor_result.record_error.c_str());
       return 1;
     }
     std::ifstream donor_in(donor_job.record_path, std::ios::binary);
-    std::string donor_log{std::istreambuf_iterator<char>(donor_in),
-                          std::istreambuf_iterator<char>()};
+    donor_log.assign(std::istreambuf_iterator<char>(donor_in),
+                     std::istreambuf_iterator<char>());
+  }
+  if (net) {
+    net_axis = smoke ? std::vector<int32_t>{8, 32, 128}
+                     : std::vector<int32_t>{64, 256, 1024};
     const int32_t net_workers = static_cast<int32_t>(std::min(4u, threads));
     std::printf("\nnet axis (--net): loopback hangdoctord ingest, %d epoll workers, "
                 "%zu-byte donor log, 2 sessions per connection\n",
@@ -522,6 +577,40 @@ int main(int argc, char** argv) {
                   static_cast<long long>(result.busy),
                   static_cast<long long>(result.errors), result.rss_mb);
       net_levels.push_back(result);
+    }
+  }
+
+  // Fleet axis (--fleet): the donor sessions through the coordinator/worker shard group,
+  // swept over the worker count. Every run must fold the same merged report — the workers=1
+  // run is the reference — so the axis tracks both distributed throughput and the
+  // determinism contract the distributed fleet is built on.
+  std::vector<FleetLevelResult> fleet_levels;
+  std::vector<int32_t> fleet_axis;
+  if (fleet) {
+    fleet_axis = {1, 2, 4};
+    const size_t fleet_sessions = smoke ? 16 : 64;
+    std::vector<hangdoctor::SessionLogSlice> fleet_slices;
+    fleet_slices.reserve(fleet_sessions);
+    for (size_t i = 0; i < fleet_sessions; ++i) {
+      fleet_slices.push_back({telemetry::SessionId{i + 1}, donor_log});
+    }
+    std::printf("\nfleet axis (--fleet): coordinator/worker shard group, %zu sessions, "
+                "%zu-byte donor log\n",
+                fleet_sessions, donor_log.size());
+    std::string reference;
+    for (int32_t workers : fleet_axis) {
+      std::string rendered;
+      FleetLevelResult result = RunFleetLevel(workers, fleet_slices, &rendered);
+      if (workers == fleet_axis.front()) {
+        reference = rendered;
+      }
+      result.report_identical = rendered == reference;
+      std::printf("workers=%-2d  %8.3f s  %10.1f sessions/s  %12.0f frames/s  "
+                  "%zu aborted  report %s  rss %.1f MB\n",
+                  result.workers, result.seconds, result.sessions_per_sec,
+                  result.frames_per_sec, result.aborted,
+                  result.report_identical ? "identical" : "DIVERGED", result.rss_mb);
+      fleet_levels.push_back(result);
     }
   }
 
@@ -594,6 +683,22 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r.sessions_closed),
                    static_cast<long long>(r.busy), static_cast<long long>(r.errors),
                    r.rss_mb, i + 1 < net_levels.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+  }
+  if (fleet) {
+    std::fprintf(json, "  \"fleet_axis\": [\n");
+    for (size_t i = 0; i < fleet_levels.size(); ++i) {
+      const FleetLevelResult& r = fleet_levels[i];
+      std::fprintf(json,
+                   "    {\"workers\": %d, \"sessions\": %zu, \"frames_routed\": %lld, "
+                   "\"seconds\": %.3f, \"sessions_per_sec\": %.2f, "
+                   "\"frames_per_sec\": %.0f, \"aborted\": %zu, "
+                   "\"report_identical\": %s, \"rss_mb\": %.1f}%s\n",
+                   r.workers, r.sessions, static_cast<long long>(r.frames_routed),
+                   r.seconds, r.sessions_per_sec, r.frames_per_sec, r.aborted,
+                   r.report_identical ? "true" : "false", r.rss_mb,
+                   i + 1 < fleet_levels.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n");
   }

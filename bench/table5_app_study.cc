@@ -11,6 +11,8 @@
 // 23 of which (68%) are missed by the offline detector because their root causes are
 // previously unknown blocking APIs or self-developed operations. (Developer confirmations —
 // 62% in the paper — require real issue trackers and are out of scope here.)
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -24,8 +26,10 @@
 #include "bench/smoke.h"
 #include "src/baselines/offline_scanner.h"
 #include "src/faultsim/fault_plan.h"
+#include "src/faultsim/fleet_faults.h"
 #include "src/hangdoctor/stream_guard.h"
 #include "src/hosts/hang_doctor.h"
+#include "src/workload/distributed_fleet.h"
 #include "src/workload/experiment.h"
 #include "src/workload/fleet.h"
 
@@ -56,7 +60,9 @@ int main(int argc, char** argv) {
   // loudly with the valid spellings instead of silently running the default study.
   static const char* const kValueFlags[] = {"--fleet-scale=", "--faults=", "--record=",
                                             "--replay=",      "--jobs=",   "--shards=",
-                                            "--threads=",     "--kb-epoch=", "--app="};
+                                            "--threads=",     "--kb-epoch=", "--app=",
+                                            "--workers=",     "--migrate-at=",
+                                            "--fleet-faults="};
   static const char* const kBareFlags[] = {"--shared-kb", "--service", "--async"};
   std::vector<std::string> app_filter;
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +135,14 @@ int main(int argc, char** argv) {
         {has_value("--kb-epoch=") && !workload::HasFlag(argc, argv, "--shared-kb"),
          "--kb-epoch requires --shared-kb: the epoch cadence is the shared knowledge "
          "base's publish schedule"},
+        {replaying && has_value("--workers="),
+         "--workers does nothing under --replay: the distributed fleet records and "
+         "streams its own logs"},
+        {has_value("--migrate-at=") && !has_value("--workers="),
+         "--migrate-at requires --workers: migration is a distributed-fleet event"},
+        {has_value("--fleet-faults=") && !has_value("--workers="),
+         "--fleet-faults requires --workers: worker crashes and heartbeat loss are "
+         "distributed-fleet events"},
     };
     for (const Conflict& conflict : conflicts) {
       if (conflict.active) {
@@ -384,6 +398,88 @@ int main(int argc, char** argv) {
   std::printf("new blocking APIs discovered by the fleet at runtime: %zu\n\n",
               summary.discovered.size());
   std::printf("%s\n", summary.merged_report.Render(devices_per_app).c_str());
+
+  // --workers=N runs the same study through a coordinator/worker shard group
+  // (src/fleetd): the jobs are recorded once, streamed over the wire to N embedded worker
+  // daemons, optionally drain-migrated mid-run (--migrate-at=K, percent of frames) or hit
+  // with seeded worker faults (--fleet-faults=PROFILE), and the folded fleet report is
+  // checked bit-for-bit against the in-process oracle. Opt-in, so the default output stays
+  // byte-identical to the goldens.
+  {
+    int32_t fleet_workers = 0;
+    double migrate_at = -1.0;
+    std::string fleet_fault_name;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+        fleet_workers = std::atoi(argv[i] + 10);
+        if (fleet_workers < 1) {
+          std::fprintf(stderr, "--workers must be >= 1, got %s\n", argv[i] + 10);
+          return 2;
+        }
+      } else if (std::strncmp(argv[i], "--migrate-at=", 13) == 0) {
+        migrate_at = std::atof(argv[i] + 13);
+        if (migrate_at < 0.0 || migrate_at > 100.0) {
+          std::fprintf(stderr, "--migrate-at must be a percentage in [0, 100], got %s\n",
+                       argv[i] + 13);
+          return 2;
+        }
+      } else if (std::strncmp(argv[i], "--fleet-faults=", 15) == 0) {
+        fleet_fault_name = argv[i] + 15;
+      }
+    }
+    if (fleet_workers > 0) {
+      workload::DistributedFleetOptions fleet_options;
+      fleet_options.workers = fleet_workers;
+      fleet_options.migrate_at = migrate_at >= 0.0 ? migrate_at / 100.0 : -1.0;
+      if (!fleet_fault_name.empty()) {
+        try {
+          fleet_options.fleet_faults = faultsim::FleetFaultProfile::Named(fleet_fault_name);
+        } catch (const std::invalid_argument& e) {
+          std::fprintf(stderr, "%s; known profiles:", e.what());
+          for (const std::string& name : faultsim::FleetFaultProfile::KnownProfiles()) {
+            std::fprintf(stderr, " %s", name.c_str());
+          }
+          std::fprintf(stderr, "\n");
+          return 2;
+        }
+        fleet_options.fault_seed = 4242;
+      }
+      std::string fleet_dir =
+          (std::filesystem::temp_directory_path() /
+           ("hd_table5_fleet_" + std::to_string(getpid())))
+              .string();
+      auto fleet_t0 = std::chrono::steady_clock::now();
+      workload::FleetSummary fleet_oracle;
+      workload::DistributedFleetResult fleet =
+          workload::RunDistributedFleet(jobs, fleet_dir, fleet_options, &fleet_oracle);
+      double fleet_secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - fleet_t0).count();
+      std::filesystem::remove_all(fleet_dir);
+
+      size_t fleet_aborted = 0;
+      for (const netd::NetSessionOutcome& outcome : fleet.outcomes) {
+        fleet_aborted += outcome.aborted ? 1 : 0;
+      }
+      std::printf("=== Distributed fleet (--workers=%d) ===\n", fleet_workers);
+      std::printf("%zu sessions over %d worker daemon(s), %lld frames routed in %.2f s\n",
+                  fleet.outcomes.size(), fleet_workers,
+                  static_cast<long long>(fleet.frames_routed), fleet_secs);
+      std::printf("migrated %lld, recovered %lld, failovers %lld, aborted %zu\n",
+                  static_cast<long long>(fleet.stats.migrated),
+                  static_cast<long long>(fleet.stats.recovered),
+                  static_cast<long long>(fleet.stats.failovers), fleet_aborted);
+      for (const std::string& event : fleet.events) {
+        std::printf("  event: %s\n", event.c_str());
+      }
+      bool identical = fleet.merged.Render(devices_per_app) ==
+                       fleet_oracle.merged_report.Render(devices_per_app);
+      std::printf("merged report vs in-process oracle: %s\n\n",
+                  identical ? "bit-identical" : "MISMATCH");
+      if (!identical) {
+        return 1;
+      }
+    }
+  }
 
   if (shared_kb) {
     const hangdoctor::KnowledgeBase::Stats& kb = summary.kb;

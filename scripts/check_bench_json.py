@@ -14,9 +14,13 @@ broken bench cannot upload garbage that later reads as a regression — or hides
     [0, 1], the on arm never runs the diagnoser more often than the off arm);
   - net axis (required under --net, validated whenever present): strictly increasing
     connection counts, every session closed, zero admission refusals and protocol errors —
-    the wire sweep ran clean at every concurrency level.
+    the wire sweep ran clean at every concurrency level;
+  - fleet axis (required under --fleet, validated whenever present): strictly increasing
+    worker counts, a constant session count, zero aborted sessions, and report_identical
+    true at every point — the distributed shard group folded the same merged report at
+    every width, which is the determinism contract the fleet is built on.
 
-Usage: check_bench_json.py BENCH_service.json [--net]
+Usage: check_bench_json.py BENCH_service.json [--net] [--fleet]
 
 Exits non-zero with a one-line reason on the first violation.
 """
@@ -42,9 +46,10 @@ def is_num(value) -> bool:
 def main() -> None:
     arguments = sys.argv[1:]
     expect_net = "--net" in arguments
-    positional = [a for a in arguments if a != "--net"]
+    expect_fleet = "--fleet" in arguments
+    positional = [a for a in arguments if a not in ("--net", "--fleet")]
     if len(positional) != 1:
-        fail("usage: check_bench_json.py BENCH_service.json [--net]")
+        fail("usage: check_bench_json.py BENCH_service.json [--net] [--fleet]")
     path = positional[0]
     try:
         with open(path, encoding="utf-8") as handle:
@@ -173,10 +178,54 @@ def main() -> None:
         net_note = (f", net axis {[e['connections'] for e in net]} connections "
                     f"(top rss {net[-1]['rss_mb']:.0f} MB)")
 
+    fleet = data.get("fleet_axis")
+    if expect_fleet:
+        require(fleet is not None,
+                "fleet_axis missing (bench_service must run with --fleet)")
+    fleet_note = ""
+    if fleet is not None:
+        require(isinstance(fleet, list) and fleet,
+                "fleet_axis present but not a non-empty list")
+        previous_workers = 0
+        fleet_sessions = None
+        for i, entry in enumerate(fleet):
+            require(isinstance(entry, dict), f"fleet_axis[{i}] is not an object")
+            workers = entry.get("workers")
+            require(isinstance(workers, int) and workers > previous_workers,
+                    f"fleet_axis[{i}].workers not strictly increasing: {workers!r}")
+            previous_workers = workers
+            sessions = entry.get("sessions")
+            require(is_num(sessions) and sessions > 0,
+                    f"fleet_axis[{i}].sessions missing or not positive")
+            if fleet_sessions is None:
+                fleet_sessions = sessions
+            require(sessions == fleet_sessions,
+                    f"fleet_axis[{i}].sessions = {sessions!r} but the sweep started with "
+                    f"{fleet_sessions} — every width must fold the same session set")
+            require(is_num(entry.get("frames_routed")) and entry["frames_routed"] > 0,
+                    f"fleet_axis[{i}].frames_routed missing or not positive")
+            require(is_num(entry.get("seconds")) and entry["seconds"] > 0,
+                    f"fleet_axis[{i}].seconds missing or not positive")
+            for field in ("sessions_per_sec", "frames_per_sec"):
+                rate = entry.get(field)
+                require(is_num(rate) and 0 < rate < 1e9,
+                        f"fleet_axis[{i}].{field} missing, non-positive, or absurd: "
+                        f"{rate!r}")
+            require(entry.get("aborted") == 0,
+                    f"fleet_axis[{i}].aborted != 0: the shard group lost sessions")
+            require(entry.get("report_identical") is True,
+                    f"fleet_axis[{i}].report_identical != true: the merged report "
+                    "diverged from the workers=1 reference")
+            require(is_num(entry.get("rss_mb")) and entry["rss_mb"] > 0,
+                    f"fleet_axis[{i}].rss_mb missing or not positive")
+        fleet_note = (f", fleet axis {[e['workers'] for e in fleet]} workers "
+                      f"(reports identical)")
+
     print(f"check_bench_json: OK ({path}: {len(levels)} levels, "
           f"threads axis {axis}, speedups "
           f"{[round(e['speedup'], 2) for e in sweep]}, "
-          f"kb hit rate {kb['hit_rate']:.1%} speedup {kb['speedup']:.2f}x{net_note})")
+          f"kb hit rate {kb['hit_rate']:.1%} speedup {kb['speedup']:.2f}x"
+          f"{net_note}{fleet_note})")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,91 @@
+#include "src/faultsim/fleet_faults.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/simkit/rng.h"
+
+namespace faultsim {
+
+FleetFaultProfile FleetFaultProfile::Named(const std::string& name) {
+  FleetFaultProfile profile;
+  profile.name = name;
+  if (name == "none") {
+    return profile;
+  }
+  if (name == "worker-crash") {
+    profile.worker_crash = 1.0;
+    return profile;
+  }
+  if (name == "heartbeat-loss") {
+    profile.heartbeat_loss = 1.0;
+    return profile;
+  }
+  if (name == "fleet-chaos") {
+    profile.worker_crash = 0.5;
+    profile.heartbeat_loss = 0.5;
+    return profile;
+  }
+  throw std::invalid_argument("unknown fleet fault profile: " + name);
+}
+
+std::vector<std::string> FleetFaultProfile::KnownProfiles() {
+  return {"none", "worker-crash", "heartbeat-loss", "fleet-chaos"};
+}
+
+std::vector<FleetFaultEvent> PlanFleetFaults(const FleetFaultProfile& profile, uint64_t seed,
+                                             int32_t workers) {
+  std::vector<FleetFaultEvent> events;
+  if (workers < 2 || !profile.enabled()) {
+    return events;  // a single worker has no survivor to fail over to
+  }
+  simkit::Rng master(seed, /*stream=*/0x0f1ee7);
+  simkit::Rng crash_rng = master.Fork(1);
+  simkit::Rng loss_rng = master.Fork(2);
+
+  // One victim per family, distinct workers, and never more victims than workers - 1.
+  std::vector<int32_t> taken;
+  auto pick_victim = [&](simkit::Rng* rng) -> int32_t {
+    if (static_cast<int32_t>(taken.size()) >= workers - 1) {
+      return -1;
+    }
+    while (true) {
+      auto w = static_cast<int32_t>(rng->UniformInt(0, workers - 1));
+      if (std::find(taken.begin(), taken.end(), w) == taken.end()) {
+        taken.push_back(w);
+        return w;
+      }
+    }
+  };
+
+  if (crash_rng.Bernoulli(profile.worker_crash)) {
+    int32_t victim = pick_victim(&crash_rng);
+    if (victim >= 0) {
+      events.push_back(FleetFaultEvent{FleetFaultEvent::Kind::kWorkerCrash, victim,
+                                       crash_rng.Uniform(0.1, 0.9)});
+    }
+  }
+  if (loss_rng.Bernoulli(profile.heartbeat_loss)) {
+    int32_t victim = pick_victim(&loss_rng);
+    if (victim >= 0) {
+      events.push_back(FleetFaultEvent{FleetFaultEvent::Kind::kHeartbeatLoss, victim,
+                                       loss_rng.Uniform(0.1, 0.9)});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const FleetFaultEvent& a, const FleetFaultEvent& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    return a.worker < b.worker;
+  });
+  return events;
+}
+
+std::string DescribeFleetFault(const FleetFaultEvent& event) {
+  std::string kind = event.kind == FleetFaultEvent::Kind::kWorkerCrash ? "crash"
+                                                                       : "heartbeat loss";
+  return "worker " + std::to_string(event.worker) + " " + kind + " at " +
+         std::to_string(static_cast<int>(event.at * 100.0)) + "% of frames";
+}
+
+}  // namespace faultsim

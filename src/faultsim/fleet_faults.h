@@ -1,0 +1,60 @@
+// Fleet-level fault plans: the distributed-fleet analogue of fault_plan.h. Where a
+// FaultPlan decides the fate of one session's telemetry, a fleet fault plan decides the
+// fate of whole workers — which worker process crashes mid-run, which worker's heartbeats
+// go dark (partition: the worker is healthy but the coordinator stops hearing from it) —
+// and when, as a fraction of the run's routed frames.
+//
+// Determinism contract (same shape as everything else in this layer): a plan is a pure
+// function of (FleetFaultProfile, seed, workers). Each fault family draws from its own
+// forked Rng stream, so enabling heartbeat loss never perturbs which worker crashes. A plan
+// never takes down every worker — at least one survivor always remains, because the
+// coordinator's recovery contract (replay on a live worker) needs somewhere to replay to.
+#ifndef SRC_FAULTSIM_FLEET_FAULTS_H_
+#define SRC_FAULTSIM_FLEET_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faultsim {
+
+struct FleetFaultProfile {
+  std::string name = "none";
+  // P(one worker is killed mid-run — its link severs with no drain).
+  double worker_crash = 0.0;
+  // P(one worker's heartbeats are lost mid-run — its lease expires and it is fenced while
+  // its process keeps running).
+  double heartbeat_loss = 0.0;
+
+  bool enabled() const { return worker_crash > 0.0 || heartbeat_loss > 0.0; }
+
+  // Named presets: "none", "worker-crash", "heartbeat-loss", "fleet-chaos". Throws
+  // std::invalid_argument on an unknown name.
+  static FleetFaultProfile Named(const std::string& name);
+  static std::vector<std::string> KnownProfiles();
+};
+
+struct FleetFaultEvent {
+  enum class Kind : uint8_t {
+    kWorkerCrash,    // sever the worker's link now; the process is killed/ignored
+    kHeartbeatLoss,  // stop exchanging heartbeats with the worker; lease expiry fences it
+  };
+  Kind kind = Kind::kWorkerCrash;
+  int32_t worker = 0;
+  // When the event fires, as a fraction of the run's total routed frames, in [0.1, 0.9] —
+  // strictly inside the run, so recovery always has both a prefix to replay and a suffix to
+  // route afterwards.
+  double at = 0.5;
+};
+
+// Materializes the plan. Events come back sorted by `at` (ties broken by worker index), hit
+// distinct workers, and leave at least one worker untouched.
+std::vector<FleetFaultEvent> PlanFleetFaults(const FleetFaultProfile& profile, uint64_t seed,
+                                             int32_t workers);
+
+// One line naming an event ("worker 1 crash at 42% of frames") for run logs.
+std::string DescribeFleetFault(const FleetFaultEvent& event);
+
+}  // namespace faultsim
+
+#endif  // SRC_FAULTSIM_FLEET_FAULTS_H_

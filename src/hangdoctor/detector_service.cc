@@ -534,6 +534,59 @@ size_t DetectorService::live_sessions() const {
   return live < 0 ? 0 : static_cast<size_t>(live);
 }
 
+std::vector<telemetry::SessionId> DetectorService::LiveSessionIds() const {
+  std::vector<telemetry::SessionId> ids;
+  for (const auto& shard : shards_) {
+    std::lock_guard<simkit::SpinLock> lock(shard->lock);
+    shard->live.ForEach(
+        [&ids](const telemetry::SessionId& id, const std::unique_ptr<SessionSlot>&) {
+          ids.push_back(id);
+        });
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void DetectorService::ImportSession(telemetry::SessionId id, const SessionInfo& info,
+                                    const HangDoctorConfig& config,
+                                    std::span<const SpiPayload> prefix) {
+  Open(id, info, config);
+  for (const SpiPayload& payload : prefix) {
+    switch (payload.kind) {
+      case SpiPayload::Kind::kDispatchStart:
+        OnDispatchStart(id, payload.start);
+        break;
+      case SpiPayload::Kind::kDispatchEnd: {
+        DispatchEnd end = payload.end;
+        end.samples = payload.samples;
+        OnDispatchEnd(id, end);
+        break;
+      }
+      case SpiPayload::Kind::kActionQuiesce:
+        OnActionQuiesced(id, payload.quiesce);
+        break;
+      case SpiPayload::Kind::kCounterFault:
+        OnCounterFault(id, payload.fault);
+        break;
+      case SpiPayload::Kind::kAsyncPost:
+        OnAsyncPost(id, payload.async_post);
+        break;
+      case SpiPayload::Kind::kAsyncRun:
+        OnAsyncRun(id, payload.async_run);
+        break;
+      case SpiPayload::Kind::kAsyncWaitStart:
+        OnAsyncWaitStart(id, payload.wait_start);
+        break;
+      case SpiPayload::Kind::kAsyncWaitEnd:
+        OnAsyncWaitEnd(id, payload.wait_end);
+        break;
+      default:
+        throw std::invalid_argument(
+            "ImportSession: prefix must hold telemetry records only");
+    }
+  }
+}
+
 HangBugReport MergeSessionReports(std::span<const SessionResult> results) {
   std::vector<const SessionResult*> ordered;
   ordered.reserve(results.size());

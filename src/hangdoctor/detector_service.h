@@ -219,6 +219,22 @@ class DetectorService {
   // Drops a session without harvesting (client error path: the producer died mid-stream).
   void Discard(telemetry::SessionId id);
 
+  // Migration hooks (the fleetd coordinator's session export/import surface, riding the
+  // record/replay path). Export is the pair {LiveSessionIds(), the caller's recorded HDSL
+  // prefix}: a session log prefix is a complete description of everything the detector
+  // observed, so no detector state needs to cross processes. Callers must quiesce their
+  // producers first (the snapshot is not a barrier).
+  std::vector<telemetry::SessionId> LiveSessionIds() const;
+
+  // Import: re-creates a migrated session by replaying its recorded prefix — Open(id, info,
+  // config) followed by each record through the synchronous entry points, in order. After
+  // this returns, the session is live and continues from exactly the state the prefix
+  // describes (per-session purity is what makes the migrated result bit-identical). The
+  // prefix holds telemetry records only; a kSessionOpen/kSessionClose marker inside it
+  // throws std::invalid_argument.
+  void ImportSession(telemetry::SessionId id, const SessionInfo& info,
+                     const HangDoctorConfig& config, std::span<const SpiPayload> prefix);
+
   SessionHandle Handle(telemetry::SessionId id) { return SessionHandle(this, id); }
 
   // Batch entry: consumes one interleaved stream in order — open/record/close framing per

@@ -50,6 +50,33 @@ void HangBugReport::Merge(const HangBugReport& other) {
   }
 }
 
+void HangBugReport::Absorb(const BugReportEntry& entry) {
+  std::string key =
+      entry.app_package + "|" + entry.api + "|" + entry.file + ":" + std::to_string(entry.line);
+  BugReportEntry& mine = entries_[key];
+  if (mine.occurrences == 0) {
+    mine = entry;
+    return;
+  }
+  mine.degraded = mine.degraded || entry.degraded;
+  if (mine.wait_site.empty()) {
+    mine.wait_site = entry.wait_site;
+  }
+  mine.occurrences += entry.occurrences;
+  mine.devices.insert(entry.devices.begin(), entry.devices.end());
+  mine.total_hang += entry.total_hang;
+  mine.max_hang = std::max(mine.max_hang, entry.max_hang);
+}
+
+std::vector<BugReportEntry> HangBugReport::Entries() const {
+  std::vector<BugReportEntry> entries;
+  entries.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
 std::vector<BugReportEntry> HangBugReport::SortedEntries() const {
   std::vector<BugReportEntry> sorted;
   sorted.reserve(entries_.size());

@@ -49,6 +49,16 @@ class HangBugReport {
   // Folds another device's (or fleet's) report into this one.
   void Merge(const HangBugReport& other);
 
+  // Folds one exported entry back in — the wire-transport half of Merge(). The entry's
+  // identity key is reconstructed from its own fields (api is exactly "clazz.function", so
+  // app|api|file:line is the same string Key() builds from a Diagnosis), which is what lets
+  // a worker daemon ship its per-session reports to a fleetd coordinator and the folded
+  // result stay bit-identical to an in-process Merge.
+  void Absorb(const BugReportEntry& entry);
+
+  // Every entry in identity-key order (deterministic; the wire serialization order).
+  std::vector<BugReportEntry> Entries() const;
+
   // Entries sorted by device coverage (descending), then occurrences.
   std::vector<BugReportEntry> SortedEntries() const;
 

@@ -5,10 +5,17 @@
 //
 // Usage:
 //   hangdoctord [--port=N] [--workers=N] [--rings=N] [--shards=N] [--budget-mb=N]
-//               [--max-connections=N] [--pin]
+//               [--max-connections=N] [--pin] [--worker] [--watchdog-ms=N] [--drain-ms=N]
 //
 // --port=0 (default) binds an ephemeral port; the banner line "listening on port N" names
 // it, which is how scripts/netd_smoke.sh and the loadgen find the daemon.
+//
+// --worker runs the daemon as a fleetd shard-group member: worker-role HELLOs are accepted
+// (coordinator control frames + per-close kSessionResult replies) and the self-watchdog is
+// armed (default 2000 ms; tune with --watchdog-ms) so a wedged applier forfeits the lease
+// and the coordinator migrates this worker's sessions. --drain-ms bounds the shutdown
+// drain: a drain that cannot finish inside the deadline reports the undrained session ids
+// (the coordinator recovers them by HDSL replay) instead of hanging the exit.
 #include <algorithm>
 #include <csignal>
 #include <cstdint>
@@ -55,6 +62,10 @@ int main(int argc, char** argv) {
   options.max_connections =
       static_cast<int32_t>(FlagValue(argc, argv, "--max-connections=", 4096));
   options.pin_workers = HasBareFlag(argc, argv, "--pin");
+  options.allow_worker_role = HasBareFlag(argc, argv, "--worker");
+  options.watchdog_timeout_ms =
+      FlagValue(argc, argv, "--watchdog-ms=", options.allow_worker_role ? 2000 : 0);
+  int64_t drain_ms = FlagValue(argc, argv, "--drain-ms=", 0);
 
   // Block the shutdown signals before any server thread exists, so every thread inherits
   // the mask and sigwait below is the one consumer.
@@ -66,10 +77,11 @@ int main(int argc, char** argv) {
 
   try {
     netd::NetServer server(options);
-    std::printf("hangdoctord listening on port %u (%d workers, %d rings, %d shards)\n",
+    std::printf("hangdoctord listening on port %u (%d workers, %d rings, %d shards%s)\n",
                 server.port(), options.workers,
                 options.rings == 0 ? options.workers : options.rings,
-                options.service.shards);
+                options.service.shards,
+                options.allow_worker_role ? ", worker mode" : "");
     std::fflush(stdout);
 
     int sig = 0;
@@ -77,7 +89,22 @@ int main(int argc, char** argv) {
     std::printf("hangdoctord: signal %d, draining\n", sig);
     std::fflush(stdout);
 
-    server.Stop();
+    if (drain_ms > 0) {
+      std::vector<uint64_t> undrained = server.Stop(drain_ms);
+      if (!undrained.empty()) {
+        std::printf("drain timed out: %zu sessions undrained:", undrained.size());
+        for (uint64_t id : undrained) {
+          std::printf(" %llu", static_cast<unsigned long long>(id));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+        // A wedged applier cannot be joined; the coordinator replays the undrained
+        // sessions elsewhere. Exit without running the blocking destructor.
+        std::_Exit(2);
+      }
+    } else {
+      server.Stop();
+    }
     std::vector<netd::NetSessionOutcome> outcomes = server.TakeResults();
     std::vector<hangdoctor::SessionResult> closed;
     size_t aborted = 0;

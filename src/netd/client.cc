@@ -77,9 +77,9 @@ bool NetClient::WriteAll(const char* data, size_t size, size_t chunk) {
   return true;
 }
 
-bool NetClient::SendHello(uint32_t version) {
+bool NetClient::SendHello(uint32_t version, HelloRole role) {
   std::string frame;
-  AppendFrame(&frame, BuildHello(version));
+  AppendFrame(&frame, BuildHello(version, role));
   return WriteAll(frame.data(), frame.size(), 0);
 }
 

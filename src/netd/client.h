@@ -32,8 +32,9 @@ class NetClient {
   const std::string& error() const { return error_; }
   int fd() const { return fd_; }
 
-  // Sends the HELLO frame for `version`.
-  bool SendHello(uint32_t version);
+  // Sends the HELLO frame for `version`. The worker role is the fleetd coordinator link
+  // (control frames + per-close kSessionResult replies); plain ingest keeps the default.
+  bool SendHello(uint32_t version, HelloRole role = HelloRole::kClient);
 
   // Frames `payload` and writes it. chunk > 0 writes at most `chunk` bytes per syscall (the
   // 1-byte drip shape is chunk = 1).

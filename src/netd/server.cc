@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "src/netd/record_codec.h"
+#include "src/netd/result_codec.h"
 #include "src/netd/wire.h"
 #include "src/simkit/affinity.h"
 #include "src/simkit/mpmc_ring.h"
@@ -52,14 +53,26 @@ void SignalEventFd(int fd) {
 struct Apply;
 struct Connection;
 
+// One in-flight HANDOFF order: `remaining` discards still traveling the rings; the last
+// one to land acks the coordinator with the tally.
+struct HandoffState {
+  uint64_t epoch = 0;
+  std::atomic<int64_t> remaining{0};
+  std::atomic<uint64_t> discarded{0};
+};
+
 struct Apply {
-  enum class Kind : uint8_t { kOpen, kRecord, kClose, kAbort };
+  // kHandoffDiscard is a migrate-away order: like kAbort it frees the session without
+  // harvesting, but records no outcome — the session is not torn, it is being replayed on
+  // its new owner from the coordinator's HDSL tap.
+  enum class Kind : uint8_t { kOpen, kRecord, kClose, kAbort, kHandoffDiscard };
   Kind kind = Kind::kRecord;
   telemetry::SessionId id{0};
-  int64_t estimate = 0;  // kOpen/kClose/kAbort: the session's budget charge
+  int64_t estimate = 0;  // kOpen/kClose/kAbort/kHandoffDiscard: the session's budget charge
   std::shared_ptr<hd::SessionLog> log;  // keeps the session's symbol table alive
   hd::ServiceRecord record;
   std::shared_ptr<Connection> conn;
+  std::shared_ptr<HandoffState> handoff;  // kHandoffDiscard
   std::string reason;  // kAbort
 };
 
@@ -69,6 +82,9 @@ struct Connection {
   FrameSplitter splitter;
   MuxStreamDecoder decoder;
   bool hello_done = false;
+  // Set at HELLO, before any apply is routed from this connection; the routing ring's
+  // push/pop pair publishes it to the appliers.
+  HelloRole role = HelloRole::kClient;
 
   // Worker-thread-only state.
   std::unordered_map<uint64_t, int64_t> live;  // admitted sessions → budget charge
@@ -110,6 +126,11 @@ struct RingSlot {
   std::unique_ptr<simkit::MpmcRing<Apply>> ring;
   std::counting_semaphore<> items{0};
   std::thread thread;
+  // Watchdog progress signal (LCI hang_detector idiom): the applier bumps `progress` as it
+  // takes each item and holds `busy` across the apply. busy == true with `progress` frozen
+  // past the timeout is the stuck verdict.
+  std::atomic<uint64_t> progress{0};
+  std::atomic<bool> busy{false};
 };
 
 struct NetServer::Impl {
@@ -134,6 +155,15 @@ struct NetServer::Impl {
   std::atomic<bool> applier_stop{false};
   std::atomic<uint32_t> next_worker{0};
   bool stopped = false;
+
+  // Lease / fencing state (worker-role control frames). lease_epoch is the newest epoch any
+  // control frame carried; an older epoch marks its sender as a fenced, superseded
+  // coordinator. applier_stuck / lease_failed are the watchdog's verdicts.
+  std::atomic<uint64_t> lease_epoch{0};
+  std::atomic<bool> applier_stuck{false};
+  std::atomic<bool> lease_failed{false};
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
 
   int listen_fd = -1;
   int accept_stop_fd = -1;
@@ -396,6 +426,94 @@ struct NetServer::Impl {
     }
   }
 
+  // Fencing gate shared by every control frame: a frame carrying an epoch older than the
+  // newest seen marks its sender as a superseded coordinator — answer kStaleEpoch, do not
+  // act. Newer epochs are adopted (monotonic max).
+  bool AdmitEpoch(WorkerState& wk, const std::shared_ptr<Connection>& conn, uint64_t epoch) {
+    uint64_t seen = lease_epoch.load(std::memory_order_relaxed);
+    while (epoch > seen &&
+           !lease_epoch.compare_exchange_weak(seen, epoch, std::memory_order_relaxed)) {
+    }
+    if (epoch < lease_epoch.load(std::memory_order_relaxed)) {
+      self->stats_.stale_epochs.fetch_add(1, std::memory_order_relaxed);
+      SendReply(wk, conn, BuildStaleEpoch(lease_epoch.load(std::memory_order_relaxed)));
+      return false;
+    }
+    return true;
+  }
+
+  void HandleControl(WorkerState& wk, const std::shared_ptr<Connection>& conn,
+                     const std::string& payload) {
+    uint8_t tag = static_cast<uint8_t>(payload[0]);
+    std::string error;
+    if (tag == kCtrlHeartbeat) {
+      uint64_t epoch = 0;
+      if (!ParseHeartbeat(payload, &epoch, &error)) {
+        ProtocolError(wk, conn, error);
+        return;
+      }
+      if (!AdmitEpoch(wk, conn, epoch)) {
+        return;
+      }
+      self->stats_.heartbeats.fetch_add(1, std::memory_order_relaxed);
+      SendReply(wk, conn,
+                BuildHeartbeatAck(
+                    lease_epoch.load(std::memory_order_relaxed),
+                    self->service_->live_sessions(),
+                    static_cast<uint64_t>(
+                        self->stats_.records_applied.load(std::memory_order_relaxed)),
+                    applier_stuck.load(std::memory_order_relaxed),
+                    lease_failed.load(std::memory_order_relaxed)));
+      return;
+    }
+    if (tag == kCtrlHandoff) {
+      uint64_t epoch = 0;
+      std::vector<uint64_t> sessions;
+      if (!ParseHandoff(payload, &epoch, &sessions, &error)) {
+        ProtocolError(wk, conn, error);
+        return;
+      }
+      if (!AdmitEpoch(wk, conn, epoch)) {
+        return;
+      }
+      auto handoff = std::make_shared<HandoffState>();
+      handoff->epoch = epoch;
+      // Route the discards through the session rings like records, so each lands strictly
+      // after everything this connection already routed for that session. Sessions the
+      // connection does not hold live (already closed, refused, never opened here) have
+      // nothing to discard and do not travel.
+      std::vector<Apply> orders;
+      for (uint64_t id : sessions) {
+        conn->refused.erase(id);
+        auto it = conn->live.find(id);
+        if (it == conn->live.end()) {
+          continue;
+        }
+        Apply apply;
+        apply.kind = Apply::Kind::kHandoffDiscard;
+        apply.id = telemetry::SessionId{id};
+        apply.estimate = it->second;
+        apply.handoff = handoff;
+        apply.conn = conn;
+        orders.push_back(std::move(apply));
+        conn->live.erase(it);
+      }
+      if (orders.empty()) {
+        SendReply(wk, conn, BuildHandoffAck(epoch, 0));
+        return;
+      }
+      // `remaining` must cover every order before the first lands, or an early discard
+      // could see remaining == 0 and ack a half-applied handoff.
+      handoff->remaining.store(static_cast<int64_t>(orders.size()),
+                               std::memory_order_release);
+      for (Apply& apply : orders) {
+        RouteBlocking(std::move(apply));
+      }
+      return;
+    }
+    ProtocolError(wk, conn, "unknown control frame tag " + std::to_string(tag));
+  }
+
   // Decodes every complete buffered frame, stopping early on a parked record or a dead
   // connection.
   void ProcessFrames(WorkerState& wk, std::shared_ptr<Connection>& conn) {
@@ -410,8 +528,9 @@ struct NetServer::Impl {
       self->stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
       if (!conn->hello_done) {
         uint32_t version = 0;
+        HelloRole role = HelloRole::kClient;
         std::string error;
-        if (!ParseHello(payload, &version, &error)) {
+        if (!ParseHello(payload, &version, &role, &error)) {
           ProtocolError(wk, conn, error);
           return;
         }
@@ -419,8 +538,18 @@ struct NetServer::Impl {
           ProtocolError(wk, conn, "unsupported wire version " + std::to_string(version));
           return;
         }
+        if (role == HelloRole::kWorker && !opt.allow_worker_role) {
+          ProtocolError(wk, conn, "worker role not allowed on this daemon");
+          return;
+        }
         conn->hello_done = true;
+        conn->role = role;
         SendReply(wk, conn, BuildHelloOk(version));
+        continue;
+      }
+      if (conn->role == HelloRole::kWorker && !payload.empty() &&
+          static_cast<uint8_t>(payload[0]) >= kCtrlBase) {
+        HandleControl(wk, conn, payload);
         continue;
       }
       DecodedFrame dec;
@@ -717,6 +846,12 @@ struct NetServer::Impl {
           EnqueueReply(conn, BuildSessionClosed(item.id.value, result.stream_ok,
                                                 result.report.NumBugs(),
                                                 result.stream_error));
+          if (conn->role == HelloRole::kWorker) {
+            // The coordinator folds full worker results into the fleet report; the compact
+            // kSessionClosed above stays for symmetry with plain clients.
+            EnqueueReply(conn,
+                         BuildSessionResult(item.id.value, EncodeSessionResult(result)));
+          }
           conn->closed_count.fetch_add(1, std::memory_order_relaxed);
           NetSessionOutcome outcome;
           outcome.id = item.id;
@@ -743,6 +878,26 @@ struct NetServer::Impl {
           results.push_back(std::move(outcome));
           break;
         }
+        case Apply::Kind::kHandoffDiscard: {
+          // Migrate-away: free the arena without harvesting and record NO outcome — the
+          // session is not torn, its complete stream replays on the new owner, which is
+          // where its one result will come from.
+          auto ow = owner.find(item.id.value);
+          if (ow != owner.end() && ow->second == conn.get()) {
+            owner.erase(ow);
+            service.Discard(item.id);
+            retained.erase(item.id.value);
+            item.handoff->discarded.fetch_add(1, std::memory_order_relaxed);
+            self->stats_.sessions_migrated.fetch_add(1, std::memory_order_relaxed);
+          }
+          self->live_session_bytes_.fetch_sub(item.estimate, std::memory_order_relaxed);
+          if (item.handoff->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            EnqueueReply(conn, BuildHandoffAck(
+                                   item.handoff->epoch,
+                                   item.handoff->discarded.load(std::memory_order_relaxed)));
+          }
+          break;
+        }
       }
     } catch (const std::exception& e) {
       // Open of a duplicate id (cross-connection), a record the service cannot route, or a
@@ -751,7 +906,15 @@ struct NetServer::Impl {
       if (item.kind != Apply::Kind::kRecord) {
         self->live_session_bytes_.fetch_sub(item.estimate, std::memory_order_relaxed);
       }
-      if (item.kind != Apply::Kind::kAbort) {
+      if (item.kind == Apply::Kind::kHandoffDiscard) {
+        // The discard failed (nothing live to drop) but the handoff must still be acked —
+        // an unacked handoff would wedge the coordinator's migration.
+        if (item.handoff->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          EnqueueReply(conn, BuildHandoffAck(
+                                 item.handoff->epoch,
+                                 item.handoff->discarded.load(std::memory_order_relaxed)));
+        }
+      } else if (item.kind != Apply::Kind::kAbort) {
         MarkApplierError(conn, std::string("session ") + std::to_string(item.id.value) +
                                    ": " + e.what());
         if (item.kind == Apply::Kind::kOpen) {
@@ -781,6 +944,16 @@ struct NetServer::Impl {
     // session closes — every record of a session lands on this one applier.
     std::unordered_map<uint64_t, std::shared_ptr<hd::SessionLog>> retained;
     std::unordered_map<uint64_t, const Connection*> owner;
+    auto run = [&](Apply& item) {
+      slot.progress.fetch_add(1, std::memory_order_relaxed);
+      slot.busy.store(true, std::memory_order_relaxed);
+      if (opt.before_apply) {
+        opt.before_apply(item.id.value);
+      }
+      ApplyItem(item, retained, owner);
+      self->stats_.records_applied.fetch_add(1, std::memory_order_relaxed);
+      slot.busy.store(false, std::memory_order_relaxed);
+    };
     while (true) {
       slot.items.acquire();
       Apply item;
@@ -805,13 +978,13 @@ struct NetServer::Impl {
         }
       }
       if (popped) {
-        ApplyItem(item, retained, owner);
+        run(item);
         continue;
       }
       // applier_stop with nothing poppable: workers are joined, every claim is published.
       // Late releases can outnumber items at shutdown; drain whatever remains.
       while (slot.ring->TryPop(item)) {
-        ApplyItem(item, retained, owner);
+        run(item);
       }
       break;
     }
@@ -855,6 +1028,83 @@ struct NetServer::Impl {
       }
     }
   }
+
+  // ---- self-watchdog ----
+
+  // The LCI hang_detector idiom turned on the detector fleet itself: sample each applier's
+  // progress counter; busy with the counter frozen past the timeout means one record has
+  // wedged the applier. The verdict is surfaced as heartbeat health, and the lease is
+  // force-failed (sticky) so the coordinator migrates this worker's sessions. The stuck
+  // flag itself clears if the applier ever resumes — health reports the present, the lease
+  // remembers the past.
+  void WatchdogLoop() {
+    std::vector<uint64_t> last(rings.size(), 0);
+    std::vector<std::chrono::steady_clock::time_point> since(rings.size(),
+                                                             std::chrono::steady_clock::now());
+    while (!watchdog_stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opt.watchdog_poll_ms));
+      auto now = std::chrono::steady_clock::now();
+      bool any_stuck = false;
+      for (size_t r = 0; r < rings.size(); ++r) {
+        uint64_t progress = rings[r]->progress.load(std::memory_order_relaxed);
+        if (!rings[r]->busy.load(std::memory_order_relaxed) || progress != last[r]) {
+          last[r] = progress;
+          since[r] = now;
+          continue;
+        }
+        auto stalled =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - since[r]).count();
+        if (stalled >= opt.watchdog_timeout_ms) {
+          any_stuck = true;
+        }
+      }
+      if (any_stuck) {
+        if (!applier_stuck.exchange(true, std::memory_order_relaxed)) {
+          self->stats_.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+        }
+        lease_failed.store(true, std::memory_order_relaxed);
+      } else {
+        applier_stuck.store(false, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // The join half of shutdown (shared by Stop() and the deadline overload once the drain
+  // has quiesced). Must not be entered with a wedged applier: the joins are unconditional.
+  void FinishStop() {
+    if (stopped) {
+      return;
+    }
+    stopped = true;
+    watchdog_stop.store(true);
+    if (watchdog.joinable()) {
+      watchdog.join();
+    }
+    stopping.store(true);
+    for (auto& wk : workers) {
+      SignalEventFd(wk->wake_fd);
+    }
+    for (auto& wk : workers) {
+      if (wk->thread.joinable()) {
+        wk->thread.join();
+      }
+    }
+    // Workers are gone: no further pushes. Let the appliers finish what is routed, then
+    // stop.
+    applier_stop.store(true);
+    for (auto& slot : rings) {
+      slot->items.release();
+    }
+    for (auto& slot : rings) {
+      if (slot->thread.joinable()) {
+        slot->thread.join();
+      }
+    }
+    for (auto& wk : workers) {
+      close(wk->epfd);
+      close(wk->wake_fd);
+    }
+  }
 };
 
 NetServer::NetServer(const ServerOptions& options) : impl_(new Impl) {
@@ -870,6 +1120,9 @@ NetServer::NetServer(const ServerOptions& options) : impl_(new Impl) {
   }
   if (opt.rings < 1 || opt.ring_capacity < 1) {
     throw std::invalid_argument("NetServer: rings and ring_capacity must be >= 1");
+  }
+  if (opt.watchdog_timeout_ms > 0 && opt.watchdog_poll_ms < 1) {
+    throw std::invalid_argument("NetServer: watchdog_poll_ms must be >= 1");
   }
   impl_->opt = opt;
   impl_->self = this;
@@ -927,6 +1180,9 @@ NetServer::NetServer(const ServerOptions& options) : impl_(new Impl) {
   if (opt.listen) {
     impl_->acceptor = std::thread([this] { impl_->AcceptorLoop(); });
   }
+  if (opt.watchdog_timeout_ms > 0) {
+    impl_->watchdog = std::thread([this] { impl_->WatchdogLoop(); });
+  }
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -970,32 +1226,43 @@ void NetServer::Stop() {
   if (impl_->stopped) {
     return;
   }
-  impl_->stopped = true;
   BeginDrain();
   WaitIdle(10000);
-  impl_->stopping.store(true);
-  for (auto& wk : impl_->workers) {
-    SignalEventFd(wk->wake_fd);
+  impl_->FinishStop();
+}
+
+std::vector<uint64_t> NetServer::Stop(int64_t drain_timeout_ms) {
+  if (impl_->stopped) {
+    return {};
   }
-  for (auto& wk : impl_->workers) {
-    if (wk->thread.joinable()) {
-      wk->thread.join();
+  BeginDrain();
+  if (!WaitIdle(drain_timeout_ms)) {
+    // The drain did not quiesce in time (classically: an applier wedged on one record —
+    // exactly what the self-watchdog flags). Joining now could block forever, so report
+    // what is still held instead: these sessions' complete streams live in the
+    // coordinator's tap, and HDSL replay on another worker recovers every one of them.
+    // Everything stays running; a later Stop()/destructor completes shutdown once the
+    // wedge clears.
+    std::vector<uint64_t> undrained;
+    for (telemetry::SessionId id : service_->LiveSessionIds()) {
+      undrained.push_back(id.value);
     }
+    return undrained;
   }
-  // Workers are gone: no further pushes. Let the appliers finish what is routed, then stop.
-  impl_->applier_stop.store(true);
-  for (auto& slot : impl_->rings) {
-    slot->items.release();
-  }
-  for (auto& slot : impl_->rings) {
-    if (slot->thread.joinable()) {
-      slot->thread.join();
-    }
-  }
-  for (auto& wk : impl_->workers) {
-    close(wk->epfd);
-    close(wk->wake_fd);
-  }
+  impl_->FinishStop();
+  return {};
+}
+
+bool NetServer::applier_stuck() const {
+  return impl_->applier_stuck.load(std::memory_order_relaxed);
+}
+
+bool NetServer::lease_failed() const {
+  return impl_->lease_failed.load(std::memory_order_relaxed);
+}
+
+uint64_t NetServer::lease_epoch() const {
+  return impl_->lease_epoch.load(std::memory_order_relaxed);
 }
 
 std::vector<NetSessionOutcome> NetServer::TakeResults() {

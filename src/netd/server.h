@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,6 +69,20 @@ struct ServerOptions {
   size_t max_frame_bytes = 8u << 20;
   // Best-effort affinity: pin worker w to core w and applier a to core workers + a.
   bool pin_workers = false;
+  // Accept worker-role HELLOs (fleetd coordinator links): control frames and per-close
+  // kSessionResult replies. Off by default so a plain daemon rejects a stray coordinator at
+  // HELLO time instead of half-speaking the fleet protocol.
+  bool allow_worker_role = false;
+  // Self-watchdog (LCI hang_detector idiom): a thread that flags any applier stuck longer
+  // than this on a single record, surfaces it in heartbeat health, and force-fails the
+  // lease so the coordinator migrates this worker's sessions. 0 = no watchdog thread.
+  int64_t watchdog_timeout_ms = 0;
+  // Watchdog sampling period.
+  int64_t watchdog_poll_ms = 20;
+  // Test hook: invoked on the applier thread with the session id immediately before each
+  // apply. Lets tests wedge an applier deterministically (watchdog + bounded-Stop
+  // coverage) without sleeping on real hangs. Must be set before construction.
+  std::function<void(uint64_t)> before_apply;
 };
 
 // What one session left behind after traveling the wire.
@@ -91,6 +106,11 @@ struct ServerStats {
   std::atomic<int64_t> sessions_closed{0};
   std::atomic<int64_t> backpressure_pauses{0};
   std::atomic<int64_t> protocol_errors{0};
+  std::atomic<int64_t> records_applied{0};
+  std::atomic<int64_t> heartbeats{0};
+  std::atomic<int64_t> stale_epochs{0};
+  std::atomic<int64_t> sessions_migrated{0};  // handoff-discarded (replayed elsewhere)
+  std::atomic<int64_t> watchdog_trips{0};
 };
 
 class NetServer {
@@ -111,8 +131,18 @@ class NetServer {
   // closes every connection. Idempotent; does not join threads.
   void BeginDrain();
 
-  // BeginDrain + join everything. Idempotent; the destructor calls it.
+  // BeginDrain + join everything. Idempotent; the destructor calls it. The drain wait is
+  // generous (10 s) but the joins are unconditional — a wedged applier makes this block;
+  // use the deadline overload when shutdown must be bounded.
   void Stop();
+
+  // Deadline-bounded stop: BeginDrain, then wait up to `drain_timeout_ms` for quiescence.
+  // On success joins everything (like Stop()) and returns empty. On timeout it returns the
+  // session ids still live in the service — the undrained sessions a coordinator must
+  // recover by HDSL replay elsewhere — WITHOUT joining, leaving the machinery intact: the
+  // server stays drainable, and a later Stop()/destructor finishes shutdown once the wedge
+  // clears (a stuck applier cannot be force-killed; it can only be disowned).
+  std::vector<uint64_t> Stop(int64_t drain_timeout_ms);
 
   // Outcomes of every session that closed (or aborted) so far. Barrier-free snapshot;
   // callers quiesce first (WaitIdle or Stop).
@@ -127,6 +157,14 @@ class NetServer {
   int64_t live_session_bytes() const { return live_session_bytes_.load(); }
   const ServerStats& stats() const { return stats_; }
   hangdoctor::DetectorService& service() { return *service_; }
+
+  // Self-watchdog health (heartbeat fields). applier_stuck tracks the current wedge and
+  // clears when the applier makes progress again; lease_failed is sticky — once a wedge
+  // crossed the timeout, this worker's lease is forfeit and its sessions migrate.
+  bool applier_stuck() const;
+  bool lease_failed() const;
+  // Newest coordinator fencing epoch seen on any control frame.
+  uint64_t lease_epoch() const;
 
  private:
   struct Impl;

@@ -56,13 +56,17 @@ void AppendFrame(std::string* out, const std::string& payload) {
   out->append(payload);
 }
 
-std::string BuildHello(uint32_t version) {
+std::string BuildHello(uint32_t version, HelloRole role) {
   std::string payload(kMagic, sizeof(kMagic));
   PutVarint(&payload, version);
+  if (role != HelloRole::kClient) {
+    PutVarint(&payload, static_cast<uint64_t>(role));
+  }
   return payload;
 }
 
-bool ParseHello(const std::string& payload, uint32_t* version, std::string* error) {
+bool ParseHello(const std::string& payload, uint32_t* version, HelloRole* role,
+                std::string* error) {
   if (payload.size() < sizeof(kMagic) ||
       std::memcmp(payload.data(), kMagic, sizeof(kMagic)) != 0) {
     *error = "hello: bad magic";
@@ -70,11 +74,88 @@ bool ParseHello(const std::string& payload, uint32_t* version, std::string* erro
   }
   size_t pos = sizeof(kMagic);
   uint64_t value = 0;
-  if (!GetVarint(payload, &pos, &value) || pos != payload.size()) {
+  if (!GetVarint(payload, &pos, &value)) {
     *error = "hello: malformed version";
     return false;
   }
   *version = static_cast<uint32_t>(value);
+  *role = HelloRole::kClient;
+  if (pos < payload.size()) {
+    uint64_t raw_role = 0;
+    if (!GetVarint(payload, &pos, &raw_role) || pos != payload.size()) {
+      *error = "hello: malformed role";
+      return false;
+    }
+    if (raw_role > static_cast<uint64_t>(HelloRole::kWorker)) {
+      *error = "hello: unknown role " + std::to_string(raw_role);
+      return false;
+    }
+    *role = static_cast<HelloRole>(raw_role);
+  }
+  return true;
+}
+
+std::string BuildHeartbeat(uint64_t epoch) {
+  std::string payload(1, static_cast<char>(kCtrlHeartbeat));
+  PutVarint(&payload, epoch);
+  return payload;
+}
+
+bool ParseHeartbeat(const std::string& payload, uint64_t* epoch, std::string* error) {
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kCtrlHeartbeat) {
+    *error = "heartbeat: bad tag";
+    return false;
+  }
+  size_t pos = 1;
+  if (!GetVarint(payload, &pos, epoch) || pos != payload.size()) {
+    *error = "heartbeat: malformed payload";
+    return false;
+  }
+  return true;
+}
+
+std::string BuildHandoff(uint64_t epoch, const std::vector<uint64_t>& sessions) {
+  std::string payload(1, static_cast<char>(kCtrlHandoff));
+  PutVarint(&payload, epoch);
+  PutVarint(&payload, sessions.size());
+  for (uint64_t id : sessions) {
+    PutVarint(&payload, id);
+  }
+  return payload;
+}
+
+bool ParseHandoff(const std::string& payload, uint64_t* epoch,
+                  std::vector<uint64_t>* sessions, std::string* error) {
+  if (payload.empty() || static_cast<uint8_t>(payload[0]) != kCtrlHandoff) {
+    *error = "handoff: bad tag";
+    return false;
+  }
+  size_t pos = 1;
+  uint64_t count = 0;
+  if (!GetVarint(payload, &pos, epoch) || !GetVarint(payload, &pos, &count)) {
+    *error = "handoff: malformed payload";
+    return false;
+  }
+  // Each id costs at least one byte, so `count` is bounded by the remaining payload — a
+  // hostile count cannot reserve unbounded memory.
+  if (count > payload.size() - pos) {
+    *error = "handoff: session count exceeds payload";
+    return false;
+  }
+  sessions->clear();
+  sessions->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!GetVarint(payload, &pos, &id)) {
+      *error = "handoff: truncated session list";
+      return false;
+    }
+    sessions->push_back(id);
+  }
+  if (pos != payload.size()) {
+    *error = "handoff: trailing bytes";
+    return false;
+  }
   return true;
 }
 
@@ -114,6 +195,38 @@ std::string BuildBye(uint64_t sessions_closed) {
   return payload;
 }
 
+std::string BuildHeartbeatAck(uint64_t epoch, uint64_t live_sessions,
+                              uint64_t records_applied, bool applier_stuck,
+                              bool lease_failed) {
+  std::string payload(1, static_cast<char>(ReplyTag::kHeartbeatAck));
+  PutVarint(&payload, epoch);
+  PutVarint(&payload, live_sessions);
+  PutVarint(&payload, records_applied);
+  payload.push_back(applier_stuck ? '\1' : '\0');
+  payload.push_back(lease_failed ? '\1' : '\0');
+  return payload;
+}
+
+std::string BuildStaleEpoch(uint64_t lease_epoch) {
+  std::string payload(1, static_cast<char>(ReplyTag::kStaleEpoch));
+  PutVarint(&payload, lease_epoch);
+  return payload;
+}
+
+std::string BuildHandoffAck(uint64_t epoch, uint64_t discarded) {
+  std::string payload(1, static_cast<char>(ReplyTag::kHandoffAck));
+  PutVarint(&payload, epoch);
+  PutVarint(&payload, discarded);
+  return payload;
+}
+
+std::string BuildSessionResult(uint64_t session_id, const std::string& result_bytes) {
+  std::string payload(1, static_cast<char>(ReplyTag::kSessionResult));
+  PutVarint(&payload, session_id);
+  PutString(&payload, result_bytes);
+  return payload;
+}
+
 bool ParseReply(const std::string& payload, Reply* reply, std::string* error) {
   if (payload.empty()) {
     *error = "reply: empty payload";
@@ -149,6 +262,27 @@ bool ParseReply(const std::string& payload, Reply* reply, std::string* error) {
       break;
     case ReplyTag::kBye:
       ok = GetVarint(payload, &pos, &reply->sessions_closed);
+      break;
+    case ReplyTag::kHeartbeatAck:
+      ok = GetVarint(payload, &pos, &reply->epoch) &&
+           GetVarint(payload, &pos, &reply->live_sessions) &&
+           GetVarint(payload, &pos, &reply->records_applied) &&
+           payload.size() - pos == 2;
+      if (ok) {
+        reply->applier_stuck = payload[pos++] != '\0';
+        reply->lease_failed = payload[pos++] != '\0';
+      }
+      break;
+    case ReplyTag::kStaleEpoch:
+      ok = GetVarint(payload, &pos, &reply->epoch);
+      break;
+    case ReplyTag::kHandoffAck:
+      ok = GetVarint(payload, &pos, &reply->epoch) &&
+           GetVarint(payload, &pos, &reply->discarded);
+      break;
+    case ReplyTag::kSessionResult:
+      ok = GetVarint(payload, &pos, &reply->session_id) &&
+           GetString(payload, &pos, &reply->result);
       break;
     default:
       *error = "reply: unknown tag " + std::to_string(static_cast<int>(reply->tag));
